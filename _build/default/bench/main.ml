@@ -1,0 +1,503 @@
+(* Experiment harness: regenerates every table and figure of the thesis's
+   evaluation (§4.6 containment, §5.6 rewriting) plus the Ch. 2 access-path
+   narrative, on the synthetic corpora. See DESIGN.md for the experiment
+   index and EXPERIMENTS.md for recorded paper-vs-measured results.
+
+   Usage: main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|micro|all]        (default: all) *)
+
+module P = Xam.Pattern
+module S = Xsummary.Summary
+module Rel = Xalgebra.Rel
+module Doc = Xdm.Doc
+
+let now () = Unix.gettimeofday ()
+
+let time_ms f =
+  let t0 = now () in
+  let r = f () in
+  ((now () -. t0) *. 1000.0, r)
+
+(* Median-of-repeats timing for sub-millisecond operations. *)
+let bench_ms ?(repeats = 5) f =
+  let samples =
+    List.init repeats (fun _ ->
+        let t0 = now () in
+        ignore (Sys.opaque_identity (f ()));
+        (now () -. t0) *. 1000.0)
+  in
+  List.nth (List.sort compare samples) (repeats / 2)
+
+let header title = Printf.printf "\n== %s ==\n%!" title
+
+let fmt_bytes n =
+  if n > 1_000_000 then Printf.sprintf "%.1fMB" (float_of_int n /. 1e6)
+  else Printf.sprintf "%.0fKB" (float_of_int n /. 1e3)
+
+let intersects a b = List.exists (fun x -> List.mem x b) a
+
+let shuffle rng l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  Array.to_list arr
+
+(* Shared corpora (memoized: several experiments reuse them). *)
+let xmark_doc = lazy (Xworkload.Gen_xmark.generate_doc Xworkload.Gen_xmark.default)
+let xmark_summary = lazy (S.of_doc (Lazy.force xmark_doc))
+let dblp_summary = lazy (Xworkload.Gen_dblp.summary ~entries:4000 ())
+
+(* ------------------------------------------------------------------ E1 *)
+
+(* Fig 4.13: documents, sizes, node counts, summary sizes, strong and
+   one-to-one edge counts. *)
+let e1 () =
+  header "E1 (Fig 4.13): documents and their summaries";
+  Printf.printf "%-14s %9s %9s %6s %6s %6s\n" "doc" "size" "N" "|S|" "n_s" "n_1";
+  let row name doc =
+    let size = String.length (Xdm.Xml_tree.serialize (Doc.to_tree doc 0)) in
+    let s = S.of_doc doc in
+    Printf.printf "%-14s %9s %9d %6d %6d %6d\n" name (fmt_bytes size) (Doc.size doc)
+      (S.size s) (S.strong_edge_count s) (S.one_edge_count s)
+  in
+  row "shakespeare" (Xworkload.Gen_shakespeare.generate_doc ~plays:8 ());
+  row "nasa" (Xworkload.Gen_sci.nasa_doc ~datasets:400 ());
+  row "swissprot" (Xworkload.Gen_sci.swissprot_doc ~entries:1200 ());
+  row "xmark-s" (Xworkload.Gen_xmark.generate_doc (Xworkload.Gen_xmark.of_factor 0.2));
+  row "xmark-m" (Lazy.force xmark_doc);
+  row "xmark-l" (Xworkload.Gen_xmark.generate_doc (Xworkload.Gen_xmark.of_factor 2.0));
+  row "dblp-02" (Xworkload.Gen_dblp.generate_doc ~entries:4000 ());
+  row "dblp-05" (Xworkload.Gen_dblp.generate_doc ~entries:8000 ());
+  print_endline
+    "(shape check: |S| is small and grows sublinearly; strong/1-1 edges frequent)"
+
+(* ------------------------------------------------------------------ E2 *)
+
+(* Fig 4.14 (top): the 20 XMark queries — canonical model size and
+   self-containment time over the XMark summary. *)
+let e2 () =
+  header "E2 (Fig 4.14 top): XMark query patterns";
+  let s = Lazy.force xmark_summary in
+  Printf.printf "%-5s %7s %12s %12s\n" "query" "|mod|" "model ms" "contain ms";
+  List.iter
+    (fun (name, q) ->
+      let tm = bench_ms (fun () -> Xam.Canonical.model_size s q) in
+      let m = Xam.Canonical.model_size s q in
+      let tc = bench_ms (fun () -> Xam.Contain.contained s q q) in
+      assert (Xam.Contain.contained s q q);
+      Printf.printf "%-5s %7d %12.2f %12.2f\n" name m tm tc)
+    (Xworkload.Queries.xmark ())
+
+(* ------------------------------------------------------------------ E3-5 *)
+
+(* One §4.6-style pairwise containment sweep: [count] patterns per
+   configuration, all ordered pairs tested, positive/negative times
+   separated. *)
+let containment_sweep s ~labels ~sizes ~optional_p ~count ~seed =
+  List.map
+    (fun (n, r) ->
+      let params =
+        { Xworkload.Pattern_gen.default with
+          size = n;
+          return_labels =
+            (match r with
+            | 1 -> [ List.nth labels 0 ]
+            | 2 -> [ List.nth labels 0; List.nth labels 1 ]
+            | _ -> labels);
+          optional_p }
+      in
+      let pats =
+        Array.of_list (Xworkload.Pattern_gen.generate_many ~seed s params ~count)
+      in
+      let pos_t = ref 0.0 and pos_n = ref 0 in
+      let neg_t = ref 0.0 and neg_n = ref 0 in
+      Array.iteri
+        (fun i p ->
+          Array.iteri
+            (fun j q ->
+              if j >= i then (
+                let t, res = time_ms (fun () -> Xam.Contain.contained s p q) in
+                if res then (
+                  pos_t := !pos_t +. t;
+                  incr pos_n)
+                else (
+                  neg_t := !neg_t +. t;
+                  incr neg_n)))
+            pats)
+        pats;
+      let avg t n = if n = 0 then 0.0 else t /. float_of_int n in
+      let row = (n, r, avg !pos_t !pos_n, !pos_n, avg !neg_t !neg_n, !neg_n) in
+      flush stdout;
+      row)
+    (List.concat_map (fun n -> List.map (fun r -> (n, r)) [ 1; 2; 3 ]) sizes)
+
+let sweep_averages rows =
+  let tot f =
+    List.fold_left (fun a row -> a +. f row) 0.0 rows
+  in
+  let tp = tot (fun (_, _, t, n, _, _) -> t *. float_of_int n) in
+  let np = List.fold_left (fun a (_, _, _, n, _, _) -> a + n) 0 rows in
+  let tn = tot (fun (_, _, _, _, t, n) -> t *. float_of_int n) in
+  let nn = List.fold_left (fun a (_, _, _, _, _, n) -> a + n) 0 rows in
+  let avg t n = if n = 0 then 0.0 else t /. float_of_int n in
+  (avg tp np, np, avg tn nn, nn)
+
+let print_sweep rows =
+  Printf.printf "%-4s %-3s %10s %6s %10s %6s\n" "n" "r" "pos ms" "#pos" "neg ms" "#neg";
+  List.iter
+    (fun (n, r, pt, pn, nt, nn) ->
+      Printf.printf "%-4d %-3d %10.3f %6d %10.3f %6d\n" n r pt pn nt nn)
+    rows;
+  let ap, np, an, nn = sweep_averages rows in
+  Printf.printf "overall: positive %.3f ms (%d), negative %.3f ms (%d)\n" ap np an nn
+
+let e3 () =
+  header "E3 (Fig 4.14 bottom): synthetic pattern containment, XMark summary";
+  let s = Lazy.force xmark_summary in
+  let rows =
+    containment_sweep s ~labels:[ "item"; "name"; "keyword" ]
+      ~sizes:[ 3; 5; 7; 9; 11; 13 ] ~optional_p:0.5 ~count:20 ~seed:101
+  in
+  print_sweep rows;
+  print_endline "(shape check: negative cases faster; time grows with n, stays in ms)"
+
+let e4 () =
+  header "E4 (Fig 4.15): synthetic pattern containment, DBLP summary";
+  let s = Lazy.force dblp_summary in
+  let rows =
+    containment_sweep s ~labels:[ "author"; "title"; "year" ]
+      ~sizes:[ 3; 5; 7; 9; 11; 13 ] ~optional_p:0.5 ~count:20 ~seed:202
+  in
+  print_sweep rows;
+  let dblp_pos, _, _, _ = sweep_averages rows in
+  let sx = Lazy.force xmark_summary in
+  let xrows =
+    containment_sweep sx ~labels:[ "item"; "name"; "keyword" ] ~sizes:[ 7; 9 ]
+      ~optional_p:0.5 ~count:20 ~seed:101
+  in
+  let xmark_pos, _, _, _ = sweep_averages xrows in
+  Printf.printf "XMark/DBLP positive-time ratio: %.1fx (paper: ~4x)\n"
+    (if dblp_pos > 0.0 then xmark_pos /. dblp_pos else 0.0)
+
+let e5 () =
+  header "E5 (§4.6): optional-edge ablation (0% / 50% / 100% optional)";
+  let s = Lazy.force xmark_summary in
+  let result =
+    List.map
+      (fun optional_p ->
+        let rows =
+          containment_sweep s ~labels:[ "item"; "name" ] ~sizes:[ 7; 9 ] ~optional_p
+            ~count:20 ~seed:303
+        in
+        let ap, _, _, _ = sweep_averages rows in
+        (optional_p, ap))
+      [ 0.0; 0.5; 1.0 ]
+  in
+  Printf.printf "%-10s %12s\n" "optional_p" "pos ms";
+  List.iter (fun (p, t) -> Printf.printf "%-10.1f %12.3f\n" p t) result;
+  match result with
+  | (_, t0) :: (_, t50) :: (_, t100) :: _ when t0 > 0.0 ->
+      Printf.printf "50%%-optional / conjunctive slowdown: %.1fx (paper: ~2x)\n" (t50 /. t0);
+      Printf.printf "100%%-optional / conjunctive slowdown: %.1fx (beyond the paper's sweep)\n"
+        (t100 /. t0)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ E6 *)
+
+(* §5.6: rewriting time and number of rewritings versus the number of
+   available views, on XMark-style query patterns over the
+   path-partitioned storage XAMs. *)
+let e6 () =
+  header "E6 (§5.6): rewriting vs number of views";
+  let s = Lazy.force xmark_summary in
+  let all_views =
+    List.map
+      (fun (n, p) -> { Xam.Rewrite.vname = n; vpattern = p })
+      (Xstorage.Models.path_partitioned s)
+  in
+  Printf.printf "view pool: %d path-partitioned XAMs\n" (List.length all_views);
+  let sid = Xdm.Nid.Structural in
+  let queries =
+    [ ( "people/person/name",
+        P.make
+          [ P.v "people"
+              [ P.v ~axis:P.Child "person" ~node:(P.mk_node ~id:sid "person")
+                  [ P.v ~axis:P.Child "name"
+                      ~node:(P.mk_node ~id:sid ~value:true "name")
+                      [] ] ] ] );
+      ( "open_auction/reserve",
+        P.make
+          [ P.v "open_auction" ~node:(P.mk_node ~id:sid "open_auction")
+              [ P.v ~axis:P.Child "reserve"
+                  ~node:(P.mk_node ~id:sid ~value:true "reserve")
+                  [] ] ] );
+      ( "closed_auction/price",
+        P.make
+          [ P.v "closed_auction" ~node:(P.mk_node ~id:sid "closed_auction")
+              [ P.v ~axis:P.Child "price" ~node:(P.mk_node ~value:true "price") [] ] ] ) ]
+  in
+  let rng = Random.State.make [| 7 |] in
+  Printf.printf "%-24s %6s %12s %8s\n" "query" "views" "rewrite ms" "#plans";
+  List.iter
+    (fun (name, q) ->
+      let q_anns =
+        List.map
+          (fun (n : P.node) -> Xam.Canonical.path_annotation s q n.P.nid)
+          (P.return_nodes q)
+      in
+      let relevant, rest =
+        List.partition
+          (fun (v : Xam.Rewrite.view) ->
+            List.exists
+              (fun (n : P.node) ->
+                let va = Xam.Canonical.path_annotation s v.vpattern n.P.nid in
+                List.exists (fun qa -> intersects va qa) q_anns)
+              (P.return_nodes v.vpattern))
+          all_views
+      in
+      List.iter
+        (fun pool_size ->
+          let padding =
+            List.filteri
+              (fun i _ -> i < max 0 (pool_size - List.length relevant))
+              (shuffle rng rest)
+          in
+          let views = relevant @ padding in
+          let t, rws = time_ms (fun () -> Xam.Rewrite.rewrite s ~query:q ~views) in
+          Printf.printf "%-24s %6d %12.1f %8d\n%!" name (List.length views) t
+            (List.length rws))
+        [ 4; 8; 16; 32; 64 ])
+    queries
+
+(* ------------------------------------------------------------------ E7 *)
+
+(* The Ch. 2 narrative: one query, five storage models, the optimizer
+   (rewrite + cost) picks a different plan in each, and an index changes
+   the picture again (QEP₁…QEP₁₃). *)
+let e7 () =
+  header "E7 (Ch. 2): physical data independence across storage models";
+  let doc = Xworkload.Gen_bib.generate_doc ~seed:4 ~books:300 ~theses:150 () in
+  let s = S.of_doc doc in
+  let query =
+    P.make
+      [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Simple "book")
+          [ P.v ~axis:P.Child "title" ~node:(P.mk_node ~value:true "title") [] ] ]
+  in
+  Printf.printf "query: //book{ID}/title{V} over %d nodes\n\n" (Doc.size doc);
+  Printf.printf "%-12s %8s %12s %12s %8s  %s\n" "storage" "modules" "rewrite ms"
+    "exec ms" "tuples" "plan leaves";
+  let run_catalog name specs =
+    let catalog = Xstorage.Store.catalog_of doc specs in
+    let views = Xstorage.Store.views catalog in
+    let trw, rws = time_ms (fun () -> Xam.Rewrite.rewrite s ~query ~views) in
+    match Xstorage.Cost.choose (Xstorage.Store.env catalog) rws with
+    | None ->
+        Printf.printf "%-12s %8d %12.1f %12s %8s  (no rewriting)\n" name
+          (List.length catalog.Xstorage.Store.modules)
+          trw "-" "-"
+    | Some r ->
+        let env = Xstorage.Store.env catalog in
+        let texec, out = time_ms (fun () -> Xalgebra.Eval.run env r.Xam.Rewrite.plan) in
+        let scans = String.concat " , " (Xalgebra.Logical.scans r.Xam.Rewrite.plan) in
+        Printf.printf "%-12s %8d %12.1f %12.2f %8d  %s\n" name
+          (List.length catalog.Xstorage.Store.modules)
+          trw texec (Rel.cardinality out)
+          (if String.length scans > 48 then String.sub scans 0 45 ^ "..." else scans)
+  in
+  run_catalog "edge" (Xstorage.Models.edge doc);
+  run_catalog "tag" (Xstorage.Models.tag_partitioned doc);
+  run_catalog "path" (Xstorage.Models.path_partitioned s);
+  run_catalog "inlined" (Xstorage.Models.inlined s);
+  run_catalog "blob" (Xstorage.Models.blob ~root:"library");
+  print_newline ();
+  (* Index lookups: booksByYearTitle (QEP₁₁) and the full-text index
+     (QEP₁₃) versus scanning. *)
+  let idx =
+    Xstorage.Indexes.value_index ~name:"booksByYearTitle" doc ~target:"book"
+      ~keys:[ ("@year", P.Child); ("title", P.Child) ]
+  in
+  let some_year, some_title =
+    let year_attr = List.hd (Doc.nodes_with_label doc "@year") in
+    let b = Doc.parent doc year_attr in
+    let title = List.hd (Doc.descendants_with_label doc b "title") in
+    ( Xalgebra.Value.of_string_literal (Doc.value doc year_attr),
+      Xalgebra.Value.of_string_literal (Doc.value doc title) )
+  in
+  let t_idx =
+    bench_ms (fun () ->
+        Xstorage.Store.lookup idx ~bindings:[ [| Rel.A some_year; Rel.A some_title |] ])
+  in
+  let t_scan =
+    bench_ms ~repeats:3 (fun () ->
+        Rel.cardinality (Xam.Embed.eval doc (P.strip_formulas query)))
+  in
+  Printf.printf "index lookup (booksByYearTitle): %.3f ms vs scan-based plan %.2f ms\n"
+    t_idx t_scan;
+  let fti = Xstorage.Indexes.fulltext ~name:"fti" doc ~scope:"title" in
+  let t_fti = bench_ms (fun () -> Xstorage.Indexes.fulltext_lookup fti "web") in
+  Printf.printf "full-text index lookup ('web'):  %.3f ms, %d hits\n" t_fti
+    (Rel.cardinality (Xstorage.Indexes.fulltext_lookup fti "web"))
+
+(* ------------------------------------------------------------------ E8 *)
+
+(* §4.5: minimization by S-contraction and summary-aware chains. *)
+let e8 () =
+  header "E8 (§4.5): pattern minimization under summary constraints";
+  let s = Lazy.force xmark_summary in
+  let params =
+    { Xworkload.Pattern_gen.default with
+      size = 8; return_labels = [ "keyword" ]; optional_p = 0.0; value_pred_p = 0.0 }
+  in
+  let pats = Xworkload.Pattern_gen.generate_many ~seed:55 s params ~count:30 in
+  let contractible = ref 0 and saved_nodes = ref 0 and total_t = ref 0.0 in
+  let chain_wins = ref 0 in
+  List.iter
+    (fun p ->
+      let t, m = time_ms (fun () -> Xam.Minimize.minimize s p) in
+      total_t := !total_t +. t;
+      if P.node_count m < P.node_count p then (
+        incr contractible;
+        saved_nodes := !saved_nodes + (P.node_count p - P.node_count m));
+      match Xam.Minimize.chain_minimize s p with
+      | Some c when P.node_count c < P.node_count m -> incr chain_wins
+      | _ -> ())
+    pats;
+  Printf.printf "patterns: %d (n=8, return keyword)\n" (List.length pats);
+  Printf.printf "contractible: %d, nodes saved: %d, avg minimize time %.2f ms\n"
+    !contractible !saved_nodes
+    (!total_t /. float_of_int (max 1 (List.length pats)));
+  Printf.printf "summary-aware chain strictly smaller than S-contraction: %d cases\n"
+    !chain_wins
+
+(* ------------------------------------------------------------------ E9 *)
+
+(* Ablation: the summary-aware containment test versus the classic
+   constraint-free homomorphism check (§6.4's baseline) — how many
+   containments do the summary constraints enable, and at what cost? *)
+let e9 () =
+  header "E9 (ablation): summary-aware containment vs homomorphism baseline";
+  let s = Lazy.force xmark_summary in
+  let params =
+    { Xworkload.Pattern_gen.default with size = 7; return_labels = [ "name" ];
+      optional_p = 0.0 }
+  in
+  let pats =
+    Array.of_list (Xworkload.Pattern_gen.generate_many ~seed:404 s params ~count:25)
+  in
+  let hom_pos = ref 0 and sum_pos = ref 0 and con_pos = ref 0 in
+  let hom_t = ref 0.0 and sum_t = ref 0.0 in
+  let pairs = ref 0 in
+  Array.iter
+    (fun p ->
+      Array.iter
+        (fun q ->
+          incr pairs;
+          let t1, h = time_ms (fun () -> Xam.Contain.contained_by_homomorphism p q) in
+          let t2, c = time_ms (fun () -> Xam.Contain.contained s p q) in
+          let cc = Xam.Contain.contained ~constraints:true s p q in
+          hom_t := !hom_t +. t1;
+          sum_t := !sum_t +. t2;
+          if h then incr hom_pos;
+          if c then incr sum_pos;
+          if cc then incr con_pos;
+          (* Soundness of the baseline relative to the complete test. *)
+          assert ((not h) || c))
+        pats)
+    pats;
+  Printf.printf "pairs tested: %d
+" !pairs;
+  Printf.printf "positives: homomorphism %d, summary-aware %d, +constraints %d
+"
+    !hom_pos !sum_pos !con_pos;
+  Printf.printf "avg time: homomorphism %.4f ms, summary-aware %.4f ms
+"
+    (!hom_t /. float_of_int !pairs)
+    (!sum_t /. float_of_int !pairs);
+  print_endline
+    "(the summary test finds every homomorphism positive and more; the\n\
+     \ constraint chase adds the integrity-constraint containments)"
+
+(* ------------------------------------------------------------------ micro *)
+
+let micro () =
+  header "micro (Bechamel): core operation latencies";
+  let open Bechamel in
+  let module Sum = Xsummary.Summary in
+  let s = Lazy.force xmark_summary in
+  let doc = Xworkload.Gen_bib.generate_doc ~seed:9 ~books:500 ~theses:200 () in
+  let q14 = Xworkload.Queries.find "Q14" in
+  let q7 = Xworkload.Queries.find "Q7" in
+  let book_ids =
+    Xam.Embed.eval doc (P.make [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Structural "book") [] ])
+  in
+  let title_ids =
+    Xam.Embed.eval doc (P.make [ P.v "title" ~node:(P.mk_node ~id:Xdm.Nid.Structural "title") [] ])
+  in
+  let join_plan =
+    Xalgebra.Logical.Struct_join
+      { kind = Xalgebra.Logical.Inner; axis = Xalgebra.Logical.Child;
+        lpath = [ "ID0" ]; rpath = [ "ID0'" ]; nest_as = "";
+        left = Xalgebra.Logical.Table book_ids;
+        right =
+          Xalgebra.Logical.Rename ([ ("ID0", "ID0'") ], Xalgebra.Logical.Table title_ids) }
+  in
+  let edge_views =
+    List.map (fun (n, p) -> { Xam.Rewrite.vname = n; vpattern = p })
+      (Xstorage.Models.edge doc)
+  in
+  let bib_s = Sum.of_doc doc in
+  let bib_query =
+    P.make
+      [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Simple "book")
+          [ P.v ~axis:P.Child "title" ~node:(P.mk_node ~value:true "title") [] ] ]
+  in
+  let tests =
+    Test.make_grouped ~name:"xam"
+      [ Test.make ~name:"summary-build" (Staged.stage (fun () -> Sum.of_doc doc));
+        Test.make ~name:"struct-join-700x700"
+          (Staged.stage (fun () -> Xalgebra.Eval.run_closed join_plan));
+        Test.make ~name:"canonical-model-Q7"
+          (Staged.stage (fun () -> Xam.Canonical.model_size s q7));
+        Test.make ~name:"containment-Q14"
+          (Staged.stage (fun () -> Xam.Contain.contained s q14 q14));
+        Test.make ~name:"rewrite-edge-store"
+          (Staged.stage (fun () ->
+               Xam.Rewrite.rewrite bib_s ~query:bib_query ~views:edge_views)) ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "%-34s %14s\n" "benchmark" "ns/run";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> Printf.printf "%-34s %14.0f\n" name est
+      | _ -> Printf.printf "%-34s %14s\n" name "-")
+    results
+
+(* ------------------------------------------------------------------ main *)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let run = function
+    | "e1" -> e1 ()
+    | "e2" -> e2 ()
+    | "e3" -> e3 ()
+    | "e4" -> e4 ()
+    | "e5" -> e5 ()
+    | "e6" -> e6 ()
+    | "e7" -> e7 ()
+    | "e8" -> e8 ()
+    | "e9" -> e9 ()
+    | "micro" -> micro ()
+    | other ->
+        Printf.eprintf "unknown experiment %S (e1..e8, micro, all)\n" other;
+        exit 1
+  in
+  match which with
+  | "all" -> List.iter run [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9" ]
+  | w -> run w

@@ -1,0 +1,293 @@
+(* uload — a command-line front end to the XAM framework, named after the
+   thesis's ULoad prototype [13].
+
+     uload info      doc.xml                 document and summary statistics
+     uload summary   doc.xml                 print the enhanced path summary
+     uload query     doc.xml "for $x in …"   evaluate an XQuery (Q subset)
+     uload patterns  doc.xml "for $x in …"   show the extracted XAM patterns
+     uload plan      doc.xml --storage tag "//book/title"
+                                             rewrite an XPath-ish query over a
+                                             storage model and execute the plan
+     uload gen       xmark|dblp|bib|shakespeare [-o out.xml] [--scale f] *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_doc path = Xdm.Doc.of_string ~name:(Filename.basename path) (read_file path)
+
+let doc_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document")
+
+(* --- info ------------------------------------------------------------- *)
+
+let info_cmd =
+  let run path =
+    let doc = load_doc path in
+    let s = Xsummary.Summary.of_doc doc in
+    Printf.printf "document   %s\n" path;
+    Printf.printf "nodes      %d (%d elements)\n" (Xdm.Doc.size doc)
+      (Xdm.Doc.element_size doc);
+    Printf.printf "labels     %d distinct\n" (List.length (Xdm.Doc.labels doc));
+    Printf.printf "summary    %d paths, %d strong edges, %d one-to-one edges\n"
+      (Xsummary.Summary.size s)
+      (Xsummary.Summary.strong_edge_count s)
+      (Xsummary.Summary.one_edge_count s)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Document and summary statistics")
+    Term.(const run $ doc_arg)
+
+(* --- summary ----------------------------------------------------------- *)
+
+let summary_cmd =
+  let run path =
+    let doc = load_doc path in
+    Format.printf "%a" Xsummary.Summary.pp (Xsummary.Summary.of_doc doc)
+  in
+  Cmd.v (Cmd.info "summary" ~doc:"Print the enhanced path summary")
+    Term.(const run $ doc_arg)
+
+(* --- query / patterns ---------------------------------------------------- *)
+
+let query_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"XQuery text")
+
+let query_cmd =
+  let run path src =
+    let doc = load_doc path in
+    match Xquery.Parse.query_result src with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok q -> print_endline (Xquery.Translate.eval doc q)
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Evaluate an XQuery (the Q subset of §3.2)")
+    Term.(const run $ doc_arg $ query_arg)
+
+let patterns_cmd =
+  let run path src =
+    let doc = load_doc path in
+    match Xquery.Parse.query_result src with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok q ->
+        let e = Xquery.Extract.extract q in
+        Printf.printf "%d pattern(s) extracted:\n" (List.length e.Xquery.Extract.patterns);
+        List.iter (fun p -> Format.printf "%a@." Xam.Pattern.pp p) e.Xquery.Extract.patterns;
+        if e.Xquery.Extract.value_joins <> [] then
+          Printf.printf "%d cross-pattern value join(s)\n"
+            (List.length e.Xquery.Extract.value_joins);
+        List.iter
+          (fun (i, pred) ->
+            Format.printf "adaptation on pattern %d: %a@." i Xalgebra.Pred.pp pred)
+          e.Xquery.Extract.adaptations;
+        ignore doc
+  in
+  Cmd.v (Cmd.info "patterns" ~doc:"Show the XAM patterns extracted from an XQuery")
+    Term.(const run $ doc_arg $ query_arg)
+
+(* --- plan ---------------------------------------------------------------- *)
+
+let storage_arg =
+  let model =
+    Arg.enum [ ("edge", `Edge); ("tag", `Tag); ("path", `Path); ("inlined", `Inlined) ]
+  in
+  Arg.(value & opt model `Tag
+       & info [ "storage" ] ~docv:"MODEL" ~doc:"Storage model: edge, tag, path or inlined")
+
+(* A single-pattern query given as an XPath-ish path. The extraction is
+   specialized for access-path planning: the conjunctive core is kept
+   (mandatory edges) and content requests become value requests, which the
+   fragmented storage models can serve. *)
+let pattern_of_path src =
+  let p = Xquery.Parse.path ("doc(\"d\")" ^ src) in
+  let e = Xquery.Extract.extract (Xquery.Ast.Path p) in
+  match e.Xquery.Extract.patterns with
+  | [ pat ] ->
+      let pat = Xam.Pattern.strip_optional (Xam.Pattern.strip_nesting pat) in
+      Xam.Pattern.map_nodes
+        (fun n ->
+          let n =
+            if n.Xam.Pattern.cont_stored then
+              { n with Xam.Pattern.cont_stored = false; val_stored = true }
+            else n
+          in
+          (* Any identifier scheme answers the planning question. *)
+          if n.Xam.Pattern.id_scheme <> None then
+            { n with Xam.Pattern.id_scheme = Some Xdm.Nid.Simple }
+          else n)
+        pat
+  | _ -> failwith "expected a single-pattern path query"
+
+let plan_cmd =
+  let run path storage src =
+    let doc = load_doc path in
+    let summary = Xsummary.Summary.of_doc doc in
+    let query = pattern_of_path src in
+    Format.printf "query pattern:@.%a@.@." Xam.Pattern.pp query;
+    let specs =
+      match storage with
+      | `Edge -> Xstorage.Models.edge doc
+      | `Tag -> Xstorage.Models.tag_partitioned doc
+      | `Path -> Xstorage.Models.path_partitioned summary
+      | `Inlined -> Xstorage.Models.inlined summary
+    in
+    let catalog = Xstorage.Store.catalog_of doc specs in
+    let rewritings =
+      Xam.Rewrite.rewrite summary ~query ~views:(Xstorage.Store.views catalog)
+    in
+    Printf.printf "%d rewriting(s) over %d storage modules\n" (List.length rewritings)
+      (List.length catalog.Xstorage.Store.modules);
+    match Xstorage.Cost.choose (Xstorage.Store.env catalog) rewritings with
+    | None ->
+        prerr_endline "no plan found";
+        exit 1
+    | Some r ->
+        Format.printf "plan:@.%a@.@." Xalgebra.Logical.pp r.Xam.Rewrite.plan;
+        let out = Xalgebra.Eval.run (Xstorage.Store.env catalog) r.Xam.Rewrite.plan in
+        Format.printf "%a@." Xalgebra.Rel.pp out
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Rewrite a path query over a storage model's XAM catalog and run the plan")
+    Term.(const run $ doc_arg $ storage_arg $ query_arg)
+
+(* --- contain / rewrite (textual XAMs) -------------------------------------- *)
+
+let xam_arg p docv =
+  Arg.(required & pos p (some file) None & info [] ~docv ~doc:"XAM pattern file")
+
+let contain_cmd =
+  let constraints_arg =
+    Arg.(value & flag & info [ "constraints" ] ~doc:"Chase strong (+/1) summary edges")
+  in
+  let run path pfile qfile constraints =
+    let doc = load_doc path in
+    let s = Xsummary.Summary.of_doc doc in
+    let p = Xam.Syntax.parse_file pfile and q = Xam.Syntax.parse_file qfile in
+    let pq = Xam.Contain.contained ~constraints s p q in
+    let qp = Xam.Contain.contained ~constraints s q p in
+    Printf.printf "p ⊆_S q : %b
+q ⊆_S p : %b
+equivalent: %b
+" pq qp (pq && qp)
+  in
+  Cmd.v
+    (Cmd.info "contain" ~doc:"Decide containment of two XAM files under a document's summary")
+    Term.(const run $ doc_arg $ xam_arg 1 "P" $ xam_arg 2 "Q" $ constraints_arg)
+
+let rewrite_cmd =
+  let views_arg =
+    Arg.(value & pos_right 1 file [] & info [] ~docv:"VIEW.xam" ~doc:"View XAM files")
+  in
+  let run path qfile vfiles =
+    let doc = load_doc path in
+    let s = Xsummary.Summary.of_doc doc in
+    let query = Xam.Syntax.parse_file qfile in
+    let views =
+      List.map
+        (fun f -> { Xam.Rewrite.vname = Filename.remove_extension (Filename.basename f);
+                    vpattern = Xam.Syntax.parse_file f })
+        vfiles
+    in
+    let rws = Xam.Rewrite.rewrite s ~query ~views in
+    Printf.printf "%d rewriting(s)
+" (List.length rws);
+    match Xam.Rewrite.best rws with
+    | None -> exit 1
+    | Some r ->
+        Format.printf "plan:@.%a@.@." Xalgebra.Logical.pp r.Xam.Rewrite.plan;
+        let env =
+          Xalgebra.Eval.env_of_list
+            (List.map
+               (fun (v : Xam.Rewrite.view) ->
+                 (v.Xam.Rewrite.vname, Xam.Embed.eval doc v.Xam.Rewrite.vpattern))
+               views)
+        in
+        Format.printf "%a@." Xalgebra.Rel.pp (Xalgebra.Eval.run env r.Xam.Rewrite.plan)
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:"Rewrite a query XAM using view XAMs, print and execute the best plan")
+    Term.(const run $ doc_arg $ xam_arg 1 "QUERY.xam" $ views_arg)
+
+let minimize_cmd =
+  let run path pfile =
+    let doc = load_doc path in
+    let s = Xsummary.Summary.of_doc doc in
+    let p = Xam.Syntax.parse_file pfile in
+    Printf.printf "input (%d nodes):\n%s" (Xam.Pattern.node_count p) (Xam.Syntax.print p);
+    let m = Xam.Minimize.minimize s p in
+    Printf.printf "minimal under S-contraction (%d nodes):\n%s"
+      (Xam.Pattern.node_count m) (Xam.Syntax.print m);
+    match Xam.Minimize.chain_minimize s p with
+    | Some c when Xam.Pattern.node_count c < Xam.Pattern.node_count m ->
+        Printf.printf "smaller summary-aware equivalent (%d nodes):\n%s"
+          (Xam.Pattern.node_count c) (Xam.Syntax.print c)
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "minimize" ~doc:"Minimize a XAM under a document's summary constraints")
+    Term.(const run $ doc_arg $ xam_arg 1 "P")
+
+(* --- gen ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let kind_arg =
+    let kind =
+      Arg.enum
+        [ ("xmark", `Xmark); ("dblp", `Dblp); ("bib", `Bib); ("shakespeare", `Shak) ]
+    in
+    Arg.(required & pos 0 (some kind) None & info [] ~docv:"KIND")
+  in
+  let scale_arg =
+    Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"F" ~doc:"Size factor")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let run kind scale out seed =
+    let tree =
+      match kind with
+      | `Xmark -> Xworkload.Gen_xmark.generate ~seed (Xworkload.Gen_xmark.of_factor scale)
+      | `Dblp ->
+          Xworkload.Gen_dblp.generate ~seed
+            ~entries:(max 1 (int_of_float (scale *. 10000.))) ()
+      | `Bib ->
+          Xworkload.Gen_bib.generate ~seed
+            ~books:(max 1 (int_of_float (scale *. 1000.)))
+            ~theses:(max 1 (int_of_float (scale *. 300.)))
+            ()
+      | `Shak ->
+          Xworkload.Gen_shakespeare.generate ~seed
+            ~plays:(max 1 (int_of_float (scale *. 30.)))
+            ()
+    in
+    let xml = Xdm.Xml_tree.serialize ~decl:true tree in
+    match out with
+    | None -> print_string xml
+    | Some f ->
+        let oc = open_out f in
+        output_string oc xml;
+        close_out oc;
+        Printf.printf "wrote %s (%d bytes)\n" f (String.length xml)
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic document")
+    Term.(const run $ kind_arg $ scale_arg $ out_arg $ seed_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "uload" ~version:"1.0.0"
+             ~doc:"XML Access Modules: physical data independence for XML")
+          [ info_cmd; summary_cmd; query_cmd; patterns_cmd; plan_cmd;
+            contain_cmd; rewrite_cmd; minimize_cmd; gen_cmd ]))

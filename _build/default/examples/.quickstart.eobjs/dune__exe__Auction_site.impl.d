@@ -1,0 +1,1 @@
+examples/auction_site.ml: Format List Printf String Xalgebra Xam Xdm Xquery Xsummary Xworkload

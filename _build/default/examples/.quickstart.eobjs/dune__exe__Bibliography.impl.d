@@ -1,0 +1,1 @@
+examples/bibliography.ml: Format List Printf String Xalgebra Xam Xdm Xquery Xsummary Xworkload

@@ -1,0 +1,1 @@
+examples/physical_independence.ml: List Printf String Xalgebra Xam Xdm Xstorage Xsummary Xworkload

@@ -1,0 +1,62 @@
+(* Quickstart: load a document, build its summary, describe a materialized
+   view as a XAM, and rewrite a query over it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module P = Xam.Pattern
+module Summary = Xsummary.Summary
+
+let document =
+  {|<library>
+      <book year="1999"><title>Data on the Web</title><author>Abiteboul</author><author>Suciu</author></book>
+      <book><title>The Syntactic Web</title><author>Tom Lerners-Bee</author></book>
+      <phdthesis year="2004"><title>The Web: next generation</title><author>Jim Smith</author></phdthesis>
+    </library>|}
+
+let () =
+  (* 1. Parse and flatten the document; every node gets (pre, post, depth)
+     structural identifiers. *)
+  let doc = Xdm.Doc.of_string ~name:"bib" document in
+  Printf.printf "document: %d nodes, %d elements\n" (Xdm.Doc.size doc)
+    (Xdm.Doc.element_size doc);
+
+  (* 2. Build the enhanced path summary (a strong DataGuide with 1/+ edge
+     annotations). *)
+  let summary = Summary.of_doc doc in
+  Printf.printf "summary: %d paths, %d strong edges\n\n" (Summary.size summary)
+    (Summary.strong_edge_count summary);
+  Format.printf "%a@." Summary.pp summary;
+
+  (* 3. Describe two materialized views in the XAM language:
+     V1 = //book{ID}    — all book identifiers;
+     V2 = //title{ID,V} — all title identifiers with their values. *)
+  let v1 = P.make [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Structural "book") [] ] in
+  let v2 =
+    P.make [ P.v "title" ~node:(P.mk_node ~id:Xdm.Nid.Structural ~value:true "title") [] ]
+  in
+  Format.printf "V1 =@.%a@.V2 =@.%a@.@." P.pp v1 P.pp v2;
+
+  (* 4. Materialize them (the embedding semantics of §4.1). *)
+  let m1 = Xam.Embed.eval doc v1 and m2 = Xam.Embed.eval doc v2 in
+  Printf.printf "V1 holds %d tuples, V2 holds %d tuples\n\n"
+    (Xalgebra.Rel.cardinality m1) (Xalgebra.Rel.cardinality m2);
+
+  (* 5. The query: book identifiers with their titles. Neither view alone
+     answers it — the rewriter finds the structural join. *)
+  let query =
+    P.make
+      [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Structural "book")
+          [ P.v ~axis:P.Child "title" ~node:(P.mk_node ~value:true "title") [] ] ]
+  in
+  let views = [ { Xam.Rewrite.vname = "V1"; vpattern = v1 };
+                { Xam.Rewrite.vname = "V2"; vpattern = v2 } ] in
+  let rewritings = Xam.Rewrite.rewrite summary ~query ~views in
+  Printf.printf "rewritings found: %d\n" (List.length rewritings);
+  match Xam.Rewrite.best rewritings with
+  | None -> print_endline "no rewriting — the views cannot answer the query"
+  | Some r ->
+      Format.printf "best plan:@.%a@.@." Xalgebra.Logical.pp r.Xam.Rewrite.plan;
+      (* 6. Execute the plan against the materialized views. *)
+      let env = Xalgebra.Eval.env_of_list [ ("V1", m1); ("V2", m2) ] in
+      let result = Xalgebra.Eval.run env r.Xam.Rewrite.plan in
+      Format.printf "result:@.%a@." Xalgebra.Rel.pp result

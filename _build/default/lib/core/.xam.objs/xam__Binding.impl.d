@@ -1,0 +1,1 @@
+lib/core/binding.ml: Array Embed List Pattern String Xalgebra

@@ -1,0 +1,1 @@
+lib/core/binding.mli: Pattern Xalgebra Xdm

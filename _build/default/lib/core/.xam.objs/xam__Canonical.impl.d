@@ -1,0 +1,1 @@
+lib/core/canonical.ml: Array Format Formula Fun Hashtbl Int List Option Pattern Printf Seq String Xsummary

@@ -1,0 +1,1 @@
+lib/core/canonical.mli: Format Formula Pattern Seq Xsummary

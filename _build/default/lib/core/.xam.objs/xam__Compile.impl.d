@@ -1,0 +1,1 @@
+lib/core/compile.ml: Formula Fun Hashtbl List Option Pattern Printf String Xalgebra Xdm

@@ -1,0 +1,1 @@
+lib/core/contain.ml: Array Canonical Formula Fun Hashtbl Lazy List Pattern Seq String Xsummary

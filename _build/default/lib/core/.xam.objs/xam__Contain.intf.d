@@ -1,0 +1,1 @@
+lib/core/contain.mli: Pattern Xsummary

@@ -1,0 +1,1 @@
+lib/core/embed.ml: Array Formula Fun List Pattern String Xalgebra Xdm

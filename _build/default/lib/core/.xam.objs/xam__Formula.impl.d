@@ -1,0 +1,1 @@
+lib/core/formula.ml: Format List Printf Scanf String Xalgebra

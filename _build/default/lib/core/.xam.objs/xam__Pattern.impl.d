@@ -1,0 +1,1 @@
+lib/core/pattern.ml: Format Formula List Option Printf String Xalgebra Xdm

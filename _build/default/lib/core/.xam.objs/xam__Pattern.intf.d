@@ -1,0 +1,1 @@
+lib/core/pattern.mli: Format Formula Xalgebra Xdm

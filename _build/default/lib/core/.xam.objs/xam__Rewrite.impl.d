@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Array Canonical Contain Formula Fun Hashtbl Int List Option Pattern Printf Seq String Xalgebra Xdm Xsummary

@@ -1,0 +1,1 @@
+lib/core/syntax.ml: Buffer Formula List Pattern Printf String Xalgebra Xdm

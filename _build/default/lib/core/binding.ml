@@ -1,0 +1,80 @@
+module Rel = Xalgebra.Rel
+module Value = Xalgebra.Value
+
+let rec binding_schema_of_schema (pat : Pattern.t) schema =
+  List.filter_map
+    (fun (c : Rel.column) ->
+      match c.ctype with
+      | Rel.Atom -> if required_col pat c.cname then Some c else None
+      | Rel.Nested sub -> (
+          match binding_schema_of_schema pat sub with
+          | [] -> None
+          | sub' -> Some (Rel.nested c.cname sub')))
+    schema
+
+and required_col pat cname =
+  List.exists
+    (fun (n : Pattern.node) ->
+      List.exists
+        (fun a -> String.equal (Pattern.attr_col n.nid a) cname)
+        (Pattern.required_attrs n))
+    (Pattern.nodes pat)
+
+let binding_schema pat = binding_schema_of_schema pat (Pattern.schema pat)
+
+let rec intersect tsch bsch t b =
+  (* Lines 2-7: atomic attributes present in the binding must agree. *)
+  let atomic_ok =
+    List.for_all
+      (fun (c : Rel.column) ->
+        match c.ctype with
+        | Rel.Nested _ -> true
+        | Rel.Atom ->
+            let bi = Rel.col_index bsch c.cname in
+            let ti = Rel.col_index tsch c.cname in
+            Value.equal (Rel.atom_field t ti) (Rel.atom_field b bi))
+      bsch
+  in
+  if not atomic_ok then None
+  else
+    (* Lines 8-11: common complex attributes intersect pairwise; an empty
+       intersection makes the whole tuple unreachable. *)
+    let exception Empty in
+    try
+      let result =
+        Array.of_list
+          (List.mapi
+             (fun ti (c : Rel.column) ->
+               match (c.ctype, Rel.find_col bsch c.cname) with
+               | _, None -> t.(ti) (* lines 12-13: attributes absent from b *)
+               | Rel.Atom, Some _ -> t.(ti)
+               | Rel.Nested tsub, Some (bi, { Rel.ctype = Rel.Nested bsub; _ }) ->
+                   let inner_t = Rel.nested_field t ti in
+                   let inner_b = Rel.nested_field b bi in
+                   let inner =
+                     List.concat_map
+                       (fun t' ->
+                         List.filter_map (fun b' -> intersect tsub bsub t' b') inner_b)
+                       inner_t
+                   in
+                   if inner = [] && inner_t <> [] then raise Empty
+                   else Rel.N (Rel.dedup_tuples inner)
+               | Rel.Nested _, Some (_, { Rel.ctype = Rel.Atom; _ }) ->
+                   invalid_arg "Binding.intersect: schema mismatch")
+             tsch)
+      in
+      Some result
+    with Empty -> None
+
+let eval_restricted doc pat ~bindings =
+  let unrestricted = Embed.eval doc pat in
+  let bsch = binding_schema pat in
+  let tuples =
+    List.concat_map
+      (fun b ->
+        List.filter_map
+          (fun t -> intersect unrestricted.Rel.schema bsch t b)
+          unrestricted.Rel.tuples)
+      bindings
+  in
+  Rel.make unrestricted.Rel.schema (Rel.dedup_tuples tuples)

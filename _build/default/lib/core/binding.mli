@@ -1,0 +1,27 @@
+(** Restricted (access-controlled) XAM semantics: Algorithm 1 and
+    Def 2.2.6.
+
+    A XAM with [R]-marked attributes models an index: its data is reachable
+    only given {e bindings} — tuples over the required attributes. The
+    semantics of such a XAM χ over a document, for a binding list [B], is
+    ⋃ \{t ∩ b | b ∈ B, t ∈ [[χ⁰]]\} where χ⁰ erases the [R] marks and [∩]
+    is nested tuple intersection. *)
+
+val binding_schema : Pattern.t -> Xalgebra.Rel.schema
+(** Projection of the pattern's schema onto its required attributes
+    (nested columns are kept when they contain required attributes below). *)
+
+val intersect :
+  Xalgebra.Rel.schema ->
+  Xalgebra.Rel.schema ->
+  Xalgebra.Rel.tuple ->
+  Xalgebra.Rel.tuple ->
+  Xalgebra.Rel.tuple option
+(** [intersect tsch bsch t b] — Algorithm 1. [bsch] must be a projection of
+    [tsch] (columns matched by name). [None] when no data of [t] is
+    accessible given [b]. *)
+
+val eval_restricted :
+  Xdm.Doc.t -> Pattern.t -> bindings:Xalgebra.Rel.tuple list -> Xalgebra.Rel.t
+(** Def 2.2.6, using {!Embed.eval} for the unrestricted semantics. The
+    bindings must be tuples over {!binding_schema}. *)

@@ -1,0 +1,461 @@
+module Summary = Xsummary.Summary
+
+type cnode = { cid : int; path : int; formula : Formula.t; kids : cnode list }
+type ctree = cnode
+
+type entry = { tree : ctree; ret : int array; emb : int array }
+
+(* --- Label matching on summary paths ------------------------------------ *)
+
+let label_matches_path s path label =
+  let plabel = Summary.label s path in
+  if String.equal label "*" then
+    (not (Pattern.label_is_attribute plabel)) && not (String.equal plabel "#text")
+  else if String.equal label "@*" then Pattern.label_is_attribute plabel
+  else String.equal label plabel
+
+(* --- Path annotations (Def 4.3.1) --------------------------------------- *)
+
+(* Bottom-up feasibility: paths at which the subtree rooted at a pattern
+   node can embed; then a top-down pass intersects with reachability from
+   the parent's annotation. Both passes together are exact for tree
+   patterns. *)
+let annotations s (pat : Pattern.t) : (int, int list) Hashtbl.t =
+  let size = Summary.size s in
+  (* Bottom-up feasibility as boolean masks over summary paths. A node is
+     feasible at path p when its label matches and, for every child, some
+     feasible child path lies below p on the right axis. The per-child
+     requirement is precomputed as a "satisfiable from p" mask: for the
+     descendant axis, a suffix-or over each subtree; for the child axis, an
+     or over direct children. *)
+  let feasible : (int, bool array) Hashtbl.t = Hashtbl.create 16 in
+  let rec feasibility (t : Pattern.tree) =
+    List.iter feasibility t.children;
+    let child_ok =
+      List.map
+        (fun (c : Pattern.tree) ->
+          let cf = Hashtbl.find feasible c.node.Pattern.nid in
+          let ok = Array.make size false in
+          (match c.edge.Pattern.axis with
+          | Pattern.Child ->
+              for p = 0 to size - 1 do
+                ok.(p) <- List.exists (fun q -> cf.(q)) (Summary.children s p)
+              done
+          | Pattern.Descendant ->
+              (* ok.(p) = ∃ feasible q strictly below p: propagate upward in
+                 reverse pre-order. *)
+              for p = size - 1 downto 0 do
+                let parent = Summary.parent s p in
+                if parent >= 0 && (cf.(p) || ok.(p)) then ok.(parent) <- true
+              done);
+          ok)
+        t.children
+    in
+    let mine = Array.make size false in
+    for p = 0 to size - 1 do
+      mine.(p) <-
+        label_matches_path s p t.node.Pattern.label
+        && List.for_all (fun ok -> ok.(p)) child_ok
+    done;
+    Hashtbl.replace feasible t.node.Pattern.nid mine
+  in
+  List.iter feasibility pat.roots;
+  (* Top-down pass: intersect with reachability from the parent. *)
+  let ann : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let rec down (t : Pattern.tree) (allowed : bool array) =
+    let f = Hashtbl.find feasible t.node.Pattern.nid in
+    let mine = Array.init size (fun p -> f.(p) && allowed.(p)) in
+    Hashtbl.replace ann t.node.Pattern.nid
+      (List.filter (fun p -> mine.(p)) (List.init size Fun.id));
+    List.iter
+      (fun (c : Pattern.tree) ->
+        let reach = Array.make size false in
+        (match c.edge.Pattern.axis with
+        | Pattern.Child ->
+            for p = 0 to size - 1 do
+              if mine.(p) then
+                List.iter (fun q -> reach.(q) <- true) (Summary.children s p)
+            done
+        | Pattern.Descendant ->
+            (* reach.(q) = some allowed ancestor of q: propagate downward. *)
+            for q = 1 to size - 1 do
+              let parent = Summary.parent s q in
+              if mine.(parent) || reach.(parent) then reach.(q) <- true
+            done);
+        down c reach)
+      t.children
+  in
+  List.iter
+    (fun (r : Pattern.tree) ->
+      let allowed = Array.make size false in
+      (match r.edge.Pattern.axis with
+      | Pattern.Child -> allowed.(0) <- true
+      | Pattern.Descendant -> Array.fill allowed 0 size true);
+      down r allowed)
+    pat.roots;
+  ann
+
+let path_annotation s pat nid =
+  let pat = Pattern.strip_nesting (Pattern.strip_optional pat) in
+  match Hashtbl.find_opt (annotations s pat) nid with
+  | Some l -> List.sort Int.compare l
+  | None -> []
+
+(* --- Embeddings ---------------------------------------------------------- *)
+
+let embeddings_seq s (pat : Pattern.t) : int array Seq.t =
+  let pat = Pattern.strip_nesting (Pattern.strip_optional pat) in
+  let ann = annotations s pat in
+  let n = Pattern.node_count pat in
+  (* Enumerate assignments tree by tree; each subtree yields (nid, path)
+     association lists. *)
+  let rec assignments (t : Pattern.tree) (from : int option) : (int * int) list Seq.t =
+    let candidates =
+      let allowed = Hashtbl.find ann t.node.Pattern.nid in
+      match from with
+      | None -> (
+          match t.edge.Pattern.axis with
+          | Pattern.Child -> List.filter (fun p -> p = 0) allowed
+          | Pattern.Descendant -> allowed)
+      | Some p ->
+          List.filter
+            (fun cp ->
+              match t.edge.Pattern.axis with
+              | Pattern.Child -> Summary.is_parent s p cp
+              | Pattern.Descendant -> Summary.is_ancestor s p cp)
+            allowed
+    in
+    List.to_seq candidates
+    |> Seq.concat_map (fun p ->
+           List.fold_left
+             (fun acc (c : Pattern.tree) ->
+               Seq.concat_map
+                 (fun partial ->
+                   Seq.map (fun sub -> partial @ sub) (assignments c (Some p)))
+                 acc)
+             (Seq.return [ (t.node.Pattern.nid, p) ])
+             t.children)
+  in
+  let roots =
+    List.fold_left
+      (fun acc (r : Pattern.tree) ->
+        Seq.concat_map
+          (fun partial -> Seq.map (fun sub -> partial @ sub) (assignments r None))
+          acc)
+      (Seq.return []) pat.roots
+  in
+  Seq.map
+    (fun assoc ->
+      let arr = Array.make n (-1) in
+      List.iter (fun (nid, p) -> arr.(nid) <- p) assoc;
+      arr)
+    roots
+
+let embeddings s pat = List.of_seq (embeddings_seq s pat)
+
+(* --- Canonical tree construction ----------------------------------------- *)
+
+(* Summary paths strictly between [top] (exclusive) and [bottom]
+   (exclusive), top-down. *)
+let chain_between s top bottom =
+  let rec up p acc = if p = top then acc else up (Summary.parent s p) (p :: acc) in
+  if bottom = top then [] else up (Summary.parent s bottom) []
+
+type builder = { mutable next : int }
+
+let fresh b =
+  let id = b.next in
+  b.next <- b.next + 1;
+  id
+
+(* Build the canonical tree for embedding [emb], erasing pattern subtrees
+   whose root nid is in [erased]. Returns (tree, ret-cid per pattern nid). *)
+let build_tree s (pat : Pattern.t) emb ~erased =
+  let b = { next = 0 } in
+  let cid_of : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let rec subtree (t : Pattern.tree) : cnode =
+    let nid = t.node.Pattern.nid in
+    let cid = fresh b in
+    Hashtbl.replace cid_of nid cid;
+    let kids = List.concat_map (fun (c : Pattern.tree) -> chain_to t c) t.children in
+    { cid; path = emb.(nid); formula = t.node.Pattern.formula; kids }
+  and chain_to (parent : Pattern.tree) (c : Pattern.tree) : cnode list =
+    (* [chain_between] excludes both endpoints; the child's image is
+       provided by [subtree]. *)
+    let between =
+      chain_between s emb.(parent.node.Pattern.nid) emb.(c.node.Pattern.nid)
+    in
+    (* Chain nodes above the child's image remain even when the child's
+       subtree is erased (§4.3.2 erases the subtree rooted at the lower
+       end only). *)
+    let bottom =
+      if List.mem c.node.Pattern.nid erased then [] else [ subtree c ]
+    in
+    let rec wrap = function
+      | [] -> bottom
+      | p :: rest -> [ { cid = fresh b; path = p; formula = Formula.tt; kids = wrap rest } ]
+    in
+    wrap between
+  in
+  (* Roots hang under the summary root; a pattern root mapped to path 0
+     merges with the canonical root. *)
+  let root_cid = fresh b in
+  let root_formula = ref Formula.tt in
+  let root_kids = ref [] in
+  let root_pattern_nids = ref [] in
+  List.iter
+    (fun (r : Pattern.tree) ->
+      let nid = r.node.Pattern.nid in
+      if List.mem nid erased then ()
+      else if emb.(nid) = 0 then (
+        root_formula := Formula.conj !root_formula r.node.Pattern.formula;
+        root_pattern_nids := nid :: !root_pattern_nids;
+        let kids = List.concat_map (fun c -> chain_to r c) r.children in
+        root_kids := !root_kids @ kids)
+      else
+        let between = chain_between s 0 emb.(nid) in
+        let rec wrap = function
+          | [] -> [ subtree r ]
+          | p :: rest ->
+              [ { cid = fresh b; path = p; formula = Formula.tt; kids = wrap rest } ]
+        in
+        root_kids := !root_kids @ wrap between)
+    pat.roots;
+  List.iter (fun nid -> Hashtbl.replace cid_of nid root_cid) !root_pattern_nids;
+  let tree = { cid = root_cid; path = 0; formula = !root_formula; kids = !root_kids } in
+  (tree, cid_of)
+
+(* --- Evaluation of a pattern over a canonical tree ----------------------- *)
+
+let implies_decoration (cn : cnode) f = Formula.implies cn.formula f
+
+let cnode_matches s (cn : cnode) (n : Pattern.node) =
+  label_matches_path s cn.path n.Pattern.label
+  && (Formula.is_true n.Pattern.formula || implies_decoration cn n.Pattern.formula)
+
+let rec cdescendants (cn : cnode) = List.concat_map (fun k -> k :: cdescendants k) cn.kids
+
+let return_index (pat : Pattern.t) =
+  let tbl = Hashtbl.create 8 in
+  List.iteri
+    (fun i (n : Pattern.node) -> Hashtbl.replace tbl n.Pattern.nid i)
+    (Pattern.return_nodes pat);
+  tbl
+
+(* Is the existence of a match for pattern subtree [t] below summary path
+   [p] guaranteed by the strong-edge (+/1) constraints? Only
+   attribute-free, formula-free subtrees can be guaranteed: constraints
+   speak about existence, not about values. *)
+let rec guaranteed s p (t : Pattern.tree) =
+  Pattern.stored_attrs t.node = []
+  && Formula.is_true t.node.Pattern.formula
+  && (not (Pattern.optional_edge t.edge))
+  &&
+  let strong q = Summary.card s q <> Summary.Star in
+  let candidates =
+    match t.edge.Pattern.axis with
+    | Pattern.Child -> List.filter strong (Summary.children s p)
+    | Pattern.Descendant ->
+        (* Every edge from p down to the candidate must be strong. *)
+        let rec strong_reach q acc =
+          List.fold_left
+            (fun acc c -> if strong c then strong_reach c (c :: acc) else acc)
+            acc (Summary.children s q)
+        in
+        strong_reach p []
+  in
+  List.exists
+    (fun q ->
+      label_matches_path s q t.node.Pattern.label
+      && List.for_all (guaranteed s q) t.children)
+    candidates
+
+let eval_on_tree ?(constraints = false) (pat : Pattern.t) s (tree : ctree) :
+    int array list =
+  let pat = Pattern.strip_nesting pat in
+  let ret_idx = return_index pat in
+  let k = Hashtbl.length ret_idx in
+  let record acc nid cid =
+    match Hashtbl.find_opt ret_idx nid with
+    | Some i ->
+        let acc = Array.copy acc in
+        acc.(i) <- cid;
+        acc
+    | None -> acc
+  in
+  let candidates from axis =
+    match (from, axis) with
+    | None, Pattern.Child -> [ tree ]
+    | None, Pattern.Descendant -> tree :: cdescendants tree
+    | Some cn, Pattern.Child -> cn.kids
+    | Some cn, Pattern.Descendant -> cdescendants cn
+  in
+  (* Partial assignments are arrays of length k with -1 for unassigned/⊥. *)
+  let rec embed_tree (t : Pattern.tree) (cn : cnode) : int array list =
+    if not (cnode_matches s cn t.node) then []
+    else
+      let base = record (Array.make k (-1)) t.node.Pattern.nid cn.cid in
+      List.fold_left
+        (fun acc (c : Pattern.tree) ->
+          if acc = [] then []
+          else
+            let subs = List.concat_map (embed_tree c) (candidates (Some cn) c.edge.Pattern.axis) in
+            match (subs, Pattern.optional_edge c.edge) with
+            | [], false -> if constraints && guaranteed s cn.path c then acc else []
+            | [], true -> acc (* all return nodes below stay ⊥ — condition 3(b) *)
+            | subs, _ ->
+                List.concat_map (fun a -> List.map (fun sb -> merge a sb) subs) acc)
+        [ base ] t.children
+  and merge a b =
+    let out = Array.copy a in
+    Array.iteri (fun i v -> if v >= 0 then out.(i) <- v) b;
+    out
+  in
+  let root_results =
+    List.fold_left
+      (fun acc (r : Pattern.tree) ->
+        if acc = [] then []
+        else
+          let subs = List.concat_map (embed_tree r) (candidates None r.edge.Pattern.axis) in
+          match (subs, Pattern.optional_edge r.edge) with
+          | [], false -> []
+          | [], true -> acc
+          | subs, _ ->
+              List.concat_map
+                (fun a ->
+                  List.map
+                    (fun sb ->
+                      let out = Array.copy a in
+                      Array.iteri (fun i v -> if v >= 0 then out.(i) <- v) sb;
+                      out)
+                    subs)
+                acc)
+      [ Array.make k (-1) ]
+      pat.roots
+  in
+  List.sort_uniq compare root_results
+
+(* --- The canonical model ------------------------------------------------- *)
+
+(* Distinct erasure choices, as lists of erased subtree-root nids: for an
+   optional edge either erase the subtree below it (hiding its inner
+   choices) or keep it and recurse. Each distinct erased tree is produced
+   exactly once. *)
+let erasure_choices (pat : Pattern.t) : int list Seq.t =
+  (* Choices within the subtree rooted at [t], given [t] itself is kept. *)
+  let rec kept_choices (t : Pattern.tree) : int list Seq.t =
+    List.fold_left
+      (fun acc (c : Pattern.tree) ->
+        Seq.concat_map
+          (fun partial -> Seq.map (fun s' -> partial @ s') (edge_choices c))
+          acc)
+      (Seq.return []) t.children
+  and edge_choices (c : Pattern.tree) : int list Seq.t =
+    if Pattern.optional_edge c.edge then
+      Seq.cons [ c.node.Pattern.nid ] (kept_choices c)
+    else kept_choices c
+  in
+  List.fold_left
+    (fun acc (r : Pattern.tree) ->
+      Seq.concat_map
+        (fun partial -> Seq.map (fun s' -> partial @ s') (edge_choices r))
+        acc)
+    (Seq.return []) pat.roots
+
+let rec tree_key (cn : cnode) : string =
+  Printf.sprintf "%d[%s](%s)" cn.path
+    (Formula.to_string cn.formula)
+    (String.concat "," (List.map tree_key cn.kids))
+
+(* Pre-order position of every node: a construction-order-independent
+   identity used to deduplicate model entries. *)
+let preorder_positions (cn : cnode) : (int, int) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let rec walk cn =
+    Hashtbl.replace tbl cn.cid !counter;
+    incr counter;
+    List.iter walk cn.kids
+  in
+  walk cn;
+  tbl
+
+let model s (pat : Pattern.t) : entry Seq.t =
+  let core = Pattern.strip_nesting pat in
+  let strict = Pattern.strip_optional core in
+  let ret_nodes = Pattern.return_nodes core in
+  let seen = Hashtbl.create 64 in
+  embeddings_seq s strict
+  |> Seq.concat_map (fun emb ->
+         erasure_choices core
+         |> Seq.filter_map (fun erased_roots ->
+                (* Full set of erased nids: the chosen subtree roots plus
+                   everything below them. *)
+                let erased =
+                  List.concat_map
+                    (fun nid ->
+                      match Pattern.find_tree core nid with
+                      | Some t ->
+                          let rec all (t : Pattern.tree) =
+                            t.node.Pattern.nid :: List.concat_map all t.children
+                          in
+                          all t
+                      | None -> [])
+                    erased_roots
+                in
+                let tree, cid_of = build_tree s core emb ~erased in
+                let ret =
+                  Array.of_list
+                    (List.map
+                       (fun (n : Pattern.node) ->
+                         if List.mem n.Pattern.nid erased then -1
+                         else match Hashtbl.find_opt cid_of n.Pattern.nid with
+                           | Some cid -> cid
+                           | None -> -1)
+                       ret_nodes)
+                in
+                (* Guard: the restricted return tuple must actually belong
+                   to p's result on the erased tree (maximality of optional
+                   embeddings can forbid ⊥). *)
+                let tuples = eval_on_tree core s tree in
+                if List.exists (fun t -> t = ret) tuples then
+                  let pos = preorder_positions tree in
+                  let key =
+                    ( tree_key tree,
+                      List.map
+                        (fun cid -> if cid < 0 then -1 else Hashtbl.find pos cid)
+                        (Array.to_list ret) )
+                  in
+                  if Hashtbl.mem seen key then None
+                  else (
+                    Hashtbl.add seen key ();
+                    Some { tree; ret; emb })
+                else None))
+
+let model_list s pat = List.of_seq (model s pat)
+let model_size s pat = List.length (model_list s pat)
+
+let satisfiable s pat =
+  match (model s pat) () with Seq.Nil -> false | Seq.Cons _ -> true
+
+let tree_size cn =
+  let rec go cn = 1 + List.fold_left (fun acc k -> acc + go k) 0 cn.kids in
+  go cn
+
+let tree_formulas cn =
+  let tbl = Hashtbl.create 8 in
+  let rec go cn =
+    if not (Formula.is_true cn.formula) then (
+      let prev = Option.value ~default:Formula.tt (Hashtbl.find_opt tbl cn.path) in
+      Hashtbl.replace tbl cn.path (Formula.conj prev cn.formula));
+    List.iter go cn.kids
+  in
+  go cn;
+  Hashtbl.fold (fun path f acc -> (path, f) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let rec pp_tree s ppf cn =
+  Format.fprintf ppf "@[<v 2>%s(#%d)" (Summary.label s cn.path) cn.path;
+  if not (Formula.is_true cn.formula) then Format.fprintf ppf "[%a]" Formula.pp cn.formula;
+  List.iter (fun k -> Format.fprintf ppf "@,%a" (pp_tree s) k) cn.kids;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,73 @@
+(** Canonical models of patterns with respect to a path summary (§4.3).
+
+    An embedding of a pattern into a summary maps pattern nodes to summary
+    paths, preserving labels and /-, //-edges. Each embedding [e] induces a
+    canonical tree [t_e]: one distinguished node per pattern node plus the
+    connecting chains of summary paths; decorated pattern nodes hand their
+    formula to their distinguished node. For patterns with optional edges,
+    canonical trees additionally arise by erasing the subtrees under any
+    subset of optional edges (§4.3.2).
+
+    The canonical model ties each tree to its {e return tuple} — the
+    distinguished nodes of the pattern's return nodes ([⊥] under erased
+    optional edges). Containment checks reduce to evaluating the candidate
+    container pattern over these little trees (Prop 4.4.1). *)
+
+module Summary = Xsummary.Summary
+
+type cnode = {
+  cid : int;  (** unique within the tree *)
+  path : int;  (** summary path id *)
+  formula : Formula.t;
+  kids : cnode list;
+}
+
+type ctree = cnode
+(** The root node; always on summary path 0. *)
+
+type entry = {
+  tree : ctree;
+  ret : int array;  (** cid of the i-th return node's image, or [-1] for ⊥ *)
+  emb : int array;  (** pattern nid → summary path (of the strict embedding) *)
+}
+
+val embeddings : Summary.t -> Pattern.t -> int array list
+(** All embeddings of the pattern's conjunctive core (optional edges made
+    mandatory, nesting ignored) into the summary, as arrays indexed by
+    pattern nid. *)
+
+val embeddings_seq : Summary.t -> Pattern.t -> int array Seq.t
+
+val model : Summary.t -> Pattern.t -> entry Seq.t
+(** The canonical model [mod_S(p)], lazily: consumers that exit on the
+    first failing entry get the fast negative-containment behaviour of
+    §4.6. Entries are duplicate-free with respect to (tree shape, return
+    tuple). *)
+
+val model_list : Summary.t -> Pattern.t -> entry list
+val model_size : Summary.t -> Pattern.t -> int
+
+val satisfiable : Summary.t -> Pattern.t -> bool
+(** [mod_S(p) ≠ ∅] (S-satisfiability, §4.3.1). *)
+
+val path_annotation : Summary.t -> Pattern.t -> int -> int list
+(** The set of summary paths a pattern node can bind to (Def 4.3.1), in
+    increasing path order. *)
+
+val eval_on_tree : ?constraints:bool -> Pattern.t -> Summary.t -> ctree -> int array list
+(** Evaluate a pattern over a canonical tree under optional-embedding
+    semantics with decorated (formula-implication) matching: the tuples of
+    cids (or [-1] for ⊥) over the pattern's return nodes.
+
+    With [~constraints:true], a mandatory, attribute-free, formula-free
+    subtree with no match in the tree is considered satisfied when the
+    enhanced summary's strong (+/1) edges guarantee a match exists in every
+    conforming document — the integrity-constraint reasoning that Ch. 5's
+    rewriting exploits. Default [false] (the pure §4.4 test). *)
+
+val tree_size : ctree -> int
+val tree_formulas : ctree -> (int * Formula.t) list
+(** Per-path conjunction of the node formulas of a tree (the φ_t of
+    §4.4.2), restricted to non-trivial formulas. *)
+
+val pp_tree : Summary.t -> Format.formatter -> ctree -> unit

@@ -1,0 +1,335 @@
+module Summary = Xsummary.Summary
+
+let satisfiable = Canonical.satisfiable
+
+(* --- Attribute condition (Prop 4.4.3) ----------------------------------- *)
+
+let return_sigs pat = List.map Pattern.stored_attrs (Pattern.return_nodes pat)
+
+let identity_perm pat = Array.init (List.length (Pattern.return_nodes pat)) Fun.id
+
+let same_return_signature_mapped p q perm =
+  let ps = Array.of_list (return_sigs p) and qs = Array.of_list (return_sigs q) in
+  Array.length ps = Array.length qs
+  && Array.length perm = Array.length ps
+  && Array.for_all (fun j -> j >= 0 && j < Array.length qs) perm
+  && (let seen = Array.make (Array.length qs) false in
+      Array.for_all
+        (fun j ->
+          if seen.(j) then false
+          else (
+            seen.(j) <- true;
+            true))
+        perm)
+  &&
+  let ok = ref true in
+  Array.iteri (fun i j -> if ps.(i) <> qs.(j) then ok := false) perm;
+  !ok
+
+let same_return_signature p q = same_return_signature_mapped p q (identity_perm p)
+
+(* --- Nesting sequences (Prop 4.4.4) -------------------------------------- *)
+
+(* Nested edges on the root-to-return-node path, upper ends first. Each
+   element is the nid of the nested edge's upper end (-1 for ⊤). *)
+let nesting_uppers (pat : Pattern.t) =
+  let acc = ref [] in
+  let rec go parent_nid (t : Pattern.tree) trail =
+    let trail =
+      if Pattern.nested_edge t.edge then trail @ [ parent_nid ] else trail
+    in
+    if Pattern.stored_attrs t.node <> [] then acc := (t.node.Pattern.nid, trail) :: !acc;
+    List.iter (fun c -> go t.node.Pattern.nid c trail) t.children
+  in
+  List.iter (fun r -> go (-1) r []) pat.roots;
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (nid, trail) -> Hashtbl.replace tbl nid trail) !acc;
+  List.map
+    (fun (n : Pattern.node) -> Hashtbl.find tbl n.Pattern.nid)
+    (Pattern.return_nodes pat)
+
+let nesting_depths pat = List.map List.length (nesting_uppers pat)
+
+(* The nesting sequence of embedding [emb] for each return node: the
+   summary paths of the nested edges' upper ends (-1 for ⊤). *)
+let nesting_sequences pat emb =
+  List.map
+    (fun uppers -> List.map (fun nid -> if nid < 0 then -1 else emb.(nid)) uppers)
+    (nesting_uppers pat)
+
+let sequences_compatible s ns1 ns2 =
+  List.length ns1 = List.length ns2
+  && List.for_all2
+       (fun a b ->
+         if a < 0 || b < 0 then a = b
+         else a = b || Summary.one_to_one_chain s a b || Summary.one_to_one_chain s b a)
+       ns1 ns2
+
+let return_paths pat emb =
+  List.map (fun (n : Pattern.node) -> emb.(n.Pattern.nid)) (Pattern.return_nodes pat)
+
+let nesting_condition_mapped s p q perm =
+  let pd = Array.of_list (nesting_depths p) and qd = Array.of_list (nesting_depths q) in
+  Array.length pd = Array.length qd
+  && (let ok = ref true in
+      Array.iteri (fun i j -> if pd.(i) <> qd.(j) then ok := false) perm;
+      !ok)
+  && List.for_all
+       (fun emb_p ->
+         let rp = Array.of_list (return_paths p emb_p) in
+         let ns_p = Array.of_list (nesting_sequences p emb_p) in
+         List.exists
+           (fun emb_q ->
+             let rq = Array.of_list (return_paths q emb_q) in
+             let ns_q = Array.of_list (nesting_sequences q emb_q) in
+             let ok = ref true in
+             Array.iteri
+               (fun i j ->
+                 if rp.(i) <> rq.(j) || not (sequences_compatible s ns_p.(i) ns_q.(j))
+                 then ok := false)
+               perm;
+             !ok)
+           (Canonical.embeddings s q))
+       (Canonical.embeddings s p)
+
+let nesting_condition s p q = nesting_condition_mapped s p q (identity_perm p)
+
+let has_nesting pat =
+  let rec go (t : Pattern.tree) =
+    Pattern.nested_edge t.edge || List.exists go t.children
+  in
+  List.exists go pat.Pattern.roots
+
+(* --- Canonical-model condition (Prop 4.4.1 / §4.4.2-4) ------------------- *)
+
+(* The return tuple of a canonical entry, as summary paths (-1 for ⊥). *)
+let entry_ret_paths (entry : Canonical.entry) =
+  let tbl = Hashtbl.create 16 in
+  let rec index (cn : Canonical.cnode) =
+    Hashtbl.replace tbl cn.Canonical.cid cn.Canonical.path;
+    List.iter index cn.Canonical.kids
+  in
+  index entry.Canonical.tree;
+  Array.map
+    (fun cid -> if cid < 0 then -1 else Hashtbl.find tbl cid)
+    entry.Canonical.ret
+
+let canonical_condition ~constraints s p q perm =
+  let q_core = Pattern.strip_nesting q in
+  Seq.for_all
+    (fun (entry : Canonical.entry) ->
+      let tuples = Canonical.eval_on_tree ~constraints q_core s entry.Canonical.tree in
+      List.exists
+        (fun t ->
+          let ok = ref true in
+          Array.iteri (fun i j -> if t.(j) <> entry.Canonical.ret.(i) then ok := false) perm;
+          !ok)
+        tuples)
+    (Canonical.model s p)
+
+let contained_mapped ?(constraints = false) s p q ~perm =
+  same_return_signature_mapped p q perm
+  && ((not (has_nesting p || has_nesting q)) || nesting_condition_mapped s p q perm)
+  && canonical_condition ~constraints s p q perm
+
+let contained ?(constraints = false) s p q =
+  contained_mapped ~constraints s p q ~perm:(identity_perm p)
+
+let equivalent ?(constraints = false) s p q =
+  contained ~constraints s p q && contained ~constraints s q p
+
+(* --- Union containment (Prop 4.4.2 + §4.4.2 condition 2) ----------------- *)
+
+(* Check φ ⇒ ψ₁ ∨ … ∨ ψₘ where each formula is a conjunction of
+   single-variable interval formulas, given as (var, formula) lists. A
+   counterexample assignment must satisfy φ and violate one conjunct of
+   every ψⱼ; we search for it by case-splitting on which conjunct each ψⱼ
+   violates. *)
+let formulas_imply phi psis =
+  let lookup var assign =
+    match List.assoc_opt var assign with Some f -> f | None -> Formula.tt
+  in
+  let rec refutable assign = function
+    | [] -> true
+    | psi :: rest ->
+        List.exists
+          (fun (var, b) ->
+            let narrowed = Formula.conj (lookup var assign) (Formula.neg b) in
+            Formula.is_sat narrowed
+            && refutable ((var, narrowed) :: List.remove_assoc var assign) rest)
+          psi
+  in
+  not (refutable phi psis)
+
+let union_covers ?(constraints = false) s q members =
+  match members with
+  | [] -> not (satisfiable s q)
+  | members ->
+      List.for_all (fun (m, perm) -> same_return_signature_mapped m q perm) members
+      &&
+      let prepared =
+        List.map
+          (fun (m, perm) ->
+            (m, perm, Pattern.strip_nesting (Pattern.strip_formulas m),
+             lazy (Canonical.model_list s m)))
+          members
+      in
+      Seq.for_all
+        (fun (entry : Canonical.entry) ->
+          let accepts (_, perm, m_plain, _) =
+            let tuples =
+              Canonical.eval_on_tree ~constraints m_plain s entry.Canonical.tree
+            in
+            List.exists
+              (fun t ->
+                let ok = ref true in
+                Array.iteri
+                  (fun i j -> if t.(i) <> entry.Canonical.ret.(j) then ok := false)
+                  perm;
+                !ok)
+              tuples
+          in
+          let fits = List.filter accepts prepared in
+          fits <> []
+          &&
+          let rp = entry_ret_paths entry in
+          let phi = Canonical.tree_formulas entry.Canonical.tree in
+          let psis =
+            List.concat_map
+              (fun (_, perm, _, model) ->
+                List.filter_map
+                  (fun (e' : Canonical.entry) ->
+                    let mp = entry_ret_paths e' in
+                    let same = ref (Array.length mp = Array.length perm) in
+                    Array.iteri
+                      (fun i j -> if !same && mp.(i) <> rp.(j) then same := false)
+                      perm;
+                    if !same then Some (Canonical.tree_formulas e'.Canonical.tree)
+                    else None)
+                  (Lazy.force model))
+              fits
+          in
+          formulas_imply phi psis)
+        (Canonical.model s q)
+
+let contained_in_union s p qs =
+  match qs with
+  | [] -> not (satisfiable s p)
+  | [ q ] -> contained s p q
+  | qs ->
+      List.for_all (same_return_signature p) qs
+      && (let nest_involved = has_nesting p || List.exists has_nesting qs in
+          (not nest_involved)
+          || List.exists (fun q -> nesting_condition s p q) qs)
+      && (let q_models =
+            List.map
+              (fun q ->
+                (q, Pattern.strip_nesting (Pattern.strip_formulas q),
+                 lazy (Canonical.model_list s q)))
+              qs
+          in
+          Seq.for_all
+            (fun (entry : Canonical.entry) ->
+              (* Condition 1: some qᵢ structurally accepts the tuple. *)
+              let fits =
+                List.filter
+                  (fun (_, q_plain, _) ->
+                    let tuples = Canonical.eval_on_tree q_plain s entry.Canonical.tree in
+                    List.exists (fun t -> t = entry.Canonical.ret) tuples)
+                  q_models
+              in
+              fits <> []
+              &&
+              (* Condition 2: the entry's value constraints are subsumed by
+                 the union of the matching trees' constraints. *)
+              let rp = entry_ret_paths entry in
+              let phi = Canonical.tree_formulas entry.Canonical.tree in
+              let psis =
+                List.concat_map
+                  (fun (_, _, model) ->
+                    List.filter_map
+                      (fun (e' : Canonical.entry) ->
+                        if entry_ret_paths e' = rp then
+                          Some (Canonical.tree_formulas e'.Canonical.tree)
+                        else None)
+                      (Lazy.force model))
+                  fits
+              in
+              formulas_imply phi psis)
+            (Canonical.model s p))
+
+(* --- Constraint-free homomorphism baseline ([85], §6.4) ------------------- *)
+
+let contained_by_homomorphism p q =
+  let p = Pattern.strip_nesting (Pattern.strip_optional p) in
+  let q = Pattern.strip_nesting (Pattern.strip_optional q) in
+  if not (same_return_signature p q) then false
+  else
+    let p_rets = Array.of_list (Pattern.return_nodes p) in
+    let q_rets = Array.of_list (Pattern.return_nodes q) in
+    let required_image qnid =
+      (* The q return node must land on the positionally matching p return
+         node. *)
+      let rec find i =
+        if i >= Array.length q_rets then None
+        else if q_rets.(i).Pattern.nid = qnid then Some p_rets.(i).Pattern.nid
+        else find (i + 1)
+      in
+      find 0
+    in
+    let label_ok (qn : Pattern.node) (pn : Pattern.node) =
+      (String.equal qn.Pattern.label "*"
+       && (not (Pattern.label_is_attribute pn.Pattern.label))
+       && not (String.equal pn.Pattern.label "#text"))
+      || (String.equal qn.Pattern.label "@*" && Pattern.label_is_attribute pn.Pattern.label)
+      || String.equal qn.Pattern.label pn.Pattern.label
+    in
+    let node_ok (qn : Pattern.node) (pn : Pattern.node) =
+      label_ok qn pn && Formula.implies pn.Pattern.formula qn.Pattern.formula
+      && (match required_image qn.Pattern.nid with
+         | Some pid -> pid = pn.Pattern.nid
+         | None -> true)
+    in
+    (* Can q's subtree [qt] embed at p's subtree [pt] (their roots already
+       matched)? A q child maps into p's subtree below, one level down for
+       [/] edges, any depth for [//]. *)
+    let rec subtree_maps (qt : Pattern.tree) (pt : Pattern.tree) =
+      node_ok qt.node pt.node
+      && List.for_all
+           (fun (qc : Pattern.tree) ->
+             List.exists
+               (fun (target, _) -> subtree_maps qc target)
+               (targets_below qc.edge pt))
+           qt.children
+    (* Candidate p subtrees reachable from [pt] by one q edge. *)
+    and targets_below (edge : Pattern.edge) (pt : Pattern.tree) :
+        (Pattern.tree * unit) list =
+      match edge.Pattern.axis with
+      | Pattern.Child ->
+          List.filter_map
+            (fun (pc : Pattern.tree) ->
+              if pc.edge.Pattern.axis = Pattern.Child then Some (pc, ()) else None)
+            pt.children
+      | Pattern.Descendant ->
+          let rec all (t : Pattern.tree) =
+            List.concat_map (fun c -> (c, ()) :: all c) t.children
+          in
+          all pt
+    in
+    (* Roots: each q root must map to some p root reachable from T under
+       its axis (a / root edge requires a / root edge in p). *)
+    List.for_all
+      (fun (qr : Pattern.tree) ->
+        List.exists
+          (fun (pr : Pattern.tree) ->
+            (match qr.edge.Pattern.axis with
+            | Pattern.Child -> pr.edge.Pattern.axis = Pattern.Child && subtree_maps qr pr
+            | Pattern.Descendant ->
+                subtree_maps qr pr
+                || List.exists
+                     (fun (below, _) ->
+                       subtree_maps qr below)
+                     (targets_below { Pattern.axis = Pattern.Descendant; sem = Pattern.Join } pr))
+            )
+          p.Pattern.roots)
+      q.Pattern.roots

@@ -1,0 +1,73 @@
+(** Pattern containment and equivalence under path-summary constraints
+    (§4.4).
+
+    [p ⊆_S p'] holds iff for every document [t] with [S ⊨ t],
+    [p(t) ⊆ p'(t)]. Prop 4.4.1 reduces the test to the canonical model: for
+    every tree of [mod_S(p)], the tree's return tuple must belong to [p']
+    evaluated over that tree. The layers of §4.4 add:
+
+    - decorated patterns: formula implication, and for unions the
+      multi-variable condition 2 of §4.4.2;
+    - optional edges: canonical trees with erased optional subtrees and
+      ⊥-aware tuple comparison;
+    - attribute patterns: positionally-matched return nodes must store
+      exactly the same attributes (Prop 4.4.3);
+    - nested patterns: equal nesting-sequence lengths and, per embedding,
+      matching nesting sequences — up to one-to-one summary edges
+      (Prop 4.4.4). *)
+
+module Summary = Xsummary.Summary
+
+val satisfiable : Summary.t -> Pattern.t -> bool
+
+val contained : ?constraints:bool -> Summary.t -> Pattern.t -> Pattern.t -> bool
+(** [contained s p p'] decides [p ⊆_S p']. Exits on the first failing
+    canonical tree, making negative answers cheaper than positive ones
+    (the effect measured in §4.6).
+
+    [~constraints:true] additionally chases the enhanced summary's strong
+    (+/1) edges: an existential subtree of [p'] guaranteed to match in
+    every conforming document is accepted even when the canonical tree
+    lacks it. Used by the Ch. 5 rewriting. *)
+
+val contained_in_union : Summary.t -> Pattern.t -> Pattern.t list -> bool
+(** [p ⊆_S p'₁ ∪ … ∪ p'ₘ] (Prop 4.4.2 plus §4.4.2 condition 2 for the
+    decorated case). *)
+
+val equivalent : ?constraints:bool -> Summary.t -> Pattern.t -> Pattern.t -> bool
+(** Two-way containment. *)
+
+val same_return_signature : Pattern.t -> Pattern.t -> bool
+(** Prop 4.4.3 condition 1: positionally equal stored-attribute sets. *)
+
+val nesting_depths : Pattern.t -> int list
+(** |ns(nᵢ)| for each return node, in return-node order. *)
+
+val contained_by_homomorphism : Pattern.t -> Pattern.t -> bool
+(** The classic constraint-free sufficient condition [85]: [p ⊆ q] holds
+    whenever a homomorphism maps [q] onto [p] — labels preserved (a [*] in
+    [q] matches anything), [/] edges to [/] edges, [//] edges to downward
+    paths, formulas weakened, return nodes to return nodes positionally.
+    Sound for all documents (no summary needed) but incomplete; the
+    ablation benchmark compares it against the summary-aware test. *)
+
+(** {1 Mapped variants}
+
+    The rewriting engine builds candidate patterns whose return nodes are
+    not necessarily in the same pre-order as the query's; these variants
+    take an explicit correspondence. [perm.(i) = j] states that [p]'s i-th
+    return node plays the role of [q]'s j-th return node. *)
+
+val contained_mapped :
+  ?constraints:bool -> Summary.t -> Pattern.t -> Pattern.t -> perm:int array -> bool
+(** [p ⊆_S q] under the given return-node correspondence ([perm] must be a
+    permutation of [0 .. k-1]). *)
+
+val union_covers :
+  ?constraints:bool ->
+  Summary.t ->
+  Pattern.t ->
+  (Pattern.t * int array) list ->
+  bool
+(** [union_covers s q members]: [q ⊆_S ∪ members], each member paired with
+    its permutation (member return index → query return index). *)

@@ -1,0 +1,33 @@
+(** Embedding-based XAM semantics (§4.1), evaluated directly over a
+    document.
+
+    The result of a pattern [p] over a document [d] is the set (list, in
+    document order of enumeration) of tuples collecting the stored
+    attributes of [p]'s return nodes under every embedding of [p] in [d] —
+    with the optional-edge (3b) and nested-edge extensions. The output
+    schema is {!Pattern.schema}.
+
+    This is the reference semantics; {!Compile} produces algebraic plans
+    whose evaluation must agree with it (a property checked by the test
+    suite). *)
+
+val label_matches : Xdm.Doc.t -> int -> string -> bool
+(** Does a document node match a pattern label? [*] matches any element;
+    [@name] matches the attribute; [#text] matches text nodes; any other
+    label matches the element with that tag. *)
+
+val node_matches : Xdm.Doc.t -> int -> Pattern.node -> bool
+(** Label match plus the node's value formula. *)
+
+val doc_value : Xdm.Doc.t -> int -> Xalgebra.Value.t
+(** The node's value as an atomic value ([Int] when the text parses as an
+    integer). *)
+
+val eval : Xdm.Doc.t -> Pattern.t -> Xalgebra.Rel.t
+(** Evaluate the pattern. Duplicate result tuples are eliminated (the Π°
+    of Def 2.2.3). *)
+
+val embeddings : Xdm.Doc.t -> Pattern.t -> (int * int) list list
+(** All embeddings of the pattern's {e conjunctive core} (optional edges
+    stripped to mandatory, nesting ignored) as association lists
+    [pattern nid → document handle]. Used by tests and by {!Minimize}. *)

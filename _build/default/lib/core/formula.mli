@@ -1,0 +1,61 @@
+(** Value formulas decorating pattern nodes (§4.1).
+
+    A formula φ(v) is T, F, or a combination by ∧/∨ of atoms [v θ c] with
+    θ ∈ {=, <, >} and [c] an atomic constant. Following the thesis, the
+    atomic domain is totally ordered and formulas are kept in a compact
+    canonical form — a union of disjoint intervals — on which negation,
+    conjunction, disjunction and implication are cheap.
+
+    Integer bounds are normalized using the discreteness of ℤ (so that
+    [v > 4 ⇒ v ≥ 5] holds); other constants are treated as a dense order. *)
+
+type t
+
+val tt : t
+val ff : t
+val eq : Xalgebra.Value.t -> t
+val ne : Xalgebra.Value.t -> t
+val lt : Xalgebra.Value.t -> t
+val le : Xalgebra.Value.t -> t
+val gt : Xalgebra.Value.t -> t
+val ge : Xalgebra.Value.t -> t
+val conj : t -> t -> t
+val disj : t -> t -> t
+val neg : t -> t
+val disj_all : t list -> t
+
+val is_true : t -> bool
+(** Canonically T (holds of every value). *)
+
+val is_sat : t -> bool
+val implies : t -> t -> bool
+(** φ₁(v) ⇒ φ₂(v) for all v. *)
+
+val equal : t -> t -> bool
+val holds : t -> Xalgebra.Value.t -> bool
+(** Evaluate the formula on a concrete value. *)
+
+val to_pred : Xalgebra.Rel.path -> t -> Xalgebra.Pred.t
+(** Compile to an algebra predicate on the given column. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Structure access and serialization} *)
+
+type bound = Unbounded | Inclusive of Xalgebra.Value.t | Exclusive of Xalgebra.Value.t
+
+val intervals : t -> (bound * bound) list
+(** The canonical disjoint-interval form, in increasing order. *)
+
+val as_single_interval : t -> (bound * bound) option
+(** [Some] when the formula is exactly one interval (incl. T). *)
+
+val as_ne : t -> Xalgebra.Value.t option
+(** [Some c] when the formula is exactly [v ≠ c]. *)
+
+val serialize : t -> string
+(** Compact ASCII form, inverse of {!deserialize}. *)
+
+val deserialize : string -> t
+(** Raises [Invalid_argument] on malformed input. *)

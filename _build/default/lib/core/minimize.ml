@@ -1,0 +1,68 @@
+module Summary = Xsummary.Summary
+
+let contractions s pat =
+  List.filter_map
+    (fun (n : Pattern.node) ->
+      match Pattern.remove_node pat n.Pattern.nid with
+      | Some pat' when Contain.equivalent s pat pat' -> Some pat'
+      | Some _ | None -> None)
+    (Pattern.nodes pat)
+
+let rec minimize s pat =
+  match contractions s pat with [] -> pat | pat' :: _ -> minimize s pat'
+
+let all_minimal s pat =
+  let seen = ref [] in
+  let minimal = ref [] in
+  let add_unique l p = if List.exists (Pattern.equal p) l then l else p :: l in
+  let rec explore p =
+    if not (List.exists (Pattern.equal p) !seen) then (
+      seen := p :: !seen;
+      match contractions s p with
+      | [] -> minimal := add_unique !minimal p
+      | cs -> List.iter explore cs)
+  in
+  explore pat;
+  List.rev !minimal
+
+let chain_minimize s pat =
+  match Pattern.return_nodes pat with
+  | [ ret ] ->
+      let baseline = minimize s pat in
+      let target = Pattern.node_count baseline in
+      if target <= 1 then None
+      else
+        (* Candidate chain labels: labels of strict ancestors of the paths
+           the return node can bind to. *)
+        let ann = Canonical.path_annotation s pat ret.Pattern.nid in
+        let labels =
+          List.sort_uniq String.compare
+            (List.concat_map
+               (fun p ->
+                 let rec ups q acc =
+                   if q < 0 then acc else ups (Summary.parent s q) (Summary.label s q :: acc)
+                 in
+                 ups (Summary.parent s p) [])
+               ann)
+        in
+        let ret_leaf = Pattern.v ~node:{ ret with Pattern.nid = -1 } ret.Pattern.label [] in
+        let rec chains k =
+          if k = 0 then [ ret_leaf ]
+          else
+            List.concat_map
+              (fun inner -> List.map (fun l -> Pattern.v l [ inner ]) labels)
+              (chains (k - 1))
+        in
+        let rec search k =
+          if k >= target - 1 then None
+          else
+            match
+              List.find_opt
+                (fun cand -> Contain.equivalent s pat cand)
+                (List.map (fun c -> Pattern.make [ c ]) (chains k))
+            with
+            | Some cand -> Some cand
+            | None -> search (k + 1)
+        in
+        search 0
+  | _ -> None

@@ -1,0 +1,29 @@
+(** Tree pattern minimization under summary constraints (§4.5).
+
+    An S-contraction erases one (non-return) pattern node and reconnects
+    its children to its parent; a pattern is minimal under S-contraction
+    when no contraction preserves S-equivalence. S-contraction does not
+    always reach the globally smallest equivalent pattern — the summary may
+    offer shorter descriptions using labels absent from the pattern (the
+    [t''] of Fig 4.12) — so a bounded summary-aware search is provided for
+    single-return-node patterns. *)
+
+module Summary = Xsummary.Summary
+
+val contractions : Summary.t -> Pattern.t -> Pattern.t list
+(** All S-equivalent patterns obtained by erasing exactly one node. *)
+
+val minimize : Summary.t -> Pattern.t -> Pattern.t
+(** Greedy repeated S-contraction; the result is minimal under
+    S-contraction. *)
+
+val all_minimal : Summary.t -> Pattern.t -> Pattern.t list
+(** All distinct minimal-under-S-contraction patterns reachable from the
+    input (the possibly-several results noted in §4.5). *)
+
+val chain_minimize : Summary.t -> Pattern.t -> Pattern.t option
+(** Summary-aware minimization for patterns with exactly one return node:
+    search the linear patterns [//l₁//…//lₖ//r] (labels drawn from the
+    summary, [r] the original return node) smaller than the S-contraction
+    minimum, and return the smallest S-equivalent one found. [None] when no
+    smaller chain exists or the pattern has ≠ 1 return node. *)

@@ -1,0 +1,244 @@
+module Rel = Xalgebra.Rel
+
+type axis = Child | Descendant
+
+type semantics = Join | Outer | Semi | Nest_join | Nest_outer
+
+type edge = { axis : axis; sem : semantics }
+
+let optional_edge e = e.sem = Outer || e.sem = Nest_outer
+let nested_edge e = e.sem = Nest_join || e.sem = Nest_outer
+
+type attr = ID | L | V | C
+
+type node = {
+  nid : int;
+  label : string;
+  id_scheme : Xdm.Nid.scheme option;
+  id_required : bool;
+  tag_stored : bool;
+  tag_required : bool;
+  val_stored : bool;
+  val_required : bool;
+  cont_stored : bool;
+  cont_required : bool;
+  formula : Formula.t;
+}
+
+type tree = { node : node; edge : edge; children : tree list }
+
+type t = { roots : tree list; ordered : bool }
+
+let mk_node ?id ?(id_required = false) ?(tag = false) ?(tag_required = false)
+    ?(value = false) ?(val_required = false) ?(cont = false) ?(cont_required = false)
+    ?(formula = Formula.tt) label =
+  { nid = -1; label; id_scheme = id; id_required; tag_stored = tag; tag_required;
+    val_stored = value; val_required; cont_stored = cont; cont_required; formula }
+
+let tree ?(axis = Descendant) ?(sem = Join) node children =
+  { node; edge = { axis; sem }; children }
+
+let v ?axis ?sem ?node label children =
+  let node = match node with Some n -> n | None -> mk_node label in
+  tree ?axis ?sem node children
+
+let renumber roots =
+  let counter = ref 0 in
+  let rec go t =
+    let nid = !counter in
+    incr counter;
+    { t with node = { t.node with nid }; children = List.map go t.children }
+  in
+  List.map go roots
+
+let make ?(ordered = true) roots = { roots = renumber roots; ordered }
+
+let fold f init pat =
+  let rec go acc t = List.fold_left go (f acc t) t.children in
+  List.fold_left go init pat.roots
+
+let nodes pat = List.rev (fold (fun acc t -> t.node :: acc) [] pat)
+let node_count pat = fold (fun acc _ -> acc + 1) 0 pat
+let find_node pat nid = List.find_opt (fun n -> n.nid = nid) (nodes pat)
+
+let find_tree pat nid =
+  let rec go t = if t.node.nid = nid then Some t else List.find_map go t.children in
+  List.find_map go pat.roots
+
+let parent_nid pat nid =
+  let rec go parent t =
+    if t.node.nid = nid then Some parent
+    else List.find_map (go (Some t.node.nid)) t.children
+  in
+  Option.join (List.find_map (go None) pat.roots)
+
+let incoming_edge pat nid =
+  match find_tree pat nid with Some t -> Some t.edge | None -> None
+
+let stored_attrs n =
+  (if n.id_scheme <> None then [ ID ] else [])
+  @ (if n.tag_stored then [ L ] else [])
+  @ (if n.val_stored then [ V ] else [])
+  @ if n.cont_stored then [ C ] else []
+
+let required_attrs n =
+  (if n.id_scheme <> None && n.id_required then [ ID ] else [])
+  @ (if n.tag_stored && n.tag_required then [ L ] else [])
+  @ (if n.val_stored && n.val_required then [ V ] else [])
+  @ if n.cont_stored && n.cont_required then [ C ] else []
+
+let stores n a = List.mem a (stored_attrs n)
+let return_nodes pat = List.filter (fun n -> stored_attrs n <> []) (nodes pat)
+
+let is_conjunctive pat =
+  fold (fun acc t -> acc && not (optional_edge t.edge || nested_edge t.edge)) true pat
+
+let has_required pat = fold (fun acc t -> acc || required_attrs t.node <> []) false pat
+let label_is_wildcard l = String.equal l "*"
+let label_is_attribute l = String.length l > 0 && l.[0] = '@'
+
+let map_edges f pat =
+  let rec go t = { t with edge = f t.edge; children = List.map go t.children } in
+  { pat with roots = List.map go pat.roots }
+
+let strip_optional pat =
+  map_edges
+    (fun e ->
+      match e.sem with
+      | Outer -> { e with sem = Join }
+      | Nest_outer -> { e with sem = Nest_join }
+      | Join | Semi | Nest_join -> e)
+    pat
+
+let strip_nesting pat =
+  map_edges
+    (fun e ->
+      match e.sem with
+      | Nest_join -> { e with sem = Join }
+      | Nest_outer -> { e with sem = Outer }
+      | Join | Semi | Outer -> e)
+    pat
+
+let map_nodes f pat =
+  let rec go t = { t with node = f t.node; children = List.map go t.children } in
+  { pat with roots = List.map go pat.roots }
+
+let strip_formulas pat = map_nodes (fun n -> { n with formula = Formula.tt }) pat
+
+let compose_axis a b = if a = Child && b = Child then Child else Descendant
+
+let remove_node pat nid =
+  match find_node pat nid with
+  | None -> None
+  | Some n when stored_attrs n <> [] -> None
+  | Some _ ->
+      let rec go t =
+        if t.node.nid = nid then
+          (* Reconnect children, composing their incoming axes; a / followed
+             by / composes to //, since the erased node's level is freed. *)
+          List.map
+            (fun c ->
+              let axis =
+                if t.edge.axis = Child && c.edge.axis = Child then Descendant
+                else compose_axis t.edge.axis c.edge.axis
+              in
+              let c = { c with edge = { c.edge with axis } } in
+              go_inner c)
+            t.children
+        else [ go_inner t ]
+      and go_inner t = { t with children = List.concat_map go t.children } in
+      let roots = List.concat_map go pat.roots in
+      if roots = [] then None else Some (make ~ordered:pat.ordered roots)
+
+(* --- Schema -------------------------------------------------------------- *)
+
+let attr_col nid = function
+  | ID -> Printf.sprintf "ID%d" nid
+  | L -> Printf.sprintf "L%d" nid
+  | V -> Printf.sprintf "V%d" nid
+  | C -> Printf.sprintf "C%d" nid
+
+let nest_col nid = Printf.sprintf "N%d" nid
+
+let rec tree_schema t =
+  let own = List.map (fun a -> Rel.atom (attr_col t.node.nid a)) (stored_attrs t.node) in
+  let from_children =
+    List.concat_map
+      (fun c ->
+        if c.edge.sem = Semi then []
+        else if nested_edge c.edge then
+          let sub = tree_schema c in
+          if sub = [] then [] else [ Rel.nested (nest_col c.node.nid) sub ]
+        else tree_schema c)
+      t.children
+  in
+  own @ from_children
+
+let schema pat = List.concat_map tree_schema pat.roots
+
+let col_path pat nid attr =
+  let rec go t acc =
+    if t.node.nid = nid then Some (List.rev (attr_col nid attr :: acc))
+    else
+      List.find_map
+        (fun c ->
+          let acc = if nested_edge c.edge then nest_col c.node.nid :: acc else acc in
+          go c acc)
+        t.children
+  in
+  match List.find_map (fun r -> go r []) pat.roots with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Pattern.col_path: no node %d" nid)
+
+(* --- Equality and printing ----------------------------------------------- *)
+
+let node_shape n =
+  ( n.label, n.id_scheme, n.id_required, n.tag_stored, n.tag_required, n.val_stored,
+    n.val_required, n.cont_stored, n.cont_required )
+
+let rec equal_tree a b =
+  a.edge = b.edge
+  && node_shape a.node = node_shape b.node
+  && Formula.equal a.node.formula b.node.formula
+  && List.length a.children = List.length b.children
+  && List.for_all2 equal_tree a.children b.children
+
+let equal a b =
+  a.ordered = b.ordered
+  && List.length a.roots = List.length b.roots
+  && List.for_all2 equal_tree a.roots b.roots
+
+let axis_str = function Child -> "/" | Descendant -> "//"
+
+let sem_str = function
+  | Join -> "j"
+  | Outer -> "o"
+  | Semi -> "s"
+  | Nest_join -> "nj"
+  | Nest_outer -> "no"
+
+let pp_node ppf n =
+  Format.fprintf ppf "%s" n.label;
+  (match n.id_scheme with
+  | Some s ->
+      Format.fprintf ppf " ID[%s]%s" (Xdm.Nid.scheme_name s)
+        (if n.id_required then "R" else "")
+  | None -> ());
+  if n.tag_stored then Format.fprintf ppf " Tag%s" (if n.tag_required then "R" else "");
+  if n.val_stored then Format.fprintf ppf " Val%s" (if n.val_required then "R" else "");
+  if n.cont_stored then Format.fprintf ppf " Cont%s" (if n.cont_required then "R" else "");
+  if not (Formula.is_true n.formula) then
+    Format.fprintf ppf " [Val:%a]" Formula.pp n.formula
+
+let rec pp_tree ppf t =
+  Format.fprintf ppf "@[<v 2>%s%s {%a} #%d" (axis_str t.edge.axis) (sem_str t.edge.sem)
+    pp_node t.node t.node.nid;
+  List.iter (fun c -> Format.fprintf ppf "@,%a" pp_tree c) t.children;
+  Format.fprintf ppf "@]"
+
+let pp ppf pat =
+  Format.fprintf ppf "@[<v 2>⊤%s" (if pat.ordered then " (ordered)" else "");
+  List.iter (fun r -> Format.fprintf ppf "@,%a" pp_tree r) pat.roots;
+  Format.fprintf ppf "@]"
+
+let to_string pat = Format.asprintf "%a" pp pat

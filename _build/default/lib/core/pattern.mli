@@ -1,0 +1,163 @@
+(** The XAM tree-pattern language (§2.2), unified with the pattern
+    extensions of §4.1.
+
+    A XAM is an ordered tree rooted at the implicit document node ⊤. Every
+    other node carries a label (an element tag, an [@name] attribute name,
+    [#text], or [*] for any element) and says which of the node's four
+    information items the described structure stores — following §4.1 we
+    call them attributes:
+
+    - [ID] — the node's persistent identifier, qualified by the scheme
+      i/o/s/p of {!Xdm.Nid.scheme};
+    - [L] — the node's label (the [Tag] specification of §2.2.1);
+    - [V] — the node's value;
+    - [C] — the node's content (serialized subtree).
+
+    Each stored attribute may be marked {e required} ([R] in the grammar):
+    its value must be supplied to access the data — the XAM then models an
+    index with that attribute in its key (see {!Binding}).
+
+    Nodes additionally carry a value {e formula} φ(v) ({!Formula}), which
+    generalizes the [[Val=c]] specification of §2.2.1 to the decorated
+    patterns of §4.1. A [[Tag=c]] specification is simply a node labeled
+    [c]; a [Tag] specification is a [*] node storing [L].
+
+    Edges combine an axis — [/] (child) or [//] (descendant) — with a join
+    semantics: j (join), o (outerjoin), s (semijoin), nj (nest join), no
+    (nest outerjoin) (§2.2.1). Under the §4.1 reading, o/no edges are the
+    {e optional} edges and nj/no the {e nested} edges. *)
+
+type axis = Child | Descendant
+
+type semantics = Join | Outer | Semi | Nest_join | Nest_outer
+
+type edge = { axis : axis; sem : semantics }
+
+val optional_edge : edge -> bool
+val nested_edge : edge -> bool
+
+type attr = ID | L | V | C
+
+type node = {
+  nid : int;  (** unique within the pattern; assigned by {!make} in pre-order *)
+  label : string;
+  id_scheme : Xdm.Nid.scheme option;  (** [Some _] iff ID is stored *)
+  id_required : bool;
+  tag_stored : bool;
+  tag_required : bool;
+  val_stored : bool;
+  val_required : bool;
+  cont_stored : bool;
+  cont_required : bool;
+  formula : Formula.t;
+}
+
+type tree = { node : node; edge : edge; children : tree list }
+(** [edge] is the incoming edge from the parent (or from ⊤ for roots). *)
+
+type t = { roots : tree list; ordered : bool }
+
+(** {1 Construction} *)
+
+val mk_node :
+  ?id:Xdm.Nid.scheme ->
+  ?id_required:bool ->
+  ?tag:bool ->
+  ?tag_required:bool ->
+  ?value:bool ->
+  ?val_required:bool ->
+  ?cont:bool ->
+  ?cont_required:bool ->
+  ?formula:Formula.t ->
+  string ->
+  node
+(** Node with label and stored attributes; [nid] is assigned later by
+    {!make}. *)
+
+val tree : ?axis:axis -> ?sem:semantics -> node -> tree list -> tree
+(** Defaults: [Descendant] axis, [Join] semantics. *)
+
+val make : ?ordered:bool -> tree list -> t
+(** Assemble a pattern, numbering nodes in pre-order (left-to-right root
+    order). *)
+
+val v : ?axis:axis -> ?sem:semantics -> ?node:node -> string -> tree list -> tree
+(** Shorthand: [v "book" [...]] is [tree (mk_node "book") [...]] — when
+    [node] is given, the label argument is ignored. *)
+
+(** {1 Accessors} *)
+
+val nodes : t -> node list
+(** Pre-order. *)
+
+val node_count : t -> int
+val find_node : t -> int -> node option
+
+val find_tree : t -> int -> tree option
+(** Subtree rooted at the node with the given nid. *)
+
+val parent_nid : t -> int -> int option
+(** [None] for root nodes. *)
+
+val incoming_edge : t -> int -> edge option
+val return_nodes : t -> node list
+(** Nodes storing at least one attribute, in pre-order. *)
+
+val stored_attrs : node -> attr list
+val required_attrs : node -> attr list
+val stores : node -> attr -> bool
+val is_conjunctive : t -> bool
+(** No optional and no nested edges, and all formulas are trivially
+    satisfiable or equality-free... — precisely: no o/no/nj edges. Semi
+    edges are permitted (they are existential subtrees). *)
+
+val has_required : t -> bool
+val label_is_wildcard : string -> bool
+val label_is_attribute : string -> bool
+
+(** {1 Transformations} *)
+
+val strip_optional : t -> t
+(** Make every edge mandatory ([Outer → Join], [Nest_outer → Nest_join]);
+    the pattern p₀ used when building optional canonical models (§4.3.2). *)
+
+val strip_nesting : t -> t
+(** Forget nesting ([Nest_join → Join], [Nest_outer → Outer]): the unnested
+    pattern of Prop 4.4.4 condition 1. *)
+
+val strip_formulas : t -> t
+val map_nodes : (node -> node) -> t -> t
+val remove_node : t -> int -> t option
+(** Erase one non-root node, reconnecting its children to its parent — the
+    elementary step of S-contraction (§4.5). The reconnecting edges keep the
+    child's semantics, and their axis is [Descendant] unless both erased
+    edges were [Child]... — precisely: the composed axis is [Child] only if
+    both were [Child] and the erased node could only bind one level (we
+    conservatively use [Descendant] whenever either edge was [Descendant]).
+    Returns [None] when the node is a return node or does not exist. *)
+
+(** {1 Schema} *)
+
+val attr_col : int -> attr -> string
+(** Column name for a stored attribute, e.g. ["ID3"]. *)
+
+val nest_col : int -> string
+(** Nested-column name for the subtree hanging under a nested edge rooted
+    at the given node. *)
+
+val schema : t -> Xalgebra.Rel.schema
+(** Output schema of the pattern: one column per stored attribute in
+    pre-order, with subtrees under nested edges packed into nested
+    columns. *)
+
+val col_path : t -> int -> attr -> Xalgebra.Rel.path
+(** Dotted path of a stored attribute in {!schema}, accounting for the
+    nested edges above the node. *)
+
+(** {1 Misc} *)
+
+val equal : t -> t -> bool
+(** Structural equality up to node numbering. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

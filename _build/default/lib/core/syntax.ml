@@ -1,0 +1,280 @@
+module Value = Xalgebra.Value
+
+exception Parse_error of { line : int; msg : string }
+
+let error line msg = raise (Parse_error { line; msg })
+
+(* --- Lexing one node line -------------------------------------------------- *)
+
+type line = { depth : int; edge : Pattern.edge; node : Pattern.node }
+
+let parse_edge lineno tok =
+  let axis, rest =
+    if String.length tok >= 2 && String.sub tok 0 2 = "//" then
+      (Pattern.Descendant, String.sub tok 2 (String.length tok - 2))
+    else if String.length tok >= 1 && tok.[0] = '/' then
+      (Pattern.Child, String.sub tok 1 (String.length tok - 1))
+    else error lineno (Printf.sprintf "expected edge marker, got %S" tok)
+  in
+  let sem =
+    match rest with
+    | "j" -> Pattern.Join
+    | "o" -> Pattern.Outer
+    | "s" -> Pattern.Semi
+    | "nj" -> Pattern.Nest_join
+    | "no" -> Pattern.Nest_outer
+    | other -> error lineno (Printf.sprintf "unknown edge semantics %S" other)
+  in
+  { Pattern.axis; sem }
+
+let strip_required tok =
+  if String.length tok > 1 && tok.[String.length tok - 1] = 'R' then
+    (String.sub tok 0 (String.length tok - 1), true)
+  else (tok, false)
+
+let parse_literal lineno s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then Value.Str (String.sub s 1 (n - 2))
+  else
+    match int_of_string_opt s with
+    | Some i -> Value.Int i
+    | None -> error lineno (Printf.sprintf "bad literal %S" s)
+
+(* A [Val op literal] bracket group (brackets already removed). *)
+let parse_formula lineno body =
+  let ops = [ ">="; "<="; "!="; "="; "<"; ">" ] in
+  let rec split = function
+    | [] -> error lineno (Printf.sprintf "no comparator in [%s]" body)
+    | op :: rest -> (
+        match String.index_opt body (String.get op 0) with
+        | Some i
+          when i + String.length op <= String.length body
+               && String.sub body i (String.length op) = op ->
+            (String.trim (String.sub body 0 i), op,
+             String.trim
+               (String.sub body
+                  (i + String.length op)
+                  (String.length body - i - String.length op)))
+        | _ -> split rest)
+  in
+  (* The exact serialized fallback form: [Val:…]. *)
+  if String.length body > 4 && String.sub body 0 4 = "Val:" then
+    match Formula.deserialize (String.sub body 4 (String.length body - 4)) with
+    | f -> f
+    | exception Invalid_argument m -> error lineno m
+  else
+  let lhs, op, rhs = split ops in
+  if not (String.equal lhs "Val") then
+    error lineno (Printf.sprintf "formulas constrain Val, got %S" lhs);
+  let c = parse_literal lineno rhs in
+  match op with
+  | "=" -> Formula.eq c
+  | "!=" -> Formula.ne c
+  | "<" -> Formula.lt c
+  | "<=" -> Formula.le c
+  | ">" -> Formula.gt c
+  | ">=" -> Formula.ge c
+  | _ -> assert false
+
+(* Tokenize a node line: space-separated, but bracket groups are single
+   tokens (their content may contain spaces). *)
+let tokens lineno s =
+  let out = ref [] and buf = Buffer.create 16 and in_bracket = ref false in
+  let flush () =
+    if Buffer.length buf > 0 then (
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf)
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '[' when not !in_bracket ->
+          (* ID[x] keeps its bracket inline; a bracket at token start opens
+             a formula group. *)
+          if Buffer.length buf = 0 then (
+            in_bracket := true;
+            Buffer.add_char buf c)
+          else Buffer.add_char buf c
+      | ']' when !in_bracket ->
+          Buffer.add_char buf c;
+          in_bracket := false;
+          flush ()
+      | ' ' | '\t' when not !in_bracket -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  if !in_bracket then error lineno "unterminated [ ... ]";
+  flush ();
+  List.rev !out
+
+let parse_node_line lineno raw =
+  let depth =
+    let i = ref 0 in
+    while !i < String.length raw && raw.[!i] = ' ' do
+      incr i
+    done;
+    !i
+  in
+  match tokens lineno (String.trim raw) with
+  | [] -> None
+  | edge_tok :: label :: specs ->
+      let edge = parse_edge lineno edge_tok in
+      let id_scheme = ref None and id_required = ref false in
+      let tag = ref false and tag_required = ref false in
+      let value = ref false and val_required = ref false in
+      let cont = ref false and cont_required = ref false in
+      let formula = ref Formula.tt in
+      List.iter
+        (fun spec ->
+          let base, required = strip_required spec in
+          match base with
+          | "ID[i]" | "ID[o]" | "ID[s]" | "ID[p]" ->
+              id_scheme := Xdm.Nid.scheme_of_name (String.sub base 3 1);
+              id_required := required
+          | "Tag" ->
+              tag := true;
+              tag_required := required
+          | "Val" ->
+              value := true;
+              val_required := required
+          | "Cont" ->
+              cont := true;
+              cont_required := required
+          | _ when String.length spec > 1 && spec.[0] = '[' ->
+              let body = String.sub spec 1 (String.length spec - 2) in
+              formula := Formula.conj !formula (parse_formula lineno body)
+          | other -> error lineno (Printf.sprintf "unknown specification %S" other))
+        specs;
+      let node =
+        Pattern.mk_node ?id:!id_scheme ~id_required:!id_required ~tag:!tag
+          ~tag_required:!tag_required ~value:!value ~val_required:!val_required
+          ~cont:!cont ~cont_required:!cont_required ~formula:!formula label
+      in
+      Some { depth; edge; node }
+  | [ single ] ->
+      error lineno (Printf.sprintf "node line needs an edge marker and a label: %S" single)
+
+(* --- Parsing --------------------------------------------------------------- *)
+
+let parse src =
+  let raw_lines =
+    String.split_on_char '\n' src
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) -> String.trim l <> "")
+  in
+  match raw_lines with
+  | [] -> error 0 "empty pattern"
+  | (l0, top) :: rest ->
+      let top_tokens = String.split_on_char ' ' (String.trim top) in
+      let ordered =
+        match List.filter (fun t -> t <> "") top_tokens with
+        | [ "T" ] -> true
+        | [ "T"; "ordered" ] -> true
+        | [ "T"; "unordered" ] -> false
+        | _ -> error l0 "pattern must start with a T line"
+      in
+      let lines =
+        List.filter_map (fun (i, l) -> parse_node_line i l) rest
+      in
+      (* Build the forest from indentation. *)
+      let rec build depth (lines : line list) : Pattern.tree list * line list =
+        match lines with
+        | l :: rest when l.depth = depth ->
+            let children, rest' = build (depth + 2) rest in
+            let tree =
+              { Pattern.node = l.node; edge = l.edge; children }
+            in
+            let siblings, rest'' = build depth rest' in
+            (tree :: siblings, rest'')
+        | l :: _ when l.depth > depth ->
+            error 0 (Printf.sprintf "unexpected indentation %d" l.depth)
+        | rest -> ([], rest)
+      in
+      let base_depth = match lines with l :: _ -> l.depth | [] -> 2 in
+      let roots, leftover = build base_depth lines in
+      if leftover <> [] then error 0 "inconsistent indentation";
+      if roots = [] then error l0 "pattern has no nodes";
+      Pattern.make ~ordered roots
+
+let parse_result src =
+  match parse src with
+  | p -> Ok p
+  | exception Parse_error { line; msg } ->
+      Error (Printf.sprintf "XAM syntax error at line %d: %s" line msg)
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s
+
+(* --- Printing --------------------------------------------------------------- *)
+
+let axis_str = function Pattern.Child -> "/" | Pattern.Descendant -> "//"
+
+let sem_str = function
+  | Pattern.Join -> "j"
+  | Pattern.Outer -> "o"
+  | Pattern.Semi -> "s"
+  | Pattern.Nest_join -> "nj"
+  | Pattern.Nest_outer -> "no"
+
+(* Render a formula as readable comparison atoms when it is a single
+   interval or a disequality, falling back to the exact serialized form. *)
+let print_formula buf f =
+  let lit = function
+    | Xalgebra.Value.Int i -> string_of_int i
+    | Xalgebra.Value.Str s -> Printf.sprintf "%S" s
+    | v -> Printf.sprintf "%S" (Xalgebra.Value.to_display v)
+  in
+  match Formula.as_ne f with
+  | Some c -> Buffer.add_string buf (Printf.sprintf "[Val!=%s]" (lit c))
+  | None -> (
+      match Formula.as_single_interval f with
+      | Some (Formula.Inclusive a, Formula.Inclusive b) when Xalgebra.Value.equal a b ->
+          Buffer.add_string buf (Printf.sprintf "[Val=%s]" (lit a))
+      | Some (lo, hi) ->
+          (match lo with
+          | Formula.Unbounded -> ()
+          | Formula.Inclusive v -> Buffer.add_string buf (Printf.sprintf "[Val>=%s]" (lit v))
+          | Formula.Exclusive v -> Buffer.add_string buf (Printf.sprintf "[Val>%s]" (lit v)));
+          (match hi with
+          | Formula.Unbounded -> ()
+          | Formula.Inclusive v ->
+              (match lo with Formula.Unbounded -> () | _ -> Buffer.add_char buf ' ');
+              Buffer.add_string buf (Printf.sprintf "[Val<=%s]" (lit v))
+          | Formula.Exclusive v ->
+              (match lo with Formula.Unbounded -> () | _ -> Buffer.add_char buf ' ');
+              Buffer.add_string buf (Printf.sprintf "[Val<%s]" (lit v)))
+      | None ->
+          Buffer.add_string buf (Printf.sprintf "[Val:%s]" (Formula.serialize f)))
+
+let print (pat : Pattern.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (if pat.Pattern.ordered then "T ordered\n" else "T unordered\n");
+  let rec go depth (t : Pattern.tree) =
+    Buffer.add_string buf (String.make depth ' ');
+    Buffer.add_string buf (axis_str t.edge.Pattern.axis);
+    Buffer.add_string buf (sem_str t.edge.Pattern.sem);
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf t.node.Pattern.label;
+    (match t.node.Pattern.id_scheme with
+    | Some scheme ->
+        Buffer.add_string buf
+          (Printf.sprintf " ID[%s]%s" (Xdm.Nid.scheme_name scheme)
+             (if t.node.Pattern.id_required then "R" else ""))
+    | None -> ());
+    if t.node.Pattern.tag_stored then
+      Buffer.add_string buf (if t.node.Pattern.tag_required then " TagR" else " Tag");
+    if t.node.Pattern.val_stored then
+      Buffer.add_string buf (if t.node.Pattern.val_required then " ValR" else " Val");
+    if t.node.Pattern.cont_stored then
+      Buffer.add_string buf (if t.node.Pattern.cont_required then " ContR" else " Cont");
+    if not (Formula.is_true t.node.Pattern.formula) then (
+      Buffer.add_char buf ' ';
+      print_formula buf t.node.Pattern.formula);
+    Buffer.add_char buf '\n';
+    List.iter (go (depth + 2)) t.children
+  in
+  List.iter (go 2) pat.Pattern.roots;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** A concrete textual syntax for XAMs, mirroring the grammar of Fig 2.3
+    and the graphical notation of Fig 2.4.
+
+    A pattern is written as an indented tree under the implicit ⊤ line:
+
+    {v
+    T ordered
+      //j book ID[s] Tag
+        /j  title [Val="Data on the Web"]
+        /no author ID[s]R Val
+        /s  @year [Val>=1990] [Val<2000]
+    v}
+
+    Each node line is: an edge marker [(/ or //)(j|o|s|nj|no)], a label
+    ([*], [@name], [#text], or an element name), then any number of
+    specifications:
+
+    - [ID[i|o|s|p]] with an optional [R] suffix (required);
+    - [Tag] / [TagR] — the label is stored (wildcard nodes);
+    - [Val] / [ValR] / [Cont] / [ContR];
+    - value formulas [[Val op literal]] with [op] among [= != < <= > >=];
+      several conjoin.
+
+    Indentation (two spaces per level) determines the tree. The first line
+    is [T] (the ⊤ node), optionally followed by [ordered]. *)
+
+exception Parse_error of { line : int; msg : string }
+
+val parse : string -> Pattern.t
+val parse_result : string -> (Pattern.t, string) result
+
+val print : Pattern.t -> string
+(** Round-trips through {!parse} (up to whitespace). *)
+
+val parse_file : string -> Pattern.t

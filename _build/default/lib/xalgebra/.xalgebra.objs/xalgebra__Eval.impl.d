@@ -1,0 +1,1 @@
+lib/xalgebra/eval.ml: Array Buffer Hashtbl List Logical Nid Option Pred Rel String Value Xdm

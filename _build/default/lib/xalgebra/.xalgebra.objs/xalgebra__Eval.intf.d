@@ -1,0 +1,1 @@
+lib/xalgebra/eval.mli: Buffer Logical Rel Xdm

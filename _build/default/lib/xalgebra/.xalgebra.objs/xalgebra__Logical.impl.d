@@ -1,0 +1,1 @@
+lib/xalgebra/logical.ml: Array Format List Pred Printf Rel String

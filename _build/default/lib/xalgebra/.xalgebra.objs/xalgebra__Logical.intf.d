@@ -1,0 +1,1 @@
+lib/xalgebra/logical.mli: Format Pred Rel

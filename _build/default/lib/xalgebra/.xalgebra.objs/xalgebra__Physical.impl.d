@@ -1,0 +1,1 @@
+lib/xalgebra/physical.ml: Array Buffer Eval Hashtbl List Logical Marshal Option Pred Rel Value Xdm

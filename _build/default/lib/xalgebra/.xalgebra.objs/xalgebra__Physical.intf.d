@@ -1,0 +1,1 @@
+lib/xalgebra/physical.mli: Eval Logical Rel Xdm

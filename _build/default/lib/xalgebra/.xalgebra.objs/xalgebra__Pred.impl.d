@@ -1,0 +1,1 @@
+lib/xalgebra/pred.ml: Format List Option Rel String Value Xdm

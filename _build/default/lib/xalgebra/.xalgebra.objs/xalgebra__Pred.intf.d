@@ -1,0 +1,1 @@
+lib/xalgebra/pred.mli: Format Rel Value

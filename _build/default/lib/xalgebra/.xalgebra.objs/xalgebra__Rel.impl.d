@@ -1,0 +1,1 @@
+lib/xalgebra/rel.ml: Array Format Hashtbl List Marshal Printf String Value

@@ -1,0 +1,1 @@
+lib/xalgebra/rel.mli: Format Value

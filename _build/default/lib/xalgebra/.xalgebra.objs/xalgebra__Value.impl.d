@@ -1,0 +1,1 @@
+lib/xalgebra/value.ml: Bool Format Hashtbl Int Printf String Xdm

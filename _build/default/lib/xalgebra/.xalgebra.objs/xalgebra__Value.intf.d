@@ -1,0 +1,1 @@
+lib/xalgebra/value.mli: Format Xdm

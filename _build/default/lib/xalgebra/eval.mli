@@ -1,0 +1,35 @@
+(** Execution engine: a physical interpretation of the logical algebra
+    (§1.2.3).
+
+    Structural joins are executed by a sort-merge strategy in the spirit of
+    StackTreeDesc [7] when both join columns carry homogeneous structural
+    identifiers ((pre, post, depth) or Dewey): the right input is sorted by
+    document order and each left identifier matches a contiguous run of it.
+    Heterogeneous or non-structural identifier columns fall back to a
+    nested-loop join. Value joins use a hash join on equality predicates and
+    nested loops otherwise. *)
+
+type env = string -> Rel.t option
+
+exception Unknown_relation of string
+
+val env_of_list : (string * Rel.t) list -> env
+
+val run : env -> Logical.t -> Rel.t
+(** Evaluate a plan. Raises {!Unknown_relation} on unresolved scans and
+    [Invalid_argument] on plans whose paths do not match their input
+    schemas. *)
+
+val run_closed : Logical.t -> Rel.t
+(** Evaluate a plan with no [Scan] leaves. *)
+
+val eval_template :
+  Buffer.t -> Rel.schema -> Rel.tuple -> Logical.template -> unit
+(** Expand an XML construction template against one tuple (used by the
+    physical layer). *)
+
+val struct_matches :
+  Logical.axis -> Xdm.Nid.t -> (Xdm.Nid.t * 'a) array -> 'a list
+(** [struct_matches axis key sorted]: elements of [sorted] (sorted by
+    document order on homogeneous structural identifiers) whose identifier is
+    a child/descendant of [key]. Exposed for the micro-benchmarks. *)

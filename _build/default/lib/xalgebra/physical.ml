@@ -1,0 +1,491 @@
+module Nid = Xdm.Nid
+
+type order = Rel.path option
+type cursor = unit -> Rel.tuple option
+type t = { schema : Rel.schema; order : order; open_ : unit -> cursor }
+
+(* --- Cursor helpers ------------------------------------------------------ *)
+
+let of_list (tuples : Rel.tuple list) : cursor =
+  let rest = ref tuples in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | t :: more ->
+        rest := more;
+        Some t
+
+let drain (c : cursor) : Rel.tuple list =
+  let rec go acc = match c () with None -> List.rev acc | Some t -> go (t :: acc) in
+  go []
+
+let map_cursor f (c : cursor) : cursor =
+ fun () -> Option.map f (c ())
+
+let filter_cursor pred (c : cursor) : cursor =
+  let rec next () =
+    match c () with
+    | None -> None
+    | Some t -> if pred t then Some t else next ()
+  in
+  next
+
+(* --- StackTree structural joins (Al-Khalifa et al. [7]) ------------------- *)
+
+(* Inputs: arrays of (identifier, payload) sorted by document order.
+   The stack holds the current chain of nested ancestors. *)
+
+let strictly_before a d =
+  (* a starts before d in document order. *)
+  Nid.compare a d < 0
+
+let is_anc a d = Nid.is_ancestor a d = Some true
+
+let axis_pair axis a d =
+  match axis with
+  | Logical.Descendant -> is_anc a d
+  | Logical.Child -> Nid.is_parent a d = Some true
+
+(* Group adjacent equal identifiers: bag inputs may repeat an ancestor,
+   and each copy must pair (the stack keys on distinct identifiers). *)
+let group_runs (arr : (Nid.t * Rel.tuple) array) : (Nid.t * Rel.tuple list) array =
+  let out = ref [] in
+  Array.iter
+    (fun (id, t) ->
+      match !out with
+      | (id', ts) :: rest when Nid.equal id id' -> out := (id', t :: ts) :: rest
+      | _ -> out := (id, [ t ]) :: !out)
+    arr;
+  Array.of_list (List.rev_map (fun (id, ts) -> (id, List.rev ts)) !out)
+
+let stack_tree_desc ~axis (ancs : (Nid.t * Rel.tuple) array)
+    (descs : (Nid.t * Rel.tuple) array) : (Rel.tuple * Rel.tuple) list =
+  let ancs = group_runs ancs in
+  let out = ref [] in
+  let stack = ref [] in
+  let na = Array.length ancs in
+  let ai = ref 0 in
+  Array.iter
+    (fun (did, dt) ->
+      (* Push every ancestor-side node starting before [did], maintaining
+         the nesting-chain invariant. *)
+      while !ai < na && strictly_before (fst ancs.(!ai)) did do
+        let aid, ats = ancs.(!ai) in
+        incr ai;
+        (* Pop stack entries that do not contain the new node. *)
+        while (match !stack with (top, _) :: _ -> not (is_anc top aid) | [] -> false) do
+          stack := List.tl !stack
+        done;
+        stack := (aid, ats) :: !stack
+      done;
+      (* Pop entries whose span ended before [did]. *)
+      while (match !stack with (top, _) :: _ -> not (is_anc top did) | [] -> false) do
+        stack := List.tl !stack
+      done;
+      (* Every remaining stack entry is an ancestor of [did]; emit bottom-up
+         or filtered to parents on the Child axis. *)
+      List.iter
+        (fun (aid, ats) ->
+          if axis = Logical.Descendant || axis_pair axis aid did then
+            List.iter (fun at -> out := (at, dt) :: !out) ats)
+        !stack)
+    descs;
+  List.rev !out
+
+let stack_tree_anc ~axis (ancs : (Nid.t * Rel.tuple) array)
+    (descs : (Nid.t * Rel.tuple) array) : (Rel.tuple * Rel.tuple) list =
+  (* Each stack entry carries a self-list (its own pairs) and an
+     inherit-list (completed pairs of deeper popped entries, which must be
+     output before its own). Output is produced only when an entry leaves
+     an empty stack, which is what yields ancestor order. *)
+  let ancs = group_runs ancs in
+  let out = ref [] in
+  let emit l = out := List.rev_append l !out in
+  let stack : (Nid.t * Rel.tuple list * (Rel.tuple * Rel.tuple) list ref
+              * (Rel.tuple * Rel.tuple) list ref) list ref =
+    ref []
+  in
+  let pop () =
+    match !stack with
+    | [] -> ()
+    | (_, _, self, inh) :: rest ->
+        stack := rest;
+        (match rest with
+        | [] ->
+            emit (List.rev !inh);
+            emit (List.rev !self)
+        | (_, _, _, parent_inh) :: _ ->
+            parent_inh := List.rev_append !self (List.rev_append !inh !parent_inh))
+  in
+  let na = Array.length ancs in
+  let ai = ref 0 in
+  Array.iter
+    (fun (did, dt) ->
+      while !ai < na && strictly_before (fst ancs.(!ai)) did do
+        let aid, ats = ancs.(!ai) in
+        incr ai;
+        while (match !stack with (top, _, _, _) :: _ -> not (is_anc top aid) | [] -> false) do
+          pop ()
+        done;
+        stack := (aid, ats, ref [], ref []) :: !stack
+      done;
+      while (match !stack with (top, _, _, _) :: _ -> not (is_anc top did) | [] -> false) do
+        pop ()
+      done;
+      List.iter
+        (fun (aid, ats, self, _) ->
+          if axis = Logical.Descendant || axis_pair axis aid did then
+            List.iter (fun at -> self := (at, dt) :: !self) ats)
+        !stack)
+    descs;
+  while !stack <> [] do
+    pop ()
+  done;
+  List.rev !out
+
+(* --- Compilation ----------------------------------------------------------- *)
+
+exception Fallback
+
+(* Column holding the identifier, when the path is a single top-level
+   component. *)
+let top_col schema path =
+  match path with
+  | [ name ] -> ( match Rel.find_col schema name with Some (i, _) -> Some i | None -> None)
+  | _ -> None
+
+let id_at i (t : Rel.tuple) =
+  match t.(i) with Rel.A (Value.Id id) -> Some id | _ -> None
+
+(* Is a materialized stream sorted by the identifier column [i]? *)
+let sorted_on i tuples =
+  let rec go prev = function
+    | [] -> true
+    | t :: rest -> (
+        match id_at i t with
+        | None -> false
+        | Some id -> (
+            match prev with
+            | Some p when Nid.compare p id > 0 -> false
+            | _ -> go (Some id) rest))
+  in
+  go None tuples
+
+let sort_tuples i tuples =
+  List.stable_sort
+    (fun a b ->
+      match (id_at i a, id_at i b) with
+      | Some x, Some y -> Nid.compare x y
+      | _ -> 0)
+    tuples
+
+(* Materialize the delegated operators through the set-at-a-time engine. *)
+let delegate env plan : t =
+  let result = Eval.run env plan in
+  { schema = result.Rel.schema; order = None; open_ = (fun () -> of_list result.Rel.tuples) }
+
+let rec compile (env : Eval.env) (plan : Logical.t) : t =
+  match compile_streaming env plan with p -> p | exception Fallback -> delegate env plan
+
+and compile_streaming env plan : t =
+  match plan with
+  | Logical.Scan name -> (
+      match env name with
+      | None -> raise (Eval.Unknown_relation name)
+      | Some r ->
+          let order =
+            List.find_map
+              (fun (c : Rel.column) ->
+                match c.Rel.ctype with
+                | Rel.Atom ->
+                    let i = Rel.col_index r.Rel.schema c.Rel.cname in
+                    if
+                      r.Rel.tuples <> []
+                      && List.for_all (fun t -> id_at i t <> None) r.Rel.tuples
+                      && sorted_on i r.Rel.tuples
+                    then Some [ c.Rel.cname ]
+                    else None
+                | Rel.Nested _ -> None)
+              r.Rel.schema
+          in
+          { schema = r.Rel.schema; order; open_ = (fun () -> of_list r.Rel.tuples) })
+  | Logical.Table r ->
+      { schema = r.Rel.schema; order = None; open_ = (fun () -> of_list r.Rel.tuples) }
+  | Logical.Select (pred, input) ->
+      let p = compile env input in
+      (* Nested-path predicates reduce collections in Eval; keep agreement
+         by delegating those. *)
+      if List.exists (fun path -> List.length path > 1) (Pred.paths pred) then
+        raise Fallback
+      else
+        { p with
+          open_ = (fun () -> filter_cursor (fun t -> Pred.eval p.schema t pred) (p.open_ ())) }
+  | Logical.Project { cols; dedup; input } ->
+      let p = compile env input in
+      if List.exists (fun path -> List.length path > 1) cols then raise Fallback
+      else
+        let out_schema = (Rel.project p.schema cols ~dedup:false []).Rel.schema in
+        let order =
+          match p.order with
+          | Some [ col ] when List.mem [ col ] cols -> Some [ col ]
+          | _ -> None
+        in
+        if dedup then
+          { schema = out_schema;
+            order;
+            open_ =
+              (fun () ->
+                let seen = Hashtbl.create 64 in
+                let c = p.open_ () in
+                let rec next () =
+                  match c () with
+                  | None -> None
+                  | Some t ->
+                      let u = (Rel.project p.schema cols ~dedup:false [ t ]).Rel.tuples in
+                      let u = List.hd u in
+                      let key = Marshal.to_string u [] in
+                      if Hashtbl.mem seen key then next ()
+                      else (
+                        Hashtbl.add seen key ();
+                        Some u)
+                in
+                next) }
+        else
+          { schema = out_schema;
+            order;
+            open_ =
+              (fun () ->
+                map_cursor
+                  (fun t -> List.hd (Rel.project p.schema cols ~dedup:false [ t ]).Rel.tuples)
+                  (p.open_ ())) }
+  | Logical.Rename (renames, input) ->
+      let p = compile env input in
+      let rename_col name =
+        match List.assoc_opt name renames with Some n -> n | None -> name
+      in
+      { schema =
+          List.map
+            (fun (c : Rel.column) -> { c with Rel.cname = rename_col c.Rel.cname })
+            p.schema;
+        order = Option.map (function [ n ] -> [ rename_col n ] | o -> o) p.order;
+        open_ = p.open_ }
+  | Logical.Reorder (positions, input) ->
+      let p = compile env input in
+      let sch = Array.of_list p.schema in
+      { schema = List.map (fun i -> sch.(i)) positions;
+        order = None;
+        open_ =
+          (fun () ->
+            map_cursor
+              (fun t -> Array.of_list (List.map (fun i -> t.(i)) positions))
+              (p.open_ ())) }
+  | Logical.Union (l, r) ->
+      let pl = compile env l and pr = compile env r in
+      { schema = pl.schema;
+        order = None;
+        open_ =
+          (fun () ->
+            let cl = pl.open_ () and cr = pr.open_ () in
+            let left_done = ref false in
+            let rec next () =
+              if !left_done then cr ()
+              else
+                match cl () with
+                | Some t -> Some t
+                | None ->
+                    left_done := true;
+                    next ()
+            in
+            next) }
+  | Logical.Diff (l, r) ->
+      let pl = compile env l and pr = compile env r in
+      { schema = pl.schema;
+        order = pl.order;
+        open_ =
+          (fun () ->
+            let rights = drain (pr.open_ ()) in
+            filter_cursor
+              (fun t -> not (List.exists (Rel.equal_tuple t) rights))
+              (pl.open_ ())) }
+  | Logical.Sort (path, input) ->
+      let p = compile env input in
+      { schema = p.schema;
+        order = Some path;
+        open_ =
+          (fun () ->
+            let r = Rel.sort_by p.schema path (Rel.make p.schema (drain (p.open_ ()))) in
+            of_list r.Rel.tuples) }
+  | Logical.Product (l, r) ->
+      let pl = compile env l and pr = compile env r in
+      { schema = Rel.concat_schemas pl.schema pr.schema;
+        order = pl.order;
+        open_ =
+          (fun () ->
+            let rights = drain (pr.open_ ()) in
+            let cl = pl.open_ () in
+            let pending = ref [] in
+            let rec next () =
+              match !pending with
+              | t :: more ->
+                  pending := more;
+                  Some t
+              | [] -> (
+                  match cl () with
+                  | None -> None
+                  | Some lt ->
+                      pending := List.map (fun rt -> Rel.concat_tuples lt rt) rights;
+                      next ())
+            in
+            next) }
+  | Logical.Join { kind = Logical.Inner | Logical.LeftOuter | Logical.Semi as kind;
+                   pred; left; right; _ } -> (
+      let pl = compile env left and pr = compile env right in
+      (* Hash join on top-level equality columns. *)
+      match pred with
+      | Pred.Cmp (Pred.Col lp, Pred.Eq, Pred.Col rp)
+        when top_col pl.schema lp <> None && top_col pr.schema rp <> None ->
+          let li = Option.get (top_col pl.schema lp) in
+          let ri = Option.get (top_col pr.schema rp) in
+          hash_join kind pl pr li ri
+      | _ -> nested_loop_join kind pred pl pr)
+  | Logical.Struct_join { kind = Logical.Inner as kind; axis; lpath; rpath; left; right; _ }
+    ->
+      struct_join_stream env kind axis lpath rpath left right
+  | Logical.Xml (template, input) ->
+      let p = compile env input in
+      if has_foreach template then raise Fallback
+      else
+        { schema = [ Rel.atom "xml" ];
+          order = None;
+          open_ =
+            (fun () ->
+              map_cursor
+                (fun t ->
+                  let buf = Buffer.create 128 in
+                  Eval.eval_template buf p.schema t template;
+                  [| Rel.A (Value.Str (Buffer.contents buf)) |])
+                (p.open_ ())) }
+  | _ -> raise Fallback
+
+and has_foreach = function
+  | Logical.T_foreach _ -> true
+  | Logical.T_tag (_, children) -> List.exists has_foreach children
+  | Logical.T_col _ | Logical.T_text _ -> false
+
+and hash_join kind pl pr li ri : t =
+  let schema =
+    match kind with
+    | Logical.Semi -> pl.schema
+    | _ -> Rel.concat_schemas pl.schema pr.schema
+  in
+  { schema;
+    order = pl.order;
+    open_ =
+      (fun () ->
+        let table = Hashtbl.create 64 in
+        List.iter
+          (fun rt ->
+            let v = Rel.atom_field rt ri in
+            if not (Value.is_null v) then Hashtbl.add table (Value.hash v) (v, rt))
+          (drain (pr.open_ ()));
+        let matches lt =
+          let v = Rel.atom_field lt li in
+          Hashtbl.find_all table (Value.hash v)
+          |> List.rev
+          |> List.filter_map (fun (rv, rt) -> if Value.equal v rv then Some rt else None)
+        in
+        let cl = pl.open_ () in
+        let pending = ref [] in
+        let null_right = Rel.null_tuple pr.schema in
+        let rec next () =
+          match !pending with
+          | t :: more ->
+              pending := more;
+              Some t
+          | [] -> (
+              match cl () with
+              | None -> None
+              | Some lt -> (
+                  let ms = matches lt in
+                  match kind with
+                  | Logical.Semi -> if ms = [] then next () else Some lt
+                  | Logical.LeftOuter ->
+                      pending :=
+                        (match ms with
+                        | [] -> [ Rel.concat_tuples lt null_right ]
+                        | _ -> List.map (fun rt -> Rel.concat_tuples lt rt) ms);
+                      next ()
+                  | _ ->
+                      pending := List.map (fun rt -> Rel.concat_tuples lt rt) ms;
+                      next ()))
+        in
+        next) }
+
+and nested_loop_join kind pred pl pr : t =
+  let joined = Rel.concat_schemas pl.schema pr.schema in
+  let schema = match kind with Logical.Semi -> pl.schema | _ -> joined in
+  { schema;
+    order = pl.order;
+    open_ =
+      (fun () ->
+        let rights = drain (pr.open_ ()) in
+        let matches lt =
+          List.filter (fun rt -> Pred.eval joined (Rel.concat_tuples lt rt) pred) rights
+        in
+        let cl = pl.open_ () in
+        let pending = ref [] in
+        let null_right = Rel.null_tuple pr.schema in
+        let rec next () =
+          match !pending with
+          | t :: more ->
+              pending := more;
+              Some t
+          | [] -> (
+              match cl () with
+              | None -> None
+              | Some lt -> (
+                  let ms = matches lt in
+                  match kind with
+                  | Logical.Semi -> if ms = [] then next () else Some lt
+                  | Logical.LeftOuter ->
+                      pending :=
+                        (match ms with
+                        | [] -> [ Rel.concat_tuples lt null_right ]
+                        | _ -> List.map (fun rt -> Rel.concat_tuples lt rt) ms);
+                      next ()
+                  | _ ->
+                      pending := List.map (fun rt -> Rel.concat_tuples lt rt) ms;
+                      next ()))
+        in
+        next) }
+
+and struct_join_stream env kind axis lpath rpath left right : t =
+  let pl = compile env left and pr = compile env right in
+  let li = match top_col pl.schema lpath with Some i -> i | None -> raise Fallback in
+  let ri = match top_col pr.schema rpath with Some i -> i | None -> raise Fallback in
+  ignore kind;
+  let schema = Rel.concat_schemas pl.schema pr.schema in
+  let axis' = match axis with Logical.Child -> Logical.Child | a -> a in
+  { schema;
+    order = Some rpath;
+    open_ =
+      (fun () ->
+        (* Enforce the order descriptors: sort an input unless its
+           descriptor already matches the join attribute (§1.2.3). *)
+        let prepare (p : t) i path =
+          let tuples = drain (p.open_ ()) in
+          let tuples =
+            if p.order = Some path && sorted_on i tuples then tuples
+            else sort_tuples i tuples
+          in
+          Array.of_list
+            (List.filter_map (fun t -> Option.map (fun id -> (id, t)) (id_at i t)) tuples)
+        in
+        let ancs = prepare pl li lpath in
+        let descs = prepare pr ri rpath in
+        let pairs = stack_tree_desc ~axis:axis' ancs descs in
+        of_list (List.map (fun (a, d) -> Rel.concat_tuples a d) pairs)) }
+
+let run env plan =
+  let p = compile env plan in
+  Rel.make p.schema (drain (p.open_ ()))

@@ -1,0 +1,51 @@
+(** Iterator-based physical execution (§1.2.3).
+
+    {!Eval} interprets logical plans set-at-a-time; this module provides the
+    thesis's physical layer: Volcano-style iterators, the
+    {e StackTreeDesc}/{e StackTreeAnc} structural-join algorithms of [7],
+    hash joins, and {e order descriptors} — each operator advertises the
+    column its output is sorted on, and the compiler inserts Sort enforcers
+    when a structural join's inputs are not ordered on their join
+    attributes (the pipelining discipline §1.2.3 describes).
+
+    [run] must agree with {!Eval.run} up to tuple order; the test suite
+    checks it does. *)
+
+type order = Rel.path option
+(** The column the stream is sorted on (document order of its identifiers);
+    [None] when no order is guaranteed. *)
+
+type cursor = unit -> Rel.tuple option
+(** Pull-based iterator: [None] at end of stream. *)
+
+type t = {
+  schema : Rel.schema;
+  order : order;
+  open_ : unit -> cursor;
+}
+
+val compile : Eval.env -> Logical.t -> t
+(** Compile a logical plan to a physical one. Structural joins become
+    StackTreeDesc (inner/outer/semi; output ordered by the descendant
+    column) over inputs sorted on their join attributes, with Sort
+    enforcers inserted as needed; top-level equality value joins become
+    hash joins; other predicates fall back to nested loops. *)
+
+val run : Eval.env -> Logical.t -> Rel.t
+(** Compile and drain. *)
+
+val stack_tree_desc :
+  axis:Logical.axis ->
+  (Xdm.Nid.t * Rel.tuple) array ->
+  (Xdm.Nid.t * Rel.tuple) array ->
+  (Rel.tuple * Rel.tuple) list
+(** The StackTreeDesc algorithm on inputs sorted by document order:
+    ancestor/descendant (or parent/child) pairs, output sorted by the
+    descendant. Exposed for direct testing and benchmarking. *)
+
+val stack_tree_anc :
+  axis:Logical.axis ->
+  (Xdm.Nid.t * Rel.tuple) array ->
+  (Xdm.Nid.t * Rel.tuple) array ->
+  (Rel.tuple * Rel.tuple) list
+(** StackTreeAnc: same pairs, output sorted by the ancestor. *)

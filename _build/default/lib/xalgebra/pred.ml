@@ -1,0 +1,109 @@
+type comparator = Eq | Ne | Lt | Le | Gt | Ge | Parent | Ancestor
+
+type operand = Col of Rel.path | Const of Value.t
+
+type t =
+  | True
+  | False
+  | Cmp of operand * comparator * operand
+  | Contains of Rel.path * string
+  | Is_null of Rel.path
+  | Not_null of Rel.path
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let compare_values cmp a b =
+  match cmp with
+  | Parent -> (
+      match (a, b) with
+      | Value.Id x, Value.Id y -> Option.value ~default:false (Xdm.Nid.is_parent x y)
+      | _ -> false)
+  | Ancestor -> (
+      match (a, b) with
+      | Value.Id x, Value.Id y -> Option.value ~default:false (Xdm.Nid.is_ancestor x y)
+      | _ -> false)
+  | Eq | Ne | Lt | Le | Gt | Ge ->
+      if Value.is_null a || Value.is_null b then false
+      else
+        let c = Value.compare_typed a b in
+        (match cmp with
+        | Eq -> c = 0
+        | Ne -> c <> 0
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+        | Parent | Ancestor -> assert false)
+
+let word_contains text word =
+  let n = String.length text and m = String.length word in
+  if m = 0 then true
+  else
+    let lower = String.lowercase_ascii text and w = String.lowercase_ascii word in
+    let rec go i = i + m <= n && (String.sub lower i m = w || go (i + 1)) in
+    go 0
+
+let atoms schema tuple = function
+  | Const v -> [ v ]
+  | Col path -> Rel.atoms_of_path schema tuple path
+
+let rec eval schema tuple pred =
+  match pred with
+  | True -> true
+  | False -> false
+  | Cmp (l, cmp, r) ->
+      let ls = atoms schema tuple l and rs = atoms schema tuple r in
+      List.exists (fun a -> List.exists (fun b -> compare_values cmp a b) rs) ls
+  | Contains (path, word) ->
+      List.exists
+        (function Value.Str s -> word_contains s word | _ -> false)
+        (Rel.atoms_of_path schema tuple path)
+  | Is_null path ->
+      let vs = Rel.atoms_of_path schema tuple path in
+      vs = [] || List.for_all Value.is_null vs
+  | Not_null path ->
+      List.exists (fun v -> not (Value.is_null v)) (Rel.atoms_of_path schema tuple path)
+  | And (a, b) -> eval schema tuple a && eval schema tuple b
+  | Or (a, b) -> eval schema tuple a || eval schema tuple b
+  | Not a -> not (eval schema tuple a)
+
+let rec paths = function
+  | True | False -> []
+  | Cmp (l, _, r) ->
+      (match l with Col p -> [ p ] | Const _ -> [])
+      @ (match r with Col p -> [ p ] | Const _ -> [])
+  | Contains (p, _) | Is_null p | Not_null p -> [ p ]
+  | And (a, b) | Or (a, b) -> paths a @ paths b
+  | Not a -> paths a
+
+let conj preds =
+  match List.filter (fun p -> p <> True) preds with
+  | [] -> True
+  | first :: rest -> List.fold_left (fun acc p -> And (acc, p)) first rest
+
+let comparator_to_string = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Parent -> "≺"
+  | Ancestor -> "≺≺"
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Cmp (l, cmp, r) ->
+      Format.fprintf ppf "%a %s %a" pp_operand l (comparator_to_string cmp) pp_operand r
+  | Contains (p, w) -> Format.fprintf ppf "contains(%s, %S)" (String.concat "." p) w
+  | Is_null p -> Format.fprintf ppf "%s is ⊥" (String.concat "." p)
+  | Not_null p -> Format.fprintf ppf "%s is not ⊥" (String.concat "." p)
+  | And (a, b) -> Format.fprintf ppf "(%a ∧ %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a ∨ %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "¬%a" pp a
+
+and pp_operand ppf = function
+  | Col p -> Format.pp_print_string ppf (String.concat "." p)
+  | Const v -> Value.pp ppf v

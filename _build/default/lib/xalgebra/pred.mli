@@ -1,0 +1,39 @@
+(** Predicates over (possibly nested) tuple attributes.
+
+    Comparators follow §1.2.2: the value comparators {=, ≠, <, ≤, >, ≥}, the
+    structural comparators ≺ (parent) and ≺≺ (ancestor) which only apply to
+    identifier values, and a full-text [contains] (§2.1.2). Predicates over
+    nested paths have existential semantics, as defined by the map
+    meta-operator. *)
+
+type comparator = Eq | Ne | Lt | Le | Gt | Ge | Parent | Ancestor
+
+type operand = Col of Rel.path | Const of Value.t
+
+type t =
+  | True
+  | False
+  | Cmp of operand * comparator * operand
+  | Contains of Rel.path * string  (** word containment on a string column *)
+  | Is_null of Rel.path
+  | Not_null of Rel.path
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val compare_values : comparator -> Value.t -> Value.t -> bool
+(** Comparator application on two atomic values. Structural comparators
+    return [false] when the identifiers do not carry the needed
+    information; value comparators on ⊥ are [false] (three-valued logic
+    collapsed to false, as in SQL). *)
+
+val eval : Rel.schema -> Rel.tuple -> t -> bool
+(** Existential semantics on nested paths: [Cmp] holds if some pair of
+    reachable atoms satisfies the comparator. *)
+
+val paths : t -> Rel.path list
+(** All column paths mentioned. *)
+
+val conj : t list -> t
+val pp : Format.formatter -> t -> unit
+val comparator_to_string : comparator -> string

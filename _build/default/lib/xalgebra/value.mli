@@ -1,0 +1,29 @@
+(** Atomic values of the nested relational data model (§1.2.2): the set [A]
+    of atomic data types, extended with node identifiers and the null
+    constant ⊥. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Id of Xdm.Nid.t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order: [Null] first, then within-constructor natural order, with a
+    fixed rank between constructors. Strings that both parse as integers are
+    not coerced — use {!compare_typed} for XQuery-style numeric comparison. *)
+
+val compare_typed : t -> t -> int
+(** Like {!compare} but a [Str] that parses as an integer compares
+    numerically against [Int] (the dynamic-typing coercion of §1.1). *)
+
+val is_null : t -> bool
+val of_string_literal : string -> t
+(** [Int] if the string parses as an integer, else [Str]. *)
+
+val to_display : t -> string
+val pp : Format.formatter -> t -> unit
+val hash : t -> int

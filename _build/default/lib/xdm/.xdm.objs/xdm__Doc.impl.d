@@ -1,0 +1,1 @@
+lib/xdm/doc.ml: Array Buffer Hashtbl List Nid Printf String Xml_tree

@@ -1,0 +1,1 @@
+lib/xdm/doc.mli: Nid Xml_tree

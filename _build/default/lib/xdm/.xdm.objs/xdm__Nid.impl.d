@@ -1,0 +1,1 @@
+lib/xdm/nid.ml: Format Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/xdm/nid.mli: Format

@@ -1,0 +1,1 @@
+lib/xdm/xml_tree.ml: Buffer Char Format List Printf String Uchar

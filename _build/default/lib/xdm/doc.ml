@@ -1,0 +1,224 @@
+type kind = Element | Attribute | Text
+
+type node = {
+  post : int;
+  depth : int;
+  parent : int;
+  ordinal : int;
+  kind : kind;
+  label : string;
+  value : string;
+  subtree_end : int;
+}
+
+type t = {
+  name : string;
+  nodes : node array;
+  mutable label_index : (string, int list) Hashtbl.t option;
+}
+
+let name d = d.name
+let size d = Array.length d.nodes
+let root _ = 0
+
+let of_tree ?(name = "doc") tree =
+  let buf = ref [] in
+  let count = ref 0 in
+  let post_counter = ref 0 in
+  (* Nodes are emitted in pre-order; post and subtree_end are patched in as
+     the traversal unwinds. *)
+  let emit ~depth ~parent ~ordinal ~kind ~label ~value =
+    let i = !count in
+    incr count;
+    buf := (i, depth, parent, ordinal, kind, label, value) :: !buf;
+    i
+  in
+  let posts = Hashtbl.create 256 in
+  let ends = Hashtbl.create 256 in
+  let close i =
+    incr post_counter;
+    Hashtbl.replace posts i !post_counter;
+    Hashtbl.replace ends i !count
+  in
+  let rec go tree ~depth ~parent ~ordinal =
+    match tree with
+    | Xml_tree.Text s ->
+        let i = emit ~depth ~parent ~ordinal ~kind:Text ~label:"#text" ~value:s in
+        close i
+    | Xml_tree.Element { tag; attrs; children } ->
+        let i = emit ~depth ~parent ~ordinal ~kind:Element ~label:tag ~value:"" in
+        let ord = ref 0 in
+        List.iter
+          (fun (aname, avalue) ->
+            incr ord;
+            let j =
+              emit ~depth:(depth + 1) ~parent:i ~ordinal:!ord ~kind:Attribute
+                ~label:("@" ^ aname) ~value:avalue
+            in
+            close j)
+          attrs;
+        List.iter
+          (fun child ->
+            incr ord;
+            go child ~depth:(depth + 1) ~parent:i ~ordinal:!ord)
+          children;
+        close i
+  in
+  go tree ~depth:1 ~parent:(-1) ~ordinal:1;
+  let n = !count in
+  let dummy =
+    { post = 0; depth = 0; parent = -1; ordinal = 0; kind = Text; label = "";
+      value = ""; subtree_end = 0 }
+  in
+  let nodes = Array.make n dummy in
+  List.iter
+    (fun (i, depth, parent, ordinal, kind, label, value) ->
+      nodes.(i) <-
+        { post = Hashtbl.find posts i; depth; parent; ordinal; kind; label;
+          value; subtree_end = Hashtbl.find ends i })
+    !buf;
+  { name; nodes; label_index = None }
+
+let of_string ?name s = of_tree ?name (Xml_tree.parse s)
+
+let element_size d =
+  Array.fold_left (fun acc n -> if n.kind = Element then acc + 1 else acc) 0 d.nodes
+
+let kind d i = d.nodes.(i).kind
+let label d i = d.nodes.(i).label
+let pre _ i = i
+let post d i = d.nodes.(i).post
+let depth d i = d.nodes.(i).depth
+let parent d i = d.nodes.(i).parent
+let ordinal d i = d.nodes.(i).ordinal
+let subtree_end d i = d.nodes.(i).subtree_end
+
+let is_ancestor d a b = a < b && b < d.nodes.(a).subtree_end
+let is_parent d a b = is_ancestor d a b && d.nodes.(b).parent = a
+
+let children d i =
+  let stop = d.nodes.(i).subtree_end in
+  let rec go j acc =
+    if j >= stop then List.rev acc else go d.nodes.(j).subtree_end (j :: acc)
+  in
+  go (i + 1) []
+
+let descendants d i =
+  let stop = d.nodes.(i).subtree_end in
+  List.init (stop - i - 1) (fun k -> i + 1 + k)
+
+let descendants_with_label d i lbl =
+  let stop = d.nodes.(i).subtree_end in
+  let rec go j acc =
+    if j >= stop then List.rev acc
+    else go (j + 1) (if String.equal d.nodes.(j).label lbl then j :: acc else acc)
+  in
+  go (i + 1) []
+
+let build_label_index d =
+  match d.label_index with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create 64 in
+      for i = Array.length d.nodes - 1 downto 0 do
+        let lbl = d.nodes.(i).label in
+        let prev = try Hashtbl.find idx lbl with Not_found -> [] in
+        Hashtbl.replace idx lbl (i :: prev)
+      done;
+      d.label_index <- Some idx;
+      idx
+
+let nodes_with_label d lbl =
+  match Hashtbl.find_opt (build_label_index d) lbl with
+  | Some l -> l
+  | None -> []
+
+let labels d =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  Array.iter
+    (fun n ->
+      if not (Hashtbl.mem seen n.label) then (
+        Hashtbl.add seen n.label ();
+        acc := n.label :: !acc))
+    d.nodes;
+  List.rev !acc
+
+let iter f d = Array.iteri (fun i _ -> f i) d.nodes
+
+let value d i =
+  let n = d.nodes.(i) in
+  match n.kind with
+  | Text | Attribute -> n.value
+  | Element ->
+      let buf = Buffer.create 32 in
+      for j = i + 1 to n.subtree_end - 1 do
+        if d.nodes.(j).kind = Text then Buffer.add_string buf d.nodes.(j).value
+      done;
+      Buffer.contents buf
+
+let rec to_tree d i =
+  let n = d.nodes.(i) in
+  match n.kind with
+  | Text -> Xml_tree.Text n.value
+  | Attribute ->
+      (* An attribute serialized standalone becomes an element carrying its
+         value, mirroring the R^a tag-derived collections of §2.2.2. *)
+      Xml_tree.Element
+        { tag = String.sub n.label 1 (String.length n.label - 1); attrs = [];
+          children = [ Xml_tree.Text n.value ] }
+  | Element ->
+      let attrs, children =
+        List.fold_left
+          (fun (attrs, children) j ->
+            let c = d.nodes.(j) in
+            if c.kind = Attribute then
+              ((String.sub c.label 1 (String.length c.label - 1), c.value) :: attrs,
+               children)
+            else (attrs, to_tree d j :: children))
+          ([], []) (children d i)
+      in
+      Xml_tree.Element
+        { tag = n.label; attrs = List.rev attrs; children = List.rev children }
+
+let content d i =
+  let n = d.nodes.(i) in
+  match n.kind with
+  | Text -> n.value
+  | Attribute ->
+      Printf.sprintf "%s=\"%s\""
+        (String.sub n.label 1 (String.length n.label - 1))
+        n.value
+  | Element -> Xml_tree.serialize (to_tree d i)
+
+let id scheme d i =
+  match scheme with
+  | Nid.Simple -> Nid.Simple_id i
+  | Nid.Ordinal -> Nid.Ordinal_id i
+  | Nid.Structural ->
+      Nid.Pre_post { pre = i; post = d.nodes.(i).post; depth = d.nodes.(i).depth }
+  | Nid.Parental ->
+      let rec path i acc =
+        if i < 0 then acc else path d.nodes.(i).parent (d.nodes.(i).ordinal :: acc)
+      in
+      Nid.Dewey (path i [])
+
+let handle_of_id d nid =
+  let check i = if i >= 0 && i < Array.length d.nodes then Some i else None in
+  match nid with
+  | Nid.Simple_id i | Nid.Ordinal_id i -> check i
+  | Nid.Pre_post { pre; post; _ } -> (
+      match check pre with
+      | Some i when d.nodes.(i).post = post -> Some i
+      | _ -> None)
+  | Nid.Dewey path ->
+      let rec follow i = function
+        | [] -> Some i
+        | ord :: rest -> (
+            match
+              List.find_opt (fun j -> d.nodes.(j).ordinal = ord) (children d i)
+            with
+            | Some j -> follow j rest
+            | None -> None)
+      in
+      (match path with 1 :: rest -> follow 0 rest | _ -> None)

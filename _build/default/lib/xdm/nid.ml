@@ -1,0 +1,112 @@
+type scheme = Simple | Ordinal | Structural | Parental
+
+type t =
+  | Simple_id of int
+  | Ordinal_id of int
+  | Pre_post of { pre : int; post : int; depth : int }
+  | Dewey of int list
+
+let scheme = function
+  | Simple_id _ -> Simple
+  | Ordinal_id _ -> Ordinal
+  | Pre_post _ -> Structural
+  | Dewey _ -> Parental
+
+let scheme_name = function
+  | Simple -> "i"
+  | Ordinal -> "o"
+  | Structural -> "s"
+  | Parental -> "p"
+
+let scheme_of_name = function
+  | "i" -> Some Simple
+  | "o" -> Some Ordinal
+  | "s" -> Some Structural
+  | "p" -> Some Parental
+  | _ -> None
+
+let strength = function Simple -> 0 | Ordinal -> 1 | Structural -> 2 | Parental -> 3
+let subsumes a b = strength a >= strength b
+
+let equal a b =
+  match (a, b) with
+  | Simple_id x, Simple_id y -> x = y
+  | Ordinal_id x, Ordinal_id y -> x = y
+  | Pre_post x, Pre_post y -> x.pre = y.pre && x.post = y.post && x.depth = y.depth
+  | Dewey x, Dewey y -> x = y
+  | (Simple_id _ | Ordinal_id _ | Pre_post _ | Dewey _), _ -> false
+
+(* Lexicographic comparison of Dewey labels: proper prefixes sort first,
+   which is exactly pre-order (document order). *)
+let rec compare_dewey x y =
+  match (x, y) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | a :: x', b :: y' -> if a <> b then Int.compare a b else compare_dewey x' y'
+
+let rank = function Simple_id _ -> 0 | Ordinal_id _ -> 1 | Pre_post _ -> 2 | Dewey _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Simple_id x, Simple_id y -> Int.compare x y
+  | Ordinal_id x, Ordinal_id y -> Int.compare x y
+  | Pre_post x, Pre_post y -> Int.compare x.pre y.pre
+  | Dewey x, Dewey y -> compare_dewey x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let doc_order a b =
+  match (a, b) with
+  | Ordinal_id x, Ordinal_id y -> Some (Int.compare x y)
+  | Pre_post x, Pre_post y -> Some (Int.compare x.pre y.pre)
+  | Dewey x, Dewey y -> Some (compare_dewey x y)
+  | _ -> None
+
+let rec is_strict_prefix p l =
+  match (p, l) with
+  | [], [] -> false
+  | [], _ :: _ -> true
+  | _ :: _, [] -> false
+  | a :: p', b :: l' -> a = b && is_strict_prefix p' l'
+
+let is_ancestor a d =
+  match (a, d) with
+  | Pre_post x, Pre_post y -> Some (x.pre < y.pre && y.post < x.post)
+  | Dewey x, Dewey y -> Some (is_strict_prefix x y)
+  | _ -> None
+
+let is_parent a d =
+  match (a, d) with
+  | Pre_post x, Pre_post y ->
+      Some (x.pre < y.pre && y.post < x.post && x.depth + 1 = y.depth)
+  | Dewey x, Dewey y -> Some (is_strict_prefix x y && List.length y = List.length x + 1)
+  | _ -> None
+
+let parent = function
+  | Dewey [] | Dewey [ _ ] -> None
+  | Dewey l ->
+      let rec drop_last = function
+        | [] | [ _ ] -> []
+        | x :: rest -> x :: drop_last rest
+      in
+      Some (Dewey (drop_last l))
+  | Simple_id _ | Ordinal_id _ | Pre_post _ -> None
+
+let depth = function
+  | Pre_post x -> Some x.depth
+  | Dewey l -> Some (List.length l)
+  | Simple_id _ | Ordinal_id _ -> None
+
+let to_string = function
+  | Simple_id i -> Printf.sprintf "#%d" i
+  | Ordinal_id i -> Printf.sprintf "o%d" i
+  | Pre_post { pre; post; depth } -> Printf.sprintf "(%d,%d,%d)" pre post depth
+  | Dewey l -> String.concat "." (List.map string_of_int l)
+
+let pp ppf id = Format.pp_print_string ppf (to_string id)
+
+let hash = function
+  | Simple_id i -> Hashtbl.hash (0, i)
+  | Ordinal_id i -> Hashtbl.hash (1, i)
+  | Pre_post { pre; post; depth } -> Hashtbl.hash (2, pre, post, depth)
+  | Dewey l -> Hashtbl.hash (3, l)

@@ -1,0 +1,67 @@
+(** Persistent node identifiers for XML nodes.
+
+    The thesis distinguishes four strength levels for the identifiers stored
+    in a XAM (grammar rule 2.3):
+
+    - [i] — simple IDs: only equality is meaningful;
+    - [o] — order-reflecting IDs: comparing two IDs decides document order;
+    - [s] — structural IDs: comparing two IDs additionally decides
+      parent/child and ancestor/descendant relationships (the classic
+      (pre, post, depth) labeling);
+    - [p] — parental (navigational) structural IDs: the parent's ID can be
+      derived from the child's (Dewey / ORDPATH style).
+
+    This module provides one concrete representative per level and the
+    decision procedures on them. *)
+
+type scheme = Simple | Ordinal | Structural | Parental
+
+(** A node identifier. The constructor determines the scheme. *)
+type t =
+  | Simple_id of int  (** [i]: opaque unique value *)
+  | Ordinal_id of int  (** [o]: position in document order *)
+  | Pre_post of { pre : int; post : int; depth : int }  (** [s] *)
+  | Dewey of int list  (** [p]: child-ordinal chain from the root *)
+
+val scheme : t -> scheme
+
+val scheme_name : scheme -> string
+(** ["i"], ["o"], ["s"] or ["p"]. *)
+
+val scheme_of_name : string -> scheme option
+
+val strength : scheme -> int
+(** [Simple]=0 … [Parental]=3; a scheme subsumes all weaker ones. *)
+
+val subsumes : scheme -> scheme -> bool
+(** [subsumes a b] holds when an ID of scheme [a] supports every decision an
+    ID of scheme [b] supports. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order used for sorting; coincides with document order for
+    [Ordinal_id], [Pre_post] and [Dewey] identifiers of the same document. *)
+
+val doc_order : t -> t -> int option
+(** Document-order comparison, when the scheme supports it ([o], [s], [p]
+    identifiers of like constructors). [None] otherwise. *)
+
+val is_ancestor : t -> t -> bool option
+(** [is_ancestor a d] decides whether [a]'s node is a proper ancestor of
+    [d]'s node; [None] when the identifiers do not carry the structural
+    information ([i]/[o] schemes or mismatched constructors). *)
+
+val is_parent : t -> t -> bool option
+(** Like {!is_ancestor} for the parent/child relationship. *)
+
+val parent : t -> t option
+(** Derive the parent's identifier. Only parental ([Dewey]) identifiers
+    support this; returns [None] otherwise, and [None] on the root. *)
+
+val depth : t -> int option
+(** Depth of the identified node (root = 1) when the scheme encodes it. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val hash : t -> int

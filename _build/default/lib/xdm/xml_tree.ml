@@ -1,0 +1,299 @@
+type t =
+  | Element of { tag : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+let elt ?(attrs = []) tag children = Element { tag; attrs; children }
+let text s = Text s
+
+let rec node_count = function
+  | Text _ -> 1
+  | Element { attrs; children; _ } ->
+      1 + List.length attrs + List.fold_left (fun acc c -> acc + node_count c) 0 children
+
+let rec element_count = function
+  | Text _ -> 0
+  | Element { children; _ } ->
+      1 + List.fold_left (fun acc c -> acc + element_count c) 0 children
+
+let text_of t =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf s
+    | Element { children; _ } -> List.iter go children
+  in
+  go t;
+  Buffer.contents buf
+
+exception Parse_error of { pos : int; msg : string }
+
+(* --- Parser ------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let error cur msg = raise (Parse_error { pos = cur.pos; msg })
+let eof cur = cur.pos >= String.length cur.src
+let peek cur = cur.src.[cur.pos]
+let advance cur = cur.pos <- cur.pos + 1
+
+let looking_at cur s =
+  let n = String.length s in
+  cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = s
+
+let skip cur s =
+  if looking_at cur s then cur.pos <- cur.pos + String.length s
+  else error cur (Printf.sprintf "expected %S" s)
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_ws cur =
+  while (not (eof cur)) && is_space (peek cur) do
+    advance cur
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name cur =
+  if eof cur || not (is_name_start (peek cur)) then error cur "expected name";
+  let start = cur.pos in
+  while (not (eof cur)) && is_name_char (peek cur) do
+    advance cur
+  done;
+  String.sub cur.src start (cur.pos - start)
+
+let parse_entity cur =
+  skip cur "&";
+  let start = cur.pos in
+  while (not (eof cur)) && peek cur <> ';' do
+    advance cur
+  done;
+  if eof cur then error cur "unterminated entity reference";
+  let name = String.sub cur.src start (cur.pos - start) in
+  advance cur;
+  match name with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+      if String.length name > 1 && name.[0] = '#' then (
+        let code =
+          try
+            if name.[1] = 'x' || name.[1] = 'X' then
+              int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+            else int_of_string (String.sub name 1 (String.length name - 1))
+          with Failure _ -> error cur "bad character reference"
+        in
+        if code < 0x80 then String.make 1 (Char.chr code)
+        else
+          (* Encode the scalar value back to UTF-8. *)
+          let b = Buffer.create 4 in
+          Buffer.add_utf_8_uchar b (Uchar.of_int code);
+          Buffer.contents b)
+      else error cur (Printf.sprintf "unknown entity &%s;" name)
+
+let parse_quoted cur =
+  let quote = peek cur in
+  if quote <> '"' && quote <> '\'' then error cur "expected quoted value";
+  advance cur;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof cur then error cur "unterminated attribute value"
+    else if peek cur = quote then advance cur
+    else if peek cur = '&' then (
+      Buffer.add_string buf (parse_entity cur);
+      go ())
+    else (
+      Buffer.add_char buf (peek cur);
+      advance cur;
+      go ())
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_attrs cur =
+  let rec go acc =
+    skip_ws cur;
+    if eof cur then error cur "unterminated tag"
+    else if peek cur = '>' || peek cur = '/' || peek cur = '?' then List.rev acc
+    else
+      let name = parse_name cur in
+      skip_ws cur;
+      skip cur "=";
+      skip_ws cur;
+      let value = parse_quoted cur in
+      go ((name, value) :: acc)
+  in
+  go []
+
+let skip_until cur marker =
+  let n = String.length cur.src in
+  let rec go () =
+    if cur.pos >= n then error cur (Printf.sprintf "expected %S" marker)
+    else if looking_at cur marker then cur.pos <- cur.pos + String.length marker
+    else (
+      advance cur;
+      go ())
+  in
+  go ()
+
+let rec skip_misc cur =
+  skip_ws cur;
+  if looking_at cur "<!--" then (
+    skip cur "<!--";
+    skip_until cur "-->";
+    skip_misc cur)
+  else if looking_at cur "<?" then (
+    skip cur "<?";
+    skip_until cur "?>";
+    skip_misc cur)
+  else if looking_at cur "<!DOCTYPE" || looking_at cur "<!doctype" then (
+    (* Skip to the matching '>' allowing one level of bracketed subset. *)
+    let depth = ref 0 in
+    let continue = ref true in
+    while !continue do
+      if eof cur then error cur "unterminated DOCTYPE";
+      (match peek cur with
+      | '[' -> incr depth
+      | ']' -> decr depth
+      | '>' when !depth = 0 ->
+          continue := false
+      | _ -> ());
+      advance cur
+    done;
+    skip_misc cur)
+
+let rec parse_content cur tag acc =
+  if eof cur then error cur (Printf.sprintf "unterminated element <%s>" tag)
+  else if looking_at cur "</" then (
+    skip cur "</";
+    let name = parse_name cur in
+    if name <> tag then
+      error cur (Printf.sprintf "mismatched close tag </%s> for <%s>" name tag);
+    skip_ws cur;
+    skip cur ">";
+    List.rev acc)
+  else if looking_at cur "<!--" then (
+    skip cur "<!--";
+    skip_until cur "-->";
+    parse_content cur tag acc)
+  else if looking_at cur "<![CDATA[" then (
+    skip cur "<![CDATA[";
+    let start = cur.pos in
+    skip_until cur "]]>";
+    let s = String.sub cur.src start (cur.pos - start - 3) in
+    parse_content cur tag (Text s :: acc))
+  else if looking_at cur "<?" then (
+    skip cur "<?";
+    skip_until cur "?>";
+    parse_content cur tag acc)
+  else if peek cur = '<' then
+    let child = parse_element cur in
+    parse_content cur tag (child :: acc)
+  else
+    let buf = Buffer.create 32 in
+    let rec chars () =
+      if (not (eof cur)) && peek cur <> '<' then
+        if peek cur = '&' then (
+          Buffer.add_string buf (parse_entity cur);
+          chars ())
+        else (
+          Buffer.add_char buf (peek cur);
+          advance cur;
+          chars ())
+    in
+    chars ();
+    let s = Buffer.contents buf in
+    (* Whitespace-only runs between elements are formatting, not data. *)
+    let keep = String.exists (fun c -> not (is_space c)) s in
+    parse_content cur tag (if keep then Text s :: acc else acc)
+
+and parse_element cur =
+  skip cur "<";
+  let tag = parse_name cur in
+  let attrs = parse_attrs cur in
+  if looking_at cur "/>" then (
+    skip cur "/>";
+    Element { tag; attrs; children = [] })
+  else (
+    skip cur ">";
+    let children = parse_content cur tag [] in
+    Element { tag; attrs; children })
+
+let parse src =
+  let cur = { src; pos = 0 } in
+  skip_misc cur;
+  if eof cur || peek cur <> '<' then error cur "expected root element";
+  let root = parse_element cur in
+  skip_misc cur;
+  if not (eof cur) then error cur "trailing content after root element";
+  root
+
+let parse_result src =
+  match parse src with
+  | t -> Ok t
+  | exception Parse_error { pos; msg } ->
+      Error (Printf.sprintf "XML parse error at offset %d: %s" pos msg)
+
+(* --- Serializer --------------------------------------------------------- *)
+
+let escape_into buf ~attr s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let serialize ?(decl = false) t =
+  let buf = Buffer.create 1024 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\"?>";
+  let rec go = function
+    | Text s -> escape_into buf ~attr:false s
+    | Element { tag; attrs; children } ->
+        Buffer.add_char buf '<';
+        Buffer.add_string buf tag;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf k;
+            Buffer.add_string buf "=\"";
+            escape_into buf ~attr:true v;
+            Buffer.add_char buf '"')
+          attrs;
+        if children = [] then Buffer.add_string buf "/>"
+        else (
+          Buffer.add_char buf '>';
+          List.iter go children;
+          Buffer.add_string buf "</";
+          Buffer.add_string buf tag;
+          Buffer.add_char buf '>')
+  in
+  go t;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Text s -> Format.fprintf ppf "%S" s
+  | Element { tag; attrs; children } ->
+      Format.fprintf ppf "@[<v 2><%s%a>" tag
+        (fun ppf attrs ->
+          List.iter (fun (k, v) -> Format.fprintf ppf " %s=%S" k v) attrs)
+        attrs;
+      List.iter (fun c -> Format.fprintf ppf "@,%a" pp c) children;
+      Format.fprintf ppf "@]"
+
+let rec equal a b =
+  match (a, b) with
+  | Text x, Text y -> String.equal x y
+  | Element x, Element y ->
+      String.equal x.tag y.tag && x.attrs = y.attrs
+      && List.length x.children = List.length y.children
+      && List.for_all2 equal x.children y.children
+  | (Text _ | Element _), _ -> false

@@ -1,0 +1,41 @@
+(** Parsed XML trees: the surface representation documents are built from and
+    serialized to. The flattened, identifier-bearing form used by the engine
+    is {!Doc}. *)
+
+type t =
+  | Element of { tag : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+val elt : ?attrs:(string * string) list -> string -> t list -> t
+(** Convenience constructor for elements. *)
+
+val text : string -> t
+
+val node_count : t -> int
+(** Elements + attributes + text nodes in the tree. *)
+
+val element_count : t -> int
+
+val text_of : t -> string
+(** Concatenation of all text descendants, i.e. XPath [text()] on the node
+    under the thesis's data model (§1.1). *)
+
+exception Parse_error of { pos : int; msg : string }
+
+val parse : string -> t
+(** Parse an XML document (elements, attributes, text, the five predefined
+    entities, numeric character references, comments, processing
+    instructions, a DOCTYPE header). Raises {!Parse_error} on malformed
+    input. *)
+
+val parse_result : string -> (t, string) result
+
+val serialize : ?decl:bool -> t -> string
+(** Serialize back to XML, escaping text and attribute values. [decl]
+    prepends an XML declaration (default [false]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented pretty-printer (not round-trip safe for mixed content; use
+    {!serialize} for that). *)
+
+val equal : t -> t -> bool

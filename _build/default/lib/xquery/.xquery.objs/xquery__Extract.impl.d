@@ -1,0 +1,1 @@
+lib/xquery/extract.ml: Array Ast Hashtbl List Option Printf String Xalgebra Xam Xdm

@@ -1,0 +1,1 @@
+lib/xquery/extract.mli: Ast Xalgebra Xam

@@ -1,0 +1,1 @@
+lib/xquery/translate.ml: Array Ast Buffer Extract Fun Int List Parse Printf String Xalgebra Xam Xdm

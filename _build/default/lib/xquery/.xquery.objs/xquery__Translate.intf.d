@@ -1,0 +1,1 @@
+lib/xquery/translate.mli: Ast Extract Xalgebra Xdm

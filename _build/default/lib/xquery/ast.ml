@@ -1,0 +1,99 @@
+type axis = Child | Descendant
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type step = { axis : axis; test : string; preds : pred list }
+
+and pred = Exists of step list | Value_cmp of step list * cmp * string
+
+type source = Doc of string | Var of string
+
+type path = { source : source; steps : step list }
+
+type cond =
+  | C_cmp of path * cmp * string
+  | C_exists of path
+  | C_join of path * cmp * path
+
+type expr =
+  | Path of path
+  | Seq of expr list
+  | Elem of string * expr list
+  | For of { bindings : (string * path) list; where : cond list; ret : expr }
+
+let path_ends_in_text (p : path) =
+  match List.rev p.steps with
+  | { test = "#text"; _ } :: _ -> true
+  | _ -> false
+
+let cmp_str = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let axis_str = function Child -> "/" | Descendant -> "//"
+
+let rec pp_steps ppf steps =
+  List.iter
+    (fun { axis; test; preds } ->
+      Format.fprintf ppf "%s%s"
+        (axis_str axis)
+        (if test = "#text" then "text()" else test);
+      List.iter
+        (fun p ->
+          match p with
+          | Exists rel -> Format.fprintf ppf "[%a]" pp_rel rel
+          | Value_cmp (rel, c, v) ->
+              Format.fprintf ppf "[%a %s %S]" pp_rel rel (cmp_str c) v)
+        preds)
+    steps
+
+and pp_rel ppf rel =
+  match rel with
+  | [] -> Format.pp_print_string ppf "."
+  | first :: rest ->
+      Format.fprintf ppf "%s"
+        (if first.test = "#text" then "text()" else first.test);
+      List.iter
+        (fun p ->
+          match p with
+          | Exists r -> Format.fprintf ppf "[%a]" pp_rel r
+          | Value_cmp (r, c, v) -> Format.fprintf ppf "[%a %s %S]" pp_rel r (cmp_str c) v)
+        first.preds;
+      pp_steps ppf rest
+
+let pp_path ppf (p : path) =
+  (match p.source with
+  | Doc d -> Format.fprintf ppf "doc(%S)" d
+  | Var v -> Format.fprintf ppf "$%s" v);
+  pp_steps ppf p.steps
+
+let rec pp ppf = function
+  | Path p -> pp_path ppf p
+  | Seq es ->
+      Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp ppf es
+  | Elem (tag, body) ->
+      Format.fprintf ppf "<%s>{" tag;
+      Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp ppf body;
+      Format.fprintf ppf "}</%s>" tag
+  | For { bindings; where; ret } ->
+      Format.fprintf ppf "@[<v 2>for %s"
+        (String.concat ", "
+           (List.map (fun (v, p) -> Format.asprintf "$%s in %a" v pp_path p) bindings));
+      if where <> [] then
+        Format.fprintf ppf "@,where %s"
+          (String.concat " and "
+             (List.map
+                (function
+                  | C_cmp (p, c, v) ->
+                      Format.asprintf "%a %s %S" pp_path p (cmp_str c) v
+                  | C_exists p -> Format.asprintf "%a" pp_path p
+                  | C_join (p1, c, p2) ->
+                      Format.asprintf "%a %s %a" pp_path p1 (cmp_str c) pp_path p2)
+                where));
+      Format.fprintf ppf "@,return %a@]" pp ret
+
+let to_string e = Format.asprintf "%a" pp e

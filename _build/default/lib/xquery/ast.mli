@@ -1,0 +1,41 @@
+(** Abstract syntax of the XQuery subset Q (§3.2):
+
+    - core XPath\{/, //, *, []\} absolute path expressions, with [text()]
+      and comparisons to constants inside predicates;
+    - relative path expressions rooted in a variable;
+    - concatenation;
+    - element constructors;
+    - for-where-return blocks, nested and/or concatenated and/or grouped
+      inside constructed elements. *)
+
+type axis = Child | Descendant
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+(** One navigation step, e.g. [//b[c][d/text() = 5]]. Node tests are an
+    element name, [*], [@name], or [#text] (surface syntax [text()]). *)
+type step = { axis : axis; test : string; preds : pred list }
+
+and pred =
+  | Exists of step list  (** [[p]] *)
+  | Value_cmp of step list * cmp * string
+      (** [[p = c]]; an empty step list compares the context node itself *)
+
+type source = Doc of string | Var of string
+
+type path = { source : source; steps : step list }
+
+type cond =
+  | C_cmp of path * cmp * string  (** where p θ c *)
+  | C_exists of path  (** where p *)
+  | C_join of path * cmp * path  (** where p₁ θ p₂ (value join) *)
+
+type expr =
+  | Path of path
+  | Seq of expr list  (** e₁, e₂ *)
+  | Elem of string * expr list  (** ⟨t⟩\{…\}⟨/t⟩ *)
+  | For of { bindings : (string * path) list; where : cond list; ret : expr }
+
+val path_ends_in_text : path -> bool
+val pp : Format.formatter -> expr -> unit
+val to_string : expr -> string

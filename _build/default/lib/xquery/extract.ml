@@ -1,0 +1,351 @@
+module Rel = Xalgebra.Rel
+module Pred = Xalgebra.Pred
+module Value = Xalgebra.Value
+module Formula = Xam.Formula
+module Pattern = Xam.Pattern
+
+type template =
+  | T_text of string
+  | T_tag of string * template list
+  | T_hole of int * Rel.path * bool
+  | T_foreach of int * Rel.path * bool * template list
+
+type t = {
+  patterns : Pattern.t list;
+  template : template;
+  value_joins : ((int * Rel.path) * Ast.cmp * (int * Rel.path)) list;
+  adaptations : (int * Pred.t) list;
+}
+
+exception Unsupported of string
+
+(* --- Proto patterns -------------------------------------------------------- *)
+
+type pnode = {
+  puid : int;
+  mutable label : string;
+  mutable axis : Pattern.axis;
+  mutable sem : Pattern.semantics;
+  mutable id_scheme : Xdm.Nid.scheme option;
+  mutable val_stored : bool;
+  mutable cont_stored : bool;
+  mutable formula : Formula.t;
+  mutable kids : pnode list;  (* in insertion order *)
+}
+
+(* Unresolved template: holes refer to proto nodes. *)
+type ptemp =
+  | P_tag of string * ptemp list
+  | P_hole of int * int * Pattern.attr  (* pattern idx, puid, attr *)
+  | P_foreach of int * int * ptemp list  (* pattern idx, group-boundary puid *)
+
+type state = {
+  mutable uid : int;
+  mutable pats : pnode list;  (* reversed: index = length - 1 - position *)
+  mutable npats : int;
+  mutable env : (string * (int * pnode)) list;  (* var -> pattern idx, node *)
+  mutable joins : ((int * int) * Ast.cmp * (int * int)) list;  (* (pat, puid V) *)
+  mutable adapt : (int * int * int) list;  (* pattern, var puid, dependent puid *)
+}
+
+let fresh st label axis sem =
+  st.uid <- st.uid + 1;
+  { puid = st.uid; label; axis; sem; id_scheme = None; val_stored = false;
+    cont_stored = false; formula = Formula.tt; kids = [] }
+
+let new_pattern st root =
+  st.pats <- root :: st.pats;
+  st.npats <- st.npats + 1;
+  st.npats - 1
+
+let cvt_axis = function Ast.Child -> Pattern.Child | Ast.Descendant -> Pattern.Descendant
+
+let cvt_cmp lit = function
+  | Ast.Eq -> Formula.eq (Value.of_string_literal lit)
+  | Ast.Ne -> Formula.ne (Value.of_string_literal lit)
+  | Ast.Lt -> Formula.lt (Value.of_string_literal lit)
+  | Ast.Le -> Formula.le (Value.of_string_literal lit)
+  | Ast.Gt -> Formula.gt (Value.of_string_literal lit)
+  | Ast.Ge -> Formula.ge (Value.of_string_literal lit)
+
+(* Split a step list ending in text() into (prefix, true). *)
+let split_text steps =
+  match List.rev steps with
+  | { Ast.test = "#text"; axis = _; preds = _ } :: rest -> (List.rev rest, true)
+  | _ -> (steps, false)
+
+(* Attach the chain of [steps] under [anchor]; the first edge gets
+   [first_sem], inner edges are joins. Returns the chain's target node and
+   its first node (the nesting boundary). An empty chain returns the
+   anchor itself. *)
+let rec add_chain st pat anchor steps ~first_sem =
+  match steps with
+  | [] -> (anchor, anchor)
+  | first :: rest ->
+      let node = add_step st pat anchor first ~sem:first_sem in
+      let target = List.fold_left (fun n s -> add_step st pat n s ~sem:Pattern.Join) node rest in
+      (target, node)
+
+and add_step st pat anchor (step : Ast.step) ~sem =
+  let node = fresh st step.test (cvt_axis step.axis) sem in
+  anchor.kids <- anchor.kids @ [ node ];
+  List.iter (add_pred st pat node) step.preds;
+  node
+
+and add_pred st pat node = function
+  | Ast.Exists rel ->
+      let _ = add_chain st pat node rel ~first_sem:Pattern.Semi in
+      ()
+  | Ast.Value_cmp (rel, cmp, lit) -> (
+      let rel', _text = split_text rel in
+      match rel' with
+      | [] -> node.formula <- Formula.conj node.formula (cvt_cmp lit cmp)
+      | _ ->
+          let target, _ = add_chain st pat node rel' ~first_sem:Pattern.Semi in
+          target.formula <- Formula.conj target.formula (cvt_cmp lit cmp))
+
+(* Resolve a path's anchor: a document root starts (or reuses) a pattern
+   root; a variable resolves through the environment. *)
+let anchor_of st (p : Ast.path) ~in_return =
+  match p.Ast.source with
+  | Ast.Var v -> (
+      match List.assoc_opt v st.env with
+      | Some (pat, node) -> (pat, node, p.Ast.steps)
+      | None -> raise (Unsupported (Printf.sprintf "unbound variable $%s" v)))
+  | Ast.Doc _ -> (
+      if in_return then
+        raise (Unsupported "document-rooted path inside a return clause");
+      match p.Ast.steps with
+      | [] -> raise (Unsupported "empty path")
+      | first :: rest ->
+          let root = fresh st first.Ast.test (cvt_axis first.Ast.axis) Pattern.Join in
+          let pat = new_pattern st root in
+          List.iter (add_pred st pat root) first.Ast.preds;
+          (pat, root, rest))
+
+(* A where condition over one variable: a semijoin chain with a formula. *)
+let add_condition st = function
+  | Ast.C_exists p ->
+      let pat, anchor, steps = anchor_of st p ~in_return:false in
+      let _ = add_chain st pat anchor steps ~first_sem:Pattern.Semi in
+      ()
+  | Ast.C_cmp (p, cmp, lit) -> (
+      let pat, anchor, steps = anchor_of st p ~in_return:false in
+      let steps', _text = split_text steps in
+      match steps' with
+      | [] -> anchor.formula <- Formula.conj anchor.formula (cvt_cmp lit cmp)
+      | _ ->
+          let target, _ = add_chain st pat anchor steps' ~first_sem:Pattern.Semi in
+          target.formula <- Formula.conj target.formula (cvt_cmp lit cmp))
+  | Ast.C_join (p1, cmp, p2) ->
+      let val_target p =
+        let pat, anchor, steps = anchor_of st p ~in_return:false in
+        let steps', _ = split_text steps in
+        let target, _ = add_chain st pat anchor steps' ~first_sem:Pattern.Nest_outer in
+        target.val_stored <- true;
+        (pat, target.puid)
+      in
+      let left = val_target p1 in
+      let right = val_target p2 in
+      st.joins <- (left, cmp, right) :: st.joins
+
+(* --- Query traversal ------------------------------------------------------- *)
+
+(* [group]: the innermost enclosing nested-for group
+   (pattern, boundary puid, var puid), for adaptation detection. *)
+let rec build st expr ~nested ~group : ptemp list =
+  match expr with
+  | Ast.Seq es -> List.concat_map (fun e -> build st e ~nested ~group) es
+  | Ast.Elem (tag, body) ->
+      [ P_tag (tag, List.concat_map (fun e -> build st e ~nested ~group) body) ]
+  | Ast.Path p ->
+      let pat, anchor, steps = anchor_of st p ~in_return:nested in
+      (* A top-level path iterates over its root matches: keep their
+         identity so distinct nodes with equal values are not merged. *)
+      if anchor.id_scheme = None && not nested then
+        anchor.id_scheme <- Some Xdm.Nid.Structural;
+      let steps', text = split_text steps in
+      let target, _first =
+        add_chain st pat anchor steps' ~first_sem:Pattern.Nest_outer
+      in
+      (* Return targets keep their identity so materialized tuples and
+         nested groups can be kept in document order (the thesis's V10/V11
+         store IDs on return nodes too). *)
+      if target.id_scheme = None then target.id_scheme <- Some Xdm.Nid.Structural;
+      let attr =
+        if text then (
+          target.val_stored <- true;
+          Pattern.V)
+        else (
+          target.cont_stored <- true;
+          Pattern.C)
+      in
+      (match group with
+      | Some (gpat, _, gvar) when gpat = pat ->
+          (* A hole anchored outside the innermost nested block (its anchor
+             is not the block's variable): the materialized-view form of
+             the pattern needs the §3.1 adaptation selection. *)
+          let anchored_in_block =
+            match p.Ast.source with
+            | Ast.Var v -> (
+                match List.assoc_opt v st.env with
+                | Some (_, node) -> node.puid = gvar || is_below st gpat gvar node.puid
+                | None -> false)
+            | Ast.Doc _ -> false
+          in
+          if not anchored_in_block then st.adapt <- (pat, gvar, target.puid) :: st.adapt
+      | _ -> ());
+      [ P_hole (pat, target.puid, attr) ]
+  | Ast.For { bindings; where; ret } ->
+      let saved_env = st.env in
+      let groups =
+        List.map
+          (fun (v, p) ->
+            let pat, anchor, steps = anchor_of st p ~in_return:false in
+            let first_sem = if nested then Pattern.Nest_outer else Pattern.Join in
+            let var_node, first =
+              match steps with
+              | [] -> (anchor, anchor)
+              | _ -> add_chain st pat anchor steps ~first_sem
+            in
+            var_node.id_scheme <- Some Xdm.Nid.Structural;
+            st.env <- (v, (pat, var_node)) :: st.env;
+            (pat, first, var_node))
+          bindings
+      in
+      List.iter (add_condition st) where;
+      let inner_group =
+        if nested then
+          match groups with
+          | (pat, first, var_node) :: _ -> Some (pat, first.puid, var_node.puid)
+          | [] -> group
+        else group
+      in
+      let body = build st ret ~nested:true ~group:inner_group in
+      st.env <- saved_env;
+      if nested then
+        match groups with
+        | (pat, first, _) :: _ -> [ P_foreach (pat, first.puid, body) ]
+        | [] -> body
+      else body
+
+(* Is proto node [b] inside the subtree rooted at proto node [a]? Used to
+   decide whether a hole's anchor lies within the current nested block. *)
+and is_below st pat_idx a b =
+  let rec find (n : pnode) = if n.puid = a then Some n else List.find_map find n.kids in
+  let roots = List.rev st.pats in
+  match List.nth_opt roots pat_idx with
+  | None -> false
+  | Some root -> (
+      match find root with
+      | None -> false
+      | Some sub ->
+          let rec mem (n : pnode) = n.puid = b || List.exists mem n.kids in
+          mem sub)
+
+(* --- Freezing: proto → Pattern, template resolution ------------------------ *)
+
+let freeze_pattern (root : pnode) : Pattern.t * (int, int) Hashtbl.t =
+  (* Build the Pattern tree and record proto-uid → pre-order nid (the
+     numbering Pattern.make assigns). *)
+  let nid_of = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let rec conv (p : pnode) : Pattern.tree =
+    let nid = !counter in
+    incr counter;
+    Hashtbl.replace nid_of p.puid nid;
+    let node =
+      Pattern.mk_node ?id:p.id_scheme ~value:p.val_stored ~cont:p.cont_stored
+        ~formula:p.formula p.label
+    in
+    Pattern.tree ~axis:p.axis ~sem:p.sem node (List.map conv p.kids)
+  in
+  let tree = conv root in
+  (Pattern.make [ tree ], nid_of)
+
+let extract expr =
+  let st = { uid = 0; pats = []; npats = 0; env = []; joins = []; adapt = [] } in
+  let ptemps = build st expr ~nested:false ~group:None in
+  if st.npats = 0 then raise (Unsupported "query mentions no document");
+  let roots = Array.of_list (List.rev st.pats) in
+  let frozen = Array.map freeze_pattern roots in
+  let patterns = Array.to_list (Array.map fst frozen) in
+  let col pat puid attr =
+    let p, nid_of = frozen.(pat) in
+    match Hashtbl.find_opt nid_of puid with
+    | Some nid -> Pattern.col_path p nid attr
+    | None -> raise (Unsupported "internal: unresolved proto node")
+  in
+  (* Group (foreach) column: the ID column path of the group node minus its
+     last component. *)
+  let group_col pat puid =
+    let p, nid_of = frozen.(pat) in
+    let nid = Hashtbl.find nid_of puid in
+    (* The group boundary node itself may store nothing; find the nested
+       column by looking for any stored attribute below it. The boundary
+       node is under a Nest_outer edge, so its nested column is named
+       N<nid>. *)
+    ignore p;
+    [ Pattern.nest_col nid ]
+  in
+  (* Resolve holes against the scope stack of enclosing foreach loops. *)
+  let strip_prefix prefix path =
+    let rec go pre pa =
+      match (pre, pa) with
+      | [], rest -> Some rest
+      | x :: pre', y :: pa' -> if String.equal x y then go pre' pa' else None
+      | _ :: _, [] -> None
+    in
+    go prefix path
+  in
+  let rec resolve scopes = function
+    | P_tag (tag, body) -> T_tag (tag, List.map (resolve scopes) body)
+    | P_hole (pat, puid, attr) ->
+        let full = col pat puid attr in
+        let rec relativize = function
+          | [] -> (full, true)
+          | (spat, sprefix) :: outer -> (
+              if spat <> pat then relativize outer
+              else
+                match strip_prefix sprefix full with
+                | Some rel when rel <> [] -> (rel, false)
+                | _ -> relativize outer)
+        in
+        let path, absolute = relativize scopes in
+        T_hole (pat, path, absolute)
+    | P_foreach (pat, puid, body) ->
+        let gc = group_col pat puid in
+        let absolute = not (List.exists (fun (spat, _) -> spat = pat) scopes) in
+        let scope_prefix =
+          match scopes with
+          | (spat, sprefix) :: _ when spat = pat -> sprefix @ gc
+          | _ -> gc
+        in
+        T_foreach (pat, gc, absolute, List.map (resolve ((pat, scope_prefix) :: scopes)) body)
+  in
+  let template =
+    match List.map (resolve []) ptemps with [ t ] -> t | ts -> T_tag ("", ts)
+  in
+  let value_joins =
+    List.rev_map
+      (fun ((p1, u1), cmp, (p2, u2)) ->
+        ((p1, col p1 u1 Pattern.V), cmp, (p2, col p2 u2 Pattern.V)))
+      st.joins
+  in
+  let adaptations =
+    List.rev_map
+      (fun (pat, var_puid, dpuid) ->
+        let p, nid_of = frozen.(pat) in
+        let vnid = Hashtbl.find nid_of var_puid in
+        let dnid = Hashtbl.find nid_of dpuid in
+        let vid = Pattern.col_path p vnid Pattern.ID in
+        let dcol =
+          let n = Option.get (Pattern.find_node p dnid) in
+          let attr = if n.Pattern.val_stored then Pattern.V else Pattern.C in
+          Pattern.col_path p dnid attr
+        in
+        ( pat,
+          Pred.Or (Pred.Not_null vid, Pred.And (Pred.Is_null vid, Pred.Is_null dcol)) ))
+      st.adapt
+  in
+  { patterns; template; value_joins; adaptations }

@@ -1,0 +1,54 @@
+(** Extraction of maximal XAM patterns from Q queries (Ch. 3).
+
+    One pattern is produced per structurally-independent root (a document-
+    rooted [for] variable); every path expression reachable from a variable
+    — across nested for-where-return blocks — lands in that variable's
+    pattern, which is what makes the extracted patterns strictly larger
+    than per-block approaches (§3.1):
+
+    - [for] variables bound inside a return clause hang under
+      nest-outerjoin (no) edges, so one pattern spans nested blocks and
+      groups inner matches per outer binding;
+    - return-clause path expressions hang under nest-outerjoin edges and
+      store [Cont] ([Val] for [text()] targets);
+    - [where] predicates become semijoin (s) edges and node formulas;
+    - value joins between variables of different roots are kept as
+      cross-pattern predicates (they are not part of the view language,
+      §5.1).
+
+    The extraction also produces the query's tagging template over the
+    patterns' columns, and the {e view adaptation} predicates of §3.1 (the
+    [(d.ID ≠ ⊥) ∨ (d.ID = ⊥ ∧ e.Cont = ⊥)] selection): dependencies a tree
+    pattern cannot express, to be applied when a pattern is materialized
+    as a view. *)
+
+type template =
+  | T_text of string
+  | T_tag of string * template list
+  | T_hole of int * Xalgebra.Rel.path * bool
+      (** pattern index; column path; [true] when the path is absolute
+          (addresses the pattern's top-level columns) rather than relative
+          to the enclosing [T_foreach] scope *)
+  | T_foreach of int * Xalgebra.Rel.path * bool * template list
+      (** iterate a pattern's nested column, one body instance per inner
+          tuple; the [bool] marks an absolute column path *)
+
+type t = {
+  patterns : Xam.Pattern.t list;
+  template : template;
+  value_joins : ((int * Xalgebra.Rel.path) * Ast.cmp * (int * Xalgebra.Rel.path)) list;
+      (** cross-pattern where-clause joins, over nested V columns
+          (existential semantics) *)
+  adaptations : (int * Xalgebra.Pred.t) list;
+      (** per-pattern view-adaptation selections *)
+}
+
+exception Unsupported of string
+
+val extract : Ast.expr -> t
+(** Raises {!Unsupported} on Q constructs outside the implemented fragment
+    (e.g. document-rooted paths inside constructors). *)
+
+val split_text : Ast.step list -> Ast.step list * bool
+(** Split a trailing [text()] step off a step list; [true] when one was
+    present. *)

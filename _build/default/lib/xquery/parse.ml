@@ -1,0 +1,348 @@
+exception Syntax_error of { pos : int; msg : string }
+
+type token =
+  | Tname of string
+  | Tvar of string
+  | Tstring of string
+  | Tnumber of string
+  | Tslash
+  | Tdslash
+  | Tlbracket
+  | Trbracket
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tcomma
+  | Tstar
+  | Tat
+  | Top of Ast.cmp
+  | Topen_tag of string  (* <t> *)
+  | Tclose_tag of string  (* </t> *)
+  | Teof
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+let error pos msg = raise (Syntax_error { pos; msg })
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let push t = toks := (t, !pos) :: !toks in
+  let name_at start =
+    let i = ref start in
+    while !i < n && is_name_char src.[!i] do
+      incr i
+    done;
+    (String.sub src start (!i - start), !i)
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '/' && !pos + 1 < n && src.[!pos + 1] = '/' then (
+      push Tdslash;
+      pos := !pos + 2)
+    else if c = '/' then (
+      push Tslash;
+      incr pos)
+    else if c = '[' then (
+      push Tlbracket;
+      incr pos)
+    else if c = ']' then (
+      push Trbracket;
+      incr pos)
+    else if c = '(' then (
+      push Tlparen;
+      incr pos)
+    else if c = ')' then (
+      push Trparen;
+      incr pos)
+    else if c = '{' then (
+      push Tlbrace;
+      incr pos)
+    else if c = '}' then (
+      push Trbrace;
+      incr pos)
+    else if c = ',' then (
+      push Tcomma;
+      incr pos)
+    else if c = '*' then (
+      push Tstar;
+      incr pos)
+    else if c = '@' then (
+      push Tat;
+      incr pos)
+    else if c = '$' then (
+      if !pos + 1 >= n || not (is_name_start src.[!pos + 1]) then
+        error !pos "expected variable name after $";
+      let name, next = name_at (!pos + 1) in
+      push (Tvar name);
+      pos := next)
+    else if c = '<' then
+      if !pos + 1 < n && src.[!pos + 1] = '/' then (
+        let name, next = name_at (!pos + 2) in
+        if name = "" then error !pos "expected tag name";
+        if next >= n || src.[next] <> '>' then error next "expected >";
+        push (Tclose_tag name);
+        pos := next + 1)
+      else if !pos + 1 < n && is_name_start src.[!pos + 1] then (
+        let name, next = name_at (!pos + 1) in
+        if next < n && src.[next] = '>' then (
+          push (Topen_tag name);
+          pos := next + 1)
+        else (
+          (* plain < comparison followed by a name *)
+          push (Top Ast.Lt);
+          incr pos))
+      else if !pos + 1 < n && src.[!pos + 1] = '=' then (
+        push (Top Ast.Le);
+        pos := !pos + 2)
+      else (
+        push (Top Ast.Lt);
+        incr pos)
+    else if c = '>' then
+      if !pos + 1 < n && src.[!pos + 1] = '=' then (
+        push (Top Ast.Ge);
+        pos := !pos + 2)
+      else (
+        push (Top Ast.Gt);
+        incr pos)
+    else if c = '=' then (
+      push (Top Ast.Eq);
+      incr pos)
+    else if c = '!' && !pos + 1 < n && src.[!pos + 1] = '=' then (
+      push (Top Ast.Ne);
+      pos := !pos + 2)
+    else if c = '"' || c = '\'' then (
+      let quote = c in
+      let start = !pos + 1 in
+      let i = ref start in
+      while !i < n && src.[!i] <> quote do
+        incr i
+      done;
+      if !i >= n then error !pos "unterminated string literal";
+      push (Tstring (String.sub src start (!i - start)));
+      pos := !i + 1)
+    else if is_digit c then (
+      let start = !pos in
+      let i = ref start in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      push (Tnumber (String.sub src start (!i - start)));
+      pos := !i)
+    else if is_name_start c then (
+      let name, next = name_at !pos in
+      push (Tname name);
+      pos := next)
+    else error !pos (Printf.sprintf "unexpected character %C" c)
+  done;
+  push Teof;
+  List.rev !toks
+
+type parser_state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Teof
+let peek_pos st = match st.toks with (_, p) :: _ -> p | [] -> 0
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st t msg =
+  if peek st = t then advance st else error (peek_pos st) msg
+
+(* --- Paths ---------------------------------------------------------------- *)
+
+let rec parse_steps st : Ast.step list =
+  match peek st with
+  | Tslash | Tdslash ->
+      let axis = if peek st = Tslash then Ast.Child else Ast.Descendant in
+      advance st;
+      let test = parse_node_test st in
+      let preds = parse_preds st in
+      { Ast.axis; test; preds } :: parse_steps st
+  | _ -> []
+
+and parse_node_test st =
+  match peek st with
+  | Tstar ->
+      advance st;
+      "*"
+  | Tat -> (
+      advance st;
+      match peek st with
+      | Tname n ->
+          advance st;
+          "@" ^ n
+      | _ -> error (peek_pos st) "expected attribute name after @")
+  | Tname "text" ->
+      advance st;
+      expect st Tlparen "expected ( after text";
+      expect st Trparen "expected ) after text(";
+      "#text"
+  | Tname n ->
+      advance st;
+      n
+  | _ -> error (peek_pos st) "expected node test"
+
+and parse_preds st =
+  match peek st with
+  | Tlbracket ->
+      advance st;
+      let p = parse_pred st in
+      expect st Trbracket "expected ]";
+      p :: parse_preds st
+  | _ -> []
+
+and parse_pred st : Ast.pred =
+  (* relpath (op literal)? — the relative path starts with an implicit
+     child step. *)
+  let first_test = parse_node_test st in
+  let first_preds = parse_preds st in
+  let rest = parse_steps st in
+  let rel = { Ast.axis = Ast.Child; test = first_test; preds = first_preds } :: rest in
+  match peek st with
+  | Top cmp ->
+      advance st;
+      let lit = parse_literal st in
+      Ast.Value_cmp (rel, cmp, lit)
+  | _ -> Ast.Exists rel
+
+and parse_literal st =
+  match peek st with
+  | Tstring s ->
+      advance st;
+      s
+  | Tnumber s ->
+      advance st;
+      s
+  | _ -> error (peek_pos st) "expected literal"
+
+let parse_path st : Ast.path =
+  match peek st with
+  | Tname "doc" | Tname "document" ->
+      advance st;
+      expect st Tlparen "expected ( after doc";
+      let name =
+        match peek st with
+        | Tstring s ->
+            advance st;
+            s
+        | _ -> error (peek_pos st) "expected document name"
+      in
+      expect st Trparen "expected )";
+      { Ast.source = Ast.Doc name; steps = parse_steps st }
+  | Tvar v ->
+      advance st;
+      { Ast.source = Ast.Var v; steps = parse_steps st }
+  | _ -> error (peek_pos st) "expected doc(...) or $variable"
+
+(* --- Queries --------------------------------------------------------------- *)
+
+let rec parse_query st : Ast.expr =
+  let first = parse_single st in
+  match peek st with
+  | Tcomma ->
+      advance st;
+      let rest = parse_query st in
+      (match rest with
+      | Ast.Seq es -> Ast.Seq (first :: es)
+      | e -> Ast.Seq [ first; e ])
+  | _ -> first
+
+and parse_single st : Ast.expr =
+  match peek st with
+  | Tname "for" -> parse_for st
+  | Topen_tag tag -> parse_elem tag st
+  | Tname _ | Tvar _ -> Ast.Path (parse_path st)
+  | _ -> error (peek_pos st) "expected query expression"
+
+and parse_for st : Ast.expr =
+  expect st (Tname "for") "expected for";
+  let rec bindings () =
+    let var =
+      match peek st with
+      | Tvar v ->
+          advance st;
+          v
+      | _ -> error (peek_pos st) "expected $variable"
+    in
+    expect st (Tname "in") "expected in";
+    let p = parse_path st in
+    match peek st with
+    | Tcomma -> (
+        (* lookahead: another binding or the end of the for clause *)
+        match st.toks with
+        | _ :: (Tvar _, _) :: _ ->
+            advance st;
+            (var, p) :: bindings ()
+        | _ -> [ (var, p) ])
+    | _ -> [ (var, p) ]
+  in
+  let bs = bindings () in
+  let where =
+    if peek st = Tname "where" then (
+      advance st;
+      let rec conds () =
+        let c = parse_cond st in
+        if peek st = Tname "and" then (
+          advance st;
+          c :: conds ())
+        else [ c ]
+      in
+      conds ())
+    else []
+  in
+  expect st (Tname "return") "expected return";
+  let ret = parse_single st in
+  Ast.For { bindings = bs; where; ret }
+
+and parse_cond st : Ast.cond =
+  let p = parse_path st in
+  match peek st with
+  | Top cmp -> (
+      advance st;
+      match peek st with
+      | Tstring _ | Tnumber _ -> Ast.C_cmp (p, cmp, parse_literal st)
+      | _ -> Ast.C_join (p, cmp, parse_path st))
+  | _ -> Ast.C_exists p
+
+and parse_elem tag st : Ast.expr =
+  advance st;
+  let rec body () =
+    match peek st with
+    | Tclose_tag t ->
+        if t <> tag then error (peek_pos st) (Printf.sprintf "mismatched </%s>" t);
+        advance st;
+        []
+    | Tlbrace ->
+        advance st;
+        let q = parse_query st in
+        expect st Trbrace "expected }";
+        q :: body ()
+    | Tcomma ->
+        advance st;
+        body ()
+    | Topen_tag t -> parse_elem t st :: body ()
+    | _ -> error (peek_pos st) "expected { expr } or nested element in constructor"
+  in
+  Ast.Elem (tag, body ())
+
+let query src =
+  let st = { toks = tokenize src } in
+  let q = parse_query st in
+  expect st Teof "trailing input after query";
+  q
+
+let query_result src =
+  match query src with
+  | q -> Ok q
+  | exception Syntax_error { pos; msg } ->
+      Error (Printf.sprintf "syntax error at offset %d: %s" pos msg)
+
+let path src =
+  let st = { toks = tokenize src } in
+  let p = parse_path st in
+  expect st Teof "trailing input after path";
+  p

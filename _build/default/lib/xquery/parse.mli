@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the XQuery subset Q.
+
+    Accepted surface syntax (a pragmatic rendering of §3.2):
+
+    {v
+    query  := for | path | elem | query "," query
+    for    := "for" "$"x "in" path {"," "$"x "in" path}
+              ["where" cond {"and" cond}] "return" query
+    cond   := path [op literal] | path op path
+    path   := ["doc(" string ")" | "$"x] {step}
+    step   := ["/" | "//"] [name | "*" | "@"name | "text()"] {pred}
+    pred   := "[" relpath [op literal] "]"
+    elem   := "<"t">" {"{" query "}"} "</"t">"
+    op     := "=" | "!=" | "<" | "<=" | ">" | ">="
+    v} *)
+
+exception Syntax_error of { pos : int; msg : string }
+
+val query : string -> Ast.expr
+(** Raises {!Syntax_error}. *)
+
+val query_result : string -> (Ast.expr, string) result
+val path : string -> Ast.path
+(** Parse a standalone path expression. *)

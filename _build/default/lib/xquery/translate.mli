@@ -1,0 +1,35 @@
+(** From extracted patterns back to executable plans (§3.3), plus a
+    reference interpreter.
+
+    [plan] assembles the algebraic form of a query from its extraction: one
+    scan per extracted pattern, cartesian products across independent
+    roots, selections for cross-pattern value joins, and the XML
+    construction operator applied with the query's tagging template — the
+    [alg(q)] of §3.3.2, with the patterns kept as explicit scan leaves so
+    the rewriter can replace them with view-based plans.
+
+    [eval] materializes each pattern (by the embedding semantics) and runs
+    the plan; [eval_direct] is an independent navigational interpreter of
+    the AST. The two must produce the same serialized result — the
+    correctness property of the extraction algorithm, exercised by the
+    test suite. *)
+
+val scan_name : int -> string
+(** Name of the i-th extracted pattern's scan leaf, ["Q0"], ["Q1"], … *)
+
+val plan : Extract.t -> Xalgebra.Logical.t
+
+val env_for : Xdm.Doc.t -> Extract.t -> Xalgebra.Eval.env
+(** Environment binding each scan leaf to the pattern's materialization
+    over the document. *)
+
+val eval : Xdm.Doc.t -> Ast.expr -> string
+(** Extraction-based evaluation: extract, materialize, run. *)
+
+val eval_string : Xdm.Doc.t -> string -> string
+(** [eval] composed with the parser. *)
+
+val eval_direct : Xdm.Doc.t -> Ast.expr -> string
+(** Direct navigational interpretation of the query. *)
+
+val eval_direct_string : Xdm.Doc.t -> string -> string

@@ -1,0 +1,1 @@
+lib/xstorage/cost.ml: Float List Option Xalgebra Xam

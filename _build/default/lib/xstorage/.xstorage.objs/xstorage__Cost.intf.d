@@ -1,0 +1,1 @@
+lib/xstorage/cost.mli: Xalgebra Xam

@@ -1,0 +1,1 @@
+lib/xstorage/indexes.ml: Buffer List Store String Xalgebra Xam Xdm Xsummary

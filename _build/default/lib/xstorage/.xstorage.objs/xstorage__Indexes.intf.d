@@ -1,0 +1,1 @@
+lib/xstorage/indexes.mli: Store Xalgebra Xam Xdm Xsummary

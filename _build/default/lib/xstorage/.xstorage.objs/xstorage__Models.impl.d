@@ -1,0 +1,1 @@
+lib/xstorage/models.ml: Fun List String Xam Xdm Xsummary

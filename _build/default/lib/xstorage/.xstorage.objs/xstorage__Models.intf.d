@@ -1,0 +1,1 @@
+lib/xstorage/models.mli: Xam Xdm Xsummary

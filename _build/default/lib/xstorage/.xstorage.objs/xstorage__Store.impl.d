@@ -1,0 +1,1 @@
+lib/xstorage/store.ml: Format List String Xalgebra Xam Xsummary

@@ -1,0 +1,1 @@
+lib/xstorage/store.mli: Format Xalgebra Xam Xdm Xsummary

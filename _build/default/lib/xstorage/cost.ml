@@ -1,0 +1,84 @@
+module Logical = Xalgebra.Logical
+module Rel = Xalgebra.Rel
+
+let select_selectivity = 0.25
+let join_selectivity = 0.1
+let struct_fanout = 2.0
+
+let rec cardinality env (plan : Logical.t) : float =
+  match plan with
+  | Logical.Scan name -> (
+      match env name with
+      | Some r -> float_of_int (Rel.cardinality r)
+      | None -> 1000.0)
+  | Logical.Table r -> float_of_int (Rel.cardinality r)
+  | Logical.Select (_, i) -> select_selectivity *. cardinality env i
+  | Logical.Project { dedup; input; _ } ->
+      let c = cardinality env input in
+      if dedup then 0.9 *. c else c
+  | Logical.Product (l, r) -> cardinality env l *. cardinality env r
+  | Logical.Join { kind; left; right; _ } -> (
+      let l = cardinality env left and r = cardinality env right in
+      match kind with
+      | Logical.Inner | Logical.LeftOuter -> Float.max l (join_selectivity *. l *. r)
+      | Logical.Semi -> 0.5 *. l
+      | Logical.NestJoin | Logical.NestOuter -> l)
+  | Logical.Struct_join { kind; left; right; _ } -> (
+      let l = cardinality env left and r = cardinality env right in
+      match kind with
+      | Logical.Inner | Logical.LeftOuter -> Float.max l (Float.min (struct_fanout *. l) r)
+      | Logical.Semi -> 0.5 *. l
+      | Logical.NestJoin | Logical.NestOuter -> l)
+  | Logical.Union (l, r) -> cardinality env l +. cardinality env r
+  | Logical.Diff (l, _) -> cardinality env l
+  | Logical.Rename (_, i) | Logical.Reorder (_, i) | Logical.Sort (_, i) | Logical.Xml (_, i) ->
+      cardinality env i
+  | Logical.Extract { kind; input; _ } -> (
+      let c = cardinality env input in
+      match kind with
+      | Logical.Inner -> struct_fanout *. c
+      | Logical.LeftOuter -> Float.max c (struct_fanout *. c)
+      | Logical.Semi -> 0.5 *. c
+      | Logical.NestJoin | Logical.NestOuter -> c)
+  | Logical.Derive { input; _ } -> cardinality env input
+  | Logical.Nest _ -> 1.0
+  | Logical.Unnest (_, i) -> struct_fanout *. cardinality env i
+
+let log2 x = if x <= 1.0 then 1.0 else Float.log x /. Float.log 2.0
+
+let rec estimate env (plan : Logical.t) : float =
+  match plan with
+  | Logical.Scan _ | Logical.Table _ -> cardinality env plan
+  | Logical.Select (_, i) | Logical.Project { input = i; _ }
+  | Logical.Rename (_, i) | Logical.Reorder (_, i) | Logical.Derive { input = i; _ }
+  | Logical.Nest { input = i; _ } | Logical.Unnest (_, i) | Logical.Xml (_, i) ->
+      estimate env i +. cardinality env i
+  | Logical.Extract { input = i; _ } ->
+      (* Parsing stored content is expensive. *)
+      estimate env i +. (10.0 *. cardinality env i)
+  | Logical.Sort (_, i) ->
+      let c = cardinality env i in
+      estimate env i +. (c *. log2 c)
+  | Logical.Product (l, r) ->
+      estimate env l +. estimate env r +. (cardinality env l *. cardinality env r)
+  | Logical.Join { left; right; _ } ->
+      (* Hash join: linear in both inputs plus output. *)
+      estimate env left +. estimate env right +. cardinality env left
+      +. cardinality env right +. cardinality env plan
+  | Logical.Struct_join { left; right; _ } ->
+      (* Sort-merge (StackTree): sort both sides, then linear. *)
+      let l = cardinality env left and r = cardinality env right in
+      estimate env left +. estimate env right +. (l *. log2 l) +. (r *. log2 r)
+      +. cardinality env plan
+  | Logical.Union (l, r) | Logical.Diff (l, r) ->
+      estimate env l +. estimate env r +. cardinality env plan
+
+let choose env rewritings =
+  List.fold_left
+    (fun best (r : Xam.Rewrite.rewriting) ->
+      let c = estimate env r.Xam.Rewrite.plan in
+      match best with
+      | Some (_, bc) when bc <= c -> best
+      | _ -> Some (r, c))
+    None rewritings
+  |> Option.map fst

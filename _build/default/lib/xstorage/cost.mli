@@ -1,0 +1,16 @@
+(** A simple cardinality-based cost model for access path selection.
+
+    The estimates are deliberately coarse (selectivity constants, sort-merge
+    structural joins, hash value joins): their only job is to rank the
+    alternative plans the rewriter produces for one query over one catalog —
+    the access path selection step of Fig 1.2. *)
+
+val cardinality : Xalgebra.Eval.env -> Xalgebra.Logical.t -> float
+(** Estimated output cardinality. *)
+
+val estimate : Xalgebra.Eval.env -> Xalgebra.Logical.t -> float
+(** Estimated total cost (abstract units). *)
+
+val choose :
+  Xalgebra.Eval.env -> Xam.Rewrite.rewriting list -> Xam.Rewrite.rewriting option
+(** The cheapest rewriting under {!estimate}. *)

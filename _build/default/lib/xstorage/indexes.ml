@@ -1,0 +1,83 @@
+module Rel = Xalgebra.Rel
+module Value = Xalgebra.Value
+module Pattern = Xam.Pattern
+module Doc = Xdm.Doc
+module Nid = Xdm.Nid
+
+let value_index ~name doc ~target ~keys =
+  let xam =
+    Pattern.make
+      [ Pattern.v target
+          ~node:(Pattern.mk_node ~id:Nid.Structural target)
+          (List.map
+             (fun (label, axis) ->
+               Pattern.v ~axis label
+                 ~node:(Pattern.mk_node ~value:true ~val_required:true label)
+                 [])
+             keys) ]
+  in
+  Store.materialize doc name xam
+
+let path_index ~name doc s ~path =
+  let rec labels p acc =
+    if p < 0 then acc else labels (Xsummary.Summary.parent s p) (Xsummary.Summary.label s p :: acc)
+  in
+  let chain =
+    match labels path [] with
+    | [] -> invalid_arg "Indexes.path_index"
+    | root :: rest ->
+        let rec build label rest : Pattern.tree =
+          match rest with
+          | [] ->
+              Pattern.v ~axis:Pattern.Child label
+                ~node:(Pattern.mk_node ~id:Nid.Structural label)
+                []
+          | next :: more -> Pattern.v ~axis:Pattern.Child label [ build next more ]
+        in
+        Pattern.make [ build root rest ]
+  in
+  Store.materialize doc name chain
+
+let words_of s =
+  let is_word c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') in
+  let lower = String.lowercase_ascii s in
+  let out = ref [] and buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf >= 2 then out := Buffer.contents buf :: !out;
+    Buffer.clear buf
+  in
+  String.iter (fun c -> if is_word c then Buffer.add_char buf c else flush ()) lower;
+  flush ();
+  List.sort_uniq String.compare !out
+
+let fulltext ~name doc ~scope =
+  (* The XAM description: scope elements keyed by a required value — the
+     closest tree-pattern rendering of a word index (§2.3.3). *)
+  let xam =
+    Pattern.make
+      [ Pattern.v scope
+          ~node:(Pattern.mk_node ~id:Nid.Structural ~value:true ~val_required:true scope)
+          [] ]
+  in
+  let schema = [ Rel.atom "word"; Rel.atom "ID" ] in
+  let tuples =
+    List.concat_map
+      (fun h ->
+        List.map
+          (fun w ->
+            [| Rel.A (Value.Str w); Rel.A (Value.Id (Doc.id Nid.Structural doc h)) |])
+          (words_of (Doc.value doc h)))
+      (Doc.nodes_with_label doc scope)
+  in
+  { Store.name; xam; extent = Rel.make schema tuples }
+
+let fulltext_lookup (m : Store.module_) word =
+  let w = String.lowercase_ascii word in
+  Rel.make m.Store.extent.Rel.schema
+    (List.filter
+       (fun t -> Rel.atom_field t 0 = Value.Str w)
+       m.Store.extent.Rel.tuples)
+
+module T_index = struct
+  let make ~name doc pattern = Store.materialize doc name pattern
+end

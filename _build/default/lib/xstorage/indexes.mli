@@ -1,0 +1,33 @@
+(** XML index structures as restricted-access XAMs (§2.1.2).
+
+    Indexes are XAMs with [R]-marked attributes: the marked values form the
+    lookup key (Def 2.2.6). [Store.lookup] implements the index probe via
+    nested tuple intersection. *)
+
+val value_index :
+  name:string ->
+  Xdm.Doc.t ->
+  target:string ->
+  keys:(string * Xam.Pattern.axis) list ->
+  Store.module_
+(** An index on [target] elements with a composite key of child values —
+    the booksByYearTitle structure of §2.1.2. Each key is
+    [(label, axis)]; the key nodes store [Val] marked required, the target
+    stores its structural ID. *)
+
+val path_index : name:string -> Xdm.Doc.t -> Xsummary.Summary.t -> path:int -> Store.module_
+(** DataGuide/1-index-style path index: the IDs of all nodes on one
+    summary path, keyed by nothing (a scan) — §2.3.3. *)
+
+val fulltext : name:string -> Xdm.Doc.t -> scope:string -> Store.module_
+(** IndexFabric-style full-text index: (word, ID of [scope] element whose
+    value contains the word). The extent's schema is [(word, ID)]. *)
+
+val fulltext_lookup : Store.module_ -> string -> Xalgebra.Rel.t
+(** Probe a {!fulltext} index with a word. *)
+
+module T_index : sig
+  val make : name:string -> Xdm.Doc.t -> Xam.Pattern.t -> Store.module_
+  (** A template index (T-index, §2.3.3): materializes an arbitrary
+      pattern as an index; required attributes form the key. *)
+end

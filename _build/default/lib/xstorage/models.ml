@@ -1,0 +1,152 @@
+module Summary = Xsummary.Summary
+module Pattern = Xam.Pattern
+module Doc = Xdm.Doc
+module Nid = Xdm.Nid
+
+let element_labels doc =
+  List.filter
+    (fun l -> not (Pattern.label_is_attribute l || String.equal l "#text"))
+    (Doc.labels doc)
+
+let attribute_labels doc = List.filter Pattern.label_is_attribute (Doc.labels doc)
+
+let edge doc =
+  ignore doc;
+  [ ( "edge:elem",
+      Pattern.make
+        [ Pattern.v "*"
+            ~node:(Pattern.mk_node ~id:Nid.Ordinal "*")
+            [ Pattern.v ~axis:Pattern.Child "*"
+                ~node:(Pattern.mk_node ~id:Nid.Ordinal ~tag:true "*")
+                [] ] ] );
+    ( "edge:attr",
+      Pattern.make
+        [ Pattern.v "*"
+            ~node:(Pattern.mk_node ~id:Nid.Ordinal "*")
+            [ Pattern.v ~axis:Pattern.Child "@*"
+                ~node:(Pattern.mk_node ~id:Nid.Ordinal ~tag:true ~value:true "@*")
+                [] ] ] );
+    ( "edge:value",
+      Pattern.make
+        [ Pattern.v "*" ~node:(Pattern.mk_node ~id:Nid.Ordinal ~value:true "*") [] ] ) ]
+
+let universal doc =
+  let child_slot label =
+    if Pattern.label_is_attribute label then
+      Pattern.v ~axis:Pattern.Child ~sem:Pattern.Outer label
+        ~node:(Pattern.mk_node ~id:Nid.Ordinal ~value:true label)
+        []
+    else
+      Pattern.v ~axis:Pattern.Child ~sem:Pattern.Outer label
+        ~node:(Pattern.mk_node ~id:Nid.Ordinal label)
+        []
+  in
+  let labels =
+    List.filter (fun l -> not (String.equal l "#text")) (Doc.labels doc)
+  in
+  [ ( "universal",
+      Pattern.make
+        [ Pattern.v "*"
+            ~node:(Pattern.mk_node ~id:Nid.Ordinal "*")
+            (List.map child_slot labels) ] );
+    ( "universal:value",
+      Pattern.make
+        [ Pattern.v "*" ~node:(Pattern.mk_node ~id:Nid.Ordinal ~value:true "*") [] ] ) ]
+
+let tag_partitioned doc =
+  List.map
+    (fun t ->
+      ( "tag:" ^ t,
+        Pattern.make [ Pattern.v t ~node:(Pattern.mk_node ~id:Nid.Structural t) [] ] ))
+    (element_labels doc)
+  @ List.map
+      (fun a ->
+        ( "tag:" ^ a,
+          Pattern.make
+            [ Pattern.v a ~node:(Pattern.mk_node ~id:Nid.Structural ~value:true a) [] ] ))
+      (attribute_labels doc)
+  @ [ ( "tag:#value",
+        Pattern.make
+          [ Pattern.v "*" ~node:(Pattern.mk_node ~id:Nid.Structural ~value:true "*") [] ] ) ]
+
+(* The exact-label chain pattern leading to a summary path, with [store]
+   applied to the last node. *)
+let chain_to s path ~node =
+  let rec labels p acc = if p < 0 then acc else labels (Summary.parent s p) (Summary.label s p :: acc) in
+  match labels path [] with
+  | [] -> invalid_arg "Models.chain_to"
+  | root :: rest ->
+      let rec build label rest : Pattern.tree =
+        match rest with
+        | [] -> Pattern.v ~axis:Pattern.Child label ~node:(node label) []
+        | next :: more -> Pattern.v ~axis:Pattern.Child label [ build next more ]
+      in
+      Pattern.make [ build root rest ]
+
+let has_text_child s p =
+  List.exists (fun c -> String.equal (Summary.label s c) "#text") (Summary.children s p)
+
+let path_partitioned s =
+  List.filter_map
+    (fun p ->
+      let label = Summary.label s p in
+      if String.equal label "#text" then None
+      else if Pattern.label_is_attribute label then
+        Some
+          ( "path:" ^ Summary.path_string s p,
+            chain_to s p ~node:(fun l -> Pattern.mk_node ~id:Nid.Structural ~value:true l) )
+      else
+        let store l =
+          if has_text_child s p then Pattern.mk_node ~id:Nid.Structural ~value:true l
+          else Pattern.mk_node ~id:Nid.Structural l
+        in
+        Some ("path:" ^ Summary.path_string s p, chain_to s p ~node:store))
+    (List.init (Summary.size s) Fun.id)
+
+let blob ~root =
+  [ ( "blob",
+      Pattern.make
+        [ Pattern.v ~axis:Pattern.Child root
+            ~node:(Pattern.mk_node ~id:Nid.Structural ~cont:true root)
+            [] ] ) ]
+
+let inlined s =
+  List.filter_map
+    (fun p ->
+      let label = Summary.label s p in
+      if Pattern.label_is_attribute label || String.equal label "#text" then None
+      else
+        let inlinable =
+          List.filter
+            (fun c ->
+              Summary.card s c = Summary.One
+              && (Pattern.label_is_attribute (Summary.label s c)
+                 || has_text_child s c))
+            (Summary.children s p)
+        in
+        let base = chain_to s p ~node:(fun l -> Pattern.mk_node ~id:Nid.Structural l) in
+        (* Re-attach the inlined children below the chain's leaf. *)
+        let rec graft (t : Pattern.tree) : Pattern.tree =
+          match t.children with
+          | [] ->
+              { t with
+                children =
+                  List.map
+                    (fun c ->
+                      Pattern.v ~axis:Pattern.Child (Summary.label s c)
+                        ~node:(Pattern.mk_node ~value:true (Summary.label s c))
+                        [])
+                    inlinable }
+          | kids -> { t with children = List.map graft kids }
+        in
+        let pat =
+          Pattern.make (List.map graft base.Pattern.roots)
+        in
+        Some ("inlined:" ^ Summary.path_string s p, pat))
+    (List.init (Summary.size s) Fun.id)
+
+let fragment_content s ~label =
+  ignore s;
+  [ ( "content:" ^ label,
+      Pattern.make
+        [ Pattern.v label ~node:(Pattern.mk_node ~id:Nid.Structural ~cont:true label) [] ] ) ]

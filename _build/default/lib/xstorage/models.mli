@@ -1,0 +1,43 @@
+(** XAM descriptions of the storage models surveyed in §2.1/§2.3. Each
+    function returns the named XAM set describing one storage scheme; feed
+    them to {!Store.catalog_of} to build the corresponding store.
+
+    The point of the exercise is the thesis's: the same document stored
+    five different ways yields five different catalogs, and the rewriting
+    engine derives a plan from whichever catalog it is given — no
+    per-scheme optimizer code. *)
+
+val edge : Xdm.Doc.t -> (string * Xam.Pattern.t) list
+(** The Edge approach [48]: parent/child element pairs with the child's
+    tag ([edge:elem]), attribute edges ([edge:attr]) and the value table
+    ([edge:value]); order-reflecting integer IDs. *)
+
+val universal : Xdm.Doc.t -> (string * Xam.Pattern.t) list
+(** The Universal table of [48] (Fig 2.11b): one wide XAM — every element
+    with one outer-joined child slot per label occurring in the document —
+    plus the value table. *)
+
+val tag_partitioned : Xdm.Doc.t -> (string * Xam.Pattern.t) list
+(** Native model #3 (Timber/Natix-style): one collection of structural
+    identifiers per element tag ([tag:t]), a value table ([tag:#value])
+    and per-name attribute collections ([tag:@a]). *)
+
+val path_partitioned : Xsummary.Summary.t -> (string * Xam.Pattern.t) list
+(** Native model #4 (XQueC/Monet-style): one collection per summary path
+    ([path:/a/b/…]), with values attached on paths owning text, and
+    attribute paths storing their values — Fig 2.14(b)'s preferred,
+    [Tag=c]-filtered description. *)
+
+val blob : root:string -> (string * Xam.Pattern.t) list
+(** Unfragmented storage (§2.1.1): the root's full content in one
+    module. *)
+
+val inlined : Xsummary.Summary.t -> (string * Xam.Pattern.t) list
+(** Hybrid/Shared-style inlining [105]: per element path, the node's ID
+    with the values of its one-to-one text/attribute children inlined in
+    the same tuple. *)
+
+val fragment_content : Xsummary.Summary.t -> label:string -> (string * Xam.Pattern.t) list
+(** Coarse-granularity storage of §2.1.1: the full content of every
+    [label] element as a single field ([content:label]), as in the
+    sectionContent structure. *)

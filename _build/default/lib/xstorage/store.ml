@@ -1,0 +1,55 @@
+module Rel = Xalgebra.Rel
+module Pattern = Xam.Pattern
+
+type module_ = { name : string; xam : Pattern.t; extent : Rel.t }
+
+type catalog = { summary : Xsummary.Summary.t; modules : module_ list }
+
+let materialize doc name xam =
+  { name; xam; extent = Xam.Embed.eval doc xam }
+
+let catalog_of doc specs =
+  { summary = Xsummary.Summary.of_doc doc;
+    modules = List.map (fun (name, xam) -> materialize doc name xam) specs }
+
+let env catalog name =
+  List.find_map
+    (fun m -> if String.equal m.name name then Some m.extent else None)
+    catalog.modules
+
+let views catalog =
+  List.filter_map
+    (fun m ->
+      if Pattern.has_required m.xam then None
+      else Some { Xam.Rewrite.vname = m.name; vpattern = m.xam })
+    catalog.modules
+
+let index_views catalog =
+  List.filter_map
+    (fun m ->
+      if Pattern.has_required m.xam then
+        Some { Xam.Rewrite.vname = m.name; vpattern = m.xam }
+      else None)
+    catalog.modules
+
+let lookup m ~bindings =
+  let bsch = Xam.Binding.binding_schema m.xam in
+  let tuples =
+    List.concat_map
+      (fun b ->
+        List.filter_map
+          (fun t -> Xam.Binding.intersect m.extent.Rel.schema bsch t b)
+          m.extent.Rel.tuples)
+      bindings
+  in
+  Rel.make m.extent.Rel.schema (Rel.dedup_tuples tuples)
+
+let total_tuples catalog =
+  List.fold_left (fun acc m -> acc + Rel.cardinality m.extent) 0 catalog.modules
+
+let pp ppf catalog =
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "%-24s %6d tuples  (%s)@." m.name (Rel.cardinality m.extent)
+        (Rel.schema_to_string m.extent.Rel.schema))
+    catalog.modules

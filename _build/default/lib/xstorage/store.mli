@@ -1,0 +1,43 @@
+(** Storage modules and catalogs.
+
+    A storage module is a persistent structure described by a XAM
+    (§2.2) together with its materialized extent. A catalog is the set of
+    XAMs describing everything the store holds — the optimizer's only
+    knowledge of the storage, which is what buys physical data independence
+    (§2.1.4): swapping storage models changes the catalog, never the
+    optimizer. *)
+
+type module_ = {
+  name : string;
+  xam : Xam.Pattern.t;
+  extent : Xalgebra.Rel.t;
+}
+
+type catalog = {
+  summary : Xsummary.Summary.t;
+  modules : module_ list;
+}
+
+val materialize : Xdm.Doc.t -> string -> Xam.Pattern.t -> module_
+(** Evaluate the XAM (required markers ignored for materialization) and
+    keep the result as the module's extent. *)
+
+val catalog_of : Xdm.Doc.t -> (string * Xam.Pattern.t) list -> catalog
+
+val env : catalog -> Xalgebra.Eval.env
+(** Resolve module names to extents, for plan execution. *)
+
+val views : catalog -> Xam.Rewrite.view list
+(** The catalog as rewriting views. Modules with required attributes
+    (indexes) are excluded: they need bindings and are handled by
+    {!lookup}. *)
+
+val index_views : catalog -> Xam.Rewrite.view list
+(** The index modules only. *)
+
+val lookup : module_ -> bindings:Xalgebra.Rel.tuple list -> Xalgebra.Rel.t
+(** Restricted access (Def 2.2.6): the data reachable from the given
+    binding tuples over the module's {!Xam.Binding.binding_schema}. *)
+
+val total_tuples : catalog -> int
+val pp : Format.formatter -> catalog -> unit

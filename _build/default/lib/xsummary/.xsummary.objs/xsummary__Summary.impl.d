@@ -1,0 +1,1 @@
+lib/xsummary/summary.ml: Array Doc Format Hashtbl List Option String Xdm

@@ -1,0 +1,1 @@
+lib/xsummary/summary.mli: Format Xdm

@@ -1,0 +1,211 @@
+type card = One | Plus | Star
+
+type t = {
+  labels : string array;
+  parents : int array;
+  children : int list array;
+  cards : card array;
+  depths : int array;
+  ends : int array;
+  counts : int array;
+}
+
+let size s = Array.length s.labels
+let root _ = 0
+let label s p = s.labels.(p)
+let parent s p = s.parents.(p)
+let children s p = s.children.(p)
+let depth s p = s.depths.(p)
+let card s p = s.cards.(p)
+let count s p = s.counts.(p)
+let subtree_end s p = s.ends.(p)
+let is_ancestor s a b = a < b && b < s.ends.(a)
+let is_parent s a b = is_ancestor s a b && s.parents.(b) = a
+
+let descendants s p = List.init (s.ends.(p) - p - 1) (fun k -> p + 1 + k)
+
+let child_with_label s p lbl =
+  List.find_opt (fun c -> String.equal s.labels.(c) lbl) s.children.(p)
+
+let nodes_with_label s lbl =
+  let acc = ref [] in
+  for p = Array.length s.labels - 1 downto 0 do
+    if String.equal s.labels.(p) lbl then acc := p :: !acc
+  done;
+  !acc
+
+let path_string s p =
+  let rec go p acc = if p < 0 then acc else go s.parents.(p) ("/" ^ s.labels.(p) ^ acc) in
+  go p ""
+
+let find_path s labels =
+  let rec go p = function
+    | [] -> Some p
+    | lbl :: rest -> (
+        match child_with_label s p lbl with Some c -> go c rest | None -> None)
+  in
+  match labels with
+  | [] -> None
+  | first :: rest -> if String.equal s.labels.(0) first then go 0 rest else None
+
+let strong_edge_count s =
+  let n = ref 0 in
+  for p = 1 to Array.length s.labels - 1 do
+    if s.cards.(p) = Plus || s.cards.(p) = One then incr n
+  done;
+  !n
+
+let one_edge_count s =
+  let n = ref 0 in
+  for p = 1 to Array.length s.labels - 1 do
+    if s.cards.(p) = One then incr n
+  done;
+  !n
+
+let one_to_one_chain s a b =
+  let rec up p = p = a || (p > a && s.cards.(p) = One && up s.parents.(p)) in
+  (a = b || is_ancestor s a b) && up b
+
+(* --- Construction ------------------------------------------------------- *)
+
+(* Pack (label, parent, card) rows listed in pre-order into a summary. *)
+let pack rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Summary.pack: empty";
+  let labels = Array.map (fun (l, _, _) -> l) rows in
+  let parents = Array.map (fun (_, p, _) -> p) rows in
+  let cards = Array.map (fun (_, _, c) -> c) rows in
+  let depths = Array.make n 1 in
+  let children = Array.make n [] in
+  let ends = Array.init n (fun i -> i + 1) in
+  for i = 1 to n - 1 do
+    let p = parents.(i) in
+    if p < 0 || p >= i then invalid_arg "Summary.pack: rows not in pre-order";
+    depths.(i) <- depths.(p) + 1;
+    children.(p) <- i :: children.(p)
+  done;
+  for i = n - 1 downto 1 do
+    let p = parents.(i) in
+    if ends.(p) < ends.(i) then ends.(p) <- ends.(i)
+  done;
+  Array.iteri (fun p l -> children.(p) <- List.rev l) children;
+  { labels; parents; children; cards; depths; ends; counts = Array.make n 0 }
+
+let of_edges triples =
+  match triples with
+  | [] -> invalid_arg "Summary.of_edges: empty"
+  | (rp, rl, _) :: _ when rp = -1 ->
+      pack
+        (Array.of_list
+           (List.mapi
+              (fun i (p, l, c) ->
+                if i = 0 then (rl, -1, One)
+                else if p < 0 then invalid_arg "Summary.of_edges: non-root with parent -1"
+                else (l, p, c))
+              triples))
+  | _ -> invalid_arg "Summary.of_edges: first triple must be the root (parent -1)"
+
+let build doc =
+  let open Xdm in
+  let n = Doc.size doc in
+  (* Temporary summary nodes in first-occurrence order. *)
+  let tmp_label = ref [] and tmp_parent = ref [] in
+  let tmp_count = ref 0 in
+  let kids : (int * string, int) Hashtbl.t = Hashtbl.create 256 in
+  let new_tmp label parent =
+    let id = !tmp_count in
+    incr tmp_count;
+    tmp_label := label :: !tmp_label;
+    tmp_parent := parent :: !tmp_parent;
+    if parent >= 0 then Hashtbl.replace kids (parent, label) id;
+    id
+  in
+  let paths = Array.make n (-1) in
+  (* Per (document parent node, child path) child counts, for the 1/+
+     annotations. *)
+  let counts : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let occ = Hashtbl.create 256 in
+  for i = 0 to n - 1 do
+    let p = Doc.parent doc i in
+    let lbl = Doc.label doc i in
+    let pid =
+      if p < 0 then new_tmp lbl (-1)
+      else
+        let pp = paths.(p) in
+        match Hashtbl.find_opt kids (pp, lbl) with
+        | Some id -> id
+        | None -> new_tmp lbl pp
+    in
+    paths.(i) <- pid;
+    Hashtbl.replace occ pid (1 + Option.value ~default:0 (Hashtbl.find_opt occ pid));
+    if p >= 0 then
+      Hashtbl.replace counts (p, pid)
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts (p, pid)))
+  done;
+  let m = !tmp_count in
+  let tmp_labels = Array.of_list (List.rev !tmp_label) in
+  let tmp_parents = Array.of_list (List.rev !tmp_parent) in
+  let tmp_children = Array.make m [] in
+  for i = m - 1 downto 1 do
+    tmp_children.(tmp_parents.(i)) <- i :: tmp_children.(tmp_parents.(i))
+  done;
+  (* Edge cardinalities on tmp ids. *)
+  let parents_with_child = Array.make m 0 in
+  let max_count = Array.make m 0 in
+  Hashtbl.iter
+    (fun (_, child_path) c ->
+      parents_with_child.(child_path) <- parents_with_child.(child_path) + 1;
+      if c > max_count.(child_path) then max_count.(child_path) <- c)
+    counts;
+  let card_of tmp =
+    if tmp = 0 then One
+    else
+      let parent_occ =
+        Option.value ~default:0 (Hashtbl.find_opt occ tmp_parents.(tmp))
+      in
+      if parents_with_child.(tmp) = parent_occ then
+        if max_count.(tmp) = 1 then One else Plus
+      else Star
+  in
+  (* Renumber in pre-order so that subtrees are contiguous. *)
+  let order = Array.make m (-1) in
+  let rows = Array.make m ("", -1, Star) in
+  let next = ref 0 in
+  let rec visit tmp parent_new =
+    let id = !next in
+    incr next;
+    order.(tmp) <- id;
+    rows.(id) <- (tmp_labels.(tmp), parent_new, card_of tmp);
+    List.iter (fun c -> visit c id) tmp_children.(tmp)
+  in
+  visit 0 (-1);
+  let s = pack rows in
+  Hashtbl.iter
+    (fun tmp c -> s.counts.(order.(tmp)) <- c)
+    occ;
+  let mapping = Array.map (fun tmp -> order.(tmp)) paths in
+  (s, mapping)
+
+let of_doc doc = fst (build doc)
+
+let strictness = function One -> 2 | Plus -> 1 | Star -> 0
+
+let conforms s doc =
+  let s', _ = build doc in
+  size s = size s'
+  && (let ok = ref true in
+      for p = 0 to size s - 1 do
+        if
+          (not (String.equal s.labels.(p) s'.labels.(p)))
+          || s.parents.(p) <> s'.parents.(p)
+          || strictness s'.cards.(p) < strictness s.cards.(p)
+        then ok := false
+      done;
+      !ok)
+
+let pp ppf s =
+  for p = 0 to size s - 1 do
+    let mark = match s.cards.(p) with One -> "1" | Plus -> "+" | Star -> "*" in
+    Format.fprintf ppf "%3d %s%s [%s] ×%d@." p (String.make (2 * (s.depths.(p) - 1)) ' ')
+      s.labels.(p) mark s.counts.(p)
+  done

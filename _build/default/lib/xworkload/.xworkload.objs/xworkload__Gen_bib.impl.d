@@ -1,0 +1,1 @@
+lib/xworkload/gen_bib.ml: Array List Printf Random Xdm

@@ -1,0 +1,1 @@
+lib/xworkload/gen_dblp.ml: Array List Printf Random Xdm Xsummary

@@ -1,0 +1,1 @@
+lib/xworkload/gen_dblp.mli: Xdm Xsummary

@@ -1,0 +1,1 @@
+lib/xworkload/gen_sci.ml: List Printf Random Xdm

@@ -1,0 +1,1 @@
+lib/xworkload/gen_shakespeare.ml: Array List Printf Random String Xdm

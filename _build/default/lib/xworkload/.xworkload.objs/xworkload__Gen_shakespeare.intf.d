@@ -1,0 +1,1 @@
+lib/xworkload/gen_shakespeare.mli: Xdm

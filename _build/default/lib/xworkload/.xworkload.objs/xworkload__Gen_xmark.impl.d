@@ -1,0 +1,1 @@
+lib/xworkload/gen_xmark.ml: Array List Printf Random String Xdm Xsummary

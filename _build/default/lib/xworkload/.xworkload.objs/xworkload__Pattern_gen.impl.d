@@ -1,0 +1,1 @@
+lib/xworkload/pattern_gen.ml: Hashtbl Int List Option Random Seq String Xalgebra Xam Xdm Xsummary

@@ -1,0 +1,1 @@
+lib/xworkload/pattern_gen.mli: Random Xam Xsummary

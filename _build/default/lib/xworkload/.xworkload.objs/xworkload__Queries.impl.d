@@ -1,0 +1,1 @@
+lib/xworkload/queries.ml: List Xalgebra Xam Xdm

@@ -1,0 +1,1 @@
+lib/xworkload/queries.mli: Xam

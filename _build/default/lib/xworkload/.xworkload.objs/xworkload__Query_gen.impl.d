@@ -1,0 +1,1 @@
+lib/xworkload/query_gen.ml: Fun List Printf Random String Xam Xquery Xsummary

@@ -1,0 +1,1 @@
+lib/xworkload/query_gen.mli: Random Xquery Xsummary

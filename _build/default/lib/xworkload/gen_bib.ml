@@ -1,0 +1,70 @@
+module T = Xdm.Xml_tree
+
+let bib_xml =
+  {|<library>
+  <book year="1999">
+    <title>Data on the Web</title>
+    <author>Abiteboul</author>
+    <author>Suciu</author>
+  </book>
+  <book>
+    <title>The Syntactic Web</title>
+    <author>Tom Lerners-Bee</author>
+  </book>
+  <phdthesis year="2004">
+    <title>The Web: next generation</title>
+    <author>Jim Smith</author>
+  </phdthesis>
+</library>|}
+
+let bib_doc () = Xdm.Doc.of_string ~name:"bib" bib_xml
+
+let book_fulltext_xml =
+  {|<bib>
+  <book year="1999">
+    <title>Data on the Web</title>
+    <author>Abiteboul</author>
+    <author>Suciu</author>
+    <body>
+      <section no="1">
+        In this book, we discuss <it>Web data</it> as encountered in
+        <b>HTML</b> and, increasingly, <b>XML</b> documents on the Web.
+      </section>
+      <section no="2">
+        Semistructured data is <it>self-describing</it>; its structure may
+        vary from one item to the next.
+      </section>
+    </body>
+  </book>
+</bib>|}
+
+let surnames =
+  [| "Abiteboul"; "Suciu"; "Buneman"; "Vianu"; "Widom"; "Smith"; "Halevy"; "Manolescu";
+     "Benzaken"; "Arion"; "Ullman"; "Garcia-Molina" |]
+
+let title_words =
+  [| "Data"; "Web"; "Queries"; "Trees"; "Patterns"; "Views"; "Storage"; "Indexes";
+     "Semantics"; "Optimization" |]
+
+let generate ?(seed = 42) ~books ~theses () =
+  let rng = Random.State.make [| seed |] in
+  let pick a = a.(Random.State.int rng (Array.length a)) in
+  let title () =
+    Printf.sprintf "%s of %s and %s" (pick title_words) (pick title_words)
+      (pick title_words)
+  in
+  let entry tag =
+    let nauthors = 1 + Random.State.int rng 3 in
+    let year = 1990 + Random.State.int rng 20 in
+    let with_year = Random.State.float rng 1.0 < 0.8 in
+    T.elt tag
+      ~attrs:(if with_year then [ ("year", string_of_int year) ] else [])
+      (T.elt "title" [ T.text (title ()) ]
+      :: List.init nauthors (fun _ -> T.elt "author" [ T.text (pick surnames) ]))
+  in
+  T.elt "library"
+    (List.init books (fun _ -> entry "book")
+    @ List.init theses (fun _ -> entry "phdthesis"))
+
+let generate_doc ?seed ~books ~theses () =
+  Xdm.Doc.of_tree ~name:"bib" (generate ?seed ~books ~theses ())

@@ -1,0 +1,18 @@
+(** The bibliographic documents used throughout the thesis, plus a scalable
+    synthetic generator with the same shape. *)
+
+val bib_xml : string
+(** The sample bib.xml of Fig 2.1 / Fig 2.5 (library, book, phdthesis,
+    titles, authors, @year). *)
+
+val bib_doc : unit -> Xdm.Doc.t
+
+val book_fulltext_xml : string
+(** The fully XML-ized book of Fig 2.2, with a body of sections carrying
+    [it]/[b] markup. *)
+
+val generate : ?seed:int -> books:int -> theses:int -> unit -> Xdm.Xml_tree.t
+(** A library with the given numbers of books and theses; authors per entry
+    vary between 1 and 3, years between 1990 and 2009. *)
+
+val generate_doc : ?seed:int -> books:int -> theses:int -> unit -> Xdm.Doc.t

@@ -1,0 +1,55 @@
+module T = Xdm.Xml_tree
+
+let authors =
+  [| "C. Papadimitriou"; "J. Ullman"; "S. Abiteboul"; "D. Suciu"; "M. Stonebraker";
+     "P. Buneman"; "V. Vianu"; "J. Widom"; "H. Garcia-Molina"; "R. Ramakrishnan" |]
+
+let venues = [| "SIGMOD"; "VLDB"; "PODS"; "ICDE"; "EDBT"; "TODS"; "VLDBJ" |]
+
+let title_words =
+  [| "Efficient"; "Query"; "Processing"; "XML"; "Views"; "Indexing"; "Storage";
+     "Semistructured"; "Data"; "Optimization"; "Containment"; "Patterns" |]
+
+let kinds = [| "article"; "inproceedings"; "phdthesis"; "book"; "incollection" |]
+
+let generate ?(seed = 11) ~entries () =
+  let rng = Random.State.make [| seed |] in
+  let pick a = a.(Random.State.int rng (Array.length a)) in
+  let entry i =
+    let kind = pick kinds in
+    let nauthors = 1 + Random.State.int rng 3 in
+    let year = 1970 + Random.State.int rng 35 in
+    T.elt kind
+      ~attrs:[ ("key", Printf.sprintf "%s/%d" kind i); ("mdate", "2005-01-01") ]
+      (List.init nauthors (fun _ -> T.elt "author" [ T.text (pick authors) ])
+      @ [ T.elt "title"
+            [ T.text
+                (Printf.sprintf "%s %s %s" (pick title_words) (pick title_words)
+                   (pick title_words)) ];
+          T.elt "year" [ T.text (string_of_int year) ] ]
+      @ (if Random.State.float rng 1.0 < 0.7 then
+           [ T.elt "pages"
+               [ T.text
+                   (Printf.sprintf "%d-%d" (Random.State.int rng 400)
+                      (400 + Random.State.int rng 50)) ] ]
+         else [])
+      @ (match kind with
+        | "article" ->
+            [ T.elt "journal" [ T.text (pick venues) ];
+              T.elt "volume" [ T.text (string_of_int (1 + Random.State.int rng 30)) ] ]
+        | "inproceedings" ->
+            [ T.elt "booktitle" [ T.text (pick venues) ];
+              T.elt "crossref" [ T.text (Printf.sprintf "conf/%s/%d" (pick venues) year) ] ]
+        | "phdthesis" -> [ T.elt "school" [ T.text "Universite Paris Sud" ] ]
+        | "book" | "incollection" -> [ T.elt "publisher" [ T.text "Springer" ] ]
+        | _ -> [])
+      @
+      if Random.State.float rng 1.0 < 0.5 then
+        [ T.elt "ee" [ T.text (Printf.sprintf "db/%s/%d.html" kind i) ] ]
+      else [])
+  in
+  T.elt "dblp" (List.init entries entry)
+
+let generate_doc ?seed ~entries () =
+  Xdm.Doc.of_tree ~name:"dblp" (generate ?seed ~entries ())
+let summary ?seed ~entries () = Xsummary.Summary.of_doc (generate_doc ?seed ~entries ())

@@ -1,0 +1,115 @@
+module T = Xdm.Xml_tree
+
+let nasa ?(seed = 5) ~datasets () =
+  let rng = Random.State.make [| seed |] in
+  let chance p = Random.State.float rng 1.0 < p in
+  let int n = Random.State.int rng n in
+  let txt s = [ T.text s ] in
+  let author () =
+    T.elt "author"
+      (T.elt "initial" (txt "J")
+      :: T.elt "lastName" (txt (Printf.sprintf "Astronomer%d" (int 50)))
+      :: (if chance 0.4 then [ T.elt "affiliation" (txt "Observatory") ] else []))
+  in
+  let reference () =
+    T.elt "reference"
+      [ T.elt "source"
+          [ T.elt "other"
+              ([ T.elt "title" (txt "A survey of the sky");
+                 T.elt "name" (txt "ApJ") ]
+              @ List.init (1 + int 3) (fun _ -> author ())
+              @ [ T.elt "publisher" (txt "AAS");
+                  T.elt "city" (txt "Chicago");
+                  T.elt "date"
+                    [ T.elt "year" (txt (string_of_int (1970 + int 30)));
+                      T.elt "month" (txt "Jan") ] ]) ] ]
+  in
+  let field () =
+    T.elt "field"
+      ~attrs:[ ("name", Printf.sprintf "col%d" (int 20)) ]
+      ([ T.elt "definition" (txt "magnitude") ]
+      @ (if chance 0.5 then [ T.elt "units" (txt "mag") ] else [])
+      @ if chance 0.3 then [ T.elt "ucd" (txt "PHOT_MAG") ] else [])
+  in
+  let dataset i =
+    T.elt "dataset"
+      ~attrs:[ ("subject", "astronomy"); ("xmlns", "nasa") ]
+      ([ T.elt "title" (txt (Printf.sprintf "Catalog %d" i));
+         T.elt "altname" ~attrs:[ ("type", "ADC") ] (txt (Printf.sprintf "A%d" i));
+         T.elt "abstract" [ T.elt "para" (txt "Positions and magnitudes of stars.") ];
+         T.elt "keywords"
+           ~attrs:[ ("parentListURL", "kw.html") ]
+           (List.init (1 + int 3) (fun k ->
+                T.elt "keyword" ~attrs:[ ("xlink", "x") ] (txt (Printf.sprintf "kw%d" k)))) ]
+      @ List.init (1 + int 2) (fun _ -> reference ())
+      @ [ T.elt "tableHead"
+            ((if chance 0.7 then [ T.elt "tableLinks" (txt "links") ] else [])
+            @ List.init (2 + int 4) (fun _ -> field ())) ]
+      @ (if chance 0.5 then
+           [ T.elt "history"
+               [ T.elt "ingest"
+                   [ T.elt "creator" [ author () ]; T.elt "date" (txt "1999-05-05") ] ] ]
+         else [])
+      @ [ T.elt "identifier" (txt (Printf.sprintf "I/%d" i)) ])
+  in
+  T.elt "datasets" (List.init datasets dataset)
+
+let nasa_doc ?seed ~datasets () = Xdm.Doc.of_tree ~name:"nasa" (nasa ?seed ~datasets ())
+
+let swissprot ?(seed = 9) ~entries () =
+  let rng = Random.State.make [| seed |] in
+  let chance p = Random.State.float rng 1.0 < p in
+  let int n = Random.State.int rng n in
+  let txt s = [ T.text s ] in
+  let feature kind =
+    T.elt "Features"
+      [ T.elt kind
+          ~attrs:[ ("from", string_of_int (int 400)); ("to", string_of_int (400 + int 200)) ]
+          ([ T.elt "Descr" (txt "domain of interest") ]
+          @ if chance 0.3 then [ T.elt "Status" (txt "BY_SIMILARITY") ] else []) ]
+  in
+  let org () =
+    T.elt "Org" (txt (Printf.sprintf "Species%d" (int 40)))
+  in
+  let ref_ i =
+    T.elt "Ref"
+      ([ T.elt "Author" (txt (Printf.sprintf "Biologist%d" (int 60)));
+         T.elt "Cite" (txt (Printf.sprintf "Bib%d" i)) ]
+      @ (if chance 0.6 then [ T.elt "MedlineID" (txt (string_of_int (90000000 + int 999999))) ] else [])
+      @ (if chance 0.3 then [ T.elt "RefPosition" (txt "X-RAY CRYSTALLOGRAPHY") ] else [])
+      @ (if chance 0.3 then [ T.elt "DB_ref" [ T.elt "db" (txt "PDB"); T.elt "id" (txt "1ABC") ] ] else [])
+      @ [ T.elt "RefComment" ~attrs:[ ("mass", string_of_int (int 90000)) ] (txt "SEQUENCE") ])
+  in
+  let entry i =
+    T.elt "Entry"
+      ~attrs:
+        [ ("id", Printf.sprintf "P%05d" i); ("class", "STANDARD");
+          ("mtype", "PRT"); ("seqlen", string_of_int (100 + int 900)) ]
+      ([ T.elt "AC" (txt (Printf.sprintf "Q%05d" i));
+         T.elt "Mod" ~attrs:[ ("date", "01-NOV-1997"); ("Rel", "35") ] (txt "Created");
+         T.elt "Descr" (txt "Putative protein") ]
+      @ (if chance 0.5 then [ T.elt "Gene" [ T.elt "Names" (txt (Printf.sprintf "GEN%d" (int 99))) ] ] else [])
+      @ [ org () ]
+      @ (if chance 0.4 then [ T.elt "OrgGrp" (txt "Eukaryota") ] else [])
+      @ List.init (1 + int 3) ref_
+      @ (if chance 0.6 then [ T.elt "DB" (txt "EMBL") ] else [])
+      @ (if chance 0.7 then
+           [ T.elt "Keywords"
+               (List.init (1 + int 3) (fun k -> T.elt "Keyword" (txt (Printf.sprintf "kw%d" k)))) ]
+         else [])
+      @ List.init (int 6) (fun k ->
+            feature
+              (match k with
+              | 0 -> "DOMAIN" | 1 -> "BINDING" | 2 -> "CHAIN" | 3 -> "SIGNAL"
+              | 4 -> "TRANSMEM" | _ -> "DISULFID"))
+      @ (if chance 0.4 then
+           [ T.elt "Comment" ~attrs:[ ("type", "FUNCTION") ] (txt "catalytic activity") ]
+         else [])
+      @ if chance 0.3 then
+          [ T.elt "Sequence" [ T.elt "Data" (txt "MKVL...") ] ]
+        else [])
+  in
+  T.elt "sptr" (List.init entries entry)
+
+let swissprot_doc ?seed ~entries () =
+  Xdm.Doc.of_tree ~name:"swissprot" (swissprot ?seed ~entries ())

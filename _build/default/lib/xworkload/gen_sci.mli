@@ -1,0 +1,8 @@
+(** Synthetic scientific datasets standing in for the NASA (ADC
+    astronomical data, ≈111 summary paths) and SwissProt (protein
+    annotations, ≈264 summary paths) corpora of Fig 4.13. *)
+
+val nasa : ?seed:int -> datasets:int -> unit -> Xdm.Xml_tree.t
+val nasa_doc : ?seed:int -> datasets:int -> unit -> Xdm.Doc.t
+val swissprot : ?seed:int -> entries:int -> unit -> Xdm.Xml_tree.t
+val swissprot_doc : ?seed:int -> entries:int -> unit -> Xdm.Doc.t

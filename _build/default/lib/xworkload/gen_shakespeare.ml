@@ -1,0 +1,53 @@
+module T = Xdm.Xml_tree
+
+let speakers = [| "HAMLET"; "OPHELIA"; "KING"; "QUEEN"; "HORATIO"; "GHOST"; "LAERTES" |]
+
+let line_words =
+  [| "the"; "night"; "crown"; "sword"; "love"; "ghost"; "throne"; "madness"; "sea";
+     "words"; "poison"; "play" |]
+
+let generate ?(seed = 3) ~plays () =
+  let rng = Random.State.make [| seed |] in
+  let pick a = a.(Random.State.int rng (Array.length a)) in
+  let line () =
+    T.elt "LINE"
+      [ T.text (String.concat " " (List.init (4 + Random.State.int rng 6) (fun _ -> pick line_words))) ]
+  in
+  let speech () =
+    T.elt "SPEECH"
+      (T.elt "SPEAKER" [ T.text (pick speakers) ]
+      :: List.init (1 + Random.State.int rng 4) (fun _ -> line ())
+      @ (if Random.State.float rng 1.0 < 0.2 then [ T.elt "STAGEDIR" [ T.text "Aside" ] ] else []))
+  in
+  let scene i =
+    T.elt "SCENE"
+      (T.elt "TITLE" [ T.text (Printf.sprintf "SCENE %d" (i + 1)) ]
+      :: T.elt "STAGEDIR" [ T.text "Enter the players" ]
+      :: List.init (3 + Random.State.int rng 5) (fun _ -> speech ()))
+  in
+  let act i =
+    T.elt "ACT"
+      (T.elt "TITLE" [ T.text (Printf.sprintf "ACT %d" (i + 1)) ]
+      :: List.init (2 + Random.State.int rng 2) scene)
+  in
+  let play i =
+    T.elt "PLAY"
+      (T.elt "TITLE" [ T.text (Printf.sprintf "The Tragedy no. %d" (i + 1)) ]
+      :: T.elt "FM" (List.init 3 (fun _ -> T.elt "P" [ T.text "Text placed in the public domain." ]))
+      :: T.elt "PERSONAE"
+           (T.elt "TITLE" [ T.text "Dramatis Personae" ]
+           :: List.init 5 (fun _ -> T.elt "PERSONA" [ T.text (pick speakers) ])
+           @ [ T.elt "PGROUP"
+                 (List.init 2 (fun _ -> T.elt "PERSONA" [ T.text (pick speakers) ])
+                 @ [ T.elt "GRPDESCR" [ T.text "courtiers" ] ]) ])
+      :: T.elt "SCNDESCR" [ T.text "Elsinore" ]
+      :: T.elt "PLAYSUBT" [ T.text "Subtitle" ]
+      :: T.elt "INDUCT"
+           [ T.elt "TITLE" [ T.text "Induction" ]; T.elt "STAGEDIR" [ T.text "Flourish" ] ]
+      :: (List.init 5 act
+         @ [ T.elt "EPILOGUE" (T.elt "TITLE" [ T.text "Epilogue" ] :: [ speech () ]) ]))
+  in
+  if plays = 1 then play 0 else T.elt "PLAYS" (List.init plays play)
+
+let generate_doc ?seed ~plays () =
+  Xdm.Doc.of_tree ~name:"shakespeare" (generate ?seed ~plays ())

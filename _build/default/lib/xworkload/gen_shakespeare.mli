@@ -1,0 +1,5 @@
+(** Synthetic Shakespeare-like plays (the 7.5 MB corpus of Fig 4.13):
+    deeply regular dramatic markup with a tiny summary (≈58 paths). *)
+
+val generate : ?seed:int -> plays:int -> unit -> Xdm.Xml_tree.t
+val generate_doc : ?seed:int -> plays:int -> unit -> Xdm.Doc.t

@@ -1,0 +1,202 @@
+module T = Xdm.Xml_tree
+
+type scale = {
+  items : int;
+  people : int;
+  open_auctions : int;
+  closed_auctions : int;
+  categories : int;
+  max_markup_depth : int;
+}
+
+let tiny =
+  { items = 3; people = 5; open_auctions = 4; closed_auctions = 2; categories = 3;
+    max_markup_depth = 2 }
+
+let default =
+  { items = 120; people = 250; open_auctions = 120; closed_auctions = 60;
+    categories = 25; max_markup_depth = 2 }
+
+let of_factor f =
+  let s x = max 1 (int_of_float (float_of_int x *. f)) in
+  { items = s default.items;
+    people = s default.people;
+    open_auctions = s default.open_auctions;
+    closed_auctions = s default.closed_auctions;
+    categories = s default.categories;
+    max_markup_depth = default.max_markup_depth }
+
+let words =
+  [| "gold"; "shiny"; "rare"; "vintage"; "mint"; "signed"; "antique"; "large"; "small";
+     "exotic"; "handmade"; "imported"; "restored"; "original"; "limited" |]
+
+let names =
+  [| "Adams"; "Baker"; "Clark"; "Davis"; "Evans"; "Frank"; "Green"; "Hill"; "Irving";
+     "Jones"; "Kelly"; "Lewis"; "Moore"; "Nolan" |]
+
+let cities = [| "Paris"; "Cairo"; "Sydney"; "Lima"; "Oslo"; "Tokyo"; "Dakar" |]
+
+type gen = { rng : Random.State.t; sc : scale }
+
+let pick g a = a.(Random.State.int g.rng (Array.length a))
+let chance g p = Random.State.float g.rng 1.0 < p
+let int g n = Random.State.int g.rng n
+
+let sentence g =
+  String.concat " " (List.init (2 + int g 5) (fun _ -> pick g words))
+
+(* Mixed text content with bold/keyword/emph markup, nesting up to two
+   levels — the formatting tags that blow the XMark summary up. *)
+let rec rich_text g depth : T.t list =
+  let piece () =
+    if depth > 0 && chance g 0.4 then
+      let tag = pick g [| "bold"; "keyword"; "emph" |] in
+      T.elt tag (rich_text g (depth - 1))
+    else T.text (sentence g)
+  in
+  List.init (1 + int g 3) (fun _ -> piece ())
+
+let text_elt g = T.elt "text" (rich_text g 1)
+
+(* description ::= text | parlist; parlist ::= listitem+;
+   listitem ::= text | parlist — the recursive structure of §5.2. *)
+let rec parlist g depth =
+  T.elt "parlist"
+    (List.init (1 + int g 2) (fun _ ->
+         T.elt "listitem"
+           [ (if depth > 1 && chance g 0.5 then parlist g (depth - 1) else text_elt g) ]))
+
+let description g =
+  T.elt "description"
+    [ (if chance g 0.5 then parlist g g.sc.max_markup_depth else text_elt g) ]
+
+let date g = Printf.sprintf "%02d/%02d/%d" (1 + int g 12) (1 + int g 28) (1998 + int g 4)
+
+let item g ~id ~category =
+  T.elt "item"
+    ~attrs:[ ("id", Printf.sprintf "item%d" id) ]
+    ([ T.elt "location" [ T.text (pick g cities) ];
+       T.elt "quantity" [ T.text (string_of_int (1 + int g 5)) ];
+       T.elt "name" [ T.text (Printf.sprintf "%s %s %d" (pick g words) (pick g words) id) ];
+       T.elt "payment" [ T.text "Cash, Creditcard" ];
+       description g ]
+    @ (if chance g 0.8 then
+         [ T.elt "mailbox"
+             (List.init (int g 3) (fun _ ->
+                  T.elt "mail"
+                    [ T.elt "from" [ T.text (pick g names) ];
+                      T.elt "to" [ T.text (pick g names) ];
+                      T.elt "date" [ T.text (date g) ];
+                      text_elt g ])) ]
+       else [])
+    @ [ T.elt "incategory"
+          ~attrs:[ ("category", Printf.sprintf "category%d" category) ]
+          [] ])
+
+let person g ~id =
+  T.elt "person"
+    ~attrs:[ ("id", Printf.sprintf "person%d" id) ]
+    ([ T.elt "name" [ T.text (Printf.sprintf "%s %s" (pick g names) (pick g names)) ];
+       T.elt "emailaddress" [ T.text (Printf.sprintf "mailto:p%d@auction.net" id) ] ]
+    @ (if chance g 0.5 then [ T.elt "phone" [ T.text (Printf.sprintf "+%d" (int g 999999)) ] ] else [])
+    @ (if chance g 0.6 then
+         [ T.elt "address"
+             [ T.elt "street" [ T.text (Printf.sprintf "%d %s St" (1 + int g 99) (pick g words)) ];
+               T.elt "city" [ T.text (pick g cities) ];
+               T.elt "country" [ T.text "Wonderland" ];
+               T.elt "zipcode" [ T.text (string_of_int (10000 + int g 89999)) ] ] ]
+       else [])
+    @ (if chance g 0.3 then [ T.elt "homepage" [ T.text (Printf.sprintf "http://p%d.example" id) ] ] else [])
+    @ (if chance g 0.4 then [ T.elt "creditcard" [ T.text "1234 5678" ] ] else [])
+    @ (if chance g 0.7 then
+         [ T.elt "profile"
+             ~attrs:[ ("income", string_of_int (20000 + int g 80000)) ]
+             (List.init (int g 3) (fun _ ->
+                  T.elt "interest"
+                    ~attrs:[ ("category", Printf.sprintf "category%d" (int g (max 1 g.sc.categories))) ]
+                    [])
+             @ (if chance g 0.5 then [ T.elt "education" [ T.text "Graduate School" ] ] else [])
+             @ (if chance g 0.5 then [ T.elt "gender" [ T.text (if chance g 0.5 then "male" else "female") ] ] else [])
+             @ [ T.elt "business" [ T.text (if chance g 0.5 then "Yes" else "No") ] ]
+             @ if chance g 0.5 then [ T.elt "age" [ T.text (string_of_int (18 + int g 60)) ] ] else []) ]
+       else [])
+    @
+    if chance g 0.4 then
+      [ T.elt "watches"
+          (List.init (1 + int g 2) (fun _ ->
+               T.elt "watch"
+                 ~attrs:[ ("open_auction", Printf.sprintf "open_auction%d" (int g (max 1 g.sc.open_auctions))) ]
+                 [])) ]
+    else [])
+
+let annotation g =
+  T.elt "annotation"
+    [ T.elt "author" ~attrs:[ ("person", Printf.sprintf "person%d" (int g (max 1 g.sc.people))) ] [];
+      description g;
+      T.elt "happiness" [ T.text (string_of_int (1 + int g 10)) ] ]
+
+let open_auction g ~id =
+  T.elt "open_auction"
+    ~attrs:[ ("id", Printf.sprintf "open_auction%d" id) ]
+    ([ T.elt "initial" [ T.text (Printf.sprintf "%d.%02d" (1 + int g 200) (int g 100)) ] ]
+    @ (if chance g 0.4 then [ T.elt "reserve" [ T.text (string_of_int (50 + int g 300)) ] ] else [])
+    @ List.init (int g 4) (fun _ ->
+          T.elt "bidder"
+            [ T.elt "date" [ T.text (date g) ];
+              T.elt "time" [ T.text (Printf.sprintf "%02d:%02d" (int g 24) (int g 60)) ];
+              T.elt "personref" ~attrs:[ ("person", Printf.sprintf "person%d" (int g (max 1 g.sc.people))) ] [];
+              T.elt "increase" [ T.text (Printf.sprintf "%d.00" (1 + int g 20)) ] ])
+    @ [ T.elt "current" [ T.text (Printf.sprintf "%d.00" (10 + int g 500)) ];
+        T.elt "itemref" ~attrs:[ ("item", Printf.sprintf "item%d" (int g (max 1 (g.sc.items * 6)))) ] [];
+        T.elt "seller" ~attrs:[ ("person", Printf.sprintf "person%d" (int g (max 1 g.sc.people))) ] [];
+        annotation g;
+        T.elt "quantity" [ T.text (string_of_int (1 + int g 3)) ];
+        T.elt "type" [ T.text (if chance g 0.5 then "Regular" else "Featured") ];
+        T.elt "interval"
+          [ T.elt "start" [ T.text (date g) ]; T.elt "end" [ T.text (date g) ] ] ])
+
+let closed_auction g =
+  T.elt "closed_auction"
+    ([ T.elt "seller" ~attrs:[ ("person", Printf.sprintf "person%d" (int g (max 1 g.sc.people))) ] [];
+       T.elt "buyer" ~attrs:[ ("person", Printf.sprintf "person%d" (int g (max 1 g.sc.people))) ] [];
+       T.elt "itemref" ~attrs:[ ("item", Printf.sprintf "item%d" (int g (max 1 (g.sc.items * 6)))) ] [];
+       T.elt "price" [ T.text (Printf.sprintf "%d.00" (10 + int g 500)) ];
+       T.elt "date" [ T.text (date g) ];
+       T.elt "quantity" [ T.text (string_of_int (1 + int g 3)) ];
+       T.elt "type" [ T.text "Regular" ] ]
+    @ if chance g 0.6 then [ annotation g ] else [])
+
+let category g ~id =
+  T.elt "category"
+    ~attrs:[ ("id", Printf.sprintf "category%d" id) ]
+    [ T.elt "name" [ T.text (pick g words) ]; description g ]
+
+let region_names = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let generate ?(seed = 7) sc =
+  let g = { rng = Random.State.make [| seed |]; sc } in
+  let next_item = ref 0 in
+  T.elt "site"
+    [ T.elt "regions"
+        (Array.to_list
+           (Array.map
+              (fun r ->
+                T.elt r
+                  (List.init sc.items (fun _ ->
+                       incr next_item;
+                       item g ~id:!next_item ~category:(int g (max 1 sc.categories)))))
+              region_names));
+      T.elt "categories" (List.init sc.categories (fun i -> category g ~id:i));
+      T.elt "catgraph"
+        (List.init (max 0 (sc.categories - 1)) (fun i ->
+             T.elt "edge"
+               ~attrs:
+                 [ ("from", Printf.sprintf "category%d" i);
+                   ("to", Printf.sprintf "category%d" (i + 1)) ]
+               []));
+      T.elt "people" (List.init sc.people (fun i -> person g ~id:i));
+      T.elt "open_auctions" (List.init sc.open_auctions (fun i -> open_auction g ~id:i));
+      T.elt "closed_auctions" (List.init sc.closed_auctions (fun _ -> closed_auction g)) ]
+
+let generate_doc ?seed sc = Xdm.Doc.of_tree ~name:"xmark" (generate ?seed sc)
+let summary ?seed sc = Xsummary.Summary.of_doc (generate_doc ?seed sc)

@@ -1,0 +1,30 @@
+(** Synthetic XMark-like documents (the auction site of [115]).
+
+    The generator reproduces the structural features the thesis's
+    experiments depend on: the recursive [parlist]/[listitem] description
+    markup, the free-text formatting tags ([bold], [keyword], [emph]) that
+    inflate the path summary (the ≈548-node XMark summary of §4.6), the
+    people/open_auctions/closed_auctions/categories subtrees, and item
+    mailboxes. Document size scales linearly with [scale]. *)
+
+type scale = {
+  items : int;  (** per region (six regions) *)
+  people : int;
+  open_auctions : int;
+  closed_auctions : int;
+  categories : int;
+  max_markup_depth : int;  (** parlist/listitem recursion depth (≥ 1) *)
+}
+
+val tiny : scale
+(** A document of a few hundred nodes. *)
+
+val default : scale
+(** ≈ 20k nodes; a summary shape comparable to the thesis's XMark. *)
+
+val of_factor : float -> scale
+(** Linear scaling of {!default}, in the spirit of XMark's size factor. *)
+
+val generate : ?seed:int -> scale -> Xdm.Xml_tree.t
+val generate_doc : ?seed:int -> scale -> Xdm.Doc.t
+val summary : ?seed:int -> scale -> Xsummary.Summary.t

@@ -1,0 +1,160 @@
+module Summary = Xsummary.Summary
+module Pattern = Xam.Pattern
+module Formula = Xam.Formula
+module Value = Xalgebra.Value
+
+type params = {
+  size : int;
+  return_labels : string list;
+  fanout : int;
+  wildcard_p : float;
+  value_pred_p : float;
+  desc_p : float;
+  optional_p : float;
+  distinct_values : int;
+}
+
+let default =
+  { size = 6; return_labels = [ "item" ]; fanout = 3; wildcard_p = 0.1;
+    value_pred_p = 0.2; desc_p = 0.5; optional_p = 0.5; distinct_values = 10 }
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+let chance rng p = Random.State.float rng 1.0 < p
+
+let ancestors_or_self s p =
+  let rec go p acc = if p < 0 then acc else go (Summary.parent s p) (p :: acc) in
+  go p []
+
+let generate rng s (pm : params) =
+  (* 1. One summary node per return label. *)
+  let return_paths =
+    List.map
+      (fun lbl ->
+        match Summary.nodes_with_label s lbl with
+        | [] -> None
+        | nodes -> Some (pick rng nodes))
+      pm.return_labels
+  in
+  if List.exists Option.is_none return_paths then None
+  else
+    let return_paths = List.map Option.get return_paths in
+    (* 2. Kept paths: the return paths, a sample of their ancestors, and
+       random extra descendants up to the requested size. *)
+    let kept = Hashtbl.create 16 in
+    List.iter (fun p -> Hashtbl.replace kept p ()) return_paths;
+    let closure =
+      List.sort_uniq Int.compare (List.concat_map (ancestors_or_self s) return_paths)
+    in
+    let optional_ancestors =
+      List.filter (fun p -> not (Hashtbl.mem kept p)) closure
+    in
+    let budget = ref (pm.size - List.length return_paths) in
+    List.iter
+      (fun p ->
+        if !budget > 0 && chance rng 0.4 then (
+          Hashtbl.replace kept p ();
+          decr budget))
+      optional_ancestors;
+    (* Extra branch nodes below already-kept paths; kept local (within a
+       few levels) so patterns stay anchored, as the thesis's do. *)
+    let attempts = ref 0 in
+    while !budget > 0 && !attempts < 50 do
+      incr attempts;
+      let bases = Hashtbl.fold (fun p () acc -> p :: acc) kept [] in
+      let base = pick rng bases in
+      let nearby =
+        List.filter
+          (fun d -> Summary.depth s d <= Summary.depth s base + 3)
+          (Summary.descendants s base)
+      in
+      match nearby with
+      | [] -> ()
+      | ds ->
+          let cand = pick rng ds in
+          if not (Hashtbl.mem kept cand) then (
+            Hashtbl.replace kept cand ();
+            decr budget)
+    done;
+    (* 3. Tree shape: connect each kept path to its nearest kept proper
+       ancestor. *)
+    let kept_list = List.sort Int.compare (Hashtbl.fold (fun p () a -> p :: a) kept []) in
+    let parent_of p =
+      let rec up q =
+        if q < 0 then None
+        else if Hashtbl.mem kept q then Some q
+        else up (Summary.parent s q)
+      in
+      up (Summary.parent s p)
+    in
+    let children = Hashtbl.create 16 in
+    let roots = ref [] in
+    List.iter
+      (fun p ->
+        match parent_of p with
+        | Some q ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt children q) in
+            if List.length prev < pm.fanout then Hashtbl.replace children q (prev @ [ p ])
+            else roots := p :: !roots
+        | None -> roots := p :: !roots)
+      kept_list;
+    (* 4. Materialize the pattern. *)
+    let is_return p = List.mem p return_paths in
+    let rec build p ~top : Pattern.tree =
+      let label =
+        if is_return p then Summary.label s p
+        else if chance rng pm.wildcard_p && not (Pattern.label_is_attribute (Summary.label s p))
+                && not (String.equal (Summary.label s p) "#text")
+        then "*"
+        else Summary.label s p
+      in
+      let formula =
+        if (not (is_return p)) && chance rng pm.value_pred_p then
+          Formula.eq (Value.Int (Random.State.int rng pm.distinct_values))
+        else Formula.tt
+      in
+      let node =
+        if is_return p then
+          Pattern.mk_node ~id:Xdm.Nid.Structural ~formula label
+        else Pattern.mk_node ~formula label
+      in
+      let kids =
+        List.map (fun c -> build c ~top:false)
+          (Option.value ~default:[] (Hashtbl.find_opt children p))
+      in
+      let axis =
+        if top then Pattern.Descendant
+        else
+          let direct_child =
+            match parent_of p with Some q -> Summary.is_parent s q p | None -> false
+          in
+          if direct_child && not (chance rng pm.desc_p) then Pattern.Child
+          else Pattern.Descendant
+      in
+      let sem =
+        if (not top) && (not (is_return p)) && chance rng pm.optional_p then Pattern.Outer
+        else Pattern.Join
+      in
+      Pattern.tree ~axis ~sem node kids
+    in
+    let trees = List.map (fun p -> build p ~top:true) (List.sort Int.compare !roots) in
+    let pat = Pattern.make trees in
+    (* Reject over-ambiguous patterns: the thesis's random patterns have
+       small canonical models (at most ~200 trees, Fig 4.14); a wildcard-
+       heavy draw can have astronomically many summary embeddings, which no
+       realistic query does. *)
+    let embeddings_capped =
+      Seq.fold_left (fun n _ -> n + 1) 0
+        (Seq.take 129 (Xam.Canonical.embeddings_seq s pat))
+    in
+    if embeddings_capped > 128 then None else Some pat
+
+let generate_many ?(seed = 17) s pm ~count =
+  let rng = Random.State.make [| seed |] in
+  let rec go acc n attempts =
+    if n = 0 || attempts > 50 * count then List.rev acc
+    else
+      match generate rng s pm with
+      | Some p -> go (p :: acc) (n - 1) (attempts + 1)
+      | None -> go acc n (attempts + 1)
+  in
+  go [] count 0

@@ -1,0 +1,31 @@
+(** Random satisfiable tree patterns, with the §4.6 experimental knobs:
+
+    node fanout ≤ 3, [*] labels with probability 0.1, value predicates
+    [v = c] with probability 0.2 over 10 distinct constants, [//] edges with
+    probability 0.5, optional edges with probability 0.5, and 1–3 return
+    nodes with fixed labels. Patterns are satisfiable by construction: they
+    are sampled from embeddings into the given summary. *)
+
+type params = {
+  size : int;  (** total number of pattern nodes (≥ number of returns) *)
+  return_labels : string list;  (** one return node per label *)
+  fanout : int;
+  wildcard_p : float;
+  value_pred_p : float;
+  desc_p : float;  (** probability that a single-step edge is [//] *)
+  optional_p : float;
+  distinct_values : int;
+}
+
+val default : params
+(** size 6, returns [["item"]], fanout 3, 0.1 / 0.2 / 0.5 / 0.5, 10
+    values. *)
+
+val generate :
+  Random.State.t -> Xsummary.Summary.t -> params -> Xam.Pattern.t option
+(** [None] when the summary offers no nodes for some return label. *)
+
+val generate_many :
+  ?seed:int -> Xsummary.Summary.t -> params -> count:int -> Xam.Pattern.t list
+(** Keeps sampling until [count] patterns were produced (or 50×[count]
+    attempts were spent). *)

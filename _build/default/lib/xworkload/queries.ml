@@ -1,0 +1,161 @@
+module P = Xam.Pattern
+module F = Xam.Formula
+module V = Xalgebra.Value
+
+let ret ?value label = P.mk_node ~id:Xdm.Nid.Structural ?value label
+let retv label = ret ~value:true label
+let plain = P.mk_node
+let child = P.Child
+
+let eq_s s = F.eq (V.Str s)
+let eq_i i = F.eq (V.Int i)
+
+let xmark () =
+  [ (* Q1: the name of the person with a given id. *)
+    ( "Q1",
+      P.make
+        [ P.v "people"
+            [ P.v ~axis:child "person"
+                ~node:(P.mk_node ~formula:F.tt "person")
+                [ P.v ~axis:child "@id" ~node:(plain ~formula:(eq_s "person0") "@id") [];
+                  P.v ~axis:child "name" ~node:(retv "name") [] ] ] ] );
+    (* Q2: initial increase of all bidders. *)
+    ( "Q2",
+      P.make
+        [ P.v "open_auction"
+            [ P.v ~axis:child "bidder"
+                [ P.v ~axis:child "increase" ~node:(retv "increase") [] ] ] ] );
+    (* Q3: increases of auctions with a reserve. *)
+    ( "Q3",
+      P.make
+        [ P.v "open_auction"
+            [ P.v ~axis:child ~sem:P.Semi "reserve" [];
+              P.v ~axis:child "bidder"
+                [ P.v ~axis:child "increase" ~node:(retv "increase") [] ] ] ] );
+    (* Q4: reserves of annotated auctions. *)
+    ( "Q4",
+      P.make
+        [ P.v "open_auction"
+            [ P.v ~sem:P.Semi "annotation" [];
+              P.v ~axis:child "reserve" ~node:(retv "reserve") [] ] ] );
+    (* Q5: prices of closed auctions. *)
+    ( "Q5",
+      P.make
+        [ P.v "closed_auction" [ P.v ~axis:child "price" ~node:(retv "price") [] ] ] );
+    (* Q6: all items in all regions. *)
+    ("Q6", P.make [ P.v "regions" [ P.v "item" ~node:(ret "item") [] ] ]);
+    (* Q7: pieces of prose — three structurally unrelated variables. *)
+    ( "Q7",
+      P.make
+        [ P.v "description" ~node:(ret "description") [];
+          P.v "annotation" ~node:(ret "annotation") [];
+          P.v "mail" ~node:(ret "mail") [] ] );
+    (* Q8: people and the closed auctions they bought (value join kept
+       outside the patterns): the two sides. *)
+    ( "Q8",
+      P.make
+        [ P.v "person" ~node:(ret "person")
+            [ P.v ~axis:child "name" ~node:(retv "name") [] ];
+          P.v "closed_auction"
+            [ P.v ~axis:child "buyer" ~node:(ret "buyer") [] ] ] );
+    (* Q9: as Q8 with the sold items. *)
+    ( "Q9",
+      P.make
+        [ P.v "person" ~node:(ret "person") [];
+          P.v "closed_auction"
+            [ P.v ~axis:child "seller" ~node:(ret "seller") [];
+              P.v ~axis:child "itemref" ~node:(ret "itemref") [] ] ] );
+    (* Q10: person profiles, many optional properties, grouped. *)
+    ( "Q10",
+      P.make
+        [ P.v "person" ~node:(ret "person")
+            [ P.v ~axis:child "name" ~node:(retv "name") [];
+              P.v ~axis:child ~sem:P.Outer "emailaddress" ~node:(retv "emailaddress") [];
+              P.v ~axis:child ~sem:P.Outer "homepage" ~node:(retv "homepage") [];
+              P.v ~axis:child "profile"
+                [ P.v ~axis:child ~sem:P.Outer "education" ~node:(retv "education") [];
+                  P.v ~axis:child ~sem:P.Outer "gender" ~node:(retv "gender") [] ] ] ] );
+    (* Q11: people with income above a constant. *)
+    ( "Q11",
+      P.make
+        [ P.v "person" ~node:(ret "person")
+            [ P.v ~axis:child "profile"
+                [ P.v ~axis:child "@income"
+                    ~node:(plain ~formula:(F.gt (V.Int 50000)) "@income")
+                    [] ] ] ] );
+    (* Q12: as Q11, lower bound and upper bound. *)
+    ( "Q12",
+      P.make
+        [ P.v "person" ~node:(ret "person")
+            [ P.v ~axis:child "profile"
+                [ P.v ~axis:child "@income"
+                    ~node:
+                      (plain
+                         ~formula:(F.conj (F.gt (V.Int 30000)) (F.lt (V.Int 100000)))
+                         "@income")
+                    [] ] ] ] );
+    (* Q13: items of a given region with their descriptions, nested. *)
+    ( "Q13",
+      P.make
+        [ P.v ~axis:child "site"
+            [ P.v ~axis:child "regions"
+                [ P.v ~axis:child "australia"
+                    [ P.v ~axis:child "item" ~node:(ret "item")
+                        [ P.v ~axis:child "name" ~node:(retv "name") [];
+                          P.v ~axis:child ~sem:P.Nest_outer "description"
+                            ~node:(P.mk_node ~cont:true "description")
+                            [] ] ] ] ] ] );
+    (* Q14: items whose description mentions a keyword. *)
+    ( "Q14",
+      P.make
+        [ P.v "item" ~node:(ret "item")
+            [ P.v ~axis:child "name" ~node:(retv "name") [];
+              P.v ~axis:child "description"
+                [ P.v ~sem:P.Semi "keyword" [] ] ] ] );
+    (* Q15: a long chain into the recursive markup. *)
+    ( "Q15",
+      P.make
+        [ P.v "closed_auction"
+            [ P.v ~axis:child "annotation"
+                [ P.v ~axis:child "description"
+                    [ P.v ~axis:child "parlist"
+                        [ P.v ~axis:child "listitem"
+                            [ P.v "text"
+                                [ P.v ~axis:child "keyword" ~node:(retv "keyword") [] ] ] ] ] ] ] ] );
+    (* Q16: as Q15, returning the seller reference too. *)
+    ( "Q16",
+      P.make
+        [ P.v "closed_auction" ~node:(ret "closed_auction")
+            [ P.v ~axis:child "seller"
+                [ P.v ~axis:child "@person" ~node:(retv "@person") [] ];
+              P.v "keyword" ~sem:P.Semi [] ] ] );
+    (* Q17: people without a homepage (optional probe). *)
+    ( "Q17",
+      P.make
+        [ P.v "person" ~node:(ret "person")
+            [ P.v ~axis:child "name" ~node:(retv "name") [];
+              P.v ~axis:child ~sem:P.Outer "homepage" ~node:(retv "homepage") [] ] ] );
+    (* Q18: a simple value chain with a wildcard. *)
+    ( "Q18",
+      P.make
+        [ P.v "open_auctions"
+            [ P.v ~axis:child "*"
+                [ P.v ~axis:child "initial" ~node:(retv "initial") [] ] ] ] );
+    (* Q19: items with location, name — wildcard region step. *)
+    ( "Q19",
+      P.make
+        [ P.v "regions"
+            [ P.v ~axis:child "*"
+                [ P.v ~axis:child "item" ~node:(ret "item")
+                    [ P.v ~axis:child "location" ~node:(retv "location") [];
+                      P.v ~axis:child "name" ~node:(retv "name") [] ] ] ] ] );
+    (* Q20: income partitioning (decorated pattern). *)
+    ( "Q20",
+      P.make
+        [ P.v "profile" ~node:(ret "profile")
+            [ P.v ~axis:child "@income"
+                ~node:(plain ~formula:(F.disj (F.lt (V.Int 30000)) (eq_i 30000)) "@income")
+                [] ] ] );
+  ]
+
+let find name = List.assoc name (xmark ())

@@ -1,0 +1,12 @@
+(** The 20 XMark benchmark queries (§4.6), re-expressed as query tree
+    patterns over the XMark summary shape — the workload of Fig 4.14 (top).
+
+    Q7 deliberately keeps its three structurally unrelated variables as
+    three pattern roots, reproducing the large canonical model the thesis
+    reports (204 trees on their summary). *)
+
+val xmark : unit -> (string * Xam.Pattern.t) list
+(** [(name, pattern)] pairs, ["Q1"] … ["Q20"]. *)
+
+val find : string -> Xam.Pattern.t
+(** Raises [Not_found]. *)

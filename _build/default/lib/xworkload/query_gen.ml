@@ -1,0 +1,140 @@
+module S = Xsummary.Summary
+module Ast = Xquery.Ast
+
+type params = {
+  max_bindings : int;
+  max_return_items : int;
+  nesting_p : float;
+  where_p : float;
+  text_p : float;
+}
+
+let default =
+  { max_bindings = 2; max_return_items = 3; nesting_p = 0.4; where_p = 0.5; text_p = 0.4 }
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+let chance rng p = Random.State.float rng 1.0 < p
+
+let is_element s p =
+  let l = S.label s p in
+  (not (Xam.Pattern.label_is_attribute l)) && not (String.equal l "#text")
+
+let element_paths s = List.filter (is_element s) (List.init (S.size s) Fun.id)
+
+(* The label steps from [top] (exclusive) down to [target], with random
+   //-compression: some intermediate labels are skipped under a descendant
+   step. *)
+let steps_between rng s ~top ~target =
+  let rec chain p acc = if p = top then acc else chain (S.parent s p) (p :: acc) in
+  let nodes = chain target [] in
+  let rec build = function
+    | [] -> []
+    | [ last ] ->
+        [ { Ast.axis = Ast.Child; test = S.label s last; preds = [] } ]
+    | node :: rest ->
+        if chance rng 0.4 then
+          (* Skip this node: the next emitted step becomes a descendant
+             step. *)
+          match build rest with
+          | { Ast.axis = _; test; preds } :: more ->
+              { Ast.axis = Ast.Descendant; test; preds } :: more
+          | [] -> []
+        else { Ast.axis = Ast.Child; test = S.label s node; preds = [] } :: build rest
+  in
+  match build nodes with
+  | [] -> [ { Ast.axis = Ast.Descendant; test = S.label s target; preds = [] } ]
+  | first :: rest ->
+      (* The first step may itself relax to a descendant step. *)
+      if chance rng 0.5 then { first with Ast.axis = Ast.Descendant } :: rest
+      else first :: rest
+
+(* A descendant element path of [base], if any. *)
+let descendant_of rng s base =
+  match List.filter (is_element s) (S.descendants s base) with
+  | [] -> None
+  | ds -> Some (pick rng ds)
+
+let absolute_path rng s ~doc_name ~target =
+  { Ast.source = Ast.Doc doc_name; steps = steps_between rng s ~top:(-1) ~target }
+
+let relative_path rng s ~var ~from ~target =
+  { Ast.source = Ast.Var var; steps = steps_between rng s ~top:from ~target }
+
+let fresh_var counter =
+  incr counter;
+  Printf.sprintf "v%d" !counter
+
+(* Return-clause item anchored at (var, path). *)
+let rec return_item rng s pm counter ~depth (var, vpath) : Ast.expr =
+  if depth > 0 && chance rng pm.nesting_p then
+    match descendant_of rng s vpath with
+    | Some inner_target ->
+        let w = fresh_var counter in
+        let binding = relative_path rng s ~var ~from:vpath ~target:inner_target in
+        let body = return_item rng s pm counter ~depth:(depth - 1) (w, inner_target) in
+        Ast.For
+          { bindings = [ (w, binding) ];
+            where = [];
+            ret = Ast.Elem ("grp", [ body ]) }
+    | None -> path_item rng s pm (var, vpath)
+  else path_item rng s pm (var, vpath)
+
+and path_item rng s pm (var, vpath) : Ast.expr =
+  match descendant_of rng s vpath with
+  | None -> Ast.Path { Ast.source = Ast.Var var; steps = [] }
+  | Some target ->
+      let steps = steps_between rng s ~top:vpath ~target in
+      let steps =
+        if chance rng pm.text_p then
+          steps @ [ { Ast.axis = Ast.Child; test = "#text"; preds = [] } ]
+        else steps
+      in
+      Ast.Path { Ast.source = Ast.Var var; steps }
+
+let where_condition rng s (var, vpath) : Ast.cond option =
+  match descendant_of rng s vpath with
+  | None -> None
+  | Some target ->
+      let p = relative_path rng s ~var ~from:vpath ~target in
+      if chance rng 0.5 then Some (Ast.C_exists p)
+      else Some (Ast.C_cmp (p, (if chance rng 0.5 then Ast.Ne else Ast.Eq),
+                            string_of_int (Random.State.int rng 5)))
+
+let generate rng s ~doc_name pm : Ast.expr =
+  let counter = ref 0 in
+  let candidates =
+    (* Bind variables to paths that still have elements below, so return
+       items have something to navigate to. *)
+    List.filter (fun p -> descendant_of rng s p <> None) (element_paths s)
+  in
+  let candidates = if candidates = [] then element_paths s else candidates in
+  let n_bindings = 1 + Random.State.int rng pm.max_bindings in
+  let bindings =
+    List.init n_bindings (fun _ ->
+        let target = pick rng candidates in
+        (fresh_var counter, target))
+  in
+  let binding_clauses =
+    List.map
+      (fun (v, target) -> (v, absolute_path rng s ~doc_name ~target))
+      bindings
+  in
+  let where =
+    List.filter_map
+      (fun (v, target) ->
+        if chance rng pm.where_p then where_condition rng s (v, target) else None)
+      bindings
+  in
+  let items =
+    List.concat_map
+      (fun (v, target) ->
+        List.init
+          (1 + Random.State.int rng pm.max_return_items)
+          (fun _ -> return_item rng s pm counter ~depth:1 (v, target)))
+      bindings
+  in
+  Ast.For { bindings = binding_clauses; where; ret = Ast.Elem ("res", items) }
+
+let generate_many ?(seed = 19) s ~doc_name pm ~count =
+  let rng = Random.State.make [| seed |] in
+  List.init count (fun _ -> generate rng s ~doc_name pm)

@@ -1,0 +1,28 @@
+(** Random queries in the Q subset (§3.2), sampled against a path summary
+    so their paths are satisfiable: for-where-return blocks (possibly
+    nested), element constructors, variable-rooted path expressions,
+    existence and value conditions.
+
+    Used to property-test the Ch. 3 pipeline: extraction-based evaluation
+    must agree with the direct interpreter on every generated query. *)
+
+type params = {
+  max_bindings : int;  (** for-clause variables per block (≥ 1) *)
+  max_return_items : int;
+  nesting_p : float;  (** probability of a nested for block in a return *)
+  where_p : float;
+  text_p : float;  (** probability a returned path ends in [text()] *)
+}
+
+val default : params
+
+val generate :
+  Random.State.t -> Xsummary.Summary.t -> doc_name:string -> params -> Xquery.Ast.expr
+
+val generate_many :
+  ?seed:int ->
+  Xsummary.Summary.t ->
+  doc_name:string ->
+  params ->
+  count:int ->
+  Xquery.Ast.expr list

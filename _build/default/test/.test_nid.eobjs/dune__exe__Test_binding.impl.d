@@ -1,0 +1,1 @@
+test/test_binding.ml: Alcotest List Xalgebra Xam Xdm Xworkload

@@ -1,0 +1,1 @@
+test/test_canonical.ml: Alcotest Array List Xalgebra Xam Xdm Xsummary

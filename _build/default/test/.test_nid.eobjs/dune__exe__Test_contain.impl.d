@@ -1,0 +1,1 @@
+test/test_contain.ml: Alcotest Array List QCheck2 QCheck_alcotest Xalgebra Xam Xdm Xsummary Xworkload

@@ -1,0 +1,1 @@
+test/test_doc.ml: Alcotest List Printf QCheck2 QCheck_alcotest Xdm

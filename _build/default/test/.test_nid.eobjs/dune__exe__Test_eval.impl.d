@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Gen List QCheck2 QCheck_alcotest Test Xalgebra Xdm

@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest List Pred Printf QCheck2 QCheck_alcotest Rel Xalgebra Xam

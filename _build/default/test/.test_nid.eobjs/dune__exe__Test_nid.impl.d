@@ -1,0 +1,1 @@
+test/test_nid.ml: Alcotest Fun Option Printf Xdm

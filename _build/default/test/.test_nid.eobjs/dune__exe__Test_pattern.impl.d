@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest List Option Xalgebra Xam Xdm

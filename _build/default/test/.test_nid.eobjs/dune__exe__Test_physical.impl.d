@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Xalgebra Xam Xdm Xsummary Xworkload

@@ -1,0 +1,1 @@
+test/test_pred.ml: Alcotest List Xalgebra Xdm

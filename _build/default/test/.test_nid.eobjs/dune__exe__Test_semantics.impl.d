@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest List QCheck2 QCheck_alcotest Xalgebra Xam Xdm Xsummary Xworkload

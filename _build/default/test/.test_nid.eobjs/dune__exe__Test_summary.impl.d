@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Array List Option Xdm Xsummary Xworkload

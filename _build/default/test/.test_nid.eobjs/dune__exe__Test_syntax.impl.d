@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Array List Option QCheck2 QCheck_alcotest Xalgebra Xam Xdm Xsummary Xworkload

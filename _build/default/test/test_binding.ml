@@ -1,0 +1,84 @@
+(* Restricted XAM semantics: Algorithm 1 (nested tuple intersection) and
+   Def 2.2.6, on the thesis's own §2.2.2 examples. *)
+
+module P = Xam.Pattern
+module B = Xam.Binding
+module Rel = Xalgebra.Rel
+module V = Xalgebra.Value
+
+let a v = Rel.A v
+let n l = Rel.N l
+let s x = V.Str x
+let i x = V.Int x
+
+(* χ4 of Fig 2.9: elements with required Tag, a required title value, and
+   author values — an index on (publication type, title). *)
+let chi4 () =
+  P.make
+    [ P.v "*"
+        ~node:(P.mk_node ~id:Xdm.Nid.Structural ~tag:true ~tag_required:true "*")
+        [ P.v ~axis:P.Child ~sem:P.Nest_join "title"
+            ~node:(P.mk_node ~id:Xdm.Nid.Structural ~value:true ~val_required:true "title")
+            [];
+          P.v ~axis:P.Child ~sem:P.Nest_join "author"
+            ~node:(P.mk_node ~value:true "author")
+            [] ] ]
+
+let test_binding_schema () =
+  let bsch = B.binding_schema (chi4 ()) in
+  (* The projection keeps the required Tag and, inside the title nesting,
+     the required Val. *)
+  Alcotest.(check string) "binding schema" "L0, N1(V1)" (Rel.schema_to_string bsch)
+
+(* The worked intersection example: t ∩ b1 keeps only Suciu among the
+   authors and all of t's other attributes. *)
+let test_intersection () =
+  let tsch =
+    [ Rel.atom "ID"; Rel.atom "Tag"; Rel.nested "A" [ Rel.atom "Va" ];
+      Rel.nested "T" [ Rel.atom "IDt"; Rel.atom "Vt" ] ]
+  in
+  let t =
+    [| a (i 2); a (s "book");
+       n [ [| a (s "Abiteboul") |]; [| a (s "Suciu") |] ];
+       n [ [| a (i 4); a (s "Data on the Web") |] ] |]
+  in
+  let bsch = [ Rel.atom "ID"; Rel.nested "A" [ Rel.atom "Va" ] ] in
+  let b1 = [| a (i 2); n [ [| a (s "Suciu") |]; [| a (s "Buneman") |] ] |] in
+  (match B.intersect tsch bsch t b1 with
+  | Some r ->
+      Alcotest.(check bool) "ID kept" true (Rel.atom_field r 0 = i 2);
+      Alcotest.(check bool) "Tag copied (absent from b)" true
+        (Rel.atom_field r 1 = s "book");
+      Alcotest.(check int) "only Suciu survives" 1 (List.length (Rel.nested_field r 2));
+      Alcotest.(check int) "title untouched" 1 (List.length (Rel.nested_field r 3))
+  | None -> Alcotest.fail "intersection should succeed");
+  (* Disagreeing atomic attribute: no data reachable. *)
+  let b2 = [| a (i 7); n [ [| a (s "Suciu") |] ] |] in
+  Alcotest.(check bool) "atomic mismatch → ⊥" true (B.intersect tsch bsch t b2 = None);
+  (* Empty complex intersection: no data reachable. *)
+  let b3 = [| a (i 2); n [ [| a (s "Nobody") |] ] |] in
+  Alcotest.(check bool) "empty nested intersection → ⊥" true
+    (B.intersect tsch bsch t b3 = None)
+
+(* Def 2.2.6 over the bib document: looking χ4 up with the two bindings of
+   Example 2.2.2 returns exactly the two books. *)
+let test_restricted_semantics () =
+  let d = Xworkload.Gen_bib.bib_doc () in
+  let pat = chi4 () in
+  let bindings =
+    [ [| a (s "book"); n [ [| a (s "Data on the Web") |] ] |];
+      [| a (s "book"); n [ [| a (s "The Syntactic Web") |] ] |] ]
+  in
+  let r = B.eval_restricted d pat ~bindings in
+  Alcotest.(check int) "two books reachable" 2 (Rel.cardinality r);
+  let miss = [ [| a (s "article"); n [ [| a (s "Data on the Web") |] ] |] ] in
+  Alcotest.(check int) "no article in the library" 0
+    (Rel.cardinality (B.eval_restricted d pat ~bindings:miss))
+
+let () =
+  Alcotest.run "binding"
+    [ ( "binding",
+        [ Alcotest.test_case "binding schema" `Quick test_binding_schema;
+          Alcotest.test_case "Algorithm 1 intersection" `Quick test_intersection;
+          Alcotest.test_case "restricted semantics (Def 2.2.6)" `Quick
+            test_restricted_semantics ] ) ]

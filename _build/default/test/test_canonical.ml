@@ -1,0 +1,148 @@
+(* Canonical models (§4.3): embeddings into summaries, canonical trees,
+   path annotations, optional erasures. *)
+
+module P = Xam.Pattern
+module C = Xam.Canonical
+module S = Xsummary.Summary
+module F = Xam.Formula
+module V = Xalgebra.Value
+
+(* The Fig 4.7-style summary:
+   a(0) ─ b(1) ─ c(2) ─ b(3) ...  We build: /a with children b and f;
+   b has c; c has b; f has e; the deep b has e. *)
+let summary () =
+  S.of_edges
+    [ (-1, "a", S.One);    (* 0: /a *)
+      (0, "b", S.Star);    (* 1: /a/b *)
+      (1, "c", S.Star);    (* 2: /a/b/c *)
+      (2, "b", S.Star);    (* 3: /a/b/c/b *)
+      (3, "e", S.Star);    (* 4: /a/b/c/b/e *)
+      (0, "f", S.Star);    (* 5: /a/f *)
+      (5, "e", S.Star) ]   (* 6: /a/f/e *)
+
+let ret label = P.mk_node ~id:Xdm.Nid.Structural label
+
+let test_embeddings () =
+  let s = summary () in
+  (* //b can bind paths 1 and 3. *)
+  let p = P.make [ P.v "b" ~node:(ret "b") [] ] in
+  Alcotest.(check int) "two embeddings of //b" 2 (List.length (C.embeddings s p));
+  Alcotest.(check bool) "annotation lists both paths" true
+    (C.path_annotation s p 0 = [ 1; 3 ]);
+  (* //b//b forces the nested pair. *)
+  let p2 = P.make [ P.v "b" [ P.v "b" ~node:(ret "b") [] ] ] in
+  Alcotest.(check int) "one embedding of //b//b" 1 (List.length (C.embeddings s p2));
+  Alcotest.(check bool) "inner b annotation pruned" true (C.path_annotation s p2 1 = [ 3 ])
+
+let test_model () =
+  let s = summary () in
+  (* //*//e: the * can sit on any element path above an e. *)
+  let p = P.make [ P.v "*" [ P.v "e" ~node:(ret "e") [] ] ] in
+  let m = C.model_list s p in
+  (* Four embeddings of the * node, but — as in the thesis's §4.3.1
+     example — distinct embeddings yield the same canonical tree, so the
+     duplicate-free model has one tree per e path. *)
+  Alcotest.(check int) "duplicate-free model" 2 (List.length m);
+  List.iter
+    (fun (e : C.entry) ->
+      Alcotest.(check int) "canonical tree rooted at path 0" 0 e.C.tree.C.path)
+    m;
+  Alcotest.(check bool) "satisfiable" true (C.satisfiable s p);
+  let dead = P.make [ P.v "zzz" ~node:(ret "zzz") [] ] in
+  Alcotest.(check bool) "unsatisfiable label" false (C.satisfiable s dead)
+
+let test_chains_materialize () =
+  let s = summary () in
+  (* //a//e with a child-of-⊤ edge: canonical trees contain the chain
+     through b/c/b or f. *)
+  let p =
+    P.make [ P.v ~axis:P.Child "a" [ P.v "e" ~node:(ret "e") [] ] ]
+  in
+  let m = C.model_list s p in
+  Alcotest.(check int) "two trees (two e paths)" 2 (List.length m);
+  let sizes = List.sort compare (List.map (fun e -> C.tree_size e.C.tree) m) in
+  (* /a/f/e yields 3 nodes; /a/b/c/b/e yields 5. *)
+  Alcotest.(check bool) "chain nodes materialized" true (sizes = [ 3; 5 ])
+
+let test_optional_model () =
+  let s = summary () in
+  (* //b[//e?] — optional e below b: erased and full variants. *)
+  let p =
+    P.make
+      [ P.v "b" ~node:(ret "b")
+          [ P.v ~sem:P.Outer "e" ~node:(P.mk_node ~value:true "e") [] ] ]
+  in
+  let m = C.model_list s p in
+  (* b@1 with e, b@1 without, b@3 with e, b@3 without. *)
+  Alcotest.(check int) "four entries" 4 (List.length m);
+  let with_bot =
+    List.filter (fun (e : C.entry) -> Array.exists (fun c -> c < 0) e.C.ret) m
+  in
+  Alcotest.(check int) "two erased variants" 2 (List.length with_bot)
+
+let test_optional_maximality () =
+  (* If the optional subtree is guaranteed present in the canonical tree,
+     the ⊥ variant is not in the model (condition 3b). *)
+  let s = S.of_edges [ (-1, "a", S.One); (0, "b", S.One) ] in
+  let p =
+    P.make
+      [ P.v ~axis:P.Child "a" ~node:(ret "a")
+          [ P.v ~axis:P.Child ~sem:P.Outer "b" ~node:(P.mk_node ~value:true "b") [] ] ]
+  in
+  let m = C.model_list s p in
+  (* Erasing b leaves tree /a where p(t) = {(a,⊥)} — the erased variant is
+     consistent (the tree has no b). Both variants are kept. *)
+  Alcotest.(check int) "erased + full" 2 (List.length m)
+
+let test_decorated_trees () =
+  let s = summary () in
+  let p =
+    P.make
+      [ P.v "b" ~node:(ret "b")
+          [ P.v "e" ~node:(P.mk_node ~formula:(F.eq (V.Int 5)) "e") [] ] ]
+  in
+  let m = C.model_list s p in
+  List.iter
+    (fun (e : C.entry) ->
+      let fs = C.tree_formulas e.C.tree in
+      Alcotest.(check int) "one decorated path" 1 (List.length fs))
+    m
+
+let test_eval_on_tree () =
+  let s = summary () in
+  let p = P.make [ P.v "b" ~node:(ret "b") [ P.v "e" ~node:(ret "e") [] ] ] in
+  let m = C.model_list s p in
+  List.iter
+    (fun (entry : C.entry) ->
+      let tuples = C.eval_on_tree p s entry.C.tree in
+      Alcotest.(check bool) "return tuple found in own tree" true
+        (List.exists (fun t -> t = entry.C.ret) tuples))
+    m
+
+let test_constraints_chase () =
+  let s =
+    S.of_edges
+      [ (-1, "r", S.One); (0, "x", S.Star); (1, "y", S.Plus); (2, "z", S.One) ]
+  in
+  (* Canonical tree of //x lacks y; the + edge guarantees it. *)
+  let q =
+    P.make [ P.v "x" ~node:(ret "x") [ P.v ~axis:P.Child "y" ~sem:P.Semi [ P.v ~axis:P.Child "z" ~sem:P.Semi [] ] ] ]
+  in
+  let p = P.make [ P.v "x" ~node:(ret "x") [] ] in
+  let entry = List.hd (C.model_list s p) in
+  Alcotest.(check bool) "without constraints: no match" true
+    (C.eval_on_tree q s entry.C.tree = []);
+  Alcotest.(check bool) "with constraints: guaranteed subtree accepted" true
+    (C.eval_on_tree ~constraints:true q s entry.C.tree <> [])
+
+let () =
+  Alcotest.run "canonical"
+    [ ( "canonical",
+        [ Alcotest.test_case "embeddings and annotations" `Quick test_embeddings;
+          Alcotest.test_case "canonical model" `Quick test_model;
+          Alcotest.test_case "chains materialize" `Quick test_chains_materialize;
+          Alcotest.test_case "optional erasures" `Quick test_optional_model;
+          Alcotest.test_case "optional maximality" `Quick test_optional_maximality;
+          Alcotest.test_case "decorated trees" `Quick test_decorated_trees;
+          Alcotest.test_case "patterns accept their own trees" `Quick test_eval_on_tree;
+          Alcotest.test_case "strong-edge chase" `Quick test_constraints_chase ] ) ]

@@ -1,0 +1,240 @@
+(* Containment under summary constraints (§4.4), including a semantic
+   soundness oracle: whenever the decision procedure says p ⊆_S q, the
+   evaluations over a document conforming to S must actually be included. *)
+
+module P = Xam.Pattern
+module Ct = Xam.Contain
+module F = Xam.Formula
+module S = Xsummary.Summary
+module Rel = Xalgebra.Rel
+module V = Xalgebra.Value
+
+let bib = Xworkload.Gen_bib.bib_doc
+let sid = Xdm.Nid.Structural
+let ret label = P.mk_node ~id:sid label
+
+let book_with child = P.make [ P.v "book" ~node:(ret "book") [ child ] ]
+let book () = P.make [ P.v "book" ~node:(ret "book") [] ]
+
+let test_structural () =
+  let s = S.of_doc (bib ()) in
+  let b_title = book_with (P.v ~axis:P.Child "title" ~sem:P.Semi []) in
+  Alcotest.(check bool) "book[title] ⊆ book" true (Ct.contained s b_title (book ()));
+  Alcotest.(check bool) "book ⊄ book[title] (structure only)" false
+    (Ct.contained s (book ()) b_title);
+  Alcotest.(check bool) "book ⊆ book[title] with constraints (1-edge)" true
+    (Ct.contained ~constraints:true s (book ()) b_title);
+  let b_year = book_with (P.v ~axis:P.Child "@year" ~sem:P.Semi []) in
+  Alcotest.(check bool) "book ⊄ book[@year] even with constraints (*-edge)" false
+    (Ct.contained ~constraints:true s (book ()) b_year);
+  Alcotest.(check bool) "equivalence (with constraints)" true
+    (Ct.equivalent ~constraints:true s (book ()) b_title)
+
+let test_wildcards_and_unions () =
+  let s = S.of_doc (bib ()) in
+  let star_t =
+    P.make [ P.v "*" ~node:(P.mk_node ~id:sid "*") [ P.v ~axis:P.Child "title" ~sem:P.Semi [] ] ]
+  in
+  let book_t = book_with (P.v ~axis:P.Child "title" ~sem:P.Semi []) in
+  let phd_t =
+    P.make
+      [ P.v "phdthesis" ~node:(ret "phdthesis") [ P.v ~axis:P.Child "title" ~sem:P.Semi [] ] ]
+  in
+  Alcotest.(check bool) "* ⊄ book" false (Ct.contained s star_t book_t);
+  Alcotest.(check bool) "* ⊆ book ∪ phd" true
+    (Ct.contained_in_union s star_t [ book_t; phd_t ]);
+  Alcotest.(check bool) "book ⊆ *" true (Ct.contained s book_t star_t);
+  Alcotest.(check bool) "empty union ⟺ unsatisfiable" false
+    (Ct.contained_in_union s star_t [])
+
+let year_book f =
+  P.make
+    [ P.v "book" ~node:(ret "book")
+        [ P.v ~axis:P.Child "@year" ~node:(P.mk_node ~formula:f "@year") [] ] ]
+
+let test_decorated () =
+  let s = S.of_doc (bib ()) in
+  Alcotest.(check bool) "=1999 ⊆ <2000" true
+    (Ct.contained s (year_book (F.eq (V.Int 1999))) (year_book (F.lt (V.Int 2000))));
+  Alcotest.(check bool) "<2000 ⊄ =1999" false
+    (Ct.contained s (year_book (F.lt (V.Int 2000))) (year_book (F.eq (V.Int 1999))));
+  (* §4.4.2-style union split: <2005 ⊆ (<2000 ∪ [2000,2010)). *)
+  Alcotest.(check bool) "range splits across a union" true
+    (Ct.contained_in_union s
+       (year_book (F.lt (V.Int 2005)))
+       [ year_book (F.lt (V.Int 2000));
+         year_book (F.conj (F.ge (V.Int 2000)) (F.lt (V.Int 2010))) ]);
+  Alcotest.(check bool) "union too narrow" false
+    (Ct.contained_in_union s
+       (year_book (F.lt (V.Int 2005)))
+       [ year_book (F.lt (V.Int 2000));
+         year_book (F.conj (F.ge (V.Int 2001)) (F.lt (V.Int 2010))) ])
+
+let test_attribute_condition () =
+  let s = S.of_doc (bib ()) in
+  let id_only = book () in
+  let id_and_val =
+    P.make [ P.v "book" ~node:(P.mk_node ~id:sid ~value:true "book") [] ]
+  in
+  Alcotest.(check bool) "signature mismatch rejected" false
+    (Ct.contained s id_only id_and_val);
+  Alcotest.(check bool) "same signature accepted" true
+    (Ct.same_return_signature id_and_val id_and_val)
+
+let test_optional () =
+  let s = S.of_doc (bib ()) in
+  let opt =
+    P.make
+      [ P.v "book" ~node:(ret "book")
+          [ P.v ~axis:P.Child ~sem:P.Outer "@year" ~node:(P.mk_node ~value:true "@year") [] ] ]
+  in
+  Alcotest.(check bool) "optional self-containment" true (Ct.contained s opt opt);
+  let strict = P.strip_optional opt in
+  Alcotest.(check bool) "strict ⊆ optional" true (Ct.contained s strict opt);
+  Alcotest.(check bool) "optional ⊄ strict (⊥ tuples missing)" false
+    (Ct.contained s opt strict)
+
+let nested_authors sem =
+  P.make
+    [ P.v "book" ~node:(ret "book")
+        [ P.v ~axis:P.Child ~sem "author" ~node:(P.mk_node ~value:true "author") [] ] ]
+
+let test_nested () =
+  let s = S.of_doc (bib ()) in
+  let nested = nested_authors P.Nest_join and flat = nested_authors P.Join in
+  Alcotest.(check bool) "nested self-containment" true (Ct.contained s nested nested);
+  Alcotest.(check bool) "nesting depths" true (Ct.nesting_depths nested = [ 0; 1 ]);
+  Alcotest.(check bool) "flat vs nested rejected (2a)" false (Ct.contained s flat nested);
+  Alcotest.(check bool) "nested vs flat rejected (2a)" false (Ct.contained s nested flat)
+
+let test_nested_one_to_one_relaxation () =
+  (* r → w (1-edge) → v: nesting under r is the same as nesting under w
+     when the edge between them is one-to-one (§4.4.5). *)
+  let s =
+    S.of_edges [ (-1, "r", S.One); (0, "w", S.One); (1, "v", S.Star) ]
+  in
+  let nest_at_r =
+    P.make
+      [ P.v ~axis:P.Child "r" ~node:(ret "r")
+          [ P.v ~sem:P.Nest_join "v" ~node:(P.mk_node ~value:true "v") [] ] ]
+  in
+  let nest_at_w =
+    P.make
+      [ P.v ~axis:P.Child "r" ~node:(ret "r")
+          [ P.v ~axis:P.Child "w"
+              [ P.v ~axis:P.Child ~sem:P.Nest_join "v" ~node:(P.mk_node ~value:true "v") [] ] ] ]
+  in
+  Alcotest.(check bool) "nesting sequences compatible through 1-edges" true
+    (Ct.contained s nest_at_w nest_at_r)
+
+let test_mapped () =
+  let s = S.of_doc (bib ()) in
+  (* p returns (title, author); q returns (author, title): containment
+     holds under the swap permutation. *)
+  let p =
+    P.make
+      [ P.v "book"
+          [ P.v ~axis:P.Child "title" ~node:(ret "title") [];
+            P.v ~axis:P.Child "author" ~node:(ret "author") [] ] ]
+  in
+  let q =
+    P.make
+      [ P.v "book"
+          [ P.v ~axis:P.Child "author" ~node:(ret "author") [];
+            P.v ~axis:P.Child "title" ~node:(ret "title") [] ] ]
+  in
+  Alcotest.(check bool) "identity perm fails (labels differ)" false (Ct.contained s p q);
+  Alcotest.(check bool) "swap perm succeeds" true
+    (Ct.contained_mapped s p q ~perm:[| 1; 0 |]);
+  Alcotest.(check bool) "union_covers with perms" true
+    (Ct.union_covers s q [ (p, [| 1; 0 |]) ])
+
+let test_homomorphism_baseline () =
+  let s = S.of_doc (bib ()) in
+  let b_title = P.make [ P.v "book" ~node:(ret "book") [ P.v ~axis:P.Child "title" ~sem:P.Semi [] ] ] in
+  let b = P.make [ P.v "book" ~node:(ret "book") [] ] in
+  Alcotest.(check bool) "hom: book[title] ⊆ book" true
+    (Ct.contained_by_homomorphism b_title b);
+  Alcotest.(check bool) "hom: book ⊄ book[title]" false
+    (Ct.contained_by_homomorphism b b_title);
+  (* What the summary buys: the 1-edge makes them equivalent, which no
+     constraint-free test can conclude. *)
+  Alcotest.(check bool) "summary-aware succeeds where hom cannot" true
+    (Ct.contained ~constraints:true s b b_title);
+  (* Wildcard direction. *)
+  let star = P.make [ P.v "*" ~node:(ret "*") [] ] in
+  Alcotest.(check bool) "hom: book ⊆ *" true (Ct.contained_by_homomorphism b star);
+  Alcotest.(check bool) "hom: * ⊄ book" false (Ct.contained_by_homomorphism star b);
+  (* // in the container maps across chains. *)
+  let deep = P.make [ P.v ~axis:P.Child "library" [ P.v ~axis:P.Child "book" [ P.v ~axis:P.Child "author" ~node:(ret "author") [] ] ] ] in
+  let shallow = P.make [ P.v "author" ~node:(ret "author") [] ] in
+  Alcotest.(check bool) "hom: deep chain ⊆ //author" true
+    (Ct.contained_by_homomorphism deep shallow);
+  Alcotest.(check bool) "hom is sound wrt the summary test" true
+    (Ct.contained s deep shallow)
+
+(* Every homomorphism-based positive must also be a summary-based positive
+   (the baseline is sound, the summary test is complete). *)
+let hom_soundness_prop =
+  let doc = Xworkload.Gen_xmark.generate_doc Xworkload.Gen_xmark.tiny in
+  let s = S.of_doc doc in
+  let params =
+    { Xworkload.Pattern_gen.default with size = 5; return_labels = [ "name" ];
+      value_pred_p = 0.0; optional_p = 0.0 }
+  in
+  let patterns = Array.of_list (Xworkload.Pattern_gen.generate_many ~seed:31 s params ~count:20) in
+  QCheck2.Test.make ~name:"homomorphism ⇒ summary containment" ~count:120
+    QCheck2.Gen.(pair (int_bound (Array.length patterns - 1)) (int_bound (Array.length patterns - 1)))
+    (fun (i, j) ->
+      let p = patterns.(i) and q = patterns.(j) in
+      (not (Ct.contained_by_homomorphism p q)) || Ct.contained s p q)
+
+(* Soundness oracle: contained ⇒ semantic inclusion on a conforming
+   document. *)
+let soundness_prop =
+  let doc = Xworkload.Gen_xmark.generate_doc Xworkload.Gen_xmark.tiny in
+  let s = S.of_doc doc in
+  let params =
+    { Xworkload.Pattern_gen.default with size = 4; return_labels = [ "name" ];
+      value_pred_p = 0.0 }
+  in
+  let patterns = Array.of_list (Xworkload.Pattern_gen.generate_many ~seed:5 s params ~count:25) in
+  QCheck2.Test.make ~name:"contained is semantically sound" ~count:120
+    QCheck2.Gen.(pair (int_bound (Array.length patterns - 1)) (int_bound (Array.length patterns - 1)))
+    (fun (i, j) ->
+      let p = patterns.(i) and q = patterns.(j) in
+      if not (Ct.contained s p q) then true
+      else
+        let rp = Xam.Embed.eval doc p and rq = Xam.Embed.eval doc q in
+        List.for_all
+          (fun t -> List.exists (Rel.equal_tuple t) rq.Rel.tuples)
+          rp.Rel.tuples)
+
+let reflexivity_prop =
+  let doc = Xworkload.Gen_xmark.generate_doc Xworkload.Gen_xmark.tiny in
+  let s = S.of_doc doc in
+  let params =
+    { Xworkload.Pattern_gen.default with size = 5; return_labels = [ "item" ] }
+  in
+  let patterns = Array.of_list (Xworkload.Pattern_gen.generate_many ~seed:6 s params ~count:25) in
+  QCheck2.Test.make ~name:"containment is reflexive" ~count:25
+    QCheck2.Gen.(int_bound (Array.length patterns - 1))
+    (fun i -> Ct.contained s patterns.(i) patterns.(i))
+
+let () =
+  Alcotest.run "contain"
+    [ ( "contain",
+        [ Alcotest.test_case "structural cases" `Quick test_structural;
+          Alcotest.test_case "wildcards and unions" `Quick test_wildcards_and_unions;
+          Alcotest.test_case "decorated patterns" `Quick test_decorated;
+          Alcotest.test_case "attribute condition" `Quick test_attribute_condition;
+          Alcotest.test_case "optional edges" `Quick test_optional;
+          Alcotest.test_case "nested edges" `Quick test_nested;
+          Alcotest.test_case "one-to-one nesting relaxation" `Quick
+            test_nested_one_to_one_relaxation;
+          Alcotest.test_case "mapped variants" `Quick test_mapped;
+          Alcotest.test_case "homomorphism baseline" `Quick test_homomorphism_baseline ] );
+      ( "props",
+        [ QCheck_alcotest.to_alcotest soundness_prop;
+          QCheck_alcotest.to_alcotest reflexivity_prop;
+          QCheck_alcotest.to_alcotest hom_soundness_prop ] ) ]

@@ -1,0 +1,120 @@
+(* Flattened documents: structural labels and navigation. *)
+
+module Doc = Xdm.Doc
+module T = Xdm.Xml_tree
+
+let sample = "<lib><book y=\"1\"><t>A</t><a>X</a><a>Y</a></book><book><t>B</t></book></lib>"
+
+let doc () = Doc.of_string sample
+
+let test_shape () =
+  let d = doc () in
+  Alcotest.(check int) "size" 12 (Doc.size d);
+  Alcotest.(check int) "elements" 7 (Doc.element_size d);
+  Alcotest.(check string) "root label" "lib" (Doc.label d (Doc.root d));
+  Alcotest.(check int) "root depth" 1 (Doc.depth d 0);
+  Alcotest.(check int) "root parent" (-1) (Doc.parent d 0)
+
+let test_navigation () =
+  let d = doc () in
+  let books = Doc.nodes_with_label d "book" in
+  Alcotest.(check int) "two books" 2 (List.length books);
+  let b1 = List.hd books in
+  Alcotest.(check int) "book children (attr + 3 elements)" 4
+    (List.length (Doc.children d b1));
+  Alcotest.(check bool) "lib ancestor of book" true (Doc.is_ancestor d 0 b1);
+  Alcotest.(check bool) "lib parent of book" true (Doc.is_parent d 0 b1);
+  let texts = Doc.descendants_with_label d b1 "#text" in
+  Alcotest.(check int) "text descendants of book1" 3 (List.length texts)
+
+let test_values () =
+  let d = doc () in
+  let b1 = List.hd (Doc.nodes_with_label d "book") in
+  Alcotest.(check string) "element value concatenates texts" "AXY" (Doc.value d b1);
+  let attr = List.hd (Doc.nodes_with_label d "@y") in
+  Alcotest.(check string) "attribute value" "1" (Doc.value d attr);
+  Alcotest.(check string) "content serializes subtree"
+    "<book y=\"1\"><t>A</t><a>X</a><a>Y</a></book>" (Doc.content d b1)
+
+let test_pre_post_invariants () =
+  let d = doc () in
+  Doc.iter
+    (fun i ->
+      let p = Doc.parent d i in
+      if p >= 0 then (
+        Alcotest.(check bool) "parent pre smaller" true (p < i);
+        Alcotest.(check bool) "parent post larger" true (Doc.post d p > Doc.post d i);
+        Alcotest.(check int) "depth chain" (Doc.depth d p + 1) (Doc.depth d i));
+      let last = Doc.subtree_end d i in
+      Alcotest.(check bool) "descendants contiguous" true
+        (List.for_all (fun j -> i < j && j < last) (Doc.descendants d i)))
+    d
+
+let test_ids () =
+  let d = doc () in
+  Doc.iter
+    (fun i ->
+      List.iter
+        (fun scheme ->
+          let id = Doc.id scheme d i in
+          Alcotest.(check (option int))
+            (Printf.sprintf "handle_of_id roundtrip %d" i)
+            (Some i) (Doc.handle_of_id d id))
+        [ Xdm.Nid.Simple; Xdm.Nid.Ordinal; Xdm.Nid.Structural; Xdm.Nid.Parental ])
+    d
+
+let test_to_tree () =
+  let d = doc () in
+  let rebuilt = Doc.to_tree d 0 in
+  Alcotest.(check bool) "to_tree rebuilds the document" true
+    (T.equal (T.parse sample) rebuilt)
+
+(* Property: flattening then rebuilding is the identity. *)
+let tree_gen =
+  let open QCheck2.Gen in
+  let label = oneofl [ "a"; "b"; "c" ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then map (fun s -> T.text s) (oneofl [ "x"; "y z" ])
+      else
+        frequency
+          [ (1, map (fun s -> T.text s) (oneofl [ "x"; "y z" ]));
+            ( 3,
+              map2
+                (fun tag children -> T.elt tag children)
+                label
+                (list_size (int_bound 3) (self (depth - 1))) ) ])
+    3
+
+let rebuild_prop =
+  QCheck2.Test.make ~name:"of_tree/to_tree roundtrip" ~count:200 tree_gen (fun t ->
+      let t = match t with T.Text _ -> T.elt "root" [ t ] | e -> e in
+      let d = Doc.of_tree t in
+      T.equal t (Doc.to_tree d 0))
+
+let children_prop =
+  QCheck2.Test.make ~name:"children partition descendants" ~count:100 tree_gen (fun t ->
+      let t = match t with T.Text _ -> T.elt "root" [ t ] | e -> e in
+      let d = Doc.of_tree t in
+      let ok = ref true in
+      Doc.iter
+        (fun i ->
+          let via_children =
+            List.concat_map (fun c -> c :: Doc.descendants d c) (Doc.children d i)
+          in
+          if List.sort compare via_children <> Doc.descendants d i then ok := false)
+        d;
+      !ok)
+
+let () =
+  Alcotest.run "doc"
+    [ ( "doc",
+        [ Alcotest.test_case "shape" `Quick test_shape;
+          Alcotest.test_case "navigation" `Quick test_navigation;
+          Alcotest.test_case "values and content" `Quick test_values;
+          Alcotest.test_case "pre/post invariants" `Quick test_pre_post_invariants;
+          Alcotest.test_case "id roundtrips" `Quick test_ids;
+          Alcotest.test_case "to_tree" `Quick test_to_tree ] );
+      ( "props",
+        [ QCheck_alcotest.to_alcotest rebuild_prop;
+          QCheck_alcotest.to_alcotest children_prop ] ) ]

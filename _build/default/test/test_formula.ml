@@ -1,0 +1,117 @@
+(* Interval-set value formulas: the decorations of §4.1. *)
+
+module F = Xam.Formula
+module V = Xalgebra.Value
+
+let i n = V.Int n
+let s x = V.Str x
+
+let test_basics () =
+  Alcotest.(check bool) "tt is true" true (F.is_true F.tt);
+  Alcotest.(check bool) "ff unsat" false (F.is_sat F.ff);
+  Alcotest.(check bool) "eq holds" true (F.holds (F.eq (i 5)) (i 5));
+  Alcotest.(check bool) "eq rejects" false (F.holds (F.eq (i 5)) (i 6));
+  Alcotest.(check bool) "lt" true (F.holds (F.lt (i 5)) (i 4));
+  Alcotest.(check bool) "lt boundary" false (F.holds (F.lt (i 5)) (i 5));
+  Alcotest.(check bool) "le boundary" true (F.holds (F.le (i 5)) (i 5));
+  Alcotest.(check bool) "strings ordered" true (F.holds (F.gt (s "m")) (s "z"))
+
+let test_algebra () =
+  let f = F.conj (F.ge (i 2)) (F.lt (i 7)) in
+  Alcotest.(check bool) "conj inside" true (F.holds f (i 4));
+  Alcotest.(check bool) "conj outside" false (F.holds f (i 7));
+  let g = F.disj (F.eq (i 1)) (F.eq (i 9)) in
+  Alcotest.(check bool) "disj" true (F.holds g (i 9) && not (F.holds g (i 5)));
+  Alcotest.(check bool) "neg" true (F.holds (F.neg g) (i 5) && not (F.holds (F.neg g) (i 1)));
+  Alcotest.(check bool) "conj contradiction unsat" false
+    (F.is_sat (F.conj (F.eq (i 1)) (F.eq (i 2))));
+  Alcotest.(check bool) "excluded middle" true (F.is_true (F.disj g (F.neg g)))
+
+let test_implication () =
+  Alcotest.(check bool) "eq ⇒ range" true (F.implies (F.eq (i 5)) (F.lt (i 10)));
+  Alcotest.(check bool) "range !⇒ eq" false (F.implies (F.lt (i 10)) (F.eq (i 5)));
+  Alcotest.(check bool) "ff implies anything" true (F.implies F.ff (F.eq (i 1)));
+  Alcotest.(check bool) "anything implies tt" true (F.implies (F.gt (s "a")) F.tt);
+  (* Integer discreteness: v > 4 ⇒ v ≥ 5. *)
+  Alcotest.(check bool) "integer discreteness" true (F.implies (F.gt (i 4)) (F.ge (i 5)));
+  Alcotest.(check bool) "equal formulas" true
+    (F.equal (F.neg (F.neg (F.eq (i 3)))) (F.eq (i 3)))
+
+let test_ne () =
+  let f = F.ne (i 5) in
+  Alcotest.(check bool) "ne holds elsewhere" true (F.holds f (i 4) && F.holds f (i 6));
+  Alcotest.(check bool) "ne rejects the point" false (F.holds f (i 5));
+  Alcotest.(check bool) "ne ∧ eq unsat" false (F.is_sat (F.conj f (F.eq (i 5))))
+
+let test_to_pred () =
+  let open Xalgebra in
+  let schema = [ Rel.atom "V" ] in
+  let tuple v = [| Rel.A v |] in
+  let f = F.disj (F.conj (F.ge (i 2)) (F.le (i 4))) (F.eq (i 9)) in
+  let p = F.to_pred [ "V" ] f in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "to_pred agrees on %d" n)
+        (F.holds f (i n))
+        (Pred.eval schema (tuple (i n)) p))
+    [ 0; 1; 2; 3; 4; 5; 8; 9; 10 ]
+
+(* Properties: the interval algebra is a faithful boolean algebra over
+   [holds]. *)
+let value_gen = QCheck2.Gen.(map (fun n -> i n) (int_range (-20) 20))
+
+let formula_gen =
+  let open QCheck2.Gen in
+  let atom =
+    oneof
+      [ map F.eq value_gen; map F.lt value_gen; map F.gt value_gen; map F.le value_gen;
+        map F.ge value_gen; map F.ne value_gen; return F.tt; return F.ff ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then atom
+      else
+        frequency
+          [ (2, atom);
+            (1, map2 F.conj (self (depth - 1)) (self (depth - 1)));
+            (1, map2 F.disj (self (depth - 1)) (self (depth - 1)));
+            (1, map F.neg (self (depth - 1))) ])
+    3
+
+let pair_gen = QCheck2.Gen.pair formula_gen formula_gen
+
+let prop_conj =
+  QCheck2.Test.make ~name:"holds(conj) = holds ∧ holds" ~count:500
+    (QCheck2.Gen.triple formula_gen formula_gen value_gen) (fun (a, b, v) ->
+      F.holds (F.conj a b) v = (F.holds a v && F.holds b v))
+
+let prop_disj =
+  QCheck2.Test.make ~name:"holds(disj) = holds ∨ holds" ~count:500
+    (QCheck2.Gen.triple formula_gen formula_gen value_gen) (fun (a, b, v) ->
+      F.holds (F.disj a b) v = (F.holds a v || F.holds b v))
+
+let prop_neg =
+  QCheck2.Test.make ~name:"holds(neg) = ¬holds" ~count:500
+    (QCheck2.Gen.pair formula_gen value_gen) (fun (a, v) ->
+      F.holds (F.neg a) v = not (F.holds a v))
+
+let prop_implies_sound =
+  QCheck2.Test.make ~name:"implies is sound on sample points" ~count:500
+    (QCheck2.Gen.triple pair_gen value_gen value_gen) (fun (((a, b) : F.t * F.t), v, w) ->
+      (not (F.implies a b)) || ((not (F.holds a v)) || F.holds b v)
+      && ((not (F.holds a w)) || F.holds b w))
+
+let () =
+  Alcotest.run "formula"
+    [ ( "formula",
+        [ Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "boolean algebra" `Quick test_algebra;
+          Alcotest.test_case "implication" `Quick test_implication;
+          Alcotest.test_case "disequality" `Quick test_ne;
+          Alcotest.test_case "compilation to predicates" `Quick test_to_pred ] );
+      ( "props",
+        [ QCheck_alcotest.to_alcotest prop_conj;
+          QCheck_alcotest.to_alcotest prop_disj;
+          QCheck_alcotest.to_alcotest prop_neg;
+          QCheck_alcotest.to_alcotest prop_implies_sound ] ) ]

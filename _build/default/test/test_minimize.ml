@@ -1,0 +1,86 @@
+(* Pattern minimization under summary constraints (§4.5). *)
+
+module P = Xam.Pattern
+module M = Xam.Minimize
+module Ct = Xam.Contain
+module S = Xsummary.Summary
+
+let ret label = P.mk_node ~id:Xdm.Nid.Structural label
+
+(* A Fig 4.12-flavoured summary: /a has two parallel branches both
+   reaching e, plus an f branch whose e is the only one under f. *)
+let summary () =
+  S.of_edges
+    [ (-1, "a", S.One);   (* 0 *)
+      (0, "b", S.Star);   (* 1: /a/b *)
+      (1, "d", S.Star);   (* 2: /a/b/d *)
+      (2, "e", S.Star);   (* 3: /a/b/d/e *)
+      (0, "c", S.Star);   (* 4: /a/c *)
+      (4, "d", S.Star);   (* 5: /a/c/d *)
+      (5, "e", S.Star);   (* 6: /a/c/d/e *)
+      (0, "f", S.Star);   (* 7: /a/f *)
+      (7, "g", S.Star);   (* 8: /a/f/g *)
+      (8, "e", S.Star) ]  (* 9: /a/f/g/e *)
+
+let test_contraction () =
+  let s = summary () in
+  (* //a//*//d//e: the * node is redundant. *)
+  let p =
+    P.make
+      [ P.v "a" [ P.v "*" [ P.v "d" [ P.v "e" ~node:(ret "e") [] ] ] ] ]
+  in
+  let contracted = M.contractions s p in
+  Alcotest.(check bool) "at least one contraction" true (contracted <> []);
+  let minimal = M.minimize s p in
+  Alcotest.(check bool) "minimal is smaller" true
+    (P.node_count minimal < P.node_count p);
+  Alcotest.(check bool) "minimal is equivalent" true (Ct.equivalent s p minimal);
+  Alcotest.(check bool) "minimal has no further contractions" true
+    (M.contractions s minimal = [])
+
+let test_no_contraction_when_meaningful () =
+  let s = summary () in
+  (* //f//e selects only path 9; dropping f would add paths 3 and 6. *)
+  let p = P.make [ P.v "f" [ P.v "e" ~node:(ret "e") [] ] ] in
+  Alcotest.(check bool) "f is not erasable" true (M.contractions s p = []);
+  Alcotest.(check bool) "minimize is the identity here" true
+    (P.equal (M.minimize s p) p)
+
+let test_all_minimal () =
+  let s = summary () in
+  let p =
+    P.make [ P.v "a" [ P.v "*" [ P.v "d" [ P.v "e" ~node:(ret "e") [] ] ] ] ]
+  in
+  let all = M.all_minimal s p in
+  Alcotest.(check bool) "at least one minimal form" true (all <> []);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "every minimal form is equivalent" true
+        (Ct.equivalent s p m))
+    all
+
+let test_chain_minimize () =
+  let s = summary () in
+  (* //a//g//e is equivalent to //g//e: the a is implied. Also, the
+     summary offers //g//e as a 2-node description of //f//g//e. *)
+  let p =
+    P.make [ P.v "a" [ P.v "f" [ P.v "g" [ P.v "e" ~node:(ret "e") [] ] ] ] ]
+  in
+  match M.chain_minimize s p with
+  | Some small ->
+      Alcotest.(check bool) "smaller than contraction minimum" true
+        (P.node_count small < P.node_count (M.minimize s p)
+        || P.node_count small < P.node_count p);
+      Alcotest.(check bool) "chain form equivalent" true (Ct.equivalent s p small)
+  | None ->
+      (* Acceptable only if contraction already reached 2 nodes. *)
+      Alcotest.(check bool) "contraction already minimal" true
+        (P.node_count (M.minimize s p) <= 2)
+
+let () =
+  Alcotest.run "minimize"
+    [ ( "minimize",
+        [ Alcotest.test_case "S-contraction" `Quick test_contraction;
+          Alcotest.test_case "meaningful nodes stay" `Quick test_no_contraction_when_meaningful;
+          Alcotest.test_case "all minimal forms" `Quick test_all_minimal;
+          Alcotest.test_case "summary-aware chains" `Quick test_chain_minimize ] ) ]

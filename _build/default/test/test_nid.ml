@@ -1,0 +1,94 @@
+(* Node identifiers: the i/o/s/p scheme lattice and its decision
+   procedures. *)
+
+module Nid = Xdm.Nid
+
+let pp3 pre post depth = Nid.Pre_post { pre; post; depth }
+
+let check = Alcotest.(check bool)
+let check_opt = Alcotest.(check (option bool))
+
+let test_schemes () =
+  check "subsumes refl" true (Nid.subsumes Nid.Parental Nid.Parental);
+  check "p subsumes s" true (Nid.subsumes Nid.Parental Nid.Structural);
+  check "s subsumes o" true (Nid.subsumes Nid.Structural Nid.Ordinal);
+  check "o !subsumes s" false (Nid.subsumes Nid.Ordinal Nid.Structural);
+  Alcotest.(check (option string))
+    "names roundtrip"
+    (Some "s")
+    (Option.map Nid.scheme_name (Nid.scheme_of_name "s" |> Option.map Fun.id)
+    |> Option.map (fun x -> x));
+  Alcotest.(check string) "scheme of dewey" "p" (Nid.scheme_name (Nid.scheme (Nid.Dewey [ 1 ])))
+
+(* The (pre, post, depth) predicates of §1.2.1 on the Figure 1.1 shape:
+   person (10, 9, 3) inside people (9, 10, 2) inside site (1, n, 1). *)
+let test_pre_post () =
+  let site = pp3 1 20 1 and people = pp3 9 10 2 and person = pp3 10 9 3 in
+  check_opt "site ancestor of person" (Some true) (Nid.is_ancestor site person);
+  check_opt "people parent of person" (Some true) (Nid.is_parent people person);
+  check_opt "site not parent of person" (Some false) (Nid.is_parent site person);
+  check_opt "person not ancestor of site" (Some false) (Nid.is_ancestor person site);
+  check_opt "no ancestor info on simple ids" None
+    (Nid.is_ancestor (Nid.Simple_id 1) (Nid.Simple_id 2))
+
+let test_dewey () =
+  let root = Nid.Dewey [ 1 ] in
+  let child = Nid.Dewey [ 1; 3 ] in
+  let grandchild = Nid.Dewey [ 1; 3; 2 ] in
+  check_opt "dewey parent" (Some true) (Nid.is_parent root child);
+  check_opt "dewey ancestor" (Some true) (Nid.is_ancestor root grandchild);
+  check_opt "dewey not parent (2 levels)" (Some false) (Nid.is_parent root grandchild);
+  Alcotest.(check bool)
+    "parent derivation" true
+    (match Nid.parent grandchild with Some p -> Nid.equal p child | None -> false);
+  Alcotest.(check bool)
+    "root has no parent" true
+    (Nid.parent root = None);
+  Alcotest.(check bool)
+    "pre_post cannot derive parents" true
+    (Nid.parent (pp3 3 4 2) = None);
+  Alcotest.(check (option int)) "dewey depth" (Some 3) (Nid.depth grandchild)
+
+let test_order () =
+  let a = Nid.Dewey [ 1; 2 ] and b = Nid.Dewey [ 1; 2; 1 ] and c = Nid.Dewey [ 1; 3 ] in
+  check "prefix sorts first" true (Nid.compare a b < 0);
+  check "sibling order" true (Nid.compare b c < 0);
+  check_opt "doc_order" (Some true) (Option.map (fun x -> x < 0) (Nid.doc_order a c));
+  Alcotest.(check (option int)) "doc_order cross-scheme" None
+    (Nid.doc_order (Nid.Dewey [ 1 ]) (pp3 1 2 1))
+
+(* Property: on a real document, the Dewey and (pre, post, depth) labelings
+   agree on every structural predicate. *)
+let test_agreement () =
+  let doc =
+    Xdm.Doc.of_string
+      "<a><b x=\"1\"><c>t</c><c/></b><b><d><e/></d></b><f/></a>"
+  in
+  let n = Xdm.Doc.size doc in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let d_i = Xdm.Doc.id Xdm.Nid.Parental doc i
+      and d_j = Xdm.Doc.id Xdm.Nid.Parental doc j
+      and s_i = Xdm.Doc.id Xdm.Nid.Structural doc i
+      and s_j = Xdm.Doc.id Xdm.Nid.Structural doc j in
+      Alcotest.(check (option bool))
+        (Printf.sprintf "ancestor agree %d %d" i j)
+        (Nid.is_ancestor s_i s_j) (Nid.is_ancestor d_i d_j);
+      Alcotest.(check (option bool))
+        (Printf.sprintf "parent agree %d %d" i j)
+        (Nid.is_parent s_i s_j) (Nid.is_parent d_i d_j);
+      Alcotest.(check bool)
+        (Printf.sprintf "order agree %d %d" i j)
+        (Nid.doc_order s_i s_j = Some (compare i j))
+        (Nid.doc_order d_i d_j = Some (compare i j))
+    done
+  done
+
+let () =
+  Alcotest.run "nid"
+    [ ( "nid",
+        [ Alcotest.test_case "scheme lattice" `Quick test_schemes;
+          Alcotest.test_case "pre/post predicates" `Quick test_pre_post;
+          Alcotest.test_case "dewey predicates" `Quick test_dewey;
+          Alcotest.test_case "document order" `Quick test_order;
+          Alcotest.test_case "scheme agreement on a document" `Quick test_agreement ] ) ]

@@ -1,0 +1,94 @@
+(* The XAM pattern language: construction, schemas, transformations. *)
+
+module P = Xam.Pattern
+module F = Xam.Formula
+module Rel = Xalgebra.Rel
+module V = Xalgebra.Value
+
+let sample () =
+  P.make
+    [ P.v "book"
+        ~node:(P.mk_node ~id:Xdm.Nid.Structural ~tag:true "book")
+        [ P.v ~axis:P.Child "title" ~node:(P.mk_node ~value:true "title") [];
+          P.v ~axis:P.Child ~sem:P.Nest_outer "author"
+            ~node:(P.mk_node ~id:Xdm.Nid.Structural ~value:true "author")
+            [];
+          P.v ~axis:P.Child ~sem:P.Semi "@year"
+            ~node:(P.mk_node ~formula:(F.eq (V.Int 1999)) "@year")
+            [] ] ]
+
+let test_structure () =
+  let p = sample () in
+  Alcotest.(check int) "node count" 4 (P.node_count p);
+  Alcotest.(check int) "pre-order nids" 0 (List.hd (P.nodes p)).P.nid;
+  Alcotest.(check int) "3 return nodes" 3 (List.length (P.return_nodes p));
+  Alcotest.(check (option int)) "parent of title" (Some 0) (P.parent_nid p 1);
+  Alcotest.(check (option int)) "root has no parent" None (P.parent_nid p 0);
+  Alcotest.(check bool) "find_tree" true (P.find_tree p 2 <> None);
+  Alcotest.(check bool) "conjunctive? no (nest edge)" false (P.is_conjunctive p);
+  Alcotest.(check bool) "no required attrs" false (P.has_required p)
+
+let test_attrs () =
+  let p = sample () in
+  let book = Option.get (P.find_node p 0) in
+  Alcotest.(check bool) "book stores ID and L" true
+    (P.stored_attrs book = [ P.ID; P.L ]);
+  let year = Option.get (P.find_node p 3) in
+  Alcotest.(check bool) "semi node stores nothing" true (P.stored_attrs year = []);
+  Alcotest.(check string) "attr_col" "ID0" (P.attr_col 0 P.ID)
+
+let test_schema () =
+  let p = sample () in
+  Alcotest.(check string) "schema with nested author column"
+    "ID0, L0, V1, N2(ID2, V2)"
+    (Rel.schema_to_string (P.schema p));
+  Alcotest.(check bool) "col_path through nesting" true
+    (P.col_path p 2 P.V = [ "N2"; "V2" ]);
+  Alcotest.(check bool) "col_path flat" true (P.col_path p 1 P.V = [ "V1" ])
+
+let test_transforms () =
+  let p = sample () in
+  let strict = P.strip_optional p in
+  Alcotest.(check bool) "strip_optional turns no into nj" true
+    (match P.incoming_edge strict 2 with
+    | Some e -> e.P.sem = P.Nest_join
+    | None -> false);
+  let flat = P.strip_nesting p in
+  Alcotest.(check bool) "strip_nesting turns no into o" true
+    (match P.incoming_edge flat 2 with Some e -> e.P.sem = P.Outer | None -> false);
+  Alcotest.(check bool) "strip_formulas clears decorations" true
+    (List.for_all
+       (fun (n : P.node) -> F.is_true n.P.formula)
+       (P.nodes (P.strip_formulas p)))
+
+let test_remove_node () =
+  let p =
+    P.make
+      [ P.v "a"
+          [ P.v ~axis:P.Child "b"
+              [ P.v ~axis:P.Child "c" ~node:(P.mk_node ~id:Xdm.Nid.Structural "c") [] ] ] ]
+  in
+  (match P.remove_node p 1 with
+  | Some p' ->
+      Alcotest.(check int) "b erased" 2 (P.node_count p');
+      Alcotest.(check bool) "reconnected with //" true
+        (match P.incoming_edge p' 1 with
+        | Some e -> e.P.axis = P.Descendant
+        | None -> false)
+  | None -> Alcotest.fail "contraction failed");
+  Alcotest.(check bool) "return nodes cannot be erased" true (P.remove_node p 2 = None)
+
+let test_equal () =
+  Alcotest.(check bool) "structural equality" true (P.equal (sample ()) (sample ()));
+  let other = P.make [ P.v "book" [] ] in
+  Alcotest.(check bool) "different patterns differ" false (P.equal (sample ()) other)
+
+let () =
+  Alcotest.run "pattern"
+    [ ( "pattern",
+        [ Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "attributes" `Quick test_attrs;
+          Alcotest.test_case "schema" `Quick test_schema;
+          Alcotest.test_case "transformations" `Quick test_transforms;
+          Alcotest.test_case "S-contraction step" `Quick test_remove_node;
+          Alcotest.test_case "equality" `Quick test_equal ] ) ]

@@ -1,0 +1,84 @@
+(* Predicates, including the map-style existential semantics on nested
+   paths and the structural comparators. *)
+
+module Rel = Xalgebra.Rel
+module Pred = Xalgebra.Pred
+module V = Xalgebra.Value
+module Nid = Xdm.Nid
+
+let a v = Rel.A v
+let n l = Rel.N l
+
+let schema = [ Rel.atom "ID"; Rel.nested "A" [ Rel.atom "V" ] ]
+
+let tuple vs = [| a (V.Int 1); n (List.map (fun v -> [| a v |]) vs) |]
+
+let ev t p = Pred.eval schema t p
+
+let test_comparators () =
+  let t = tuple [ V.Int 5 ] in
+  Alcotest.(check bool) "=" true (ev t (Pred.Cmp (Pred.Col [ "A"; "V" ], Pred.Eq, Pred.Const (V.Int 5))));
+  Alcotest.(check bool) "<" true (ev t (Pred.Cmp (Pred.Col [ "A"; "V" ], Pred.Lt, Pred.Const (V.Int 6))));
+  Alcotest.(check bool) "string/int coercion" true
+    (ev (tuple [ V.Str "5" ]) (Pred.Cmp (Pred.Col [ "A"; "V" ], Pred.Eq, Pred.Const (V.Int 5))));
+  Alcotest.(check bool) "null comparisons are false" false
+    (ev (tuple [ V.Null ]) (Pred.Cmp (Pred.Col [ "A"; "V" ], Pred.Eq, Pred.Const V.Null)))
+
+let test_existential () =
+  let t = tuple [ V.Int 1; V.Int 5; V.Int 9 ] in
+  Alcotest.(check bool) "∃ semantics: one match suffices" true
+    (ev t (Pred.Cmp (Pred.Col [ "A"; "V" ], Pred.Eq, Pred.Const (V.Int 5))));
+  Alcotest.(check bool) "∃ semantics: no match" false
+    (ev t (Pred.Cmp (Pred.Col [ "A"; "V" ], Pred.Gt, Pred.Const (V.Int 10))));
+  Alcotest.(check bool) "empty collection: no witness" false
+    (ev (tuple []) (Pred.Cmp (Pred.Col [ "A"; "V" ], Pred.Ne, Pred.Const (V.Int 0))))
+
+let test_null_tests () =
+  Alcotest.(check bool) "Is_null on empty collection" true
+    (ev (tuple []) (Pred.Is_null [ "A"; "V" ]));
+  Alcotest.(check bool) "Not_null with values" true
+    (ev (tuple [ V.Int 2 ]) (Pred.Not_null [ "A"; "V" ]));
+  Alcotest.(check bool) "Is_null on all-null collection" true
+    (ev (tuple [ V.Null; V.Null ]) (Pred.Is_null [ "A"; "V" ]))
+
+let test_structural () =
+  let sch = [ Rel.atom "X"; Rel.atom "Y" ] in
+  let pp pre post depth = V.Id (Nid.Pre_post { pre; post; depth }) in
+  let t = [| a (pp 1 10 1); a (pp 3 4 2) |] in
+  Alcotest.(check bool) "≺ parent" true
+    (Pred.eval sch t (Pred.Cmp (Pred.Col [ "X" ], Pred.Parent, Pred.Col [ "Y" ])));
+  Alcotest.(check bool) "≺≺ ancestor" true
+    (Pred.eval sch t (Pred.Cmp (Pred.Col [ "X" ], Pred.Ancestor, Pred.Col [ "Y" ])));
+  Alcotest.(check bool) "≺ not symmetric" false
+    (Pred.eval sch t (Pred.Cmp (Pred.Col [ "Y" ], Pred.Parent, Pred.Col [ "X" ])));
+  Alcotest.(check bool) "≺ on non-ids is false" false
+    (Pred.eval sch [| a (V.Int 1); a (V.Int 2) |]
+       (Pred.Cmp (Pred.Col [ "X" ], Pred.Parent, Pred.Col [ "Y" ])))
+
+let test_contains () =
+  let sch = [ Rel.atom "T" ] in
+  let t = [| a (V.Str "Data on the Web") |] in
+  Alcotest.(check bool) "contains word" true (Pred.eval sch t (Pred.Contains ([ "T" ], "Web")));
+  Alcotest.(check bool) "case-insensitive" true (Pred.eval sch t (Pred.Contains ([ "T" ], "data")));
+  Alcotest.(check bool) "missing word" false (Pred.eval sch t (Pred.Contains ([ "T" ], "XML")))
+
+let test_connectives () =
+  let t = tuple [ V.Int 5 ] in
+  let p5 = Pred.Cmp (Pred.Col [ "A"; "V" ], Pred.Eq, Pred.Const (V.Int 5)) in
+  let p6 = Pred.Cmp (Pred.Col [ "A"; "V" ], Pred.Eq, Pred.Const (V.Int 6)) in
+  Alcotest.(check bool) "and" false (ev t (Pred.And (p5, p6)));
+  Alcotest.(check bool) "or" true (ev t (Pred.Or (p5, p6)));
+  Alcotest.(check bool) "not" true (ev t (Pred.Not p6));
+  Alcotest.(check bool) "conj []" true (ev t (Pred.conj []));
+  Alcotest.(check bool) "conj list" false (ev t (Pred.conj [ p5; p6 ]));
+  Alcotest.(check int) "paths collects columns" 2 (List.length (Pred.paths (Pred.And (p5, p6))))
+
+let () =
+  Alcotest.run "pred"
+    [ ( "pred",
+        [ Alcotest.test_case "comparators" `Quick test_comparators;
+          Alcotest.test_case "existential nested semantics" `Quick test_existential;
+          Alcotest.test_case "null tests" `Quick test_null_tests;
+          Alcotest.test_case "structural comparators" `Quick test_structural;
+          Alcotest.test_case "full-text contains" `Quick test_contains;
+          Alcotest.test_case "connectives" `Quick test_connectives ] ) ]

@@ -1,0 +1,136 @@
+(* XAM semantics: the embedding-based evaluation (§4.1) must agree with
+   the algebraic structural-join evaluation (§2.2.2), and both must
+   reproduce the thesis's worked examples. *)
+
+module P = Xam.Pattern
+module F = Xam.Formula
+module Rel = Xalgebra.Rel
+module V = Xalgebra.Value
+module Nid = Xdm.Nid
+
+let doc () = Xworkload.Gen_bib.bib_doc ()
+
+let sid = Nid.Structural
+
+(* χ1 of Fig 2.8: //book{ID, Tag}. *)
+let chi1 () = P.make [ P.v "book" ~node:(P.mk_node ~id:sid ~tag:true "book") [] ]
+
+(* χ2: //book{ID, Tag}[@year] — semijoin on the year attribute. *)
+let chi2 () =
+  P.make
+    [ P.v "book" ~node:(P.mk_node ~id:sid ~tag:true "book")
+        [ P.v ~axis:P.Child ~sem:P.Semi "@year" [] ] ]
+
+(* χ3: χ2 with the nested title (ID, Tag, Val). *)
+let chi3 () =
+  P.make
+    [ P.v "book" ~node:(P.mk_node ~id:sid ~tag:true "book")
+        [ P.v ~axis:P.Child ~sem:P.Semi "@year" [];
+          P.v ~axis:P.Child ~sem:P.Nest_join "title"
+            ~node:(P.mk_node ~id:sid ~tag:true ~value:true "title")
+            [] ] ]
+
+let test_fig_2_8 () =
+  let d = doc () in
+  let r1 = Xam.Embed.eval d (chi1 ()) in
+  Alcotest.(check int) "χ1: both books" 2 (Rel.cardinality r1);
+  let r2 = Xam.Embed.eval d (chi2 ()) in
+  Alcotest.(check int) "χ2: only the 1999 book has a year" 1 (Rel.cardinality r2);
+  let r3 = Xam.Embed.eval d (chi3 ()) in
+  (match r3.Rel.tuples with
+  | [ t ] ->
+      let titles = Rel.atoms_of_path r3.Rel.schema t [ "N2"; "V2" ] in
+      Alcotest.(check bool) "χ3 nests the title" true (titles = [ V.Str "Data on the Web" ])
+  | _ -> Alcotest.fail "χ3 cardinality")
+
+let test_optional_edges () =
+  let d = doc () in
+  let p =
+    P.make
+      [ P.v "book" ~node:(P.mk_node ~id:sid "book")
+          [ P.v ~axis:P.Child ~sem:P.Outer "@year"
+              ~node:(P.mk_node ~value:true "@year") [] ] ]
+  in
+  let r = Xam.Embed.eval d p in
+  Alcotest.(check int) "both books kept" 2 (Rel.cardinality r);
+  let nulls =
+    List.length (List.filter (fun t -> Rel.atom_field t 1 = V.Null) r.Rel.tuples)
+  in
+  Alcotest.(check int) "book without year gets ⊥" 1 nulls
+
+let test_formulas () =
+  let d = doc () in
+  let p =
+    P.make
+      [ P.v "*" ~node:(P.mk_node ~id:sid ~tag:true "*")
+          [ P.v ~axis:P.Child "@year" ~node:(P.mk_node ~formula:(F.eq (V.Int 2004)) "@year") [] ] ]
+  in
+  let r = Xam.Embed.eval d p in
+  (match r.Rel.tuples with
+  | [ t ] ->
+      Alcotest.(check bool) "only the 2004 thesis matches" true
+        (Rel.atom_field t 1 = V.Str "phdthesis")
+  | _ -> Alcotest.fail "formula filtering");
+  (* wildcard with no match *)
+  let none =
+    P.make
+      [ P.v "title" ~node:(P.mk_node ~id:sid "title")
+          [ P.v "@year" ~sem:P.Semi [] ] ]
+  in
+  Alcotest.(check int) "titles have no year attribute" 0
+    (Rel.cardinality (Xam.Embed.eval d none))
+
+let test_multi_root () =
+  let d = doc () in
+  let p =
+    P.make
+      [ P.v "book" ~node:(P.mk_node ~id:sid "book") [];
+        P.v "phdthesis" ~node:(P.mk_node ~id:sid "phdthesis") [] ]
+  in
+  let r = Xam.Embed.eval d p in
+  Alcotest.(check int) "cartesian product of roots" 2 (Rel.cardinality r)
+
+let test_child_vs_descendant () =
+  let d = Xdm.Doc.of_string "<a><b><a><c/></a></b><c/></a>" in
+  let via_child =
+    P.make [ P.v ~axis:P.Child "a" ~node:(P.mk_node ~id:sid "a")
+               [ P.v ~axis:P.Child "c" ~node:(P.mk_node ~id:sid "c") [] ] ]
+  in
+  Alcotest.(check int) "root edge restricts to document root" 1
+    (Rel.cardinality (Xam.Embed.eval d via_child));
+  let via_desc =
+    P.make [ P.v "a" ~node:(P.mk_node ~id:sid "a")
+               [ P.v ~axis:P.Child "c" ~node:(P.mk_node ~id:sid "c") [] ] ]
+  in
+  Alcotest.(check int) "descendant root edge reaches the inner a" 2
+    (Rel.cardinality (Xam.Embed.eval d via_desc))
+
+(* Agreement of the two semantics on generated documents and random
+   patterns. *)
+let agreement_prop =
+  let summary_doc = Xworkload.Gen_xmark.generate_doc Xworkload.Gen_xmark.tiny in
+  let s = Xsummary.Summary.of_doc summary_doc in
+  let params =
+    { Xworkload.Pattern_gen.default with
+      size = 5;
+      return_labels = [ "item"; "name" ];
+      value_pred_p = 0.0 (* value predicates rarely hold on random text *) }
+  in
+  let patterns = Xworkload.Pattern_gen.generate_many ~seed:23 s params ~count:30 in
+  QCheck2.Test.make ~name:"Embed and Compile agree" ~count:30
+    QCheck2.Gen.(int_bound (List.length patterns - 1))
+    (fun i ->
+      let p = List.nth patterns i in
+      let embed = Xam.Embed.eval summary_doc p in
+      let compiled = Xam.Compile.eval summary_doc p in
+      Rel.equal_unordered embed compiled)
+
+let () =
+  Alcotest.run "semantics"
+    [ ( "semantics",
+        [ Alcotest.test_case "Fig 2.8 examples" `Quick test_fig_2_8;
+          Alcotest.test_case "optional edges" `Quick test_optional_edges;
+          Alcotest.test_case "value formulas" `Quick test_formulas;
+          Alcotest.test_case "multiple roots" `Quick test_multi_root;
+          Alcotest.test_case "child vs descendant root edges" `Quick test_child_vs_descendant ] );
+      ("props", [ QCheck_alcotest.to_alcotest agreement_prop ]) ]

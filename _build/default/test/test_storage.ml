@@ -1,0 +1,154 @@
+(* Storage model zoo, indexes, and the cost model. *)
+
+module P = Xam.Pattern
+module Store = Xstorage.Store
+module Models = Xstorage.Models
+module Indexes = Xstorage.Indexes
+module Cost = Xstorage.Cost
+module Rel = Xalgebra.Rel
+module V = Xalgebra.Value
+module S = Xsummary.Summary
+
+let bib = Xworkload.Gen_bib.bib_doc
+
+let test_edge_model () =
+  let doc = bib () in
+  let cat = Store.catalog_of doc (Models.edge doc) in
+  Alcotest.(check int) "three modules" 3 (List.length cat.Store.modules);
+  let elem = List.find (fun m -> m.Store.name = "edge:elem") cat.Store.modules in
+  (* One tuple per parent-child element pair: 7 non-root elements. *)
+  Alcotest.(check int) "element edges" 10 (Rel.cardinality elem.Store.extent);
+  let attrs = List.find (fun m -> m.Store.name = "edge:attr") cat.Store.modules in
+  Alcotest.(check int) "attribute edges" 2 (Rel.cardinality attrs.Store.extent)
+
+let test_universal () =
+  let doc = bib () in
+  let cat = Store.catalog_of doc (Models.universal doc) in
+  let u = List.find (fun m -> m.Store.name = "universal") cat.Store.modules in
+  (* The full outerjoin of the per-label Edge tables: one row per element
+     and per combination of same-label children (the library row splits per
+     book, the two-author book per author). *)
+  Alcotest.(check int) "outerjoin row count" 13 (Rel.cardinality u.Store.extent);
+  (* The row for a book has its title child slot filled and e.g. the
+     author slots populated; the library row has book slots. *)
+  Alcotest.(check bool) "wide schema" true
+    (List.length u.Store.extent.Rel.schema > 4)
+
+let test_tag_partitioned () =
+  let doc = bib () in
+  let cat = Store.catalog_of doc (Models.tag_partitioned doc) in
+  let books = List.find (fun m -> m.Store.name = "tag:book") cat.Store.modules in
+  Alcotest.(check int) "two books" 2 (Rel.cardinality books.Store.extent);
+  let years = List.find (fun m -> m.Store.name = "tag:@year") cat.Store.modules in
+  Alcotest.(check int) "two year attributes" 2 (Rel.cardinality years.Store.extent)
+
+let test_path_partitioned () =
+  let doc = bib () in
+  let s = S.of_doc doc in
+  let cat = Store.catalog_of doc (Models.path_partitioned s) in
+  let get name = List.find (fun m -> m.Store.name = name) cat.Store.modules in
+  let bt = get "path:/library/book/title" in
+  Alcotest.(check int) "book titles" 2 (Rel.cardinality bt.Store.extent);
+  (* Values are attached on text-owning paths. *)
+  Alcotest.(check bool) "title module stores values" true
+    (Rel.mem_path bt.Store.extent.Rel.schema [ P.attr_col 2 P.V ]
+    || List.length bt.Store.extent.Rel.schema = 2);
+  let pt = get "path:/library/phdthesis/title" in
+  Alcotest.(check int) "thesis title" 1 (Rel.cardinality pt.Store.extent)
+
+let test_blob_and_content () =
+  let doc = bib () in
+  let cat = Store.catalog_of doc (Models.blob ~root:"library") in
+  let blob = List.hd cat.Store.modules in
+  Alcotest.(check int) "one blob tuple" 1 (Rel.cardinality blob.Store.extent);
+  let s = S.of_doc doc in
+  let cat2 = Store.catalog_of doc (Models.fragment_content s ~label:"book") in
+  Alcotest.(check int) "one content module" 1 (List.length cat2.Store.modules);
+  Alcotest.(check int) "two book fragments" 2
+    (Rel.cardinality (List.hd cat2.Store.modules).Store.extent)
+
+let test_inlined () =
+  let doc = bib () in
+  let s = S.of_doc doc in
+  let cat = Store.catalog_of doc (Models.inlined s) in
+  let thesis =
+    List.find (fun m -> m.Store.name = "inlined:/library/phdthesis") cat.Store.modules
+  in
+  (* The thesis has 1-edges to title (via #text) and @year: both inlined. *)
+  Alcotest.(check bool) "thesis inlines two values" true
+    (List.length thesis.Store.extent.Rel.schema >= 3)
+
+let test_value_index () =
+  let doc = bib () in
+  let idx =
+    Indexes.value_index ~name:"booksByYearTitle" doc ~target:"book"
+      ~keys:[ ("@year", P.Child); ("title", P.Child) ]
+  in
+  Alcotest.(check bool) "index has required attrs" true (P.has_required idx.Store.xam);
+  let bindings = [ [| Rel.A (V.Int 1999); Rel.A (V.Str "Data on the Web") |] ] in
+  let hits = Store.lookup idx ~bindings in
+  Alcotest.(check int) "lookup hits the 1999 book" 1 (Rel.cardinality hits);
+  let misses =
+    Store.lookup idx ~bindings:[ [| Rel.A (V.Int 1999); Rel.A (V.Str "Wrong") |] ]
+  in
+  Alcotest.(check int) "mismatched key misses" 0 (Rel.cardinality misses)
+
+let test_fulltext () =
+  let doc = bib () in
+  let fti = Indexes.fulltext ~name:"titles-fti" doc ~scope:"title" in
+  let hits = Indexes.fulltext_lookup fti "web" in
+  Alcotest.(check int) "all three titles mention the web" 3 (Rel.cardinality hits);
+  Alcotest.(check int) "rare word" 1
+    (Rel.cardinality (Indexes.fulltext_lookup fti "syntactic"));
+  Alcotest.(check int) "missing word" 0
+    (Rel.cardinality (Indexes.fulltext_lookup fti "zebra"))
+
+let test_path_index () =
+  let doc = bib () in
+  let s = S.of_doc doc in
+  let p = Option.get (S.find_path s [ "library"; "book"; "author" ]) in
+  let idx = Indexes.path_index ~name:"authors" doc s ~path:p in
+  Alcotest.(check int) "three book authors" 3 (Rel.cardinality idx.Store.extent)
+
+let test_cost_model () =
+  let doc = bib () in
+  let cat = Store.catalog_of doc (Models.tag_partitioned doc) in
+  let env = Store.env cat in
+  let open Xalgebra.Logical in
+  let small = Scan "tag:book" in
+  let bigger =
+    Struct_join
+      { kind = Inner; axis = Descendant; lpath = [ "ID0" ]; rpath = [ "ID0" ];
+        nest_as = ""; left = Scan "tag:book"; right = Scan "tag:author" }
+  in
+  Alcotest.(check bool) "joins cost more than scans" true
+    (Cost.estimate env bigger > Cost.estimate env small);
+  Alcotest.(check bool) "cardinality of a scan" true (Cost.cardinality env small = 2.0)
+
+let test_views_split () =
+  let doc = bib () in
+  let cat = Store.catalog_of doc (Models.tag_partitioned doc) in
+  let idx =
+    Indexes.value_index ~name:"idx" doc ~target:"book" ~keys:[ ("title", P.Child) ]
+  in
+  let cat = { cat with Store.modules = idx :: cat.Store.modules } in
+  Alcotest.(check bool) "index excluded from scan views" true
+    (not (List.exists (fun (v : Xam.Rewrite.view) -> v.vname = "idx") (Store.views cat)));
+  Alcotest.(check int) "index listed separately" 1 (List.length (Store.index_views cat))
+
+let () =
+  Alcotest.run "storage"
+    [ ( "models",
+        [ Alcotest.test_case "edge" `Quick test_edge_model;
+          Alcotest.test_case "universal table" `Quick test_universal;
+          Alcotest.test_case "tag-partitioned" `Quick test_tag_partitioned;
+          Alcotest.test_case "path-partitioned" `Quick test_path_partitioned;
+          Alcotest.test_case "blob and fragments" `Quick test_blob_and_content;
+          Alcotest.test_case "inlined (Hybrid-style)" `Quick test_inlined ] );
+      ( "indexes",
+        [ Alcotest.test_case "composite value index" `Quick test_value_index;
+          Alcotest.test_case "full-text index" `Quick test_fulltext;
+          Alcotest.test_case "path index" `Quick test_path_index ] );
+      ( "optimizer",
+        [ Alcotest.test_case "cost model" `Quick test_cost_model;
+          Alcotest.test_case "views vs indexes" `Quick test_views_split ] ) ]

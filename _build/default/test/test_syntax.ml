@@ -1,0 +1,97 @@
+(* The textual XAM syntax (Fig 2.3 grammar rendering). *)
+
+module P = Xam.Pattern
+module Sx = Xam.Syntax
+module F = Xam.Formula
+module V = Xalgebra.Value
+
+let sample =
+  {|T ordered
+  //j book ID[s] Tag
+    /j title [Val="Data on the Web"]
+    /no author ID[s]R Val
+    /s @year [Val>=1990] [Val<2000]
+|}
+
+let test_parse () =
+  let p = Sx.parse sample in
+  Alcotest.(check int) "four nodes" 4 (P.node_count p);
+  let book = Option.get (P.find_node p 0) in
+  Alcotest.(check bool) "book stores structural ID and Tag" true
+    (book.P.id_scheme = Some Xdm.Nid.Structural && book.P.tag_stored);
+  let author = Option.get (P.find_node p 2) in
+  Alcotest.(check bool) "author ID is required" true author.P.id_required;
+  Alcotest.(check bool) "author edge is nest-outer" true
+    (match P.incoming_edge p 2 with
+    | Some e -> e.P.sem = P.Nest_outer && e.P.axis = P.Child
+    | None -> false);
+  let year = Option.get (P.find_node p 3) in
+  Alcotest.(check bool) "year formula conjoined" true
+    (F.holds year.P.formula (V.Int 1995) && not (F.holds year.P.formula (V.Int 2005)));
+  Alcotest.(check bool) "semi edge" true
+    (match P.incoming_edge p 3 with Some e -> e.P.sem = P.Semi | None -> false)
+
+let test_roundtrip () =
+  let p = Sx.parse sample in
+  Alcotest.(check bool) "print/parse round-trip" true (P.equal p (Sx.parse (Sx.print p)))
+
+let test_multiroot () =
+  let p = Sx.parse "T\n  //j description Cont\n  //j annotation Cont\n  //j mail Cont\n" in
+  Alcotest.(check int) "three roots" 3 (List.length p.P.roots);
+  Alcotest.(check bool) "roundtrip" true (P.equal p (Sx.parse (Sx.print p)))
+
+let test_ne_and_exotic_formulas () =
+  let p = Sx.parse "T\n  //j a [Val!=5]\n" in
+  let n = List.hd (P.nodes p) in
+  Alcotest.(check bool) "ne formula" true
+    (F.holds n.P.formula (V.Int 4) && not (F.holds n.P.formula (V.Int 5)));
+  Alcotest.(check bool) "ne roundtrips" true (P.equal p (Sx.parse (Sx.print p)));
+  (* A multi-interval formula survives via the serialized fallback. *)
+  let exotic = F.disj (F.eq (V.Int 1)) (F.conj (F.ge (V.Int 5)) (F.le (V.Int 9))) in
+  let pat = P.make [ P.v "a" ~node:(P.mk_node ~formula:exotic "a") [] ] in
+  Alcotest.(check bool) "multi-interval roundtrips" true
+    (P.equal pat (Sx.parse (Sx.print pat)))
+
+let test_errors () =
+  let fails s = match Sx.parse_result s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "missing T" true (fails "  //j a\n");
+  Alcotest.(check bool) "bad edge" true (fails "T\n  /x a\n");
+  Alcotest.(check bool) "bad spec" true (fails "T\n  //j a Wat\n");
+  Alcotest.(check bool) "empty" true (fails "");
+  Alcotest.(check bool) "no nodes" true (fails "T\n")
+
+let test_formula_serialize () =
+  let cases =
+    [ F.tt; F.ff; F.eq (V.Int 5); F.ne (V.Str "x"); F.lt (V.Int 0);
+      F.disj (F.le (V.Int 2)) (F.ge (V.Int 10));
+      F.conj (F.gt (V.Str "a")) (F.lt (V.Str "q")) ]
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        ("serialize roundtrip: " ^ F.to_string f)
+        true
+        (F.equal f (F.deserialize (F.serialize f))))
+    cases
+
+(* Property: generated patterns round-trip (their formulas are points). *)
+let roundtrip_prop =
+  let s = Xsummary.Summary.of_doc (Xworkload.Gen_xmark.generate_doc Xworkload.Gen_xmark.tiny) in
+  let params = { Xworkload.Pattern_gen.default with size = 7; return_labels = [ "item" ] } in
+  let pats = Array.of_list (Xworkload.Pattern_gen.generate_many ~seed:77 s params ~count:25) in
+  QCheck2.Test.make ~name:"random patterns roundtrip" ~count:25
+    QCheck2.Gen.(int_bound (Array.length pats - 1))
+    (fun i ->
+      let p = pats.(i) in
+      P.equal p (Sx.parse (Sx.print p)))
+
+let () =
+  Alcotest.run "syntax"
+    [ ( "syntax",
+        [ Alcotest.test_case "parsing" `Quick test_parse;
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "multiple roots" `Quick test_multiroot;
+          Alcotest.test_case "formulas" `Quick test_ne_and_exotic_formulas;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "formula serialization" `Quick test_formula_serialize ] );
+      ("props", [ QCheck_alcotest.to_alcotest roundtrip_prop ]) ]

@@ -1,0 +1,90 @@
+(* Workload generators: determinism, scaling, and the pattern generator's
+   satisfiability guarantee. *)
+
+module S = Xsummary.Summary
+module Doc = Xdm.Doc
+module PG = Xworkload.Pattern_gen
+module Gx = Xworkload.Gen_xmark
+
+let test_determinism () =
+  let d1 = Gx.generate ~seed:1 Gx.tiny and d2 = Gx.generate ~seed:1 Gx.tiny in
+  Alcotest.(check bool) "same seed, same document" true (Xdm.Xml_tree.equal d1 d2);
+  let d3 = Gx.generate ~seed:2 Gx.tiny in
+  Alcotest.(check bool) "different seed, different document" false
+    (Xdm.Xml_tree.equal d1 d3)
+
+let test_scaling () =
+  let small = Gx.generate_doc Gx.tiny in
+  let big = Gx.generate_doc (Gx.of_factor 0.3) in
+  Alcotest.(check bool) "scale grows the document" true (Doc.size big > Doc.size small);
+  (* Summary is much smaller than the document and grows slowly. *)
+  let ssum = S.size (S.of_doc big) in
+  Alcotest.(check bool) "summary ≪ document" true (ssum * 10 < Doc.size big)
+
+let test_xmark_features () =
+  let doc = Gx.generate_doc Gx.default in
+  let s = S.of_doc doc in
+  (* The recursive markup produces parlist-under-listitem paths. *)
+  let parlists = S.nodes_with_label s "parlist" in
+  Alcotest.(check bool) "parlist recursion unfolds" true
+    (List.exists
+       (fun p ->
+         let rec up q = q >= 0 && (String.equal (S.label s q) "listitem" || up (S.parent s q)) in
+         up (S.parent s p))
+       parlists);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l ^ " present") true (S.nodes_with_label s l <> []))
+    [ "bold"; "keyword"; "emph"; "item"; "person"; "open_auction"; "mail" ]
+
+let test_bib () =
+  let doc = Xworkload.Gen_bib.bib_doc () in
+  Alcotest.(check int) "thesis document has 20 nodes" 20 (Doc.size doc);
+  let gen = Xworkload.Gen_bib.generate_doc ~books:10 ~theses:5 () in
+  Alcotest.(check int) "15 entries" 15
+    (List.length (Doc.children gen (Doc.root gen)))
+
+let test_pattern_generator () =
+  let s = S.of_doc (Gx.generate_doc Gx.tiny) in
+  let params = { PG.default with size = 7; return_labels = [ "item"; "name" ] } in
+  let ps = PG.generate_many ~seed:41 s params ~count:20 in
+  Alcotest.(check int) "20 patterns generated" 20 (List.length ps);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "satisfiable by construction" true (Xam.Contain.satisfiable s p);
+      Alcotest.(check int) "two return nodes" 2
+        (List.length (Xam.Pattern.return_nodes p));
+      Alcotest.(check bool) "requested size respected (±2 root merges)" true
+        (Xam.Pattern.node_count p <= params.PG.size + 1))
+    ps
+
+let test_pattern_generator_missing_label () =
+  let s = S.of_doc (Xworkload.Gen_bib.bib_doc ()) in
+  let params = { PG.default with return_labels = [ "nonexistent" ] } in
+  Alcotest.(check int) "no pattern for unknown labels" 0
+    (List.length (PG.generate_many s params ~count:3))
+
+let test_queries () =
+  let s = S.of_doc (Gx.generate_doc Gx.default) in
+  let qs = Xworkload.Queries.xmark () in
+  Alcotest.(check int) "20 queries" 20 (List.length qs);
+  List.iter
+    (fun (name, q) ->
+      Alcotest.(check bool) (name ^ " satisfiable on the XMark summary") true
+        (Xam.Contain.satisfiable s q))
+    qs;
+  (* Q7's unrelated variables blow the canonical model up. *)
+  let q7 = Xworkload.Queries.find "Q7" in
+  Alcotest.(check bool) "Q7 model is large" true (Xam.Canonical.model_size s q7 > 50)
+
+let () =
+  Alcotest.run "workload"
+    [ ( "generators",
+        [ Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "scaling" `Quick test_scaling;
+          Alcotest.test_case "xmark features" `Quick test_xmark_features;
+          Alcotest.test_case "bib documents" `Quick test_bib ] );
+      ( "patterns",
+        [ Alcotest.test_case "random patterns" `Quick test_pattern_generator;
+          Alcotest.test_case "missing labels" `Quick test_pattern_generator_missing_label;
+          Alcotest.test_case "XMark queries" `Quick test_queries ] ) ]

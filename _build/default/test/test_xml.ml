@@ -1,0 +1,96 @@
+(* XML parsing and serialization. *)
+
+module T = Xdm.Xml_tree
+
+let check_tree msg expected actual =
+  Alcotest.(check bool) msg true (T.equal expected actual)
+
+let test_basic () =
+  check_tree "element with text"
+    (T.elt "a" [ T.text "hello" ])
+    (T.parse "<a>hello</a>");
+  check_tree "attributes"
+    (T.elt "a" ~attrs:[ ("x", "1"); ("y", "two") ] [])
+    (T.parse "<a x=\"1\" y='two'/>");
+  check_tree "nesting"
+    (T.elt "a" [ T.elt "b" [ T.text "t" ]; T.elt "c" [] ])
+    (T.parse "<a><b>t</b><c/></a>")
+
+let test_entities () =
+  check_tree "predefined entities"
+    (T.elt "a" [ T.text "x < y & z > \"q\"" ])
+    (T.parse "<a>x &lt; y &amp; z &gt; &quot;q&quot;</a>");
+  check_tree "numeric references"
+    (T.elt "a" [ T.text "AB" ])
+    (T.parse "<a>&#65;&#x42;</a>");
+  check_tree "entity in attribute"
+    (T.elt "a" ~attrs:[ ("t", "a&b") ] [])
+    (T.parse "<a t=\"a&amp;b\"/>")
+
+let test_misc () =
+  check_tree "comments, PI, doctype skipped"
+    (T.elt "a" [ T.elt "b" [] ])
+    (T.parse "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a (b)>]><a><!-- note --><b/></a>");
+  check_tree "cdata"
+    (T.elt "a" [ T.text "<raw>&" ])
+    (T.parse "<a><![CDATA[<raw>&]]></a>");
+  Alcotest.(check bool)
+    "inter-element whitespace dropped" true
+    (T.equal (T.elt "a" [ T.elt "b" [] ]) (T.parse "<a>\n  <b/>\n</a>"))
+
+let test_errors () =
+  let fails s =
+    match T.parse_result s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "mismatched tags" true (fails "<a><b></a></b>");
+  Alcotest.(check bool) "unterminated" true (fails "<a><b>");
+  Alcotest.(check bool) "trailing garbage" true (fails "<a/><b/>");
+  Alcotest.(check bool) "bad entity" true (fails "<a>&nosuch;</a>");
+  Alcotest.(check bool) "no root" true (fails "   ")
+
+let test_counts () =
+  let t = T.parse "<a x=\"1\"><b>t</b><c/></a>" in
+  Alcotest.(check int) "node_count" 5 (T.node_count t);
+  Alcotest.(check int) "element_count" 3 (T.element_count t);
+  Alcotest.(check string) "text_of" "t" (T.text_of t)
+
+let test_escape_roundtrip () =
+  let t = T.elt "a" ~attrs:[ ("k", "<&\"") ] [ T.text "a<b&c" ] in
+  check_tree "serialize/parse roundtrip with escapes" t (T.parse (T.serialize t))
+
+(* Property: serialize ∘ parse is the identity on generated trees. *)
+let tree_gen =
+  let open QCheck2.Gen in
+  let label = oneofl [ "a"; "b"; "c"; "item"; "name" ] in
+  let text = oneofl [ "x"; "hello world"; "5 < 6 & 7"; "42" ] in
+  (* Children are either a single text node or a list of elements:
+     adjacent text siblings would be merged by parsing. *)
+  fix
+    (fun self depth ->
+      map3
+        (fun tag attrs children -> T.elt tag ~attrs children)
+        label
+        (small_list (pair (oneofl [ "p"; "q" ]) text)
+        |> map (fun l ->
+               List.sort_uniq (fun (a, _) (b, _) -> compare a b) l))
+        (if depth = 0 then map (fun s -> [ T.text s ]) text
+         else
+           oneof
+             [ map (fun s -> [ T.text s ]) text;
+               list_size (int_bound 3) (self (depth - 1)) ]))
+    3
+
+let roundtrip_prop =
+  QCheck2.Test.make ~name:"serialize/parse roundtrip" ~count:200 tree_gen (fun t ->
+      T.equal t (T.parse (T.serialize t)))
+
+let () =
+  Alcotest.run "xml"
+    [ ( "parse",
+        [ Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "entities" `Quick test_entities;
+          Alcotest.test_case "misc constructs" `Quick test_misc;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "escaping" `Quick test_escape_roundtrip ] );
+      ("props", [ QCheck_alcotest.to_alcotest roundtrip_prop ]) ]
