@@ -30,10 +30,7 @@ let () =
       [ P.v "item" ~node:(P.mk_node ~id:Xdm.Nid.Structural "item")
           [ P.v ~axis:P.Child "name" ~node:(P.mk_node ~value:true "name") [] ] ]
   in
-  let views =
-    [ { Xam.Rewrite.vname = "V1"; vpattern = v1 };
-      { Xam.Rewrite.vname = "V2"; vpattern = v2 } ]
-  in
+  let engine = Xengine.Engine.of_doc doc [ ("V1", v1); ("V2", v2) ] in
 
   (* Query: item names together with the keywords buried inside the
      descriptions. Keywords are stored by no view — the rewriter must
@@ -44,24 +41,22 @@ let () =
           [ P.v ~axis:P.Child "name" ~node:(P.mk_node ~value:true "name") [];
             P.v "keyword" ~node:(P.mk_node ~value:true "keyword") [] ] ]
   in
-  let rewritings = Xam.Rewrite.rewrite summary ~query ~views in
-  Printf.printf "rewritings: %d\n" (List.length rewritings);
-  (match Xam.Rewrite.best rewritings with
+  (match Xengine.Engine.query_opt engine query with
   | None -> print_endline "no rewriting"
   | Some r ->
-      Format.printf "plan:@.%a@.@." Xalgebra.Logical.pp r.Xam.Rewrite.plan;
-      let env =
-        Xalgebra.Eval.env_of_list
-          [ ("V1", Xam.Embed.eval doc v1); ("V2", Xam.Embed.eval doc v2) ]
-      in
-      let out = Xalgebra.Eval.run env r.Xam.Rewrite.plan in
+      let ex = r.Xengine.Engine.explain in
+      Printf.printf "rewritings: %d\n" ex.Xengine.Explain.candidates;
+      Format.printf "EXPLAIN:@.%a@.@." Xengine.Explain.pp ex;
+      let out = r.Xengine.Engine.rel in
       let direct = Xam.Embed.eval doc query in
       Printf.printf "plan result: %d tuples; direct evaluation: %d tuples; equal: %b\n"
         (Xalgebra.Rel.cardinality out)
         (Xalgebra.Rel.cardinality direct)
         (Xalgebra.Rel.cardinality out = Xalgebra.Rel.cardinality direct));
 
-  (* The same document through the XQuery front end. *)
+  (* The same document through the engine's XQuery front door: the
+     extracted pattern is answered from the views when possible, from the
+     base document otherwise (the fallbacks counter shows which). *)
   print_newline ();
   let src =
     {|for $i in doc("xmark")//item
@@ -69,6 +64,9 @@ let () =
       return <res>{$i/name/text()}</res>|}
   in
   Printf.printf "XQuery: %s\n" src;
-  let out = Xquery.Translate.eval_string doc src in
+  let r = Xengine.Engine.query_string engine src in
+  let out = r.Xengine.Engine.output in
   Printf.printf "first 200 bytes of the result:\n%s...\n"
-    (String.sub out 0 (min 200 (String.length out)))
+    (String.sub out 0 (min 200 (String.length out)));
+  Format.printf "engine: %a@." Xengine.Engine.pp_counters
+    (Xengine.Engine.counters engine)

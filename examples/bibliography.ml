@@ -30,56 +30,51 @@ let () =
   Printf.printf "extracted %d pattern(s):\n" (List.length extraction.Xquery.Extract.patterns);
   List.iter (fun p -> Format.printf "%a@." P.pp p) extraction.Xquery.Extract.patterns;
 
-  (* Both evaluation routes agree. *)
+  (* Both evaluation routes agree. The engine holds no views yet, so the
+     extracted pattern is materialized from the base document (a
+     fallback); the outer tagging plan is still instrumented. *)
+  let engine0 = Xengine.Engine.of_doc doc [] in
   let direct = Xquery.Translate.eval_direct doc query in
-  let via_patterns = Xquery.Translate.eval doc query in
+  let r = Xengine.Engine.query_ast engine0 query in
+  let via_patterns = r.Xengine.Engine.output in
   Printf.printf "\nresult (%d bytes):\n%s\n" (String.length via_patterns) via_patterns;
   assert (String.equal direct via_patterns);
   print_endline "(direct navigational evaluation agrees)";
+  Format.printf "engine: %a@." Xengine.Engine.pp_counters
+    (Xengine.Engine.counters engine0);
 
   (* Reuse the extracted pattern as a materialized view for a smaller
      query: titles of books with authors. *)
-  let summary = Xsummary.Summary.of_doc doc in
   let small_query =
     P.make
       [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Structural "book")
           [ P.v ~axis:P.Child ~sem:P.Semi "author" [];
             P.v ~axis:P.Child "title" ~node:(P.mk_node ~value:true "title") [] ] ]
   in
-  let views =
+  let specs =
     List.mapi
-      (fun i p -> { Xam.Rewrite.vname = Printf.sprintf "XQ%d" i; vpattern = p })
+      (fun i p -> (Printf.sprintf "XQ%d" i, p))
       extraction.Xquery.Extract.patterns
   in
   (* Also offer plain storage views, so a rewriting exists even when the
      extracted view is too narrow (it only has post-1995 books). *)
-  let views =
-    views
-    @ [ { Xam.Rewrite.vname = "allbooks";
-          vpattern =
-            P.make
-              [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Structural "book")
-                  [ P.v ~axis:P.Child ~sem:P.Nest_outer "author"
-                      ~node:(P.mk_node ~value:true "author") [];
-                    P.v ~axis:P.Child "title" ~node:(P.mk_node ~value:true "title") [] ] ] } ]
+  let specs =
+    specs
+    @ [ ( "allbooks",
+          P.make
+            [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Structural "book")
+                [ P.v ~axis:P.Child ~sem:P.Nest_outer "author"
+                    ~node:(P.mk_node ~value:true "author") [];
+                  P.v ~axis:P.Child "title" ~node:(P.mk_node ~value:true "title") [] ] ] )
+      ]
   in
-  let rewritings = Xam.Rewrite.rewrite summary ~query:small_query ~views in
-  Printf.printf "\nrewritings of the follow-up query: %d\n" (List.length rewritings);
-  List.iter
-    (fun (r : Xam.Rewrite.rewriting) ->
-      Printf.printf "- via %s (plan size %d)\n"
-        (String.concat ", " r.Xam.Rewrite.views_used)
-        (Xalgebra.Logical.size r.Xam.Rewrite.plan))
-    rewritings;
-  match Xam.Rewrite.best rewritings with
+  let engine = Xengine.Engine.of_doc doc specs in
+  match Xengine.Engine.query_opt engine small_query with
   | None -> print_endline "no rewriting found"
   | Some r ->
-      let env =
-        Xalgebra.Eval.env_of_list
-          (List.map
-             (fun (v : Xam.Rewrite.view) ->
-               (v.Xam.Rewrite.vname, Xam.Embed.eval doc v.Xam.Rewrite.vpattern))
-             views)
-      in
-      let out = Xalgebra.Eval.run env r.Xam.Rewrite.plan in
-      Format.printf "executed best rewriting:@.%a@." Xalgebra.Rel.pp out
+      let ex = r.Xengine.Engine.explain in
+      Printf.printf "\nrewritings of the follow-up query: %d; best via %s\n"
+        ex.Xengine.Explain.candidates
+        (String.concat ", " ex.Xengine.Explain.views_used);
+      Format.printf "executed best rewriting:@.%a@." Xalgebra.Rel.pp
+        r.Xengine.Engine.rel

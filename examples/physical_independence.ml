@@ -25,22 +25,25 @@ let () =
       ("path-partitioned (XQueC/Monet)", Xstorage.Models.path_partitioned summary);
       ("Hybrid-style inlining [105]", Xstorage.Models.inlined summary) ]
   in
+  (* One engine per storage model: the engine code is identical, only the
+     catalog changes — that's the independence. *)
   List.iter
     (fun (name, specs) ->
-      let catalog = Store.catalog_of doc specs in
-      let rewritings =
-        Xam.Rewrite.rewrite summary ~query ~views:(Store.views catalog)
-      in
-      match Xstorage.Cost.choose (Store.env catalog) rewritings with
+      let engine = Xengine.Engine.of_doc doc specs in
+      match Xengine.Engine.query_opt engine query with
       | None -> Printf.printf "%-32s no plan found\n" name
       | Some r ->
-          let out = Xalgebra.Eval.run (Store.env catalog) r.Xam.Rewrite.plan in
+          let out = r.Xengine.Engine.rel in
           Printf.printf "%-32s %2d modules → plan over {%s}: %d tuples%s\n" name
-            (List.length catalog.Store.modules)
+            (List.length (Xengine.Engine.catalog engine).Store.modules)
             (String.concat ", "
-               (List.sort_uniq compare (Xalgebra.Logical.scans r.Xam.Rewrite.plan)))
+               (List.sort_uniq compare
+                  (Xalgebra.Logical.scans r.Xengine.Engine.explain.Xengine.Explain.plan)))
             (Xalgebra.Rel.cardinality out)
-            (if Xalgebra.Rel.cardinality out = expected then "" else "  (MISMATCH!)"))
+            (if Xalgebra.Rel.cardinality out = expected then "" else "  (MISMATCH!)");
+          (* The same query again rides the plan cache. *)
+          let again = Xengine.Engine.query engine query in
+          assert again.Xengine.Engine.explain.Xengine.Explain.cache_hit)
     storages;
 
   (* Adding an index is just one more XAM in the catalog. *)

@@ -42,21 +42,24 @@ let () =
     (Xalgebra.Rel.cardinality m1) (Xalgebra.Rel.cardinality m2);
 
   (* 5. The query: book identifiers with their titles. Neither view alone
-     answers it — the rewriter finds the structural join. *)
+     answers it — the rewriter finds the structural join. The engine packs
+     rewrite → cost-based choice → streaming execution behind one call. *)
   let query =
     P.make
       [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Structural "book")
           [ P.v ~axis:P.Child "title" ~node:(P.mk_node ~value:true "title") [] ] ]
   in
-  let views = [ { Xam.Rewrite.vname = "V1"; vpattern = v1 };
-                { Xam.Rewrite.vname = "V2"; vpattern = v2 } ] in
-  let rewritings = Xam.Rewrite.rewrite summary ~query ~views in
-  Printf.printf "rewritings found: %d\n" (List.length rewritings);
-  match Xam.Rewrite.best rewritings with
+  let engine = Xengine.Engine.of_doc doc [ ("V1", v1); ("V2", v2) ] in
+  match Xengine.Engine.query_opt engine query with
   | None -> print_endline "no rewriting — the views cannot answer the query"
   | Some r ->
-      Format.printf "best plan:@.%a@.@." Xalgebra.Logical.pp r.Xam.Rewrite.plan;
-      (* 6. Execute the plan against the materialized views. *)
-      let env = Xalgebra.Eval.env_of_list [ ("V1", m1); ("V2", m2) ] in
-      let result = Xalgebra.Eval.run env r.Xam.Rewrite.plan in
-      Format.printf "result:@.%a@." Xalgebra.Rel.pp result
+      Format.printf "best plan:@.%a@.@." Xalgebra.Logical.pp
+        r.Xengine.Engine.explain.Xengine.Explain.plan;
+      Format.printf "EXPLAIN:@.%a@." Xengine.Explain.pp r.Xengine.Engine.explain;
+      Format.printf "result:@.%a@." Xalgebra.Rel.pp r.Xengine.Engine.rel;
+      (* 6. Ask again: the plan cache answers, no rewriting runs. *)
+      let again = Xengine.Engine.query engine query in
+      Format.printf "repeated query: cache %s; %a@."
+        (if again.Xengine.Engine.explain.Xengine.Explain.cache_hit then "HIT" else "MISS")
+        Xengine.Engine.pp_counters
+        (Xengine.Engine.counters engine)

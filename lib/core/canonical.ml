@@ -95,6 +95,35 @@ let annotations s (pat : Pattern.t) : (int, int list) Hashtbl.t =
     pat.roots;
   ann
 
+(* --- Cache keys ----------------------------------------------------------- *)
+
+(* A stable identity for a query pattern under a given summary, cheap
+   relative to rewriting: the pattern's structural print (invariant under
+   construction order — [Pattern.make] numbers nodes in pre-order) joined
+   with the path annotation of every node. Two patterns with equal keys
+   embed identically into the summary, so a plan cached for one answers
+   the other. *)
+let cache_key s (pat : Pattern.t) : string =
+  let stripped = Pattern.strip_nesting (Pattern.strip_optional pat) in
+  let ann = annotations s stripped in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Pattern.to_string pat);
+  List.iter
+    (fun (n : Pattern.node) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (string_of_int n.Pattern.nid);
+      Buffer.add_char buf ':';
+      match Hashtbl.find_opt ann n.Pattern.nid with
+      | None -> ()
+      | Some paths ->
+          List.iter
+            (fun p ->
+              Buffer.add_string buf (string_of_int p);
+              Buffer.add_char buf ',')
+            (List.sort Int.compare paths))
+    (Pattern.nodes stripped);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let path_annotation s pat nid =
   let pat = Pattern.strip_nesting (Pattern.strip_optional pat) in
   match Hashtbl.find_opt (annotations s pat) nid with

@@ -54,6 +54,14 @@ val path_annotation : Summary.t -> Pattern.t -> int -> int list
 (** The set of summary paths a pattern node can bind to (Def 4.3.1), in
     increasing path order. *)
 
+val cache_key : Summary.t -> Pattern.t -> string
+(** A stable digest identifying the pattern under the summary: its
+    structural print plus every node's path annotation. Equal keys mean
+    structurally equal patterns with identical embeddings, so a rewriting
+    cached under one key answers any pattern producing the same key —
+    the plan-cache key of {!Xengine.Engine}. Much cheaper than rewriting:
+    one annotation pass over the summary. *)
+
 val eval_on_tree : ?constraints:bool -> Pattern.t -> Summary.t -> ctree -> int array list
 (** Evaluate a pattern over a canonical tree under optional-embedding
     semantics with decorated (formula-implication) matching: the tuples of

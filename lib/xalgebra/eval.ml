@@ -2,7 +2,14 @@ type env = string -> Rel.t option
 
 exception Unknown_relation of string
 
-let env_of_list bindings name = List.assoc_opt name bindings
+let env_of_list bindings =
+  (* Hashtable-backed: plans scan the same few names many times, and
+     catalogs can hold hundreds of modules. *)
+  let tbl = Hashtbl.create (max 16 (List.length bindings)) in
+  List.iter
+    (fun (name, r) -> if not (Hashtbl.mem tbl name) then Hashtbl.add tbl name r)
+    bindings;
+  fun name -> Hashtbl.find_opt tbl name
 
 (* --- Structural matching ------------------------------------------------ *)
 
@@ -352,7 +359,16 @@ let rec eval_template buf schema tuple template =
 
 (* --- Interpreter -------------------------------------------------------- *)
 
-let rec run env plan =
+(* [step recurse env plan] evaluates only the top operator of [plan]
+   set-at-a-time, obtaining every input relation through [recurse]. The
+   plain interpreter ties the knot with [recurse = run]; the physical
+   layer ties it with a cursor-draining callback, so a non-streamable
+   operator materializes just its own inputs while everything below keeps
+   piping cursors (the streaming discipline of §1.2.3). *)
+let rec run env plan = step run env plan
+
+and step recurse env plan =
+  let run = recurse in
   match plan with
   | Logical.Scan name -> (
       match env name with Some r -> r | None -> raise (Unknown_relation name))
@@ -505,7 +521,9 @@ let rec run env plan =
           in
           Rel.make (Rel.concat_schemas keep_schema sub) tuples
       | _ -> invalid_arg "Eval: unnest only supports top-level columns")
-  | Logical.Sort (path, input) -> Rel.sort_by (run env input).Rel.schema path (run env input)
+  | Logical.Sort (path, input) ->
+      let r = run env input in
+      Rel.sort_by r.Rel.schema path r
   | Logical.Xml (template, input) ->
       let r = run env input in
       Rel.make [ Rel.atom "xml" ]

@@ -23,6 +23,13 @@ val run : env -> Logical.t -> Rel.t
 val run_closed : Logical.t -> Rel.t
 (** Evaluate a plan with no [Scan] leaves. *)
 
+val step : (env -> Logical.t -> Rel.t) -> env -> Logical.t -> Rel.t
+(** [step recurse env plan] evaluates only the top operator of [plan],
+    obtaining every input relation through [recurse]. [run] is
+    [step run]; the physical layer passes a cursor-draining callback so
+    that a non-streamable operator materializes just its own inputs while
+    the subplans below keep piping cursors. *)
+
 val eval_template :
   Buffer.t -> Rel.schema -> Rel.tuple -> Logical.template -> unit
 (** Expand an XML construction template against one tuple (used by the

@@ -147,6 +147,27 @@ let stack_tree_anc ~axis (ancs : (Nid.t * Rel.tuple) array)
 
 exception Fallback
 
+(* Compilation context: the evaluation environment plus a hook applied to
+   every compiled operator — identity for plain compilation, a
+   stats-wrapping closure for instrumented runs. *)
+type ctx = { env : Eval.env; wrap : Logical.t -> t -> t }
+
+let sub_plans = function
+  | Logical.Scan _ | Logical.Table _ -> []
+  | Logical.Select (_, i)
+  | Logical.Project { input = i; _ }
+  | Logical.Rename (_, i)
+  | Logical.Reorder (_, i)
+  | Logical.Extract { input = i; _ }
+  | Logical.Derive { input = i; _ }
+  | Logical.Nest { input = i; _ }
+  | Logical.Unnest (_, i)
+  | Logical.Sort (_, i)
+  | Logical.Xml (_, i) -> [ i ]
+  | Logical.Product (l, r) | Logical.Union (l, r) | Logical.Diff (l, r) -> [ l; r ]
+  | Logical.Join { left; right; _ } | Logical.Struct_join { left; right; _ } ->
+      [ left; right ]
+
 (* Column holding the identifier, when the path is a single top-level
    component. *)
 let top_col schema path =
@@ -179,18 +200,44 @@ let sort_tuples i tuples =
       | _ -> 0)
     tuples
 
-(* Materialize the delegated operators through the set-at-a-time engine. *)
-let delegate env plan : t =
-  let result = Eval.run env plan in
-  { schema = result.Rel.schema; order = None; open_ = (fun () -> of_list result.Rel.tuples) }
+let rec compile_ctx (ctx : ctx) (plan : Logical.t) : t =
+  let p =
+    match compile_streaming ctx plan with
+    | p -> p
+    | exception Fallback -> delegate ctx plan
+  in
+  ctx.wrap plan p
 
-let rec compile (env : Eval.env) (plan : Logical.t) : t =
-  match compile_streaming env plan with p -> p | exception Fallback -> delegate env plan
+(* A non-streamable operator evaluates set-at-a-time — but only itself:
+   its inputs are still compiled to cursors and drained on demand, so the
+   subplans below keep pipelining (and keep their instrumentation). The
+   materialization is deferred to the first [open_]. *)
+and delegate ctx plan : t =
+  let compiled = List.map (fun sub -> (sub, compile_ctx ctx sub)) (sub_plans plan) in
+  let via _env sub =
+    match List.find_map (fun (n, p) -> if n == sub then Some p else None) compiled with
+    | Some p -> Rel.make p.schema (drain (p.open_ ()))
+    | None -> Eval.run ctx.env sub
+  in
+  let result = lazy (Eval.step via ctx.env plan) in
+  let schema =
+    match
+      Logical.schema (fun name -> Option.map (fun r -> r.Rel.schema) (ctx.env name)) plan
+    with
+    | schema -> schema
+    | exception _ -> (Lazy.force result).Rel.schema
+  in
+  { schema; order = None; open_ = (fun () -> of_list (Lazy.force result).Rel.tuples) }
 
-and compile_streaming env plan : t =
+and compile_streaming ctx plan : t =
+  (* The [env] threaded through the operator cases below is the whole
+     compilation context; only [Scan] reaches inside for the actual
+     environment. *)
+  let compile = compile_ctx in
+  let env = ctx in
   match plan with
   | Logical.Scan name -> (
-      match env name with
+      match ctx.env name with
       | None -> raise (Eval.Unknown_relation name)
       | Some r ->
           let order =
@@ -459,8 +506,8 @@ and nested_loop_join kind pred pl pr : t =
         in
         next) }
 
-and struct_join_stream env kind axis lpath rpath left right : t =
-  let pl = compile env left and pr = compile env right in
+and struct_join_stream ctx kind axis lpath rpath left right : t =
+  let pl = compile_ctx ctx left and pr = compile_ctx ctx right in
   let li = match top_col pl.schema lpath with Some i -> i | None -> raise Fallback in
   let ri = match top_col pr.schema rpath with Some i -> i | None -> raise Fallback in
   ignore kind;
@@ -486,6 +533,89 @@ and struct_join_stream env kind axis lpath rpath left right : t =
         let pairs = stack_tree_desc ~axis:axis' ancs descs in
         of_list (List.map (fun (a, d) -> Rel.concat_tuples a d) pairs)) }
 
+let compile env plan = compile_ctx { env; wrap = (fun _ p -> p) } plan
+
 let run env plan =
   let p = compile env plan in
   Rel.make p.schema (drain (p.open_ ()))
+
+(* --- Per-operator instrumentation ----------------------------------------- *)
+
+type op_stats = {
+  op : string;
+  mutable tuples : int;
+  mutable nexts : int;
+  mutable elapsed : float;
+  mutable children : op_stats list;
+}
+
+let kind_str = function
+  | Logical.Inner -> "inner"
+  | Logical.LeftOuter -> "outer"
+  | Logical.Semi -> "semi"
+  | Logical.NestJoin -> "nest"
+  | Logical.NestOuter -> "nest-outer"
+
+let op_name = function
+  | Logical.Scan name -> "scan " ^ name
+  | Logical.Table _ -> "table"
+  | Logical.Select _ -> "select"
+  | Logical.Project _ -> "project"
+  | Logical.Product _ -> "product"
+  | Logical.Join { kind; _ } -> Printf.sprintf "join[%s]" (kind_str kind)
+  | Logical.Struct_join { kind; axis; _ } ->
+      Printf.sprintf "struct-join[%s,%s]" (kind_str kind)
+        (match axis with Logical.Child -> "/" | Logical.Descendant -> "//")
+  | Logical.Union _ -> "union"
+  | Logical.Diff _ -> "diff"
+  | Logical.Rename _ -> "rename"
+  | Logical.Reorder _ -> "reorder"
+  | Logical.Extract _ -> "extract"
+  | Logical.Derive _ -> "derive"
+  | Logical.Nest _ -> "nest"
+  | Logical.Unnest _ -> "unnest"
+  | Logical.Sort _ -> "sort"
+  | Logical.Xml _ -> "xml"
+
+let fresh_stats node =
+  { op = op_name node; tuples = 0; nexts = 0; elapsed = 0.0; children = [] }
+
+let compile_instrumented ?(clock = Sys.time) env plan =
+  (* Every compiled operator gets a stats node counting next() calls,
+     tuples produced and wall time (inclusive of its inputs, since a
+     parent's next() pulls on its children). Keyed by physical identity of
+     the logical node; when a node is compiled twice (a streaming attempt
+     discarded by a later Fallback), the later — actually executed —
+     registration wins. *)
+  let table : (Logical.t * op_stats) list ref = ref [] in
+  let wrap node p =
+    let st = fresh_stats node in
+    table := (node, st) :: !table;
+    { p with
+      open_ =
+        (fun () ->
+          let c = p.open_ () in
+          fun () ->
+            let t0 = clock () in
+            let r = c () in
+            st.elapsed <- st.elapsed +. (clock () -. t0);
+            st.nexts <- st.nexts + 1;
+            (match r with Some _ -> st.tuples <- st.tuples + 1 | None -> ());
+            r) }
+  in
+  let p = compile_ctx { env; wrap } plan in
+  let find node =
+    List.find_map (fun (n, st) -> if n == node then Some st else None) !table
+  in
+  (* Mirror the logical plan. A subtree folded into a set-at-a-time
+     ancestor before ever being compiled shows up with zero counts. *)
+  let rec build node =
+    let st = match find node with Some st -> st | None -> fresh_stats node in
+    st.children <- List.map build (sub_plans node);
+    st
+  in
+  (p, build plan)
+
+let run_instrumented ?clock env plan =
+  let p, stats = compile_instrumented ?clock env plan in
+  (Rel.make p.schema (drain (p.open_ ())), stats)

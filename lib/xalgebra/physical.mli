@@ -34,6 +34,31 @@ val compile : Eval.env -> Logical.t -> t
 val run : Eval.env -> Logical.t -> Rel.t
 (** Compile and drain. *)
 
+(** {1 Per-operator instrumentation} *)
+
+type op_stats = {
+  op : string;  (** operator name, e.g. ["struct-join[inner,/]"] *)
+  mutable tuples : int;  (** tuples produced *)
+  mutable nexts : int;  (** next() calls received *)
+  mutable elapsed : float;
+      (** seconds spent inside this operator's cursor, inclusive of its
+          inputs (a parent's next() pulls on its children) *)
+  mutable children : op_stats list;
+}
+(** One stats node per operator of the logical plan, mirroring its
+    shape. Counters fill in as the compiled cursor is drained. *)
+
+val compile_instrumented :
+  ?clock:(unit -> float) -> Eval.env -> Logical.t -> t * op_stats
+(** Compile with every operator's cursor wrapped in a counting node.
+    [clock] (default [Sys.time]) supplies timestamps in seconds — pass
+    [Unix.gettimeofday] for wall-clock resolution. The returned stats tree
+    is live: its counters update as the plan executes. *)
+
+val run_instrumented :
+  ?clock:(unit -> float) -> Eval.env -> Logical.t -> Rel.t * op_stats
+(** [compile_instrumented] then drain; the stats are final on return. *)
+
 val stack_tree_desc :
   axis:Logical.axis ->
   (Xdm.Nid.t * Rel.tuple) array ->

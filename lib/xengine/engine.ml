@@ -1,0 +1,190 @@
+module Pattern = Xam.Pattern
+module Rewrite = Xam.Rewrite
+module Canonical = Xam.Canonical
+module Rel = Xalgebra.Rel
+module Eval = Xalgebra.Eval
+module Physical = Xalgebra.Physical
+module Value = Xalgebra.Value
+module Store = Xstorage.Store
+module Cost = Xstorage.Cost
+
+exception No_rewriting of string
+
+type counters = {
+  mutable queries : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable rewrites : int;
+  mutable fallbacks : int;
+}
+
+(* A cached planning outcome; [None] caches the negative answer so a
+   repeatedly unanswerable query skips the rewriter too. *)
+type cached = { rewriting : Rewrite.rewriting option; cost : float; candidates : int }
+
+type t = {
+  mutable catalog : Store.catalog;
+  mutable generation : int;
+  mutable env : Eval.env;
+  doc : Xdm.Doc.t option;
+  cache : cached Lru.t;
+  counters : counters;
+  constraints : bool;
+  max_views : int;
+}
+
+type result = { rel : Rel.t; explain : Explain.t }
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let create ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3) ?doc catalog =
+  { catalog;
+    generation = 0;
+    env = Store.env catalog;
+    doc;
+    cache = Lru.create cache_capacity;
+    counters = { queries = 0; hits = 0; misses = 0; rewrites = 0; fallbacks = 0 };
+    constraints;
+    max_views }
+
+let of_doc ?cache_capacity ?constraints ?max_views doc specs =
+  create ?cache_capacity ?constraints ?max_views ~doc (Store.catalog_of doc specs)
+
+let catalog t = t.catalog
+let counters t = t.counters
+let env t = t.env
+let summary t = t.catalog.Store.summary
+let cache_length t = Lru.length t.cache
+
+let set_catalog t catalog =
+  (* Entries of earlier generations become unreachable (the key embeds
+     the generation) and age out of the LRU. *)
+  t.catalog <- catalog;
+  t.generation <- t.generation + 1;
+  t.env <- Store.env catalog
+
+let add_module t m =
+  set_catalog t { t.catalog with Store.modules = t.catalog.Store.modules @ [ m ] }
+
+let cache_key t pattern =
+  Printf.sprintf "%s@%d"
+    (Canonical.cache_key t.catalog.Store.summary pattern)
+    t.generation
+
+(* Plan the pattern: consult the cache, otherwise rewrite against the
+   catalog's views and rank by cost. Returns the outcome, whether it was
+   a hit, and the planning time in ms (0 on a hit). *)
+let plan_for t pattern =
+  let key = cache_key t pattern in
+  match Lru.find t.cache key with
+  | Some c ->
+      t.counters.hits <- t.counters.hits + 1;
+      (c, true, 0.0)
+  | None ->
+      t.counters.misses <- t.counters.misses + 1;
+      t.counters.rewrites <- t.counters.rewrites + 1;
+      let t0 = now_ms () in
+      let rws =
+        Rewrite.rewrite ~constraints:t.constraints ~max_views:t.max_views
+          t.catalog.Store.summary ~query:pattern ~views:(Store.views t.catalog)
+      in
+      let c =
+        match Cost.choose_with_cost t.env rws with
+        | Some (r, cost) ->
+            { rewriting = Some r; cost; candidates = List.length rws }
+        | None -> { rewriting = None; cost = Float.nan; candidates = 0 }
+      in
+      Lru.add t.cache key c;
+      (c, false, now_ms () -. t0)
+
+let execute t pattern (c : cached) cache_hit rewrite_ms (r : Rewrite.rewriting) =
+  let t0 = now_ms () in
+  let rel, stats =
+    Physical.run_instrumented ~clock:Unix.gettimeofday t.env r.Rewrite.plan
+  in
+  let exec_ms = now_ms () -. t0 in
+  { rel;
+    explain =
+      { Explain.query = pattern;
+        views_used = r.Rewrite.views_used;
+        plan = r.Rewrite.plan;
+        cost = c.cost;
+        candidates = c.candidates;
+        cache_hit;
+        rewrite_ms;
+        exec_ms;
+        stats } }
+
+let query t pattern =
+  t.counters.queries <- t.counters.queries + 1;
+  let c, hit, rewrite_ms = plan_for t pattern in
+  match c.rewriting with
+  | Some r -> execute t pattern c hit rewrite_ms r
+  | None ->
+      raise
+        (No_rewriting
+           (Format.asprintf "no rewriting over the catalog for:@.%a" Pattern.pp pattern))
+
+let query_opt t pattern =
+  match query t pattern with r -> Some r | exception No_rewriting _ -> None
+
+(* Pattern extent: through the planner when the views can answer it,
+   falling back to direct embedding over the base document when the
+   engine holds one. *)
+let extent t pattern =
+  match query_opt t pattern with
+  | Some r -> (r.rel, Some r.explain)
+  | None -> (
+      match t.doc with
+      | Some doc ->
+          t.counters.fallbacks <- t.counters.fallbacks + 1;
+          (Xam.Embed.eval doc pattern, None)
+      | None ->
+          raise
+            (No_rewriting
+               (Format.asprintf
+                  "no rewriting and no base document for:@.%a" Pattern.pp pattern)))
+
+type xquery_result = {
+  output : string;
+  pattern_explains : Explain.t option list;
+      (** per extracted pattern; [None] when the pattern was materialized
+          from the base document rather than rewritten over views *)
+  xquery_stats : Physical.op_stats;  (** the outer tagging plan *)
+}
+
+let query_ast t ast =
+  let e = Xquery.Extract.extract ast in
+  let bound =
+    List.mapi
+      (fun i pat ->
+        let rel, explain = extent t pat in
+        (Xquery.Translate.scan_name i, rel, explain))
+      e.Xquery.Extract.patterns
+  in
+  let env = Eval.env_of_list (List.map (fun (n, r, _) -> (n, r)) bound) in
+  let rel, stats =
+    Physical.run_instrumented ~clock:Unix.gettimeofday env (Xquery.Translate.plan e)
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun tu ->
+      match tu.(0) with
+      | Rel.A (Value.Str s) -> Buffer.add_string buf s
+      | Rel.A v -> Buffer.add_string buf (Value.to_display v)
+      | Rel.N _ -> ())
+    rel.Rel.tuples;
+  { output = Buffer.contents buf;
+    pattern_explains = List.map (fun (_, _, ex) -> ex) bound;
+    xquery_stats = stats }
+
+let query_string t src = query_ast t (Xquery.Parse.query src)
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "queries %d, plan cache %d hit%s / %d miss%s, rewrites %d, fallbacks %d"
+    c.queries c.hits
+    (if c.hits = 1 then "" else "s")
+    c.misses
+    (if c.misses = 1 then "" else "es")
+    c.rewrites c.fallbacks

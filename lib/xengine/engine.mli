@@ -1,0 +1,98 @@
+(** The unified query engine: one entry point running
+    extract → rewrite → cost-based choice → streaming physical execution
+    over a XAM catalog, with an LRU plan cache and per-operator
+    instrumentation.
+
+    The engine's only knowledge of the storage is the catalog's view
+    definitions — swapping catalogs swaps the physical layout, never the
+    engine (§2.1.4's physical data independence, packaged the way the
+    ULoad prototype packages it). Repeated queries hit the plan cache and
+    skip rewriting and containment entirely — the dominant cost in the
+    E-series experiments — keyed on {!Xam.Canonical.cache_key} and the
+    catalog generation, so catalog changes invalidate stale plans. *)
+
+exception No_rewriting of string
+
+type counters = {
+  mutable queries : int;  (** {!query} calls *)
+  mutable hits : int;  (** plan-cache hits (incl. XQuery pattern probes) *)
+  mutable misses : int;  (** plan-cache misses *)
+  mutable rewrites : int;  (** rewriter invocations (= misses) *)
+  mutable fallbacks : int;
+      (** XQuery patterns materialized from the base document *)
+}
+
+type t
+
+type result = { rel : Xalgebra.Rel.t; explain : Explain.t }
+
+val create :
+  ?cache_capacity:int ->
+  ?constraints:bool ->
+  ?max_views:int ->
+  ?doc:Xdm.Doc.t ->
+  Xstorage.Store.catalog ->
+  t
+(** [cache_capacity] (default 128) bounds the plan cache; [constraints]
+    (default [true]) and [max_views] (default 3) are passed to the
+    rewriter. [doc] enables the base-document fallback of the XQuery
+    front door for patterns no view can answer. *)
+
+val of_doc :
+  ?cache_capacity:int ->
+  ?constraints:bool ->
+  ?max_views:int ->
+  Xdm.Doc.t ->
+  (string * Xam.Pattern.t) list ->
+  t
+(** Materialize the specs into a catalog ({!Xstorage.Store.catalog_of})
+    and keep the document as the XQuery fallback. *)
+
+val query : t -> Xam.Pattern.t -> result
+(** Answer a pattern query from the catalog alone: plan (cache or
+    rewrite + {!Xstorage.Cost.choose}) then execute the physical plan,
+    cursors piped end-to-end and every operator instrumented. Raises
+    {!No_rewriting} when the views cannot answer the pattern. *)
+
+val query_opt : t -> Xam.Pattern.t -> result option
+
+(** {1 XQuery front door} *)
+
+type xquery_result = {
+  output : string;  (** the serialized XML result *)
+  pattern_explains : Explain.t option list;
+      (** one per extracted pattern; [None] when the pattern was
+          materialized from the base document rather than rewritten *)
+  xquery_stats : Xalgebra.Physical.op_stats;
+      (** instrumentation of the outer tagging plan *)
+}
+
+val query_string : t -> string -> xquery_result
+(** Parse ({!Xquery.Parse}), extract the maximal patterns
+    ({!Xquery.Extract}), answer each pattern through the planner (plan
+    cache included), then run the tagging plan over the pattern extents.
+    Raises {!No_rewriting} when a pattern has neither a rewriting nor a
+    base document to fall back to, and {!Xquery.Parse.Syntax_error} on
+    bad input. *)
+
+val query_ast : t -> Xquery.Ast.expr -> xquery_result
+
+(** {1 Catalog management} *)
+
+val catalog : t -> Xstorage.Store.catalog
+val summary : t -> Xsummary.Summary.t
+val env : t -> Xalgebra.Eval.env
+
+val set_catalog : t -> Xstorage.Store.catalog -> unit
+(** Swap the catalog and bump the generation: cached plans for the old
+    catalog can no longer be returned (the cache key embeds the
+    generation) and age out of the LRU. *)
+
+val add_module : t -> Xstorage.Store.module_ -> unit
+(** Append one module (e.g. a freshly built index) — a catalog swap. *)
+
+(** {1 Observability} *)
+
+val counters : t -> counters
+val cache_length : t -> int
+val pp_counters : Format.formatter -> counters -> unit

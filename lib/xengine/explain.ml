@@ -1,0 +1,36 @@
+module Pattern = Xam.Pattern
+module Logical = Xalgebra.Logical
+module Physical = Xalgebra.Physical
+
+type t = {
+  query : Pattern.t;
+  views_used : string list;
+  plan : Logical.t;
+  cost : float;
+  candidates : int;
+  cache_hit : bool;
+  rewrite_ms : float;
+  exec_ms : float;
+  stats : Physical.op_stats;
+}
+
+let rec pp_stats ppf ~indent (st : Physical.op_stats) =
+  Format.fprintf ppf "%s%-*s %8d tuples %8d next() %9.3f ms@," indent
+    (max 1 (34 - String.length indent))
+    st.Physical.op st.Physical.tuples st.Physical.nexts
+    (st.Physical.elapsed *. 1000.0);
+  List.iter (pp_stats ppf ~indent:(indent ^ "  ")) st.Physical.children
+
+let pp ppf e =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "rewriting: via %s  (cost %.1f, %d candidate%s, plan cache %s)@,"
+    (match e.views_used with [] -> "(no views)" | vs -> String.concat ", " vs)
+    e.cost e.candidates
+    (if e.candidates = 1 then "" else "s")
+    (if e.cache_hit then "HIT" else "MISS");
+  Format.fprintf ppf "timings: rewrite %.2f ms, execute %.2f ms@," e.rewrite_ms e.exec_ms;
+  Format.fprintf ppf "operators:@,";
+  pp_stats ppf ~indent:"  " e.stats;
+  Format.fprintf ppf "@]"
+
+let to_string e = Format.asprintf "%a" pp e

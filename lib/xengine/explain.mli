@@ -1,0 +1,21 @@
+(** EXPLAIN output: the chosen rewriting plus the executed plan's
+    annotated operator tree — the engine's observability surface.
+
+    Each {!Xalgebra.Physical.op_stats} node carries the tuples produced,
+    next() calls received and wall time of one physical operator; the
+    tree mirrors the logical plan. *)
+
+type t = {
+  query : Xam.Pattern.t;
+  views_used : string list;  (** views the chosen rewriting reads *)
+  plan : Xalgebra.Logical.t;  (** the executed logical plan *)
+  cost : float;  (** the optimizer's estimate for [plan] *)
+  candidates : int;  (** rewritings the optimizer ranked *)
+  cache_hit : bool;  (** [true] when the plan came from the cache *)
+  rewrite_ms : float;  (** rewriting + costing time; [0.] on a cache hit *)
+  exec_ms : float;  (** execution wall time *)
+  stats : Xalgebra.Physical.op_stats;  (** annotated operator tree *)
+}
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

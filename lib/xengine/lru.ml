@@ -1,0 +1,58 @@
+(* Recency is a monotonically increasing tick per entry. Eviction scans
+   for the minimal tick — O(capacity), which is trivial next to the
+   rewriting work a cache miss costs (capacities are in the hundreds). *)
+
+type 'a entry = { value : 'a; mutable tick : int }
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable evicted : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; table = Hashtbl.create capacity; clock = 0; evicted = 0 }
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.tick <- t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some e ->
+      touch t e;
+      Some e.value
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, tick) when tick <= e.tick -> acc
+        | _ -> Some (key, e.tick))
+      t.table None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evicted <- t.evicted + 1
+  | None -> ()
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some _ -> Hashtbl.remove t.table key
+  | None -> if Hashtbl.length t.table >= t.capacity then evict_lru t);
+  let e = { value; tick = 0 } in
+  touch t e;
+  Hashtbl.add t.table key e
+
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+let evictions t = t.evicted
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.clock <- 0

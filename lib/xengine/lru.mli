@@ -1,0 +1,24 @@
+(** A small string-keyed LRU map, backing the engine's plan cache.
+
+    Lookups refresh recency; inserts beyond capacity evict the least
+    recently used entry. Not thread-safe (neither is the engine). *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity]; capacity must be positive. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup, refreshing the entry's recency on a hit. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace, evicting the least recently used entry when the
+    capacity would be exceeded. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val evictions : 'a t -> int
+(** Entries evicted since creation. *)
+
+val clear : 'a t -> unit

@@ -73,7 +73,7 @@ let rec estimate env (plan : Logical.t) : float =
   | Logical.Union (l, r) | Logical.Diff (l, r) ->
       estimate env l +. estimate env r +. cardinality env plan
 
-let choose env rewritings =
+let choose_with_cost env rewritings =
   List.fold_left
     (fun best (r : Xam.Rewrite.rewriting) ->
       let c = estimate env r.Xam.Rewrite.plan in
@@ -81,4 +81,5 @@ let choose env rewritings =
       | Some (_, bc) when bc <= c -> best
       | _ -> Some (r, c))
     None rewritings
-  |> Option.map fst
+
+let choose env rewritings = Option.map fst (choose_with_cost env rewritings)

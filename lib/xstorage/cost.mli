@@ -14,3 +14,9 @@ val estimate : Xalgebra.Eval.env -> Xalgebra.Logical.t -> float
 val choose :
   Xalgebra.Eval.env -> Xam.Rewrite.rewriting list -> Xam.Rewrite.rewriting option
 (** The cheapest rewriting under {!estimate}. *)
+
+val choose_with_cost :
+  Xalgebra.Eval.env ->
+  Xam.Rewrite.rewriting list ->
+  (Xam.Rewrite.rewriting * float) option
+(** {!choose} with the winning estimate attached (reported by EXPLAIN). *)

@@ -12,10 +12,15 @@ let catalog_of doc specs =
   { summary = Xsummary.Summary.of_doc doc;
     modules = List.map (fun (name, xam) -> materialize doc name xam) specs }
 
-let env catalog name =
-  List.find_map
-    (fun m -> if String.equal m.name name then Some m.extent else None)
-    catalog.modules
+let env catalog =
+  (* Hashtable-backed: executed plans resolve the same module names on
+     every scan, and catalogs (one module per summary path, say) can hold
+     hundreds of modules. *)
+  let tbl = Hashtbl.create (max 16 (List.length catalog.modules)) in
+  List.iter
+    (fun m -> if not (Hashtbl.mem tbl m.name) then Hashtbl.add tbl m.name m.extent)
+    catalog.modules;
+  fun name -> Hashtbl.find_opt tbl name
 
 let views catalog =
   List.filter_map
@@ -32,17 +37,25 @@ let index_views catalog =
       else None)
     catalog.modules
 
-let lookup m ~bindings =
+let lookup_seq m ~bindings : Rel.tuple Seq.t =
+  (* Restricted access as a cursor: tuples stream out as the extent is
+     walked, deduplicated on the fly, so a consumer that stops early never
+     pays for the rest of the extent. *)
   let bsch = Xam.Binding.binding_schema m.xam in
-  let tuples =
-    List.concat_map
-      (fun b ->
-        List.filter_map
-          (fun t -> Xam.Binding.intersect m.extent.Rel.schema bsch t b)
-          m.extent.Rel.tuples)
-      bindings
-  in
-  Rel.make m.extent.Rel.schema (Rel.dedup_tuples tuples)
+  let seen = Hashtbl.create 64 in
+  List.to_seq bindings
+  |> Seq.concat_map (fun b ->
+         List.to_seq m.extent.Rel.tuples
+         |> Seq.filter_map (fun t -> Xam.Binding.intersect m.extent.Rel.schema bsch t b))
+  |> Seq.filter (fun t ->
+         let key = Marshal.to_string t [] in
+         if Hashtbl.mem seen key then false
+         else (
+           Hashtbl.add seen key ();
+           true))
+
+let lookup m ~bindings =
+  Rel.make m.extent.Rel.schema (List.of_seq (lookup_seq m ~bindings))
 
 let total_tuples catalog =
   List.fold_left (fun acc m -> acc + Rel.cardinality m.extent) 0 catalog.modules

@@ -39,5 +39,11 @@ val lookup : module_ -> bindings:Xalgebra.Rel.tuple list -> Xalgebra.Rel.t
 (** Restricted access (Def 2.2.6): the data reachable from the given
     binding tuples over the module's {!Xam.Binding.binding_schema}. *)
 
+val lookup_seq :
+  module_ -> bindings:Xalgebra.Rel.tuple list -> Xalgebra.Rel.tuple Seq.t
+(** {!lookup} as a cursor: matching tuples stream out (deduplicated on
+    the fly) as the extent is walked, so an early-exiting consumer never
+    pays for the rest of the extent. The schema is the module extent's. *)
+
 val total_tuples : catalog -> int
 val pp : Format.formatter -> catalog -> unit

@@ -1,0 +1,117 @@
+(* The unified engine: end-to-end query answering, the plan cache
+   (hits, negative caching, generation-based invalidation), the EXPLAIN
+   surface and the XQuery front door. *)
+
+module P = Xam.Pattern
+module Rel = Xalgebra.Rel
+module Ph = Xalgebra.Physical
+module Engine = Xengine.Engine
+module Explain = Xengine.Explain
+
+let doc = Xworkload.Gen_bib.generate_doc ~seed:5 ~books:20 ~theses:8 ()
+
+let v1 = P.make [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Structural "book") [] ]
+
+let v2 =
+  P.make
+    [ P.v "title" ~node:(P.mk_node ~id:Xdm.Nid.Structural ~value:true "title") [] ]
+
+let query =
+  P.make
+    [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Structural "book")
+        [ P.v ~axis:P.Child "title" ~node:(P.mk_node ~value:true "title") [] ] ]
+
+let fresh () = Engine.of_doc doc [ ("V1", v1); ("V2", v2) ]
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_end_to_end () =
+  let e = fresh () in
+  let r = Engine.query e query in
+  let direct = Xam.Embed.eval doc query in
+  Alcotest.(check int) "engine result matches direct embedding"
+    (Rel.cardinality direct)
+    (Rel.cardinality r.Engine.rel);
+  Alcotest.(check bool) "first query misses the cache" false
+    r.Engine.explain.Explain.cache_hit;
+  Alcotest.(check bool) "chosen rewriting reads both views" true
+    (List.sort compare r.Engine.explain.Explain.views_used = [ "V1"; "V2" ])
+
+let test_cache_hit () =
+  let e = fresh () in
+  let r1 = Engine.query e query in
+  let c = Engine.counters e in
+  Alcotest.(check int) "one rewrite after the first query" 1 c.Engine.rewrites;
+  let r2 = Engine.query e query in
+  Alcotest.(check bool) "second query hits the cache" true
+    r2.Engine.explain.Explain.cache_hit;
+  Alcotest.(check int) "hit counter incremented" 1 c.Engine.hits;
+  Alcotest.(check int) "rewrite not re-run" 1 c.Engine.rewrites;
+  Alcotest.(check int) "cached plan gives the same result"
+    (Rel.cardinality r1.Engine.rel)
+    (Rel.cardinality r2.Engine.rel)
+
+let test_cache_invalidation () =
+  let e = fresh () in
+  ignore (Engine.query e query);
+  (* Any catalog swap bumps the generation; the old entry is unreachable. *)
+  Engine.set_catalog e (Engine.catalog e);
+  let r = Engine.query e query in
+  Alcotest.(check bool) "catalog swap invalidates the cache" false
+    r.Engine.explain.Explain.cache_hit;
+  Alcotest.(check int) "rewrite ran again" 2 (Engine.counters e).Engine.rewrites
+
+let test_negative_caching () =
+  let e = Engine.of_doc doc [] in
+  Alcotest.(check bool) "no views, no rewriting" true
+    (Engine.query_opt e query = None);
+  Alcotest.(check bool) "still none" true (Engine.query_opt e query = None);
+  let c = Engine.counters e in
+  Alcotest.(check int) "the negative outcome was cached" 1 c.Engine.rewrites;
+  Alcotest.(check int) "second probe was a hit" 1 c.Engine.hits
+
+let test_explain_output () =
+  let e = fresh () in
+  let r = Engine.query e query in
+  let s = Explain.to_string r.Engine.explain in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "EXPLAIN mentions %S" needle) true
+        (contains s needle))
+    [ "tuples"; "next()"; "scan V1"; "scan V2"; "plan cache MISS" ];
+  (* The stats tree carries real per-operator tuple counts. *)
+  let root = r.Engine.explain.Explain.stats in
+  Alcotest.(check bool) "root operator produced tuples" true (root.Ph.tuples > 0);
+  Alcotest.(check bool) "root operator saw next() calls" true (root.Ph.nexts > 0);
+  let rec any f (n : Ph.op_stats) = f n || List.exists (any f) n.Ph.children in
+  Alcotest.(check bool) "a scan leaf is instrumented" true
+    (any (fun n -> contains n.Ph.op "scan" && n.Ph.tuples > 0) root)
+
+let test_xquery_front_door () =
+  let e = fresh () in
+  let src = {|for $b in doc("bib")//book return <t>{$b/title/text()}</t>|} in
+  let r = Engine.query_string e src in
+  let direct = Xquery.Translate.eval_string doc src in
+  Alcotest.(check string) "front door matches direct evaluation" direct
+    r.Engine.output;
+  Alcotest.(check int) "one pattern was extracted" 1
+    (List.length r.Engine.pattern_explains);
+  Alcotest.(check bool) "the tagging plan is instrumented" true
+    (r.Engine.xquery_stats.Ph.tuples > 0)
+
+let () =
+  Alcotest.run "engine"
+    [ ( "pipeline",
+        [ Alcotest.test_case "end to end" `Quick test_end_to_end;
+          Alcotest.test_case "xquery front door" `Quick test_xquery_front_door ] );
+      ( "plan-cache",
+        [ Alcotest.test_case "repeat query hits" `Quick test_cache_hit;
+          Alcotest.test_case "catalog swap invalidates" `Quick
+            test_cache_invalidation;
+          Alcotest.test_case "negative outcomes cached" `Quick
+            test_negative_caching ] );
+      ( "explain",
+        [ Alcotest.test_case "per-operator counts" `Quick test_explain_output ] ) ]

@@ -149,6 +149,68 @@ let test_scan_order_detection () =
   let p2 = Ph.compile env2 (L.Scan "shuffled") in
   Alcotest.(check bool) "unsorted scan advertises none" true (p2.Ph.order = None)
 
+(* Edge cases: empty inputs, duplicate identifiers (runs through
+   group_runs), and LeftOuter null padding. *)
+let test_stack_tree_empty () =
+  let books = keyed "book" in
+  let empty = [||] in
+  List.iter
+    (fun (name, ancs, descs) ->
+      Alcotest.(check int) (name ^ " (desc)") 0
+        (List.length (Ph.stack_tree_desc ~axis:L.Descendant ancs descs));
+      Alcotest.(check int) (name ^ " (anc)") 0
+        (List.length (Ph.stack_tree_anc ~axis:L.Descendant ancs descs)))
+    [ ("empty ancestors", empty, books);
+      ("empty descendants", books, empty);
+      ("both empty", empty, empty) ]
+
+let test_stack_tree_duplicates () =
+  (* The same ancestor identifier carried by several tuples — a run for
+     group_runs: every copy must pair with every structural match. *)
+  let dup k arr =
+    let a =
+      Array.concat
+        (List.init k (fun i ->
+             Array.map
+               (fun (id, t) -> (id, Array.append t [| Rel.A (V.Int i) |]))
+               arr))
+    in
+    Array.sort (fun (x, _) (y, _) -> Nid.compare x y) a;
+    a
+  in
+  let books = keyed "book" and descs = keyed "title" in
+  let expected = 3 * List.length (naive L.Child books descs) in
+  let ancs = dup 3 books in
+  Alcotest.(check int) "duplicated ancestors multiply pairs (desc)" expected
+    (List.length (Ph.stack_tree_desc ~axis:L.Child ancs descs));
+  Alcotest.(check int) "duplicated ancestors multiply pairs (anc)" expected
+    (List.length (Ph.stack_tree_anc ~axis:L.Child ancs descs))
+
+let test_struct_outer_padding () =
+  let rel_of label col =
+    Rel.make [ Rel.atom col ]
+      (List.map
+         (fun h -> [| Rel.A (V.Id (Doc.id Nid.Structural doc h)) |])
+         (Doc.nodes_with_label doc label))
+  in
+  (* No author has a title child: LeftOuter keeps every left tuple and
+     pads the right side with null. *)
+  let authors = rel_of "author" "A" and titles = rel_of "title" "T" in
+  let env = E.env_of_list [ ("authors", authors); ("titles", titles) ] in
+  let plan =
+    L.Struct_join
+      { kind = L.LeftOuter; axis = L.Child; lpath = [ "A" ]; rpath = [ "T" ];
+        nest_as = ""; left = L.Scan "authors"; right = L.Scan "titles" }
+  in
+  check_agreement "outer struct join agreement" env plan;
+  let out = Ph.run env plan in
+  Alcotest.(check int) "all left tuples survive" (Rel.cardinality authors)
+    (Rel.cardinality out);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "right side null-padded" true (t.(1) = Rel.A V.Null))
+    out.Rel.tuples
+
 (* Property: stack join = naive join on random subsets of a document's
    nodes. *)
 let stack_prop =
@@ -173,7 +235,11 @@ let () =
   Alcotest.run "physical"
     [ ( "stack-tree",
         [ Alcotest.test_case "correctness" `Quick test_stack_tree_correct;
-          Alcotest.test_case "order guarantees" `Quick test_stack_tree_order ] );
+          Alcotest.test_case "order guarantees" `Quick test_stack_tree_order;
+          Alcotest.test_case "empty inputs" `Quick test_stack_tree_empty;
+          Alcotest.test_case "duplicate ancestors" `Quick test_stack_tree_duplicates;
+          Alcotest.test_case "outer join null padding" `Quick
+            test_struct_outer_padding ] );
       ( "engine",
         [ Alcotest.test_case "agreement on compiled patterns" `Quick
             test_agreement_patterns;
