@@ -3,7 +3,7 @@
    narrative, on the synthetic corpora. See DESIGN.md for the experiment
    index and EXPERIMENTS.md for recorded paper-vs-measured results.
 
-   Usage: main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|micro|all]        (default: all) *)
+   Usage: main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|micro|all]        (default: all) *)
 
 module P = Xam.Pattern
 module S = Xsummary.Summary
@@ -427,6 +427,70 @@ let e9 () =
     "(the summary test finds every homomorphism positive and more; the\n\
      \ constraint chase adds the integrity-constraint containments)"
 
+(* ----------------------------------------------------------------- E10 *)
+
+(* Robustness: the engine under deterministic fault injection — absorbed
+   faults, quarantine, degraded re-planning — and the budget guards
+   stopping a runaway query. *)
+let e10 () =
+  header "E10 (robustness): fault injection, quarantine and budgets";
+  let module Engine = Xengine.Engine in
+  let doc = Xworkload.Gen_bib.generate_doc ~seed:11 ~books:200 ~theses:80 () in
+  let s = S.of_doc doc in
+  let specs = Xstorage.Models.path_partitioned s in
+  let pats =
+    List.concat_map
+      (fun (seed, labels) ->
+        Xworkload.Pattern_gen.generate_many ~seed s
+          { Xworkload.Pattern_gen.default with return_labels = labels; size = 4;
+            optional_p = 0.2 }
+          ~count:12)
+      [ (7, [ "title" ]); (8, [ "author" ]); (9, [ "title"; "author" ]);
+        (10, [ "book" ]) ]
+  in
+  List.iter
+    (fun rate ->
+      let fs = Xstorage.Faultstore.create ~seed:55 ~fail_rate:rate () in
+      let e =
+        Engine.of_doc ~max_views:4 ~env_wrap:(Xstorage.Faultstore.wrap fs) doc specs
+      in
+      let ok = ref 0 and degraded = ref 0 and errors = ref 0 in
+      let t, () =
+        time_ms (fun () ->
+            List.iter
+              (fun p ->
+                match Engine.query_r e p with
+                | Ok r ->
+                    incr ok;
+                    if r.Engine.explain.Xengine.Explain.degraded then incr degraded
+                | Error _ -> incr errors)
+              pats)
+      in
+      Printf.printf
+        "fail rate %3.0f%%: %2d ok (%2d degraded), %d errors, %d faults absorbed, \
+         %d quarantined, %.1f ms\n"
+        (rate *. 100.0) !ok !degraded !errors
+        (Engine.counters e).Engine.faults
+        (List.length (Engine.quarantined e))
+        t)
+    [ 0.0; 0.1; 0.3; 0.5 ];
+  let e = Engine.of_doc ~max_views:4 doc specs in
+  let runaway =
+    "for $x in doc(\"bib\")//title, $y in doc(\"bib\")//title, $z in \
+     doc(\"bib\")//title return <r>{$x/text()}</r>"
+  in
+  let t, res =
+    time_ms (fun () ->
+        Engine.query_string_r
+          ~budget:{ Engine.unlimited with Engine.deadline_ms = Some 100.0 }
+          e runaway)
+  in
+  match res with
+  | Error err ->
+      Printf.printf "runaway 3-way product stopped after %.1f ms: %s\n" t
+        (Xengine.Xerror.to_string err)
+  | Ok _ -> Printf.printf "runaway query unexpectedly finished in %.1f ms\n" t
+
 (* ------------------------------------------------------------------ micro *)
 
 let micro () =
@@ -483,7 +547,16 @@ let micro () =
           (Staged.stage (fun () ->
                Xengine.Engine.query (Xengine.Engine.create bib_catalog) bib_query));
         Test.make ~name:"engine-warm-query"
-          (Staged.stage (fun () -> Xengine.Engine.query warm_engine bib_query)) ]
+          (Staged.stage (fun () -> Xengine.Engine.query warm_engine bib_query));
+        (* Same warm query with every guard armed (generously): the price
+           of the budget checks inside the instrumented cursors. *)
+        Test.make ~name:"engine-budgeted-query"
+          (Staged.stage (fun () ->
+               Xengine.Engine.query_r
+                 ~budget:
+                   { Xengine.Engine.deadline_ms = Some 10_000.0;
+                     max_tuples = Some max_int; max_steps = Some max_int }
+                 warm_engine bib_query)) ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
   let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
@@ -511,11 +584,12 @@ let () =
     | "e7" -> e7 ()
     | "e8" -> e8 ()
     | "e9" -> e9 ()
+    | "e10" -> e10 ()
     | "micro" -> micro ()
     | other ->
-        Printf.eprintf "unknown experiment %S (e1..e8, micro, all)\n" other;
+        Printf.eprintf "unknown experiment %S (e1..e10, micro, all)\n" other;
         exit 1
   in
   match which with
-  | "all" -> List.iter run [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9" ]
+  | "all" -> List.iter run [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10" ]
   | w -> run w

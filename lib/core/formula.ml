@@ -252,22 +252,50 @@ let as_ne f =
       Some a
   | _ -> None
 
+(* The grammar's separators (, ; parens) must never appear raw inside a
+   string constant; escape them as decimal [\ddd] sequences, which
+   [Scanf.unescaped] decodes along with [String.escaped]'s output. *)
+let escape_str s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | ',' | ';' | '(' | ')' -> Buffer.add_string b (Printf.sprintf "\\%03d" (Char.code c))
+      | c -> Buffer.add_string b (String.escaped (String.make 1 c)))
+    s;
+  Buffer.contents b
+
 let serialize_value = function
   | Value.Int i -> Printf.sprintf "i%d" i
-  | Value.Str s -> Printf.sprintf "s%s" (String.escaped s)
+  | Value.Str s -> Printf.sprintf "s%s" (escape_str s)
   | Value.Bool b -> Printf.sprintf "b%b" b
   | Value.Null -> "n"
   | Value.Id _ -> invalid_arg "Formula.serialize: identifier constants"
 
+(* Parse errors inside [of_string]; never escapes it. *)
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad ("Formula.of_string: " ^ m))) fmt
+
 let deserialize_value s =
-  if String.length s = 0 then invalid_arg "Formula.deserialize: empty value"
+  if String.length s = 0 then bad "empty value"
   else
+    let body = String.sub s 1 (String.length s - 1) in
     match s.[0] with
-    | 'i' -> Value.Int (int_of_string (String.sub s 1 (String.length s - 1)))
-    | 's' -> Value.Str (Scanf.unescaped (String.sub s 1 (String.length s - 1)))
-    | 'b' -> Value.Bool (bool_of_string (String.sub s 1 (String.length s - 1)))
-    | 'n' -> Value.Null
-    | _ -> invalid_arg "Formula.deserialize: bad value tag"
+    | 'i' -> (
+        match int_of_string_opt body with
+        | Some i -> Value.Int i
+        | None -> bad "bad integer %S" body)
+    | 's' -> (
+        match Scanf.unescaped body with
+        | u -> Value.Str u
+        | exception _ -> bad "bad string escape %S" body)
+    | 'b' -> (
+        match bool_of_string_opt body with
+        | Some b -> Value.Bool b
+        | None -> bad "bad boolean %S" body)
+    | 'n' -> if body = "" then Value.Null else bad "trailing junk after null"
+    | _ -> bad "bad value tag in %S" s
 
 let serialize_bound prefix = function
   | Neg_inf | Pos_inf -> ""
@@ -281,27 +309,38 @@ let serialize f =
          Printf.sprintf "(%s;%s)" (serialize_bound "" lo) (serialize_bound "" hi))
        (normalize f))
 
+let of_string s =
+  let parse () =
+    if String.trim s = "" then ff
+    else
+      let parse_bound ~is_lo part =
+        if part = "" then if is_lo then Neg_inf else Pos_inf
+        else if String.length part >= 1 && part.[0] = '=' then
+          Incl (deserialize_value (String.sub part 1 (String.length part - 1)))
+        else if String.length part >= 1 && part.[0] = '>' then
+          Excl (deserialize_value (String.sub part 1 (String.length part - 1)))
+        else bad "bad bound %S" part
+      in
+      String.split_on_char ',' s
+      |> List.map (fun group ->
+             let group = String.trim group in
+             let n = String.length group in
+             if n < 3 || group.[0] <> '(' || group.[n - 1] <> ')' then
+               bad "bad interval %S" group;
+             match String.index_opt group ';' with
+             | None -> bad "missing ; in %S" group
+             | Some i ->
+                 let lo = parse_bound ~is_lo:true (String.sub group 1 (i - 1)) in
+                 let hi = parse_bound ~is_lo:false (String.sub group (i + 1) (n - i - 2)) in
+                 { lo; hi })
+      |> normalize
+  in
+  match parse () with
+  | f -> Ok f
+  | exception Bad m -> Error m
+  (* Defensive: any stray exception from malformed input is a parse error,
+     never an escape — [of_string] is total. *)
+  | exception e -> Error ("Formula.of_string: " ^ Printexc.to_string e)
+
 let deserialize s =
-  if String.trim s = "" then ff
-  else
-    let parse_bound ~is_lo part =
-      if part = "" then if is_lo then Neg_inf else Pos_inf
-      else if String.length part >= 1 && part.[0] = '=' then
-        Incl (deserialize_value (String.sub part 1 (String.length part - 1)))
-      else if String.length part >= 1 && part.[0] = '>' then
-        Excl (deserialize_value (String.sub part 1 (String.length part - 1)))
-      else invalid_arg "Formula.deserialize: bad bound"
-    in
-    String.split_on_char ',' s
-    |> List.map (fun group ->
-           let group = String.trim group in
-           let n = String.length group in
-           if n < 3 || group.[0] <> '(' || group.[n - 1] <> ')' then
-             invalid_arg "Formula.deserialize: bad interval";
-           match String.index_opt group ';' with
-           | None -> invalid_arg "Formula.deserialize: missing ;"
-           | Some i ->
-               let lo = parse_bound ~is_lo:true (String.sub group 1 (i - 1)) in
-               let hi = parse_bound ~is_lo:false (String.sub group (i + 1) (n - i - 2)) in
-               { lo; hi })
-    |> normalize
+  match of_string s with Ok f -> f | Error m -> invalid_arg m

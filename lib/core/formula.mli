@@ -55,7 +55,15 @@ val as_ne : t -> Xalgebra.Value.t option
 (** [Some c] when the formula is exactly [v ≠ c]. *)
 
 val serialize : t -> string
-(** Compact ASCII form, inverse of {!deserialize}. *)
+(** Compact ASCII form, inverse of {!of_string}. Separator characters
+    inside string constants are escaped, so every formula round-trips.
+    Raises [Invalid_argument] on identifier constants (never stored in
+    formulas built through this interface). *)
+
+val of_string : string -> (t, string) result
+(** Total parser for the {!serialize} form: every malformed input yields
+    [Error] with a description, never an exception. *)
 
 val deserialize : string -> t
-(** Raises [Invalid_argument] on malformed input. *)
+(** {!of_string}, raising [Invalid_argument] on malformed input (kept for
+    callers that prefer the exception). *)

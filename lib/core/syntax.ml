@@ -59,9 +59,9 @@ let parse_formula lineno body =
   in
   (* The exact serialized fallback form: [Val:…]. *)
   if String.length body > 4 && String.sub body 0 4 = "Val:" then
-    match Formula.deserialize (String.sub body 4 (String.length body - 4)) with
-    | f -> f
-    | exception Invalid_argument m -> error lineno m
+    match Formula.of_string (String.sub body 4 (String.length body - 4)) with
+    | Ok f -> f
+    | Error m -> error lineno m
   else
   let lhs, op, rhs = split ops in
   if not (String.equal lhs "Val") then

@@ -539,6 +539,28 @@ let run env plan =
   let p = compile env plan in
   Rel.make p.schema (drain (p.open_ ()))
 
+(* --- Per-query resource budgets ------------------------------------------- *)
+
+type budget_dimension = Deadline | Tuples | Steps
+
+type budget = {
+  deadline : float option;
+  max_tuples : int option;
+  max_steps : int option;
+  mutable steps : int;
+  mutable tuples : int;
+}
+
+exception Over_budget of { dimension : budget_dimension; limit : float }
+
+let budget ?deadline ?max_tuples ?max_steps () =
+  { deadline; max_tuples; max_steps; steps = 0; tuples = 0 }
+
+let dimension_string = function
+  | Deadline -> "deadline"
+  | Tuples -> "tuples"
+  | Steps -> "steps"
+
 (* --- Per-operator instrumentation ----------------------------------------- *)
 
 type op_stats = {
@@ -580,13 +602,30 @@ let op_name = function
 let fresh_stats node =
   { op = op_name node; tuples = 0; nexts = 0; elapsed = 0.0; children = [] }
 
-let compile_instrumented ?(clock = Sys.time) env plan =
+let compile_instrumented ?(clock = Sys.time) ?budget env plan =
   (* Every compiled operator gets a stats node counting next() calls,
      tuples produced and wall time (inclusive of its inputs, since a
      parent's next() pulls on its children). Keyed by physical identity of
      the logical node; when a node is compiled twice (a streaming attempt
      discarded by a later Fallback), the later — actually executed —
      registration wins. *)
+  let charge =
+    match budget with
+    | None -> fun () -> ()
+    | Some b ->
+        fun () ->
+          b.steps <- b.steps + 1;
+          (match b.max_steps with
+          | Some m when b.steps > m ->
+              raise (Over_budget { dimension = Steps; limit = float_of_int m })
+          | _ -> ());
+          (* The clock is consulted on the first step and every 16th after,
+             so a deadline costs one gettimeofday per 16 cursor steps. *)
+          ( match b.deadline with
+          | Some d when b.steps land 15 = 1 && clock () > d ->
+              raise (Over_budget { dimension = Deadline; limit = d })
+          | _ -> () )
+  in
   let table : (Logical.t * op_stats) list ref = ref [] in
   let wrap node p =
     let st = fresh_stats node in
@@ -596,6 +635,7 @@ let compile_instrumented ?(clock = Sys.time) env plan =
         (fun () ->
           let c = p.open_ () in
           fun () ->
+            charge ();
             let t0 = clock () in
             let r = c () in
             st.elapsed <- st.elapsed +. (clock () -. t0);
@@ -616,6 +656,23 @@ let compile_instrumented ?(clock = Sys.time) env plan =
   in
   (p, build plan)
 
-let run_instrumented ?clock env plan =
-  let p, stats = compile_instrumented ?clock env plan in
-  (Rel.make p.schema (drain (p.open_ ())), stats)
+let run_instrumented ?clock ?budget env plan =
+  let p, stats = compile_instrumented ?clock ?budget env plan in
+  match budget with
+  | None -> (Rel.make p.schema (drain (p.open_ ())), stats)
+  | Some b ->
+      (* The result-size cap is enforced at the drain: [b.tuples] counts
+         root tuples only, while [b.steps] counts every cursor step. *)
+      let c = p.open_ () in
+      let rec go acc =
+        match c () with
+        | None -> List.rev acc
+        | Some t ->
+            b.tuples <- b.tuples + 1;
+            (match b.max_tuples with
+            | Some m when b.tuples > m ->
+                raise (Over_budget { dimension = Tuples; limit = float_of_int m })
+            | _ -> ());
+            go (t :: acc)
+      in
+      (Rel.make p.schema (go []), stats)

@@ -34,6 +34,33 @@ val compile : Eval.env -> Logical.t -> t
 val run : Eval.env -> Logical.t -> Rel.t
 (** Compile and drain. *)
 
+(** {1 Per-query resource budgets} *)
+
+type budget_dimension = Deadline | Tuples | Steps
+
+type budget = {
+  deadline : float option;
+      (** absolute time in the executing clock's timebase (seconds) *)
+  max_tuples : int option;  (** cap on root-level tuples produced *)
+  max_steps : int option;  (** cap on total cursor steps, all operators *)
+  mutable steps : int;  (** steps consumed so far (shared across plans) *)
+  mutable tuples : int;  (** root tuples produced so far *)
+}
+
+exception Over_budget of { dimension : budget_dimension; limit : float }
+(** Raised by a guarded cursor the moment a budget dimension is
+    exceeded — a runaway plan stops within one cursor step (or one
+    16-step clock-check window for deadlines), it never hangs. *)
+
+val budget :
+  ?deadline:float -> ?max_tuples:int -> ?max_steps:int -> unit -> budget
+(** A fresh budget with zero consumption. The same budget value may be
+    threaded through several [run_instrumented] calls; consumption
+    accumulates (the engine shares one budget across the plans of a
+    query). *)
+
+val dimension_string : budget_dimension -> string
+
 (** {1 Per-operator instrumentation} *)
 
 type op_stats = {
@@ -49,15 +76,24 @@ type op_stats = {
     shape. Counters fill in as the compiled cursor is drained. *)
 
 val compile_instrumented :
-  ?clock:(unit -> float) -> Eval.env -> Logical.t -> t * op_stats
+  ?clock:(unit -> float) -> ?budget:budget -> Eval.env -> Logical.t -> t * op_stats
 (** Compile with every operator's cursor wrapped in a counting node.
     [clock] (default [Sys.time]) supplies timestamps in seconds — pass
     [Unix.gettimeofday] for wall-clock resolution. The returned stats tree
-    is live: its counters update as the plan executes. *)
+    is live: its counters update as the plan executes. With [budget], every
+    cursor step also charges the budget and raises {!Over_budget} when a
+    dimension is exhausted ([budget.deadline] must be in [clock]'s
+    timebase). *)
 
 val run_instrumented :
-  ?clock:(unit -> float) -> Eval.env -> Logical.t -> Rel.t * op_stats
-(** [compile_instrumented] then drain; the stats are final on return. *)
+  ?clock:(unit -> float) ->
+  ?budget:budget ->
+  Eval.env ->
+  Logical.t ->
+  Rel.t * op_stats
+(** [compile_instrumented] then drain; the stats are final on return.
+    With [budget], the drain additionally enforces [max_tuples] on the
+    root's output. *)
 
 val stack_tree_desc :
   axis:Logical.axis ->

@@ -2,6 +2,7 @@ module Pattern = Xam.Pattern
 module Rewrite = Xam.Rewrite
 module Canonical = Xam.Canonical
 module Rel = Xalgebra.Rel
+module Logical = Xalgebra.Logical
 module Eval = Xalgebra.Eval
 module Physical = Xalgebra.Physical
 module Value = Xalgebra.Value
@@ -16,7 +17,18 @@ type counters = {
   mutable misses : int;
   mutable rewrites : int;
   mutable fallbacks : int;
+  mutable faults : int;
+  mutable degraded : int;
+  mutable quarantines : int;
 }
+
+type budget = {
+  deadline_ms : float option;
+  max_tuples : int option;
+  max_steps : int option;
+}
+
+let unlimited = { deadline_ms = None; max_tuples = None; max_steps = None }
 
 (* A cached planning outcome; [None] caches the negative answer so a
    repeatedly unanswerable query skips the rewriter too. *)
@@ -31,24 +43,43 @@ type t = {
   counters : counters;
   constraints : bool;
   max_views : int;
+  budget : budget;
+  env_wrap : Eval.env -> Eval.env;
+  quarantined : (string, string) Hashtbl.t;  (* module name -> fault reason *)
 }
 
 type result = { rel : Rel.t; explain : Explain.t }
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
 
-let create ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3) ?doc catalog =
+let catalog_error catalog =
+  match Store.validate catalog with
+  | Ok () -> None
+  | Error (name, reason) ->
+      Some (Xerror.Catalog_invalid { module_name = name; reason })
+
+let create ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
+    ?(budget = unlimited) ?(env_wrap = Fun.id) ?doc catalog =
+  (match catalog_error catalog with
+  | Some e -> raise (Xerror.Error e)
+  | None -> ());
   { catalog;
     generation = 0;
-    env = Store.env catalog;
+    env = env_wrap (Store.env catalog);
     doc;
     cache = Lru.create cache_capacity;
-    counters = { queries = 0; hits = 0; misses = 0; rewrites = 0; fallbacks = 0 };
+    counters =
+      { queries = 0; hits = 0; misses = 0; rewrites = 0; fallbacks = 0;
+        faults = 0; degraded = 0; quarantines = 0 };
     constraints;
-    max_views }
+    max_views;
+    budget;
+    env_wrap;
+    quarantined = Hashtbl.create 8 }
 
-let of_doc ?cache_capacity ?constraints ?max_views doc specs =
-  create ?cache_capacity ?constraints ?max_views ~doc (Store.catalog_of doc specs)
+let of_doc ?cache_capacity ?constraints ?max_views ?budget ?env_wrap doc specs =
+  create ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ~doc
+    (Store.catalog_of doc specs)
 
 let catalog t = t.catalog
 let counters t = t.counters
@@ -56,24 +87,59 @@ let env t = t.env
 let summary t = t.catalog.Store.summary
 let cache_length t = Lru.length t.cache
 
+let quarantined t =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.quarantined [])
+
+let quarantined_names t = List.map fst (quarantined t)
+
+let set_catalog_r t catalog =
+  match catalog_error catalog with
+  | Some e -> Error e
+  | None ->
+      (* Entries of earlier generations become unreachable (the key embeds
+         the generation) and age out of the LRU. A catalog swap is a new
+         storage world: the quarantine set is cleared with it. *)
+      Hashtbl.reset t.quarantined;
+      t.catalog <- catalog;
+      t.generation <- t.generation + 1;
+      t.env <- t.env_wrap (Store.env catalog);
+      Ok ()
+
 let set_catalog t catalog =
-  (* Entries of earlier generations become unreachable (the key embeds
-     the generation) and age out of the LRU. *)
-  t.catalog <- catalog;
-  t.generation <- t.generation + 1;
-  t.env <- Store.env catalog
+  match set_catalog_r t catalog with
+  | Ok () -> ()
+  | Error e -> raise (Xerror.Error e)
 
 let add_module t m =
   set_catalog t { t.catalog with Store.modules = t.catalog.Store.modules @ [ m ] }
+
+(* A module faulted while being read: remember it, bump the generation so
+   every cached plan that might mention it dies, and let the caller
+   re-plan against the survivors. *)
+let quarantine t name reason =
+  if not (Hashtbl.mem t.quarantined name) then (
+    Hashtbl.replace t.quarantined name reason;
+    t.counters.quarantines <- t.counters.quarantines + 1);
+  t.counters.faults <- t.counters.faults + 1;
+  t.generation <- t.generation + 1
 
 let cache_key t pattern =
   Printf.sprintf "%s@%d"
     (Canonical.cache_key t.catalog.Store.summary pattern)
     t.generation
 
+let active_views t =
+  let views = Store.views t.catalog in
+  if Hashtbl.length t.quarantined = 0 then views
+  else
+    List.filter
+      (fun (v : Rewrite.view) -> not (Hashtbl.mem t.quarantined v.Rewrite.vname))
+      views
+
 (* Plan the pattern: consult the cache, otherwise rewrite against the
-   catalog's views and rank by cost. Returns the outcome, whether it was
-   a hit, and the planning time in ms (0 on a hit). *)
+   catalog's live (non-quarantined) views and rank by cost. Returns the
+   outcome, whether it was a hit, and the planning time in ms (0 on a
+   hit). *)
 let plan_for t pattern =
   let key = cache_key t pattern in
   match Lru.find t.cache key with
@@ -86,7 +152,7 @@ let plan_for t pattern =
       let t0 = now_ms () in
       let rws =
         Rewrite.rewrite ~constraints:t.constraints ~max_views:t.max_views
-          t.catalog.Store.summary ~query:pattern ~views:(Store.views t.catalog)
+          t.catalog.Store.summary ~query:pattern ~views:(active_views t)
       in
       let c =
         match Cost.choose_with_cost t.env rws with
@@ -97,11 +163,36 @@ let plan_for t pattern =
       Lru.add t.cache key c;
       (c, false, now_ms () -. t0)
 
-let execute t pattern (c : cached) cache_hit rewrite_ms (r : Rewrite.rewriting) =
+(* The answer's schema belongs to the query, not to whichever views the
+   rewriting happened to read: a rewritten extent comes back with
+   provider-prefixed column names (and possibly duplicates), which the
+   XQuery tagging plan — written against the pattern's own attribute
+   columns, the names {!Xam.Embed.eval} produces — cannot resolve.
+   Rename positionally when the shapes line up; leave nested outputs
+   untouched. *)
+let normalize_schema pattern (rel : Rel.t) =
+  let expected =
+    List.concat_map
+      (fun (n : Pattern.node) ->
+        List.map
+          (fun a -> Pattern.attr_col n.Pattern.nid a)
+          (Pattern.stored_attrs n))
+      (Pattern.return_nodes pattern)
+  in
+  if
+    List.length expected = List.length rel.Rel.schema
+    && List.for_all (fun (c : Rel.column) -> c.Rel.ctype = Rel.Atom) rel.Rel.schema
+  then { rel with Rel.schema = List.map Rel.atom expected }
+  else rel
+
+let execute t pattern (c : cached) cache_hit rewrite_ms pb ~degraded
+    (r : Rewrite.rewriting) =
   let t0 = now_ms () in
   let rel, stats =
-    Physical.run_instrumented ~clock:Unix.gettimeofday t.env r.Rewrite.plan
+    Physical.run_instrumented ~clock:Unix.gettimeofday ?budget:pb t.env
+      r.Rewrite.plan
   in
+  let rel = normalize_schema pattern rel in
   let exec_ms = now_ms () -. t0 in
   { rel;
     explain =
@@ -113,37 +204,155 @@ let execute t pattern (c : cached) cache_hit rewrite_ms (r : Rewrite.rewriting) 
         cache_hit;
         rewrite_ms;
         exec_ms;
-        stats } }
+        stats;
+        degraded;
+        quarantined = quarantined_names t } }
+
+(* --- The guarded, classifying core ---------------------------------------- *)
+
+let effective_budget t override =
+  match override with Some b -> b | None -> t.budget
+
+let physical_budget t override =
+  let b = effective_budget t override in
+  if b.deadline_ms = None && b.max_tuples = None && b.max_steps = None then None
+  else
+    Some
+      (Physical.budget
+         ?deadline:
+           (Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.0)) b.deadline_ms)
+         ?max_tuples:b.max_tuples ?max_steps:b.max_steps ())
+
+(* Stage boundaries (re-plan loop, base-document fallback) check the
+   deadline explicitly; inside plan execution the guarded cursors check
+   it continuously. *)
+let check_deadline pb =
+  match pb with
+  | Some (b : Physical.budget) -> (
+      match b.Physical.deadline with
+      | Some d when Unix.gettimeofday () > d ->
+          raise (Physical.Over_budget { dimension = Physical.Deadline; limit = d })
+      | _ -> ())
+  | None -> ()
+
+let no_rewriting_msg t pattern =
+  ignore t;
+  Format.asprintf "no rewriting over the catalog for:@.%a" Pattern.pp pattern
+
+(* Plan then execute once, classifying internal failures. Module faults
+   and budget stops propagate as exceptions for the caller's recovery /
+   reporting loop. *)
+let plan_and_execute t pattern pb ~degraded =
+  let planned =
+    match plan_for t pattern with
+    | planned -> Ok planned
+    | exception ((Store.Module_fault _ | Physical.Over_budget _) as e) -> raise e
+    | exception e -> Error (Xerror.Plan_error (Printexc.to_string e))
+  in
+  match planned with
+  | Error e -> Error e
+  | Ok (c, hit, rewrite_ms) -> (
+      match c.rewriting with
+      | None -> Error (Xerror.No_rewriting (no_rewriting_msg t pattern))
+      | Some r -> (
+          match execute t pattern c hit rewrite_ms pb ~degraded r with
+          | res -> Ok res
+          | exception ((Store.Module_fault _ | Physical.Over_budget _) as e) ->
+              raise e
+          | exception Eval.Unknown_relation name ->
+              Error
+                (Xerror.Storage_fault
+                   { module_name = name; reason = "unknown relation in executed plan" })
+          | exception e -> Error (Xerror.Exec_error (Printexc.to_string e))))
+
+(* When a fault destroyed the last rewriting, a base document (if the
+   engine holds one) still answers the pattern — degraded, but correct. *)
+let degraded_fallback t pattern err =
+  match t.doc with
+  | None -> err
+  | Some doc -> (
+      match Xam.Embed.eval doc pattern with
+      | exception e -> Error (Xerror.Exec_error (Printexc.to_string e))
+      | rel ->
+          t.counters.fallbacks <- t.counters.fallbacks + 1;
+          let card = Rel.cardinality rel in
+          Ok
+            { rel;
+              explain =
+                { Explain.query = pattern;
+                  views_used = [];
+                  plan = Logical.Table rel;
+                  cost = Float.nan;
+                  candidates = 0;
+                  cache_hit = false;
+                  rewrite_ms = 0.0;
+                  exec_ms = 0.0;
+                  stats =
+                    { Physical.op = "fallback(embed)"; tuples = card; nexts = 0;
+                      elapsed = 0.0; children = [] };
+                  degraded = true;
+                  quarantined = quarantined_names t } })
+
+(* Answer one pattern with fault recovery: on a module fault, quarantine
+   the module (killing cached plans) and re-plan against the survivors;
+   when no rewriting survives, fall back to the base document. Bounded by
+   the module count — every retry quarantines a module never seen
+   faulty before. *)
+let rec attempt t pattern pb ~faults_seen =
+  check_deadline pb;
+  if faults_seen > List.length t.catalog.Store.modules then
+    Error
+      (Xerror.Storage_fault
+         { module_name = "<catalog>"; reason = "fault recovery did not converge" })
+  else
+    match plan_and_execute t pattern pb ~degraded:(faults_seen > 0) with
+    | Ok _ as ok ->
+        if faults_seen > 0 then t.counters.degraded <- t.counters.degraded + 1;
+        ok
+    | Error (Xerror.No_rewriting _) as err
+      when faults_seen > 0 || Hashtbl.length t.quarantined > 0 -> (
+        (* The rewriting was lost to a fault — in this call or an earlier
+           one that quarantined a module. Degrade rather than refuse. *)
+        match degraded_fallback t pattern err with
+        | Ok _ as ok ->
+            t.counters.degraded <- t.counters.degraded + 1;
+            ok
+        | Error _ as e -> e)
+    | Error _ as err -> err
+    | exception Store.Module_fault { name; reason } ->
+        quarantine t name reason;
+        attempt t pattern pb ~faults_seen:(faults_seen + 1)
+
+(* The cursor-level deadline carries the absolute wall-clock instant it
+   tripped on; report the configured relative milliseconds instead. *)
+let budget_error t override (dimension : Physical.budget_dimension) limit =
+  let limit =
+    match (dimension, (effective_budget t override).deadline_ms) with
+    | Physical.Deadline, Some ms -> ms
+    | _ -> limit
+  in
+  Xerror.Budget_exceeded { dimension = Xerror.of_dimension dimension; limit }
+
+let query_r ?budget t pattern =
+  t.counters.queries <- t.counters.queries + 1;
+  let pb = physical_budget t budget in
+  match attempt t pattern pb ~faults_seen:0 with
+  | res -> res
+  | exception Physical.Over_budget { dimension; limit } ->
+      Error (budget_error t budget dimension limit)
+  | exception Xerror.Error e -> Error e
+  | exception e -> Error (Xerror.Exec_error (Printexc.to_string e))
 
 let query t pattern =
-  t.counters.queries <- t.counters.queries + 1;
-  let c, hit, rewrite_ms = plan_for t pattern in
-  match c.rewriting with
-  | Some r -> execute t pattern c hit rewrite_ms r
-  | None ->
-      raise
-        (No_rewriting
-           (Format.asprintf "no rewriting over the catalog for:@.%a" Pattern.pp pattern))
+  match query_r t pattern with
+  | Ok r -> r
+  | Error (Xerror.No_rewriting m) -> raise (No_rewriting m)
+  | Error e -> raise (Xerror.Error e)
 
 let query_opt t pattern =
-  match query t pattern with r -> Some r | exception No_rewriting _ -> None
+  match query_r t pattern with Ok r -> Some r | Error _ -> None
 
-(* Pattern extent: through the planner when the views can answer it,
-   falling back to direct embedding over the base document when the
-   engine holds one. *)
-let extent t pattern =
-  match query_opt t pattern with
-  | Some r -> (r.rel, Some r.explain)
-  | None -> (
-      match t.doc with
-      | Some doc ->
-          t.counters.fallbacks <- t.counters.fallbacks + 1;
-          (Xam.Embed.eval doc pattern, None)
-      | None ->
-          raise
-            (No_rewriting
-               (Format.asprintf
-                  "no rewriting and no base document for:@.%a" Pattern.pp pattern)))
+(* --- XQuery front door ----------------------------------------------------- *)
 
 type xquery_result = {
   output : string;
@@ -153,38 +362,90 @@ type xquery_result = {
   xquery_stats : Physical.op_stats;  (** the outer tagging plan *)
 }
 
+(* Pattern extent for the XQuery front door: through the planner (with
+   fault recovery) when the views can answer it, falling back to direct
+   embedding over the base document only for the ordinary
+   no-rewriting case — a budget stop or an unrecoverable fault must not
+   silently turn into a full-document scan. *)
+let extent_for t pat pb =
+  t.counters.queries <- t.counters.queries + 1;
+  match attempt t pat pb ~faults_seen:0 with
+  | Ok r -> Ok (r.rel, Some r.explain)
+  | Error (Xerror.No_rewriting _) -> (
+      match t.doc with
+      | Some doc ->
+          check_deadline pb;
+          t.counters.fallbacks <- t.counters.fallbacks + 1;
+          Ok (Xam.Embed.eval doc pat, None)
+      | None ->
+          Error
+            (Xerror.No_rewriting
+               (Format.asprintf "no rewriting and no base document for:@.%a"
+                  Pattern.pp pat)))
+  | Error e -> Error e
+
+let query_ast_r ?budget t ast =
+  match Xquery.Extract.extract ast with
+  | exception Xquery.Extract.Unsupported m -> Error (Xerror.Extract_error m)
+  | exception e -> Error (Xerror.Extract_error (Printexc.to_string e))
+  | e -> (
+      let pb = physical_budget t budget in
+      let run () =
+        let bound =
+          List.mapi
+            (fun i pat ->
+              match extent_for t pat pb with
+              | Ok (rel, explain) -> (Xquery.Translate.scan_name i, rel, explain)
+              | Error err -> raise (Xerror.Error err))
+            e.Xquery.Extract.patterns
+        in
+        let env = Eval.env_of_list (List.map (fun (n, r, _) -> (n, r)) bound) in
+        let rel, stats =
+          Physical.run_instrumented ~clock:Unix.gettimeofday ?budget:pb env
+            (Xquery.Translate.plan e)
+        in
+        let buf = Buffer.create 256 in
+        List.iter
+          (fun tu ->
+            match tu.(0) with
+            | Rel.A (Value.Str s) -> Buffer.add_string buf s
+            | Rel.A v -> Buffer.add_string buf (Value.to_display v)
+            | Rel.N _ -> ())
+          rel.Rel.tuples;
+        { output = Buffer.contents buf;
+          pattern_explains = List.map (fun (_, _, ex) -> ex) bound;
+          xquery_stats = stats }
+      in
+      match run () with
+      | r -> Ok r
+      | exception Xerror.Error err -> Error err
+      | exception Physical.Over_budget { dimension; limit } ->
+          Error (budget_error t budget dimension limit)
+      | exception Store.Module_fault { name; reason } ->
+          Error (Xerror.Storage_fault { module_name = name; reason })
+      | exception err -> Error (Xerror.Exec_error (Printexc.to_string err)))
+
+let query_string_r ?budget t src =
+  match Xquery.Parse.query src with
+  | ast -> query_ast_r ?budget t ast
+  | exception Xquery.Parse.Syntax_error { pos; msg } ->
+      Error (Xerror.Parse_error (Printf.sprintf "char %d: %s" pos msg))
+  | exception e -> Error (Xerror.Parse_error (Printexc.to_string e))
+
 let query_ast t ast =
-  let e = Xquery.Extract.extract ast in
-  let bound =
-    List.mapi
-      (fun i pat ->
-        let rel, explain = extent t pat in
-        (Xquery.Translate.scan_name i, rel, explain))
-      e.Xquery.Extract.patterns
-  in
-  let env = Eval.env_of_list (List.map (fun (n, r, _) -> (n, r)) bound) in
-  let rel, stats =
-    Physical.run_instrumented ~clock:Unix.gettimeofday env (Xquery.Translate.plan e)
-  in
-  let buf = Buffer.create 256 in
-  List.iter
-    (fun tu ->
-      match tu.(0) with
-      | Rel.A (Value.Str s) -> Buffer.add_string buf s
-      | Rel.A v -> Buffer.add_string buf (Value.to_display v)
-      | Rel.N _ -> ())
-    rel.Rel.tuples;
-  { output = Buffer.contents buf;
-    pattern_explains = List.map (fun (_, _, ex) -> ex) bound;
-    xquery_stats = stats }
+  match query_ast_r t ast with
+  | Ok r -> r
+  | Error (Xerror.No_rewriting m) -> raise (No_rewriting m)
+  | Error e -> raise (Xerror.Error e)
 
 let query_string t src = query_ast t (Xquery.Parse.query src)
 
 let pp_counters ppf c =
   Format.fprintf ppf
-    "queries %d, plan cache %d hit%s / %d miss%s, rewrites %d, fallbacks %d"
+    "queries %d, plan cache %d hit%s / %d miss%s, rewrites %d, fallbacks %d, \
+     faults %d, degraded %d, quarantined %d"
     c.queries c.hits
     (if c.hits = 1 then "" else "s")
     c.misses
     (if c.misses = 1 then "" else "es")
-    c.rewrites c.fallbacks
+    c.rewrites c.fallbacks c.faults c.degraded c.quarantines

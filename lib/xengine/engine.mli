@@ -9,7 +9,18 @@
     ULoad prototype packages it). Repeated queries hit the plan cache and
     skip rewriting and containment entirely — the dominant cost in the
     E-series experiments — keyed on {!Xam.Canonical.cache_key} and the
-    catalog generation, so catalog changes invalidate stale plans. *)
+    catalog generation, so catalog changes invalidate stale plans.
+
+    {b Robustness.} Every entry point has a [result]-returning sibling
+    ([query_r], [query_string_r], …) that {e never raises}: all failures
+    come back classified as {!Xerror.t}. Queries run under an optional
+    resource {!budget} (wall-clock deadline, tuple and cursor-step caps)
+    enforced inside the instrumented cursors. When a storage module
+    faults mid-query, the engine {e quarantines} it — bumping the plan
+    cache generation so no stale plan can touch it — and transparently
+    re-plans against the surviving views, falling back to the base
+    document when none survive; such answers are flagged
+    [degraded] in their {!Explain.t}. *)
 
 exception No_rewriting of string
 
@@ -19,8 +30,26 @@ type counters = {
   mutable misses : int;  (** plan-cache misses *)
   mutable rewrites : int;  (** rewriter invocations (= misses) *)
   mutable fallbacks : int;
-      (** XQuery patterns materialized from the base document *)
+      (** patterns materialized from the base document (XQuery probes the
+          views cannot answer, plus degraded post-fault fallbacks) *)
+  mutable faults : int;  (** storage-module faults absorbed mid-query *)
+  mutable degraded : int;
+      (** queries answered after at least one absorbed fault *)
+  mutable quarantines : int;  (** distinct modules ever quarantined *)
 }
+
+type budget = {
+  deadline_ms : float option;
+      (** wall-clock allowance for the whole call, in milliseconds *)
+  max_tuples : int option;  (** cap on tuples drained from the root *)
+  max_steps : int option;  (** cap on cursor [next()] steps, all operators *)
+}
+(** Per-query resource guards. A [None] field is unchecked. The engine
+    converts [deadline_ms] to an absolute deadline when the query
+    starts; it covers planning, fault re-planning and execution. *)
+
+val unlimited : budget
+(** All fields [None] — the default. *)
 
 type t
 
@@ -30,31 +59,55 @@ val create :
   ?cache_capacity:int ->
   ?constraints:bool ->
   ?max_views:int ->
+  ?budget:budget ->
+  ?env_wrap:(Xalgebra.Eval.env -> Xalgebra.Eval.env) ->
   ?doc:Xdm.Doc.t ->
   Xstorage.Store.catalog ->
   t
 (** [cache_capacity] (default 128) bounds the plan cache; [constraints]
     (default [true]) and [max_views] (default 3) are passed to the
     rewriter. [doc] enables the base-document fallback of the XQuery
-    front door for patterns no view can answer. *)
+    front door for patterns no view can answer. [budget] (default
+    {!unlimited}) guards every query unless overridden per call.
+    [env_wrap] intercepts the storage lookup surface — e.g.
+    {!Xstorage.Faultstore.wrap} for fault injection — and is re-applied
+    on every catalog swap. The catalog is validated
+    ({!Xstorage.Store.validate}); raises [Xerror.Error (Catalog_invalid _)]
+    if a module's pattern references paths absent from the summary. *)
 
 val of_doc :
   ?cache_capacity:int ->
   ?constraints:bool ->
   ?max_views:int ->
+  ?budget:budget ->
+  ?env_wrap:(Xalgebra.Eval.env -> Xalgebra.Eval.env) ->
   Xdm.Doc.t ->
   (string * Xam.Pattern.t) list ->
   t
 (** Materialize the specs into a catalog ({!Xstorage.Store.catalog_of})
     and keep the document as the XQuery fallback. *)
 
-val query : t -> Xam.Pattern.t -> result
-(** Answer a pattern query from the catalog alone: plan (cache or
+(** {1 Pattern queries} *)
+
+val query_r :
+  ?budget:budget -> t -> Xam.Pattern.t -> (result, Xerror.t) Stdlib.result
+(** Answer a pattern query from the catalog: plan (cache or
     rewrite + {!Xstorage.Cost.choose}) then execute the physical plan,
-    cursors piped end-to-end and every operator instrumented. Raises
-    {!No_rewriting} when the views cannot answer the pattern. *)
+    cursors piped end-to-end, every operator instrumented and charged
+    against the budget ([?budget] overrides the engine default for this
+    call). Module faults are absorbed: the faulty module is quarantined
+    and the query re-planned over the surviving views (base-document
+    fallback if none survive) — see [Explain.degraded]. Never raises;
+    every failure is classified as an {!Xerror.t}. *)
+
+val query : t -> Xam.Pattern.t -> result
+(** Raising wrapper over {!query_r}: raises {!No_rewriting} when the
+    views cannot answer the pattern, [Xerror.Error] for every other
+    classified failure. *)
 
 val query_opt : t -> Xam.Pattern.t -> result option
+(** [None] on {e any} classified failure — no-rewriting, budget stop,
+    storage fault, internal error. *)
 
 (** {1 XQuery front door} *)
 
@@ -67,13 +120,22 @@ type xquery_result = {
       (** instrumentation of the outer tagging plan *)
 }
 
-val query_string : t -> string -> xquery_result
+val query_string_r :
+  ?budget:budget -> t -> string -> (xquery_result, Xerror.t) Stdlib.result
 (** Parse ({!Xquery.Parse}), extract the maximal patterns
     ({!Xquery.Extract}), answer each pattern through the planner (plan
-    cache included), then run the tagging plan over the pattern extents.
-    Raises {!No_rewriting} when a pattern has neither a rewriting nor a
-    base document to fall back to, and {!Xquery.Parse.Syntax_error} on
-    bad input. *)
+    cache, fault recovery and budget included), then run the tagging plan
+    over the pattern extents. Never raises: syntax errors come back as
+    [Parse_error], unsupported XQuery as [Extract_error], and so on. *)
+
+val query_ast_r :
+  ?budget:budget -> t -> Xquery.Ast.expr -> (xquery_result, Xerror.t) Stdlib.result
+
+val query_string : t -> string -> xquery_result
+(** Raising wrapper: raises {!No_rewriting} when a pattern has neither a
+    rewriting nor a base document to fall back to,
+    {!Xquery.Parse.Syntax_error} on bad input, and [Xerror.Error]
+    otherwise. *)
 
 val query_ast : t -> Xquery.Ast.expr -> xquery_result
 
@@ -86,7 +148,15 @@ val env : t -> Xalgebra.Eval.env
 val set_catalog : t -> Xstorage.Store.catalog -> unit
 (** Swap the catalog and bump the generation: cached plans for the old
     catalog can no longer be returned (the cache key embeds the
-    generation) and age out of the LRU. *)
+    generation) and age out of the LRU. The quarantine set is cleared —
+    a new catalog is a new storage world. The catalog is validated
+    first; raises [Xerror.Error (Catalog_invalid _)] on modules whose
+    patterns reference paths absent from the summary. *)
+
+val set_catalog_r :
+  t -> Xstorage.Store.catalog -> (unit, Xerror.t) Stdlib.result
+(** Like {!set_catalog} but returns the validation failure instead of
+    raising; the engine keeps its current catalog on [Error]. *)
 
 val add_module : t -> Xstorage.Store.module_ -> unit
 (** Append one module (e.g. a freshly built index) — a catalog swap. *)
@@ -95,4 +165,10 @@ val add_module : t -> Xstorage.Store.module_ -> unit
 
 val counters : t -> counters
 val cache_length : t -> int
+
+val quarantined : t -> (string * string) list
+(** The quarantine set: modules that faulted mid-query, with the fault
+    reason, sorted by name. Quarantined modules are excluded from
+    rewriting until the next {!set_catalog}. *)
+
 val pp_counters : Format.formatter -> counters -> unit

@@ -12,6 +12,8 @@ type t = {
   rewrite_ms : float;
   exec_ms : float;
   stats : Physical.op_stats;
+  degraded : bool;
+  quarantined : string list;
 }
 
 let rec pp_stats ppf ~indent (st : Physical.op_stats) =
@@ -28,6 +30,10 @@ let pp ppf e =
     e.cost e.candidates
     (if e.candidates = 1 then "" else "s")
     (if e.cache_hit then "HIT" else "MISS");
+  if e.degraded then
+    Format.fprintf ppf "degraded: re-planned around quarantined module%s %s@,"
+      (if List.length e.quarantined = 1 then "" else "s")
+      (match e.quarantined with [] -> "(none)" | qs -> String.concat ", " qs);
   Format.fprintf ppf "timings: rewrite %.2f ms, execute %.2f ms@," e.rewrite_ms e.exec_ms;
   Format.fprintf ppf "operators:@,";
   pp_stats ppf ~indent:"  " e.stats;

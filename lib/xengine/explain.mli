@@ -15,6 +15,12 @@ type t = {
   rewrite_ms : float;  (** rewriting + costing time; [0.] on a cache hit *)
   exec_ms : float;  (** execution wall time *)
   stats : Xalgebra.Physical.op_stats;  (** annotated operator tree *)
+  degraded : bool;
+      (** the query survived at least one storage fault: the plan was
+          re-derived after quarantining the faulty module(s), or the
+          answer came from the base-document fallback *)
+  quarantined : string list;
+      (** the engine's quarantine set when the query completed *)
 }
 
 val pp : Format.formatter -> t -> unit

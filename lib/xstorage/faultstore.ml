@@ -1,0 +1,78 @@
+module Rel = Xalgebra.Rel
+
+type mode = Healthy | Fail | Delay | Truncate
+
+type t = {
+  seed : int;
+  fail_rate : float;
+  delay_rate : float;
+  delay_ms : float;
+  truncate_rate : float;
+  keep_fraction : float;
+  broken : (string, unit) Hashtbl.t;
+  mutable injected : int;
+  mutable delayed : int;
+  mutable truncated : int;
+}
+
+let create ?(seed = 0) ?(fail_rate = 0.0) ?(delay_rate = 0.0) ?(delay_ms = 1.0)
+    ?(truncate_rate = 0.0) ?(keep_fraction = 0.5) ?(broken = []) () =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun n -> Hashtbl.replace tbl n ()) broken;
+  { seed; fail_rate; delay_rate; delay_ms; truncate_rate; keep_fraction;
+    broken = tbl; injected = 0; delayed = 0; truncated = 0 }
+
+(* Deterministic per-module draw in [0,1): the same (seed, name) always
+   lands in the same fault bucket, so a module that faults once faults on
+   every access — which is what lets the engine's quarantine converge and
+   the chaos suite compare runs. *)
+let roll fs name =
+  let h = Hashtbl.hash (fs.seed, "fault", name) in
+  float_of_int (h land 0x3FFFFFFF) /. float_of_int 0x40000000
+
+let mode fs name =
+  if Hashtbl.mem fs.broken name then Fail
+  else
+    let u = roll fs name in
+    if u < fs.fail_rate then Fail
+    else if u < fs.fail_rate +. fs.delay_rate then Delay
+    else if u < fs.fail_rate +. fs.delay_rate +. fs.truncate_rate then Truncate
+    else Healthy
+
+let wrap fs (env : Xalgebra.Eval.env) : Xalgebra.Eval.env =
+ fun name ->
+  match env name with
+  | None -> None
+  | Some rel -> (
+      match mode fs name with
+      | Healthy -> Some rel
+      | Fail ->
+          fs.injected <- fs.injected + 1;
+          raise (Store.Module_fault { name; reason = "injected fault" })
+      | Delay ->
+          fs.delayed <- fs.delayed + 1;
+          Unix.sleepf (fs.delay_ms /. 1000.0);
+          Some rel
+      | Truncate ->
+          fs.truncated <- fs.truncated + 1;
+          let n = List.length rel.Rel.tuples in
+          let keep =
+            max 0 (int_of_float (ceil (fs.keep_fraction *. float_of_int n)))
+          in
+          Some
+            (Rel.make rel.Rel.schema
+               (List.filteri (fun i _ -> i < keep) rel.Rel.tuples)))
+
+let faulty_modules fs (catalog : Store.catalog) =
+  List.filter_map
+    (fun (m : Store.module_) -> if mode fs m.Store.name = Fail then Some m.Store.name else None)
+    catalog.Store.modules
+
+let injected fs = fs.injected
+let delayed fs = fs.delayed
+let truncated fs = fs.truncated
+
+let reset fs =
+  fs.injected <- 0;
+  fs.delayed <- 0;
+  fs.truncated <- 0

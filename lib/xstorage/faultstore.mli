@@ -1,0 +1,54 @@
+(** Deterministic fault injection over the module-lookup surface.
+
+    Wraps an {!Xalgebra.Eval.env} so that chosen modules misbehave when
+    read: raise {!Store.Module_fault}, respond with extra latency, or
+    return a truncated extent. Which modules misbehave is a pure function
+    of [(seed, module name)] — a faulty module faults on {e every} access
+    and a run is reproducible from its seed — which is what the engine's
+    quarantine logic and the chaos test suite rely on.
+
+    This is the test harness for the robustness layer: the engine under
+    [Engine.create ~env_wrap:(Faultstore.wrap fs)] sees exactly the
+    failure modes a production store could exhibit (a corrupt module, a
+    slow index, a short read), without any real storage being harmed. *)
+
+type mode = Healthy | Fail | Delay | Truncate
+
+type t
+
+val create :
+  ?seed:int ->
+  ?fail_rate:float ->
+  ?delay_rate:float ->
+  ?delay_ms:float ->
+  ?truncate_rate:float ->
+  ?keep_fraction:float ->
+  ?broken:string list ->
+  unit ->
+  t
+(** [fail_rate] / [delay_rate] / [truncate_rate] (defaults 0) partition
+    the per-module draw: a module falls in the first bucket its rates
+    cover, independently per name. [delay_ms] (default 1) is the injected
+    latency, [keep_fraction] (default 0.5) the fraction of tuples a
+    truncated extent keeps. [broken] names modules that always fail,
+    whatever the draw. *)
+
+val mode : t -> string -> mode
+(** The (deterministic) fault bucket of a module name. *)
+
+val wrap : t -> Xalgebra.Eval.env -> Xalgebra.Eval.env
+(** The fault-injecting lookup surface. [Fail] modules raise
+    {!Store.Module_fault}; [Delay] modules sleep then answer; [Truncate]
+    modules answer with a prefix of their extent. Unknown names pass
+    through untouched. *)
+
+val faulty_modules : t -> Store.catalog -> string list
+(** The catalog modules {!wrap} would fail, for building test
+    expectations. *)
+
+val injected : t -> int
+(** Faults actually raised so far. *)
+
+val delayed : t -> int
+val truncated : t -> int
+val reset : t -> unit

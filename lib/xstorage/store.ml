@@ -5,12 +5,87 @@ type module_ = { name : string; xam : Pattern.t; extent : Rel.t }
 
 type catalog = { summary : Xsummary.Summary.t; modules : module_ list }
 
+exception Module_fault of { name : string; reason : string }
+
+exception Invalid_module of { name : string; reason : string }
+
 let materialize doc name xam =
   { name; xam; extent = Xam.Embed.eval doc xam }
 
+(* A module is consistent with the summary when every required pattern
+   node can bind to at least one summary path and every optional node's
+   label exists somewhere in the summary: a pattern referencing a path
+   the summary does not know describes data the store cannot hold, and
+   would otherwise surface as a silent empty scan (or a crash) deep
+   inside some later query.
+
+   Optional (outer-edge) subtrees must not constrain the required part —
+   a universal-table module legitimately outer-joins every label of the
+   document under one node — so the structural check runs on the pattern
+   with optional subtrees pruned; pruning preserves nids. *)
+let validate catalog =
+  let s = catalog.summary in
+  let size = Xsummary.Summary.size s in
+  let label_known label =
+    let matches p =
+      let pl = Xsummary.Summary.label s p in
+      if String.equal label "*" then
+        (not (Pattern.label_is_attribute pl)) && not (String.equal pl "#text")
+      else if String.equal label "@*" then Pattern.label_is_attribute pl
+      else String.equal label pl
+    in
+    let rec any p = p < size && (matches p || any (p + 1)) in
+    any 0
+  in
+  let required_skeleton (pat : Pattern.t) =
+    let rec prune (t : Pattern.tree) =
+      { t with
+        children =
+          List.filter_map
+            (fun (c : Pattern.tree) ->
+              if Pattern.optional_edge c.Pattern.edge then None else Some (prune c))
+            t.Pattern.children }
+    in
+    { pat with Pattern.roots = List.map prune pat.Pattern.roots }
+  in
+  let check m =
+    let skeleton = required_skeleton m.xam in
+    let required =
+      List.fold_left
+        (fun acc (n : Pattern.node) -> n.Pattern.nid :: acc)
+        [] (Pattern.nodes skeleton)
+    in
+    List.find_map
+      (fun (n : Pattern.node) ->
+        let bad reason =
+          Some
+            ( m.name,
+              Printf.sprintf "pattern node %S (nid %d) %s" n.Pattern.label
+                n.Pattern.nid reason )
+        in
+        if not (label_known n.Pattern.label) then
+          bad "references a label absent from the summary"
+        else if
+          List.mem n.Pattern.nid required
+          && Xam.Canonical.path_annotation s skeleton n.Pattern.nid = []
+        then bad "matches no summary path"
+        else None)
+      (Pattern.nodes m.xam)
+  in
+  List.fold_left
+    (fun acc m -> match acc with Error _ -> acc | Ok () -> (
+       match check m with None -> Ok () | Some e -> Error e))
+    (Ok ()) catalog.modules
+
+let validated catalog =
+  match validate catalog with
+  | Ok () -> catalog
+  | Error (name, reason) -> raise (Invalid_module { name; reason })
+
 let catalog_of doc specs =
-  { summary = Xsummary.Summary.of_doc doc;
-    modules = List.map (fun (name, xam) -> materialize doc name xam) specs }
+  validated
+    { summary = Xsummary.Summary.of_doc doc;
+      modules = List.map (fun (name, xam) -> materialize doc name xam) specs }
 
 let env catalog =
   (* Hashtable-backed: executed plans resolve the same module names on

@@ -18,11 +18,33 @@ type catalog = {
   modules : module_ list;
 }
 
+exception Module_fault of { name : string; reason : string }
+(** A storage module failed while being read. The store itself never
+    raises this; it is the contract between fault-injecting or remote
+    storage wrappers ({!Faultstore}) and the engine's recovery machinery
+    (quarantine + re-plan in {!Xengine.Engine}). *)
+
+exception Invalid_module of { name : string; reason : string }
+(** Raised by {!catalog_of} / {!validated} for a module whose pattern
+    references paths absent from the catalog's summary. *)
+
 val materialize : Xdm.Doc.t -> string -> Xam.Pattern.t -> module_
 (** Evaluate the XAM (required markers ignored for materialization) and
     keep the result as the module's extent. *)
 
+val validate : catalog -> (unit, string * string) result
+(** Check every module's pattern against the summary: [Error (name,
+    reason)] for the first module with a node whose path annotation is
+    empty — a pattern referencing paths the summary does not contain, a
+    mismatch that would otherwise only surface mid-query. *)
+
+val validated : catalog -> catalog
+(** {!validate}, raising {!Invalid_module} on failure. *)
+
 val catalog_of : Xdm.Doc.t -> (string * Xam.Pattern.t) list -> catalog
+(** Materialize the specs against the document and validate the result
+    against the document's own summary ({!Invalid_module} on a spec whose
+    pattern cannot bind). *)
 
 val env : catalog -> Xalgebra.Eval.env
 (** Resolve module names to extents, for plan execution. *)

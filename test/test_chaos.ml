@@ -1,0 +1,217 @@
+(* Seeded chaos over the robustness layer: the engine under deterministic
+   fault injection at 0%, 10% and 50% fault rates, plus the budget smoke
+   test. Everything is a pure function of the seeds below — a failure
+   reproduces exactly. *)
+
+module P = Xam.Pattern
+module Rel = Xalgebra.Rel
+module Engine = Xengine.Engine
+module Explain = Xengine.Explain
+module Xerror = Xengine.Xerror
+module Store = Xstorage.Store
+module Models = Xstorage.Models
+module Faultstore = Xstorage.Faultstore
+module Pg = Xworkload.Pattern_gen
+
+let doc = Xworkload.Gen_bib.generate_doc ~seed:11 ~books:60 ~theses:25 ()
+let summary = Xsummary.Summary.of_doc doc
+let specs = Models.path_partitioned summary
+
+(* Several return-label mixes so the rewritings spread over many storage
+   modules — a single-label workload funnels every query through one or
+   two modules and the injection never gets a chance to bite. *)
+let all_patterns =
+  List.concat_map
+    (fun (seed, labels) ->
+      Pg.generate_many ~seed summary
+        { Pg.default with Pg.return_labels = labels; Pg.size = 4; Pg.optional_p = 0.2 }
+        ~count:12)
+    [ (7, [ "title" ]); (8, [ "author" ]); (9, [ "title"; "author" ]);
+      (10, [ "book" ]) ]
+
+(* Column-order-independent, duplicate-insensitive content fingerprint: a
+   sorted set of tuples, each with its top-level fields reordered by
+   column name. Set semantics because rewritings assembled from different
+   view unions reproduce the same answer with different multiplicities. *)
+let fingerprint (r : Rel.t) =
+  let order =
+    List.sort compare
+      (List.mapi (fun i (c : Rel.column) -> (c.Rel.cname, i)) r.Rel.schema)
+  in
+  let canon t = List.map (fun (_, i) -> t.(i)) order in
+  List.sort_uniq compare
+    (List.map (fun t -> Marshal.to_string (canon t) []) r.Rel.tuples)
+
+let max_views = 4
+
+(* The fault-free outcome per pattern: [Some truth] when the catalog can
+   answer it, [None] when not even a clean engine finds a rewriting.
+   Patterns the clean rewriter miscompiles (a known multiplicity bug when
+   return nodes connect only through attribute-less inner nodes: the
+   plan degenerates into a cross product) are excluded up front — this
+   suite exercises the fault machinery, not the rewriter. *)
+let reference_all =
+  lazy
+    (let clean = Engine.create ~max_views (Store.catalog_of doc specs) in
+     List.map
+       (fun pat ->
+         match Engine.query_r clean pat with
+         | Ok r ->
+             let fp = fingerprint r.Engine.rel in
+             if fp = fingerprint (Xam.Embed.eval doc pat) then Some (pat, Some fp)
+             else None
+         | Error (Xerror.No_rewriting _) -> Some (pat, None)
+         | Error err ->
+             Alcotest.failf "fault-free reference errored: %s"
+               (Xerror.to_string err))
+       all_patterns)
+
+let workload () =
+  let kept = List.filter_map Fun.id (Lazy.force reference_all) in
+  Alcotest.(check bool)
+    (Printf.sprintf "workload kept %d/%d patterns" (List.length kept)
+       (List.length all_patterns))
+    true
+    (List.length kept * 2 >= List.length all_patterns);
+  kept
+
+let run_rate rate () =
+  let fs =
+    Faultstore.create ~seed:55 ~fail_rate:rate ~delay_rate:(rate /. 4.)
+      ~delay_ms:0.2 ()
+  in
+  let e =
+    Engine.of_doc ~max_views ~env_wrap:(Faultstore.wrap fs) doc specs
+  in
+  let degraded_answers = ref 0 in
+  List.iteri
+    (fun i (pat, truth) ->
+      let tag = Printf.sprintf "pattern %d at rate %.0f%%" i (rate *. 100.) in
+      match Engine.query_r e pat with
+      | Ok r ->
+          if r.Engine.explain.Explain.degraded then incr degraded_answers;
+          (* Whether the answer came from a surviving rewriting or the
+             degraded base-document fallback, it must equal the
+             fault-free ground truth. *)
+          Alcotest.(check (list string))
+            (tag ^ ": answer matches fault-free ground truth")
+            (fingerprint (Xam.Embed.eval doc pat))
+            (fingerprint r.Engine.rel)
+      | Error (Xerror.No_rewriting _) ->
+          (* Only acceptable when the clean engine cannot answer it
+             either (and then nothing was degraded away). *)
+          Alcotest.(check bool)
+            (tag ^ ": no-rewriting only when the clean engine agrees")
+            true (truth = None)
+      | Error err -> Alcotest.failf "%s: unexpected error %s" tag (Xerror.to_string err)
+      | exception ex ->
+          Alcotest.failf "%s: query_r raised %s" tag (Printexc.to_string ex))
+    (workload ());
+  (* Counter accounting: every injected fault was absorbed (and counted)
+     by the engine, and the degraded counter equals the number of
+     answers whose explain says degraded. *)
+  let c = Engine.counters e in
+  Alcotest.(check int) "faults absorbed = faults injected"
+    (Faultstore.injected fs) c.Engine.faults;
+  Alcotest.(check int) "degraded counter = degraded answers" !degraded_answers
+    c.Engine.degraded;
+  Alcotest.(check int) "quarantine set = distinct quarantined modules"
+    c.Engine.quarantines
+    (List.length (Engine.quarantined e));
+  if rate = 0.0 then (
+    Alcotest.(check int) "no faults injected at rate 0" 0 (Faultstore.injected fs);
+    Alcotest.(check int) "nothing degraded at rate 0" 0 c.Engine.degraded)
+  else
+    (* Guard against a vacuous run: the seed/workload combination must
+       actually put faulting modules in the query path. *)
+    Alcotest.(check bool) "faults were actually injected" true
+      (Faultstore.injected fs > 0)
+
+(* Without a base document there is no fallback: failures must still be
+   classified values, never escaping exceptions. *)
+let test_no_doc_never_raises () =
+  let fs = Faultstore.create ~seed:43 ~fail_rate:0.5 () in
+  let e =
+    Engine.create ~max_views ~env_wrap:(Faultstore.wrap fs)
+      (Store.catalog_of doc specs)
+  in
+  List.iteri
+    (fun i pat ->
+      match Engine.query_r e pat with
+      | Ok _ | Error _ -> ()
+      | exception ex ->
+          Alcotest.failf "pattern %d: query_r raised %s" i
+            (Printexc.to_string ex))
+    all_patterns
+
+(* Truncating faults: short reads shrink answers but must never crash the
+   engine, and the injection counters must account for them. *)
+let test_truncation_never_raises () =
+  let fs = Faultstore.create ~seed:44 ~truncate_rate:0.5 ~keep_fraction:0.3 () in
+  let e = Engine.of_doc ~max_views ~env_wrap:(Faultstore.wrap fs) doc specs in
+  List.iteri
+    (fun i pat ->
+      match Engine.query_r e pat with
+      | Ok _ | Error _ -> ()
+      | exception ex ->
+          Alcotest.failf "pattern %d: query_r raised %s" i
+            (Printexc.to_string ex))
+    all_patterns;
+  Alcotest.(check bool) "some extents were truncated" true
+    (Faultstore.truncated fs > 0)
+
+(* Budget smoke: a three-way cartesian product over every title (hundreds
+   of thousands of output tuples through the tagging plan) — far too
+   expensive to finish — must come back as a classified Budget_exceeded
+   well within the deadline's order of magnitude, not hang. *)
+let expensive =
+  {|for $x in doc("bib")//title, $y in doc("bib")//title, $z in doc("bib")//title return <r>{$x/text()}</r>|}
+
+let test_budget_smoke () =
+  let e = Engine.of_doc ~max_views doc specs in
+  let deadline_ms = 150.0 in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Engine.query_string_r
+       ~budget:{ Engine.unlimited with Engine.deadline_ms = Some deadline_ms }
+       e expensive
+   with
+  | Error (Xerror.Budget_exceeded { dimension = Xerror.Deadline; _ }) -> ()
+  | Error err -> Alcotest.failf "wrong class: %s" (Xerror.to_string err)
+  | Ok r ->
+      Alcotest.failf "expected a deadline stop, got %d output bytes"
+        (String.length r.Engine.output));
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "returned promptly (%.0f ms for a %.0f ms deadline)"
+       elapsed_ms deadline_ms)
+    true
+    (elapsed_ms < 20.0 *. deadline_ms);
+  (* The deterministic flavors of the same guarantee. *)
+  (match
+     Engine.query_string_r
+       ~budget:{ Engine.unlimited with Engine.max_tuples = Some 100 }
+       e expensive
+   with
+  | Error (Xerror.Budget_exceeded { dimension = Xerror.Tuples; _ }) -> ()
+  | _ -> Alcotest.fail "expected a tuple-budget stop");
+  match
+    Engine.query_string_r
+      ~budget:{ Engine.unlimited with Engine.max_steps = Some 10_000 }
+      e expensive
+  with
+  | Error (Xerror.Budget_exceeded { dimension = Xerror.Steps; _ }) -> ()
+  | _ -> Alcotest.fail "expected a step-budget stop"
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "chaos",
+        [ Alcotest.test_case "fault rate 0%" `Quick (run_rate 0.0);
+          Alcotest.test_case "fault rate 10%" `Quick (run_rate 0.1);
+          Alcotest.test_case "fault rate 50%" `Quick (run_rate 0.5);
+          Alcotest.test_case "no base document, typed errors only" `Quick
+            test_no_doc_never_raises;
+          Alcotest.test_case "truncating faults" `Quick
+            test_truncation_never_raises ] );
+      ( "budget",
+        [ Alcotest.test_case "deadline smoke" `Quick test_budget_smoke ] ) ]

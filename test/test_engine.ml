@@ -90,6 +90,121 @@ let test_explain_output () =
   Alcotest.(check bool) "a scan leaf is instrumented" true
     (any (fun n -> contains n.Ph.op "scan" && n.Ph.tuples > 0) root)
 
+(* --- Robustness: typed errors, budgets, quarantine ----------------------- *)
+
+module Xerror = Xengine.Xerror
+module Store = Xstorage.Store
+module Faultstore = Xstorage.Faultstore
+
+let test_query_r_classification () =
+  (* No views: the failure is a classified No_rewriting, and query_r
+     never raises. *)
+  let e = Engine.of_doc doc [] in
+  (match Engine.query_r e query with
+  | Error (Xerror.No_rewriting _) -> ()
+  | Error err -> Alcotest.failf "wrong class: %s" (Xerror.to_string err)
+  | Ok _ -> Alcotest.fail "expected an error");
+  (* Bad XQuery text: classified as a parse error by query_string_r. *)
+  let e = fresh () in
+  (match Engine.query_string_r e "for $x in ((( return $x" with
+  | Error (Xerror.Parse_error _) -> ()
+  | Error err -> Alcotest.failf "wrong class: %s" (Xerror.to_string err)
+  | Ok _ -> Alcotest.fail "expected a parse error");
+  (* The raising wrapper still raises the historical exception. *)
+  let e = Engine.of_doc doc [] in
+  (match Engine.query e query with
+  | exception Engine.No_rewriting _ -> ()
+  | exception ex -> Alcotest.failf "wrong exception: %s" (Printexc.to_string ex)
+  | _ -> Alcotest.fail "expected No_rewriting")
+
+let test_budget_tuples_steps () =
+  let e = fresh () in
+  (match Engine.query_r ~budget:{ Engine.unlimited with Engine.max_tuples = Some 1 } e query with
+  | Error (Xerror.Budget_exceeded { dimension = Xerror.Tuples; _ }) -> ()
+  | Error err -> Alcotest.failf "wrong class: %s" (Xerror.to_string err)
+  | Ok _ -> Alcotest.fail "expected a tuple-budget stop");
+  (match Engine.query_r ~budget:{ Engine.unlimited with Engine.max_steps = Some 2 } e query with
+  | Error (Xerror.Budget_exceeded { dimension = Xerror.Steps; _ }) -> ()
+  | Error err -> Alcotest.failf "wrong class: %s" (Xerror.to_string err)
+  | Ok _ -> Alcotest.fail "expected a step-budget stop");
+  (* A generous budget does not disturb the answer. *)
+  let budget =
+    { Engine.deadline_ms = Some 60_000.0; max_tuples = Some 1_000_000;
+      max_steps = Some 10_000_000 }
+  in
+  (match Engine.query_r ~budget e query with
+  | Ok r ->
+      Alcotest.(check int) "budgeted answer unchanged"
+        (Rel.cardinality (Xam.Embed.eval doc query))
+        (Rel.cardinality r.Engine.rel)
+  | Error err -> Alcotest.failf "unexpected: %s" (Xerror.to_string err));
+  (* query_opt maps any classified failure to None. *)
+  Alcotest.(check bool) "query_opt still answers" true
+    (Engine.query_opt e query <> None)
+
+let test_budget_deadline () =
+  let e = fresh () in
+  match
+    Engine.query_r ~budget:{ Engine.unlimited with Engine.deadline_ms = Some 0.0 } e
+      query
+  with
+  | Error (Xerror.Budget_exceeded { dimension = Xerror.Deadline; _ }) -> ()
+  | Error err -> Alcotest.failf "wrong class: %s" (Xerror.to_string err)
+  | Ok _ -> Alcotest.fail "expected a deadline stop"
+
+let bogus =
+  P.make
+    [ P.v "no_such_label" ~node:(P.mk_node ~id:Xdm.Nid.Structural "no_such_label") [] ]
+
+let test_catalog_validation () =
+  (match Store.catalog_of doc [ ("BAD", bogus) ] with
+  | exception Store.Invalid_module { name; _ } ->
+      Alcotest.(check string) "offending module named" "BAD" name
+  | _ -> Alcotest.fail "expected Invalid_module");
+  let e = fresh () in
+  let cat = Engine.catalog e in
+  let bad_module = Store.materialize doc "BAD" bogus in
+  let broken_catalog =
+    { cat with Store.modules = cat.Store.modules @ [ bad_module ] }
+  in
+  (match Engine.set_catalog_r e broken_catalog with
+  | Error (Xerror.Catalog_invalid { module_name = "BAD"; _ }) -> ()
+  | Error err -> Alcotest.failf "wrong class: %s" (Xerror.to_string err)
+  | Ok () -> Alcotest.fail "expected rejection");
+  (* The engine kept its previous catalog and still answers. *)
+  Alcotest.(check bool) "engine still answers after rejected swap" true
+    (Engine.query_opt e query <> None)
+
+let test_quarantine_and_degraded () =
+  let fs = Faultstore.create ~broken:[ "V1" ] () in
+  let e =
+    Engine.of_doc ~env_wrap:(Faultstore.wrap fs) doc [ ("V1", v1); ("V2", v2) ]
+  in
+  (* V1 faults on first touch; V2 alone cannot answer, so the engine
+     degrades to the base document — same answer, flagged. *)
+  (match Engine.query_r e query with
+  | Ok r ->
+      Alcotest.(check int) "degraded answer matches direct embedding"
+        (Rel.cardinality (Xam.Embed.eval doc query))
+        (Rel.cardinality r.Engine.rel);
+      Alcotest.(check bool) "flagged degraded" true r.Engine.explain.Explain.degraded;
+      Alcotest.(check (list string)) "quarantine visible in explain" [ "V1" ]
+        r.Engine.explain.Explain.quarantined
+  | Error err -> Alcotest.failf "unexpected: %s" (Xerror.to_string err));
+  Alcotest.(check (list string)) "V1 quarantined" [ "V1" ]
+    (List.map fst (Engine.quarantined e));
+  let c = Engine.counters e in
+  Alcotest.(check int) "one fault absorbed" 1 c.Engine.faults;
+  Alcotest.(check int) "one degraded answer" 1 c.Engine.degraded;
+  Alcotest.(check int) "one module quarantined" 1 c.Engine.quarantines;
+  Alcotest.(check int) "faults counted = faults injected" (Faultstore.injected fs)
+    c.Engine.faults;
+  (* A catalog swap clears the quarantine; with a healthy wrap the
+     engine rewrites normally again. *)
+  Engine.set_catalog e (Store.catalog_of doc [ ("V1", v1); ("V2", v2) ]);
+  Alcotest.(check (list string)) "swap clears quarantine" []
+    (List.map fst (Engine.quarantined e))
+
 let test_xquery_front_door () =
   let e = fresh () in
   let src = {|for $b in doc("bib")//book return <t>{$b/title/text()}</t>|} in
@@ -114,4 +229,12 @@ let () =
           Alcotest.test_case "negative outcomes cached" `Quick
             test_negative_caching ] );
       ( "explain",
-        [ Alcotest.test_case "per-operator counts" `Quick test_explain_output ] ) ]
+        [ Alcotest.test_case "per-operator counts" `Quick test_explain_output ] );
+      ( "robustness",
+        [ Alcotest.test_case "typed error classification" `Quick
+            test_query_r_classification;
+          Alcotest.test_case "tuple and step budgets" `Quick test_budget_tuples_steps;
+          Alcotest.test_case "deadline budget" `Quick test_budget_deadline;
+          Alcotest.test_case "catalog validation" `Quick test_catalog_validation;
+          Alcotest.test_case "quarantine and degraded re-plan" `Quick
+            test_quarantine_and_degraded ] ) ]

@@ -57,9 +57,67 @@ let test_to_pred () =
         (Pred.eval schema (tuple (i n)) p))
     [ 0; 1; 2; 3; 4; 5; 8; 9; 10 ]
 
+let test_of_string () =
+  let ok = function Ok _ -> true | Error _ -> false in
+  Alcotest.(check bool) "round trip tt" true (ok (F.of_string (F.serialize F.tt)));
+  Alcotest.(check bool) "garbage rejected" false (ok (F.of_string "not a formula"));
+  Alcotest.(check bool) "truncated rejected" false (ok (F.of_string "("));
+  (* serialize ff = "" — the empty string is the false formula. *)
+  (match F.of_string "" with
+  | Ok f -> Alcotest.(check bool) "empty is ff" true (F.equal f F.ff)
+  | Error _ -> Alcotest.fail "empty string must parse as ff");
+  (match F.of_string "???" with
+  | Error m ->
+      Alcotest.(check bool) "error is prefixed" true
+        (String.length m >= 7 && String.sub m 0 7 = "Formula")
+  | Ok _ -> Alcotest.fail "expected an error");
+  Alcotest.check_raises "deserialize still raises"
+    (Invalid_argument "Formula.of_string: bad interval \"???\"") (fun () ->
+      ignore (F.deserialize "???"))
+
 (* Properties: the interval algebra is a faithful boolean algebra over
    [holds]. *)
 let value_gen = QCheck2.Gen.(map (fun n -> i n) (int_range (-20) 20))
+
+(* Values for the serialization round trip: ints plus strings chosen to
+   collide with the wire format's separators and escapes. *)
+let tricky_strings =
+  [ ""; "plain"; "b,c"; "(x)"; ";"; "a;b)c(d,"; "\\"; "\""; "\\034"; "tab\there";
+    "line\nbreak"; "caf\xc3\xa9"; "\000nul" ]
+
+let rt_value_gen =
+  QCheck2.Gen.(
+    oneof
+      [ map i (int_range (-1000) 1000);
+        map s (oneofl tricky_strings);
+        map s (string_size ~gen:printable (int_range 0 12));
+        map (fun b -> V.Bool b) bool ])
+
+let rt_formula_gen =
+  let open QCheck2.Gen in
+  let atom =
+    oneof
+      [ map F.eq rt_value_gen; map F.lt rt_value_gen; map F.gt rt_value_gen;
+        map F.le rt_value_gen; map F.ge rt_value_gen; map F.ne rt_value_gen;
+        return F.tt; return F.ff ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then atom
+      else
+        frequency
+          [ (2, atom);
+            (1, map2 F.conj (self (depth - 1)) (self (depth - 1)));
+            (1, map2 F.disj (self (depth - 1)) (self (depth - 1)));
+            (1, map F.neg (self (depth - 1))) ])
+    3
+
+let prop_round_trip =
+  QCheck2.Test.make ~name:"of_string ∘ serialize = Ok ∘ id" ~count:1000
+    ~print:(fun f -> F.serialize f) rt_formula_gen (fun f ->
+      match F.of_string (F.serialize f) with
+      | Ok f' -> F.equal f f'
+      | Error _ -> false)
 
 let formula_gen =
   let open QCheck2.Gen in
@@ -109,9 +167,11 @@ let () =
           Alcotest.test_case "boolean algebra" `Quick test_algebra;
           Alcotest.test_case "implication" `Quick test_implication;
           Alcotest.test_case "disequality" `Quick test_ne;
-          Alcotest.test_case "compilation to predicates" `Quick test_to_pred ] );
+          Alcotest.test_case "compilation to predicates" `Quick test_to_pred;
+          Alcotest.test_case "of_string totality" `Quick test_of_string ] );
       ( "props",
-        [ QCheck_alcotest.to_alcotest prop_conj;
+        [ QCheck_alcotest.to_alcotest prop_round_trip;
+          QCheck_alcotest.to_alcotest prop_conj;
           QCheck_alcotest.to_alcotest prop_disj;
           QCheck_alcotest.to_alcotest prop_neg;
           QCheck_alcotest.to_alcotest prop_implies_sound ] ) ]
