@@ -3,7 +3,11 @@
    narrative, on the synthetic corpora. See DESIGN.md for the experiment
    index and EXPERIMENTS.md for recorded paper-vs-measured results.
 
-   Usage: main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|micro|all]        (default: all) *)
+   Usage: main.exe [e1|e2|...|e10|micro|pmicro|all]... [--json FILE]
+   (default: all). Several experiments may be named in one invocation.
+   With [--json FILE] every recorded measurement is also written to FILE
+   as a flat JSON list of {experiment, metric, value, unit} objects —
+   the artifact the CI bench-smoke job uploads. *)
 
 module P = Xam.Pattern
 module S = Xsummary.Summary
@@ -28,6 +32,44 @@ let bench_ms ?(repeats = 5) f =
   List.nth (List.sort compare samples) (repeats / 2)
 
 let header title = Printf.printf "\n== %s ==\n%!" title
+
+(* --- JSON measurement log (--json FILE) ----------------------------------- *)
+
+let json_records : (string * string * float * string) list ref = ref []
+
+let record ~experiment ~metric ~value ~units =
+  json_records := (experiment, metric, value, units) :: !json_records
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json file =
+  let oc = open_out file in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (experiment, metric, value, units) ->
+      Printf.fprintf oc
+        "  {\"experiment\": \"%s\", \"metric\": \"%s\", \"value\": %s, \
+         \"unit\": \"%s\"}%s\n"
+        (json_escape experiment) (json_escape metric)
+        (if Float.is_finite value then Printf.sprintf "%.6g" value else "null")
+        (json_escape units)
+        (if i = List.length !json_records - 1 then "" else ","))
+    (List.rev !json_records);
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d measurements to %s\n%!" (List.length !json_records) file
 
 let fmt_bytes n =
   if n > 1_000_000 then Printf.sprintf "%.1fMB" (float_of_int n /. 1e6)
@@ -566,14 +608,145 @@ let micro () =
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
-      | Some (est :: _) -> Printf.printf "%-34s %14.0f\n" name est
+      | Some (est :: _) ->
+          record ~experiment:"micro" ~metric:name ~value:est ~units:"ns/run";
+          Printf.printf "%-34s %14.0f\n" name est
       | _ -> Printf.printf "%-34s %14s\n" name "-")
     results
+
+(* ----------------------------------------------------------------- pmicro *)
+
+(* Parallel scaling micro: the partition-parallel structural join and
+   [Engine.query_batch] at 1 / 2 / 4 domains. Besides the timings, every
+   parallel answer is checked against the sequential one — a divergence
+   is a hard failure (exit 1), which is what the CI bench-smoke job keys
+   on. On few-core machines the speedup is naturally flat; the recorded
+   [hardware_threads] puts the numbers in context. *)
+let pmicro () =
+  header "pmicro: parallel scaling (struct join, query batch) at 1/2/4 domains";
+  let module Pool = Xengine.Pool in
+  let module Engine = Xengine.Engine in
+  let hw = Domain.recommended_domain_count () in
+  record ~experiment:"pmicro" ~metric:"hardware_threads"
+    ~value:(float_of_int hw) ~units:"domains";
+  Printf.printf "hardware threads: %d\n" hw;
+  let doc = Lazy.force xmark_doc in
+  let extent label =
+    Xam.Embed.eval doc
+      (P.make [ P.v label ~node:(P.mk_node ~id:Xdm.Nid.Structural label) [] ])
+  in
+  let items = extent "item" and keywords = extent "keyword" in
+  Printf.printf "struct join: %d items // %d keywords\n"
+    (Rel.cardinality items) (Rel.cardinality keywords);
+  let join_plan =
+    Xalgebra.Logical.Struct_join
+      { kind = Xalgebra.Logical.Inner; axis = Xalgebra.Logical.Descendant;
+        lpath = [ "ID0" ]; rpath = [ "ID0'" ]; nest_as = "";
+        left = Xalgebra.Logical.Table items;
+        right =
+          Xalgebra.Logical.Rename
+            ([ ("ID0", "ID0'") ], Xalgebra.Logical.Table keywords) }
+  in
+  let env = Xalgebra.Eval.env_of_list [] in
+  let baseline = Xalgebra.Physical.run env join_plan in
+  let join_ms = Hashtbl.create 4 in
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let par = Pool.par ~chunk_min:64 pool in
+          let got = Xalgebra.Physical.run ~parallel:par env join_plan in
+          if got <> baseline then (
+            Printf.eprintf
+              "FATAL: parallel struct join at %d domains diverged from \
+               sequential\n"
+              domains;
+            exit 1);
+          let ms =
+            bench_ms ~repeats:5 (fun () ->
+                Xalgebra.Physical.run ~parallel:par env join_plan)
+          in
+          Hashtbl.replace join_ms domains ms;
+          record ~experiment:"pmicro"
+            ~metric:(Printf.sprintf "struct_join_ms_d%d" domains)
+            ~value:ms ~units:"ms";
+          Printf.printf "struct join, %d domain(s): %8.2f ms\n%!" domains ms))
+    [ 1; 2; 4 ];
+  (let t1 = Hashtbl.find join_ms 1 and t4 = Hashtbl.find join_ms 4 in
+   if t4 > 0.0 then (
+     record ~experiment:"pmicro" ~metric:"struct_join_speedup_d4"
+       ~value:(t1 /. t4) ~units:"x";
+     Printf.printf "struct join speedup at 4 domains: %.2fx\n" (t1 /. t4)));
+  (* Independent queries through query_batch, fresh engine per
+     configuration so every run re-plans from a cold cache. *)
+  let bdoc = Xworkload.Gen_bib.generate_doc ~seed:9 ~books:500 ~theses:200 () in
+  let bs = S.of_doc bdoc in
+  let specs = Xstorage.Models.path_partitioned bs in
+  let pats =
+    List.concat_map
+      (fun (seed, labels) ->
+        Xworkload.Pattern_gen.generate_many ~seed bs
+          { Xworkload.Pattern_gen.default with return_labels = labels; size = 4;
+            optional_p = 0.2 }
+          ~count:12)
+      [ (7, [ "title" ]); (8, [ "author" ]); (9, [ "title"; "author" ]) ]
+  in
+  Printf.printf "query batch: %d patterns\n%!" (List.length pats);
+  let outcome = function
+    | Ok (r : Engine.result) ->
+        Ok (List.sort compare (List.map (fun t -> Marshal.to_string t [])
+              r.Engine.rel.Rel.tuples))
+    | Error e -> Error (Xengine.Xerror.to_string e)
+  in
+  let run_batch domains =
+    let e = Engine.of_doc ~max_views:4 bdoc specs in
+    let t, results =
+      time_ms (fun () -> Engine.query_batch ~domains e pats)
+    in
+    (t, List.map outcome results)
+  in
+  let _, expected = run_batch 1 in
+  let batch_ms = Hashtbl.create 4 in
+  List.iter
+    (fun domains ->
+      let ms, got = run_batch domains in
+      if got <> expected then (
+        Printf.eprintf
+          "FATAL: query_batch at %d domains diverged from sequential\n" domains;
+        exit 1);
+      Hashtbl.replace batch_ms domains ms;
+      record ~experiment:"pmicro"
+        ~metric:(Printf.sprintf "query_batch_ms_d%d" domains)
+        ~value:ms ~units:"ms";
+      Printf.printf "query batch, %d domain(s): %8.2f ms\n%!" domains ms)
+    [ 1; 2; 4 ];
+  let t1 = Hashtbl.find batch_ms 1 and t4 = Hashtbl.find batch_ms 4 in
+  if t4 > 0.0 then (
+    record ~experiment:"pmicro" ~metric:"query_batch_speedup_d4"
+      ~value:(t1 /. t4) ~units:"x";
+    Printf.printf "query batch speedup at 4 domains: %.2fx\n" (t1 /. t4))
 
 (* ------------------------------------------------------------------ main *)
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let json_file = ref None in
+  let rec positional = function
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        positional rest
+    | [ "--json" ] ->
+        Printf.eprintf "--json needs a file argument\n";
+        exit 1
+    | a :: rest -> a :: positional rest
+    | [] -> []
+  in
+  let which =
+    match positional (List.tl (Array.to_list Sys.argv)) with
+    | [] -> [ "all" ]
+    | ws -> ws
+  in
   let run = function
     | "e1" -> e1 ()
     | "e2" -> e2 ()
@@ -586,10 +759,17 @@ let () =
     | "e9" -> e9 ()
     | "e10" -> e10 ()
     | "micro" -> micro ()
+    | "pmicro" -> pmicro ()
     | other ->
-        Printf.eprintf "unknown experiment %S (e1..e10, micro, all)\n" other;
+        Printf.eprintf "unknown experiment %S (e1..e10, micro, pmicro, all)\n"
+          other;
         exit 1
   in
-  match which with
-  | "all" -> List.iter run [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10" ]
-  | w -> run w
+  List.iter
+    (function
+      | "all" ->
+          List.iter run
+            [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10" ]
+      | w -> run w)
+    which;
+  match !json_file with Some f -> write_json f | None -> ()

@@ -1063,7 +1063,8 @@ let specialize_query qi s (entry : Canonical.entry) =
   let perm = Array.of_list (List.rev !order) in
   if Array.length perm <> Array.length q_rets then None else Some (spec, perm)
 
-let rec rewrite ?(constraints = true) ?(max_views = 3) ?(max_matches = 64) s ~query ~views =
+let rec rewrite ?(constraints = true) ?(max_views = 3) ?(max_matches = 64)
+    ?(parallel = Xalgebra.Par.sequential) s ~query ~views =
   let qi = index_query s query in
   let all_matches =
     List.concat_map
@@ -1157,10 +1158,19 @@ let rec rewrite ?(constraints = true) ?(max_views = 3) ?(max_matches = 64) s ~qu
                       views_used = List.map (fun m -> m.view.vname) candidate }
                 else None)
   in
-  let results = List.filter_map attempt candidates in
+  (* The generate-and-test loop is embarrassingly parallel: each candidate
+     runs its own containment checks over read-only indexes (qi, summary,
+     views). Results come back in candidate order, so the final ranking is
+     the same as the sequential one. *)
+  let results =
+    if parallel.Xalgebra.Par.degree > 1 && List.length candidates > 1 then
+      Array.to_list (parallel.Xalgebra.Par.map attempt (Array.of_list candidates))
+      |> List.filter_map Fun.id
+    else List.filter_map attempt candidates
+  in
   let results =
     if results <> [] then results
-    else union_rewritings ~constraints ~max_views ~max_matches s qi ~views
+    else union_rewritings ~constraints ~max_views ~max_matches ~parallel s qi ~views
   in
   let seen = Hashtbl.create 8 in
   List.filter
@@ -1177,11 +1187,11 @@ let rec rewrite ?(constraints = true) ?(max_views = 3) ?(max_matches = 64) s ~qu
    query is split into its canonical-model specializations; if every
    specialization rewrites, their plans union into a rewriting of the
    whole query. *)
-and union_rewritings ~constraints ~max_views ~max_matches s qi ~views =
-  try union_rewritings_exn ~constraints ~max_views ~max_matches s qi ~views
+and union_rewritings ~constraints ~max_views ~max_matches ~parallel s qi ~views =
+  try union_rewritings_exn ~constraints ~max_views ~max_matches ~parallel s qi ~views
   with Not_found -> []
 
-and union_rewritings_exn ~constraints ~max_views ~max_matches s qi ~views =
+and union_rewritings_exn ~constraints ~max_views ~max_matches ~parallel s qi ~views =
   if not (Pattern.is_conjunctive qi.q) then []
   else
     let entries = List.of_seq (Seq.take 17 (Canonical.model s qi.q)) in
@@ -1191,13 +1201,22 @@ and union_rewritings_exn ~constraints ~max_views ~max_matches s qi ~views =
       if List.exists Option.is_none specs then []
       else
         let specs = List.map Option.get specs in
+        (* Each canonical-model specialization rewrites independently; with
+           a pool this fans the branches out across domains (the nested
+           rewrite's own candidate map then runs sequentially — the pool
+           refuses re-entrant batches). *)
+        let rewrite_spec (spec, perm) =
+          match
+            rewrite ~constraints ~max_views ~max_matches ~parallel s ~query:spec ~views
+          with
+          | [] -> None
+          | r :: _ -> Some (r, perm)
+        in
         let parts =
-          List.map
-            (fun (spec, perm) ->
-              match rewrite ~constraints ~max_views ~max_matches s ~query:spec ~views with
-              | [] -> None
-              | r :: _ -> Some (r, perm))
-            specs
+          if parallel.Xalgebra.Par.degree > 1 && List.length specs > 1 then
+            Array.to_list
+              (parallel.Xalgebra.Par.map rewrite_spec (Array.of_list specs))
+          else List.map rewrite_spec specs
         in
         if List.exists Option.is_none parts then []
         else

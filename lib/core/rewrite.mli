@@ -44,6 +44,7 @@ val rewrite :
   ?constraints:bool ->
   ?max_views:int ->
   ?max_matches:int ->
+  ?parallel:Xalgebra.Par.t ->
   Summary.t ->
   query:Pattern.t ->
   views:view list ->
@@ -51,7 +52,11 @@ val rewrite :
 (** All rewritings found, duplicate-plan-free. [constraints] (default
     [true]) enables the strong-edge chase; [max_views] (default 3) bounds
     the number of views in one plan; [max_matches] (default 64) caps the
-    matches considered per view. *)
+    matches considered per view. [parallel] (default
+    {!Xalgebra.Par.sequential}) fans the generate-and-test loop — the
+    per-candidate containment checks of §5.5, and the per-specialization
+    branches of the union rewriting (§5.3) — out across domains; the
+    result list is identical to the sequential one, in the same order. *)
 
 val best : rewriting list -> rewriting option
 (** Minimal plan (fewest operators), as in §5.3. *)

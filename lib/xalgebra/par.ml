@@ -1,0 +1,19 @@
+type t = {
+  degree : int;
+  chunk_min : int;
+  verify : bool;
+  map : 'a 'b. ('a -> 'b) -> 'a array -> 'b array;
+}
+
+let sequential =
+  { degree = 1; chunk_min = max_int; verify = false; map = (fun f a -> Array.map f a) }
+
+let map_list p f l = Array.to_list (p.map f (Array.of_list l))
+
+let filter p pred arr =
+  let keep = p.map pred arr in
+  let out = ref [] in
+  for i = Array.length arr - 1 downto 0 do
+    if keep.(i) then out := arr.(i) :: !out
+  done;
+  Array.of_list !out

@@ -1,0 +1,33 @@
+(** A capability for data-parallel evaluation, threaded into the layers
+    that can exploit it (the physical operators, the rewriter) without
+    tying them to any particular scheduler.
+
+    The record is deliberately first-class: the engine layer builds one
+    from its domain pool ({!Xengine.Pool.par}) and passes it down;
+    everything below stays scheduler-agnostic and, given {!sequential},
+    byte-identical to the single-domain code path. *)
+
+type t = {
+  degree : int;
+      (** parallelism available; [1] means run everything inline *)
+  chunk_min : int;
+      (** smallest collection worth splitting — below it, operators use
+          their sequential path unchanged *)
+  verify : bool;
+      (** when set, parallel operators recompute their result
+          sequentially and fail loudly on any divergence (used by the
+          determinism tests and the bench smoke job) *)
+  map : 'a 'b. ('a -> 'b) -> 'a array -> 'b array;
+      (** order-preserving map: result slot [i] holds [f arr.(i)].
+          Implementations must be safe to call re-entrantly (a nested
+          call may simply run sequentially). *)
+}
+
+val sequential : t
+(** Degree 1, plain [Array.map] — the default everywhere. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, preserving order. *)
+
+val filter : t -> ('a -> bool) -> 'a array -> 'a array
+(** Parallel predicate evaluation, sequential order-preserving gather. *)

@@ -143,14 +143,42 @@ let stack_tree_anc ~axis (ancs : (Nid.t * Rel.tuple) array)
   done;
   List.rev !out
 
+(* --- Partition-parallel structural join ------------------------------------ *)
+
+(* The stack-tree algorithms are data-parallel over the descendant side:
+   the pairs emitted for a descendant [d] depend only on the ancestor
+   array (every ancestor starting before [d] is replayed from index 0)
+   and on [d] itself — never on the other descendants. Splitting the
+   descendant array into contiguous document-order chunks and
+   concatenating the per-chunk outputs therefore reproduces the
+   sequential output {e exactly}, pair for pair, because sequential
+   emission is grouped by descendant in array order. *)
+let parallel_pairs join (par : Par.t) ~axis ancs descs =
+  let n = Array.length descs in
+  if par.Par.degree <= 1 || n < par.Par.chunk_min then join ~axis ancs descs
+  else begin
+    let k = min par.Par.degree (max 1 (n / max 1 (par.Par.chunk_min / 2))) in
+    let bounds = Array.init k (fun i -> (i * n / k, (i + 1) * n / k)) in
+    let parts =
+      par.Par.map
+        (fun (lo, hi) -> join ~axis ancs (Array.sub descs lo (hi - lo)))
+        bounds
+    in
+    let pairs = List.concat (Array.to_list parts) in
+    if par.Par.verify && pairs <> join ~axis ancs descs then
+      invalid_arg "Physical: parallel structural join diverged from sequential";
+    pairs
+  end
+
 (* --- Compilation ----------------------------------------------------------- *)
 
 exception Fallback
 
 (* Compilation context: the evaluation environment plus a hook applied to
    every compiled operator — identity for plain compilation, a
-   stats-wrapping closure for instrumented runs. *)
-type ctx = { env : Eval.env; wrap : Logical.t -> t -> t }
+   stats-wrapping closure for instrumented runs — and the parallel
+   capability the structural joins split their work over. *)
+type ctx = { env : Eval.env; wrap : Logical.t -> t -> t; par : Par.t }
 
 let sub_plans = function
   | Logical.Scan _ | Logical.Table _ -> []
@@ -530,13 +558,14 @@ and struct_join_stream ctx kind axis lpath rpath left right : t =
         in
         let ancs = prepare pl li lpath in
         let descs = prepare pr ri rpath in
-        let pairs = stack_tree_desc ~axis:axis' ancs descs in
+        let pairs = parallel_pairs stack_tree_desc ctx.par ~axis:axis' ancs descs in
         of_list (List.map (fun (a, d) -> Rel.concat_tuples a d) pairs)) }
 
-let compile env plan = compile_ctx { env; wrap = (fun _ p -> p) } plan
+let compile ?(parallel = Par.sequential) env plan =
+  compile_ctx { env; wrap = (fun _ p -> p); par = parallel } plan
 
-let run env plan =
-  let p = compile env plan in
+let run ?parallel env plan =
+  let p = compile ?parallel env plan in
   Rel.make p.schema (drain (p.open_ ()))
 
 (* --- Per-query resource budgets ------------------------------------------- *)
@@ -602,7 +631,8 @@ let op_name = function
 let fresh_stats node =
   { op = op_name node; tuples = 0; nexts = 0; elapsed = 0.0; children = [] }
 
-let compile_instrumented ?(clock = Sys.time) ?budget env plan =
+let compile_instrumented ?(clock = Sys.time) ?budget ?(parallel = Par.sequential) env
+    plan =
   (* Every compiled operator gets a stats node counting next() calls,
      tuples produced and wall time (inclusive of its inputs, since a
      parent's next() pulls on its children). Keyed by physical identity of
@@ -643,7 +673,7 @@ let compile_instrumented ?(clock = Sys.time) ?budget env plan =
             (match r with Some _ -> st.tuples <- st.tuples + 1 | None -> ());
             r) }
   in
-  let p = compile_ctx { env; wrap } plan in
+  let p = compile_ctx { env; wrap; par = parallel } plan in
   let find node =
     List.find_map (fun (n, st) -> if n == node then Some st else None) !table
   in
@@ -656,8 +686,8 @@ let compile_instrumented ?(clock = Sys.time) ?budget env plan =
   in
   (p, build plan)
 
-let run_instrumented ?clock ?budget env plan =
-  let p, stats = compile_instrumented ?clock ?budget env plan in
+let run_instrumented ?clock ?budget ?parallel env plan =
+  let p, stats = compile_instrumented ?clock ?budget ?parallel env plan in
   match budget with
   | None -> (Rel.make p.schema (drain (p.open_ ())), stats)
   | Some b ->

@@ -24,14 +24,22 @@ type t = {
   open_ : unit -> cursor;
 }
 
-val compile : Eval.env -> Logical.t -> t
+val compile : ?parallel:Par.t -> Eval.env -> Logical.t -> t
 (** Compile a logical plan to a physical one. Structural joins become
     StackTreeDesc (inner/outer/semi; output ordered by the descendant
     column) over inputs sorted on their join attributes, with Sort
     enforcers inserted as needed; top-level equality value joins become
-    hash joins; other predicates fall back to nested loops. *)
+    hash joins; other predicates fall back to nested loops.
 
-val run : Eval.env -> Logical.t -> Rel.t
+    With [parallel] (default {!Par.sequential}), a structural join whose
+    descendant side holds at least [parallel.chunk_min] tuples is
+    partitioned into contiguous document-order chunks evaluated across
+    domains and concatenated — producing the {e same pairs in the same
+    order} as the sequential algorithm (each descendant's pairs depend
+    only on the ancestor array). [parallel.verify] re-runs the
+    sequential join and raises on any divergence. *)
+
+val run : ?parallel:Par.t -> Eval.env -> Logical.t -> Rel.t
 (** Compile and drain. *)
 
 (** {1 Per-query resource budgets} *)
@@ -76,7 +84,12 @@ type op_stats = {
     shape. Counters fill in as the compiled cursor is drained. *)
 
 val compile_instrumented :
-  ?clock:(unit -> float) -> ?budget:budget -> Eval.env -> Logical.t -> t * op_stats
+  ?clock:(unit -> float) ->
+  ?budget:budget ->
+  ?parallel:Par.t ->
+  Eval.env ->
+  Logical.t ->
+  t * op_stats
 (** Compile with every operator's cursor wrapped in a counting node.
     [clock] (default [Sys.time]) supplies timestamps in seconds — pass
     [Unix.gettimeofday] for wall-clock resolution. The returned stats tree
@@ -88,6 +101,7 @@ val compile_instrumented :
 val run_instrumented :
   ?clock:(unit -> float) ->
   ?budget:budget ->
+  ?parallel:Par.t ->
   Eval.env ->
   Logical.t ->
   Rel.t * op_stats

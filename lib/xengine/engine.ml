@@ -12,14 +12,29 @@ module Cost = Xstorage.Cost
 exception No_rewriting of string
 
 type counters = {
-  mutable queries : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable rewrites : int;
-  mutable fallbacks : int;
-  mutable faults : int;
-  mutable degraded : int;
-  mutable quarantines : int;
+  queries : int;
+  hits : int;
+  misses : int;
+  rewrites : int;
+  fallbacks : int;
+  faults : int;
+  degraded : int;
+  quarantines : int;
+}
+
+(* The live counters are atomics: queries may run concurrently across
+   domains ({!query_batch}), and the chaos suite's exact accounting
+   (faults absorbed = faults injected, etc.) must hold under any
+   interleaving. [counters] snapshots them into the plain record above. *)
+type acounters = {
+  a_queries : int Atomic.t;
+  a_hits : int Atomic.t;
+  a_misses : int Atomic.t;
+  a_rewrites : int Atomic.t;
+  a_fallbacks : int Atomic.t;
+  a_faults : int Atomic.t;
+  a_degraded : int Atomic.t;
+  a_quarantines : int Atomic.t;
 }
 
 type budget = {
@@ -36,17 +51,27 @@ type cached = { rewriting : Rewrite.rewriting option; cost : float; candidates :
 
 type t = {
   mutable catalog : Store.catalog;
-  mutable generation : int;
+  generation : int Atomic.t;
   mutable env : Eval.env;
   doc : Xdm.Doc.t option;
   cache : cached Lru.t;
-  counters : counters;
+  lock : Mutex.t;
+      (* guards the plan cache, the quarantine table and catalog swaps;
+         never held across planning or execution *)
+  counters : acounters;
   constraints : bool;
   max_views : int;
   budget : budget;
   env_wrap : Eval.env -> Eval.env;
   quarantined : (string, string) Hashtbl.t;  (* module name -> fault reason *)
+  par : Xalgebra.Par.t;
+      (* the parallel capability handed to the rewriter and the physical
+         operators; [Par.sequential] without a pool *)
 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 type result = { rel : Rel.t; explain : Explain.t }
 
@@ -59,36 +84,53 @@ let catalog_error catalog =
       Some (Xerror.Catalog_invalid { module_name = name; reason })
 
 let create ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
-    ?(budget = unlimited) ?(env_wrap = Fun.id) ?doc catalog =
+    ?(budget = unlimited) ?(env_wrap = Fun.id) ?pool ?doc catalog =
   (match catalog_error catalog with
   | Some e -> raise (Xerror.Error e)
   | None -> ());
   { catalog;
-    generation = 0;
+    generation = Atomic.make 0;
     env = env_wrap (Store.env catalog);
     doc;
     cache = Lru.create cache_capacity;
+    lock = Mutex.create ();
     counters =
-      { queries = 0; hits = 0; misses = 0; rewrites = 0; fallbacks = 0;
-        faults = 0; degraded = 0; quarantines = 0 };
+      { a_queries = Atomic.make 0; a_hits = Atomic.make 0;
+        a_misses = Atomic.make 0; a_rewrites = Atomic.make 0;
+        a_fallbacks = Atomic.make 0; a_faults = Atomic.make 0;
+        a_degraded = Atomic.make 0; a_quarantines = Atomic.make 0 };
     constraints;
     max_views;
     budget;
     env_wrap;
-    quarantined = Hashtbl.create 8 }
+    quarantined = Hashtbl.create 8;
+    par = (match pool with Some p -> Pool.par p | None -> Xalgebra.Par.sequential) }
 
-let of_doc ?cache_capacity ?constraints ?max_views ?budget ?env_wrap doc specs =
-  create ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ~doc
+let of_doc ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?pool doc
+    specs =
+  create ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?pool ~doc
     (Store.catalog_of doc specs)
 
 let catalog t = t.catalog
-let counters t = t.counters
+
+let counters t =
+  { queries = Atomic.get t.counters.a_queries;
+    hits = Atomic.get t.counters.a_hits;
+    misses = Atomic.get t.counters.a_misses;
+    rewrites = Atomic.get t.counters.a_rewrites;
+    fallbacks = Atomic.get t.counters.a_fallbacks;
+    faults = Atomic.get t.counters.a_faults;
+    degraded = Atomic.get t.counters.a_degraded;
+    quarantines = Atomic.get t.counters.a_quarantines }
+
 let env t = t.env
 let summary t = t.catalog.Store.summary
-let cache_length t = Lru.length t.cache
+let cache_length t = with_lock t (fun () -> Lru.length t.cache)
 
 let quarantined t =
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.quarantined [])
+  with_lock t (fun () ->
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.quarantined []))
 
 let quarantined_names t = List.map fst (quarantined t)
 
@@ -99,10 +141,11 @@ let set_catalog_r t catalog =
       (* Entries of earlier generations become unreachable (the key embeds
          the generation) and age out of the LRU. A catalog swap is a new
          storage world: the quarantine set is cleared with it. *)
-      Hashtbl.reset t.quarantined;
-      t.catalog <- catalog;
-      t.generation <- t.generation + 1;
-      t.env <- t.env_wrap (Store.env catalog);
+      with_lock t (fun () ->
+          Hashtbl.reset t.quarantined;
+          t.catalog <- catalog;
+          Atomic.incr t.generation;
+          t.env <- t.env_wrap (Store.env catalog));
       Ok ()
 
 let set_catalog t catalog =
@@ -117,24 +160,30 @@ let add_module t m =
    every cached plan that might mention it dies, and let the caller
    re-plan against the survivors. *)
 let quarantine t name reason =
-  if not (Hashtbl.mem t.quarantined name) then (
-    Hashtbl.replace t.quarantined name reason;
-    t.counters.quarantines <- t.counters.quarantines + 1);
-  t.counters.faults <- t.counters.faults + 1;
-  t.generation <- t.generation + 1
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.quarantined name) then (
+        Hashtbl.replace t.quarantined name reason;
+        Atomic.incr t.counters.a_quarantines));
+  Atomic.incr t.counters.a_faults;
+  Atomic.incr t.generation
+
+let quarantine_empty t =
+  with_lock t (fun () -> Hashtbl.length t.quarantined = 0)
 
 let cache_key t pattern =
   Printf.sprintf "%s@%d"
     (Canonical.cache_key t.catalog.Store.summary pattern)
-    t.generation
+    (Atomic.get t.generation)
 
 let active_views t =
   let views = Store.views t.catalog in
-  if Hashtbl.length t.quarantined = 0 then views
-  else
-    List.filter
-      (fun (v : Rewrite.view) -> not (Hashtbl.mem t.quarantined v.Rewrite.vname))
-      views
+  with_lock t (fun () ->
+      if Hashtbl.length t.quarantined = 0 then views
+      else
+        List.filter
+          (fun (v : Rewrite.view) ->
+            not (Hashtbl.mem t.quarantined v.Rewrite.vname))
+          views)
 
 (* Plan the pattern: consult the cache, otherwise rewrite against the
    catalog's live (non-quarantined) views and rank by cost. Returns the
@@ -142,17 +191,20 @@ let active_views t =
    hit). *)
 let plan_for t pattern =
   let key = cache_key t pattern in
-  match Lru.find t.cache key with
+  match with_lock t (fun () -> Lru.find t.cache key) with
   | Some c ->
-      t.counters.hits <- t.counters.hits + 1;
+      Atomic.incr t.counters.a_hits;
       (c, true, 0.0)
   | None ->
-      t.counters.misses <- t.counters.misses + 1;
-      t.counters.rewrites <- t.counters.rewrites + 1;
+      Atomic.incr t.counters.a_misses;
+      Atomic.incr t.counters.a_rewrites;
       let t0 = now_ms () in
+      (* The lock is released during rewriting and costing: concurrent
+         misses on the same key just race to [Lru.add] the same answer. *)
       let rws =
         Rewrite.rewrite ~constraints:t.constraints ~max_views:t.max_views
-          t.catalog.Store.summary ~query:pattern ~views:(active_views t)
+          ~parallel:t.par t.catalog.Store.summary ~query:pattern
+          ~views:(active_views t)
       in
       let c =
         match Cost.choose_with_cost t.env rws with
@@ -160,7 +212,7 @@ let plan_for t pattern =
             { rewriting = Some r; cost; candidates = List.length rws }
         | None -> { rewriting = None; cost = Float.nan; candidates = 0 }
       in
-      Lru.add t.cache key c;
+      with_lock t (fun () -> Lru.add t.cache key c);
       (c, false, now_ms () -. t0)
 
 (* The answer's schema belongs to the query, not to whichever views the
@@ -189,8 +241,8 @@ let execute t pattern (c : cached) cache_hit rewrite_ms pb ~degraded
     (r : Rewrite.rewriting) =
   let t0 = now_ms () in
   let rel, stats =
-    Physical.run_instrumented ~clock:Unix.gettimeofday ?budget:pb t.env
-      r.Rewrite.plan
+    Physical.run_instrumented ~clock:Unix.gettimeofday ?budget:pb
+      ~parallel:t.par t.env r.Rewrite.plan
   in
   let rel = normalize_schema pattern rel in
   let exec_ms = now_ms () -. t0 in
@@ -274,7 +326,7 @@ let degraded_fallback t pattern err =
       match Xam.Embed.eval doc pattern with
       | exception e -> Error (Xerror.Exec_error (Printexc.to_string e))
       | rel ->
-          t.counters.fallbacks <- t.counters.fallbacks + 1;
+          Atomic.incr t.counters.a_fallbacks;
           let card = Rel.cardinality rel in
           Ok
             { rel;
@@ -307,15 +359,15 @@ let rec attempt t pattern pb ~faults_seen =
   else
     match plan_and_execute t pattern pb ~degraded:(faults_seen > 0) with
     | Ok _ as ok ->
-        if faults_seen > 0 then t.counters.degraded <- t.counters.degraded + 1;
+        if faults_seen > 0 then Atomic.incr t.counters.a_degraded;
         ok
     | Error (Xerror.No_rewriting _) as err
-      when faults_seen > 0 || Hashtbl.length t.quarantined > 0 -> (
+      when faults_seen > 0 || not (quarantine_empty t) -> (
         (* The rewriting was lost to a fault — in this call or an earlier
            one that quarantined a module. Degrade rather than refuse. *)
         match degraded_fallback t pattern err with
         | Ok _ as ok ->
-            t.counters.degraded <- t.counters.degraded + 1;
+            Atomic.incr t.counters.a_degraded;
             ok
         | Error _ as e -> e)
     | Error _ as err -> err
@@ -334,7 +386,7 @@ let budget_error t override (dimension : Physical.budget_dimension) limit =
   Xerror.Budget_exceeded { dimension = Xerror.of_dimension dimension; limit }
 
 let query_r ?budget t pattern =
-  t.counters.queries <- t.counters.queries + 1;
+  Atomic.incr t.counters.a_queries;
   let pb = physical_budget t budget in
   match attempt t pattern pb ~faults_seen:0 with
   | res -> res
@@ -352,6 +404,28 @@ let query t pattern =
 let query_opt t pattern =
   match query_r t pattern with Ok r -> Some r | Error _ -> None
 
+(* --- Inter-query parallelism ----------------------------------------------- *)
+
+(* Run independent patterns concurrently on a transient pool. Each query
+   keeps its own budget, fault recovery and degraded fallback; the
+   counters are atomics and the plan cache / quarantine table are behind
+   [t.lock], so the accounting matches the sequential run exactly. The
+   result list is in input order regardless of completion order. *)
+let query_batch ?budget ?(domains = 1) t patterns =
+  if domains <= 1 || List.length patterns <= 1 then
+    List.map (fun p -> query_r ?budget t p) patterns
+  else begin
+    (* The base document memoizes its label index on first use; build it
+       before fanning out so no two domains race to install it. *)
+    (match t.doc with
+    | Some d -> ignore (Xdm.Doc.nodes_with_label d "#warm")
+    | None -> ());
+    let pool = Pool.create ~domains () in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> Pool.map_list pool (fun p -> query_r ?budget t p) patterns)
+  end
+
 (* --- XQuery front door ----------------------------------------------------- *)
 
 type xquery_result = {
@@ -368,14 +442,14 @@ type xquery_result = {
    no-rewriting case — a budget stop or an unrecoverable fault must not
    silently turn into a full-document scan. *)
 let extent_for t pat pb =
-  t.counters.queries <- t.counters.queries + 1;
+  Atomic.incr t.counters.a_queries;
   match attempt t pat pb ~faults_seen:0 with
   | Ok r -> Ok (r.rel, Some r.explain)
   | Error (Xerror.No_rewriting _) -> (
       match t.doc with
       | Some doc ->
           check_deadline pb;
-          t.counters.fallbacks <- t.counters.fallbacks + 1;
+          Atomic.incr t.counters.a_fallbacks;
           Ok (Xam.Embed.eval doc pat, None)
       | None ->
           Error
@@ -401,8 +475,8 @@ let query_ast_r ?budget t ast =
         in
         let env = Eval.env_of_list (List.map (fun (n, r, _) -> (n, r)) bound) in
         let rel, stats =
-          Physical.run_instrumented ~clock:Unix.gettimeofday ?budget:pb env
-            (Xquery.Translate.plan e)
+          Physical.run_instrumented ~clock:Unix.gettimeofday ?budget:pb
+            ~parallel:t.par env (Xquery.Translate.plan e)
         in
         let buf = Buffer.create 256 in
         List.iter

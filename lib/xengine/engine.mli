@@ -25,18 +25,21 @@
 exception No_rewriting of string
 
 type counters = {
-  mutable queries : int;  (** {!query} calls *)
-  mutable hits : int;  (** plan-cache hits (incl. XQuery pattern probes) *)
-  mutable misses : int;  (** plan-cache misses *)
-  mutable rewrites : int;  (** rewriter invocations (= misses) *)
-  mutable fallbacks : int;
+  queries : int;  (** {!query} calls *)
+  hits : int;  (** plan-cache hits (incl. XQuery pattern probes) *)
+  misses : int;  (** plan-cache misses *)
+  rewrites : int;  (** rewriter invocations (= misses) *)
+  fallbacks : int;
       (** patterns materialized from the base document (XQuery probes the
           views cannot answer, plus degraded post-fault fallbacks) *)
-  mutable faults : int;  (** storage-module faults absorbed mid-query *)
-  mutable degraded : int;
+  faults : int;  (** storage-module faults absorbed mid-query *)
+  degraded : int;
       (** queries answered after at least one absorbed fault *)
-  mutable quarantines : int;  (** distinct modules ever quarantined *)
+  quarantines : int;  (** distinct modules ever quarantined *)
 }
+(** A point-in-time snapshot: the live counters are atomics (so
+    {!query_batch} keeps exact accounting across domains) and
+    {!counters} copies them out. Re-fetch after further queries. *)
 
 type budget = {
   deadline_ms : float option;
@@ -61,6 +64,7 @@ val create :
   ?max_views:int ->
   ?budget:budget ->
   ?env_wrap:(Xalgebra.Eval.env -> Xalgebra.Eval.env) ->
+  ?pool:Pool.t ->
   ?doc:Xdm.Doc.t ->
   Xstorage.Store.catalog ->
   t
@@ -71,7 +75,11 @@ val create :
     {!unlimited}) guards every query unless overridden per call.
     [env_wrap] intercepts the storage lookup surface — e.g.
     {!Xstorage.Faultstore.wrap} for fault injection — and is re-applied
-    on every catalog swap. The catalog is validated
+    on every catalog swap. [pool] enables {e intra}-query parallelism:
+    the rewriter's generate-and-test loop and the physical structural
+    joins fan out over the pool's domains (answers are identical to the
+    sequential ones — see {!Xalgebra.Par}); without it every query runs
+    sequentially. The catalog is validated
     ({!Xstorage.Store.validate}); raises [Xerror.Error (Catalog_invalid _)]
     if a module's pattern references paths absent from the summary. *)
 
@@ -81,6 +89,7 @@ val of_doc :
   ?max_views:int ->
   ?budget:budget ->
   ?env_wrap:(Xalgebra.Eval.env -> Xalgebra.Eval.env) ->
+  ?pool:Pool.t ->
   Xdm.Doc.t ->
   (string * Xam.Pattern.t) list ->
   t
@@ -108,6 +117,20 @@ val query : t -> Xam.Pattern.t -> result
 val query_opt : t -> Xam.Pattern.t -> result option
 (** [None] on {e any} classified failure — no-rewriting, budget stop,
     storage fault, internal error. *)
+
+val query_batch :
+  ?budget:budget ->
+  ?domains:int ->
+  t ->
+  Xam.Pattern.t list ->
+  (result, Xerror.t) Stdlib.result list
+(** Answer independent patterns concurrently ({e inter}-query
+    parallelism) on a transient pool of [domains] domains (default 1 =
+    plain sequential [List.map query_r]). Results come back in input
+    order and each is exactly what {!query_r} would return: budgets,
+    fault quarantine and degraded fallback all apply per query, and the
+    engine counters account every query exactly (the counters are
+    atomics; the plan cache and quarantine table are mutex-guarded). *)
 
 (** {1 XQuery front door} *)
 

@@ -1,0 +1,148 @@
+(* A fixed-size domain pool without work stealing: each parallel operation
+   publishes one batch closure; the caller and every worker claim chunk
+   indices from a shared atomic counter until the batch is exhausted.
+   Results are written into per-index slots, so the output order is
+   deterministic whatever the claim interleaving — and at [domains = 1]
+   every entry point is literally [Array.map]. *)
+
+type batch = { epoch : int; job : unit -> unit }
+
+type t = {
+  domains : int;  (* total parallelism, including the calling domain *)
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable batch : batch option;
+  mutable epoch : int;
+  mutable stop : bool;
+  busy : bool Atomic.t;  (* one parallel operation in flight at a time *)
+  mutable workers : unit Domain.t array;
+}
+
+let recommended_domains () = max 1 (min 16 (Domain.recommended_domain_count ()))
+
+let rec worker_loop pool seen =
+  Mutex.lock pool.lock;
+  while (not pool.stop) && pool.epoch = seen do
+    Condition.wait pool.cond pool.lock
+  done;
+  if pool.stop then Mutex.unlock pool.lock
+  else begin
+    let seen = pool.epoch in
+    let job = pool.batch in
+    Mutex.unlock pool.lock;
+    (match job with Some b when b.epoch = seen -> b.job () | _ -> ());
+    worker_loop pool seen
+  end
+
+let create ?domains () =
+  let domains =
+    match domains with Some d -> max 1 d | None -> recommended_domains ()
+  in
+  let pool =
+    { domains;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      batch = None;
+      epoch = 0;
+      stop = false;
+      busy = Atomic.make false;
+      workers = [||] }
+  in
+  pool.workers <-
+    Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+  pool
+
+let domains t = t.domains
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+(* Run [run_chunk 0 .. run_chunk (chunks-1)], each exactly once, across
+   the pool. The caller participates; completion is tracked by an atomic
+   so a worker that wakes late (after the caller already drained every
+   chunk) finds nothing to claim and goes back to sleep harmlessly. *)
+let run_chunks t ~chunks run_chunk =
+  let next = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let job () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < chunks then begin
+        (match Atomic.get failure with
+        | Some _ -> ()  (* an earlier chunk failed: drain without working *)
+        | None -> (
+            try run_chunk i
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt)))));
+        Atomic.incr completed;
+        go ()
+      end
+    in
+    go ()
+  in
+  Mutex.lock t.lock;
+  t.epoch <- t.epoch + 1;
+  t.batch <- Some { epoch = t.epoch; job };
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  job ();
+  (* Workers still inside their claimed chunks: wait them out. The spin is
+     short (bounded by one chunk) and backs off to the OS so a one-core
+     host still makes progress. *)
+  let spins = ref 0 in
+  while Atomic.get completed < chunks do
+    incr spins;
+    if !spins < 1000 then Domain.cpu_relax () else Unix.sleepf 0.0002
+  done;
+  Mutex.lock t.lock;
+  t.batch <- None;
+  Mutex.unlock t.lock;
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let parallel_map t f arr =
+  let n = Array.length arr in
+  if t.domains <= 1 || n <= 1 then Array.map f arr
+  else if not (Atomic.compare_and_set t.busy false true) then
+    (* Re-entrant use (a parallel stage nested inside another): degrade to
+       the sequential path rather than deadlock on the single batch slot. *)
+    Array.map f arr
+  else
+    Fun.protect
+      ~finally:(fun () -> Atomic.set t.busy false)
+      (fun () ->
+        let out = Array.make n None in
+        let chunk = max 1 (n / (t.domains * 4)) in
+        let chunks = (n + chunk - 1) / chunk in
+        run_chunks t ~chunks (fun ci ->
+            let lo = ci * chunk and hi = min n ((ci + 1) * chunk) in
+            for i = lo to hi - 1 do
+              out.(i) <- Some (f arr.(i))
+            done);
+        Array.map
+          (function Some v -> v | None -> invalid_arg "Pool.parallel_map: lost slot")
+          out)
+
+let parallel_filter t pred arr =
+  let keep = parallel_map t pred arr in
+  let out = ref [] in
+  for i = Array.length arr - 1 downto 0 do
+    if keep.(i) then out := arr.(i) :: !out
+  done;
+  Array.of_list !out
+
+let map_list t f l = Array.to_list (parallel_map t f (Array.of_list l))
+
+let par ?(chunk_min = 2048) ?(verify = false) t =
+  { Xalgebra.Par.degree = t.domains;
+    chunk_min;
+    verify;
+    map = (fun f arr -> parallel_map t f arr) }

@@ -2,6 +2,10 @@ module Rel = Xalgebra.Rel
 
 type mode = Healthy | Fail | Delay | Truncate
 
+(* The injection counters are atomics: queries running concurrently
+   across domains ({!Xengine.Engine.query_batch}) all funnel through one
+   faultstore, and the chaos suite's exact accounting (faults absorbed =
+   faults injected) must survive the interleaving. *)
 type t = {
   seed : int;
   fail_rate : float;
@@ -10,9 +14,9 @@ type t = {
   truncate_rate : float;
   keep_fraction : float;
   broken : (string, unit) Hashtbl.t;
-  mutable injected : int;
-  mutable delayed : int;
-  mutable truncated : int;
+  injected : int Atomic.t;
+  delayed : int Atomic.t;
+  truncated : int Atomic.t;
 }
 
 let create ?(seed = 0) ?(fail_rate = 0.0) ?(delay_rate = 0.0) ?(delay_ms = 1.0)
@@ -20,7 +24,8 @@ let create ?(seed = 0) ?(fail_rate = 0.0) ?(delay_rate = 0.0) ?(delay_ms = 1.0)
   let tbl = Hashtbl.create 8 in
   List.iter (fun n -> Hashtbl.replace tbl n ()) broken;
   { seed; fail_rate; delay_rate; delay_ms; truncate_rate; keep_fraction;
-    broken = tbl; injected = 0; delayed = 0; truncated = 0 }
+    broken = tbl; injected = Atomic.make 0; delayed = Atomic.make 0;
+    truncated = Atomic.make 0 }
 
 (* Deterministic per-module draw in [0,1): the same (seed, name) always
    lands in the same fault bucket, so a module that faults once faults on
@@ -47,14 +52,14 @@ let wrap fs (env : Xalgebra.Eval.env) : Xalgebra.Eval.env =
       match mode fs name with
       | Healthy -> Some rel
       | Fail ->
-          fs.injected <- fs.injected + 1;
+          Atomic.incr fs.injected;
           raise (Store.Module_fault { name; reason = "injected fault" })
       | Delay ->
-          fs.delayed <- fs.delayed + 1;
+          Atomic.incr fs.delayed;
           Unix.sleepf (fs.delay_ms /. 1000.0);
           Some rel
       | Truncate ->
-          fs.truncated <- fs.truncated + 1;
+          Atomic.incr fs.truncated;
           let n = List.length rel.Rel.tuples in
           let keep =
             max 0 (int_of_float (ceil (fs.keep_fraction *. float_of_int n)))
@@ -68,11 +73,11 @@ let faulty_modules fs (catalog : Store.catalog) =
     (fun (m : Store.module_) -> if mode fs m.Store.name = Fail then Some m.Store.name else None)
     catalog.Store.modules
 
-let injected fs = fs.injected
-let delayed fs = fs.delayed
-let truncated fs = fs.truncated
+let injected fs = Atomic.get fs.injected
+let delayed fs = Atomic.get fs.delayed
+let truncated fs = Atomic.get fs.truncated
 
 let reset fs =
-  fs.injected <- 0;
-  fs.delayed <- 0;
-  fs.truncated <- 0
+  Atomic.set fs.injected 0;
+  Atomic.set fs.delayed 0;
+  Atomic.set fs.truncated 0

@@ -47,7 +47,9 @@ val faulty_modules : t -> Store.catalog -> string list
     expectations. *)
 
 val injected : t -> int
-(** Faults actually raised so far. *)
+(** Faults actually raised so far. All three counters are atomic, so the
+    accounting stays exact when queries hit the faultstore concurrently
+    from several domains ({!Xengine.Engine.query_batch}). *)
 
 val delayed : t -> int
 val truncated : t -> int

@@ -43,9 +43,11 @@ let test_end_to_end () =
 let test_cache_hit () =
   let e = fresh () in
   let r1 = Engine.query e query in
-  let c = Engine.counters e in
-  Alcotest.(check int) "one rewrite after the first query" 1 c.Engine.rewrites;
+  Alcotest.(check int) "one rewrite after the first query" 1
+    (Engine.counters e).Engine.rewrites;
   let r2 = Engine.query e query in
+  (* [counters] is a snapshot — re-fetch after the second query. *)
+  let c = Engine.counters e in
   Alcotest.(check bool) "second query hits the cache" true
     r2.Engine.explain.Explain.cache_hit;
   Alcotest.(check int) "hit counter incremented" 1 c.Engine.hits;
