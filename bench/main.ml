@@ -3,11 +3,14 @@
    narrative, on the synthetic corpora. See DESIGN.md for the experiment
    index and EXPERIMENTS.md for recorded paper-vs-measured results.
 
-   Usage: main.exe [e1|e2|...|e10|micro|pmicro|all]... [--json FILE]
+   Usage: main.exe [e1|e2|...|e10|micro|pmicro|obs|all]...
+                   [--json FILE] [--prom FILE] [--traces FILE]
    (default: all). Several experiments may be named in one invocation.
    With [--json FILE] every recorded measurement is also written to FILE
    as a flat JSON list of {experiment, metric, value, unit} objects —
-   the artifact the CI bench-smoke job uploads. *)
+   the artifact the CI bench-smoke job uploads. The [obs] experiment
+   additionally writes the Prometheus exposition to [--prom FILE] and the
+   slow-query-log traces as JSON lines to [--traces FILE]. *)
 
 module P = Xam.Pattern
 module S = Xsummary.Summary
@@ -728,6 +731,107 @@ let pmicro () =
       ~value:(t1 /. t4) ~units:"x";
     Printf.printf "query batch speedup at 4 domains: %.2fx\n" (t1 /. t4))
 
+(* ------------------------------------------------------------------- obs *)
+
+(* Output files for the exporters, set by --prom / --traces before the
+   experiments run; the obs experiment writes them. *)
+let prom_file : string option ref = ref None
+let traces_file : string option ref = ref None
+
+(* Observability: the cost of the always-on metrics vs full tracing on a
+   mixed pattern workload (fresh engine per run, so each does the same
+   planning work), the engine latency histograms as percentile records,
+   and the Prometheus / trace-JSONL exports the CI job uploads. The
+   exposition is run through the format validator here — a malformed
+   export fails the bench (exit 1), which is what bench-smoke keys on. *)
+let obs_exp () =
+  header "obs: metrics registry, tracing overhead and exporters";
+  let module Engine = Xengine.Engine in
+  let module Obs = Xobs.Obs in
+  let module Metrics = Xobs.Metrics in
+  let bdoc = Xworkload.Gen_bib.generate_doc ~seed:9 ~books:500 ~theses:200 () in
+  let bs = S.of_doc bdoc in
+  let specs = Xstorage.Models.path_partitioned bs in
+  let pats =
+    List.concat_map
+      (fun (seed, labels) ->
+        Xworkload.Pattern_gen.generate_many ~seed bs
+          { Xworkload.Pattern_gen.default with return_labels = labels; size = 4;
+            optional_p = 0.2 }
+          ~count:12)
+      [ (7, [ "title" ]); (8, [ "author" ]); (9, [ "title"; "author" ]) ]
+  in
+  Printf.printf "workload: %d patterns, fresh engine per configuration\n%!"
+    (List.length pats);
+  let run_workload obs =
+    let e = Engine.of_doc ~max_views:4 ~obs bdoc specs in
+    let ms =
+      bench_ms ~repeats:3 (fun () ->
+          List.iter (fun p -> ignore (Engine.query_r e p)) pats)
+    in
+    (ms, e)
+  in
+  ignore (run_workload (Obs.create ()));  (* warm allocators and code paths *)
+  let ms_off, _ = run_workload (Obs.create ()) in
+  let obs_on = Obs.create ~tracing:true ~slow_threshold_ms:5.0 () in
+  let ms_on, _ = run_workload obs_on in
+  record ~experiment:"obs" ~metric:"workload_ms_tracing_off" ~value:ms_off
+    ~units:"ms";
+  record ~experiment:"obs" ~metric:"workload_ms_tracing_on" ~value:ms_on
+    ~units:"ms";
+  Printf.printf "tracing off: %8.2f ms\ntracing on:  %8.2f ms\n" ms_off ms_on;
+  if ms_off > 0.0 then begin
+    let pct = (ms_on -. ms_off) /. ms_off *. 100.0 in
+    record ~experiment:"obs" ~metric:"tracing_overhead_pct" ~value:pct ~units:"%";
+    Printf.printf "tracing overhead: %+.1f%%\n" pct
+  end;
+  (* The engine latency histograms, as the percentile fields EXPERIMENTS.md
+     documents for BENCH_4.json. *)
+  let reg = obs_on.Obs.metrics in
+  List.iter
+    (fun name ->
+      let snap = Metrics.snapshot (Metrics.histogram reg name) in
+      Printf.printf "%-24s count %4d" name snap.Metrics.count;
+      List.iter
+        (fun (q, tag) ->
+          let v = Metrics.percentile snap q *. 1000.0 in
+          record ~experiment:"obs"
+            ~metric:(Printf.sprintf "%s_ms_%s" name tag)
+            ~value:v ~units:"ms";
+          Printf.printf "  %s %.3f ms" tag v)
+        [ (0.5, "p50"); (0.9, "p90"); (0.99, "p99") ];
+      print_newline ())
+    [ "engine_query_seconds"; "engine_rewrite_seconds"; "engine_exec_seconds" ];
+  let slowlog = obs_on.Obs.slowlog in
+  record ~experiment:"obs" ~metric:"traces_recorded"
+    ~value:(float_of_int (Xobs.Slowlog.recorded slowlog)) ~units:"traces";
+  record ~experiment:"obs" ~metric:"slow_queries"
+    ~value:(float_of_int (List.length (Xobs.Slowlog.slow slowlog)))
+    ~units:"traces";
+  Printf.printf "slow-query log: %d traces recorded, %d over the %.0f ms threshold\n"
+    (Xobs.Slowlog.recorded slowlog)
+    (List.length (Xobs.Slowlog.slow slowlog))
+    (Xobs.Slowlog.threshold_ms slowlog);
+  let exposition = Xobs.Export.prometheus reg in
+  (match Xobs.Export.validate_prometheus exposition with
+  | Ok () -> Printf.printf "prometheus exposition: %d bytes, format OK\n"
+               (String.length exposition)
+  | Error msg ->
+      Printf.eprintf "FATAL: prometheus exposition failed validation: %s\n" msg;
+      exit 1);
+  let write_file file contents what =
+    let oc = open_out file in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "wrote %s to %s\n%!" what file
+  in
+  (match !prom_file with
+  | Some f -> write_file f exposition "prometheus exposition"
+  | None -> ());
+  match !traces_file with
+  | Some f -> write_file f (Xobs.Export.slowlog_jsonl slowlog) "trace JSONL"
+  | None -> ()
+
 (* ------------------------------------------------------------------ main *)
 
 let () =
@@ -736,8 +840,14 @@ let () =
     | "--json" :: file :: rest ->
         json_file := Some file;
         positional rest
-    | [ "--json" ] ->
-        Printf.eprintf "--json needs a file argument\n";
+    | "--prom" :: file :: rest ->
+        prom_file := Some file;
+        positional rest
+    | "--traces" :: file :: rest ->
+        traces_file := Some file;
+        positional rest
+    | [ ("--json" | "--prom" | "--traces") ] ->
+        Printf.eprintf "--json/--prom/--traces need a file argument\n";
         exit 1
     | a :: rest -> a :: positional rest
     | [] -> []
@@ -760,9 +870,10 @@ let () =
     | "e10" -> e10 ()
     | "micro" -> micro ()
     | "pmicro" -> pmicro ()
+    | "obs" -> obs_exp ()
     | other ->
-        Printf.eprintf "unknown experiment %S (e1..e10, micro, pmicro, all)\n"
-          other;
+        Printf.eprintf
+          "unknown experiment %S (e1..e10, micro, pmicro, obs, all)\n" other;
         exit 1
   in
   List.iter

@@ -3,7 +3,9 @@
 
      uload info      doc.xml                 document and summary statistics
      uload summary   doc.xml                 print the enhanced path summary
-     uload query     doc.xml "for $x in …"   evaluate an XQuery (Q subset)
+     uload query     doc.xml "for $x in …"   evaluate an XQuery (Q subset);
+                     [--explain] [--metrics] route it through the engine over
+                     [--storage MODEL] and print EXPLAIN / Prometheus metrics
      uload patterns  doc.xml "for $x in …"   show the extracted XAM patterns
      uload plan      doc.xml --storage tag "//book/title"
                                              rewrite an XPath-ish query over a
@@ -57,17 +59,85 @@ let summary_cmd =
 let query_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"XQuery text")
 
+let storage_arg =
+  let model =
+    Arg.enum [ ("edge", `Edge); ("tag", `Tag); ("path", `Path); ("inlined", `Inlined) ]
+  in
+  Arg.(value & opt model `Tag
+       & info [ "storage" ] ~docv:"MODEL" ~doc:"Storage model: edge, tag, path or inlined")
+
+let specs_of doc summary = function
+  | `Edge -> Xstorage.Models.edge doc
+  | `Tag -> Xstorage.Models.tag_partitioned doc
+  | `Path -> Xstorage.Models.path_partitioned summary
+  | `Inlined -> Xstorage.Models.inlined summary
+
 let query_cmd =
-  let run path src =
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Run through the engine over $(b,--storage) and print each \
+                   extracted pattern's EXPLAIN (plan, timings, operator tree) \
+                   and the query's span trace")
+  in
+  let metrics_arg =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Run through the engine and print its metrics registry in \
+                   Prometheus text exposition format")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"With $(b,--explain): print EXPLAIN as JSON")
+  in
+  let run path src storage explain metrics json =
     let doc = load_doc path in
-    match Xquery.Parse.query_result src with
-    | Error e ->
-        prerr_endline e;
-        exit 1
-    | Ok q -> print_endline (Xquery.Translate.eval doc q)
+    if not (explain || metrics) then
+      (* The direct evaluator: no engine, no planning — the historical
+         behavior of [uload query]. *)
+      match Xquery.Parse.query_result src with
+      | Error e ->
+          prerr_endline e;
+          exit 1
+      | Ok q -> print_endline (Xquery.Translate.eval doc q)
+    else begin
+      let summary = Xsummary.Summary.of_doc doc in
+      let obs = Xobs.Obs.create ~tracing:explain () in
+      let engine =
+        Xengine.Engine.of_doc ~obs doc (specs_of doc summary storage)
+      in
+      match Xengine.Engine.query_string_r engine src with
+      | Error e ->
+          prerr_endline (Xengine.Xerror.to_string e);
+          exit 1
+      | Ok r ->
+          print_endline r.Xengine.Engine.output;
+          if explain then begin
+            List.iteri
+              (fun i ex ->
+                match ex with
+                | Some ex ->
+                    if json then print_endline (Xengine.Explain.to_json_string ex)
+                    else
+                      Format.printf "-- pattern %d --@.%a@." i Xengine.Explain.pp
+                        ex
+                | None ->
+                    Printf.printf
+                      "-- pattern %d: materialized from the base document --\n" i)
+              r.Xengine.Engine.pattern_explains;
+            match r.Xengine.Engine.xquery_trace with
+            | Some tr ->
+                Printf.printf "-- trace --\n%s\n" (Xobs.Export.trace_jsonl tr)
+            | None -> ()
+          end;
+          if metrics then
+            print_string
+              (Xobs.Export.prometheus (Xengine.Engine.obs engine).Xobs.Obs.metrics)
+    end
   in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate an XQuery (the Q subset of §3.2)")
-    Term.(const run $ doc_arg $ query_arg)
+    Term.(const run $ doc_arg $ query_arg $ storage_arg $ explain_arg
+          $ metrics_arg $ json_arg)
 
 let patterns_cmd =
   let run path src =
@@ -93,13 +163,6 @@ let patterns_cmd =
     Term.(const run $ doc_arg $ query_arg)
 
 (* --- plan ---------------------------------------------------------------- *)
-
-let storage_arg =
-  let model =
-    Arg.enum [ ("edge", `Edge); ("tag", `Tag); ("path", `Path); ("inlined", `Inlined) ]
-  in
-  Arg.(value & opt model `Tag
-       & info [ "storage" ] ~docv:"MODEL" ~doc:"Storage model: edge, tag, path or inlined")
 
 (* A single-pattern query given as an XPath-ish path. The extraction is
    specialized for access-path planning: the conjunctive core is kept
@@ -131,14 +194,7 @@ let plan_cmd =
     let summary = Xsummary.Summary.of_doc doc in
     let query = pattern_of_path src in
     Format.printf "query pattern:@.%a@.@." Xam.Pattern.pp query;
-    let specs =
-      match storage with
-      | `Edge -> Xstorage.Models.edge doc
-      | `Tag -> Xstorage.Models.tag_partitioned doc
-      | `Path -> Xstorage.Models.path_partitioned summary
-      | `Inlined -> Xstorage.Models.inlined summary
-    in
-    let catalog = Xstorage.Store.catalog_of doc specs in
+    let catalog = Xstorage.Store.catalog_of doc (specs_of doc summary storage) in
     let rewritings =
       Xam.Rewrite.rewrite summary ~query ~views:(Xstorage.Store.views catalog)
     in

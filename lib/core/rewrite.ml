@@ -1064,7 +1064,13 @@ let specialize_query qi s (entry : Canonical.entry) =
   if Array.length perm <> Array.length q_rets then None else Some (spec, perm)
 
 let rec rewrite ?(constraints = true) ?(max_views = 3) ?(max_matches = 64)
-    ?(parallel = Xalgebra.Par.sequential) s ~query ~views =
+    ?(parallel = Xalgebra.Par.sequential) ?metrics s ~query ~views =
+  (match metrics with
+  | Some reg ->
+      Xobs.Metrics.incr
+        (Xobs.Metrics.counter reg "rewrite_calls_total"
+           ~help:"rewriter invocations (incl. union specializations)")
+  | None -> ());
   let qi = index_query s query in
   let all_matches =
     List.concat_map
@@ -1162,6 +1168,13 @@ let rec rewrite ?(constraints = true) ?(max_views = 3) ?(max_matches = 64)
      runs its own containment checks over read-only indexes (qi, summary,
      views). Results come back in candidate order, so the final ranking is
      the same as the sequential one. *)
+  (match metrics with
+  | Some reg ->
+      Xobs.Metrics.add
+        (Xobs.Metrics.counter reg "rewrite_candidates_total"
+           ~help:"candidate view sets enumerated by generate-and-test")
+        (List.length candidates)
+  | None -> ());
   let results =
     if parallel.Xalgebra.Par.degree > 1 && List.length candidates > 1 then
       Array.to_list (parallel.Xalgebra.Par.map attempt (Array.of_list candidates))
@@ -1170,28 +1183,44 @@ let rec rewrite ?(constraints = true) ?(max_views = 3) ?(max_matches = 64)
   in
   let results =
     if results <> [] then results
-    else union_rewritings ~constraints ~max_views ~max_matches ~parallel s qi ~views
+    else
+      union_rewritings ~constraints ~max_views ~max_matches ~parallel ?metrics s qi
+        ~views
   in
-  let seen = Hashtbl.create 8 in
-  List.filter
-    (fun r ->
-      let key = Logical.to_string r.plan in
-      if Hashtbl.mem seen key then false
-      else (
-        Hashtbl.add seen key ();
-        true))
-    results
-  |> List.sort (fun a b -> Int.compare (Logical.size a.plan) (Logical.size b.plan))
+  let results =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun r ->
+        let key = Logical.to_string r.plan in
+        if Hashtbl.mem seen key then false
+        else (
+          Hashtbl.add seen key ();
+          true))
+      results
+    |> List.sort (fun a b -> Int.compare (Logical.size a.plan) (Logical.size b.plan))
+  in
+  (match metrics with
+  | Some reg ->
+      Xobs.Metrics.add
+        (Xobs.Metrics.counter reg "rewrite_rewritings_total"
+           ~help:"rewritings that survived the containment test")
+        (List.length results)
+  | None -> ());
+  results
 
 (* §5.3: unions find rewritings where none exist otherwise. A conjunctive
    query is split into its canonical-model specializations; if every
    specialization rewrites, their plans union into a rewriting of the
    whole query. *)
-and union_rewritings ~constraints ~max_views ~max_matches ~parallel s qi ~views =
-  try union_rewritings_exn ~constraints ~max_views ~max_matches ~parallel s qi ~views
+and union_rewritings ~constraints ~max_views ~max_matches ~parallel ?metrics s qi
+    ~views =
+  try
+    union_rewritings_exn ~constraints ~max_views ~max_matches ~parallel ?metrics s qi
+      ~views
   with Not_found -> []
 
-and union_rewritings_exn ~constraints ~max_views ~max_matches ~parallel s qi ~views =
+and union_rewritings_exn ~constraints ~max_views ~max_matches ~parallel ?metrics s
+    qi ~views =
   if not (Pattern.is_conjunctive qi.q) then []
   else
     let entries = List.of_seq (Seq.take 17 (Canonical.model s qi.q)) in
@@ -1207,7 +1236,8 @@ and union_rewritings_exn ~constraints ~max_views ~max_matches ~parallel s qi ~vi
            refuses re-entrant batches). *)
         let rewrite_spec (spec, perm) =
           match
-            rewrite ~constraints ~max_views ~max_matches ~parallel s ~query:spec ~views
+            rewrite ~constraints ~max_views ~max_matches ~parallel ?metrics s
+              ~query:spec ~views
           with
           | [] -> None
           | r :: _ -> Some (r, perm)

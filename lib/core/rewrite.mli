@@ -45,6 +45,7 @@ val rewrite :
   ?max_views:int ->
   ?max_matches:int ->
   ?parallel:Xalgebra.Par.t ->
+  ?metrics:Xobs.Metrics.registry ->
   Summary.t ->
   query:Pattern.t ->
   views:view list ->
@@ -56,7 +57,10 @@ val rewrite :
     {!Xalgebra.Par.sequential}) fans the generate-and-test loop — the
     per-candidate containment checks of §5.5, and the per-specialization
     branches of the union rewriting (§5.3) — out across domains; the
-    result list is identical to the sequential one, in the same order. *)
+    result list is identical to the sequential one, in the same order.
+    [metrics] records [rewrite_calls_total], [rewrite_candidates_total]
+    and [rewrite_rewritings_total] into the given registry (union
+    specializations count as further calls). *)
 
 val best : rewriting list -> rewriting option
 (** Minimal plan (fewest operators), as in §5.3. *)

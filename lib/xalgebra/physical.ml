@@ -686,10 +686,36 @@ let compile_instrumented ?(clock = Sys.time) ?budget ?(parallel = Par.sequential
   in
   (p, build plan)
 
-let run_instrumented ?clock ?budget ?parallel env plan =
+(* Fold a finished stats tree into the registry: totals across operators
+   plus one latency observation per operator node. The registry lookups
+   are get-or-create, so the counters are shared by every plan recorded
+   against the same registry. *)
+let record_stats reg stats =
+  let tuples = Xobs.Metrics.counter reg "physical_tuples_total"
+      ~help:"tuples produced, summed over all operators" in
+  let nexts = Xobs.Metrics.counter reg "physical_nexts_total"
+      ~help:"cursor next() calls, summed over all operators" in
+  let ops = Xobs.Metrics.counter reg "physical_operators_total"
+      ~help:"physical operator instances executed" in
+  let per_op = Xobs.Metrics.histogram reg "physical_op_seconds"
+      ~help:"per-operator inclusive cursor time" in
+  let rec go (st : op_stats) =
+    Xobs.Metrics.add tuples st.tuples;
+    Xobs.Metrics.add nexts st.nexts;
+    Xobs.Metrics.incr ops;
+    Xobs.Metrics.observe per_op st.elapsed;
+    List.iter go st.children
+  in
+  go stats
+
+let run_instrumented ?clock ?budget ?metrics ?parallel env plan =
   let p, stats = compile_instrumented ?clock ?budget ?parallel env plan in
+  let finish rel =
+    (match metrics with Some reg -> record_stats reg stats | None -> ());
+    (rel, stats)
+  in
   match budget with
-  | None -> (Rel.make p.schema (drain (p.open_ ())), stats)
+  | None -> finish (Rel.make p.schema (drain (p.open_ ())))
   | Some b ->
       (* The result-size cap is enforced at the drain: [b.tuples] counts
          root tuples only, while [b.steps] counts every cursor step. *)
@@ -705,4 +731,4 @@ let run_instrumented ?clock ?budget ?parallel env plan =
             | _ -> ());
             go (t :: acc)
       in
-      (Rel.make p.schema (go []), stats)
+      finish (Rel.make p.schema (go []))

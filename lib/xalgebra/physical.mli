@@ -101,13 +101,18 @@ val compile_instrumented :
 val run_instrumented :
   ?clock:(unit -> float) ->
   ?budget:budget ->
+  ?metrics:Xobs.Metrics.registry ->
   ?parallel:Par.t ->
   Eval.env ->
   Logical.t ->
   Rel.t * op_stats
 (** [compile_instrumented] then drain; the stats are final on return.
     With [budget], the drain additionally enforces [max_tuples] on the
-    root's output. *)
+    root's output. With [metrics], the finished stats tree is folded
+    into the registry ([physical_tuples_total], [physical_nexts_total],
+    [physical_operators_total] counters and the [physical_op_seconds]
+    per-operator latency histogram); nothing is recorded when the drain
+    raises. *)
 
 val stack_tree_desc :
   axis:Logical.axis ->

@@ -8,6 +8,10 @@ module Physical = Xalgebra.Physical
 module Value = Xalgebra.Value
 module Store = Xstorage.Store
 module Cost = Xstorage.Cost
+module Obs = Xobs.Obs
+module Metrics = Xobs.Metrics
+module Trace = Xobs.Trace
+module Slowlog = Xobs.Slowlog
 
 exception No_rewriting of string
 
@@ -37,6 +41,47 @@ type acounters = {
   a_quarantines : int Atomic.t;
 }
 
+(* The same accounting, mirrored into the engine's metrics registry so the
+   Prometheus exposition and the slow-query tooling see it without a
+   registry-vs-engine reconciliation step. The registry's counters are
+   themselves atomics, so the mirror is exact under query_batch too. *)
+type emetrics = {
+  m_queries : Metrics.counter;
+  m_errors : Metrics.counter;
+  m_hits : Metrics.counter;
+  m_misses : Metrics.counter;
+  m_rewrites : Metrics.counter;
+  m_fallbacks : Metrics.counter;
+  m_faults : Metrics.counter;
+  m_degraded : Metrics.counter;
+  m_quarantines : Metrics.counter;
+  m_quarantined_now : Metrics.gauge;
+  h_query : Metrics.histogram;
+  h_rewrite : Metrics.histogram;
+  h_exec : Metrics.histogram;
+}
+
+let register_metrics reg =
+  let c name help = Metrics.counter reg ~help name in
+  let h name help = Metrics.histogram reg ~help name in
+  { m_queries = c "engine_queries_total" "pattern queries started";
+    m_errors = c "engine_errors_total" "queries that returned a classified error";
+    m_hits = c "engine_plan_cache_hits_total" "plan cache hits";
+    m_misses = c "engine_plan_cache_misses_total" "plan cache misses";
+    m_rewrites = c "engine_rewrites_total" "rewriter invocations";
+    m_fallbacks =
+      c "engine_fallbacks_total" "patterns materialized from the base document";
+    m_faults = c "engine_faults_total" "storage-module faults absorbed mid-query";
+    m_degraded =
+      c "engine_degraded_total" "queries answered after at least one absorbed fault";
+    m_quarantines = c "engine_quarantines_total" "distinct modules ever quarantined";
+    m_quarantined_now =
+      Metrics.gauge reg ~help:"currently quarantined modules"
+        "engine_quarantined_modules";
+    h_query = h "engine_query_seconds" "end-to-end pattern query latency";
+    h_rewrite = h "engine_rewrite_seconds" "rewrite + costing latency on cache misses";
+    h_exec = h "engine_exec_seconds" "physical plan execution latency" }
+
 type budget = {
   deadline_ms : float option;
   max_tuples : int option;
@@ -46,8 +91,16 @@ type budget = {
 let unlimited = { deadline_ms = None; max_tuples = None; max_steps = None }
 
 (* A cached planning outcome; [None] caches the negative answer so a
-   repeatedly unanswerable query skips the rewriter too. *)
-type cached = { rewriting : Rewrite.rewriting option; cost : float; candidates : int }
+   repeatedly unanswerable query skips the rewriter too. [planned_ms]
+   remembers what the rewrite + costing originally cost, so a cache hit
+   can report it without conflating it with the hit's own (zero)
+   rewriting time. *)
+type cached = {
+  rewriting : Rewrite.rewriting option;
+  cost : float;
+  candidates : int;
+  planned_ms : float;
+}
 
 type t = {
   mutable catalog : Store.catalog;
@@ -67,15 +120,71 @@ type t = {
   par : Xalgebra.Par.t;
       (* the parallel capability handed to the rewriter and the physical
          operators; [Par.sequential] without a pool *)
+  obs : Obs.t;
+  m : emetrics;
 }
 
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-type result = { rel : Rel.t; explain : Explain.t }
+type result = { rel : Rel.t; explain : Explain.t; trace : Trace.t option }
 
-let now_ms () = Unix.gettimeofday () *. 1000.0
+let clk t = t.obs.Obs.clock
+let now_ms t = clk t () *. 1000.0
+
+(* --- Tracing ---------------------------------------------------------------
+   [tr] is the ambient trace context threaded through the pipeline: the
+   trace plus the span new work should attach under. [None] (tracing off)
+   short-circuits every helper to a single match — the hot path builds
+   nothing. A trace is only ever touched by the one domain running its
+   query, so none of this needs synchronization. *)
+
+type tr = (Trace.t * Trace.span) option
+
+let in_span (tr : tr) name f =
+  match tr with
+  | None -> f None
+  | Some (trace, parent) ->
+      Trace.span trace parent name (fun sp -> f (Some (trace, sp)))
+
+let tr_tag (tr : tr) k v =
+  match tr with None -> () | Some (_, sp) -> Trace.tag sp k v
+
+let tr_event (tr : tr) name tags =
+  match tr with None -> () | Some (trace, sp) -> Trace.event trace sp name tags
+
+(* Mirror an executed plan's operator stats as pre-timed child spans, so a
+   trace shows the same tree EXPLAIN prints. The stats carry durations but
+   not start instants; operators stream interleaved, so each span is laid
+   out from the execute span's start — lengths are exact, offsets are not
+   claimed. *)
+let rec add_op_spans trace parent ~t0 (st : Physical.op_stats) =
+  let sp =
+    Trace.add_child trace ~parent ~name:("op:" ^ st.Physical.op) ~t0
+      ~t1:(t0 +. st.Physical.elapsed)
+      ~tags:
+        [ ("tuples", string_of_int st.Physical.tuples);
+          ("nexts", string_of_int st.Physical.nexts) ]
+  in
+  List.iter (add_op_spans trace sp ~t0) st.Physical.children
+
+let start_trace t name =
+  if t.obs.Obs.tracing then begin
+    let trace = Trace.start ~clock:(clk t) ~id:(Obs.next_trace_id t.obs) name in
+    let root = Trace.root trace in
+    Trace.tag root "domain" (string_of_int (Pool.self_index ()));
+    (Some (trace, root) : tr)
+  end
+  else None
+
+let finish_trace t (tr : tr) ~err =
+  match tr with
+  | None -> ()
+  | Some (trace, root) ->
+      (match err with Some e -> Trace.tag root "error" e | None -> ());
+      Trace.finish trace;
+      Slowlog.record t.obs.Obs.slowlog trace
 
 let catalog_error catalog =
   match Store.validate catalog with
@@ -84,15 +193,16 @@ let catalog_error catalog =
       Some (Xerror.Catalog_invalid { module_name = name; reason })
 
 let create ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
-    ?(budget = unlimited) ?(env_wrap = Fun.id) ?pool ?doc catalog =
+    ?(budget = unlimited) ?(env_wrap = Fun.id) ?pool ?obs ?doc catalog =
   (match catalog_error catalog with
   | Some e -> raise (Xerror.Error e)
   | None -> ());
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   { catalog;
     generation = Atomic.make 0;
     env = env_wrap (Store.env catalog);
     doc;
-    cache = Lru.create cache_capacity;
+    cache = Lru.create ~metrics:obs.Obs.metrics cache_capacity;
     lock = Mutex.create ();
     counters =
       { a_queries = Atomic.make 0; a_hits = Atomic.make 0;
@@ -104,14 +214,18 @@ let create ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
     budget;
     env_wrap;
     quarantined = Hashtbl.create 8;
-    par = (match pool with Some p -> Pool.par p | None -> Xalgebra.Par.sequential) }
+    par = (match pool with Some p -> Pool.par p | None -> Xalgebra.Par.sequential);
+    obs;
+    m = register_metrics obs.Obs.metrics }
 
-let of_doc ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?pool doc
-    specs =
-  create ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?pool ~doc
+let of_doc ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?pool ?obs
+    doc specs =
+  create ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?pool ?obs
+    ~doc
     (Store.catalog_of doc specs)
 
 let catalog t = t.catalog
+let obs t = t.obs
 
 let counters t =
   { queries = Atomic.get t.counters.a_queries;
@@ -146,6 +260,7 @@ let set_catalog_r t catalog =
           t.catalog <- catalog;
           Atomic.incr t.generation;
           t.env <- t.env_wrap (Store.env catalog));
+      Metrics.set_gauge t.m.m_quarantined_now 0.0;
       Ok ()
 
 let set_catalog t catalog =
@@ -160,11 +275,20 @@ let add_module t m =
    every cached plan that might mention it dies, and let the caller
    re-plan against the survivors. *)
 let quarantine t name reason =
-  with_lock t (fun () ->
-      if not (Hashtbl.mem t.quarantined name) then (
-        Hashtbl.replace t.quarantined name reason;
-        Atomic.incr t.counters.a_quarantines));
+  let live =
+    with_lock t (fun () ->
+        let fresh = not (Hashtbl.mem t.quarantined name) in
+        if fresh then Hashtbl.replace t.quarantined name reason;
+        (fresh, Hashtbl.length t.quarantined))
+  in
+  (match live with
+  | true, _ ->
+      Atomic.incr t.counters.a_quarantines;
+      Metrics.incr t.m.m_quarantines
+  | false, _ -> ());
+  Metrics.set_gauge t.m.m_quarantined_now (float_of_int (snd live));
   Atomic.incr t.counters.a_faults;
+  Metrics.incr t.m.m_faults;
   Atomic.incr t.generation
 
 let quarantine_empty t =
@@ -187,33 +311,49 @@ let active_views t =
 
 (* Plan the pattern: consult the cache, otherwise rewrite against the
    catalog's live (non-quarantined) views and rank by cost. Returns the
-   outcome, whether it was a hit, and the planning time in ms (0 on a
-   hit). *)
-let plan_for t pattern =
-  let key = cache_key t pattern in
-  match with_lock t (fun () -> Lru.find t.cache key) with
-  | Some c ->
-      Atomic.incr t.counters.a_hits;
-      (c, true, 0.0)
-  | None ->
-      Atomic.incr t.counters.a_misses;
-      Atomic.incr t.counters.a_rewrites;
-      let t0 = now_ms () in
-      (* The lock is released during rewriting and costing: concurrent
-         misses on the same key just race to [Lru.add] the same answer. *)
-      let rws =
-        Rewrite.rewrite ~constraints:t.constraints ~max_views:t.max_views
-          ~parallel:t.par t.catalog.Store.summary ~query:pattern
-          ~views:(active_views t)
-      in
-      let c =
-        match Cost.choose_with_cost t.env rws with
-        | Some (r, cost) ->
-            { rewriting = Some r; cost; candidates = List.length rws }
-        | None -> { rewriting = None; cost = Float.nan; candidates = 0 }
-      in
-      with_lock t (fun () -> Lru.add t.cache key c);
-      (c, false, now_ms () -. t0)
+   outcome, whether it was a hit, and this call's planning time in ms —
+   0 on a hit; the cached entry's [planned_ms] remembers the original. *)
+let plan_for t (trc : tr) pattern =
+  in_span trc "plan" (fun trc ->
+      let key = cache_key t pattern in
+      match with_lock t (fun () -> Lru.find t.cache key) with
+      | Some c ->
+          Atomic.incr t.counters.a_hits;
+          Metrics.incr t.m.m_hits;
+          tr_tag trc "cache" "hit";
+          (c, true, 0.0)
+      | None ->
+          Atomic.incr t.counters.a_misses;
+          Metrics.incr t.m.m_misses;
+          Atomic.incr t.counters.a_rewrites;
+          Metrics.incr t.m.m_rewrites;
+          tr_tag trc "cache" "miss";
+          let t0 = now_ms t in
+          (* The lock is released during rewriting and costing: concurrent
+             misses on the same key just race to [Lru.add] the same answer. *)
+          let rws =
+            in_span trc "rewrite" (fun _ ->
+                Rewrite.rewrite ~constraints:t.constraints
+                  ~max_views:t.max_views ~parallel:t.par
+                  ~metrics:t.obs.Obs.metrics t.catalog.Store.summary
+                  ~query:pattern ~views:(active_views t))
+          in
+          let choice =
+            in_span trc "cost-choice" (fun _ -> Cost.choose_with_cost t.env rws)
+          in
+          let rw_ms = now_ms t -. t0 in
+          let c =
+            match choice with
+            | Some (r, cost) ->
+                { rewriting = Some r; cost; candidates = List.length rws;
+                  planned_ms = rw_ms }
+            | None ->
+                { rewriting = None; cost = Float.nan; candidates = 0;
+                  planned_ms = rw_ms }
+          in
+          with_lock t (fun () -> Lru.add t.cache key c);
+          Metrics.observe t.m.h_rewrite (rw_ms /. 1000.0);
+          (c, false, rw_ms))
 
 (* The answer's schema belongs to the query, not to whichever views the
    rewriting happened to read: a rewritten extent comes back with
@@ -237,28 +377,37 @@ let normalize_schema pattern (rel : Rel.t) =
   then { rel with Rel.schema = List.map Rel.atom expected }
   else rel
 
-let execute t pattern (c : cached) cache_hit rewrite_ms pb ~degraded
+let execute t (trc : tr) pattern (c : cached) cache_hit rewrite_ms pb ~degraded
     (r : Rewrite.rewriting) =
-  let t0 = now_ms () in
-  let rel, stats =
-    Physical.run_instrumented ~clock:Unix.gettimeofday ?budget:pb
-      ~parallel:t.par t.env r.Rewrite.plan
-  in
-  let rel = normalize_schema pattern rel in
-  let exec_ms = now_ms () -. t0 in
-  { rel;
-    explain =
-      { Explain.query = pattern;
-        views_used = r.Rewrite.views_used;
-        plan = r.Rewrite.plan;
-        cost = c.cost;
-        candidates = c.candidates;
-        cache_hit;
-        rewrite_ms;
-        exec_ms;
-        stats;
-        degraded;
-        quarantined = quarantined_names t } }
+  in_span trc "execute" (fun trc ->
+      let t0 = clk t () in
+      let rel, stats =
+        Physical.run_instrumented ~clock:(clk t) ?budget:pb
+          ~metrics:t.obs.Obs.metrics ~parallel:t.par t.env r.Rewrite.plan
+      in
+      let rel = normalize_schema pattern rel in
+      let exec_s = clk t () -. t0 in
+      Metrics.observe t.m.h_exec exec_s;
+      (match trc with
+      | Some (trace, sp) ->
+          Trace.tag sp "tuples" (string_of_int (Rel.cardinality rel));
+          add_op_spans trace sp ~t0 stats
+      | None -> ());
+      { rel;
+        trace = None;
+        explain =
+          { Explain.query = pattern;
+            views_used = r.Rewrite.views_used;
+            plan = r.Rewrite.plan;
+            cost = c.cost;
+            candidates = c.candidates;
+            cache_hit;
+            rewrite_ms;
+            planned_ms = c.planned_ms;
+            exec_ms = exec_s *. 1000.0;
+            stats;
+            degraded;
+            quarantined = quarantined_names t } })
 
 (* --- The guarded, classifying core ---------------------------------------- *)
 
@@ -272,17 +421,17 @@ let physical_budget t override =
     Some
       (Physical.budget
          ?deadline:
-           (Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.0)) b.deadline_ms)
+           (Option.map (fun ms -> clk t () +. (ms /. 1000.0)) b.deadline_ms)
          ?max_tuples:b.max_tuples ?max_steps:b.max_steps ())
 
 (* Stage boundaries (re-plan loop, base-document fallback) check the
    deadline explicitly; inside plan execution the guarded cursors check
    it continuously. *)
-let check_deadline pb =
+let check_deadline t pb =
   match pb with
   | Some (b : Physical.budget) -> (
       match b.Physical.deadline with
-      | Some d when Unix.gettimeofday () > d ->
+      | Some d when clk t () > d ->
           raise (Physical.Over_budget { dimension = Physical.Deadline; limit = d })
       | _ -> ())
   | None -> ()
@@ -294,9 +443,9 @@ let no_rewriting_msg t pattern =
 (* Plan then execute once, classifying internal failures. Module faults
    and budget stops propagate as exceptions for the caller's recovery /
    reporting loop. *)
-let plan_and_execute t pattern pb ~degraded =
+let plan_and_execute t (trc : tr) pattern pb ~degraded =
   let planned =
-    match plan_for t pattern with
+    match plan_for t trc pattern with
     | planned -> Ok planned
     | exception ((Store.Module_fault _ | Physical.Over_budget _) as e) -> raise e
     | exception e -> Error (Xerror.Plan_error (Printexc.to_string e))
@@ -307,7 +456,7 @@ let plan_and_execute t pattern pb ~degraded =
       match c.rewriting with
       | None -> Error (Xerror.No_rewriting (no_rewriting_msg t pattern))
       | Some r -> (
-          match execute t pattern c hit rewrite_ms pb ~degraded r with
+          match execute t trc pattern c hit rewrite_ms pb ~degraded r with
           | res -> Ok res
           | exception ((Store.Module_fault _ | Physical.Over_budget _) as e) ->
               raise e
@@ -319,17 +468,19 @@ let plan_and_execute t pattern pb ~degraded =
 
 (* When a fault destroyed the last rewriting, a base document (if the
    engine holds one) still answers the pattern — degraded, but correct. *)
-let degraded_fallback t pattern err =
+let degraded_fallback t (trc : tr) pattern err =
   match t.doc with
   | None -> err
   | Some doc -> (
-      match Xam.Embed.eval doc pattern with
+      match in_span trc "fallback" (fun _ -> Xam.Embed.eval doc pattern) with
       | exception e -> Error (Xerror.Exec_error (Printexc.to_string e))
       | rel ->
           Atomic.incr t.counters.a_fallbacks;
+          Metrics.incr t.m.m_fallbacks;
           let card = Rel.cardinality rel in
           Ok
             { rel;
+              trace = None;
               explain =
                 { Explain.query = pattern;
                   views_used = [];
@@ -338,6 +489,7 @@ let degraded_fallback t pattern err =
                   candidates = 0;
                   cache_hit = false;
                   rewrite_ms = 0.0;
+                  planned_ms = 0.0;
                   exec_ms = 0.0;
                   stats =
                     { Physical.op = "fallback(embed)"; tuples = card; nexts = 0;
@@ -350,30 +502,37 @@ let degraded_fallback t pattern err =
    when no rewriting survives, fall back to the base document. Bounded by
    the module count — every retry quarantines a module never seen
    faulty before. *)
-let rec attempt t pattern pb ~faults_seen =
-  check_deadline pb;
+let rec attempt t (trc : tr) pattern pb ~faults_seen =
+  check_deadline t pb;
   if faults_seen > List.length t.catalog.Store.modules then
     Error
       (Xerror.Storage_fault
          { module_name = "<catalog>"; reason = "fault recovery did not converge" })
   else
-    match plan_and_execute t pattern pb ~degraded:(faults_seen > 0) with
+    match plan_and_execute t trc pattern pb ~degraded:(faults_seen > 0) with
     | Ok _ as ok ->
-        if faults_seen > 0 then Atomic.incr t.counters.a_degraded;
+        if faults_seen > 0 then begin
+          Atomic.incr t.counters.a_degraded;
+          Metrics.incr t.m.m_degraded;
+          tr_tag trc "degraded" "true"
+        end;
         ok
     | Error (Xerror.No_rewriting _) as err
       when faults_seen > 0 || not (quarantine_empty t) -> (
         (* The rewriting was lost to a fault — in this call or an earlier
            one that quarantined a module. Degrade rather than refuse. *)
-        match degraded_fallback t pattern err with
+        match degraded_fallback t trc pattern err with
         | Ok _ as ok ->
             Atomic.incr t.counters.a_degraded;
+            Metrics.incr t.m.m_degraded;
+            tr_tag trc "degraded" "true";
             ok
         | Error _ as e -> e)
     | Error _ as err -> err
     | exception Store.Module_fault { name; reason } ->
+        tr_event trc "quarantine" [ ("module", name); ("reason", reason) ];
         quarantine t name reason;
-        attempt t pattern pb ~faults_seen:(faults_seen + 1)
+        attempt t trc pattern pb ~faults_seen:(faults_seen + 1)
 
 (* The cursor-level deadline carries the absolute wall-clock instant it
    tripped on; report the configured relative milliseconds instead. *)
@@ -387,13 +546,31 @@ let budget_error t override (dimension : Physical.budget_dimension) limit =
 
 let query_r ?budget t pattern =
   Atomic.incr t.counters.a_queries;
+  Metrics.incr t.m.m_queries;
+  let trc = start_trace t "query" in
+  tr_tag trc "query" (Format.asprintf "%a" Pattern.pp pattern);
+  let t0 = clk t () in
   let pb = physical_budget t budget in
-  match attempt t pattern pb ~faults_seen:0 with
-  | res -> res
-  | exception Physical.Over_budget { dimension; limit } ->
-      Error (budget_error t budget dimension limit)
-  | exception Xerror.Error e -> Error e
-  | exception e -> Error (Xerror.Exec_error (Printexc.to_string e))
+  let res =
+    match attempt t trc pattern pb ~faults_seen:0 with
+    | res -> res
+    | exception Physical.Over_budget { dimension; limit } ->
+        Error (budget_error t budget dimension limit)
+    | exception Xerror.Error e -> Error e
+    | exception e -> Error (Xerror.Exec_error (Printexc.to_string e))
+  in
+  Metrics.observe t.m.h_query (clk t () -. t0);
+  let err =
+    match res with
+    | Ok _ -> None
+    | Error e ->
+        Metrics.incr t.m.m_errors;
+        Some (Xerror.to_string e)
+  in
+  finish_trace t trc ~err;
+  match res with
+  | Ok r -> Ok { r with trace = Option.map fst trc }
+  | Error _ as e -> e
 
 let query t pattern =
   match query_r t pattern with
@@ -434,6 +611,7 @@ type xquery_result = {
       (** per extracted pattern; [None] when the pattern was materialized
           from the base document rather than rewritten over views *)
   xquery_stats : Physical.op_stats;  (** the outer tagging plan *)
+  xquery_trace : Trace.t option;
 }
 
 (* Pattern extent for the XQuery front door: through the planner (with
@@ -441,16 +619,21 @@ type xquery_result = {
    embedding over the base document only for the ordinary
    no-rewriting case — a budget stop or an unrecoverable fault must not
    silently turn into a full-document scan. *)
-let extent_for t pat pb =
+let extent_for t (trc : tr) pat pb =
   Atomic.incr t.counters.a_queries;
-  match attempt t pat pb ~faults_seen:0 with
+  Metrics.incr t.m.m_queries;
+  let t0 = clk t () in
+  Fun.protect ~finally:(fun () -> Metrics.observe t.m.h_query (clk t () -. t0))
+  @@ fun () ->
+  match attempt t trc pat pb ~faults_seen:0 with
   | Ok r -> Ok (r.rel, Some r.explain)
   | Error (Xerror.No_rewriting _) -> (
       match t.doc with
       | Some doc ->
-          check_deadline pb;
+          check_deadline t pb;
           Atomic.incr t.counters.a_fallbacks;
-          Ok (Xam.Embed.eval doc pat, None)
+          Metrics.incr t.m.m_fallbacks;
+          Ok (in_span trc "fallback" (fun _ -> Xam.Embed.eval doc pat), None)
       | None ->
           Error
             (Xerror.No_rewriting
@@ -458,8 +641,11 @@ let extent_for t pat pb =
                   Pattern.pp pat)))
   | Error e -> Error e
 
-let query_ast_r ?budget t ast =
-  match Xquery.Extract.extract ast with
+(* The body shared by the AST and string front doors, running inside an
+   already-open trace context so [query_string_r] can hang the parse span
+   on the same root. *)
+let query_ast_in ?budget t (trc : tr) ast =
+  match in_span trc "extract" (fun _ -> Xquery.Extract.extract ast) with
   | exception Xquery.Extract.Unsupported m -> Error (Xerror.Extract_error m)
   | exception e -> Error (Xerror.Extract_error (Printexc.to_string e))
   | e -> (
@@ -468,15 +654,29 @@ let query_ast_r ?budget t ast =
         let bound =
           List.mapi
             (fun i pat ->
-              match extent_for t pat pb with
-              | Ok (rel, explain) -> (Xquery.Translate.scan_name i, rel, explain)
-              | Error err -> raise (Xerror.Error err))
+              in_span trc
+                (Printf.sprintf "pattern-%d" i)
+                (fun trc ->
+                  match extent_for t trc pat pb with
+                  | Ok (rel, explain) ->
+                      (Xquery.Translate.scan_name i, rel, explain)
+                  | Error err -> raise (Xerror.Error err)))
             e.Xquery.Extract.patterns
         in
         let env = Eval.env_of_list (List.map (fun (n, r, _) -> (n, r)) bound) in
         let rel, stats =
-          Physical.run_instrumented ~clock:Unix.gettimeofday ?budget:pb
-            ~parallel:t.par env (Xquery.Translate.plan e)
+          in_span trc "execute" (fun trc ->
+              let t0 = clk t () in
+              let rel, stats =
+                Physical.run_instrumented ~clock:(clk t) ?budget:pb
+                  ~metrics:t.obs.Obs.metrics ~parallel:t.par env
+                  (Xquery.Translate.plan e)
+              in
+              Metrics.observe t.m.h_exec (clk t () -. t0);
+              (match trc with
+              | Some (trace, sp) -> add_op_spans trace sp ~t0 stats
+              | None -> ());
+              (rel, stats))
         in
         let buf = Buffer.create 256 in
         List.iter
@@ -488,7 +688,8 @@ let query_ast_r ?budget t ast =
           rel.Rel.tuples;
         { output = Buffer.contents buf;
           pattern_explains = List.map (fun (_, _, ex) -> ex) bound;
-          xquery_stats = stats }
+          xquery_stats = stats;
+          xquery_trace = None }
       in
       match run () with
       | r -> Ok r
@@ -499,12 +700,33 @@ let query_ast_r ?budget t ast =
           Error (Xerror.Storage_fault { module_name = name; reason })
       | exception err -> Error (Xerror.Exec_error (Printexc.to_string err)))
 
+let close_xquery t (trc : tr) res =
+  let err =
+    match res with
+    | Ok _ -> None
+    | Error e ->
+        Metrics.incr t.m.m_errors;
+        Some (Xerror.to_string e)
+  in
+  finish_trace t trc ~err;
+  match res with
+  | Ok r -> Ok { r with xquery_trace = Option.map fst trc }
+  | Error _ as e -> e
+
+let query_ast_r ?budget t ast =
+  let trc = start_trace t "xquery" in
+  close_xquery t trc (query_ast_in ?budget t trc ast)
+
 let query_string_r ?budget t src =
-  match Xquery.Parse.query src with
-  | ast -> query_ast_r ?budget t ast
-  | exception Xquery.Parse.Syntax_error { pos; msg } ->
-      Error (Xerror.Parse_error (Printf.sprintf "char %d: %s" pos msg))
-  | exception e -> Error (Xerror.Parse_error (Printexc.to_string e))
+  let trc = start_trace t "xquery" in
+  let res =
+    match in_span trc "parse" (fun _ -> Xquery.Parse.query src) with
+    | ast -> query_ast_in ?budget t trc ast
+    | exception Xquery.Parse.Syntax_error { pos; msg } ->
+        Error (Xerror.Parse_error (Printf.sprintf "char %d: %s" pos msg))
+    | exception e -> Error (Xerror.Parse_error (Printexc.to_string e))
+  in
+  close_xquery t trc res
 
 let query_ast t ast =
   match query_ast_r t ast with

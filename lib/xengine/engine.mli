@@ -56,7 +56,13 @@ val unlimited : budget
 
 type t
 
-type result = { rel : Xalgebra.Rel.t; explain : Explain.t }
+type result = {
+  rel : Xalgebra.Rel.t;
+  explain : Explain.t;
+  trace : Xobs.Trace.t option;
+      (** the query's span tree, when the engine's {!Xobs.Obs.t} has
+          tracing on; [None] otherwise *)
+}
 
 val create :
   ?cache_capacity:int ->
@@ -65,6 +71,7 @@ val create :
   ?budget:budget ->
   ?env_wrap:(Xalgebra.Eval.env -> Xalgebra.Eval.env) ->
   ?pool:Pool.t ->
+  ?obs:Xobs.Obs.t ->
   ?doc:Xdm.Doc.t ->
   Xstorage.Store.catalog ->
   t
@@ -79,7 +86,12 @@ val create :
     the rewriter's generate-and-test loop and the physical structural
     joins fan out over the pool's domains (answers are identical to the
     sequential ones — see {!Xalgebra.Par}); without it every query runs
-    sequentially. The catalog is validated
+    sequentially. [obs] is the engine's observability context (clock,
+    metrics registry, slow-query log, tracing switch — see {!Xobs.Obs});
+    by default each engine gets a private context with a monotonic clock
+    and tracing off. Every layer records into its registry: engine
+    counters and latency histograms, plan-cache gauge and evictions,
+    rewriter and physical-operator totals. The catalog is validated
     ({!Xstorage.Store.validate}); raises [Xerror.Error (Catalog_invalid _)]
     if a module's pattern references paths absent from the summary. *)
 
@@ -90,6 +102,7 @@ val of_doc :
   ?budget:budget ->
   ?env_wrap:(Xalgebra.Eval.env -> Xalgebra.Eval.env) ->
   ?pool:Pool.t ->
+  ?obs:Xobs.Obs.t ->
   Xdm.Doc.t ->
   (string * Xam.Pattern.t) list ->
   t
@@ -141,6 +154,9 @@ type xquery_result = {
           materialized from the base document rather than rewritten *)
   xquery_stats : Xalgebra.Physical.op_stats;
       (** instrumentation of the outer tagging plan *)
+  xquery_trace : Xobs.Trace.t option;
+      (** span tree covering parse → extract → per-pattern planning →
+          tagging-plan execution, when tracing is on *)
 }
 
 val query_string_r :
@@ -185,6 +201,12 @@ val add_module : t -> Xstorage.Store.module_ -> unit
 (** Append one module (e.g. a freshly built index) — a catalog swap. *)
 
 (** {1 Observability} *)
+
+val obs : t -> Xobs.Obs.t
+(** The engine's observability context. Toggle tracing with
+    [Xobs.Obs.set_tracing]; export with {!Xobs.Export.prometheus} /
+    {!Xobs.Export.trace_json}; read the slow-query log from its
+    [slowlog]. *)
 
 val counters : t -> counters
 val cache_length : t -> int

@@ -13,6 +13,11 @@ type t = {
   candidates : int;  (** rewritings the optimizer ranked *)
   cache_hit : bool;  (** [true] when the plan came from the cache *)
   rewrite_ms : float;  (** rewriting + costing time; [0.] on a cache hit *)
+  planned_ms : float;
+      (** what planning {e originally} cost: equals [rewrite_ms] on a
+          miss, and on a cache hit recalls the rewrite + costing time the
+          cached entry cost when it was first planned (where [rewrite_ms]
+          is [0.] — the hit itself did no rewriting) *)
   exec_ms : float;  (** execution wall time *)
   stats : Xalgebra.Physical.op_stats;  (** annotated operator tree *)
   degraded : bool;
@@ -25,3 +30,33 @@ type t = {
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** {1 JSON}
+
+    A machine-readable EXPLAIN. The pattern and logical plan serialize as
+    their pretty-printed text (consumers treat them as opaque strings to
+    display or diff); every numeric and structural field round-trips
+    exactly, so [of_json (to_json e) = Ok (summarize e)]. *)
+
+type summary = {
+  s_query : string;  (** pretty-printed pattern *)
+  s_views_used : string list;
+  s_plan : string;  (** pretty-printed logical plan *)
+  s_cost : float option;  (** [None] encodes a NaN cost *)
+  s_candidates : int;
+  s_cache_hit : bool;
+  s_rewrite_ms : float;
+  s_planned_ms : float;
+  s_exec_ms : float;
+  s_stats : Xalgebra.Physical.op_stats;
+  s_degraded : bool;
+  s_quarantined : string list;
+}
+(** What JSON can carry of a {!t}: identical except the pattern and plan
+    are strings and a NaN cost is [None]. *)
+
+val summarize : t -> summary
+val to_json : t -> Xobs.Json.t
+val to_json_string : t -> string
+val of_json : Xobs.Json.t -> (summary, string) Stdlib.result
+val of_json_string : string -> (summary, string) Stdlib.result

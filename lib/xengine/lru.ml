@@ -4,16 +4,39 @@
 
 type 'a entry = { value : 'a; mutable tick : int }
 
+type metrics = {
+  m_entries : Xobs.Metrics.gauge;
+  m_evictions : Xobs.Metrics.counter;
+}
+
 type 'a t = {
   capacity : int;
   table : (string, 'a entry) Hashtbl.t;
   mutable clock : int;
   mutable evicted : int;
+  m : metrics option;
 }
 
-let create capacity =
+let create ?metrics capacity =
   if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
-  { capacity; table = Hashtbl.create capacity; clock = 0; evicted = 0 }
+  let m =
+    Option.map
+      (fun reg ->
+        { m_entries =
+            Xobs.Metrics.gauge reg "plan_cache_entries"
+              ~help:"live plan cache entries";
+          m_evictions =
+            Xobs.Metrics.counter reg "plan_cache_evictions_total"
+              ~help:"plan cache entries evicted by capacity" })
+      metrics
+  in
+  { capacity; table = Hashtbl.create capacity; clock = 0; evicted = 0; m }
+
+let sync_gauge t =
+  match t.m with
+  | Some m ->
+      Xobs.Metrics.set_gauge m.m_entries (float_of_int (Hashtbl.length t.table))
+  | None -> ()
 
 let touch t e =
   t.clock <- t.clock + 1;
@@ -38,7 +61,8 @@ let evict_lru t =
   match victim with
   | Some (key, _) ->
       Hashtbl.remove t.table key;
-      t.evicted <- t.evicted + 1
+      t.evicted <- t.evicted + 1;
+      (match t.m with Some m -> Xobs.Metrics.incr m.m_evictions | None -> ())
   | None -> ()
 
 let add t key value =
@@ -47,7 +71,8 @@ let add t key value =
   | None -> if Hashtbl.length t.table >= t.capacity then evict_lru t);
   let e = { value; tick = 0 } in
   touch t e;
-  Hashtbl.add t.table key e
+  Hashtbl.add t.table key e;
+  sync_gauge t
 
 let length t = Hashtbl.length t.table
 let capacity t = t.capacity
@@ -55,4 +80,5 @@ let evictions t = t.evicted
 
 let clear t =
   Hashtbl.reset t.table;
-  t.clock <- 0
+  t.clock <- 0;
+  sync_gauge t

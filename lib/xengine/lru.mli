@@ -5,8 +5,10 @@
 
 type 'a t
 
-val create : int -> 'a t
-(** [create capacity]; capacity must be positive. *)
+val create : ?metrics:Xobs.Metrics.registry -> int -> 'a t
+(** [create capacity]; capacity must be positive. [metrics] keeps a
+    [plan_cache_entries] gauge and a [plan_cache_evictions_total] counter
+    in the given registry up to date. *)
 
 val find : 'a t -> string -> 'a option
 (** Lookup, refreshing the entry's recency on a hit. *)

@@ -20,6 +20,12 @@ type t = {
 
 let recommended_domains () = max 1 (min 16 (Domain.recommended_domain_count ()))
 
+(* The pool-worker index, for tagging traces with the domain that ran a
+   query: workers are 1..domains-1, the calling (or any foreign) domain
+   reads the default 0. *)
+let ix_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let self_index () = Domain.DLS.get ix_key
+
 let rec worker_loop pool seen =
   Mutex.lock pool.lock;
   while (not pool.stop) && pool.epoch = seen do
@@ -49,7 +55,10 @@ let create ?domains () =
       workers = [||] }
   in
   pool.workers <-
-    Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+    Array.init (domains - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set ix_key (i + 1);
+            worker_loop pool 0));
   pool
 
 let domains t = t.domains

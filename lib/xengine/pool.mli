@@ -26,6 +26,11 @@ val recommended_domains : unit -> int
 
 val domains : t -> int
 
+val self_index : unit -> int
+(** The calling domain's pool-worker index: workers of any pool read
+    their 1-based index, every other domain (including pool creators)
+    reads 0. Used to tag traces with the domain that ran the query. *)
+
 val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving: slot [i] of the result is [f arr.(i)]. *)
 

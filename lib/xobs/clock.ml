@@ -1,0 +1,26 @@
+type t = unit -> float
+
+let wall = Unix.gettimeofday
+
+(* Monotonicity is enforced with a CAS loop over a boxed-float atomic:
+   [Atomic.get] hands back the stored box, so the compare-and-set is on
+   the very word we read — the standard lock-free max. *)
+let monotonic : t =
+  let last = Atomic.make 0.0 in
+  fun () ->
+    let t = wall () in
+    let rec clamp () =
+      let l = Atomic.get last in
+      if t <= l then l
+      else if Atomic.compare_and_set last l t then t
+      else clamp ()
+    in
+    clamp ()
+
+type fake = { mutable now : float }
+
+let fake ?(now = 0.0) () = { now }
+let clock f () = f.now
+let advance f d = if d > 0.0 then f.now <- f.now +. d
+let set f t = if t > f.now then f.now <- t
+let now f = f.now

@@ -1,0 +1,37 @@
+(** Injectable clocks.
+
+    Every timed code path in the engine reads time through a {!t} value
+    instead of calling [Unix.gettimeofday] directly, so budget deadlines
+    and span timestamps survive wall-clock adjustments, and tests can
+    drive a {!fake} clock deterministically. *)
+
+type t = unit -> float
+(** A clock: returns the current time in {e seconds}. The timebase is the
+    clock's own — only differences and comparisons against deadlines
+    derived from the same clock are meaningful. *)
+
+val monotonic : t
+(** The default engine clock: the wall clock, clamped (via one global
+    atomic high-water mark) so consecutive reads never decrease even if
+    the system clock steps backwards. *)
+
+val wall : t
+(** Raw [Unix.gettimeofday] — no monotonicity guarantee. *)
+
+(** {1 Fake clocks for tests} *)
+
+type fake
+
+val fake : ?now:float -> unit -> fake
+(** A manually driven clock starting at [now] (default [0.]). *)
+
+val clock : fake -> t
+(** Read the fake clock's current time. *)
+
+val advance : fake -> float -> unit
+(** Advance by a number of seconds (negative deltas are ignored). *)
+
+val set : fake -> float -> unit
+(** Jump to an absolute time (ignored when earlier than the current). *)
+
+val now : fake -> float

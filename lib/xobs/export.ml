@@ -1,0 +1,190 @@
+(* --- Prometheus text exposition -------------------------------------- *)
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let le_label i =
+  if i >= Metrics.bucket_count - 1 then "+Inf"
+  else fmt_float (Metrics.bucket_upper i)
+
+let prometheus reg =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, help, m) ->
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      match m with
+      | Metrics.Counter c ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" name (Metrics.counter_value c))
+      | Metrics.Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" name (fmt_float (Metrics.gauge_value g)))
+      | Metrics.Histogram h ->
+          let s = Metrics.snapshot h in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (le_label i) !cum))
+            s.Metrics.counts;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" name (fmt_float (Metrics.sum_s s)));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name s.Metrics.count))
+    (Metrics.metrics reg);
+  Buffer.contents buf
+
+(* --- Exposition sanity check ------------------------------------------ *)
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+(* A sample line: name, optional {labels}, one space, a float. Returns
+   (name, le-label option, value). *)
+let parse_sample line =
+  let fail msg = Error msg in
+  match String.index_opt line ' ' with
+  | None -> fail "no value separator"
+  | Some sp -> (
+      let head = String.sub line 0 sp in
+      let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+      match float_of_string_opt value with
+      | None -> fail (Printf.sprintf "non-numeric value %S" value)
+      | Some v -> (
+          match String.index_opt head '{' with
+          | None ->
+              if valid_name head then Ok (head, None, v)
+              else fail (Printf.sprintf "bad metric name %S" head)
+          | Some b ->
+              let name = String.sub head 0 b in
+              if not (valid_name name) then
+                fail (Printf.sprintf "bad metric name %S" name)
+              else if head.[String.length head - 1] <> '}' then
+                fail "unterminated label set"
+              else
+                let labels = String.sub head (b + 1) (String.length head - b - 2) in
+                let le =
+                  let prefix = "le=\"" in
+                  if
+                    String.length labels > String.length prefix + 1
+                    && String.sub labels 0 (String.length prefix) = prefix
+                    && labels.[String.length labels - 1] = '"'
+                  then
+                    Some
+                      (String.sub labels (String.length prefix)
+                         (String.length labels - String.length prefix - 1))
+                  else None
+                in
+                Ok (name, le, v)))
+
+let validate_prometheus text =
+  let lines = String.split_on_char '\n' text in
+  (* histogram base name -> (bucket cumulative counts in order, count sample) *)
+  let buckets : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let counts : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let strip_suffix s suf =
+    if String.length s > String.length suf
+       && String.sub s (String.length s - String.length suf) (String.length suf) = suf
+    then Some (String.sub s 0 (String.length s - String.length suf))
+    else None
+  in
+  let rec go i = function
+    | [] -> Ok ()
+    | "" :: rest -> go (i + 1) rest
+    | line :: rest when String.length line > 0 && line.[0] = '#' ->
+        go (i + 1) rest
+    | line :: rest -> (
+        match parse_sample line with
+        | Error msg -> Error (Printf.sprintf "line %d: %s" i msg)
+        | Ok (name, le, v) ->
+            (match (strip_suffix name "_bucket", le) with
+            | Some base, Some _ ->
+                let cell =
+                  match Hashtbl.find_opt buckets base with
+                  | Some c -> c
+                  | None ->
+                      let c = ref [] in
+                      Hashtbl.replace buckets base c;
+                      c
+                in
+                cell := v :: !cell
+            | _ -> (
+                match strip_suffix name "_count" with
+                | Some base -> Hashtbl.replace counts base v
+                | None -> ()));
+            go (i + 1) rest)
+  in
+  match go 1 lines with
+  | Error _ as e -> e
+  | Ok () ->
+      Hashtbl.fold
+        (fun base cell acc ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+              let cum = List.rev !cell in
+              let sorted = List.for_all2 ( <= ) cum (List.tl cum @ [ Float.infinity ]) in
+              if not sorted then
+                Error (Printf.sprintf "histogram %s: buckets not cumulative" base)
+              else
+                let top = List.fold_left (fun _ v -> v) 0.0 cum in
+                (match Hashtbl.find_opt counts base with
+                | Some c when c <> top ->
+                    Error
+                      (Printf.sprintf
+                         "histogram %s: +Inf bucket %g disagrees with _count %g" base
+                         top c)
+                | None ->
+                    Error (Printf.sprintf "histogram %s: missing _count sample" base)
+                | Some _ -> Ok ()))
+        buckets (Ok ())
+
+(* --- Trace JSON ------------------------------------------------------- *)
+
+let trace_json tr =
+  let base = Trace.start_s (Trace.root tr) in
+  let rec span_json sp =
+    Json.Obj
+      ([ ("name", Json.Str (Trace.name sp));
+         ("start_ms", Json.Num ((Trace.start_s sp -. base) *. 1000.0));
+         ("end_ms", Json.Num ((Trace.end_s sp -. base) *. 1000.0)) ]
+      @ (match Trace.tags sp with
+        | [] -> []
+        | tags ->
+            [ ("tags", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) tags)) ])
+      @
+      match Trace.children sp with
+      | [] -> []
+      | cs -> [ ("children", Json.Arr (List.map span_json cs)) ])
+  in
+  Json.Obj
+    [ ("trace_id", Json.Num (float_of_int (Trace.id tr)));
+      ("duration_ms", Json.Num (Trace.duration_ms tr));
+      ("root", span_json (Trace.root tr)) ]
+
+let trace_jsonl tr = Json.to_string (trace_json tr)
+
+let slowlog_jsonl log =
+  let buf = Buffer.create 1024 in
+  let ring = Slowlog.recent log in
+  List.iter
+    (fun tr ->
+      Buffer.add_string buf (trace_jsonl tr);
+      Buffer.add_char buf '\n')
+    ring;
+  List.iter
+    (fun tr ->
+      if not (List.memq tr ring) then begin
+        Buffer.add_string buf (trace_jsonl tr);
+        Buffer.add_char buf '\n'
+      end)
+    (Slowlog.slow log);
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Machine-readable exports: Prometheus text exposition for the metrics
+    registry and JSON(L) for traces — the formats the bench harness
+    records and CI uploads/diffs. *)
+
+val prometheus : Metrics.registry -> string
+(** Text exposition (format version 0.0.4): [# HELP]/[# TYPE] comments,
+    counters as [_total]-style samples, gauges, histograms as cumulative
+    [_bucket{le="..."}] series plus [_sum]/[_count]. *)
+
+val validate_prometheus : string -> (unit, string) result
+(** A format sanity check for CI: every line is a comment or a
+    [name{labels} value] sample with a well-formed metric name and a
+    numeric value; histogram bucket series must be cumulative
+    (non-decreasing in [le]) and agree with their [_count]. *)
+
+val trace_json : Trace.t -> Json.t
+(** One trace as a JSON tree: trace id, duration, and the span tree with
+    start/end offsets (ms, relative to the root's start), tags and
+    children. *)
+
+val trace_jsonl : Trace.t -> string
+(** [trace_json] on a single line — one trace per line. *)
+
+val slowlog_jsonl : Slowlog.t -> string
+(** Every ring trace (oldest first) as JSON lines, then every
+    over-threshold trace not already in the ring. *)

@@ -1,0 +1,34 @@
+(** A minimal JSON value type, printer and parser.
+
+    The repo deliberately carries no external JSON dependency; this is
+    just enough for the machine-readable observability surfaces (trace
+    export, EXPLAIN JSON, the bench measurement log) and their round-trip
+    tests. Floats print in the shortest form that parses back exactly, so
+    [of_string (to_string v) = Ok v] for any value free of NaN and
+    infinities (which serialize as [null]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line serialization. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed). Errors carry
+    the byte offset they occurred at. *)
+
+(** {1 Accessors} — shallow helpers for decoding *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,139 @@
+type counter = { c_name : string; c : int Atomic.t }
+type gauge = { g_name : string; g : float Atomic.t }
+
+let bucket_count = 28
+
+let bucket_upper i =
+  if i >= bucket_count - 1 then Float.infinity
+  else 1e-6 *. float_of_int (1 lsl i)
+
+type histogram = {
+  h_name : string;
+  counts : int Atomic.t array;
+  sum_ns : int Atomic.t;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let metric_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+type registry = {
+  lock : Mutex.t;
+  table : (string, string * metric) Hashtbl.t;  (* name -> help, metric *)
+}
+
+let create () = { lock = Mutex.create (); table = Hashtbl.create 32 }
+
+let register r ?(help = "") name make kind_of =
+  Mutex.lock r.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock r.lock)
+    (fun () ->
+      match Hashtbl.find_opt r.table name with
+      | Some (_, m) -> (
+          match kind_of m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %s already registered as another kind" name))
+      | None ->
+          let v, m = make () in
+          Hashtbl.replace r.table name (help, m);
+          v)
+
+let counter r ?help name =
+  register r ?help name
+    (fun () ->
+      let c = { c_name = name; c = Atomic.make 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let incr c = ignore (Atomic.fetch_and_add c.c 1)
+let add c n = ignore (Atomic.fetch_and_add c.c n)
+let counter_value c = Atomic.get c.c
+
+let gauge r ?help name =
+  register r ?help name
+    (fun () ->
+      let g = { g_name = name; g = Atomic.make 0.0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let set_gauge g v = Atomic.set g.g v
+
+(* CAS loop on the boxed float: [Atomic.get] returns the stored box, so
+   the compare-and-set is against the exact word we read. *)
+let rec add_gauge g d =
+  let old = Atomic.get g.g in
+  if not (Atomic.compare_and_set g.g old (old +. d)) then add_gauge g d
+
+let gauge_value g = Atomic.get g.g
+
+let histogram r ?help name =
+  register r ?help name
+    (fun () ->
+      let h =
+        { h_name = name;
+          counts = Array.init bucket_count (fun _ -> Atomic.make 0);
+          sum_ns = Atomic.make 0 }
+      in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+let bucket_of v =
+  let rec go i = if i >= bucket_count - 1 || v <= bucket_upper i then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  if Float.is_finite v && v >= 0.0 then begin
+    ignore (Atomic.fetch_and_add h.counts.(bucket_of v) 1);
+    ignore (Atomic.fetch_and_add h.sum_ns (int_of_float (Float.round (v *. 1e9))))
+  end
+
+let observe_ms h ms = observe h (ms /. 1000.0)
+
+type snapshot = { counts : int array; count : int; sum_ns : int }
+
+let snapshot (h : histogram) =
+  let counts = Array.map Atomic.get h.counts in
+  { counts;
+    count = Array.fold_left ( + ) 0 counts;
+    sum_ns = Atomic.get h.sum_ns }
+
+let empty_snapshot =
+  { counts = Array.make bucket_count 0; count = 0; sum_ns = 0 }
+
+let sum_s s = float_of_int s.sum_ns /. 1e9
+
+let merge a b =
+  { counts = Array.init bucket_count (fun i -> a.counts.(i) + b.counts.(i));
+    count = a.count + b.count;
+    sum_ns = a.sum_ns + b.sum_ns }
+
+let percentile s q =
+  if s.count = 0 then 0.0
+  else
+    let rank =
+      min s.count (max 1 (int_of_float (Float.ceil (q *. float_of_int s.count))))
+    in
+    let rec go i acc =
+      if i >= bucket_count then Float.infinity
+      else
+        let acc = acc + s.counts.(i) in
+        if acc >= rank then bucket_upper i else go (i + 1) acc
+    in
+    go 0 0
+
+let metrics r =
+  Mutex.lock r.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock r.lock)
+    (fun () ->
+      Hashtbl.fold (fun name (help, m) acc -> (name, help, m) :: acc) r.table []
+      |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b))

@@ -1,0 +1,89 @@
+(** A metrics registry: lock-free counters, gauges and log-bucketed
+    latency histograms.
+
+    Registration (get-or-create by name) takes a mutex; {e recording} is
+    entirely atomic — counters are [Atomic.t] integers, gauges CAS-loop
+    boxed floats, histograms an array of atomic bucket counts plus an
+    integer-nanosecond sum — so the hot path is safe under
+    [Engine.query_batch] fanning queries across domains and allocates
+    nothing. Histogram snapshots merge exactly (integer arithmetic only),
+    so per-domain or per-engine registries can be combined after the
+    fact. *)
+
+type registry
+
+val create : unit -> registry
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : registry -> ?help:string -> string -> counter
+(** Get or create. Raises [Invalid_argument] if [name] is registered as a
+    different metric kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : registry -> ?help:string -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms}
+
+    Fixed log-scaled buckets: upper bounds 1µs·2ⁱ for i = 0…26 (1µs to
+    ≈67s) plus one overflow bucket. An observation of [v] seconds lands in
+    the first bucket whose upper bound is ≥ [v], so any percentile
+    estimate is an upper bound within a factor 2 of the true quantile
+    (for observations ≥ 1µs). *)
+
+type histogram
+
+val histogram : registry -> ?help:string -> string -> histogram
+val observe : histogram -> float -> unit
+(** Record an observation in seconds (negative and NaN are dropped). *)
+
+val observe_ms : histogram -> float -> unit
+
+val bucket_count : int
+val bucket_upper : int -> float
+(** Upper bound (seconds) of bucket [i]; [infinity] for the overflow
+    bucket [bucket_count - 1]. *)
+
+type snapshot = {
+  counts : int array;  (** per-bucket observation counts, length {!bucket_count} *)
+  count : int;  (** total observations *)
+  sum_ns : int;  (** sum of observations in integer nanoseconds *)
+}
+
+val snapshot : histogram -> snapshot
+val sum_s : snapshot -> float
+val empty_snapshot : snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise sum — exact (integer) and associative, so histograms
+    recorded per domain or per engine combine in any order. *)
+
+val percentile : snapshot -> float -> float
+(** [percentile s q] for [q] in [0,1]: the upper bound (seconds) of the
+    bucket holding the ⌈q·count⌉-th smallest observation — an upper bound
+    on the true quantile, within a factor 2 of it. [0.] when empty,
+    [infinity] when the quantile fell in the overflow bucket. *)
+
+(** {1 Enumeration} *)
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+val metrics : registry -> (string * string * metric) list
+(** All registered metrics as [(name, help, metric)], sorted by name. *)
+
+val metric_name : metric -> string

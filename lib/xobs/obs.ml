@@ -1,0 +1,19 @@
+type t = {
+  clock : Clock.t;
+  metrics : Metrics.registry;
+  slowlog : Slowlog.t;
+  mutable tracing : bool;
+  trace_ids : int Atomic.t;
+}
+
+let create ?(clock = Clock.monotonic) ?(tracing = false) ?slow_capacity
+    ?(slow_threshold_ms = Float.infinity) () =
+  { clock;
+    metrics = Metrics.create ();
+    slowlog =
+      Slowlog.create ?capacity:slow_capacity ~threshold_ms:slow_threshold_ms ();
+    tracing;
+    trace_ids = Atomic.make 0 }
+
+let set_tracing t b = t.tracing <- b
+let next_trace_id t = Atomic.fetch_and_add t.trace_ids 1 + 1

@@ -1,0 +1,30 @@
+(** The bundled observability context an engine carries: one clock, one
+    metrics registry, one slow-query log and a tracing switch.
+
+    Each {!Xengine.Engine.t} gets its own context by default, so two
+    engines never share counters; pass one explicitly to share a registry
+    across engines or to inject a fake clock. *)
+
+type t = {
+  clock : Clock.t;
+  metrics : Metrics.registry;
+  slowlog : Slowlog.t;
+  mutable tracing : bool;
+      (** when [false] (the default) no spans are built at all — the
+          hot path pays only the metric updates *)
+  trace_ids : int Atomic.t;
+}
+
+val create :
+  ?clock:Clock.t ->
+  ?tracing:bool ->
+  ?slow_capacity:int ->
+  ?slow_threshold_ms:float ->
+  unit ->
+  t
+(** Defaults: {!Clock.monotonic}, tracing off, a 64-trace ring, no slow
+    threshold. *)
+
+val set_tracing : t -> bool -> unit
+val next_trace_id : t -> int
+(** Successive ids starting at 1, safe across domains. *)

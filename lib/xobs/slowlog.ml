@@ -1,0 +1,69 @@
+type t = {
+  lock : Mutex.t;
+  ring : Trace.t option array;
+  mutable head : int;  (* next write position *)
+  mutable filled : int;
+  mutable thresh : float;  (* ms *)
+  slow_capacity : int;
+  mutable rslow : Trace.t list;  (* newest first *)
+  mutable slow_count : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 64) ?(slow_capacity = 256) ?(threshold_ms = Float.infinity)
+    () =
+  if capacity <= 0 then invalid_arg "Slowlog.create: capacity must be positive";
+  { lock = Mutex.create ();
+    ring = Array.make capacity None;
+    head = 0;
+    filled = 0;
+    thresh = threshold_ms;
+    slow_capacity = max 1 slow_capacity;
+    rslow = [];
+    slow_count = 0;
+    total = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record t tr =
+  with_lock t (fun () ->
+      let cap = Array.length t.ring in
+      t.ring.(t.head) <- Some tr;
+      t.head <- (t.head + 1) mod cap;
+      t.filled <- min cap (t.filled + 1);
+      t.total <- t.total + 1;
+      if Trace.duration_ms tr >= t.thresh then begin
+        t.rslow <- tr :: t.rslow;
+        t.slow_count <- t.slow_count + 1;
+        if t.slow_count > t.slow_capacity then begin
+          (* Drop the oldest — the list tail. Rare (only past capacity)
+             and bounded, so the O(n) rebuild is fine. *)
+          t.rslow <- List.filteri (fun i _ -> i < t.slow_capacity) t.rslow;
+          t.slow_count <- t.slow_capacity
+        end
+      end)
+
+let recent t =
+  with_lock t (fun () ->
+      let cap = Array.length t.ring in
+      let start = (t.head - t.filled + (2 * cap)) mod cap in
+      List.init t.filled (fun i ->
+          match t.ring.((start + i) mod cap) with
+          | Some tr -> tr
+          | None -> assert false))
+
+let slow t = with_lock t (fun () -> List.rev t.rslow)
+let threshold_ms t = with_lock t (fun () -> t.thresh)
+let set_threshold_ms t ms = with_lock t (fun () -> t.thresh <- ms)
+let recorded t = with_lock t (fun () -> t.total)
+
+let clear t =
+  with_lock t (fun () ->
+      Array.fill t.ring 0 (Array.length t.ring) None;
+      t.head <- 0;
+      t.filled <- 0;
+      t.rslow <- [];
+      t.slow_count <- 0;
+      t.total <- 0)

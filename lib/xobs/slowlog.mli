@@ -1,0 +1,30 @@
+(** The slow-query log: a mutex-guarded ring of the N most recent traces
+    plus every trace over a configurable latency threshold.
+
+    Recording is one mutex acquisition per completed query — negligible
+    next to the query itself — and safe under [Engine.query_batch]
+    finishing queries on several domains at once. *)
+
+type t
+
+val create :
+  ?capacity:int -> ?slow_capacity:int -> ?threshold_ms:float -> unit -> t
+(** [capacity] (default 64) bounds the recent-trace ring; traces whose
+    duration is ≥ [threshold_ms] (default [infinity] — disabled) are
+    additionally kept in the slow list, itself bounded by
+    [slow_capacity] (default 256, oldest dropped first). *)
+
+val record : t -> Trace.t -> unit
+
+val recent : t -> Trace.t list
+(** The ring's contents, oldest first. *)
+
+val slow : t -> Trace.t list
+(** Over-threshold traces, oldest first. *)
+
+val threshold_ms : t -> float
+val set_threshold_ms : t -> float -> unit
+val recorded : t -> int
+(** Total traces ever recorded. *)
+
+val clear : t -> unit

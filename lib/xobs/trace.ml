@@ -1,0 +1,48 @@
+type span = {
+  sname : string;
+  t0 : float;
+  mutable t1 : float;
+  mutable rtags : (string * string) list;  (* reversed *)
+  mutable rchildren : span list;  (* reversed *)
+}
+
+type t = { id : int; clk : Clock.t; root : span }
+
+let mk_span ~name ~t0 ~t1 = { sname = name; t0; t1; rtags = []; rchildren = [] }
+
+let start ?(clock = Clock.monotonic) ?(id = 0) name =
+  let t0 = clock () in
+  { id; clk = clock; root = mk_span ~name ~t0 ~t1:t0 }
+
+let id t = t.id
+let root t = t.root
+let clock t = t.clk
+
+let span t parent name f =
+  let t0 = t.clk () in
+  let sp = mk_span ~name ~t0 ~t1:t0 in
+  parent.rchildren <- sp :: parent.rchildren;
+  Fun.protect ~finally:(fun () -> sp.t1 <- t.clk ()) (fun () -> f sp)
+
+let add_child t ~parent ~name ~t0 ~t1 ~tags =
+  ignore t;
+  let sp = mk_span ~name ~t0 ~t1 in
+  sp.rtags <- List.rev tags;
+  parent.rchildren <- sp :: parent.rchildren;
+  sp
+
+let tag sp k v = sp.rtags <- (k, v) :: sp.rtags
+
+let event t parent name tags =
+  let now = t.clk () in
+  ignore (add_child t ~parent ~name ~t0:now ~t1:now ~tags)
+
+let finish t = t.root.t1 <- t.clk ()
+let duration_ms t = (t.root.t1 -. t.root.t0) *. 1000.0
+
+let name sp = sp.sname
+let start_s sp = sp.t0
+let end_s sp = sp.t1
+let span_ms sp = (sp.t1 -. sp.t0) *. 1000.0
+let tags sp = List.rev sp.rtags
+let children sp = List.rev sp.rchildren

@@ -1,0 +1,56 @@
+(** Span-based tracing: one {!t} per query, holding a tree of timed,
+    tagged spans.
+
+    A trace is built by exactly one domain (the one running the query),
+    so spans need no synchronization; the finished trace is an immutable
+    value the slow-query log and the exporters can share freely. All
+    timestamps come from the trace's {!Clock.t}, so a fake clock makes
+    span timing fully deterministic in tests. *)
+
+type span
+
+type t
+
+val start : ?clock:Clock.t -> ?id:int -> string -> t
+(** Open a trace whose root span is named [name] and starts now.
+    [id] (default 0) is the caller-assigned trace id. *)
+
+val id : t -> int
+val root : t -> span
+val clock : t -> Clock.t
+
+val span : t -> span -> string -> (span -> 'a) -> 'a
+(** [span tr parent name f] runs [f] inside a fresh child span of
+    [parent], closing it when [f] returns {e or raises}. *)
+
+val add_child :
+  t -> parent:span -> name:string -> t0:float -> t1:float ->
+  tags:(string * string) list -> span
+(** Attach a pre-timed child (e.g. a span reconstructed from an executed
+    plan's operator stats). Timestamps are in the trace clock's
+    timebase, seconds. *)
+
+val event : t -> span -> string -> (string * string) list -> unit
+(** A zero-duration child span stamped now — fault injections,
+    quarantine decisions, cache events. *)
+
+val tag : span -> string -> string -> unit
+
+val finish : t -> unit
+(** Close the root span. Idempotent in effect: the root's end time is
+    simply restamped. *)
+
+val duration_ms : t -> float
+(** Root span duration (ms); meaningful after {!finish}. *)
+
+(** {1 Reading a trace} *)
+
+val name : span -> string
+val start_s : span -> float
+val end_s : span -> float
+val span_ms : span -> float
+val tags : span -> (string * string) list
+(** In tagging order. *)
+
+val children : span -> span list
+(** In creation order. *)

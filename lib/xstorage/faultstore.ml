@@ -6,6 +6,15 @@ type mode = Healthy | Fail | Delay | Truncate
    across domains ({!Xengine.Engine.query_batch}) all funnel through one
    faultstore, and the chaos suite's exact accounting (faults absorbed =
    faults injected) must survive the interleaving. *)
+(* The optional registry mirrors the three atomic counters as metrics, so
+   the fault-injection rates show up in the same Prometheus exposition as
+   the engine's own series. *)
+type mcounters = {
+  m_injected : Xobs.Metrics.counter;
+  m_delayed : Xobs.Metrics.counter;
+  m_truncated : Xobs.Metrics.counter;
+}
+
 type t = {
   seed : int;
   fail_rate : float;
@@ -17,15 +26,30 @@ type t = {
   injected : int Atomic.t;
   delayed : int Atomic.t;
   truncated : int Atomic.t;
+  mc : mcounters option;
 }
 
 let create ?(seed = 0) ?(fail_rate = 0.0) ?(delay_rate = 0.0) ?(delay_ms = 1.0)
-    ?(truncate_rate = 0.0) ?(keep_fraction = 0.5) ?(broken = []) () =
+    ?(truncate_rate = 0.0) ?(keep_fraction = 0.5) ?(broken = []) ?metrics () =
   let tbl = Hashtbl.create 8 in
   List.iter (fun n -> Hashtbl.replace tbl n ()) broken;
+  let mc =
+    Option.map
+      (fun reg ->
+        { m_injected =
+            Xobs.Metrics.counter reg "faultstore_injected_total"
+              ~help:"module faults raised by the faultstore";
+          m_delayed =
+            Xobs.Metrics.counter reg "faultstore_delayed_total"
+              ~help:"module reads answered late by the faultstore";
+          m_truncated =
+            Xobs.Metrics.counter reg "faultstore_truncated_total"
+              ~help:"module reads answered short by the faultstore" })
+      metrics
+  in
   { seed; fail_rate; delay_rate; delay_ms; truncate_rate; keep_fraction;
     broken = tbl; injected = Atomic.make 0; delayed = Atomic.make 0;
-    truncated = Atomic.make 0 }
+    truncated = Atomic.make 0; mc }
 
 (* Deterministic per-module draw in [0,1): the same (seed, name) always
    lands in the same fault bucket, so a module that faults once faults on
@@ -53,13 +77,16 @@ let wrap fs (env : Xalgebra.Eval.env) : Xalgebra.Eval.env =
       | Healthy -> Some rel
       | Fail ->
           Atomic.incr fs.injected;
+          (match fs.mc with Some m -> Xobs.Metrics.incr m.m_injected | None -> ());
           raise (Store.Module_fault { name; reason = "injected fault" })
       | Delay ->
           Atomic.incr fs.delayed;
+          (match fs.mc with Some m -> Xobs.Metrics.incr m.m_delayed | None -> ());
           Unix.sleepf (fs.delay_ms /. 1000.0);
           Some rel
       | Truncate ->
           Atomic.incr fs.truncated;
+          (match fs.mc with Some m -> Xobs.Metrics.incr m.m_truncated | None -> ());
           let n = List.length rel.Rel.tuples in
           let keep =
             max 0 (int_of_float (ceil (fs.keep_fraction *. float_of_int n)))

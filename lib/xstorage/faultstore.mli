@@ -24,6 +24,7 @@ val create :
   ?truncate_rate:float ->
   ?keep_fraction:float ->
   ?broken:string list ->
+  ?metrics:Xobs.Metrics.registry ->
   unit ->
   t
 (** [fail_rate] / [delay_rate] / [truncate_rate] (defaults 0) partition
@@ -31,7 +32,9 @@ val create :
     cover, independently per name. [delay_ms] (default 1) is the injected
     latency, [keep_fraction] (default 0.5) the fraction of tuples a
     truncated extent keeps. [broken] names modules that always fail,
-    whatever the draw. *)
+    whatever the draw. [metrics] mirrors the injection counters into a
+    registry as [faultstore_injected_total] / [_delayed_total] /
+    [_truncated_total]. *)
 
 val mode : t -> string -> mode
 (** The (deterministic) fault bucket of a module name. *)

@@ -1,0 +1,408 @@
+(* The observability layer: histogram percentile bounds and exact merge
+   (QCheck), slow-log ring eviction, fake-clock span trees, span/EXPLAIN
+   agreement, Explain JSON round-trips, metric determinism under
+   query_batch at 4 domains, and the Prometheus exposition surviving its
+   own format validator after a chaos run. Everything is seeded. *)
+
+module Metrics = Xobs.Metrics
+module Clock = Xobs.Clock
+module Trace = Xobs.Trace
+module Slowlog = Xobs.Slowlog
+module Obs = Xobs.Obs
+module Export = Xobs.Export
+module Json = Xobs.Json
+module P = Xam.Pattern
+module Rel = Xalgebra.Rel
+module Engine = Xengine.Engine
+module Explain = Xengine.Explain
+module Xerror = Xengine.Xerror
+module Models = Xstorage.Models
+module Faultstore = Xstorage.Faultstore
+module Pg = Xworkload.Pattern_gen
+
+(* --- Histograms ------------------------------------------------------- *)
+
+let snapshot_of values =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "h" in
+  List.iter (Metrics.observe h) values;
+  Metrics.snapshot h
+
+(* The documented estimator contract: the reported percentile is an upper
+   bound on the true quantile, within a factor 2 of it (observations are
+   ≥ 1µs so none land below the first bucket bound). *)
+let percentile_bounds_prop =
+  QCheck2.Test.make ~name:"percentile within [exact, 2·exact]" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 100) (float_range 1e-6 60.0))
+        (float_range 0.01 1.0))
+    (fun (values, q) ->
+      let snap = snapshot_of values in
+      let sorted = Array.of_list (List.sort compare values) in
+      let n = Array.length sorted in
+      let rank = min n (max 1 (int_of_float (ceil (q *. float_of_int n)))) in
+      let exact = sorted.(rank - 1) in
+      let est = Metrics.percentile snap q in
+      est >= exact -. 1e-15 && est <= (2.0 *. exact) +. 1e-15)
+
+let merge_assoc_prop =
+  QCheck2.Test.make ~name:"snapshot merge is associative and exact" ~count:100
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 0 50) (float_range 1e-6 60.0))
+        (list_size (int_range 0 50) (float_range 1e-6 60.0))
+        (list_size (int_range 0 50) (float_range 1e-6 60.0)))
+    (fun (a, b, c) ->
+      let sa = snapshot_of a and sb = snapshot_of b and sc = snapshot_of c in
+      let l = Metrics.merge (Metrics.merge sa sb) sc in
+      let r = Metrics.merge sa (Metrics.merge sb sc) in
+      let all = snapshot_of (a @ b @ c) in
+      l = r && l = all)
+
+let test_histogram_basics () =
+  let snap = snapshot_of [ 0.5e-6; 1e-6; 3e-6; 100.0 ] in
+  Alcotest.(check int) "count" 4 snap.Metrics.count;
+  (* 0.5µs lands in the first bucket; 100s in the overflow bucket. *)
+  Alcotest.(check int) "first bucket" 2 snap.Metrics.counts.(0);
+  Alcotest.(check int) "overflow" 1
+    snap.Metrics.counts.(Metrics.bucket_count - 1);
+  Alcotest.(check bool) "overflow percentile is infinite" true
+    (Metrics.percentile snap 1.0 = infinity);
+  Alcotest.(check (float 1e-9)) "empty percentile" 0.0
+    (Metrics.percentile Metrics.empty_snapshot 0.5);
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "h" in
+  Metrics.observe h (-1.0);
+  Metrics.observe h Float.nan;
+  Alcotest.(check int) "negative and NaN dropped" 0
+    (Metrics.snapshot h).Metrics.count
+
+let test_counter_gauge () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "c_total" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  Alcotest.(check int) "get-or-create shares state" 5
+    (Metrics.counter_value (Metrics.counter reg "c_total"));
+  let g = Metrics.gauge reg "g" in
+  Metrics.set_gauge g 2.5;
+  Metrics.add_gauge g 0.5;
+  Alcotest.(check (float 1e-9)) "gauge" 3.0 (Metrics.gauge_value g);
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics: c_total already registered as another kind")
+    (fun () -> ignore (Metrics.gauge reg "c_total"))
+
+(* --- Slow-query log --------------------------------------------------- *)
+
+let fake_trace fc ~id ~ms =
+  let tr = Trace.start ~clock:(Clock.clock fc) ~id "query" in
+  Clock.advance fc (ms /. 1000.0);
+  Trace.finish tr;
+  tr
+
+let test_ring_eviction () =
+  let fc = Clock.fake () in
+  let log = Slowlog.create ~capacity:4 () in
+  for id = 1 to 10 do
+    Slowlog.record log (fake_trace fc ~id ~ms:1.0)
+  done;
+  Alcotest.(check (list int)) "last 4, oldest first" [ 7; 8; 9; 10 ]
+    (List.map Trace.id (Slowlog.recent log));
+  Alcotest.(check int) "recorded counts everything" 10 (Slowlog.recorded log)
+
+let test_slow_threshold () =
+  let fc = Clock.fake () in
+  let log = Slowlog.create ~capacity:2 ~threshold_ms:10.0 () in
+  Slowlog.record log (fake_trace fc ~id:1 ~ms:5.0);
+  Slowlog.record log (fake_trace fc ~id:2 ~ms:20.0);
+  Slowlog.record log (fake_trace fc ~id:3 ~ms:30.0);
+  Slowlog.record log (fake_trace fc ~id:4 ~ms:1.0);
+  (* ids 1 and 2 fell out of the 2-slot ring, but 2 survives as slow. *)
+  Alcotest.(check (list int)) "ring" [ 3; 4 ]
+    (List.map Trace.id (Slowlog.recent log));
+  Alcotest.(check (list int)) "slow, oldest first" [ 2; 3 ]
+    (List.map Trace.id (Slowlog.slow log))
+
+(* --- Traces on a fake clock ------------------------------------------- *)
+
+let test_span_nesting () =
+  let fc = Clock.fake ~now:100.0 () in
+  let tr = Trace.start ~clock:(Clock.clock fc) ~id:7 "root" in
+  Trace.span tr (Trace.root tr) "outer" (fun outer ->
+      Clock.advance fc 0.010;
+      Trace.span tr outer "inner" (fun inner ->
+          Trace.tag inner "k" "v";
+          Clock.advance fc 0.005);
+      Trace.event tr outer "tick" [ ("n", "1") ]);
+  Clock.advance fc 0.002;
+  Trace.finish tr;
+  Alcotest.(check (float 1e-9)) "root duration" 17.0 (Trace.duration_ms tr);
+  match Trace.children (Trace.root tr) with
+  | [ outer ] ->
+      Alcotest.(check string) "outer name" "outer" (Trace.name outer);
+      Alcotest.(check (float 1e-9)) "outer covers both" 15.0
+        (Trace.span_ms outer);
+      (match Trace.children outer with
+      | [ inner; tick ] ->
+          Alcotest.(check string) "inner name" "inner" (Trace.name inner);
+          Alcotest.(check (float 1e-9)) "inner duration" 5.0
+            (Trace.span_ms inner);
+          Alcotest.(check (list (pair string string))) "inner tags"
+            [ ("k", "v") ] (Trace.tags inner);
+          Alcotest.(check string) "event name" "tick" (Trace.name tick);
+          Alcotest.(check (float 1e-9)) "event is instantaneous" 0.0
+            (Trace.span_ms tick)
+      | kids ->
+          Alcotest.failf "expected [inner; tick], got %d children"
+            (List.length kids));
+      let json = Export.trace_jsonl tr in
+      (match Json.of_string json with
+      | Ok j ->
+          Alcotest.(check (option bool)) "trace_id exported" (Some true)
+            (Option.map (fun v -> Json.to_int v = Some 7) (Json.member "trace_id" j))
+      | Error e -> Alcotest.failf "trace JSON unparseable: %s" e)
+  | kids -> Alcotest.failf "expected [outer], got %d children" (List.length kids)
+
+(* --- The engine under observation ------------------------------------- *)
+
+let doc = Xworkload.Gen_bib.generate_doc ~seed:21 ~books:60 ~theses:25 ()
+let summary = Xsummary.Summary.of_doc doc
+let specs = Models.path_partitioned summary
+
+let book_title_query =
+  P.make
+    [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Simple "book")
+        [ P.v ~axis:P.Child "title" ~node:(P.mk_node ~value:true "title") [] ] ]
+
+(* Distinct patterns (deduplicated on the plan-cache key), so hit/miss
+   accounting cannot depend on cross-domain timing. *)
+let distinct_patterns () =
+  let pats =
+    List.concat_map
+      (fun (seed, labels) ->
+        Pg.generate_many ~seed summary
+          { Pg.default with Pg.return_labels = labels; Pg.size = 4 }
+          ~count:8)
+      [ (7, [ "title" ]); (8, [ "author" ]); (9, [ "title"; "author" ]) ]
+  in
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun p ->
+      let key = Xam.Canonical.cache_key summary p in
+      if Hashtbl.mem seen key then false
+      else (
+        Hashtbl.add seen key ();
+        true))
+    pats
+
+let test_trace_covers_pipeline () =
+  let obs = Obs.create ~tracing:true () in
+  let e = Engine.of_doc ~obs ~max_views:4 doc specs in
+  match Engine.query_r e book_title_query with
+  | Error err -> Alcotest.failf "query failed: %s" (Xerror.to_string err)
+  | Ok r -> (
+      match r.Engine.trace with
+      | None -> Alcotest.fail "tracing on but no trace attached"
+      | Some tr ->
+          let root = Trace.root tr in
+          Alcotest.(check string) "root" "query" (Trace.name root);
+          Alcotest.(check bool) "root tagged with domain" true
+            (List.mem_assoc "domain" (Trace.tags root));
+          let names = List.map Trace.name (Trace.children root) in
+          Alcotest.(check (list string)) "pipeline stages" [ "plan"; "execute" ]
+            names;
+          let plan = List.nth (Trace.children root) 0 in
+          Alcotest.(check (option string)) "cache miss tagged" (Some "miss")
+            (List.assoc_opt "cache" (Trace.tags plan));
+          Alcotest.(check (list string)) "planning substages"
+            [ "rewrite"; "cost-choice" ]
+            (List.map Trace.name (Trace.children plan));
+          (* The execute span mirrors the EXPLAIN operator tree exactly:
+             same shape, same names, same tuple/next counts. *)
+          let execute = List.nth (Trace.children root) 1 in
+          let rec agree sp (st : Xalgebra.Physical.op_stats) =
+            Alcotest.(check string) "op name" ("op:" ^ st.Xalgebra.Physical.op)
+              (Trace.name sp);
+            Alcotest.(check (option string)) "tuples tag"
+              (Some (string_of_int st.Xalgebra.Physical.tuples))
+              (List.assoc_opt "tuples" (Trace.tags sp));
+            Alcotest.(check (option string)) "nexts tag"
+              (Some (string_of_int st.Xalgebra.Physical.nexts))
+              (List.assoc_opt "nexts" (Trace.tags sp));
+            let kids = Trace.children sp in
+            Alcotest.(check int) "child count"
+              (List.length st.Xalgebra.Physical.children)
+              (List.length kids);
+            List.iter2 agree kids st.Xalgebra.Physical.children
+          in
+          (match Trace.children execute with
+          | [ op_root ] -> agree op_root r.Engine.explain.Explain.stats
+          | kids ->
+              Alcotest.failf "expected one operator root span, got %d"
+                (List.length kids));
+          Alcotest.(check int) "trace landed in the slow-query log" 1
+            (Slowlog.recorded obs.Obs.slowlog))
+
+let test_cache_hit_timings () =
+  let e = Engine.of_doc ~max_views:4 doc specs in
+  let cold = Engine.query e book_title_query in
+  let warm = Engine.query e book_title_query in
+  let cx = cold.Engine.explain and wx = warm.Engine.explain in
+  Alcotest.(check bool) "cold misses" false cx.Explain.cache_hit;
+  Alcotest.(check bool) "warm hits" true wx.Explain.cache_hit;
+  Alcotest.(check (float 1e-9)) "hit did no rewriting" 0.0 wx.Explain.rewrite_ms;
+  Alcotest.(check bool) "miss planned_ms = rewrite_ms" true
+    (cx.Explain.planned_ms = cx.Explain.rewrite_ms);
+  Alcotest.(check bool) "hit remembers the original planning cost" true
+    (wx.Explain.planned_ms = cx.Explain.planned_ms)
+
+let test_explain_json_roundtrip () =
+  let e = Engine.of_doc ~max_views:4 doc specs in
+  let cold = Engine.query e book_title_query in
+  let warm = Engine.query e book_title_query in
+  List.iter
+    (fun (what, (r : Engine.result)) ->
+      let ex = r.Engine.explain in
+      match Explain.of_json_string (Explain.to_json_string ex) with
+      | Error msg -> Alcotest.failf "%s: decode failed: %s" what msg
+      | Ok s ->
+          Alcotest.(check bool)
+            (what ^ ": of_json ∘ to_json = summarize") true
+            (s = Explain.summarize ex))
+    [ ("cold", cold); ("warm", warm) ];
+  (match Explain.of_json_string "{\"query\": 3}" with
+  | Ok _ -> Alcotest.fail "bad JSON accepted"
+  | Error _ -> ());
+  match Explain.of_json_string "not json" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ()
+
+let metric_fingerprint (obs : Obs.t) =
+  List.filter_map
+    (fun (name, _help, m) ->
+      match m with
+      | Metrics.Counter c -> Some (name, Metrics.counter_value c)
+      | Metrics.Gauge _ -> None
+      | Metrics.Histogram h ->
+          (* Timings differ run to run; the observation counts may not. *)
+          Some (name, (Metrics.snapshot h).Metrics.count))
+    (Metrics.metrics obs.Obs.metrics)
+
+let test_batch_metrics_deterministic () =
+  let pats = distinct_patterns () in
+  let run domains =
+    let obs = Obs.create () in
+    let e = Engine.of_doc ~obs ~max_views:4 doc specs in
+    let results = Engine.query_batch ~domains e pats in
+    (metric_fingerprint obs, List.map Result.is_ok results)
+  in
+  let seq_metrics, seq_ok = run 1 in
+  let par_metrics, par_ok = run 4 in
+  Alcotest.(check (list bool)) "same outcomes" seq_ok par_ok;
+  Alcotest.(check (list (pair string int)))
+    "counters and histogram counts sum identically at 4 domains" seq_metrics
+    par_metrics
+
+let test_prometheus_after_chaos () =
+  let obs = Obs.create ~tracing:true ~slow_threshold_ms:0.0 () in
+  let fs =
+    Faultstore.create ~seed:55 ~fail_rate:0.3 ~metrics:obs.Obs.metrics ()
+  in
+  let e = Engine.of_doc ~obs ~max_views:4 ~env_wrap:(Faultstore.wrap fs) doc specs in
+  List.iter (fun p -> ignore (Engine.query_r e p)) (distinct_patterns ());
+  let text = Export.prometheus obs.Obs.metrics in
+  (match Export.validate_prometheus text with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "exposition failed validation: %s" msg);
+  let has_line prefix =
+    List.exists
+      (fun l -> String.length l >= String.length prefix
+                && String.sub l 0 (String.length prefix) = prefix)
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check bool) "query histogram exported" true
+    (has_line "engine_query_seconds_bucket");
+  let h = Metrics.histogram obs.Obs.metrics "engine_query_seconds" in
+  Alcotest.(check bool) "query histogram nonempty" true
+    ((Metrics.snapshot h).Metrics.count > 0);
+  Alcotest.(check bool) "every query left a trace" true
+    (Slowlog.recorded obs.Obs.slowlog > 0);
+  (* Every trace is over the 0 ms threshold: the slow list must have
+     captured (up to its capacity bound) as many. *)
+  Alcotest.(check bool) "slow list filled" true
+    (List.length (Slowlog.slow obs.Obs.slowlog) > 0);
+  (* The exported JSONL parses line by line. *)
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match Json.of_string line with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "bad trace JSONL line: %s" e)
+    (String.split_on_char '\n' (Export.slowlog_jsonl obs.Obs.slowlog))
+
+let test_validator_rejects_garbage () =
+  List.iter
+    (fun (what, text) ->
+      match Export.validate_prometheus text with
+      | Ok () -> Alcotest.failf "validator accepted %s" what
+      | Error _ -> ())
+    [ ("a bare word", "justaword extra tokens here\n");
+      ("a non-numeric value", "metric_a notanumber\n");
+      ("a bad metric name", "9starts_with_digit 1\n");
+      ( "non-cumulative buckets",
+        "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+         h_sum 1\nh_count 5\n" );
+      ( "+Inf disagreeing with count",
+        "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n" ) ]
+
+(* --- Fake clock drives the engine end to end --------------------------- *)
+
+let test_fake_clock_engine () =
+  (* With a never-advancing fake clock every measured duration is exactly
+     zero — proof the engine reads time only through the injected clock. *)
+  let fc = Clock.fake ~now:1000.0 () in
+  let obs = Obs.create ~clock:(Clock.clock fc) ~tracing:true () in
+  let e = Engine.of_doc ~obs ~max_views:4 doc specs in
+  match Engine.query_r e book_title_query with
+  | Error err -> Alcotest.failf "query failed: %s" (Xerror.to_string err)
+  | Ok r ->
+      Alcotest.(check (float 0.0)) "rewrite_ms" 0.0
+        r.Engine.explain.Explain.rewrite_ms;
+      Alcotest.(check (float 0.0)) "exec_ms" 0.0 r.Engine.explain.Explain.exec_ms;
+      (match r.Engine.trace with
+      | Some tr -> Alcotest.(check (float 0.0)) "trace" 0.0 (Trace.duration_ms tr)
+      | None -> Alcotest.fail "no trace");
+      let snap =
+        Metrics.snapshot (Metrics.histogram obs.Obs.metrics "engine_query_seconds")
+      in
+      Alcotest.(check int) "observed once" 1 snap.Metrics.count
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+          Alcotest.test_case "counters and gauges" `Quick test_counter_gauge;
+          QCheck_alcotest.to_alcotest percentile_bounds_prop;
+          QCheck_alcotest.to_alcotest merge_assoc_prop ] );
+      ( "slowlog",
+        [ Alcotest.test_case "ring eviction order" `Quick test_ring_eviction;
+          Alcotest.test_case "slow threshold" `Quick test_slow_threshold ] );
+      ( "traces",
+        [ Alcotest.test_case "fake-clock span nesting" `Quick test_span_nesting ] );
+      ( "engine",
+        [ Alcotest.test_case "trace covers the pipeline" `Quick
+            test_trace_covers_pipeline;
+          Alcotest.test_case "cache-hit timings" `Quick test_cache_hit_timings;
+          Alcotest.test_case "Explain JSON round-trip" `Quick
+            test_explain_json_roundtrip;
+          Alcotest.test_case "batch metrics deterministic at 4 domains" `Quick
+            test_batch_metrics_deterministic;
+          Alcotest.test_case "fake clock drives the engine" `Quick
+            test_fake_clock_engine ] );
+      ( "export",
+        [ Alcotest.test_case "prometheus after chaos" `Quick
+            test_prometheus_after_chaos;
+          Alcotest.test_case "validator rejects garbage" `Quick
+            test_validator_rejects_garbage ] ) ]
