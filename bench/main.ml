@@ -832,6 +832,104 @@ let obs_exp () =
   | Some f -> write_file f (Xobs.Export.slowlog_jsonl slowlog) "trace JSONL"
   | None -> ()
 
+(* Persistence: cold-opening a snapshot (eager and paging) against the
+   only alternative the engine had before — re-parsing the XML and
+   re-materializing every extent. Also checks that all three roads give
+   the same answers to the same pattern workload, which is the round-trip
+   guarantee BENCH_5.json records alongside the timings. *)
+let persist_exp () =
+  header "persist: snapshot cold-open vs XML re-parse + re-materialization";
+  let module Engine = Xengine.Engine in
+  let corpora =
+    [ ("bib", Xworkload.Gen_bib.generate_doc ~seed:11 ~books:800 ~theses:250 ());
+      ("dblp", Xworkload.Gen_dblp.generate_doc ~seed:12 ~entries:4000 ());
+      ("xmark", Xworkload.Gen_xmark.generate_doc ~seed:13
+                  (Xworkload.Gen_xmark.of_factor 0.05)) ]
+  in
+  Printf.printf "%-8s %10s %12s %12s %12s %10s %8s\n" "corpus" "nodes"
+    "reparse ms" "eager ms" "lazy ms" "snap" "match";
+  List.iter
+    (fun (name, doc) ->
+      let xml = Xdm.Xml_tree.serialize ~decl:true (Doc.to_tree doc 0) in
+      let summary = S.of_doc doc in
+      let specs = Xstorage.Models.path_partitioned summary in
+      let snap = Filename.temp_file ("bench_persist_" ^ name) ".snap" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove snap with Sys_error _ -> ())
+        (fun () ->
+          (* The incumbent: parse the XML back and re-materialize. *)
+          let reparse_ms =
+            bench_ms ~repeats:3 (fun () ->
+                let d = Doc.of_string ~name xml in
+                Engine.of_doc d (Xstorage.Models.path_partitioned (S.of_doc d)))
+          in
+          let base = Engine.of_doc doc specs in
+          let save_ms, bytes = time_ms (fun () -> Engine.save_snapshot base snap) in
+          let eager_ms =
+            bench_ms ~repeats:3 (fun () -> Engine.of_snapshot snap)
+          in
+          let lazy_ms =
+            bench_ms ~repeats:3 (fun () ->
+                Engine.of_snapshot ~lazy_extents:true snap)
+          in
+          (* Same answers down all three roads. *)
+          let pats =
+            Xworkload.Pattern_gen.generate_many ~seed:21 summary
+              { Xworkload.Pattern_gen.default with size = 4; optional_p = 0.2 }
+              ~count:10
+          in
+          let eager = Engine.of_snapshot snap in
+          let lazily = Engine.of_snapshot ~lazy_extents:true snap in
+          let answers e =
+            List.map
+              (fun p ->
+                match Engine.query_r e p with
+                | Ok r -> Some r.Engine.rel
+                | Error _ -> None)
+              pats
+          in
+          let reference = answers base in
+          let matches =
+            List.for_all2
+              (fun a b ->
+                match (a, b) with
+                | Some ra, Some rb -> Rel.equal_unordered ra rb
+                | None, None -> true
+                | _ -> false)
+              reference (answers eager)
+            && List.for_all2
+                 (fun a b ->
+                   match (a, b) with
+                   | Some ra, Some rb -> Rel.equal_unordered ra rb
+                   | None, None -> true
+                   | _ -> false)
+                 reference (answers lazily)
+          in
+          if not matches then begin
+            Printf.eprintf "FATAL: %s: snapshot answers diverge from in-memory\n"
+              name;
+            exit 1
+          end;
+          Printf.printf "%-8s %10d %12.2f %12.2f %12.2f %10s %8s\n" name
+            (Doc.size doc) reparse_ms eager_ms lazy_ms (fmt_bytes bytes)
+            (if matches then "yes" else "NO");
+          let m metric value units =
+            record ~experiment:"persist" ~metric:(name ^ "_" ^ metric) ~value
+              ~units
+          in
+          m "nodes" (float_of_int (Doc.size doc)) "nodes";
+          m "xml_reparse_ms" reparse_ms "ms";
+          m "snapshot_save_ms" save_ms "ms";
+          m "snapshot_bytes" (float_of_int bytes) "bytes";
+          m "snapshot_open_eager_ms" eager_ms "ms";
+          m "snapshot_open_lazy_ms" lazy_ms "ms";
+          if eager_ms > 0.0 then
+            m "cold_open_speedup_eager" (reparse_ms /. eager_ms) "x";
+          if lazy_ms > 0.0 then
+            m "cold_open_speedup_lazy" (reparse_ms /. lazy_ms) "x";
+          m "answers_match" (if matches then 1.0 else 0.0) "bool"))
+    corpora
+
 (* ------------------------------------------------------------------ main *)
 
 let () =
@@ -871,9 +969,11 @@ let () =
     | "micro" -> micro ()
     | "pmicro" -> pmicro ()
     | "obs" -> obs_exp ()
+    | "persist" -> persist_exp ()
     | other ->
         Printf.eprintf
-          "unknown experiment %S (e1..e10, micro, pmicro, obs, all)\n" other;
+          "unknown experiment %S (e1..e10, micro, pmicro, obs, persist, all)\n"
+          other;
         exit 1
   in
   List.iter

@@ -26,6 +26,28 @@ let load_doc path = Xdm.Doc.of_string ~name:(Filename.basename path) (read_file 
 let doc_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document")
 
+(* --- Error reporting ---------------------------------------------------- *)
+
+(* Exit-code policy: 2 when the invocation itself was wrong (unparsable
+   query text, bad flags — cmdliner's own usage errors are remapped in
+   [main] below), 1 when a well-formed request failed at runtime. Scripts
+   can then tell "fix the command line" from "investigate the store". *)
+let bad_argument_stages = [ "parse"; "extract" ]
+
+let error_json ~stage msg =
+  Xobs.Json.to_string
+    (Xobs.Json.Obj
+       [ ( "error",
+           Xobs.Json.Obj
+             [ ("stage", Xobs.Json.Str stage); ("message", Xobs.Json.Str msg) ] ) ])
+
+let die ?(json = false) ~stage msg =
+  if json then print_endline (error_json ~stage msg) else prerr_endline msg;
+  exit (if List.mem stage bad_argument_stages then 2 else 1)
+
+let die_xerror ?json e =
+  die ?json ~stage:(Xengine.Xerror.stage e) (Xengine.Xerror.to_string e)
+
 (* --- info ------------------------------------------------------------- *)
 
 let info_cmd =
@@ -72,6 +94,33 @@ let specs_of doc summary = function
   | `Path -> Xstorage.Models.path_partitioned summary
   | `Inlined -> Xstorage.Models.inlined summary
 
+(* Shared by [query] (engine path) and [open]: run the query through an
+   engine and print output, EXPLAIN and metrics as requested. *)
+let run_engine_query ~explain ~metrics ~json engine src =
+  match Xengine.Engine.query_string_r engine src with
+  | Error e -> die_xerror ~json e
+  | Ok r ->
+      print_endline r.Xengine.Engine.output;
+      if explain then begin
+        List.iteri
+          (fun i ex ->
+            match ex with
+            | Some ex ->
+                if json then print_endline (Xengine.Explain.to_json_string ex)
+                else
+                  Format.printf "-- pattern %d --@.%a@." i Xengine.Explain.pp ex
+            | None ->
+                Printf.printf
+                  "-- pattern %d: materialized from the base document --\n" i)
+          r.Xengine.Engine.pattern_explains;
+        match r.Xengine.Engine.xquery_trace with
+        | Some tr -> Printf.printf "-- trace --\n%s\n" (Xobs.Export.trace_jsonl tr)
+        | None -> ()
+      end;
+      if metrics then
+        print_string
+          (Xobs.Export.prometheus (Xengine.Engine.obs engine).Xobs.Obs.metrics)
+
 let query_cmd =
   let explain_arg =
     Arg.(value & flag
@@ -96,9 +145,7 @@ let query_cmd =
       (* The direct evaluator: no engine, no planning — the historical
          behavior of [uload query]. *)
       match Xquery.Parse.query_result src with
-      | Error e ->
-          prerr_endline e;
-          exit 1
+      | Error e -> die ~json ~stage:"parse" e
       | Ok q -> print_endline (Xquery.Translate.eval doc q)
     else begin
       let summary = Xsummary.Summary.of_doc doc in
@@ -106,33 +153,7 @@ let query_cmd =
       let engine =
         Xengine.Engine.of_doc ~obs doc (specs_of doc summary storage)
       in
-      match Xengine.Engine.query_string_r engine src with
-      | Error e ->
-          prerr_endline (Xengine.Xerror.to_string e);
-          exit 1
-      | Ok r ->
-          print_endline r.Xengine.Engine.output;
-          if explain then begin
-            List.iteri
-              (fun i ex ->
-                match ex with
-                | Some ex ->
-                    if json then print_endline (Xengine.Explain.to_json_string ex)
-                    else
-                      Format.printf "-- pattern %d --@.%a@." i Xengine.Explain.pp
-                        ex
-                | None ->
-                    Printf.printf
-                      "-- pattern %d: materialized from the base document --\n" i)
-              r.Xengine.Engine.pattern_explains;
-            match r.Xengine.Engine.xquery_trace with
-            | Some tr ->
-                Printf.printf "-- trace --\n%s\n" (Xobs.Export.trace_jsonl tr)
-            | None -> ()
-          end;
-          if metrics then
-            print_string
-              (Xobs.Export.prometheus (Xengine.Engine.obs engine).Xobs.Obs.metrics)
+      run_engine_query ~explain ~metrics ~json engine src
     end
   in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate an XQuery (the Q subset of §3.2)")
@@ -143,9 +164,7 @@ let patterns_cmd =
   let run path src =
     let doc = load_doc path in
     match Xquery.Parse.query_result src with
-    | Error e ->
-        prerr_endline e;
-        exit 1
+    | Error e -> die ~stage:"parse" e
     | Ok q ->
         let e = Xquery.Extract.extract q in
         Printf.printf "%d pattern(s) extracted:\n" (List.length e.Xquery.Extract.patterns);
@@ -201,9 +220,7 @@ let plan_cmd =
     Printf.printf "%d rewriting(s) over %d storage modules\n" (List.length rewritings)
       (List.length catalog.Xstorage.Store.modules);
     match Xstorage.Cost.choose (Xstorage.Store.env catalog) rewritings with
-    | None ->
-        prerr_endline "no plan found";
-        exit 1
+    | None -> die ~stage:"plan" "no plan found"
     | Some r ->
         Format.printf "plan:@.%a@.@." Xalgebra.Logical.pp r.Xam.Rewrite.plan;
         let out = Xalgebra.Eval.run (Xstorage.Store.env catalog) r.Xam.Rewrite.plan in
@@ -292,6 +309,71 @@ let minimize_cmd =
     (Cmd.info "minimize" ~doc:"Minimize a XAM under a document's summary constraints")
     Term.(const run $ doc_arg $ xam_arg 1 "P")
 
+(* --- save / open ---------------------------------------------------------- *)
+
+let save_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"SNAP" ~doc:"Snapshot file to write")
+  in
+  let run path storage out =
+    let doc = load_doc path in
+    let summary = Xsummary.Summary.of_doc doc in
+    let engine = Xengine.Engine.of_doc doc (specs_of doc summary storage) in
+    match Xengine.Engine.save_snapshot_r engine out with
+    | Error e -> die_xerror e
+    | Ok bytes ->
+        Printf.printf "wrote %s (%d bytes, %d modules, %d nodes)\n" out bytes
+          (List.length
+             (Xengine.Engine.catalog engine).Xstorage.Store.modules)
+          (Xdm.Doc.size doc)
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Materialize a storage model over a document and persist the whole \
+             engine state (document, summary, catalog, extents) as a binary \
+             snapshot")
+    Term.(const run $ doc_arg $ storage_arg $ out_arg)
+
+let open_cmd =
+  let snap_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"SNAP" ~doc:"Snapshot file written by $(b,uload save)")
+  in
+  let lazy_arg =
+    Arg.(value & flag
+         & info [ "lazy" ]
+             ~doc:"Page extents in on demand through an LRU buffer cache \
+                   instead of loading the snapshot eagerly")
+  in
+  let explain_arg =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print each pattern's EXPLAIN")
+  in
+  let metrics_arg =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the engine's metrics registry (includes the \
+                   persist_* counters) in Prometheus format")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"With $(b,--explain): print EXPLAIN as JSON; errors become \
+                   structured JSON objects")
+  in
+  let run snap src lazy_extents explain metrics json =
+    let obs = Xobs.Obs.create ~tracing:explain () in
+    match Xengine.Engine.of_snapshot_r ~obs ~lazy_extents snap with
+    | Error e -> die_xerror ~json e
+    | Ok engine -> run_engine_query ~explain ~metrics ~json engine src
+  in
+  Cmd.v
+    (Cmd.info "open"
+       ~doc:"Open a persisted snapshot — no XML re-parse, no \
+             re-materialization — and evaluate an XQuery against it")
+    Term.(const run $ snap_arg $ query_arg $ lazy_arg $ explain_arg
+          $ metrics_arg $ json_arg)
+
 (* --- gen ------------------------------------------------------------------ *)
 
 let gen_cmd =
@@ -340,10 +422,16 @@ let gen_cmd =
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
-  exit
-    (Cmd.eval
-       (Cmd.group ~default
-          (Cmd.info "uload" ~version:"1.0.0"
-             ~doc:"XML Access Modules: physical data independence for XML")
-          [ info_cmd; summary_cmd; query_cmd; patterns_cmd; plan_cmd;
-            contain_cmd; rewrite_cmd; minimize_cmd; gen_cmd ]))
+  let code =
+    Cmd.eval
+      (Cmd.group ~default
+         (Cmd.info "uload" ~version:"1.0.0"
+            ~doc:"XML Access Modules: physical data independence for XML")
+         [ info_cmd; summary_cmd; query_cmd; patterns_cmd; plan_cmd;
+           contain_cmd; rewrite_cmd; minimize_cmd; save_cmd; open_cmd;
+           gen_cmd ])
+  in
+  (* cmdliner reports its own usage errors as 124; fold them into the
+     bad-argument exit code so callers see one value for "the invocation
+     was wrong". *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

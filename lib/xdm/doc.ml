@@ -203,6 +203,62 @@ let id scheme d i =
       in
       Nid.Dewey (path i [])
 
+type packed_node = {
+  p_post : int;
+  p_depth : int;
+  p_parent : int;
+  p_ordinal : int;
+  p_kind : kind;
+  p_label : string;
+  p_value : string;
+  p_subtree_end : int;
+}
+
+let pack d =
+  Array.map
+    (fun n ->
+      { p_post = n.post; p_depth = n.depth; p_parent = n.parent;
+        p_ordinal = n.ordinal; p_kind = n.kind; p_label = n.label;
+        p_value = n.value; p_subtree_end = n.subtree_end })
+    d.nodes
+
+let unpack ~name packed =
+  let n = Array.length packed in
+  let fail msg = invalid_arg (Printf.sprintf "Doc.unpack: %s" msg) in
+  if n = 0 then fail "empty node array";
+  Array.iteri
+    (fun i p ->
+      if i = 0 then begin
+        if p.p_parent <> -1 then fail "root has a parent";
+        if p.p_depth <> 1 then fail "root depth is not 1"
+      end
+      else begin
+        if p.p_parent < 0 || p.p_parent >= i then
+          fail (Printf.sprintf "node %d: parent %d not before it" i p.p_parent);
+        if p.p_depth <> packed.(p.p_parent).p_depth + 1 then
+          fail (Printf.sprintf "node %d: depth inconsistent with parent" i);
+        (* Children lie inside the parent's subtree. *)
+        if i >= packed.(p.p_parent).p_subtree_end then
+          fail (Printf.sprintf "node %d: outside its parent's subtree" i)
+      end;
+      if p.p_subtree_end <= i || p.p_subtree_end > n then
+        fail (Printf.sprintf "node %d: subtree end %d out of range" i p.p_subtree_end);
+      if p.p_post < 1 || p.p_post > n then
+        fail (Printf.sprintf "node %d: post %d out of range" i p.p_post);
+      if p.p_kind = Attribute && not (String.length p.p_label > 1 && p.p_label.[0] = '@')
+      then fail (Printf.sprintf "node %d: attribute label %S lacks '@'" i p.p_label))
+    packed;
+  if packed.(0).p_subtree_end <> n then fail "root subtree does not span the array";
+  { name;
+    nodes =
+      Array.map
+        (fun p ->
+          { post = p.p_post; depth = p.p_depth; parent = p.p_parent;
+            ordinal = p.p_ordinal; kind = p.p_kind; label = p.p_label;
+            value = p.p_value; subtree_end = p.p_subtree_end })
+        packed;
+    label_index = None }
+
 let handle_of_id d nid =
   let check i = if i >= 0 && i < Array.length d.nodes then Some i else None in
   match nid with

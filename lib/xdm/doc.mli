@@ -89,3 +89,31 @@ val id : Nid.scheme -> t -> int -> Nid.t
 val handle_of_id : t -> Nid.t -> int option
 (** Inverse of {!id}; [None] if the identifier does not denote a node of
     this document. *)
+
+(** {1 Raw node access}
+
+    The flattened node array, exposed for binary persistence
+    ([lib/xpersist]): a snapshot stores the array verbatim so node
+    handles (pre-order ranks) and every (pre, post, depth) label survive
+    a save/reopen byte-identically — no re-parse, no re-flattening. *)
+
+type packed_node = {
+  p_post : int;
+  p_depth : int;
+  p_parent : int;  (** [-1] on the root *)
+  p_ordinal : int;
+  p_kind : kind;
+  p_label : string;
+  p_value : string;
+  p_subtree_end : int;
+}
+
+val pack : t -> packed_node array
+(** The node array in handle order; entry [i] describes handle [i]. *)
+
+val unpack : name:string -> packed_node array -> t
+(** Rebuild a document from {!pack} output. Checks the structural
+    invariants the accessors rely on (parents precede children, subtree
+    ends are nested and within bounds, depths are consistent) and raises
+    [Invalid_argument] when they do not hold — corrupted input never
+    produces a document that crashes later. *)

@@ -186,11 +186,22 @@ let finish_trace t (tr : tr) ~err =
       Trace.finish trace;
       Slowlog.record t.obs.Obs.slowlog trace
 
-let catalog_error catalog =
-  match Store.validate catalog with
-  | Ok () -> None
-  | Error (name, reason) ->
+let validation_error = function
+  | Ok () | Error [] -> None
+  | Error ((name, reason) :: rest) ->
+      (* Validation accumulates every failing module; the typed error names
+         the first and counts the rest so nothing is silently dropped. *)
+      let reason =
+        match rest with
+        | [] -> reason
+        | _ ->
+            Printf.sprintf "%s (and %d more invalid module%s)" reason
+              (List.length rest)
+              (if List.length rest = 1 then "" else "s")
+      in
       Some (Xerror.Catalog_invalid { module_name = name; reason })
+
+let catalog_error catalog = validation_error (Store.validate catalog)
 
 let create ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
     ?(budget = unlimited) ?(env_wrap = Fun.id) ?pool ?obs ?doc catalog =
@@ -201,6 +212,36 @@ let create ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
   { catalog;
     generation = Atomic.make 0;
     env = env_wrap (Store.env catalog);
+    doc;
+    cache = Lru.create ~metrics:obs.Obs.metrics cache_capacity;
+    lock = Mutex.create ();
+    counters =
+      { a_queries = Atomic.make 0; a_hits = Atomic.make 0;
+        a_misses = Atomic.make 0; a_rewrites = Atomic.make 0;
+        a_fallbacks = Atomic.make 0; a_faults = Atomic.make 0;
+        a_degraded = Atomic.make 0; a_quarantines = Atomic.make 0 };
+    constraints;
+    max_views;
+    budget;
+    env_wrap;
+    quarantined = Hashtbl.create 8;
+    par = (match pool with Some p -> Pool.par p | None -> Xalgebra.Par.sequential);
+    obs;
+    m = register_metrics obs.Obs.metrics }
+
+let create_lazy ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
+    ?(budget = unlimited) ?(env_wrap = Fun.id) ?pool ?obs ?doc lc =
+  (* The resident part is the skeleton — summary and xams, empty extents;
+     everything that scans goes through [Store.lazy_env], which pages
+     extents in from the backing reader. Validation is structural and
+     never forces a page. *)
+  (match validation_error (Store.validate_lazy lc) with
+  | Some e -> raise (Xerror.Error e)
+  | None -> ());
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  { catalog = Store.skeleton lc;
+    generation = Atomic.make 0;
+    env = env_wrap (Store.lazy_env lc);
     doc;
     cache = Lru.create ~metrics:obs.Obs.metrics cache_capacity;
     lock = Mutex.create ();
@@ -270,6 +311,72 @@ let set_catalog t catalog =
 
 let add_module t m =
   set_catalog t { t.catalog with Store.modules = t.catalog.Store.modules @ [ m ] }
+
+(* --- Persistent snapshots ---------------------------------------------- *)
+
+let snapshot_error path reason = Xerror.Snapshot_error { path; reason }
+
+let save_snapshot_r t path =
+  match
+    Xpersist.Snapshot.save ?doc:t.doc ~metrics:t.obs.Obs.metrics path t.catalog
+  with
+  | Ok bytes -> Ok bytes
+  | Error reason -> Error (snapshot_error path reason)
+
+let save_snapshot t path =
+  match save_snapshot_r t path with
+  | Ok bytes -> bytes
+  | Error e -> raise (Xerror.Error e)
+
+let load_snapshot_r t path =
+  (* Catalog hot-swap from disk: decode + verify the whole snapshot
+     first, then install through the ordinary swap path (generation bump,
+     plan-cache invalidation, quarantine reset). A snapshot that fails
+     verification or validation never installs anything — the running
+     catalog stays. The snapshot's document, if any, is ignored: the
+     engine's fallback document is fixed at creation. *)
+  match Xpersist.Snapshot.load ~metrics:t.obs.Obs.metrics path with
+  | Error reason -> Error (snapshot_error path reason)
+  | Ok (_doc, catalog) -> set_catalog_r t catalog
+
+let load_snapshot t path =
+  match load_snapshot_r t path with
+  | Ok () -> ()
+  | Error e -> raise (Xerror.Error e)
+
+let of_snapshot_r ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?pool
+    ?obs ?(lazy_extents = false) ?extent_cache path =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  try
+    if lazy_extents then
+      match
+        Xpersist.Snapshot.Reader.open_ ?cache_capacity:extent_cache
+          ~metrics:obs.Obs.metrics path
+      with
+      | Error reason -> Error (snapshot_error path reason)
+      | Ok reader ->
+          Ok
+            (create_lazy ?cache_capacity ?constraints ?max_views ?budget
+               ?env_wrap ?pool ~obs
+               ?doc:(Xpersist.Snapshot.Reader.doc reader)
+               (Xpersist.Snapshot.Reader.lazy_catalog reader))
+    else
+      match Xpersist.Snapshot.load ~metrics:obs.Obs.metrics path with
+      | Error reason -> Error (snapshot_error path reason)
+      | Ok (doc, catalog) ->
+          Ok
+            (create ?cache_capacity ?constraints ?max_views ?budget ?env_wrap
+               ?pool ~obs ?doc catalog)
+  with Xerror.Error e -> Error e
+
+let of_snapshot ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?pool
+    ?obs ?lazy_extents ?extent_cache path =
+  match
+    of_snapshot_r ?cache_capacity ?constraints ?max_views ?budget ?env_wrap
+      ?pool ?obs ?lazy_extents ?extent_cache path
+  with
+  | Ok t -> t
+  | Error e -> raise (Xerror.Error e)
 
 (* A module faulted while being read: remember it, bump the generation so
    every cached plan that might mention it dies, and let the caller
@@ -402,6 +509,7 @@ let execute t (trc : tr) pattern (c : cached) cache_hit rewrite_ms pb ~degraded
             cost = c.cost;
             candidates = c.candidates;
             cache_hit;
+            from_cache = cache_hit;
             rewrite_ms;
             planned_ms = c.planned_ms;
             exec_ms = exec_s *. 1000.0;
@@ -488,6 +596,7 @@ let degraded_fallback t (trc : tr) pattern err =
                   cost = Float.nan;
                   candidates = 0;
                   cache_hit = false;
+                  from_cache = false;
                   rewrite_ms = 0.0;
                   planned_ms = 0.0;
                   exec_ms = 0.0;

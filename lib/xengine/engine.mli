@@ -109,6 +109,84 @@ val of_doc :
 (** Materialize the specs into a catalog ({!Xstorage.Store.catalog_of})
     and keep the document as the XQuery fallback. *)
 
+val create_lazy :
+  ?cache_capacity:int ->
+  ?constraints:bool ->
+  ?max_views:int ->
+  ?budget:budget ->
+  ?env_wrap:(Xalgebra.Eval.env -> Xalgebra.Eval.env) ->
+  ?pool:Pool.t ->
+  ?obs:Xobs.Obs.t ->
+  ?doc:Xdm.Doc.t ->
+  Xstorage.Store.lazy_catalog ->
+  t
+(** Like {!create} over a lazy-extent catalog: the engine keeps the
+    catalog's {!Xstorage.Store.skeleton} resident (summary + xams, which
+    is all planning reads) and scans extents through
+    {!Xstorage.Store.lazy_env}, so they page in from the backing store on
+    first touch. Validation is structural and forces nothing. A thunk
+    that raises {!Xstorage.Store.Module_fault} — e.g. a snapshot extent
+    whose checksum fails on page-in — is absorbed by the ordinary
+    quarantine + re-plan machinery. *)
+
+(** {1 Persistent snapshots}
+
+    The engine state on disk ({!Xpersist.Snapshot}): document, summary,
+    catalog, extents — written crash-safely, verified on the way back
+    in. *)
+
+val of_snapshot :
+  ?cache_capacity:int ->
+  ?constraints:bool ->
+  ?max_views:int ->
+  ?budget:budget ->
+  ?env_wrap:(Xalgebra.Eval.env -> Xalgebra.Eval.env) ->
+  ?pool:Pool.t ->
+  ?obs:Xobs.Obs.t ->
+  ?lazy_extents:bool ->
+  ?extent_cache:int ->
+  string ->
+  t
+(** Open an engine over a snapshot file. With [lazy_extents] (default
+    [false]) extents page in on demand through an LRU of [extent_cache]
+    entries ({!create_lazy}); otherwise the whole snapshot loads eagerly.
+    The snapshot's document becomes the engine's fallback document.
+    Raises [Xerror.Error (Snapshot_error _)] when the file fails
+    verification and [Xerror.Error (Catalog_invalid _)] when its catalog
+    does not validate. *)
+
+val of_snapshot_r :
+  ?cache_capacity:int ->
+  ?constraints:bool ->
+  ?max_views:int ->
+  ?budget:budget ->
+  ?env_wrap:(Xalgebra.Eval.env -> Xalgebra.Eval.env) ->
+  ?pool:Pool.t ->
+  ?obs:Xobs.Obs.t ->
+  ?lazy_extents:bool ->
+  ?extent_cache:int ->
+  string ->
+  (t, Xerror.t) Stdlib.result
+(** {!of_snapshot} returning the classified failure instead of raising. *)
+
+val save_snapshot : t -> string -> int
+(** Snapshot the engine's current state (fallback document, summary,
+    catalog with extents) to a file, crash-safely: temp file, fsync,
+    atomic rename. Returns the bytes written. Raises
+    [Xerror.Error (Snapshot_error _)] on failure. *)
+
+val save_snapshot_r : t -> string -> (int, Xerror.t) Stdlib.result
+
+val load_snapshot : t -> string -> unit
+(** Hot-swap the engine's catalog from a snapshot file: the snapshot is
+    decoded and verified in full, then installed through the
+    {!set_catalog} path (generation bump, plan-cache invalidation,
+    quarantine reset). On any failure — verification or validation —
+    the running catalog stays untouched. The snapshot's document is
+    ignored; the fallback document is fixed at engine creation. *)
+
+val load_snapshot_r : t -> string -> (unit, Xerror.t) Stdlib.result
+
 (** {1 Pattern queries} *)
 
 val query_r :

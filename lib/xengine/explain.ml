@@ -10,6 +10,7 @@ type t = {
   cost : float;
   candidates : int;
   cache_hit : bool;
+  from_cache : bool;
   rewrite_ms : float;
   planned_ms : float;
   exec_ms : float;
@@ -36,8 +37,11 @@ let pp ppf e =
     Format.fprintf ppf "degraded: re-planned around quarantined module%s %s@,"
       (if List.length e.quarantined = 1 then "" else "s")
       (match e.quarantined with [] -> "(none)" | qs -> String.concat ", " qs);
-  Format.fprintf ppf "timings: rewrite %.2f ms (planned %.2f ms), execute %.2f ms@,"
-    e.rewrite_ms e.planned_ms e.exec_ms;
+  Format.fprintf ppf
+    "timings: rewrite %.2f ms (planned %.2f ms%s), execute %.2f ms@,"
+    e.rewrite_ms e.planned_ms
+    (if e.from_cache then ", recalled from cache" else "")
+    e.exec_ms;
   Format.fprintf ppf "operators:@,";
   pp_stats ppf ~indent:"  " e.stats;
   Format.fprintf ppf "@]"
@@ -58,6 +62,7 @@ type summary = {
   s_cost : float option;
   s_candidates : int;
   s_cache_hit : bool;
+  s_from_cache : bool;
   s_rewrite_ms : float;
   s_planned_ms : float;
   s_exec_ms : float;
@@ -73,6 +78,7 @@ let summarize e =
     s_cost = (if Float.is_nan e.cost then None else Some e.cost);
     s_candidates = e.candidates;
     s_cache_hit = e.cache_hit;
+    s_from_cache = e.from_cache;
     s_rewrite_ms = e.rewrite_ms;
     s_planned_ms = e.planned_ms;
     s_exec_ms = e.exec_ms;
@@ -96,6 +102,7 @@ let summary_to_json s =
       ("cost", (match s.s_cost with Some c -> Json.Num c | None -> Json.Null));
       ("candidates", Json.Num (float_of_int s.s_candidates));
       ("cache_hit", Json.Bool s.s_cache_hit);
+      ("from_cache", Json.Bool s.s_from_cache);
       ("rewrite_ms", Json.Num s.s_rewrite_ms);
       ("planned_ms", Json.Num s.s_planned_ms);
       ("exec_ms", Json.Num s.s_exec_ms);
@@ -150,6 +157,7 @@ let of_json j =
   in
   let* s_candidates = field "candidates" Json.to_int j in
   let* s_cache_hit = field "cache_hit" Json.to_bool j in
+  let* s_from_cache = field "from_cache" Json.to_bool j in
   let* s_rewrite_ms = field "rewrite_ms" Json.to_float j in
   let* s_planned_ms = field "planned_ms" Json.to_float j in
   let* s_exec_ms = field "exec_ms" Json.to_float j in
@@ -162,7 +170,8 @@ let of_json j =
   in
   Ok
     { s_query; s_views_used; s_plan; s_cost; s_candidates; s_cache_hit;
-      s_rewrite_ms; s_planned_ms; s_exec_ms; s_stats; s_degraded; s_quarantined }
+      s_from_cache; s_rewrite_ms; s_planned_ms; s_exec_ms; s_stats; s_degraded;
+      s_quarantined }
 
 let of_json_string str =
   match Json.of_string str with Ok j -> of_json j | Error e -> Error e

@@ -12,6 +12,11 @@ type t = {
   cost : float;  (** the optimizer's estimate for [plan] *)
   candidates : int;  (** rewritings the optimizer ranked *)
   cache_hit : bool;  (** [true] when the plan came from the cache *)
+  from_cache : bool;
+      (** explicit provenance marker: [true] iff the plan was recalled
+          rather than derived this query. Always equals [cache_hit], but
+          unlike inferring it from [rewrite_ms = 0.] it distinguishes a
+          recalled plan from a genuinely instant rewrite *)
   rewrite_ms : float;  (** rewriting + costing time; [0.] on a cache hit *)
   planned_ms : float;
       (** what planning {e originally} cost: equals [rewrite_ms] on a
@@ -45,6 +50,7 @@ type summary = {
   s_cost : float option;  (** [None] encodes a NaN cost *)
   s_candidates : int;
   s_cache_hit : bool;
+  s_from_cache : bool;
   s_rewrite_ms : float;
   s_planned_ms : float;
   s_exec_ms : float;

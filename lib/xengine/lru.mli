@@ -1,26 +1,5 @@
-(** A small string-keyed LRU map, backing the engine's plan cache.
+(** The engine's plan-cache LRU — an alias of {!Xobs.Lru}, which is the
+    shared implementation (the snapshot reader's extent buffer cache in
+    [lib/xpersist] uses the same module). *)
 
-    Lookups refresh recency; inserts beyond capacity evict the least
-    recently used entry. Not thread-safe (neither is the engine). *)
-
-type 'a t
-
-val create : ?metrics:Xobs.Metrics.registry -> int -> 'a t
-(** [create capacity]; capacity must be positive. [metrics] keeps a
-    [plan_cache_entries] gauge and a [plan_cache_evictions_total] counter
-    in the given registry up to date. *)
-
-val find : 'a t -> string -> 'a option
-(** Lookup, refreshing the entry's recency on a hit. *)
-
-val add : 'a t -> string -> 'a -> unit
-(** Insert or replace, evicting the least recently used entry when the
-    capacity would be exceeded. *)
-
-val length : 'a t -> int
-val capacity : 'a t -> int
-
-val evictions : 'a t -> int
-(** Entries evicted since creation. *)
-
-val clear : 'a t -> unit
+include module type of Xobs.Lru with type 'a t = 'a Xobs.Lru.t

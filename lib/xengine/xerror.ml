@@ -9,6 +9,7 @@ type t =
   | Storage_fault of { module_name : string; reason : string }
   | Catalog_invalid of { module_name : string; reason : string }
   | Budget_exceeded of { dimension : dimension; limit : float }
+  | Snapshot_error of { path : string; reason : string }
 
 exception Error of t
 
@@ -31,6 +32,7 @@ let stage = function
   | Storage_fault _ -> "storage"
   | Catalog_invalid _ -> "catalog"
   | Budget_exceeded _ -> "budget"
+  | Snapshot_error _ -> "snapshot"
 
 let pp ppf = function
   | Parse_error m -> Format.fprintf ppf "parse error: %s" m
@@ -45,6 +47,8 @@ let pp ppf = function
   | Budget_exceeded { dimension; limit } ->
       Format.fprintf ppf "budget exceeded: %s limit %g" (dimension_string dimension)
         limit
+  | Snapshot_error { path; reason } ->
+      Format.fprintf ppf "snapshot error in %S: %s" path reason
 
 let to_string e = Format.asprintf "%a" pp e
 

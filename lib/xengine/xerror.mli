@@ -26,6 +26,10 @@ type t =
           summary *)
   | Budget_exceeded of { dimension : dimension; limit : float }
       (** the query ran out of its resource budget *)
+  | Snapshot_error of { path : string; reason : string }
+      (** a persisted snapshot could not be written, or failed
+          verification on open (bad magic, version, checksum, truncation,
+          malformed section) *)
 
 exception Error of t
 (** Raised by the raising engine wrappers for every classified failure
@@ -38,7 +42,7 @@ val dimension_string : dimension -> string
 val stage : t -> string
 (** The pipeline stage the error belongs to: ["parse"], ["extract"],
     ["rewrite"], ["plan"], ["execute"], ["storage"], ["catalog"],
-    ["budget"]. *)
+    ["budget"], ["snapshot"]. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -1,0 +1,30 @@
+(** A small string-keyed LRU map.
+
+    Backs the engine's plan cache and the snapshot reader's extent
+    buffer cache. Lookups refresh recency; inserts beyond capacity evict
+    the least recently used entry. Not thread-safe — callers serialize
+    access (the engine holds its own lock, the snapshot reader its
+    own mutex). *)
+
+type 'a t
+
+val create : ?metrics:Metrics.registry -> ?metric_prefix:string -> int -> 'a t
+(** [create capacity]; capacity must be positive. [metrics] keeps a
+    [<prefix>_entries] gauge and a [<prefix>_evictions_total] counter in
+    the given registry up to date; [metric_prefix] defaults to
+    ["plan_cache"] (the historical engine names). *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup, refreshing the entry's recency on a hit. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace, evicting the least recently used entry when the
+    capacity would be exceeded. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val evictions : 'a t -> int
+(** Entries evicted since creation. *)
+
+val clear : 'a t -> unit

@@ -122,11 +122,17 @@ let percentile s q =
     let rank =
       min s.count (max 1 (int_of_float (Float.ceil (q *. float_of_int s.count))))
     in
+    (* Ranks landing in the overflow bucket clamp to the last finite
+       bucket bound: an estimator that answers [inf] poisons every
+       Prometheus exposition and JSONL line it reaches, while the clamp is
+       the honest "at least this much" the histogram actually knows. *)
+    let last_finite = bucket_upper (bucket_count - 2) in
     let rec go i acc =
-      if i >= bucket_count then Float.infinity
+      if i >= bucket_count then last_finite
       else
         let acc = acc + s.counts.(i) in
-        if acc >= rank then bucket_upper i else go (i + 1) acc
+        if acc >= rank then Float.min (bucket_upper i) last_finite
+        else go (i + 1) acc
     in
     go 0 0
 

@@ -73,8 +73,11 @@ val merge : snapshot -> snapshot -> snapshot
 val percentile : snapshot -> float -> float
 (** [percentile s q] for [q] in [0,1]: the upper bound (seconds) of the
     bucket holding the ⌈q·count⌉-th smallest observation — an upper bound
-    on the true quantile, within a factor 2 of it. [0.] when empty,
-    [infinity] when the quantile fell in the overflow bucket. *)
+    on the true quantile, within a factor 2 of it. [0.] when empty. A
+    quantile falling in the overflow bucket clamps to the last finite
+    bucket bound (≈67s) rather than answering [infinity] — the estimate
+    is then a lower bound, but it stays representable in every export
+    format (Prometheus exposition, JSONL). *)
 
 (** {1 Enumeration} *)
 

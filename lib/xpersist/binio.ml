@@ -1,0 +1,100 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* --- Writing ------------------------------------------------------------- *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 4096
+let contents = Buffer.contents
+let size = Buffer.length
+
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let w_int b v =
+  let v = Int64.of_int v in
+  for shift = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * shift)) 0xffL)))
+  done
+
+let w_str b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+(* --- Reading ------------------------------------------------------------- *)
+
+type reader = { data : string; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?len data =
+  let len = match len with Some l -> l | None -> String.length data - pos in
+  if pos < 0 || len < 0 || pos + len > String.length data then
+    corrupt "slice [%d, +%d) outside %d bytes" pos len (String.length data);
+  { data; pos; limit = pos + len }
+
+let remaining r = r.limit - r.pos
+
+let need r n what = if remaining r < n then corrupt "truncated: %s needs %d bytes, %d remain" what n (remaining r)
+
+let r_u8 r =
+  need r 1 "u8";
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_bool r =
+  match r_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | v -> corrupt "bool byte is %d" v
+
+let r_int r =
+  need r 8 "int";
+  let v = ref 0L in
+  for shift = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code r.data.[r.pos + shift]))
+  done;
+  r.pos <- r.pos + 8;
+  Int64.to_int !v
+
+let r_str r =
+  let n = r_int r in
+  if n < 0 then corrupt "negative string length %d" n;
+  need r n "string body";
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let expect_end r =
+  if remaining r <> 0 then corrupt "%d trailing bytes in section" (remaining r)
+
+(* --- CRC-32 -------------------------------------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?(pos = 0) ?len data =
+  let len = match len with Some l -> l | None -> String.length data - pos in
+  if pos < 0 || len < 0 || pos + len > String.length data then
+    corrupt "crc32 slice [%d, +%d) outside %d bytes" pos len (String.length data);
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    c :=
+      Int32.logxor
+        table.(Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code data.[i]))) 0xffl))
+        (Int32.shift_right_logical !c 8)
+  done;
+  Int32.to_int (Int32.logxor !c 0xFFFFFFFFl) land 0xFFFFFFFF

@@ -1,0 +1,61 @@
+(** Bounds-checked binary encoding primitives for snapshot files.
+
+    The encoding is deliberately plain: integers are fixed 8-byte
+    little-endian two's complement, strings are length-prefixed, tags are
+    single bytes. Snapshots are read back by the same build that writes
+    them far more often than not, and when they are not, the format
+    version in the file header gates compatibility — so the primitives
+    optimize for auditability over density.
+
+    Every reader primitive validates against the slice bounds before
+    touching memory and raises {!Corrupt} (never [Invalid_argument], never
+    an allocation of attacker-controlled size) on malformed input: a
+    length prefix is checked against the bytes actually remaining before
+    any buffer is allocated. *)
+
+exception Corrupt of string
+(** A decode hit bytes that cannot be valid. Carries a human-readable
+    reason; callers translate it into their own typed error at the
+    snapshot boundary. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+val size : writer -> int
+
+val w_u8 : writer -> int -> unit
+(** Low 8 bits. *)
+
+val w_bool : writer -> bool -> unit
+val w_int : writer -> int -> unit
+(** 8-byte little-endian two's complement. *)
+
+val w_str : writer -> string -> unit
+(** Length-prefixed bytes. *)
+
+(** {1 Reading} *)
+
+type reader
+
+val reader : ?pos:int -> ?len:int -> string -> reader
+(** A cursor over a slice; raises {!Corrupt} if the slice is out of
+    bounds. *)
+
+val r_u8 : reader -> int
+val r_bool : reader -> bool
+val r_int : reader -> int
+val r_str : reader -> string
+val remaining : reader -> int
+
+val expect_end : reader -> unit
+(** Raises {!Corrupt} unless the cursor consumed its slice exactly —
+    trailing garbage in a section is corruption, not slack. *)
+
+(** {1 Integrity} *)
+
+val crc32 : ?pos:int -> ?len:int -> string -> int
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a slice, as a
+    non-negative int. *)

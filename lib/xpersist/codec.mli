@@ -1,0 +1,26 @@
+(** Binary codecs for the engine's value and structure types.
+
+    One [w_]/[r_] pair per type, layered on {!Binio}. Readers raise
+    {!Binio.Corrupt} on any malformed input — a tag byte outside its
+    range, a formula that does not parse back, a node array violating the
+    document invariants — so a snapshot decode either yields a value the
+    rest of the engine can trust or fails atomically at the section
+    boundary. *)
+
+val w_nid : Binio.writer -> Xdm.Nid.t -> unit
+val r_nid : Binio.reader -> Xdm.Nid.t
+
+val w_value : Binio.writer -> Xalgebra.Value.t -> unit
+val r_value : Binio.reader -> Xalgebra.Value.t
+
+val w_rel : Binio.writer -> Xalgebra.Rel.t -> unit
+val r_rel : Binio.reader -> Xalgebra.Rel.t
+
+val w_pattern : Binio.writer -> Xam.Pattern.t -> unit
+val r_pattern : Binio.reader -> Xam.Pattern.t
+
+val w_summary : Binio.writer -> Xsummary.Summary.t -> unit
+val r_summary : Binio.reader -> Xsummary.Summary.t
+
+val w_doc : Binio.writer -> Xdm.Doc.t -> unit
+val r_doc : Binio.reader -> Xdm.Doc.t

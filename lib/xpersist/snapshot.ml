@@ -1,0 +1,414 @@
+module Store = Xstorage.Store
+module Metrics = Xobs.Metrics
+module Lru = Xobs.Lru
+module Doc = Xdm.Doc
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Binio.Corrupt s)) fmt
+
+let magic = "XAMSNAP\x01"
+let version = 1
+
+(* magic + (version, TOC length, TOC CRC) *)
+let header_len = 8 + 24
+
+(* --- Metrics ------------------------------------------------------------- *)
+
+type meters = {
+  mt_read : Metrics.counter;
+  mt_written : Metrics.counter;
+  mt_hits : Metrics.counter;
+  mt_misses : Metrics.counter;
+  mt_open : Metrics.histogram;
+}
+
+let meters = function
+  | None -> None
+  | Some reg ->
+      let c name help = Metrics.counter reg ~help name in
+      Some
+        { mt_read = c "persist_bytes_read_total" "snapshot bytes read from disk";
+          mt_written = c "persist_bytes_written_total" "snapshot bytes written to disk";
+          mt_hits = c "persist_extent_cache_hits_total" "extent buffer cache hits";
+          mt_misses = c "persist_extent_cache_misses_total" "extent buffer cache misses";
+          mt_open =
+            Metrics.histogram reg ~help:"snapshot open latency" "persist_open_seconds" }
+
+let meter m f = match m with None -> () | Some m -> f m
+
+(* --- Building ------------------------------------------------------------ *)
+
+let section name f =
+  let b = Binio.writer () in
+  f b;
+  (name, Binio.contents b)
+
+let extent_section name = "extent:" ^ name
+
+let build ?doc (catalog : Store.catalog) =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Store.module_) ->
+      if Hashtbl.mem seen m.Store.name then
+        corrupt "duplicate module name %S" m.Store.name
+      else Hashtbl.add seen m.Store.name ())
+    catalog.Store.modules;
+  let sections =
+    (section "meta" (fun b ->
+         Binio.w_bool b (doc <> None);
+         Binio.w_int b (List.length catalog.Store.modules))
+    :: section "summary" (fun b -> Codec.w_summary b catalog.Store.summary)
+    :: section "catalog" (fun b ->
+           Binio.w_int b (List.length catalog.Store.modules);
+           List.iter
+             (fun (m : Store.module_) ->
+               Binio.w_str b m.Store.name;
+               Codec.w_pattern b m.Store.xam)
+             catalog.Store.modules)
+    :: (match doc with
+       | None -> []
+       | Some d -> [ section "doc" (fun b -> Codec.w_doc b d) ]))
+    @ List.map
+        (fun (m : Store.module_) ->
+          section (extent_section m.Store.name) (fun b -> Codec.w_rel b m.Store.extent))
+        catalog.Store.modules
+  in
+  (* TOC entries are fixed-width apart from the names, so the TOC length —
+     and with it every payload offset — is known before writing it. *)
+  let toc_len =
+    8 + List.fold_left (fun acc (name, _) -> acc + 8 + String.length name + 24) 0 sections
+  in
+  let toc_b = Binio.writer () in
+  Binio.w_int toc_b (List.length sections);
+  let (_ : int) =
+    List.fold_left
+      (fun off (name, payload) ->
+        Binio.w_str toc_b name;
+        Binio.w_int toc_b off;
+        Binio.w_int toc_b (String.length payload);
+        Binio.w_int toc_b (Binio.crc32 payload);
+        off + String.length payload)
+      (header_len + toc_len) sections
+  in
+  let toc = Binio.contents toc_b in
+  assert (String.length toc = toc_len);
+  let total =
+    header_len + toc_len
+    + List.fold_left (fun acc (_, p) -> acc + String.length p) 0 sections
+  in
+  let buf = Buffer.create total in
+  Buffer.add_string buf magic;
+  let header_b = Binio.writer () in
+  Binio.w_int header_b version;
+  Binio.w_int header_b toc_len;
+  Binio.w_int header_b (Binio.crc32 toc);
+  Buffer.add_string buf (Binio.contents header_b);
+  Buffer.add_string buf toc;
+  List.iter (fun (_, p) -> Buffer.add_string buf p) sections;
+  Buffer.contents buf
+
+(* --- Error boundary ------------------------------------------------------ *)
+
+let guard f =
+  try Ok (f ()) with
+  | Binio.Corrupt e -> Error e
+  | Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+  | Sys_error e -> Error e
+  | End_of_file -> Error "unexpected end of file"
+
+(* --- Saving -------------------------------------------------------------- *)
+
+let write_all fd bytes =
+  let n = String.length bytes in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring fd bytes !written (n - !written)
+  done
+
+let fsync_dir path =
+  (* Directory fsync makes the rename itself durable; not every
+     filesystem supports it, so failures are ignored. *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+
+let save ?doc ?metrics path catalog =
+  let m = meters metrics in
+  guard (fun () ->
+      let bytes = build ?doc catalog in
+      let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+      (try
+         let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+         Fun.protect
+           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+           (fun () ->
+             write_all fd bytes;
+             Unix.fsync fd);
+         Unix.rename tmp path
+       with e ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      fsync_dir path;
+      meter m (fun m -> Metrics.add m.mt_written (String.length bytes));
+      String.length bytes)
+
+(* --- TOC parsing --------------------------------------------------------- *)
+
+type entry = { e_name : string; e_off : int; e_len : int; e_crc : int }
+
+(* [data] must hold at least the first [header_len] bytes of the file.
+   Returns (toc_len, toc_crc). *)
+let parse_fixed_header ~file_size data =
+  if file_size < header_len then corrupt "file too short (%d bytes)" file_size;
+  if not (String.equal (String.sub data 0 8) magic) then corrupt "bad magic";
+  let hr = Binio.reader ~pos:8 ~len:24 data in
+  let v = Binio.r_int hr in
+  if v <> version then corrupt "unsupported snapshot version %d" v;
+  let toc_len = Binio.r_int hr in
+  let toc_crc = Binio.r_int hr in
+  if toc_len < 0 || header_len + toc_len > file_size then corrupt "TOC overruns the file";
+  (toc_len, toc_crc)
+
+(* [toc] is the raw TOC slice, already CRC-verified by the caller. *)
+let parse_entries ~file_size toc =
+  let tr = Binio.reader toc in
+  let n = Binio.r_int tr in
+  if n < 0 then corrupt "negative section count %d" n;
+  let entries =
+    List.init n (fun _ ->
+        let e_name = Binio.r_str tr in
+        let e_off = Binio.r_int tr in
+        let e_len = Binio.r_int tr in
+        let e_crc = Binio.r_int tr in
+        if e_len < 0 || e_off < header_len + String.length toc || e_off + e_len > file_size
+        then corrupt "section %S [%d, +%d) outside the file" e_name e_off e_len;
+        { e_name; e_off; e_len; e_crc })
+  in
+  Binio.expect_end tr;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if Hashtbl.mem seen e.e_name then corrupt "duplicate section %S" e.e_name
+      else Hashtbl.add seen e.e_name ())
+    entries;
+  entries
+
+let find_entry entries name =
+  match List.find_opt (fun e -> String.equal e.e_name name) entries with
+  | Some e -> e
+  | None -> corrupt "missing section %S" name
+
+(* --- Eager load ---------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let decode_meta r =
+  let has_doc = Binio.r_bool r in
+  let mcount = Binio.r_int r in
+  if mcount < 0 then corrupt "negative module count %d" mcount;
+  Binio.expect_end r;
+  (has_doc, mcount)
+
+let decode_catalog_section r mcount =
+  let n = Binio.r_int r in
+  if n <> mcount then corrupt "catalog lists %d modules, meta says %d" n mcount;
+  let mods =
+    List.init n (fun _ ->
+        let name = Binio.r_str r in
+        let xam = Codec.r_pattern r in
+        (name, xam))
+  in
+  Binio.expect_end r;
+  mods
+
+let load ?metrics path =
+  let m = meters metrics in
+  guard (fun () ->
+      let data = read_file path in
+      meter m (fun m -> Metrics.add m.mt_read (String.length data));
+      let file_size = String.length data in
+      let toc_len, toc_crc = parse_fixed_header ~file_size data in
+      if Binio.crc32 ~pos:header_len ~len:toc_len data <> toc_crc then
+        corrupt "TOC checksum mismatch";
+      let entries =
+        parse_entries ~file_size (String.sub data header_len toc_len)
+      in
+      List.iter
+        (fun e ->
+          if Binio.crc32 ~pos:e.e_off ~len:e.e_len data <> e.e_crc then
+            corrupt "section %S checksum mismatch" e.e_name)
+        entries;
+      let rd name =
+        let e = find_entry entries name in
+        Binio.reader ~pos:e.e_off ~len:e.e_len data
+      in
+      let has_doc, mcount = decode_meta (rd "meta") in
+      let summary =
+        let r = rd "summary" in
+        let s = Codec.r_summary r in
+        Binio.expect_end r;
+        s
+      in
+      let mods = decode_catalog_section (rd "catalog") mcount in
+      let doc =
+        if has_doc then (
+          let r = rd "doc" in
+          let d = Codec.r_doc r in
+          Binio.expect_end r;
+          Some d)
+        else None
+      in
+      let modules =
+        List.map
+          (fun (name, xam) ->
+            let r = rd (extent_section name) in
+            let extent = Codec.r_rel r in
+            Binio.expect_end r;
+            { Store.name; xam; extent })
+          mods
+      in
+      (doc, { Store.summary; modules }))
+
+(* --- Paging reader ------------------------------------------------------- *)
+
+module Reader = struct
+  type t = {
+    rd_path : string;
+    rd_fd : Unix.file_descr;
+    rd_lock : Mutex.t;
+    rd_entries : entry list;
+    rd_doc : Doc.t option;
+    rd_summary : Xsummary.Summary.t;
+    rd_mods : (string * Xam.Pattern.t) list;
+    rd_cache : Xalgebra.Rel.t Lru.t;
+    mutable rd_closed : bool;
+    rd_m : meters option;
+  }
+
+  (* Positioned read under the caller's lock (the fd's offset is shared
+     state). *)
+  let pread_exn fd ~off ~len what =
+    let buf = Bytes.create len in
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    let got = ref 0 in
+    let eof = ref false in
+    while (not !eof) && !got < len do
+      let k = Unix.read fd buf !got (len - !got) in
+      if k = 0 then eof := true else got := !got + k
+    done;
+    if !got < len then corrupt "short read of %s: %d of %d bytes" what !got len;
+    Bytes.unsafe_to_string buf
+
+  let verified_section fd m entries name =
+    let e = find_entry entries name in
+    let bytes = pread_exn fd ~off:e.e_off ~len:e.e_len ("section " ^ name) in
+    meter m (fun m -> Metrics.add m.mt_read e.e_len);
+    if Binio.crc32 bytes <> e.e_crc then corrupt "section %S checksum mismatch" name;
+    Binio.reader bytes
+
+  let open_ ?(cache_capacity = 16) ?metrics path =
+    let m = meters metrics in
+    guard (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+        match
+          let file_size = (Unix.fstat fd).Unix.st_size in
+          let header = pread_exn fd ~off:0 ~len:(min header_len file_size) "header" in
+          let toc_len, toc_crc = parse_fixed_header ~file_size header in
+          let toc = pread_exn fd ~off:header_len ~len:toc_len "TOC" in
+          meter m (fun m -> Metrics.add m.mt_read (header_len + toc_len));
+          if Binio.crc32 toc <> toc_crc then corrupt "TOC checksum mismatch";
+          let entries = parse_entries ~file_size toc in
+          let has_doc, mcount = decode_meta (verified_section fd m entries "meta") in
+          let summary =
+            let r = verified_section fd m entries "summary" in
+            let s = Codec.r_summary r in
+            Binio.expect_end r;
+            s
+          in
+          let mods = decode_catalog_section (verified_section fd m entries "catalog") mcount in
+          (* Extents of a paging reader are only checked as they page in;
+             still fail fast on one that is missing outright. *)
+          List.iter (fun (name, _) -> ignore (find_entry entries (extent_section name))) mods;
+          let doc =
+            if has_doc then (
+              let r = verified_section fd m entries "doc" in
+              let d = Codec.r_doc r in
+              Binio.expect_end r;
+              Some d)
+            else None
+          in
+          { rd_path = path;
+            rd_fd = fd;
+            rd_lock = Mutex.create ();
+            rd_entries = entries;
+            rd_doc = doc;
+            rd_summary = summary;
+            rd_mods = mods;
+            rd_cache =
+              Lru.create ?metrics ~metric_prefix:"persist_extent_cache" cache_capacity;
+            rd_closed = false;
+            rd_m = m }
+        with
+        | t ->
+            meter m (fun m -> Metrics.observe m.mt_open (Unix.gettimeofday () -. t0));
+            t
+        | exception e ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            raise e)
+
+  let path t = t.rd_path
+  let doc t = t.rd_doc
+
+  let module_fault name reason = raise (Store.Module_fault { name; reason })
+
+  let extent t name () =
+    Mutex.lock t.rd_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.rd_lock)
+      (fun () ->
+        match Lru.find t.rd_cache name with
+        | Some rel ->
+            meter t.rd_m (fun m -> Metrics.incr m.mt_hits);
+            rel
+        | None -> (
+            meter t.rd_m (fun m -> Metrics.incr m.mt_misses);
+            if t.rd_closed then module_fault name "snapshot reader is closed";
+            match
+              let r = verified_section t.rd_fd t.rd_m t.rd_entries (extent_section name) in
+              let rel = Codec.r_rel r in
+              Binio.expect_end r;
+              rel
+            with
+            | rel ->
+                Lru.add t.rd_cache name rel;
+                rel
+            | exception Binio.Corrupt reason -> module_fault name reason
+            | exception Unix.Unix_error (err, fn, _) ->
+                module_fault name (Printf.sprintf "%s: %s" fn (Unix.error_message err))))
+
+  let lazy_catalog t =
+    { Store.lc_summary = t.rd_summary;
+      lc_modules =
+        List.map
+          (fun (name, xam) ->
+            { Store.lm_name = name; lm_xam = xam; lm_extent = extent t name })
+          t.rd_mods }
+
+  let close t =
+    Mutex.lock t.rd_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.rd_lock)
+      (fun () ->
+        if not t.rd_closed then begin
+          t.rd_closed <- true;
+          try Unix.close t.rd_fd with Unix.Unix_error _ -> ()
+        end)
+end

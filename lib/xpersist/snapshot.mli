@@ -1,0 +1,82 @@
+(** Versioned, checksummed binary snapshots of the whole engine state.
+
+    A snapshot holds everything {!Xengine.Engine} needs to answer queries:
+    the base document (optional), the path summary, and the full catalog
+    of storage modules with their materialized extents. The point is the
+    paper's §2.1.4 physical data independence made {e persistent}: the
+    catalog of XAMs describes what is on disk, and reopening a store is
+    reading that description back — never re-parsing XML, never
+    re-materializing extents.
+
+    {2 File format (version 1)}
+
+    {v
+    magic   8 bytes   "XAMSNAP\x01"
+    header  24 bytes  version, TOC length, TOC CRC-32
+    TOC               one entry per section: name, offset, length, CRC-32
+    payload           section bytes, one section per TOC entry
+    v}
+
+    Sections are ["meta"], ["summary"], ["catalog"], optionally ["doc"],
+    and one ["extent:<module>"] per storage module — each independently
+    checksummed, so extents can be paged in lazily and verified
+    individually.
+
+    {2 Guarantees}
+
+    - {e Crash safety}: {!save} writes to a temporary file in the target
+      directory, fsyncs, then atomically renames over the destination (and
+      fsyncs the directory). A crash mid-save leaves the previous snapshot
+      intact.
+    - {e Fail-closed reads}: every read path verifies magic, version, TOC
+      checksum and the checksum of each section it touches before decoding
+      it; decoding itself is bounds-checked ({!Binio}). Corruption —
+      truncation, bit flips, a foreign file — yields [Error _] (or, for an
+      extent discovered corrupt during lazy paging, a
+      {!Xstorage.Store.Module_fault} the engine's quarantine machinery
+      absorbs). It never crashes and never yields a partial catalog. *)
+
+val save :
+  ?doc:Xdm.Doc.t ->
+  ?metrics:Xobs.Metrics.registry ->
+  string ->
+  Xstorage.Store.catalog ->
+  (int, string) result
+(** [save path catalog] writes the snapshot crash-safely and returns the
+    bytes written. [metrics] feeds [persist_bytes_written_total]. *)
+
+val load :
+  ?metrics:Xobs.Metrics.registry ->
+  string ->
+  (Xdm.Doc.t option * Xstorage.Store.catalog, string) result
+(** Eager open: verify and decode every section, extents included. The
+    returned catalog is fully resident. *)
+
+(** Paging open: the summary and catalog (names + xams) load eagerly —
+    planning needs them — while extents page in on demand through an LRU
+    buffer cache. The engine runs against the returned
+    {!Xstorage.Store.lazy_catalog} exactly as against a resident one. *)
+module Reader : sig
+  type t
+
+  val open_ :
+    ?cache_capacity:int ->
+    ?metrics:Xobs.Metrics.registry ->
+    string ->
+    (t, string) result
+  (** [cache_capacity] bounds the decoded-extent LRU (default 16
+      entries). [metrics] feeds [persist_bytes_read_total],
+      [persist_extent_cache_hits_total] / [..._misses_total], the
+      [persist_extent_cache_entries] gauge and the
+      [persist_open_seconds] histogram. *)
+
+  val path : t -> string
+  val doc : t -> Xdm.Doc.t option
+
+  val lazy_catalog : t -> Xstorage.Store.lazy_catalog
+  (** Extent thunks page through the reader. A thunk forced after
+      {!close}, or over a section whose checksum no longer verifies,
+      raises {!Xstorage.Store.Module_fault} for its module. *)
+
+  val close : t -> unit
+end

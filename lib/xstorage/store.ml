@@ -23,8 +23,8 @@ let materialize doc name xam =
    a universal-table module legitimately outer-joins every label of the
    document under one node — so the structural check runs on the pattern
    with optional subtrees pruned; pruning preserves nids. *)
-let validate catalog =
-  let s = catalog.summary in
+let check_against summary =
+  let s = summary in
   let size = Xsummary.Summary.size s in
   let label_known label =
     let matches p =
@@ -48,8 +48,8 @@ let validate catalog =
     in
     { pat with Pattern.roots = List.map prune pat.Pattern.roots }
   in
-  let check m =
-    let skeleton = required_skeleton m.xam in
+  let check name xam =
+    let skeleton = required_skeleton xam in
     let required =
       List.fold_left
         (fun acc (n : Pattern.node) -> n.Pattern.nid :: acc)
@@ -59,7 +59,7 @@ let validate catalog =
       (fun (n : Pattern.node) ->
         let bad reason =
           Some
-            ( m.name,
+            ( name,
               Printf.sprintf "pattern node %S (nid %d) %s" n.Pattern.label
                 n.Pattern.nid reason )
         in
@@ -70,17 +70,25 @@ let validate catalog =
           && Xam.Canonical.path_annotation s skeleton n.Pattern.nid = []
         then bad "matches no summary path"
         else None)
-      (Pattern.nodes m.xam)
+      (Pattern.nodes xam)
   in
-  List.fold_left
-    (fun acc m -> match acc with Error _ -> acc | Ok () -> (
-       match check m with None -> Ok () | Some e -> Error e))
-    (Ok ()) catalog.modules
+  check
+
+(* Every failing module is reported, not just the first: a catalog
+   arriving from a migration or a snapshot typically breaks in several
+   modules at once, and fixing them one validation round at a time was a
+   real operational papercut. *)
+let validate catalog =
+  let check = check_against catalog.summary in
+  match List.filter_map (fun m -> check m.name m.xam) catalog.modules with
+  | [] -> Ok ()
+  | errs -> Error errs
 
 let validated catalog =
   match validate catalog with
   | Ok () -> catalog
-  | Error (name, reason) -> raise (Invalid_module { name; reason })
+  | Error ((name, reason) :: _) -> raise (Invalid_module { name; reason })
+  | Error [] -> catalog
 
 let catalog_of doc specs =
   validated
@@ -141,3 +149,60 @@ let pp ppf catalog =
       Format.fprintf ppf "%-24s %6d tuples  (%s)@." m.name (Rel.cardinality m.extent)
         (Rel.schema_to_string m.extent.Rel.schema))
     catalog.modules
+
+(* --- Lazy-extent catalogs ----------------------------------------------- *)
+
+(* A catalog whose extents are paged in on demand — the shape a snapshot
+   opened through [Xpersist.Snapshot.Reader] presents. Planning only needs
+   the xams and the summary; extents are touched exclusively through the
+   [env] closure, so a thunk per module is enough for the whole engine to
+   run against cold storage. The thunks do not memoize: the reader behind
+   them owns an LRU buffer cache, and double-caching here would defeat its
+   eviction policy. *)
+
+type lazy_module = {
+  lm_name : string;
+  lm_xam : Pattern.t;
+  lm_extent : unit -> Rel.t;
+}
+
+type lazy_catalog = {
+  lc_summary : Xsummary.Summary.t;
+  lc_modules : lazy_module list;
+}
+
+let lazy_of_catalog c =
+  { lc_summary = c.summary;
+    lc_modules =
+      List.map
+        (fun m ->
+          { lm_name = m.name; lm_xam = m.xam; lm_extent = (fun () -> m.extent) })
+        c.modules }
+
+let materialize_lazy lc =
+  { summary = lc.lc_summary;
+    modules =
+      List.map
+        (fun lm -> { name = lm.lm_name; xam = lm.lm_xam; extent = lm.lm_extent () })
+        lc.lc_modules }
+
+let skeleton lc =
+  (* Extents replaced by empty relations over the pattern's binding schema:
+     enough for everything that never scans (validation, view harvesting,
+     pretty-printing), without forcing a single page in. *)
+  { summary = lc.lc_summary;
+    modules =
+      List.map
+        (fun lm ->
+          { name = lm.lm_name; xam = lm.lm_xam;
+            extent = Rel.empty (Xam.Binding.binding_schema lm.lm_xam) })
+        lc.lc_modules }
+
+let validate_lazy lc = validate (skeleton lc)
+
+let lazy_env lc =
+  let tbl = Hashtbl.create (max 16 (List.length lc.lc_modules)) in
+  List.iter
+    (fun lm -> if not (Hashtbl.mem tbl lm.lm_name) then Hashtbl.add tbl lm.lm_name lm.lm_extent)
+    lc.lc_modules;
+  fun name -> Option.map (fun thunk -> thunk ()) (Hashtbl.find_opt tbl name)

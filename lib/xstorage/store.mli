@@ -32,14 +32,16 @@ val materialize : Xdm.Doc.t -> string -> Xam.Pattern.t -> module_
 (** Evaluate the XAM (required markers ignored for materialization) and
     keep the result as the module's extent. *)
 
-val validate : catalog -> (unit, string * string) result
-(** Check every module's pattern against the summary: [Error (name,
-    reason)] for the first module with a node whose path annotation is
-    empty — a pattern referencing paths the summary does not contain, a
-    mismatch that would otherwise only surface mid-query. *)
+val validate : catalog -> (unit, (string * string) list) result
+(** Check every module's pattern against the summary: [Error pairs] with
+    one [(name, reason)] per failing module — a pattern referencing paths
+    the summary does not contain is a mismatch that would otherwise only
+    surface mid-query. All failures are accumulated so a broken catalog
+    (a migration, a foreign snapshot) is diagnosed in one round instead
+    of one module per round. *)
 
 val validated : catalog -> catalog
-(** {!validate}, raising {!Invalid_module} on failure. *)
+(** {!validate}, raising {!Invalid_module} for the first failing module. *)
 
 val catalog_of : Xdm.Doc.t -> (string * Xam.Pattern.t) list -> catalog
 (** Materialize the specs against the document and validate the result
@@ -69,3 +71,42 @@ val lookup_seq :
 
 val total_tuples : catalog -> int
 val pp : Format.formatter -> catalog -> unit
+
+(** {1 Lazy-extent catalogs}
+
+    The shape a snapshot opened through a paging reader presents: the
+    summary and every xam are resident (planning needs them), extents are
+    thunks that page in on demand. The engine only ever touches extents
+    through its {!Xalgebra.Eval.env} closure, so {!lazy_env} is enough to
+    run queries against cold storage. Thunks may raise {!Module_fault}
+    when the backing bytes turn out corrupt — the engine's quarantine
+    machinery absorbs that exactly as it does for any faulty module. *)
+
+type lazy_module = {
+  lm_name : string;
+  lm_xam : Xam.Pattern.t;
+  lm_extent : unit -> Xalgebra.Rel.t;
+}
+
+type lazy_catalog = {
+  lc_summary : Xsummary.Summary.t;
+  lc_modules : lazy_module list;
+}
+
+val lazy_of_catalog : catalog -> lazy_catalog
+(** Wrap resident extents in constant thunks. *)
+
+val materialize_lazy : lazy_catalog -> catalog
+(** Force every extent (one full sweep over the backing store). *)
+
+val skeleton : lazy_catalog -> catalog
+(** The catalog with every extent replaced by an empty relation over the
+    pattern's binding schema — enough for {!validate}, {!views} and
+    {!index_views}, without forcing a single extent. *)
+
+val validate_lazy : lazy_catalog -> (unit, (string * string) list) result
+(** {!validate} on the {!skeleton}: structural validation never pages. *)
+
+val lazy_env : lazy_catalog -> Xalgebra.Eval.env
+(** Resolve module names by forcing the matching thunk. No memoization —
+    the backing reader owns the cache. *)

@@ -105,6 +105,20 @@ let of_edges triples =
               triples))
   | _ -> invalid_arg "Summary.of_edges: first triple must be the root (parent -1)"
 
+let export s =
+  Array.init (size s) (fun p ->
+      (s.labels.(p), s.parents.(p), s.cards.(p), s.counts.(p)))
+
+let import rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Summary.import: empty";
+  (match rows.(0) with
+  | _, -1, _, _ -> ()
+  | _ -> invalid_arg "Summary.import: first row must be the root (parent -1)");
+  let s = pack (Array.map (fun (l, p, c, _) -> (l, p, c)) rows) in
+  Array.iteri (fun p (_, _, _, count) -> s.counts.(p) <- count) rows;
+  s
+
 let build doc =
   let open Xdm in
   let n = Doc.size doc in

@@ -71,6 +71,16 @@ val conforms : t -> Xdm.Doc.t -> bool
 (** [S ⊨ D]: the document's summary is exactly [S] and [D] satisfies all the
     edge-cardinality constraints. *)
 
+val export : t -> (string * int * card * int) array
+(** The summary as [(label, parent, card, count)] rows in path-id
+    (pre-order) order — the raw form binary persistence stores. Unlike
+    {!of_edges}, the per-path occurrence counts survive. *)
+
+val import : (string * int * card * int) array -> t
+(** Inverse of {!export}. Raises [Invalid_argument] when the rows are
+    not a valid pre-order tree (first row the root with parent [-1],
+    every other parent strictly before its child). *)
+
 val of_edges : (int * string * card) list -> t
 (** Build a summary directly from [(parent, label, card)] triples listed in
     pre-order; entry [i] describes path id [i+1] (the root is implicit, with

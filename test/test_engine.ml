@@ -92,6 +92,31 @@ let test_explain_output () =
   Alcotest.(check bool) "a scan leaf is instrumented" true
     (any (fun n -> contains n.Ph.op "scan" && n.Ph.tuples > 0) root)
 
+let test_explain_from_cache () =
+  (* Regression: [from_cache] must flip on a plan-cache hit and survive the
+     JSON round-trip — it used to be absent, so a recalled plan was
+     indistinguishable from a fresh one in exported EXPLAINs. *)
+  let e = fresh () in
+  let r1 = Engine.query e query in
+  Alcotest.(check bool) "fresh plan is not from cache" false
+    r1.Engine.explain.Explain.from_cache;
+  let r2 = Engine.query e query in
+  Alcotest.(check bool) "recalled plan is from cache" true
+    r2.Engine.explain.Explain.from_cache;
+  let roundtrip (x : Explain.t) =
+    match Explain.of_json_string (Explain.to_json_string x) with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "EXPLAIN JSON did not parse back: %s" m
+  in
+  Alcotest.(check bool) "from_cache=false survives JSON" false
+    (roundtrip r1.Engine.explain).Explain.s_from_cache;
+  Alcotest.(check bool) "from_cache=true survives JSON" true
+    (roundtrip r2.Engine.explain).Explain.s_from_cache;
+  Alcotest.(check bool) "JSON round-trip is exact" true
+    (roundtrip r2.Engine.explain = Explain.summarize r2.Engine.explain);
+  Alcotest.(check bool) "pretty EXPLAIN names the recall" true
+    (contains (Explain.to_string r2.Engine.explain) "recalled from cache")
+
 (* --- Robustness: typed errors, budgets, quarantine ----------------------- *)
 
 module Xerror = Xengine.Xerror
@@ -231,7 +256,9 @@ let () =
           Alcotest.test_case "negative outcomes cached" `Quick
             test_negative_caching ] );
       ( "explain",
-        [ Alcotest.test_case "per-operator counts" `Quick test_explain_output ] );
+        [ Alcotest.test_case "per-operator counts" `Quick test_explain_output;
+          Alcotest.test_case "from_cache flag and JSON" `Quick
+            test_explain_from_cache ] );
       ( "robustness",
         [ Alcotest.test_case "typed error classification" `Quick
             test_query_r_classification;

@@ -125,6 +125,40 @@ let test_cost_model () =
     (Cost.estimate env bigger > Cost.estimate env small);
   Alcotest.(check bool) "cardinality of a scan" true (Cost.cardinality env small = 2.0)
 
+let test_validate_accumulates () =
+  (* Regression: [Store.validate] must report every failing module, not
+     just the first one it trips over. *)
+  let doc = bib () in
+  let cat = Store.catalog_of doc (Models.tag_partitioned doc) in
+  Alcotest.(check bool) "healthy catalog validates" true
+    (Store.validate cat = Ok ());
+  let bogus name label =
+    let xam = P.make [ P.tree (P.mk_node ~id:Xdm.Nid.Simple label) [] ] in
+    { Store.name; xam; extent = Rel.empty (Xam.Binding.binding_schema xam) }
+  in
+  let broken =
+    { cat with
+      Store.modules =
+        cat.Store.modules @ [ bogus "bogus-elem" "zzz"; bogus "bogus-attr" "@nope" ] }
+  in
+  (match Store.validate broken with
+  | Ok () -> Alcotest.fail "broken catalog validated"
+  | Error errs ->
+      Alcotest.(check int) "both failing modules reported" 2 (List.length errs);
+      Alcotest.(check (list string))
+        "failing module names" [ "bogus-elem"; "bogus-attr" ]
+        (List.map fst errs);
+      List.iter
+        (fun (_, reason) ->
+          Alcotest.(check bool) "reason mentions the summary" true
+            (String.length reason > 0))
+        errs);
+  match Store.validated broken with
+  | exception Store.Invalid_module { name; _ } ->
+      Alcotest.(check string) "validated raises on the first failure"
+        "bogus-elem" name
+  | _ -> Alcotest.fail "validated accepted a broken catalog"
+
 let test_views_split () =
   let doc = bib () in
   let cat = Store.catalog_of doc (Models.tag_partitioned doc) in
@@ -151,4 +185,7 @@ let () =
           Alcotest.test_case "path index" `Quick test_path_index ] );
       ( "optimizer",
         [ Alcotest.test_case "cost model" `Quick test_cost_model;
-          Alcotest.test_case "views vs indexes" `Quick test_views_split ] ) ]
+          Alcotest.test_case "views vs indexes" `Quick test_views_split ] );
+      ( "validation",
+        [ Alcotest.test_case "validate accumulates all failures" `Quick
+            test_validate_accumulates ] ) ]

@@ -84,6 +84,41 @@ let roundtrip_prop =
   QCheck2.Test.make ~name:"serialize/parse roundtrip" ~count:200 tree_gen (fun t ->
       T.equal t (T.parse (T.serialize t)))
 
+(* Hostile-content variant of the round-trip: attribute values and text
+   drawn from strings full of markup metacharacters (ampersands, angle
+   brackets, both quote kinds, entity look-alikes, CDATA markers) and
+   multi-byte UTF-8 — the escaping paths the tame alphabet above never
+   reaches. *)
+let hostile_string =
+  QCheck2.Gen.oneofl
+    [ "a&b"; "x<y"; "p>q"; "say \"hi\""; "it's"; "&amp;"; "&#65;"; "<![CDATA[";
+      "]]>"; "caf\xc3\xa9"; "na\xc3\xafve";
+      "\xe6\x97\xa5\xe6\x9c\xac\xe8\xaa\x9e"; "\xce\xa9\xce\xbc\xce\xad";
+      "\xf0\x9f\x90\xab emoji";
+      "mix\xc3\xa9 & <tag> \"q\" \xe6\x97\xa5\xe6\x9c\xac" ]
+
+let hostile_tree_gen =
+  let open QCheck2.Gen in
+  let label = oneofl [ "a"; "b"; "item" ] in
+  fix
+    (fun self depth ->
+      map3
+        (fun tag attrs children -> T.elt tag ~attrs children)
+        label
+        (small_list (pair (oneofl [ "p"; "q"; "r" ]) hostile_string)
+        |> map (fun l ->
+               List.sort_uniq (fun (a, _) (b, _) -> compare a b) l))
+        (if depth = 0 then map (fun s -> [ T.text s ]) hostile_string
+         else
+           oneof
+             [ map (fun s -> [ T.text s ]) hostile_string;
+               list_size (int_bound 3) (self (depth - 1)) ]))
+    2
+
+let hostile_roundtrip_prop =
+  QCheck2.Test.make ~name:"parse∘serialize identity on hostile content"
+    ~count:300 hostile_tree_gen (fun t -> T.equal t (T.parse (T.serialize t)))
+
 let () =
   Alcotest.run "xml"
     [ ( "parse",
@@ -93,4 +128,6 @@ let () =
           Alcotest.test_case "errors" `Quick test_errors;
           Alcotest.test_case "counts" `Quick test_counts;
           Alcotest.test_case "escaping" `Quick test_escape_roundtrip ] );
-      ("props", [ QCheck_alcotest.to_alcotest roundtrip_prop ]) ]
+      ( "props",
+        [ QCheck_alcotest.to_alcotest roundtrip_prop;
+          QCheck_alcotest.to_alcotest hostile_roundtrip_prop ] ) ]
