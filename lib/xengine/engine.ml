@@ -104,6 +104,9 @@ type cached = {
 
 type t = {
   mutable catalog : Store.catalog;
+      (* the resident catalog; for a lazy engine this is the skeleton
+         (empty extents) and [lazy_catalog] holds the real one *)
+  mutable lazy_catalog : Store.lazy_catalog option;
   generation : int Atomic.t;
   mutable env : Eval.env;
   doc : Xdm.Doc.t option;
@@ -210,6 +213,7 @@ let create ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
   | None -> ());
   let obs = match obs with Some o -> o | None -> Obs.create () in
   { catalog;
+    lazy_catalog = None;
     generation = Atomic.make 0;
     env = env_wrap (Store.env catalog);
     doc;
@@ -240,6 +244,7 @@ let create_lazy ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
   | None -> ());
   let obs = match obs with Some o -> o | None -> Obs.create () in
   { catalog = Store.skeleton lc;
+    lazy_catalog = Some lc;
     generation = Atomic.make 0;
     env = env_wrap (Store.lazy_env lc);
     doc;
@@ -295,10 +300,13 @@ let set_catalog_r t catalog =
   | None ->
       (* Entries of earlier generations become unreachable (the key embeds
          the generation) and age out of the LRU. A catalog swap is a new
-         storage world: the quarantine set is cleared with it. *)
+         storage world: the quarantine set is cleared with it, and a lazy
+         engine becomes an ordinary resident one — the installed catalog
+         is what [env] scans from now on. *)
       with_lock t (fun () ->
           Hashtbl.reset t.quarantined;
           t.catalog <- catalog;
+          t.lazy_catalog <- None;
           Atomic.incr t.generation;
           t.env <- t.env_wrap (Store.env catalog));
       Metrics.set_gauge t.m.m_quarantined_now 0.0;
@@ -309,19 +317,40 @@ let set_catalog t catalog =
   | Ok () -> ()
   | Error e -> raise (Xerror.Error e)
 
+(* The engine's full catalog, extents included. For a lazy engine
+   [t.catalog] is only the skeleton (empty extents), so anything that
+   needs real extents — snapshot saves, module appends — must page the
+   whole lazy catalog in first. A fault while paging surfaces as the
+   typed storage error. *)
+let materialized_catalog t =
+  match t.lazy_catalog with
+  | None -> t.catalog
+  | Some lc -> (
+      match Store.materialize_lazy lc with
+      | catalog -> catalog
+      | exception Store.Module_fault { name; reason } ->
+          raise
+            (Xerror.Error (Xerror.Storage_fault { module_name = name; reason })))
+
 let add_module t m =
-  set_catalog t { t.catalog with Store.modules = t.catalog.Store.modules @ [ m ] }
+  let catalog = materialized_catalog t in
+  set_catalog t { catalog with Store.modules = catalog.Store.modules @ [ m ] }
 
 (* --- Persistent snapshots ---------------------------------------------- *)
 
 let snapshot_error path reason = Xerror.Snapshot_error { path; reason }
 
 let save_snapshot_r t path =
+  (* [materialized_catalog], not [t.catalog]: a lazily-opened engine's
+     resident catalog is the skeleton, and serializing that would write a
+     checksum-valid snapshot full of empty extents over real data. *)
   match
-    Xpersist.Snapshot.save ?doc:t.doc ~metrics:t.obs.Obs.metrics path t.catalog
+    let catalog = materialized_catalog t in
+    Xpersist.Snapshot.save ?doc:t.doc ~metrics:t.obs.Obs.metrics path catalog
   with
   | Ok bytes -> Ok bytes
   | Error reason -> Error (snapshot_error path reason)
+  | exception Xerror.Error e -> Error e
 
 let save_snapshot t path =
   match save_snapshot_r t path with
@@ -354,12 +383,20 @@ let of_snapshot_r ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?poo
           ~metrics:obs.Obs.metrics path
       with
       | Error reason -> Error (snapshot_error path reason)
-      | Ok reader ->
-          Ok
-            (create_lazy ?cache_capacity ?constraints ?max_views ?budget
-               ?env_wrap ?pool ~obs
-               ?doc:(Xpersist.Snapshot.Reader.doc reader)
-               (Xpersist.Snapshot.Reader.lazy_catalog reader))
+      | Ok reader -> (
+          match
+            create_lazy ?cache_capacity ?constraints ?max_views ?budget
+              ?env_wrap ?pool ~obs
+              ?doc:(Xpersist.Snapshot.Reader.doc reader)
+              (Xpersist.Snapshot.Reader.lazy_catalog reader)
+          with
+          | t -> Ok t
+          | exception e ->
+              (* The engine never took ownership (catalog validation
+                 failed, say); the caller has no handle, so close the
+                 reader — and its file descriptor — here. *)
+              Xpersist.Snapshot.Reader.close reader;
+              raise e)
     else
       match Xpersist.Snapshot.load ~metrics:obs.Obs.metrics path with
       | Error reason -> Error (snapshot_error path reason)

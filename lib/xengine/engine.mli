@@ -172,8 +172,13 @@ val of_snapshot_r :
 val save_snapshot : t -> string -> int
 (** Snapshot the engine's current state (fallback document, summary,
     catalog with extents) to a file, crash-safely: temp file, fsync,
-    atomic rename. Returns the bytes written. Raises
-    [Xerror.Error (Snapshot_error _)] on failure. *)
+    atomic rename. Returns the bytes written. On a lazily-opened engine
+    ({!of_snapshot} with [lazy_extents], {!create_lazy}) the full catalog
+    is materialized first — every extent pages in through the backing
+    reader — so the snapshot always carries the real extents, never the
+    resident skeleton. Raises [Xerror.Error (Snapshot_error _)] on
+    failure, [Xerror.Error (Storage_fault _)] when paging an extent in
+    faults. *)
 
 val save_snapshot_r : t -> string -> (int, Xerror.t) Stdlib.result
 
@@ -259,6 +264,11 @@ val query_ast : t -> Xquery.Ast.expr -> xquery_result
 (** {1 Catalog management} *)
 
 val catalog : t -> Xstorage.Store.catalog
+(** The resident catalog. For a lazily-opened engine this is the
+    {!Xstorage.Store.skeleton} — summary and xams with {e empty} extents;
+    the real extents live behind the backing reader and are scanned
+    through the engine's environment. *)
+
 val summary : t -> Xsummary.Summary.t
 val env : t -> Xalgebra.Eval.env
 
@@ -266,9 +276,10 @@ val set_catalog : t -> Xstorage.Store.catalog -> unit
 (** Swap the catalog and bump the generation: cached plans for the old
     catalog can no longer be returned (the cache key embeds the
     generation) and age out of the LRU. The quarantine set is cleared —
-    a new catalog is a new storage world. The catalog is validated
-    first; raises [Xerror.Error (Catalog_invalid _)] on modules whose
-    patterns reference paths absent from the summary. *)
+    a new catalog is a new storage world, and a lazy engine becomes an
+    ordinary resident one over the installed catalog. The catalog is
+    validated first; raises [Xerror.Error (Catalog_invalid _)] on
+    modules whose patterns reference paths absent from the summary. *)
 
 val set_catalog_r :
   t -> Xstorage.Store.catalog -> (unit, Xerror.t) Stdlib.result
@@ -276,7 +287,10 @@ val set_catalog_r :
     raising; the engine keeps its current catalog on [Error]. *)
 
 val add_module : t -> Xstorage.Store.module_ -> unit
-(** Append one module (e.g. a freshly built index) — a catalog swap. *)
+(** Append one module (e.g. a freshly built index) — a catalog swap. On
+    a lazy engine the current catalog is materialized first (all extents
+    page in), so the swapped-in catalog scans real data, not the
+    skeleton. *)
 
 (** {1 Observability} *)
 

@@ -157,7 +157,17 @@ let of_json j =
   in
   let* s_candidates = field "candidates" Json.to_int j in
   let* s_cache_hit = field "cache_hit" Json.to_bool j in
-  let* s_from_cache = field "from_cache" Json.to_bool j in
+  let* s_from_cache =
+    (* EXPLAIN JSON persisted before [from_cache] existed (JSONL archives,
+       CI artifacts) lacks the field; those versions reported recalled
+       plans via [cache_hit] alone, so that is the faithful default. *)
+    match Json.member "from_cache" j with
+    | None -> Ok s_cache_hit
+    | Some v -> (
+        match Json.to_bool v with
+        | Some b -> Ok b
+        | None -> Error "field \"from_cache\" has the wrong type")
+  in
   let* s_rewrite_ms = field "rewrite_ms" Json.to_float j in
   let* s_planned_ms = field "planned_ms" Json.to_float j in
   let* s_exec_ms = field "exec_ms" Json.to_float j in

@@ -64,5 +64,10 @@ type summary = {
 val summarize : t -> summary
 val to_json : t -> Xobs.Json.t
 val to_json_string : t -> string
+
 val of_json : Xobs.Json.t -> (summary, string) Stdlib.result
+(** Accepts EXPLAIN JSON emitted before [from_cache] existed: when the
+    field is absent it defaults to [cache_hit], which is what those
+    versions meant by it. *)
+
 val of_json_string : string -> (summary, string) Stdlib.result

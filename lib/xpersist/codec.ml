@@ -8,9 +8,15 @@ module Formula = Xam.Formula
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Binio.Corrupt s)) fmt
 
-let r_count r what =
+(* [min_bytes] is the smallest possible encoding of one element; a count
+   whose minimum footprint exceeds the bytes remaining in the section is
+   corruption, caught here before [Array.init]/[List.init] would try to
+   allocate attacker-controlled amounts of memory. *)
+let r_count r ~min_bytes what =
   let n = Binio.r_int r in
   if n < 0 then corrupt "negative %s count %d" what n;
+  if n > Binio.remaining r / min_bytes then
+    corrupt "%s count %d exceeds the section" what n;
   n
 
 (* --- Node identifiers ---------------------------------------------------- *)
@@ -42,7 +48,7 @@ let r_nid r =
       let depth = Binio.r_int r in
       Nid.Pre_post { pre; post; depth }
   | 3 ->
-      let n = r_count r "dewey component" in
+      let n = r_count r ~min_bytes:8 "dewey component" in
       Nid.Dewey (List.init n (fun _ -> Binio.r_int r))
   | t -> corrupt "nid tag %d" t
 
@@ -87,7 +93,8 @@ let rec w_schema b (schema : Rel.schema) =
     schema
 
 let rec r_schema r : Rel.schema =
-  let n = r_count r "column" in
+  (* name length prefix + type tag *)
+  let n = r_count r ~min_bytes:9 "column" in
   List.init n (fun _ ->
       let cname = Binio.r_str r in
       match Binio.r_u8 r with
@@ -109,12 +116,13 @@ let rec w_tuple b (t : Rel.tuple) =
     t
 
 let rec r_tuple r : Rel.tuple =
-  let n = r_count r "field" in
+  (* field tag + value tag (Null) *)
+  let n = r_count r ~min_bytes:2 "field" in
   Array.init n (fun _ ->
       match Binio.r_u8 r with
       | 0 -> Rel.A (r_value r)
       | 1 ->
-          let k = r_count r "nested tuple" in
+          let k = r_count r ~min_bytes:8 "nested tuple" in
           Rel.N (List.init k (fun _ -> r_tuple r))
       | t -> corrupt "field tag %d" t)
 
@@ -140,7 +148,7 @@ let w_rel b (rel : Rel.t) =
 
 let r_rel r =
   let schema = r_schema r in
-  let n = r_count r "tuple" in
+  let n = r_count r ~min_bytes:8 "tuple" in
   let tuples = List.init n (fun _ -> r_tuple r) in
   List.iter (check_tuple schema) tuples;
   Rel.make schema tuples
@@ -229,7 +237,8 @@ let rec w_tree b (t : Pattern.tree) =
 let rec r_tree r : Pattern.tree =
   let node = r_node r in
   let edge = r_edge r in
-  let n = r_count r "pattern child" in
+  (* node (26) + edge (2) + child count (8) *)
+  let n = r_count r ~min_bytes:36 "pattern child" in
   { Pattern.node; edge; children = List.init n (fun _ -> r_tree r) }
 
 let w_pattern b (p : Pattern.t) =
@@ -239,7 +248,7 @@ let w_pattern b (p : Pattern.t) =
 
 let r_pattern r : Pattern.t =
   let ordered = Binio.r_bool r in
-  let n = r_count r "pattern root" in
+  let n = r_count r ~min_bytes:36 "pattern root" in
   { Pattern.ordered; roots = List.init n (fun _ -> r_tree r) }
 
 (* --- Path summaries ------------------------------------------------------ *)
@@ -257,7 +266,8 @@ let w_summary b s =
     rows
 
 let r_summary r =
-  let n = r_count r "summary row" in
+  (* label prefix + parent + cardinality tag + count *)
+  let n = r_count r ~min_bytes:25 "summary row" in
   let rows =
     Array.init n (fun _ ->
         let label = Binio.r_str r in
@@ -295,7 +305,8 @@ let w_doc b d =
 
 let r_doc r =
   let name = Binio.r_str r in
-  let n = r_count r "document node" in
+  (* five ints + kind tag + two string prefixes *)
+  let n = r_count r ~min_bytes:57 "document node" in
   let packed =
     Array.init n (fun _ ->
         let p_post = Binio.r_int r in

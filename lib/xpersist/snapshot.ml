@@ -115,6 +115,12 @@ let guard f =
       Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
   | Sys_error e -> Error e
   | End_of_file -> Error "unexpected end of file"
+  (* Backstop for hostile-but-CRC-valid data the structural bounds above
+     the decoders did not anticipate: a clean [Error] is the contract,
+     never an escaped exception. *)
+  | Invalid_argument e -> Error (Printf.sprintf "malformed snapshot: %s" e)
+  | Out_of_memory -> Error "snapshot decode exhausted memory"
+  | Stack_overflow -> Error "snapshot decode over-nested"
 
 (* --- Saving -------------------------------------------------------------- *)
 
@@ -169,7 +175,10 @@ let parse_fixed_header ~file_size data =
   if v <> version then corrupt "unsupported snapshot version %d" v;
   let toc_len = Binio.r_int hr in
   let toc_crc = Binio.r_int hr in
-  if toc_len < 0 || header_len + toc_len > file_size then corrupt "TOC overruns the file";
+  (* Subtraction, not [header_len + toc_len]: a hostile length near
+     [max_int] would overflow the sum negative and slip past the bound. *)
+  if toc_len < 0 || toc_len > file_size - header_len then
+    corrupt "TOC overruns the file";
   (toc_len, toc_crc)
 
 (* [toc] is the raw TOC slice, already CRC-verified by the caller. *)
@@ -177,13 +186,25 @@ let parse_entries ~file_size toc =
   let tr = Binio.reader toc in
   let n = Binio.r_int tr in
   if n < 0 then corrupt "negative section count %d" n;
+  (* Each entry encodes at least 32 bytes (name length + three ints), so a
+     count the TOC cannot physically hold is corruption — checked before
+     allocating anything proportional to it. *)
+  if n > Binio.remaining tr / 32 then
+    corrupt "section count %d exceeds the TOC" n;
   let entries =
     List.init n (fun _ ->
         let e_name = Binio.r_str tr in
         let e_off = Binio.r_int tr in
         let e_len = Binio.r_int tr in
         let e_crc = Binio.r_int tr in
-        if e_len < 0 || e_off < header_len + String.length toc || e_off + e_len > file_size
+        (* Bounds via subtraction: [e_off + e_len] can overflow negative on
+           hostile input and bypass a [> file_size] check, after which the
+           positioned read would try to allocate [e_len] bytes. *)
+        if
+          e_len < 0
+          || e_off < header_len + String.length toc
+          || e_off > file_size
+          || e_len > file_size - e_off
         then corrupt "section %S [%d, +%d) outside the file" e_name e_off e_len;
         { e_name; e_off; e_len; e_crc })
   in
@@ -392,7 +413,13 @@ module Reader = struct
                 rel
             | exception Binio.Corrupt reason -> module_fault name reason
             | exception Unix.Unix_error (err, fn, _) ->
-                module_fault name (Printf.sprintf "%s: %s" fn (Unix.error_message err))))
+                module_fault name (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+            | exception Invalid_argument reason ->
+                module_fault name ("malformed extent: " ^ reason)
+            | exception Out_of_memory ->
+                module_fault name "extent decode exhausted memory"
+            | exception Stack_overflow ->
+                module_fault name "extent decode over-nested"))
 
   let lazy_catalog t =
     { Store.lc_summary = t.rd_summary;

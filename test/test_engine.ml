@@ -115,7 +115,26 @@ let test_explain_from_cache () =
   Alcotest.(check bool) "JSON round-trip is exact" true
     (roundtrip r2.Engine.explain = Explain.summarize r2.Engine.explain);
   Alcotest.(check bool) "pretty EXPLAIN names the recall" true
-    (contains (Explain.to_string r2.Engine.explain) "recalled from cache")
+    (contains (Explain.to_string r2.Engine.explain) "recalled from cache");
+  (* EXPLAIN JSON persisted before [from_cache] existed (JSONL archives,
+     CI artifacts) must still parse, the field defaulting to [cache_hit]. *)
+  let legacy (x : Explain.t) =
+    match Explain.to_json x with
+    | Xobs.Json.Obj fields ->
+        Xobs.Json.Obj
+          (List.filter (fun (k, _) -> not (String.equal k "from_cache")) fields)
+    | j -> j
+  in
+  let parse_legacy x =
+    match Explain.of_json (legacy x) with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "legacy EXPLAIN JSON rejected: %s" m
+  in
+  Alcotest.(check bool) "legacy JSON defaults from_cache to cache_hit=true" true
+    (parse_legacy r2.Engine.explain).Explain.s_from_cache;
+  Alcotest.(check bool) "legacy JSON defaults from_cache to cache_hit=false"
+    false
+    (parse_legacy r1.Engine.explain).Explain.s_from_cache
 
 (* --- Robustness: typed errors, budgets, quarantine ----------------------- *)
 

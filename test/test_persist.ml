@@ -437,6 +437,116 @@ let test_lazy_corrupt_extent_quarantined () =
                   | exception exn ->
                       Alcotest.failf "query raised %s" (Printexc.to_string exn)))))
 
+(* A CRC-valid file can still carry hostile TOC geometry: offsets and
+   lengths chosen so [e_off + e_len] overflows OCaml's int and wraps
+   negative, slipping past a naive [> file_size] bound into an enormous
+   allocation. Patch a real snapshot's first TOC entry, re-checksum the
+   TOC so it reaches the bounds check, and require a clean [Error]. *)
+
+let get_int data off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code data.[off + i]))
+  done;
+  Int64.to_int !v
+
+let put_int b off v =
+  let v = Int64.of_int v in
+  for i = 0 to 7 do
+    Bytes.set b (off + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+  done
+
+let test_hostile_toc_geometry () =
+  let doc = bib () in
+  let cat = bib_catalog doc in
+  with_snapshot ~doc cat (fun path ->
+      let data = read_file path in
+      (* Layout: magic (8), version (8), toc_len (8), toc_crc (8), TOC.
+         First TOC entry: name length (8), name, off (8), len (8), crc. *)
+      let toc_start = 32 in
+      let toc_len = get_int data 16 in
+      let name_len = get_int data (toc_start + 8) in
+      let off_field = toc_start + 8 + 8 + name_len in
+      let len_field = off_field + 8 in
+      let patched field v =
+        let b = Bytes.of_string data in
+        put_int b field v;
+        put_int b 24 (Binio.crc32 ~pos:toc_start ~len:toc_len (Bytes.to_string b));
+        Bytes.to_string b
+      in
+      let reject what hostile =
+        let p = tmp_path "hostile" in
+        write_file p hostile;
+        Fun.protect
+          ~finally:(fun () -> Sys.remove p)
+          (fun () ->
+            Alcotest.(check bool) (what ^ " rejected by load") true
+              (match Snapshot.load p with
+              | Error _ -> true
+              | Ok _ -> false
+              | exception e ->
+                  Alcotest.failf "load raised %s" (Printexc.to_string e));
+            Alcotest.(check bool) (what ^ " rejected by reader") true
+              (match Snapshot.Reader.open_ p with
+              | Error _ -> true
+              | Ok r ->
+                  Snapshot.Reader.close r;
+                  false
+              | exception e ->
+                  Alcotest.failf "reader raised %s" (Printexc.to_string e)))
+      in
+      reject "overflowing section offset" (patched off_field (max_int - 4));
+      reject "overflowing section length" (patched len_field (max_int - 64));
+      reject "negative section offset" (patched off_field (-8)))
+
+let test_hostile_counts () =
+  (* Element counts inside a CRC-valid section must be bounded against the
+     bytes actually present before any count-sized allocation happens:
+     the decode fails with [Binio.Corrupt], never [Invalid_argument] from
+     [Array.init] and never an attacker-sized allocation. *)
+  let corrupt_only what f =
+    Alcotest.(check bool) what true
+      (match f () with
+      | exception Binio.Corrupt _ -> true
+      | exception e ->
+          Alcotest.failf "%s raised %s" what (Printexc.to_string e)
+      | _ -> false)
+  in
+  let rel_bytes =
+    let w = Binio.writer () in
+    Binio.w_int w 1;
+    Binio.w_str w "c";
+    Binio.w_u8 w 0;
+    (* one atomic column, then an absurd tuple count *)
+    Binio.w_int w max_int;
+    Binio.contents w
+  in
+  corrupt_only "huge tuple count" (fun () -> Codec.r_rel (Binio.reader rel_bytes));
+  let summary_bytes =
+    let w = Binio.writer () in
+    Binio.w_int w (max_int / 8);
+    Binio.contents w
+  in
+  corrupt_only "huge summary row count" (fun () ->
+      Codec.r_summary (Binio.reader summary_bytes));
+  let doc_bytes =
+    let w = Binio.writer () in
+    Binio.w_str w "d";
+    Binio.w_int w (max_int / 2);
+    Binio.contents w
+  in
+  corrupt_only "huge document node count" (fun () ->
+      Codec.r_doc (Binio.reader doc_bytes));
+  let dewey_bytes =
+    let w = Binio.writer () in
+    Binio.w_u8 w 3;
+    Binio.w_int w max_int;
+    Binio.contents w
+  in
+  corrupt_only "huge dewey component count" (fun () ->
+      Codec.r_nid (Binio.reader dewey_bytes))
+
 (* --- Engine entry points ------------------------------------------------- *)
 
 let specs_of doc =
@@ -515,6 +625,73 @@ let test_engine_hot_swap () =
           Alcotest.(check bool) "catalog survived the failed load" true
             (Rel.equal_unordered expected r'.Engine.rel)))
 
+let test_lazy_engine_save () =
+  (* Regression: saving from a lazily-opened engine used to serialize the
+     resident skeleton — a checksum-valid snapshot full of empty extents,
+     silently destroying the data. The save must materialize through the
+     backing reader and round-trip losslessly. *)
+  let doc = bib () in
+  let cat = bib_catalog doc in
+  with_snapshot ~doc cat (fun path ->
+      let lazy_ = Engine.of_snapshot ~lazy_extents:true ~extent_cache:4 path in
+      let resaved = tmp_path "lazysave" in
+      let bytes = Engine.save_snapshot lazy_ resaved in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove resaved)
+        (fun () ->
+          Alcotest.(check bool) "resaved snapshot has substance" true (bytes > 64);
+          match Snapshot.load resaved with
+          | Error e -> Alcotest.failf "reopening the lazy save failed: %s" e
+          | Ok (d, cat') ->
+              Alcotest.(check bool) "document survives a lazy save" true
+                (match d with Some d -> doc_equal d doc | None -> false);
+              Alcotest.(check bool) "lazy save keeps the real extents" true
+                (catalog_equal cat cat')))
+
+let test_lazy_engine_add_module () =
+  (* Regression: a catalog swap on a lazy engine (add_module) used to
+     rebuild the environment from the skeleton, after which every query
+     scanned empty extents. The swap must materialize the paged extents
+     first. *)
+  let doc = bib () in
+  let cat = bib_catalog doc in
+  let pat =
+    P.make
+      [ P.v "book" ~node:(P.mk_node ~id:Xdm.Nid.Structural "book")
+          [ P.v ~axis:P.Child "title" ~node:(P.mk_node ~value:true "title") [] ] ]
+  in
+  let base = Engine.of_doc doc (specs_of doc) in
+  let expected = (Engine.query base pat).Engine.rel in
+  Alcotest.(check bool) "the workload answer is non-empty" true
+    (Rel.cardinality expected > 0);
+  with_snapshot ~doc cat (fun path ->
+      let e = Engine.of_snapshot ~lazy_extents:true path in
+      Engine.add_module e (Store.materialize doc "extra_book_title" pat);
+      let r = Engine.query e pat in
+      Alcotest.(check bool) "queries scan real extents after the swap" true
+        (Rel.equal_unordered expected r.Engine.rel);
+      (* And a save after the swap still carries every original extent. *)
+      let resaved = tmp_path "swapsave" in
+      ignore (Engine.save_snapshot e resaved);
+      Fun.protect
+        ~finally:(fun () -> Sys.remove resaved)
+        (fun () ->
+          match Snapshot.load resaved with
+          | Error err -> Alcotest.failf "reopen failed: %s" err
+          | Ok (_, cat') ->
+              Alcotest.(check int) "all modules present plus the new one"
+                (List.length cat.Store.modules + 1)
+                (List.length cat'.Store.modules);
+              Alcotest.(check bool) "no extent was emptied by the swap" true
+                (List.for_all
+                   (fun (m : Store.module_) ->
+                     List.exists
+                       (fun (m' : Store.module_) ->
+                         String.equal m.Store.name m'.Store.name
+                         && Rel.equal_unordered m.Store.extent m'.Store.extent)
+                       cat'.Store.modules)
+                   cat.Store.modules)))
+
 let test_persist_metrics () =
   let doc = bib () in
   let cat = bib_catalog doc in
@@ -583,10 +760,18 @@ let () =
             test_foreign_files;
           Alcotest.test_case "missing file" `Quick test_missing_file;
           Alcotest.test_case "corrupt lazy extent is quarantined" `Quick
-            test_lazy_corrupt_extent_quarantined ] );
+            test_lazy_corrupt_extent_quarantined;
+          Alcotest.test_case "hostile TOC geometry" `Quick
+            test_hostile_toc_geometry;
+          Alcotest.test_case "hostile element counts" `Quick
+            test_hostile_counts ] );
       ( "engine",
         [ Alcotest.test_case "save / reopen equivalence" `Quick
             test_engine_roundtrip;
           Alcotest.test_case "hot-swap via load_snapshot" `Quick
             test_engine_hot_swap;
+          Alcotest.test_case "lazy engine saves real extents" `Quick
+            test_lazy_engine_save;
+          Alcotest.test_case "lazy engine add_module materializes" `Quick
+            test_lazy_engine_add_module;
           Alcotest.test_case "persist metrics" `Quick test_persist_metrics ] ) ]
