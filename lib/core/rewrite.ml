@@ -10,6 +10,7 @@ type rewriting = {
   plan : Logical.t;
   members : (Pattern.t * int array) list;
   views_used : string list;
+  scan_paths : (string * (int * int list) list) list;
 }
 
 (* --- Query-side indexing -------------------------------------------------- *)
@@ -1025,6 +1026,133 @@ let cartesian (lists : int array list array) : int array array list =
     [ [||] ] lists
   |> List.map (fun (a : int array array) -> a)
 
+(* Whether one combination of view embeddings survives exactly the checks
+   the executed plan mirrors at tuple level: stored-label selections,
+   join-predicate consistency, and validity of every derived ID source.
+   Deliberately NOT [member_of]: its later rejections (optional-region
+   overlap, anchor conflicts, permutation checks) are about merged-pattern
+   expressibility, not about which tuple combinations can join — a combo
+   they reject may still produce answers at runtime, so pruning storage
+   from [member_of] survivors would be unsound. *)
+let combo_consistent qi s (ms : vmatch array) conns (embs : int array array) =
+  try
+    let image i nid = embs.(i).(nid) in
+    let src_path (src : id_src) =
+      let rec up p k = if k = 0 then p else up (Summary.parent s p) (k - 1) in
+      let p = up (image src.mi src.vn) src.levels in
+      if p < 0 then raise Reject else p
+    in
+    List.iter
+      (fun (i, vn, qlabel) ->
+        if not (String.equal (Summary.label s (image i vn)) qlabel) then raise Reject)
+      (label_selects qi ms);
+    List.iter
+      (fun c ->
+        match c with
+        | Conn_eq (s1, s2) -> if src_path s1 <> src_path s2 then raise Reject
+        | Conn_struct (anc, desc, axis) ->
+            let pa = src_path anc and pd = src_path desc in
+            let ok =
+              match axis with
+              | Pattern.Child -> Summary.is_parent s pa pd
+              | Pattern.Descendant -> Summary.is_ancestor s pa pd
+            in
+            if not ok then raise Reject)
+      conns;
+    true
+  with Reject -> false
+
+(* The summary paths each scanned view's nodes can take in any tuple
+   combination contributing to the plan's answer — what storage-level
+   partition pruning is allowed to restrict a scan to. Only fully
+   conjunctive view patterns are eligible: every tuple of such a view's
+   extent arises from a total document embedding whose summary image is
+   one of [Canonical.embeddings], so the union over consistent combos
+   covers every contributing tuple. Views with optional or nested edges
+   have partially-embedded tuples the enumeration does not see — they
+   stay unconstrained (no entry). A view scanned several times in the
+   plan resolves through one module name, so same-name entries merge:
+   a node stays constrained only if every scan constrains it, and its
+   allowed paths union. *)
+let scan_paths_of qi s (ms : vmatch array) conns emb_lists =
+  let consistent = cartesian emb_lists |> List.filter (combo_consistent qi s ms conns) in
+  if consistent = [] then []
+  else
+    let entries_of i =
+      if not (Pattern.is_conjunctive ms.(i).view.vpattern) then None
+      else
+        let width = Array.length (List.hd consistent).(i) in
+        Some
+          (List.filter_map
+             (fun nid ->
+               if List.for_all (fun combo -> combo.(i).(nid) >= 0) consistent then
+                 Some
+                   ( nid,
+                     List.sort_uniq Int.compare
+                       (List.map (fun combo -> combo.(i).(nid)) consistent) )
+               else None)
+             (List.init width Fun.id))
+    in
+    let merge_entries e1 e2 =
+      List.filter_map
+        (fun (nid, ps1) ->
+          match List.assoc_opt nid e2 with
+          | Some ps2 -> Some (nid, List.sort_uniq Int.compare (ps1 @ ps2))
+          | None -> None)
+        e1
+    in
+    let merged : (string, (int * int list) list option) Hashtbl.t = Hashtbl.create 4 in
+    Array.iteri
+      (fun i (m : vmatch) ->
+        let name = m.view.vname in
+        let e = entries_of i in
+        let combined =
+          match (Hashtbl.find_opt merged name, e) with
+          | None, e -> e
+          | Some None, _ | Some _, None -> None
+          | Some (Some e1), Some e2 -> Some (merge_entries e1 e2)
+        in
+        Hashtbl.replace merged name combined)
+      ms;
+    Hashtbl.fold
+      (fun name e acc ->
+        match e with Some (_ :: _ as e) -> (name, e) :: acc | _ -> acc)
+      merged []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Merge the per-branch scan-path constraints of a union plan: every
+   branch scans the same module name through the same env, so a name's
+   nodes stay constrained only when every branch using it constrains
+   them, with allowed paths unioned. A branch using the name without
+   constraints drops it. *)
+let union_scan_paths (parts : rewriting list) =
+  let names =
+    List.sort_uniq String.compare (List.concat_map (fun r -> r.views_used) parts)
+  in
+  List.filter_map
+    (fun name ->
+      let users = List.filter (fun r -> List.mem name r.views_used) parts in
+      let entries = List.map (fun r -> List.assoc_opt name r.scan_paths) users in
+      if List.exists Option.is_none entries then None
+      else
+        match List.map Option.get entries with
+        | [] -> None
+        | e :: rest ->
+            let merged =
+              List.fold_left
+                (fun acc e2 ->
+                  List.filter_map
+                    (fun (nid, ps1) ->
+                      match List.assoc_opt nid e2 with
+                      | Some ps2 ->
+                          Some (nid, List.sort_uniq Int.compare (ps1 @ ps2))
+                      | None -> None)
+                    acc)
+                e rest
+            in
+            if merged = [] then None else Some (name, merged))
+    names
+
 let take n l = List.filteri (fun i _ -> i < n) l
 
 (* Specialize a conjunctive query to one of its canonical-model entries:
@@ -1161,7 +1289,8 @@ let rec rewrite ?(constraints = true) ?(max_views = 3) ?(max_matches = 64)
                   Some
                     { plan;
                       members;
-                      views_used = List.map (fun m -> m.view.vname) candidate }
+                      views_used = List.map (fun m -> m.view.vname) candidate;
+                      scan_paths = scan_paths_of qi s ms conns emb_lists }
                 else None)
   in
   (* The generate-and-test loop is embarrassingly parallel: each candidate
@@ -1312,7 +1441,8 @@ and union_rewritings_exn ~constraints ~max_views ~max_matches ~parallel ?metrics
                 members;
                 views_used =
                   List.sort_uniq String.compare
-                    (List.concat_map (fun ((r : rewriting), _) -> r.views_used) parts) } ]
+                    (List.concat_map (fun ((r : rewriting), _) -> r.views_used) parts);
+                scan_paths = union_scan_paths (List.map fst parts) } ]
           else []
 
 let best = function [] -> None | r :: _ -> Some r

@@ -38,6 +38,13 @@ type rewriting = {
       (** the plan's S-equivalent pattern union, with return-node
           permutations relative to the query *)
   views_used : string list;
+  scan_paths : (string * (int * int list) list) list;
+      (** per scanned view, per view-pattern nid: the summary paths that
+          node's bindings can take in any tuple combination contributing
+          to the answer — what path-partitioned storage may prune a scan
+          to. Only fully conjunctive views appear (their extents are
+          exactly covered by the canonical embedding enumeration); an
+          absent view name or nid means the scan is unconstrained. *)
 }
 
 val rewrite :

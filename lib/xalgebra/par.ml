@@ -3,10 +3,15 @@ type t = {
   chunk_min : int;
   verify : bool;
   map : 'a 'b. ('a -> 'b) -> 'a array -> 'b array;
+  tasks : 'a 'b. ('a -> 'b) -> 'a array -> 'b array;
 }
 
 let sequential =
-  { degree = 1; chunk_min = max_int; verify = false; map = (fun f a -> Array.map f a) }
+  { degree = 1;
+    chunk_min = max_int;
+    verify = false;
+    map = (fun f a -> Array.map f a);
+    tasks = (fun f a -> Array.map f a) }
 
 let map_list p f l = Array.to_list (p.map f (Array.of_list l))
 

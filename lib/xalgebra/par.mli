@@ -21,6 +21,12 @@ type t = {
       (** order-preserving map: result slot [i] holds [f arr.(i)].
           Implementations must be safe to call re-entrantly (a nested
           call may simply run sequentially). *)
+  tasks : 'a 'b. ('a -> 'b) -> 'a array -> 'b array;
+      (** like {!map} but each element is one scheduling unit — one
+          claim per task, a single dispatch and a single completion
+          barrier, no internal re-chunking. For coarse, pre-partitioned
+          work (one task per storage partition) where [map]'s
+          oversubscribed chunking only adds claim traffic. *)
 }
 
 val sequential : t

@@ -58,42 +58,50 @@ let group_runs (arr : (Nid.t * Rel.tuple) array) : (Nid.t * Rel.tuple list) arra
     arr;
   Array.of_list (List.rev_map (fun (id, ts) -> (id, List.rev ts)) !out)
 
-let stack_tree_desc ~axis (ancs : (Nid.t * Rel.tuple) array)
-    (descs : (Nid.t * Rel.tuple) array) : (Rel.tuple * Rel.tuple) list =
+(* Range form: join the descendants [descs.(lo) .. descs.(hi-1)] against
+   the whole ancestor array. Per-descendant output depends only on the
+   ancestor array and the descendant itself, so partition-parallel
+   callers pass disjoint ranges of the shared array — no copying — and
+   concatenate. [stack_tree_desc] is the full range. *)
+let stack_tree_desc_range ~axis (ancs : (Nid.t * Rel.tuple) array)
+    (descs : (Nid.t * Rel.tuple) array) lo hi : (Rel.tuple * Rel.tuple) list =
   let ancs = group_runs ancs in
   let out = ref [] in
   let stack = ref [] in
   let na = Array.length ancs in
   let ai = ref 0 in
-  Array.iter
-    (fun (did, dt) ->
-      (* Push every ancestor-side node starting before [did], maintaining
-         the nesting-chain invariant. *)
-      while !ai < na && strictly_before (fst ancs.(!ai)) did do
-        let aid, ats = ancs.(!ai) in
-        incr ai;
-        (* Pop stack entries that do not contain the new node. *)
-        while (match !stack with (top, _) :: _ -> not (is_anc top aid) | [] -> false) do
-          stack := List.tl !stack
-        done;
-        stack := (aid, ats) :: !stack
-      done;
-      (* Pop entries whose span ended before [did]. *)
-      while (match !stack with (top, _) :: _ -> not (is_anc top did) | [] -> false) do
+  for di = lo to hi - 1 do
+    let did, dt = descs.(di) in
+    (* Push every ancestor-side node starting before [did], maintaining
+       the nesting-chain invariant. *)
+    while !ai < na && strictly_before (fst ancs.(!ai)) did do
+      let aid, ats = ancs.(!ai) in
+      incr ai;
+      (* Pop stack entries that do not contain the new node. *)
+      while (match !stack with (top, _) :: _ -> not (is_anc top aid) | [] -> false) do
         stack := List.tl !stack
       done;
-      (* Every remaining stack entry is an ancestor of [did]; emit bottom-up
-         or filtered to parents on the Child axis. *)
-      List.iter
-        (fun (aid, ats) ->
-          if axis = Logical.Descendant || axis_pair axis aid did then
-            List.iter (fun at -> out := (at, dt) :: !out) ats)
-        !stack)
-    descs;
+      stack := (aid, ats) :: !stack
+    done;
+    (* Pop entries whose span ended before [did]. *)
+    while (match !stack with (top, _) :: _ -> not (is_anc top did) | [] -> false) do
+      stack := List.tl !stack
+    done;
+    (* Every remaining stack entry is an ancestor of [did]; emit bottom-up
+       or filtered to parents on the Child axis. *)
+    List.iter
+      (fun (aid, ats) ->
+        if axis = Logical.Descendant || axis_pair axis aid did then
+          List.iter (fun at -> out := (at, dt) :: !out) ats)
+      !stack
+  done;
   List.rev !out
 
-let stack_tree_anc ~axis (ancs : (Nid.t * Rel.tuple) array)
-    (descs : (Nid.t * Rel.tuple) array) : (Rel.tuple * Rel.tuple) list =
+let stack_tree_desc ~axis ancs descs =
+  stack_tree_desc_range ~axis ancs descs 0 (Array.length descs)
+
+let stack_tree_anc_range ~axis (ancs : (Nid.t * Rel.tuple) array)
+    (descs : (Nid.t * Rel.tuple) array) lo hi : (Rel.tuple * Rel.tuple) list =
   (* Each stack entry carries a self-list (its own pairs) and an
      inherit-list (completed pairs of deeper popped entries, which must be
      output before its own). Output is produced only when an entry leaves
@@ -119,29 +127,32 @@ let stack_tree_anc ~axis (ancs : (Nid.t * Rel.tuple) array)
   in
   let na = Array.length ancs in
   let ai = ref 0 in
-  Array.iter
-    (fun (did, dt) ->
-      while !ai < na && strictly_before (fst ancs.(!ai)) did do
-        let aid, ats = ancs.(!ai) in
-        incr ai;
-        while (match !stack with (top, _, _, _) :: _ -> not (is_anc top aid) | [] -> false) do
-          pop ()
-        done;
-        stack := (aid, ats, ref [], ref []) :: !stack
-      done;
-      while (match !stack with (top, _, _, _) :: _ -> not (is_anc top did) | [] -> false) do
+  for di = lo to hi - 1 do
+    let did, dt = descs.(di) in
+    while !ai < na && strictly_before (fst ancs.(!ai)) did do
+      let aid, ats = ancs.(!ai) in
+      incr ai;
+      while (match !stack with (top, _, _, _) :: _ -> not (is_anc top aid) | [] -> false) do
         pop ()
       done;
-      List.iter
-        (fun (aid, ats, self, _) ->
-          if axis = Logical.Descendant || axis_pair axis aid did then
-            List.iter (fun at -> self := (at, dt) :: !self) ats)
-        !stack)
-    descs;
+      stack := (aid, ats, ref [], ref []) :: !stack
+    done;
+    while (match !stack with (top, _, _, _) :: _ -> not (is_anc top did) | [] -> false) do
+      pop ()
+    done;
+    List.iter
+      (fun (aid, ats, self, _) ->
+        if axis = Logical.Descendant || axis_pair axis aid did then
+          List.iter (fun at -> self := (at, dt) :: !self) ats)
+      !stack
+  done;
   while !stack <> [] do
     pop ()
   done;
   List.rev !out
+
+let stack_tree_anc ~axis ancs descs =
+  stack_tree_anc_range ~axis ancs descs 0 (Array.length descs)
 
 (* --- Partition-parallel structural join ------------------------------------ *)
 
@@ -149,23 +160,26 @@ let stack_tree_anc ~axis (ancs : (Nid.t * Rel.tuple) array)
    the pairs emitted for a descendant [d] depend only on the ancestor
    array (every ancestor starting before [d] is replayed from index 0)
    and on [d] itself — never on the other descendants. Splitting the
-   descendant array into contiguous document-order chunks and
-   concatenating the per-chunk outputs therefore reproduces the
+   descendant array into contiguous document-order ranges and
+   concatenating the per-range outputs therefore reproduces the
    sequential output {e exactly}, pair for pair, because sequential
-   emission is grouped by descendant in array order. *)
-let parallel_pairs join (par : Par.t) ~axis ancs descs =
+   emission is grouped by descendant in array order.
+
+   Each range is one scheduling unit ([Par.tasks]): at most [degree]
+   domain-sized partitions, dispatched once with a single completion
+   barrier — no per-chunk claim traffic, and the shared descendant array
+   is read in place (no [Array.sub] copies). *)
+let parallel_pairs join_range (par : Par.t) ~axis ancs descs =
   let n = Array.length descs in
-  if par.Par.degree <= 1 || n < par.Par.chunk_min then join ~axis ancs descs
+  if par.Par.degree <= 1 || n < par.Par.chunk_min then join_range ~axis ancs descs 0 n
   else begin
     let k = min par.Par.degree (max 1 (n / max 1 (par.Par.chunk_min / 2))) in
     let bounds = Array.init k (fun i -> (i * n / k, (i + 1) * n / k)) in
     let parts =
-      par.Par.map
-        (fun (lo, hi) -> join ~axis ancs (Array.sub descs lo (hi - lo)))
-        bounds
+      par.Par.tasks (fun (lo, hi) -> join_range ~axis ancs descs lo hi) bounds
     in
     let pairs = List.concat (Array.to_list parts) in
-    if par.Par.verify && pairs <> join ~axis ancs descs then
+    if par.Par.verify && pairs <> join_range ~axis ancs descs 0 n then
       invalid_arg "Physical: parallel structural join diverged from sequential";
     pairs
   end
@@ -558,7 +572,7 @@ and struct_join_stream ctx kind axis lpath rpath left right : t =
         in
         let ancs = prepare pl li lpath in
         let descs = prepare pr ri rpath in
-        let pairs = parallel_pairs stack_tree_desc ctx.par ~axis:axis' ancs descs in
+        let pairs = parallel_pairs stack_tree_desc_range ctx.par ~axis:axis' ancs descs in
         of_list (List.map (fun (a, d) -> Rel.concat_tuples a d) pairs)) }
 
 let compile ?(parallel = Par.sequential) env plan =

@@ -8,6 +8,7 @@ module Physical = Xalgebra.Physical
 module Value = Xalgebra.Value
 module Store = Xstorage.Store
 module Cost = Xstorage.Cost
+module Lru = Xobs.Lru
 module Obs = Xobs.Obs
 module Metrics = Xobs.Metrics
 module Trace = Xobs.Trace
@@ -108,6 +109,11 @@ type t = {
          (empty extents) and [lazy_catalog] holds the real one *)
   mutable lazy_catalog : Store.lazy_catalog option;
   generation : int Atomic.t;
+  mutable base_env : Eval.env;
+      (* the unwrapped storage env; [env = env_wrap base_env]. Kept so
+         per-query partition-pruned overrides can fall through to storage
+         and STILL be re-wrapped — fault injection must see pruned scans
+         exactly like ordinary ones *)
   mutable env : Eval.env;
   doc : Xdm.Doc.t option;
   cache : cached Lru.t;
@@ -212,10 +218,12 @@ let create ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
   | Some e -> raise (Xerror.Error e)
   | None -> ());
   let obs = match obs with Some o -> o | None -> Obs.create () in
+  let base_env = Store.env catalog in
   { catalog;
     lazy_catalog = None;
     generation = Atomic.make 0;
-    env = env_wrap (Store.env catalog);
+    base_env;
+    env = env_wrap base_env;
     doc;
     cache = Lru.create ~metrics:obs.Obs.metrics cache_capacity;
     lock = Mutex.create ();
@@ -243,10 +251,12 @@ let create_lazy ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
   | Some e -> raise (Xerror.Error e)
   | None -> ());
   let obs = match obs with Some o -> o | None -> Obs.create () in
+  let base_env = Store.lazy_env lc in
   { catalog = Store.skeleton lc;
     lazy_catalog = Some lc;
     generation = Atomic.make 0;
-    env = env_wrap (Store.lazy_env lc);
+    base_env;
+    env = env_wrap base_env;
     doc;
     cache = Lru.create ~metrics:obs.Obs.metrics cache_capacity;
     lock = Mutex.create ();
@@ -308,7 +318,8 @@ let set_catalog_r t catalog =
           t.catalog <- catalog;
           t.lazy_catalog <- None;
           Atomic.incr t.generation;
-          t.env <- t.env_wrap (Store.env catalog));
+          t.base_env <- Store.env catalog;
+          t.env <- t.env_wrap t.base_env);
       Metrics.set_gauge t.m.m_quarantined_now 0.0;
       Ok ()
 
@@ -521,13 +532,83 @@ let normalize_schema pattern (rel : Rel.t) =
   then { rel with Rel.schema = List.map Rel.atom expected }
   else rel
 
+(* --- Partition pruning per executed plan ----------------------------------
+   The rewriting's [scan_paths] says which summary paths each scanned
+   view's partitioning node can take; crossing that with the catalog's
+   partition directories yields, per module, the partitions this plan
+   needs. Scans of unconstrained or undirectoried modules are untouched. *)
+
+let partition_dirs t name =
+  match t.lazy_catalog with
+  | Some lc ->
+      List.find_map
+        (fun (lm : Store.lazy_module) ->
+          if String.equal lm.Store.lm_name name then
+            Option.map
+              (fun (lp : Store.lazy_parts) -> (lp.Store.lpt_nid, lp.Store.lpt_paths))
+              lm.Store.lm_parts
+          else None)
+        lc.Store.lc_modules
+  | None ->
+      List.find_map
+        (fun (m : Store.module_) ->
+          if String.equal m.Store.name name then
+            Option.map
+              (fun (p : Store.parts) -> (p.Store.pt_nid, Store.partition_paths p))
+              m.Store.parts
+          else None)
+        t.catalog.Store.modules
+
+let prune_for t (r : Rewrite.rewriting) =
+  Store.plan_pruning ~views_used:r.Rewrite.views_used ~parts_of:(partition_dirs t)
+    ~scan_paths:r.Rewrite.scan_paths
+
+(* An env serving pruned extents for the overridden modules and falling
+   through to storage otherwise — re-wrapped with [env_wrap], so fault
+   injection (or any other storage wrapper) sees pruned scans exactly
+   like whole-extent ones. Assembly is lazy: a plan the executor never
+   gets to scan (budget stop, earlier fault) pages nothing in. *)
+let pruned_env t overrides =
+  if overrides = [] then t.env
+  else begin
+    let tbl = Hashtbl.create (List.length overrides) in
+    List.iter
+      (fun (name, allowed) ->
+        let rel =
+          lazy
+            (match t.lazy_catalog with
+            | Some lc ->
+                Option.map
+                  (fun lm -> Store.pruned_extent_lazy lm ~allowed)
+                  (List.find_opt
+                     (fun (lm : Store.lazy_module) ->
+                       String.equal lm.Store.lm_name name)
+                     lc.Store.lc_modules)
+            | None ->
+                Option.map
+                  (fun m -> Store.pruned_extent m ~allowed)
+                  (List.find_opt
+                     (fun (m : Store.module_) -> String.equal m.Store.name name)
+                     t.catalog.Store.modules))
+        in
+        Hashtbl.replace tbl name rel)
+      overrides;
+    t.env_wrap (fun name ->
+        match Hashtbl.find_opt tbl name with
+        | Some r -> (
+            match Lazy.force r with Some rel -> Some rel | None -> t.base_env name)
+        | None -> t.base_env name)
+  end
+
 let execute t (trc : tr) pattern (c : cached) cache_hit rewrite_ms pb ~degraded
     (r : Rewrite.rewriting) =
   in_span trc "execute" (fun trc ->
+      let overrides, pscanned, ppruned = prune_for t r in
+      let env = pruned_env t overrides in
       let t0 = clk t () in
       let rel, stats =
         Physical.run_instrumented ~clock:(clk t) ?budget:pb
-          ~metrics:t.obs.Obs.metrics ~parallel:t.par t.env r.Rewrite.plan
+          ~metrics:t.obs.Obs.metrics ~parallel:t.par env r.Rewrite.plan
       in
       let rel = normalize_schema pattern rel in
       let exec_s = clk t () -. t0 in
@@ -552,7 +633,9 @@ let execute t (trc : tr) pattern (c : cached) cache_hit rewrite_ms pb ~degraded
             exec_ms = exec_s *. 1000.0;
             stats;
             degraded;
-            quarantined = quarantined_names t } })
+            quarantined = quarantined_names t;
+            partitions_scanned = pscanned;
+            partitions_pruned = ppruned } })
 
 (* --- The guarded, classifying core ---------------------------------------- *)
 
@@ -641,7 +724,9 @@ let degraded_fallback t (trc : tr) pattern err =
                     { Physical.op = "fallback(embed)"; tuples = card; nexts = 0;
                       elapsed = 0.0; children = [] };
                   degraded = true;
-                  quarantined = quarantined_names t } })
+                  quarantined = quarantined_names t;
+                  partitions_scanned = 0;
+                  partitions_pruned = 0 } })
 
 (* Answer one pattern with fault recovery: on a module fault, quarantine
    the module (killing cached plans) and re-plan against the survivors;

@@ -148,8 +148,11 @@ val of_snapshot :
   string ->
   t
 (** Open an engine over a snapshot file. With [lazy_extents] (default
-    [false]) extents page in on demand through an LRU of [extent_cache]
-    entries ({!create_lazy}); otherwise the whole snapshot loads eagerly.
+    [false]) extents — and, for path-partitioned modules, individual
+    partitions — page in on demand through an LRU buffer cache with an
+    [extent_cache]-byte budget ({!create_lazy},
+    {!Xpersist.Snapshot.Reader.open_}); otherwise the whole snapshot
+    loads eagerly.
     The snapshot's document becomes the engine's fallback document.
     Raises [Xerror.Error (Snapshot_error _)] when the file fails
     verification and [Xerror.Error (Catalog_invalid _)] when its catalog

@@ -17,6 +17,8 @@ type t = {
   stats : Physical.op_stats;
   degraded : bool;
   quarantined : string list;
+  partitions_scanned : int;
+  partitions_pruned : int;
 }
 
 let rec pp_stats ppf ~indent (st : Physical.op_stats) =
@@ -42,6 +44,9 @@ let pp ppf e =
     e.rewrite_ms e.planned_ms
     (if e.from_cache then ", recalled from cache" else "")
     e.exec_ms;
+  if e.partitions_scanned + e.partitions_pruned > 0 then
+    Format.fprintf ppf "partitions: %d scanned, %d pruned@," e.partitions_scanned
+      e.partitions_pruned;
   Format.fprintf ppf "operators:@,";
   pp_stats ppf ~indent:"  " e.stats;
   Format.fprintf ppf "@]"
@@ -69,6 +74,8 @@ type summary = {
   s_stats : Physical.op_stats;
   s_degraded : bool;
   s_quarantined : string list;
+  s_partitions_scanned : int;
+  s_partitions_pruned : int;
 }
 
 let summarize e =
@@ -84,7 +91,9 @@ let summarize e =
     s_exec_ms = e.exec_ms;
     s_stats = e.stats;
     s_degraded = e.degraded;
-    s_quarantined = e.quarantined }
+    s_quarantined = e.quarantined;
+    s_partitions_scanned = e.partitions_scanned;
+    s_partitions_pruned = e.partitions_pruned }
 
 let rec stats_to_json (st : Physical.op_stats) =
   Json.Obj
@@ -108,6 +117,8 @@ let summary_to_json s =
       ("exec_ms", Json.Num s.s_exec_ms);
       ("degraded", Json.Bool s.s_degraded);
       ("quarantined", Json.Arr (List.map (fun q -> Json.Str q) s.s_quarantined));
+      ("partitions_scanned", Json.Num (float_of_int s.s_partitions_scanned));
+      ("partitions_pruned", Json.Num (float_of_int s.s_partitions_pruned));
       ("stats", stats_to_json s.s_stats) ]
 
 let to_json e = summary_to_json (summarize e)
@@ -178,10 +189,24 @@ let of_json j =
     | None -> Error "missing field \"stats\""
     | Some v -> stats_of_json v
   in
+  (* EXPLAIN JSON persisted before partition pruning existed lacks the
+     counts; those versions scanned whole extents, which the partition
+     vocabulary cannot express, so 0/0 ("nothing to report") is the
+     faithful default. *)
+  let optional_int name =
+    match Json.member name j with
+    | None -> Ok 0
+    | Some v -> (
+        match Json.to_int v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+  in
+  let* s_partitions_scanned = optional_int "partitions_scanned" in
+  let* s_partitions_pruned = optional_int "partitions_pruned" in
   Ok
     { s_query; s_views_used; s_plan; s_cost; s_candidates; s_cache_hit;
       s_from_cache; s_rewrite_ms; s_planned_ms; s_exec_ms; s_stats; s_degraded;
-      s_quarantined }
+      s_quarantined; s_partitions_scanned; s_partitions_pruned }
 
 let of_json_string str =
   match Json.of_string str with Ok j -> of_json j | Error e -> Error e

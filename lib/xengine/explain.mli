@@ -31,6 +31,12 @@ type t = {
           answer came from the base-document fallback *)
   quarantined : string list;
       (** the engine's quarantine set when the query completed *)
+  partitions_scanned : int;
+      (** storage partitions the plan's scans touched (a module without a
+          partition directory counts as one) *)
+  partitions_pruned : int;
+      (** partitions the rewriting's summary-path analysis let the scans
+          skip entirely *)
 }
 
 val pp : Format.formatter -> t -> unit
@@ -57,6 +63,8 @@ type summary = {
   s_stats : Xalgebra.Physical.op_stats;
   s_degraded : bool;
   s_quarantined : string list;
+  s_partitions_scanned : int;
+  s_partitions_pruned : int;
 }
 (** What JSON can carry of a {!t}: identical except the pattern and plan
     are strings and a NaN cost is [None]. *)
@@ -68,6 +76,7 @@ val to_json_string : t -> string
 val of_json : Xobs.Json.t -> (summary, string) Stdlib.result
 (** Accepts EXPLAIN JSON emitted before [from_cache] existed: when the
     field is absent it defaults to [cache_hit], which is what those
-    versions meant by it. *)
+    versions meant by it. Partition counts absent from pre-partitioning
+    JSON default to 0. *)
 
 val of_json_string : string -> (summary, string) Stdlib.result

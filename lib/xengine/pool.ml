@@ -74,7 +74,15 @@ let shutdown t =
 (* Run [run_chunk 0 .. run_chunk (chunks-1)], each exactly once, across
    the pool. The caller participates; completion is tracked by an atomic
    so a worker that wakes late (after the caller already drained every
-   chunk) finds nothing to claim and goes back to sleep harmlessly. *)
+   chunk) finds nothing to claim and goes back to sleep harmlessly.
+
+   The caller must NOT spin for stragglers: a worker that claimed a chunk
+   and was then descheduled (routine on a host with fewer cores than
+   domains) leaves the caller burning its own core — the exact pathology
+   behind parallel runs measuring slower than sequential ones. Instead
+   the finisher of the last chunk broadcasts the pool's condition
+   variable and the caller sleeps on it; checking [completed] under the
+   same lock the broadcast takes makes the wakeup race-free. *)
 let run_chunks t ~chunks run_chunk =
   let next = Atomic.make 0 in
   let completed = Atomic.make 0 in
@@ -90,7 +98,11 @@ let run_chunks t ~chunks run_chunk =
             with e ->
               let bt = Printexc.get_raw_backtrace () in
               ignore (Atomic.compare_and_set failure None (Some (e, bt)))));
-        Atomic.incr completed;
+        if Atomic.fetch_and_add completed 1 + 1 = chunks then begin
+          Mutex.lock t.lock;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.lock
+        end;
         go ()
       end
     in
@@ -102,15 +114,10 @@ let run_chunks t ~chunks run_chunk =
   Condition.broadcast t.cond;
   Mutex.unlock t.lock;
   job ();
-  (* Workers still inside their claimed chunks: wait them out. The spin is
-     short (bounded by one chunk) and backs off to the OS so a one-core
-     host still makes progress. *)
-  let spins = ref 0 in
-  while Atomic.get completed < chunks do
-    incr spins;
-    if !spins < 1000 then Domain.cpu_relax () else Unix.sleepf 0.0002
-  done;
   Mutex.lock t.lock;
+  while Atomic.get completed < chunks do
+    Condition.wait t.cond t.lock
+  done;
   t.batch <- None;
   Mutex.unlock t.lock;
   match Atomic.get failure with
@@ -140,6 +147,24 @@ let parallel_map t f arr =
           (function Some v -> v | None -> invalid_arg "Pool.parallel_map: lost slot")
           out)
 
+(* One claim per element: the scheduling unit is the caller's own
+   partitioning of the work (one task per storage partition, say), so no
+   internal re-chunking — a single dispatch and a single completion
+   barrier for the whole array. *)
+let parallel_tasks t f arr =
+  let n = Array.length arr in
+  if t.domains <= 1 || n <= 1 then Array.map f arr
+  else if not (Atomic.compare_and_set t.busy false true) then Array.map f arr
+  else
+    Fun.protect
+      ~finally:(fun () -> Atomic.set t.busy false)
+      (fun () ->
+        let out = Array.make n None in
+        run_chunks t ~chunks:n (fun i -> out.(i) <- Some (f arr.(i)));
+        Array.map
+          (function Some v -> v | None -> invalid_arg "Pool.parallel_tasks: lost slot")
+          out)
+
 let parallel_filter t pred arr =
   let keep = parallel_map t pred arr in
   let out = ref [] in
@@ -154,4 +179,5 @@ let par ?(chunk_min = 2048) ?(verify = false) t =
   { Xalgebra.Par.degree = t.domains;
     chunk_min;
     verify;
-    map = (fun f arr -> parallel_map t f arr) }
+    map = (fun f arr -> parallel_map t f arr);
+    tasks = (fun f arr -> parallel_tasks t f arr) }

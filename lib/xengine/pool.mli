@@ -34,6 +34,12 @@ val self_index : unit -> int
 val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving: slot [i] of the result is [f arr.(i)]. *)
 
+val parallel_tasks : t -> ('a -> 'b) -> 'a array -> 'b array
+(** {!parallel_map} with one claim per element and no internal
+    re-chunking: the array is the caller's own partitioning of the work
+    (e.g. one task per storage partition), dispatched once with a single
+    completion barrier. *)
+
 val parallel_filter : t -> ('a -> bool) -> 'a array -> 'a array
 (** Parallel predicate evaluation; the kept elements stay in input
     order. *)

@@ -6,7 +6,16 @@ module Doc = Xdm.Doc
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Binio.Corrupt s)) fmt
 
 let magic = "XAMSNAP\x01"
-let version = 1
+
+(* v1: one "extent:<name>" section per module. v2 adds path-partitioned
+   modules: a "pdir:<name>" partition directory plus one
+   "part:<name>:<i>" section per partition, each with its own TOC CRC so
+   a paging reader fetches and verifies partitions individually.
+   Writers emit v2; readers accept both (a v1 extent is simply a module
+   with no partition directory). *)
+let version = 2
+
+let version_supported v = v = 1 || v = 2
 
 (* magic + (version, TOC length, TOC CRC) *)
 let header_len = 8 + 24
@@ -43,6 +52,64 @@ let section name f =
   (name, Binio.contents b)
 
 let extent_section name = "extent:" ^ name
+let pdir_section name = "pdir:" ^ name
+let part_section name i = Printf.sprintf "part:%s:%d" name i
+
+(* The partition directory: the partitioning nid and column, then per
+   partition its summary path and the original extent positions of its
+   tuples — everything needed to reassemble any partition subset in
+   exact extent order. Payloads live in their own [part_section]s. *)
+let w_pdir b (p : Store.parts) =
+  Binio.w_int b p.Store.pt_nid;
+  Binio.w_int b p.Store.pt_col;
+  Binio.w_int b (List.length p.Store.pt_parts);
+  List.iter
+    (fun (part : Store.partition) ->
+      Binio.w_int b part.Store.p_path;
+      Binio.w_int b (Array.length part.Store.p_pos);
+      Array.iter (Binio.w_int b) part.Store.p_pos)
+    p.Store.pt_parts
+
+let r_pdir r =
+  let pt_nid = Binio.r_int r in
+  let pt_col = Binio.r_int r in
+  if pt_col < 0 then corrupt "negative partition column %d" pt_col;
+  let n = Binio.r_int r in
+  (* Every partition encodes at least 16 bytes (path + count). *)
+  if n < 0 || n > Binio.remaining r / 16 then
+    corrupt "partition count %d exceeds the directory" n;
+  let dirs =
+    List.init n (fun _ ->
+        let path = Binio.r_int r in
+        let count = Binio.r_int r in
+        if count < 0 || count > Binio.remaining r / 8 then
+          corrupt "partition position count %d exceeds the directory" count;
+        let pos = Array.init count (fun _ -> Binio.r_int r) in
+        (path, pos))
+  in
+  Binio.expect_end r;
+  (* The positions across all partitions must form a permutation of the
+     extent's tuple indices — anything else cannot reassemble in extent
+     order and is corruption (fail closed, not best-effort). *)
+  let total = List.fold_left (fun acc (_, p) -> acc + Array.length p) 0 dirs in
+  let seen = Array.make (max total 1) false in
+  List.iter
+    (fun (_, pos) ->
+      Array.iter
+        (fun p ->
+          if p < 0 || p >= total || seen.(p) then
+            corrupt "partition positions are not a permutation";
+          seen.(p) <- true)
+        pos)
+    dirs;
+  (pt_nid, pt_col, dirs)
+
+(* A module serializes partitioned exactly when it carries a non-empty
+   partition directory. *)
+let stored_parts (m : Store.module_) =
+  match m.Store.parts with
+  | Some p when p.Store.pt_parts <> [] -> Some p
+  | _ -> None
 
 let build ?doc (catalog : Store.catalog) =
   let seen = Hashtbl.create 16 in
@@ -67,9 +134,23 @@ let build ?doc (catalog : Store.catalog) =
     :: (match doc with
        | None -> []
        | Some d -> [ section "doc" (fun b -> Codec.w_doc b d) ]))
-    @ List.map
+    @ List.concat_map
         (fun (m : Store.module_) ->
-          section (extent_section m.Store.name) (fun b -> Codec.w_rel b m.Store.extent))
+          match stored_parts m with
+          | None ->
+              [ section (extent_section m.Store.name) (fun b ->
+                    Codec.w_rel b m.Store.extent) ]
+          | Some p ->
+              (* Partitioned: no extent section at all — the directory plus
+                 the per-partition payloads reassemble it exactly, and a
+                 paging reader must never be tempted to fetch the whole
+                 thing in one read. *)
+              section (pdir_section m.Store.name) (fun b -> w_pdir b p)
+              :: List.mapi
+                   (fun i (part : Store.partition) ->
+                     section (part_section m.Store.name i) (fun b ->
+                         Codec.w_rel b part.Store.p_rel))
+                   p.Store.pt_parts)
         catalog.Store.modules
   in
   (* TOC entries are fixed-width apart from the names, so the TOC length —
@@ -172,7 +253,7 @@ let parse_fixed_header ~file_size data =
   if not (String.equal (String.sub data 0 8) magic) then corrupt "bad magic";
   let hr = Binio.reader ~pos:8 ~len:24 data in
   let v = Binio.r_int hr in
-  if v <> version then corrupt "unsupported snapshot version %d" v;
+  if not (version_supported v) then corrupt "unsupported snapshot version %d" v;
   let toc_len = Binio.r_int hr in
   let toc_crc = Binio.r_int hr in
   (* Subtraction, not [header_len + toc_len]: a hostile length near
@@ -217,8 +298,11 @@ let parse_entries ~file_size toc =
     entries;
   entries
 
+let find_entry_opt entries name =
+  List.find_opt (fun e -> String.equal e.e_name name) entries
+
 let find_entry entries name =
-  match List.find_opt (fun e -> String.equal e.e_name name) entries with
+  match find_entry_opt entries name with
   | Some e -> e
   | None -> corrupt "missing section %S" name
 
@@ -289,10 +373,39 @@ let load ?metrics path =
       let modules =
         List.map
           (fun (name, xam) ->
-            let r = rd (extent_section name) in
-            let extent = Codec.r_rel r in
-            Binio.expect_end r;
-            { Store.name; xam; extent })
+            match find_entry_opt entries (pdir_section name) with
+            | None ->
+                (* v1 layout, or a module that never partitioned: the
+                   extent is one monolithic section. *)
+                let r = rd (extent_section name) in
+                let extent = Codec.r_rel r in
+                Binio.expect_end r;
+                { Store.name; xam; extent; parts = None }
+            | Some _ ->
+                let pt_nid, pt_col, dirs = r_pdir (rd (pdir_section name)) in
+                let pt_parts =
+                  List.mapi
+                    (fun i (path, pos) ->
+                      let r = rd (part_section name i) in
+                      let rel = Codec.r_rel r in
+                      Binio.expect_end r;
+                      if Xalgebra.Rel.cardinality rel <> Array.length pos then
+                        corrupt
+                          "partition %d of %S holds %d tuples, directory says %d"
+                          i name
+                          (Xalgebra.Rel.cardinality rel)
+                          (Array.length pos);
+                      Store.mk_partition ~col:pt_col ~path ~pos rel)
+                    dirs
+                in
+                let schema =
+                  match pt_parts with
+                  | p :: _ -> p.Store.p_rel.Xalgebra.Rel.schema
+                  | [] -> Xam.Binding.binding_schema xam
+                in
+                { Store.name; xam;
+                  extent = Store.merge_partitions schema pt_parts;
+                  parts = Some { Store.pt_nid; pt_col; pt_parts } })
           mods
       in
       (doc, { Store.summary; modules }))
@@ -300,6 +413,11 @@ let load ?metrics path =
 (* --- Paging reader ------------------------------------------------------- *)
 
 module Reader = struct
+  (* Partition directory of one module, decoded at open time:
+     (partitioning nid, column, per-partition (summary path, extent
+     positions)). *)
+  type pdir = int * int * (int * int array) array
+
   type t = {
     rd_path : string;
     rd_fd : Unix.file_descr;
@@ -307,8 +425,9 @@ module Reader = struct
     rd_entries : entry list;
     rd_doc : Doc.t option;
     rd_summary : Xsummary.Summary.t;
-    rd_mods : (string * Xam.Pattern.t) list;
+    rd_mods : (string * Xam.Pattern.t * pdir option) list;
     rd_cache : Xalgebra.Rel.t Lru.t;
+    mutable rd_part_faults : (string * int * string) list;
     mutable rd_closed : bool;
     rd_m : meters option;
   }
@@ -334,7 +453,10 @@ module Reader = struct
     if Binio.crc32 bytes <> e.e_crc then corrupt "section %S checksum mismatch" name;
     Binio.reader bytes
 
-  let open_ ?(cache_capacity = 16) ?metrics path =
+  (* The cache budget is in {e bytes} (of on-disk section length, a good
+     proxy for resident size), so paging in one huge partition charges
+     proportionally instead of counting the same as a tiny one. *)
+  let open_ ?(cache_capacity = 16 * 1024 * 1024) ?metrics path =
     let m = meters metrics in
     guard (fun () ->
         let t0 = Unix.gettimeofday () in
@@ -355,9 +477,27 @@ module Reader = struct
             s
           in
           let mods = decode_catalog_section (verified_section fd m entries "catalog") mcount in
-          (* Extents of a paging reader are only checked as they page in;
-             still fail fast on one that is missing outright. *)
-          List.iter (fun (name, _) -> ignore (find_entry entries (extent_section name))) mods;
+          (* Partition directories are small and drive every subsequent
+             page-in, so they are decoded (and CRC-verified) up front.
+             Extent/partition payloads are only checked as they page in;
+             still fail fast on any that is missing outright. *)
+          let mods =
+            List.map
+              (fun (name, xam) ->
+                match find_entry_opt entries (pdir_section name) with
+                | None ->
+                    ignore (find_entry entries (extent_section name));
+                    (name, xam, None)
+                | Some _ ->
+                    let pt_nid, pt_col, dirs =
+                      r_pdir (verified_section fd m entries (pdir_section name))
+                    in
+                    List.iteri
+                      (fun i _ -> ignore (find_entry entries (part_section name i)))
+                      dirs;
+                    (name, xam, Some ((pt_nid, pt_col, Array.of_list dirs) : pdir)))
+              mods
+          in
           let doc =
             if has_doc then (
               let r = verified_section fd m entries "doc" in
@@ -375,6 +515,7 @@ module Reader = struct
             rd_mods = mods;
             rd_cache =
               Lru.create ?metrics ~metric_prefix:"persist_extent_cache" cache_capacity;
+            rd_part_faults = [];
             rd_closed = false;
             rd_m = m }
         with
@@ -388,45 +529,99 @@ module Reader = struct
   let path t = t.rd_path
   let doc t = t.rd_doc
 
-  let module_fault name reason = raise (Store.Module_fault { name; reason })
+  (* Page one rel-bearing section through the buffer cache, keyed and
+     byte-costed by its section name/length. Caller holds [rd_lock].
+     [fail reason] builds the exception to raise (letting the caller
+     also record the failure). *)
+  let cached_rel_locked t sect ~(fail : string -> exn) =
+    match Lru.find t.rd_cache sect with
+    | Some rel ->
+        meter t.rd_m (fun m -> Metrics.incr m.mt_hits);
+        rel
+    | None -> (
+        meter t.rd_m (fun m -> Metrics.incr m.mt_misses);
+        if t.rd_closed then raise (fail "snapshot reader is closed");
+        match
+          let e = find_entry t.rd_entries sect in
+          let r = verified_section t.rd_fd t.rd_m t.rd_entries sect in
+          let rel = Codec.r_rel r in
+          Binio.expect_end r;
+          (e.e_len, rel)
+        with
+        | len, rel ->
+            Lru.add ~cost:(max len 1) t.rd_cache sect rel;
+            rel
+        | exception Binio.Corrupt reason -> raise (fail reason)
+        | exception Unix.Unix_error (err, fn, _) ->
+            raise (fail (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+        | exception Invalid_argument reason ->
+            raise (fail ("malformed extent: " ^ reason))
+        | exception Out_of_memory -> raise (fail "extent decode exhausted memory")
+        | exception Stack_overflow -> raise (fail "extent decode over-nested"))
 
   let extent t name () =
     Mutex.lock t.rd_lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.rd_lock)
       (fun () ->
-        match Lru.find t.rd_cache name with
-        | Some rel ->
-            meter t.rd_m (fun m -> Metrics.incr m.mt_hits);
-            rel
-        | None -> (
-            meter t.rd_m (fun m -> Metrics.incr m.mt_misses);
-            if t.rd_closed then module_fault name "snapshot reader is closed";
-            match
-              let r = verified_section t.rd_fd t.rd_m t.rd_entries (extent_section name) in
-              let rel = Codec.r_rel r in
-              Binio.expect_end r;
-              rel
-            with
-            | rel ->
-                Lru.add t.rd_cache name rel;
-                rel
-            | exception Binio.Corrupt reason -> module_fault name reason
-            | exception Unix.Unix_error (err, fn, _) ->
-                module_fault name (Printf.sprintf "%s: %s" fn (Unix.error_message err))
-            | exception Invalid_argument reason ->
-                module_fault name ("malformed extent: " ^ reason)
-            | exception Out_of_memory ->
-                module_fault name "extent decode exhausted memory"
-            | exception Stack_overflow ->
-                module_fault name "extent decode over-nested"))
+        cached_rel_locked t (extent_section name)
+          ~fail:(fun reason -> Store.Module_fault { name; reason }))
+
+  (* Page the [i]-th partition of [name] in. A corrupt partition is
+     recorded individually — siblings keep answering and the fault
+     report pins the blast radius to one partition, not the module. The
+     raised fault still carries the module name: that is the engine's
+     quarantine key. *)
+  let load_partition t name ~pt_col dirs i =
+    if i < 0 || i >= Array.length dirs then
+      invalid_arg (Printf.sprintf "partition index %d out of range for %S" i name);
+    let path, pos = dirs.(i) in
+    Mutex.lock t.rd_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.rd_lock)
+      (fun () ->
+        let fail reason =
+          t.rd_part_faults <- (name, i, reason) :: t.rd_part_faults;
+          Store.Module_fault
+            { name; reason = Printf.sprintf "partition %d: %s" i reason }
+        in
+        let rel = cached_rel_locked t (part_section name i) ~fail in
+        if Xalgebra.Rel.cardinality rel <> Array.length pos then
+          raise (fail "partition tuple count disagrees with the directory");
+        Store.mk_partition ~col:pt_col ~path ~pos rel)
+
+  let partition_faults t =
+    Mutex.lock t.rd_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.rd_lock)
+      (fun () -> List.rev t.rd_part_faults)
 
   let lazy_catalog t =
     { Store.lc_summary = t.rd_summary;
       lc_modules =
         List.map
-          (fun (name, xam) ->
-            { Store.lm_name = name; lm_xam = xam; lm_extent = extent t name })
+          (fun (name, xam, pdir) ->
+            match pdir with
+            | None ->
+                { Store.lm_name = name; lm_xam = xam;
+                  lm_extent = extent t name; lm_parts = None }
+            | Some (pt_nid, pt_col, dirs) ->
+                let load i = load_partition t name ~pt_col dirs i in
+                let lm_extent () =
+                  let parts = List.init (Array.length dirs) load in
+                  let schema =
+                    match parts with
+                    | p :: _ -> p.Store.p_rel.Xalgebra.Rel.schema
+                    | [] -> Xam.Binding.binding_schema xam
+                  in
+                  Store.merge_partitions schema parts
+                in
+                { Store.lm_name = name; lm_xam = xam; lm_extent;
+                  lm_parts =
+                    Some
+                      { Store.lpt_nid = pt_nid; lpt_col = pt_col;
+                        lpt_paths = Array.to_list (Array.map fst dirs);
+                        lpt_load = load } })
           t.rd_mods }
 
   let close t =

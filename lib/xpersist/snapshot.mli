@@ -8,7 +8,7 @@
     reading that description back — never re-parsing XML, never
     re-materializing extents.
 
-    {2 File format (version 1)}
+    {2 File format (version 2)}
 
     {v
     magic   8 bytes   "XAMSNAP\x01"
@@ -18,9 +18,15 @@
     v}
 
     Sections are ["meta"], ["summary"], ["catalog"], optionally ["doc"],
-    and one ["extent:<module>"] per storage module — each independently
-    checksummed, so extents can be paged in lazily and verified
-    individually.
+    and per storage module either one ["extent:<module>"] (monolithic)
+    or — for a path-partitioned module — a ["pdir:<module>"] partition
+    directory plus one ["part:<module>:<i>"] per partition. Every
+    section is independently checksummed, so the paging reader fetches
+    and verifies {e partitions}, not whole extents.
+
+    Version 1 files (extent sections only) still load: a v1 extent is
+    simply a module without a partition directory. Writers always emit
+    version 2.
 
     {2 Guarantees}
 
@@ -64,19 +70,32 @@ module Reader : sig
     ?metrics:Xobs.Metrics.registry ->
     string ->
     (t, string) result
-  (** [cache_capacity] bounds the decoded-extent LRU (default 16
-      entries). [metrics] feeds [persist_bytes_read_total],
-      [persist_extent_cache_hits_total] / [..._misses_total], the
-      [persist_extent_cache_entries] gauge and the
-      [persist_open_seconds] histogram. *)
+  (** [cache_capacity] is the buffer-cache budget in {e bytes} of
+      on-disk section length (default 16 MiB): each cached extent or
+      partition is charged its section's byte size, so one huge
+      partition competes fairly with many small ones. [metrics] feeds
+      [persist_bytes_read_total], [persist_extent_cache_hits_total] /
+      [..._misses_total], the [persist_extent_cache_entries] and
+      [persist_extent_cache_cost] gauges and the [persist_open_seconds]
+      histogram. *)
 
   val path : t -> string
   val doc : t -> Xdm.Doc.t option
 
   val lazy_catalog : t -> Xstorage.Store.lazy_catalog
-  (** Extent thunks page through the reader. A thunk forced after
-      {!close}, or over a section whose checksum no longer verifies,
-      raises {!Xstorage.Store.Module_fault} for its module. *)
+  (** Extent and partition thunks page through the reader. A thunk
+      forced after {!close}, or over a section whose checksum no longer
+      verifies, raises {!Xstorage.Store.Module_fault} for its module.
+      For a partitioned module the {e partition} is the paging unit:
+      [lpt_load i] fetches one partition, and a corrupt partition faults
+      (and is recorded, see {!partition_faults}) without touching its
+      siblings — forcing them still answers. *)
+
+  val partition_faults : t -> (string * int * string) list
+  (** Every partition page-in that failed, oldest first:
+      [(module, partition index, reason)]. Pins corruption to single
+      partitions where the engine-level quarantine (keyed by module
+      name) cannot. *)
 
   val close : t -> unit
 end

@@ -69,7 +69,7 @@ let fulltext ~name doc ~scope =
           (words_of (Doc.value doc h)))
       (Doc.nodes_with_label doc scope)
   in
-  { Store.name; xam; extent = Rel.make schema tuples }
+  { Store.name; xam; extent = Rel.make schema tuples; parts = None }
 
 let fulltext_lookup (m : Store.module_) word =
   let w = String.lowercase_ascii word in

@@ -1,16 +1,160 @@
 module Rel = Xalgebra.Rel
 module Pattern = Xam.Pattern
+module Nid = Xdm.Nid
+module Summary = Xsummary.Summary
 
-type module_ = { name : string; xam : Pattern.t; extent : Rel.t }
+(* --- Summary-path partitions --------------------------------------------- *)
 
-type catalog = { summary : Xsummary.Summary.t; modules : module_ list }
+(* A partition holds the extent tuples whose partitioning column — the ID
+   of one designated pattern node — identifies a document node on one
+   summary path. [p_pos] remembers each tuple's position in the original
+   extent, so any subset of partitions reassembles in exact extent order
+   (document order for embedded extents): partitioned and monolithic
+   execution stay byte-identical. *)
+type partition = {
+  p_path : int;  (* summary path id; -1 = unclassifiable (nulls, foreign ids) *)
+  p_pos : int array;  (* original extent positions, ascending *)
+  p_rel : Rel.t;
+  p_lo : Nid.t option;  (* bounds of the partition column in document order; *)
+  p_hi : Nid.t option;  (* [None] when any tuple's column is not an identifier *)
+}
+
+type parts = {
+  pt_nid : int;  (* pattern node whose ID column partitions the extent *)
+  pt_col : int;  (* its column index in the extent schema *)
+  pt_parts : partition list;  (* ascending [p_path]; the [-1] bucket first *)
+}
+
+type module_ = {
+  name : string;
+  xam : Pattern.t;
+  extent : Rel.t;
+  parts : parts option;  (* [None]: monolithic extent, no directory *)
+}
+
+type catalog = { summary : Summary.t; modules : module_ list }
 
 exception Module_fault of { name : string; reason : string }
 
 exception Invalid_module of { name : string; reason : string }
 
+(* The partitioning column: the first return node (in schema order) that
+   stores an ID. Patterns storing no identifier have nothing to key a
+   partition directory on. *)
+let partition_column xam (schema : Rel.schema) =
+  List.find_map
+    (fun (n : Pattern.node) ->
+      if List.mem Pattern.ID (Pattern.stored_attrs n) then
+        match Rel.find_col schema (Pattern.attr_col n.Pattern.nid Pattern.ID) with
+        | Some (i, c) when c.Rel.ctype = Rel.Atom -> Some (n.Pattern.nid, i)
+        | _ -> None
+      else None)
+    (Pattern.return_nodes xam)
+
+let id_at col (t : Rel.tuple) =
+  if col >= Array.length t then None
+  else match t.(col) with Rel.A (Xalgebra.Value.Id id) -> Some id | _ -> None
+
+let id_bounds col tuples =
+  let ok = ref true in
+  let lo = ref None and hi = ref None in
+  List.iter
+    (fun t ->
+      match id_at col t with
+      | None -> ok := false
+      | Some id ->
+          (match !lo with
+          | Some l when Nid.compare l id <= 0 -> ()
+          | _ -> lo := Some id);
+          (match !hi with
+          | Some h when Nid.compare h id >= 0 -> ()
+          | _ -> hi := Some id))
+    tuples;
+  if !ok then (!lo, !hi) else (None, None)
+
+let mk_partition ~col ~path ~pos rel =
+  let lo, hi = id_bounds col rel.Rel.tuples in
+  { p_path = path; p_pos = pos; p_rel = rel; p_lo = lo; p_hi = hi }
+
+(* Split an extent into per-summary-path partitions: each tuple is
+   classified by φ of the document node its partitioning column
+   identifies. Tuples whose column holds no resolvable identifier land in
+   the [-1] bucket, which pruning never drops. *)
+let partition_extent ~phi doc xam (extent : Rel.t) =
+  match partition_column xam extent.Rel.schema with
+  | None -> None
+  | Some (pt_nid, pt_col) ->
+      let buckets : (int, (int list ref * Rel.tuple list ref)) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      List.iteri
+        (fun pos t ->
+          let path =
+            match id_at pt_col t with
+            | None -> -1
+            | Some id -> (
+                match Xdm.Doc.handle_of_id doc id with
+                | Some h when h >= 0 && h < Array.length phi -> phi.(h)
+                | _ -> -1)
+          in
+          let poss, tups =
+            match Hashtbl.find_opt buckets path with
+            | Some b -> b
+            | None ->
+                let b = (ref [], ref []) in
+                Hashtbl.add buckets path b;
+                b
+          in
+          poss := pos :: !poss;
+          tups := t :: !tups)
+        extent.Rel.tuples;
+      let pt_parts =
+        Hashtbl.fold (fun path b acc -> (path, b) :: acc) buckets []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        |> List.map (fun (path, (poss, tups)) ->
+               mk_partition ~col:pt_col ~path
+                 ~pos:(Array.of_list (List.rev !poss))
+                 (Rel.make extent.Rel.schema (List.rev !tups)))
+      in
+      Some { pt_nid; pt_col; pt_parts }
+
+(* Reassemble a subset of partitions in original extent order. *)
+let merge_partitions schema ps =
+  let pairs =
+    List.concat_map
+      (fun p -> List.mapi (fun k t -> (p.p_pos.(k), t)) p.p_rel.Rel.tuples)
+      ps
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) pairs in
+  Rel.make schema (List.map snd sorted)
+
+let partition_paths parts = List.map (fun p -> p.p_path) parts.pt_parts
+
+let kept_partition path allowed = path < 0 || List.mem path allowed
+
+let prune_counts parts ~allowed =
+  List.fold_left
+    (fun (s, p) part ->
+      if kept_partition part.p_path allowed then (s + 1, p) else (s, p + 1))
+    (0, 0) parts.pt_parts
+
+let pruned_extent m ~allowed =
+  match m.parts with
+  | None -> m.extent
+  | Some parts ->
+      let kept =
+        List.filter (fun p -> kept_partition p.p_path allowed) parts.pt_parts
+      in
+      if List.length kept = List.length parts.pt_parts then m.extent
+      else merge_partitions m.extent.Rel.schema kept
+
 let materialize doc name xam =
-  { name; xam; extent = Xam.Embed.eval doc xam }
+  { name; xam; extent = Xam.Embed.eval doc xam; parts = None }
+
+let partitioned ~phi doc m =
+  match m.parts with
+  | Some _ -> m
+  | None -> { m with parts = partition_extent ~phi doc m.xam m.extent }
 
 (* A module is consistent with the summary when every required pattern
    node can bind to at least one summary path and every optional node's
@@ -25,10 +169,10 @@ let materialize doc name xam =
    with optional subtrees pruned; pruning preserves nids. *)
 let check_against summary =
   let s = summary in
-  let size = Xsummary.Summary.size s in
+  let size = Summary.size s in
   let label_known label =
     let matches p =
-      let pl = Xsummary.Summary.label s p in
+      let pl = Summary.label s p in
       if String.equal label "*" then
         (not (Pattern.label_is_attribute pl)) && not (String.equal pl "#text")
       else if String.equal label "@*" then Pattern.label_is_attribute pl
@@ -91,9 +235,16 @@ let validated catalog =
   | Error [] -> catalog
 
 let catalog_of doc specs =
+  (* [Summary.build] yields the summary together with φ — the map from
+     document nodes to their paths — which is what classifies every
+     extent tuple into its summary-path partition. *)
+  let summary, phi = Summary.build doc in
   validated
-    { summary = Xsummary.Summary.of_doc doc;
-      modules = List.map (fun (name, xam) -> materialize doc name xam) specs }
+    { summary;
+      modules =
+        List.map
+          (fun (name, xam) -> partitioned ~phi doc (materialize doc name xam))
+          specs }
 
 let env catalog =
   (* Hashtable-backed: executed plans resolve the same module names on
@@ -120,6 +271,69 @@ let index_views catalog =
       else None)
     catalog.modules
 
+(* --- Partition-pruned plan access ---------------------------------------- *)
+
+(* Decide, for one plan, which partitions each scanned module needs. The
+   rewriter's [scan_paths] lists — per view, per view-pattern node — the
+   summary paths that node's bindings can take in any tuple combination
+   contributing to the answer; a partition keyed outside that set (and not
+   the unclassifiable [-1] bucket) cannot contribute and is pruned.
+   Returns the per-module allowed path lists (only for modules where
+   pruning actually drops something) plus total partitions scanned and
+   pruned across the plan's scans — the counts EXPLAIN surfaces.
+   Modules without a directory count as one scanned partition. *)
+let plan_pruning ~views_used ~parts_of ~scan_paths =
+  let views_used = List.sort_uniq String.compare views_used in
+  List.fold_left
+    (fun (overrides, scanned, pruned) name ->
+      match parts_of name with
+      | None -> (overrides, scanned + 1, pruned)
+      | Some (pt_nid, dir) -> (
+          let total = List.length dir in
+          match
+            Option.bind (List.assoc_opt name scan_paths) (List.assoc_opt pt_nid)
+          with
+          | None -> (overrides, scanned + total, pruned)
+          | Some allowed ->
+              let kept =
+                List.length (List.filter (fun p -> kept_partition p allowed) dir)
+              in
+              if kept < total then
+                ((name, allowed) :: overrides, scanned + kept, pruned + (total - kept))
+              else (overrides, scanned + total, pruned)))
+    ([], 0, 0) views_used
+
+(* --- Restricted access ---------------------------------------------------- *)
+
+(* Binding tuples that pin the partitioning column to one identifier can
+   skip every partition whose document-order ID range excludes it — the
+   per-partition [p_lo]/[p_hi] bounds make the test O(partitions). *)
+let lookup_tuples m (bsch : Rel.schema) b =
+  match m.parts with
+  | None -> m.extent.Rel.tuples
+  | Some parts -> (
+      let col_name =
+        match List.nth_opt m.extent.Rel.schema parts.pt_col with
+        | Some c -> c.Rel.cname
+        | None -> ""
+      in
+      match Rel.find_col bsch col_name with
+      | None -> m.extent.Rel.tuples
+      | Some (bi, _) -> (
+          match id_at bi b with
+          | None -> m.extent.Rel.tuples
+          | Some id ->
+              let candidate p =
+                match (p.p_lo, p.p_hi) with
+                | Some lo, Some hi ->
+                    Nid.compare lo id <= 0 && Nid.compare id hi <= 0
+                | _ -> true  (* unknown bounds: cannot exclude *)
+              in
+              let kept = List.filter candidate parts.pt_parts in
+              if List.length kept = List.length parts.pt_parts then
+                m.extent.Rel.tuples
+              else (merge_partitions m.extent.Rel.schema kept).Rel.tuples))
+
 let lookup_seq m ~bindings : Rel.tuple Seq.t =
   (* Restricted access as a cursor: tuples stream out as the extent is
      walked, deduplicated on the fly, so a consumer that stops early never
@@ -128,7 +342,7 @@ let lookup_seq m ~bindings : Rel.tuple Seq.t =
   let seen = Hashtbl.create 64 in
   List.to_seq bindings
   |> Seq.concat_map (fun b ->
-         List.to_seq m.extent.Rel.tuples
+         List.to_seq (lookup_tuples m bsch b)
          |> Seq.filter_map (fun t -> Xam.Binding.intersect m.extent.Rel.schema bsch t b))
   |> Seq.filter (fun t ->
          let key = Marshal.to_string t [] in
@@ -146,8 +360,11 @@ let total_tuples catalog =
 let pp ppf catalog =
   List.iter
     (fun m ->
-      Format.fprintf ppf "%-24s %6d tuples  (%s)@." m.name (Rel.cardinality m.extent)
-        (Rel.schema_to_string m.extent.Rel.schema))
+      Format.fprintf ppf "%-24s %6d tuples  (%s)%s@." m.name (Rel.cardinality m.extent)
+        (Rel.schema_to_string m.extent.Rel.schema)
+        (match m.parts with
+        | Some p -> Printf.sprintf "  [%d partitions]" (List.length p.pt_parts)
+        | None -> ""))
     catalog.modules
 
 (* --- Lazy-extent catalogs ----------------------------------------------- *)
@@ -160,14 +377,22 @@ let pp ppf catalog =
    them owns an LRU buffer cache, and double-caching here would defeat its
    eviction policy. *)
 
+type lazy_parts = {
+  lpt_nid : int;
+  lpt_col : int;
+  lpt_paths : int list;  (* the partition directory: [p_path] per partition *)
+  lpt_load : int -> partition;  (* page the i-th partition in *)
+}
+
 type lazy_module = {
   lm_name : string;
   lm_xam : Pattern.t;
   lm_extent : unit -> Rel.t;
+  lm_parts : lazy_parts option;
 }
 
 type lazy_catalog = {
-  lc_summary : Xsummary.Summary.t;
+  lc_summary : Summary.t;
   lc_modules : lazy_module list;
 }
 
@@ -176,15 +401,61 @@ let lazy_of_catalog c =
     lc_modules =
       List.map
         (fun m ->
-          { lm_name = m.name; lm_xam = m.xam; lm_extent = (fun () -> m.extent) })
+          { lm_name = m.name;
+            lm_xam = m.xam;
+            lm_extent = (fun () -> m.extent);
+            lm_parts =
+              Option.map
+                (fun p ->
+                  let arr = Array.of_list p.pt_parts in
+                  { lpt_nid = p.pt_nid;
+                    lpt_col = p.pt_col;
+                    lpt_paths = partition_paths p;
+                    lpt_load = (fun i -> arr.(i)) })
+                m.parts })
         c.modules }
 
+let force_lazy_module lm =
+  match lm.lm_parts with
+  | None ->
+      { name = lm.lm_name; xam = lm.lm_xam; extent = lm.lm_extent (); parts = None }
+  | Some lp ->
+      let ps = List.mapi (fun i _ -> lp.lpt_load i) lp.lpt_paths in
+      let extent =
+        match ps with
+        | [] -> lm.lm_extent ()
+        | p :: _ -> merge_partitions p.p_rel.Rel.schema ps
+      in
+      { name = lm.lm_name;
+        xam = lm.lm_xam;
+        extent;
+        parts = Some { pt_nid = lp.lpt_nid; pt_col = lp.lpt_col; pt_parts = ps } }
+
 let materialize_lazy lc =
-  { summary = lc.lc_summary;
-    modules =
-      List.map
-        (fun lm -> { name = lm.lm_name; xam = lm.lm_xam; extent = lm.lm_extent () })
-        lc.lc_modules }
+  { summary = lc.lc_summary; modules = List.map force_lazy_module lc.lc_modules }
+
+let pruned_extent_lazy lm ~allowed =
+  match lm.lm_parts with
+  | None -> lm.lm_extent ()
+  | Some lp ->
+      let kept =
+        List.filteri (fun _ path -> kept_partition path allowed) lp.lpt_paths
+      in
+      if List.length kept = List.length lp.lpt_paths then lm.lm_extent ()
+      else
+        let ps =
+          List.concat
+            (List.mapi
+               (fun i path ->
+                 if kept_partition path allowed then [ lp.lpt_load i ] else [])
+               lp.lpt_paths)
+        in
+        let schema =
+          match ps with
+          | p :: _ -> p.p_rel.Rel.schema
+          | [] -> (Xam.Binding.binding_schema lm.lm_xam : Rel.schema)
+        in
+        merge_partitions schema ps
 
 let skeleton lc =
   (* Extents replaced by empty relations over the pattern's binding schema:
@@ -195,7 +466,8 @@ let skeleton lc =
       List.map
         (fun lm ->
           { name = lm.lm_name; xam = lm.lm_xam;
-            extent = Rel.empty (Xam.Binding.binding_schema lm.lm_xam) })
+            extent = Rel.empty (Xam.Binding.binding_schema lm.lm_xam);
+            parts = None })
         lc.lc_modules }
 
 let validate_lazy lc = validate (skeleton lc)

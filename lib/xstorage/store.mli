@@ -5,12 +5,39 @@
     XAMs describing everything the store holds — the optimizer's only
     knowledge of the storage, which is what buys physical data independence
     (§2.1.4): swapping storage models changes the catalog, never the
-    optimizer. *)
+    optimizer.
+
+    {b Path-partitioned extents.} Each extent is additionally split into
+    per-summary-path partitions: tuples are classified by the summary
+    path (φ) of the document node one designated ID column identifies.
+    The partition directory (the list of path ids) is the physical unit
+    of scan pruning, parallel dispatch and snapshot paging. Partitions
+    remember original extent positions, so any subset reassembles in
+    exact extent order — partitioned access is byte-identical to the
+    monolithic extent. *)
+
+type partition = {
+  p_path : int;  (** summary path id; [-1] = unclassifiable tuples *)
+  p_pos : int array;  (** original extent positions, ascending *)
+  p_rel : Xalgebra.Rel.t;
+  p_lo : Xdm.Nid.t option;
+      (** document-order bounds of the partitioning column over the
+          partition's tuples; [None] when any tuple's column is not an
+          identifier (the partition can then never be range-excluded) *)
+  p_hi : Xdm.Nid.t option;
+}
+
+type parts = {
+  pt_nid : int;  (** pattern node whose ID column keys the directory *)
+  pt_col : int;  (** its column index in the extent schema *)
+  pt_parts : partition list;  (** ascending [p_path]; [-1] bucket first *)
+}
 
 type module_ = {
   name : string;
   xam : Xam.Pattern.t;
   extent : Xalgebra.Rel.t;
+  parts : parts option;  (** [None]: monolithic, no partition directory *)
 }
 
 type catalog = {
@@ -30,7 +57,64 @@ exception Invalid_module of { name : string; reason : string }
 
 val materialize : Xdm.Doc.t -> string -> Xam.Pattern.t -> module_
 (** Evaluate the XAM (required markers ignored for materialization) and
-    keep the result as the module's extent. *)
+    keep the result as the module's extent. No partition directory is
+    built ([parts = None]) — partitioning needs φ; see {!partitioned}
+    and {!catalog_of}. *)
+
+val partition_column : Xam.Pattern.t -> Xalgebra.Rel.schema -> (int * int) option
+(** [(nid, column index)] of the partitioning column: the first return
+    node (in schema order) whose stored ID resolves to an atomic column
+    of the given schema. [None] when the pattern stores no identifier —
+    such an extent stays monolithic. *)
+
+val partition_extent :
+  phi:int array -> Xdm.Doc.t -> Xam.Pattern.t -> Xalgebra.Rel.t -> parts option
+(** Split an extent into per-summary-path partitions; [phi] is the
+    document-node → path-id map from {!Xsummary.Summary.build}. Tuples
+    whose partitioning column holds no resolvable identifier land in the
+    [-1] bucket, which pruning never drops. *)
+
+val partitioned : phi:int array -> Xdm.Doc.t -> module_ -> module_
+(** Attach a partition directory to a module that has none. *)
+
+val mk_partition :
+  col:int -> path:int -> pos:int array -> Xalgebra.Rel.t -> partition
+(** Build a partition, computing the [p_lo]/[p_hi] identifier bounds of
+    column [col] over the relation's tuples. Used by snapshot decoding,
+    which persists positions but not bounds. *)
+
+val merge_partitions : Xalgebra.Rel.schema -> partition list -> Xalgebra.Rel.t
+(** Reassemble partitions in original extent order. *)
+
+val partition_paths : parts -> int list
+(** The partition directory: each partition's summary path id. *)
+
+val kept_partition : int -> int list -> bool
+(** [kept_partition path allowed]: whether a partition keyed by [path]
+    survives pruning to the [allowed] summary paths (the [-1] bucket
+    always does). *)
+
+val prune_counts : parts -> allowed:int list -> int * int
+(** [(scanned, pruned)] partition counts under the given allowed paths. *)
+
+val pruned_extent : module_ -> allowed:int list -> Xalgebra.Rel.t
+(** The extent restricted to partitions the allowed summary paths can
+    touch, in extent order. The full extent when the module is
+    monolithic or nothing prunes. *)
+
+val plan_pruning :
+  views_used:string list ->
+  parts_of:(string -> (int * int list) option) ->
+  scan_paths:(string * (int * int list) list) list ->
+  (string * int list) list * int * int
+(** Decide which partitions a plan's scans need. [parts_of] maps a module
+    name to its [(pt_nid, partition directory)]; [scan_paths] is the
+    rewriter's per-view, per-view-nid allowed summary paths. Returns
+    [(overrides, scanned, pruned)]: per-module allowed path lists (only
+    where pruning drops something) plus total partitions scanned and
+    pruned across the plan — the counts EXPLAIN surfaces. A module
+    without a directory, or without a [scan_paths] entry for its
+    partitioning nid, scans everything. *)
 
 val validate : catalog -> (unit, (string * string) list) result
 (** Check every module's pattern against the summary: [Error pairs] with
@@ -44,9 +128,10 @@ val validated : catalog -> catalog
 (** {!validate}, raising {!Invalid_module} for the first failing module. *)
 
 val catalog_of : Xdm.Doc.t -> (string * Xam.Pattern.t) list -> catalog
-(** Materialize the specs against the document and validate the result
-    against the document's own summary ({!Invalid_module} on a spec whose
-    pattern cannot bind). *)
+(** Materialize the specs against the document, partition every extent
+    by the document's summary paths, and validate the result against the
+    document's own summary ({!Invalid_module} on a spec whose pattern
+    cannot bind). *)
 
 val env : catalog -> Xalgebra.Eval.env
 (** Resolve module names to extents, for plan execution. *)
@@ -67,7 +152,9 @@ val lookup_seq :
   module_ -> bindings:Xalgebra.Rel.tuple list -> Xalgebra.Rel.tuple Seq.t
 (** {!lookup} as a cursor: matching tuples stream out (deduplicated on
     the fly) as the extent is walked, so an early-exiting consumer never
-    pays for the rest of the extent. The schema is the module extent's. *)
+    pays for the rest of the extent. The schema is the module extent's.
+    Bindings that pin the partitioning column to one identifier walk only
+    the partitions whose document-order ID range can contain it. *)
 
 val total_tuples : catalog -> int
 val pp : Format.formatter -> catalog -> unit
@@ -80,12 +167,24 @@ val pp : Format.formatter -> catalog -> unit
     through its {!Xalgebra.Eval.env} closure, so {!lazy_env} is enough to
     run queries against cold storage. Thunks may raise {!Module_fault}
     when the backing bytes turn out corrupt — the engine's quarantine
-    machinery absorbs that exactly as it does for any faulty module. *)
+    machinery absorbs that exactly as it does for any faulty module.
+
+    A partitioned lazy module additionally exposes its partition
+    directory and a per-partition load thunk, making the partition — not
+    the extent — the unit the backing buffer cache pages in. *)
+
+type lazy_parts = {
+  lpt_nid : int;
+  lpt_col : int;
+  lpt_paths : int list;  (** partition directory, in stored order *)
+  lpt_load : int -> partition;  (** page the i-th partition in *)
+}
 
 type lazy_module = {
   lm_name : string;
   lm_xam : Xam.Pattern.t;
   lm_extent : unit -> Xalgebra.Rel.t;
+  lm_parts : lazy_parts option;
 }
 
 type lazy_catalog = {
@@ -94,10 +193,16 @@ type lazy_catalog = {
 }
 
 val lazy_of_catalog : catalog -> lazy_catalog
-(** Wrap resident extents in constant thunks. *)
+(** Wrap resident extents (and partitions) in constant thunks. *)
 
 val materialize_lazy : lazy_catalog -> catalog
-(** Force every extent (one full sweep over the backing store). *)
+(** Force every extent (one full sweep over the backing store);
+    partitioned modules are rebuilt from their loaded partitions. *)
+
+val pruned_extent_lazy : lazy_module -> allowed:int list -> Xalgebra.Rel.t
+(** {!pruned_extent} for a lazy module: only the surviving partitions
+    are paged in. Falls back to [lm_extent] when the module is
+    monolithic or nothing prunes. *)
 
 val skeleton : lazy_catalog -> catalog
 (** The catalog with every extent replaced by an empty relation over the

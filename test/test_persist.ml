@@ -563,7 +563,9 @@ let test_engine_roundtrip () =
     (fun () ->
       Alcotest.(check bool) "snapshot has substance" true (bytes > 64);
       let eager = Engine.of_snapshot path in
-      let lazy_ = Engine.of_snapshot ~lazy_extents:true ~extent_cache:4 path in
+      (* A deliberately tight byte budget: partitions thrash in and out,
+         which must stay correctness-neutral. *)
+      let lazy_ = Engine.of_snapshot ~lazy_extents:true ~extent_cache:256 path in
       let s = S.of_doc doc in
       let patterns =
         Xworkload.Pattern_gen.generate_many ~seed:17 s
@@ -633,7 +635,9 @@ let test_lazy_engine_save () =
   let doc = bib () in
   let cat = bib_catalog doc in
   with_snapshot ~doc cat (fun path ->
-      let lazy_ = Engine.of_snapshot ~lazy_extents:true ~extent_cache:4 path in
+      let lazy_ =
+        Engine.of_snapshot ~lazy_extents:true ~extent_cache:4096 path
+      in
       let resaved = tmp_path "lazysave" in
       let bytes = Engine.save_snapshot lazy_ resaved in
       Fun.protect
@@ -703,7 +707,9 @@ let test_persist_metrics () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      (match Snapshot.Reader.open_ ~cache_capacity:2 ~metrics:reg path with
+      (* The budget is in bytes and comfortably holds one module's
+         sections, so the second force must hit the cache. *)
+      (match Snapshot.Reader.open_ ~cache_capacity:65536 ~metrics:reg path with
       | Error e -> Alcotest.failf "open failed: %s" e
       | Ok r ->
           Fun.protect

@@ -134,7 +134,7 @@ let test_validate_accumulates () =
     (Store.validate cat = Ok ());
   let bogus name label =
     let xam = P.make [ P.tree (P.mk_node ~id:Xdm.Nid.Simple label) [] ] in
-    { Store.name; xam; extent = Rel.empty (Xam.Binding.binding_schema xam) }
+    { Store.name; xam; extent = Rel.empty (Xam.Binding.binding_schema xam); parts = None }
   in
   let broken =
     { cat with
