@@ -977,6 +977,130 @@ let persist_exp () =
           m "answers_match" (if matches then 1.0 else 0.0) "bool"))
     corpora
 
+(* --- wal: append throughput, fsync latency, recovery time ------------------
+   The crash-safe write path. Raw WAL appends measure the log itself
+   (frame + CRC + write [+ fsync]); engine applies measure the full
+   prepare → log → install pipeline including incremental maintenance;
+   recovery is timed as [of_snapshot + attach_wal] against logs of
+   increasing length, the curve checkpointing exists to cut short. *)
+let wal_exp () =
+  header "wal: append throughput, fsync latency, recovery vs log length";
+  let module Engine = Xengine.Engine in
+  let module Wal = Xwal.Wal in
+  let module Metrics = Xobs.Metrics in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Sys.remove path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  let with_dir tag f =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "bench_wal_%d_%s" (Unix.getpid ()) tag)
+    in
+    rm_rf dir;
+    Unix.mkdir dir 0o755;
+    Fun.protect ~finally:(fun () -> try rm_rf dir with _ -> ()) (fun () -> f dir)
+  in
+  let m metric value units = record ~experiment:"wal" ~metric ~value ~units in
+  (* raw append throughput, fsync'd and buffered *)
+  let appends = 2000 in
+  let op i = Wal.Update_value { node = i; value = Printf.sprintf "v%d" i } in
+  List.iter
+    (fun (label, sync) ->
+      with_dir label (fun dir ->
+          let reg = Metrics.create () in
+          let w =
+            match Wal.Writer.open_ ~metrics:reg ~sync ~dir ~lsn:0 () with
+            | Ok w -> w
+            | Error e -> failwith e
+          in
+          let ms, () =
+            time_ms (fun () ->
+                for i = 1 to appends do
+                  match Wal.Writer.append w (op i) with
+                  | Ok _ -> ()
+                  | Error e -> failwith e
+                done)
+          in
+          Wal.Writer.close w;
+          let per_sec = float_of_int appends /. (ms /. 1000.) in
+          Printf.printf "append (%-8s) %8d records  %10.1f ms  %12.0f rec/s\n"
+            label appends ms per_sec;
+          m (Printf.sprintf "append_%s_per_sec" label) per_sec "records/s";
+          if sync then begin
+            let h =
+              List.find_map
+                (function
+                  | "wal_fsync_seconds", _, Metrics.Histogram h -> Some h
+                  | _ -> None)
+                (Metrics.metrics reg)
+            in
+            match h with
+            | Some h ->
+                let snap = Metrics.snapshot h in
+                let p99_ms = Metrics.percentile snap 0.99 *. 1000. in
+                let p50_ms = Metrics.percentile snap 0.50 *. 1000. in
+                Printf.printf "fsync            p50 %.3f ms  p99 %.3f ms\n" p50_ms
+                  p99_ms;
+                m "fsync_p50_ms" p50_ms "ms";
+                m "fsync_p99_ms" p99_ms "ms"
+            | None -> ()
+          end))
+    [ ("fsync", true); ("buffered", false) ];
+  (* recovery time as the log grows: snapshot + N-record replay *)
+  let doc = Xworkload.Gen_bib.generate_doc ~seed:19 ~books:60 ~theses:20 () in
+  let specs = Xstorage.Models.path_partitioned (S.of_doc doc) in
+  List.iter
+    (fun n ->
+      with_dir (Printf.sprintf "recover_%d" n) (fun dir ->
+          let snap = Filename.concat dir "base.snap" in
+          let wal = Filename.concat dir "wal" in
+          let e = Engine.of_doc doc specs in
+          ignore (Engine.save_snapshot e snap);
+          ignore (Engine.attach_wal e wal);
+          let apply_ms, () =
+            time_ms (fun () ->
+                for i = 1 to n do
+                  let d = Option.get (Engine.document e) in
+                  let elements = ref [] in
+                  Xdm.Doc.iter
+                    (fun h ->
+                      if h <> 0 && Xdm.Doc.kind d h = Xdm.Doc.Element then
+                        elements := h :: !elements)
+                    d;
+                  let parent = List.nth !elements (i mod List.length !elements) in
+                  match
+                    Engine.apply_r e
+                      (Engine.Insert_subtree
+                         { parent;
+                           before = None;
+                           xml = Printf.sprintf "<w%d>t%d</w%d>" (i mod 7) i (i mod 7) })
+                  with
+                  | Ok _ -> ()
+                  | Error err -> failwith (Xengine.Xerror.to_string err)
+                done)
+          in
+          Engine.detach_wal e;
+          let recover_ms =
+            bench_ms ~repeats:3 (fun () ->
+                let r = Engine.of_snapshot snap in
+                ignore (Engine.attach_wal r wal);
+                Engine.detach_wal r)
+          in
+          Printf.printf
+            "recover %5d records: %10.1f ms   (apply %.2f ms/record)\n" n
+            recover_ms
+            (apply_ms /. float_of_int n);
+          m (Printf.sprintf "apply_ms_per_record_%d" n)
+            (apply_ms /. float_of_int n)
+            "ms";
+          m (Printf.sprintf "recovery_ms_%d" n) recover_ms "ms"))
+    [ 50; 150; 300 ]
+
 (* ------------------------------------------------------------------ main *)
 
 let () =
@@ -1017,9 +1141,10 @@ let () =
     | "pmicro" -> pmicro ()
     | "obs" -> obs_exp ()
     | "persist" -> persist_exp ()
+    | "wal" -> wal_exp ()
     | other ->
         Printf.eprintf
-          "unknown experiment %S (e1..e10, micro, pmicro, obs, persist, all)\n"
+          "unknown experiment %S (e1..e10, micro, pmicro, obs, persist, wal, all)\n"
           other;
         exit 1
   in

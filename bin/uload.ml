@@ -361,18 +361,321 @@ let open_cmd =
              ~doc:"With $(b,--explain): print EXPLAIN as JSON; errors become \
                    structured JSON objects")
   in
-  let run snap src lazy_extents explain metrics json =
+  let recover_arg =
+    Arg.(value & flag
+         & info [ "recover" ]
+             ~doc:"Attach the snapshot's WAL directory and replay any records \
+                   past the snapshot's LSN (repairing a torn tail) before \
+                   answering the query")
+  in
+  let wal_opt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"DIR"
+             ~doc:"With $(b,--recover): WAL directory (default $(i,SNAP).wal)")
+  in
+  let run snap src lazy_extents recover wal explain metrics json =
     let obs = Xobs.Obs.create ~tracing:explain () in
     match Xengine.Engine.of_snapshot_r ~obs ~lazy_extents snap with
     | Error e -> die_xerror ~json e
-    | Ok engine -> run_engine_query ~explain ~metrics ~json engine src
+    | Ok engine ->
+        let replayed =
+          if not recover then 0
+          else
+            let dir = match wal with Some d -> d | None -> snap ^ ".wal" in
+            match Xengine.Engine.attach_wal_r engine dir with
+            | Error e -> die_xerror ~json e
+            | Ok n ->
+                if not json then
+                  Printf.eprintf "recovered: %d record(s) replayed, at lsn %d\n%!"
+                    n (Xengine.Engine.lsn engine);
+                n
+        in
+        run_engine_query ~explain ~metrics ~json engine src;
+        if json then
+          let faults = Xengine.Engine.partition_faults engine in
+          print_endline
+            (Xobs.Json.to_string
+               (Xobs.Json.Obj
+                  [ ( "engine",
+                      Xobs.Json.Obj
+                        [ ("lsn", Xobs.Json.Num (float_of_int (Xengine.Engine.lsn engine)));
+                          ( "snapshot_lsn",
+                            Xobs.Json.Num
+                              (float_of_int (Xengine.Engine.snapshot_lsn engine)) );
+                          ("replayed", Xobs.Json.Num (float_of_int replayed));
+                          ( "partition_faults",
+                            Xobs.Json.Arr
+                              (List.map
+                                 (fun (m, i, reason) ->
+                                   Xobs.Json.Obj
+                                     [ ("module", Xobs.Json.Str m);
+                                       ("partition", Xobs.Json.Num (float_of_int i));
+                                       ("reason", Xobs.Json.Str reason) ])
+                                 faults) );
+                          ( "quarantined",
+                            Xobs.Json.Arr
+                              (List.map
+                                 (fun (n, _) -> Xobs.Json.Str n)
+                                 (Xengine.Engine.quarantined engine)) ) ] ) ]))
   in
   Cmd.v
     (Cmd.info "open"
        ~doc:"Open a persisted snapshot — no XML re-parse, no \
-             re-materialization — and evaluate an XQuery against it")
-    Term.(const run $ snap_arg $ query_arg $ lazy_arg $ explain_arg
-          $ metrics_arg $ json_arg)
+             re-materialization — and evaluate an XQuery against it; \
+             $(b,--recover) first replays the WAL")
+    Term.(const run $ snap_arg $ query_arg $ lazy_arg $ recover_arg
+          $ wal_opt_arg $ explain_arg $ metrics_arg $ json_arg)
+
+(* --- put / delete / update / checkpoint / churn ---------------------------
+   The crash-safe write path. Mutation verbs open the snapshot, attach
+   (and recover from) its WAL directory, apply, and exit — the snapshot
+   file itself is only rewritten by [checkpoint]. Durability comes from
+   the WAL: a crash at any point loses at most the unacknowledged
+   mutation, and the next open with --recover (or any mutation verb)
+   replays the log back to the exact pre-crash state. *)
+
+let wal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "wal" ] ~docv:"DIR"
+           ~doc:"WAL directory (default: $(i,SNAP).wal)")
+
+let wal_dir_of snap = function Some d -> d | None -> snap ^ ".wal"
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Print results as JSON")
+
+let open_for_write ~json snap wal =
+  match Xengine.Engine.of_snapshot_r snap with
+  | Error e -> die_xerror ~json e
+  | Ok engine -> (
+      match Xengine.Engine.attach_wal_r engine (wal_dir_of snap wal) with
+      | Error e -> die_xerror ~json e
+      | Ok replayed -> (engine, replayed))
+
+let report_json (r : Xengine.Engine.apply_report) =
+  let open Xobs.Json in
+  Obj
+    [ ("lsn", Num (float_of_int r.Xengine.Engine.ap_lsn));
+      ("partitions_kept", Num (float_of_int r.Xengine.Engine.ap_parts_kept));
+      ("partitions_rebuilt", Num (float_of_int r.Xengine.Engine.ap_parts_rebuilt));
+      ("paths_added", Arr (List.map (fun p -> Str p) r.Xengine.Engine.ap_paths_added));
+      ("paths_removed", Arr (List.map (fun p -> Str p) r.Xengine.Engine.ap_paths_removed));
+      ("dropped",
+       Arr
+         (List.map
+            (fun (n, reason) ->
+              Obj [ ("module", Str n); ("reason", Str reason) ])
+            r.Xengine.Engine.ap_dropped));
+      ("resurrected", Arr (List.map (fun n -> Str n) r.Xengine.Engine.ap_resurrected)) ]
+
+let print_report ~json (r : Xengine.Engine.apply_report) =
+  if json then print_endline (Xobs.Json.to_string (report_json r))
+  else begin
+    Printf.printf "lsn %d: %d partition(s) kept, %d rebuilt\n"
+      r.Xengine.Engine.ap_lsn r.Xengine.Engine.ap_parts_kept
+      r.Xengine.Engine.ap_parts_rebuilt;
+    List.iter (Printf.printf "  path added   %s\n") r.Xengine.Engine.ap_paths_added;
+    List.iter (Printf.printf "  path removed %s\n") r.Xengine.Engine.ap_paths_removed;
+    List.iter
+      (fun (n, reason) -> Printf.printf "  dropped      %s (%s)\n" n reason)
+      r.Xengine.Engine.ap_dropped;
+    List.iter (Printf.printf "  resurrected  %s\n") r.Xengine.Engine.ap_resurrected
+  end
+
+let apply_and_report ~json engine op =
+  match Xengine.Engine.apply_r engine op with
+  | Error e -> die_xerror ~json e
+  | Ok r -> print_report ~json r
+
+let snap_pos_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"SNAP" ~doc:"Snapshot file written by $(b,uload save)")
+
+let put_cmd =
+  let parent_arg =
+    Arg.(required & opt (some int) None
+         & info [ "parent" ] ~docv:"H" ~doc:"Element handle to graft under")
+  in
+  let before_arg =
+    Arg.(value & opt (some int) None
+         & info [ "before" ] ~docv:"H" ~doc:"Insert before this child handle")
+  in
+  let xml_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"XML" ~doc:"XML fragment to insert")
+  in
+  let run snap wal parent before xml json =
+    let engine, _ = open_for_write ~json snap wal in
+    apply_and_report ~json engine
+      (Xengine.Engine.Insert_subtree { parent; before; xml })
+  in
+  Cmd.v
+    (Cmd.info "put"
+       ~doc:"Insert an XML fragment into a snapshot's document, durably: the \
+             mutation is WAL-logged and fsync'd, the snapshot is rewritten \
+             only at $(b,uload checkpoint)")
+    Term.(const run $ snap_pos_arg $ wal_arg $ parent_arg $ before_arg
+          $ xml_arg $ json_flag)
+
+let delete_cmd =
+  let node_arg =
+    Arg.(required & pos 1 (some int) None
+         & info [] ~docv:"H" ~doc:"Handle of the subtree to delete")
+  in
+  let run snap wal node json =
+    let engine, _ = open_for_write ~json snap wal in
+    apply_and_report ~json engine (Xengine.Engine.Delete_subtree { node })
+  in
+  Cmd.v (Cmd.info "delete" ~doc:"Delete a subtree from a snapshot's document, durably")
+    Term.(const run $ snap_pos_arg $ wal_arg $ node_arg $ json_flag)
+
+let update_cmd =
+  let node_arg =
+    Arg.(required & pos 1 (some int) None
+         & info [] ~docv:"H" ~doc:"Handle of the text or attribute node")
+  in
+  let value_arg =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"VALUE")
+  in
+  let run snap wal node value json =
+    let engine, _ = open_for_write ~json snap wal in
+    apply_and_report ~json engine (Xengine.Engine.Update_value { node; value })
+  in
+  Cmd.v
+    (Cmd.info "update" ~doc:"Overwrite a text or attribute value, durably")
+    Term.(const run $ snap_pos_arg $ wal_arg $ node_arg $ value_arg $ json_flag)
+
+let checkpoint_cmd =
+  let run snap wal json =
+    let engine, replayed = open_for_write ~json snap wal in
+    match Xengine.Engine.checkpoint_r engine snap with
+    | Error e -> die_xerror ~json e
+    | Ok (bytes, removed) ->
+        if json then
+          print_endline
+            (Xobs.Json.to_string
+               (Xobs.Json.Obj
+                  [ ("lsn", Xobs.Json.Num (float_of_int (Xengine.Engine.lsn engine)));
+                    ("replayed", Xobs.Json.Num (float_of_int replayed));
+                    ("snapshot_bytes", Xobs.Json.Num (float_of_int bytes));
+                    ("segments_removed", Xobs.Json.Num (float_of_int removed)) ]))
+        else
+          Printf.printf
+            "checkpoint at lsn %d: %d record(s) replayed, %d bytes written, %d \
+             segment(s) truncated\n"
+            (Xengine.Engine.lsn engine) replayed bytes removed
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Replay the WAL, rewrite the snapshot at the current LSN, and \
+             truncate the covered WAL segments")
+    Term.(const run $ snap_pos_arg $ wal_arg $ json_flag)
+
+(* A deterministic, resumable mutation workload. Op [i] is drawn from a
+   PRNG seeded with (seed, i) over the document state at LSN i-1 — the
+   state, in turn, is fully determined by ops 1..i-1 — so a run killed at
+   any point and restarted with the same arguments recovers via WAL
+   replay and continues with exactly the ops the uninterrupted run would
+   have applied. That equivalence is what the CI recovery-smoke job
+   checks, via --verify. *)
+let churn_op doc ~seed i =
+  let rng = Random.State.make [| seed; i |] in
+  let n = Xdm.Doc.size doc in
+  let elements = ref [] and leaves = ref [] in
+  Xdm.Doc.iter
+    (fun h ->
+      match Xdm.Doc.kind doc h with
+      | Xdm.Doc.Element -> if h <> 0 then elements := h :: !elements
+      | Xdm.Doc.Attribute | Xdm.Doc.Text -> leaves := h :: !leaves)
+    doc;
+  let elements = Array.of_list (List.rev !elements) in
+  let leaves = Array.of_list (List.rev !leaves) in
+  let pick a = a.(Random.State.int rng (Array.length a)) in
+  let roll = Random.State.int rng 100 in
+  if roll < 50 || n <= 3 then
+    let parent =
+      if Array.length elements = 0 then Xdm.Doc.root doc else pick elements
+    in
+    Xengine.Engine.Insert_subtree
+      { parent;
+        before = None;
+        xml = Printf.sprintf "<w%d a=\"%d\">t%d</w%d>" (i mod 7) i i (i mod 7) }
+  else if roll < 75 && Array.length leaves > 0 then
+    Xengine.Engine.Update_value { node = pick leaves; value = Printf.sprintf "v%d" i }
+  else if Array.length elements > 0 then
+    Xengine.Engine.Delete_subtree { node = pick elements }
+  else
+    Xengine.Engine.Insert_subtree
+      { parent = Xdm.Doc.root doc;
+        before = None;
+        xml = Printf.sprintf "<w%d>t%d</w%d>" (i mod 7) i (i mod 7) }
+
+let churn_cmd =
+  let ops_arg =
+    Arg.(value & opt int 100 & info [ "ops" ] ~docv:"N" ~doc:"Total mutations to reach")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S") in
+  let sleep_arg =
+    Arg.(value & opt int 0
+         & info [ "sleep-ms" ] ~docv:"MS"
+             ~doc:"Pause between mutations (gives a crash injector a window)")
+  in
+  let ckpt_arg =
+    Arg.(value & opt int 0
+         & info [ "checkpoint-every" ] ~docv:"K"
+             ~doc:"Checkpoint the snapshot every K mutations (0 = never)")
+  in
+  let verify_arg =
+    Arg.(value & opt (some string) None
+         & info [ "verify" ] ~docv:"QUERY"
+             ~doc:"After reaching N ops, print this XQuery's answer — \
+                   byte-comparable across interrupted and clean runs")
+  in
+  let run snap wal ops seed sleep_ms ckpt_every verify json =
+    let engine, replayed = open_for_write ~json snap wal in
+    let start = Xengine.Engine.lsn engine in
+    if not json then
+      Printf.printf "churn: resuming at lsn %d (%d replayed), target %d\n%!"
+        start replayed ops;
+    for i = start + 1 to ops do
+      let doc =
+        match Xengine.Engine.document engine with
+        | Some d -> d
+        | None -> die ~json ~stage:"update" "snapshot carries no document"
+      in
+      (match Xengine.Engine.apply_r engine (churn_op doc ~seed i) with
+      | Ok _ -> ()
+      | Error e -> die_xerror ~json e);
+      if ckpt_every > 0 && i mod ckpt_every = 0 then begin
+        match Xengine.Engine.checkpoint_r engine snap with
+        | Ok _ -> ()
+        | Error e -> die_xerror ~json e
+      end;
+      if sleep_ms > 0 then Unix.sleepf (float_of_int sleep_ms /. 1000.)
+    done;
+    if json then
+      print_endline
+        (Xobs.Json.to_string
+           (Xobs.Json.Obj
+              [ ("lsn", Xobs.Json.Num (float_of_int (Xengine.Engine.lsn engine)));
+                ("resumed_at", Xobs.Json.Num (float_of_int start));
+                ("replayed", Xobs.Json.Num (float_of_int replayed)) ]))
+    else
+      Printf.printf "churn: done at lsn %d\n%!" (Xengine.Engine.lsn engine);
+    match verify with
+    | None -> ()
+    | Some src -> (
+        match Xengine.Engine.query_string_r engine src with
+        | Error e -> die_xerror ~json e
+        | Ok r -> print_endline r.Xengine.Engine.output)
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Drive a deterministic, resumable mutation workload against a \
+             snapshot + WAL; killed at any point, rerunning the same command \
+             recovers and converges on the same final state")
+    Term.(const run $ snap_pos_arg $ wal_arg $ ops_arg $ seed_arg $ sleep_arg
+          $ ckpt_arg $ verify_arg $ json_flag)
 
 (* --- gen ------------------------------------------------------------------ *)
 
@@ -429,6 +732,7 @@ let () =
             ~doc:"XML Access Modules: physical data independence for XML")
          [ info_cmd; summary_cmd; query_cmd; patterns_cmd; plan_cmd;
            contain_cmd; rewrite_cmd; minimize_cmd; save_cmd; open_cmd;
+           put_cmd; delete_cmd; update_cmd; checkpoint_cmd; churn_cmd;
            gen_cmd ])
   in
   (* cmdliner reports its own usage errors as 124; fold them into the

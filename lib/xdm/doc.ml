@@ -259,6 +259,97 @@ let unpack ~name packed =
         packed;
     label_index = None }
 
+(* --- Mutations ---------------------------------------------------------
+   Functional updates: rebuild the parsed-tree form with one edit applied
+   and re-flatten through [of_tree]. The (pre, post, depth) labels and
+   subtree extents come out consistent by construction — the same code
+   path that built the document rebuilds it — at the price of O(n) work
+   per edit. Handles are pre-order ranks, so any structural edit shifts
+   the handles of every node at or after the edit point; callers must
+   re-resolve handles against the returned document. *)
+
+type edit =
+  | Drop of int
+  | Set_value of int * string
+  | Graft of { parent : int; before : int option; tree : Xml_tree.t }
+
+let check_handle d i ctx =
+  if i < 0 || i >= Array.length d.nodes then
+    invalid_arg
+      (Printf.sprintf "Doc.%s: handle %d out of range (document has %d nodes)"
+         ctx i (Array.length d.nodes))
+
+let rebuild d edit =
+  let rec go i =
+    let n = d.nodes.(i) in
+    match n.kind with
+    | Text ->
+        let v = match edit with Set_value (k, v) when k = i -> v | _ -> n.value in
+        Xml_tree.Text v
+    | Attribute ->
+        (* Attributes are folded into their owning element below. *)
+        assert false
+    | Element ->
+        let cs = children d i in
+        let attrs =
+          List.filter_map
+            (fun j ->
+              let c = d.nodes.(j) in
+              if c.kind <> Attribute then None
+              else
+                let aname = String.sub c.label 1 (String.length c.label - 1) in
+                match edit with
+                | Drop k when k = j -> None
+                | Set_value (k, v) when k = j -> Some (aname, v)
+                | _ -> Some (aname, c.value))
+            cs
+        in
+        let kids = List.filter (fun j -> d.nodes.(j).kind <> Attribute) cs in
+        let built =
+          List.concat_map
+            (fun j ->
+              let sub = match edit with Drop k when k = j -> [] | _ -> [ go j ] in
+              match edit with
+              | Graft { parent; before = Some b; tree } when parent = i && b = j ->
+                  tree :: sub
+              | _ -> sub)
+            kids
+        in
+        let built =
+          match edit with
+          | Graft { parent; before = None; tree } when parent = i ->
+              built @ [ tree ]
+          | _ -> built
+        in
+        Xml_tree.Element { tag = n.label; attrs; children = built }
+  in
+  of_tree ~name:d.name (go 0)
+
+let insert_subtree d ~parent ?before tree =
+  check_handle d parent "insert_subtree";
+  if d.nodes.(parent).kind <> Element then
+    invalid_arg "Doc.insert_subtree: parent is not an element";
+  (match before with
+  | None -> ()
+  | Some b ->
+      check_handle d b "insert_subtree";
+      if d.nodes.(b).parent <> parent then
+        invalid_arg "Doc.insert_subtree: ~before is not a child of ~parent";
+      if d.nodes.(b).kind = Attribute then
+        invalid_arg "Doc.insert_subtree: cannot insert before an attribute");
+  rebuild d (Graft { parent; before; tree })
+
+let delete_subtree d i =
+  check_handle d i "delete_subtree";
+  if i = 0 then invalid_arg "Doc.delete_subtree: cannot delete the root";
+  rebuild d (Drop i)
+
+let update_value d i v =
+  check_handle d i "update_value";
+  if d.nodes.(i).kind = Element then
+    invalid_arg "Doc.update_value: values live on text and attribute nodes";
+  rebuild d (Set_value (i, v))
+
 let handle_of_id d nid =
   let check i = if i >= 0 && i < Array.length d.nodes then Some i else None in
   match nid with

@@ -81,6 +81,28 @@ val labels : t -> string list
 
 val iter : (int -> unit) -> t -> unit
 
+(** {1 Mutations}
+
+    Functional updates: each returns a fresh document with one edit
+    applied; the input is untouched. The flattened layout is rebuilt
+    through the {!of_tree} path, so all structural invariants hold by
+    construction. Node handles are pre-order ranks and are therefore
+    {b not stable} across structural edits — re-resolve any held handles
+    against the returned document. All three raise [Invalid_argument] on
+    handles that are out of range or of the wrong kind. *)
+
+val insert_subtree : t -> parent:int -> ?before:int -> Xml_tree.t -> t
+(** Graft a parsed subtree under element [parent]: before child [before]
+    when given (which must be a non-attribute child of [parent]),
+    appended after the last child otherwise. *)
+
+val delete_subtree : t -> int -> t
+(** Remove the node and its whole subtree. The root cannot be deleted. *)
+
+val update_value : t -> int -> string -> t
+(** Replace the value of a text or attribute node (elements have no
+    stored value of their own). *)
+
 (** {1 Identifiers} *)
 
 val id : Nid.scheme -> t -> int -> Nid.t

@@ -13,6 +13,8 @@ module Obs = Xobs.Obs
 module Metrics = Xobs.Metrics
 module Trace = Xobs.Trace
 module Slowlog = Xobs.Slowlog
+module Summary = Xsummary.Summary
+module Wal = Xwal.Wal
 
 exception No_rewriting of string
 
@@ -57,9 +59,16 @@ type emetrics = {
   m_degraded : Metrics.counter;
   m_quarantines : Metrics.counter;
   m_quarantined_now : Metrics.gauge;
+  m_applies : Metrics.counter;
+  m_replayed : Metrics.counter;
+  m_tails : Metrics.counter;
+  m_parts_kept : Metrics.counter;
+  m_parts_rebuilt : Metrics.counter;
+  g_wal_lag : Metrics.gauge;
   h_query : Metrics.histogram;
   h_rewrite : Metrics.histogram;
   h_exec : Metrics.histogram;
+  h_apply : Metrics.histogram;
 }
 
 let register_metrics reg =
@@ -79,9 +88,22 @@ let register_metrics reg =
     m_quarantined_now =
       Metrics.gauge reg ~help:"currently quarantined modules"
         "engine_quarantined_modules";
+    m_applies = c "engine_applies_total" "document mutations applied";
+    m_replayed = c "wal_replayed_records_total" "wal records replayed at recovery";
+    m_tails = c "wal_truncated_tails_total" "torn wal tails truncated at recovery";
+    m_parts_kept =
+      c "engine_maintain_partitions_kept_total"
+        "partitions physically reused by incremental maintenance";
+    m_parts_rebuilt =
+      c "engine_maintain_partitions_rebuilt_total"
+        "partitions rebuilt by incremental maintenance";
+    g_wal_lag =
+      Metrics.gauge reg ~help:"applied records not yet covered by a snapshot"
+        "wal_snapshot_lag";
     h_query = h "engine_query_seconds" "end-to-end pattern query latency";
     h_rewrite = h "engine_rewrite_seconds" "rewrite + costing latency on cache misses";
-    h_exec = h "engine_exec_seconds" "physical plan execution latency" }
+    h_exec = h "engine_exec_seconds" "physical plan execution latency";
+    h_apply = h "engine_apply_seconds" "end-to-end mutation apply latency" }
 
 type budget = {
   deadline_ms : float option;
@@ -115,11 +137,23 @@ type t = {
          and STILL be re-wrapped — fault injection must see pruned scans
          exactly like ordinary ones *)
   mutable env : Eval.env;
-  doc : Xdm.Doc.t option;
+  mutable doc : Xdm.Doc.t option;
   cache : cached Lru.t;
   lock : Mutex.t;
       (* guards the plan cache, the quarantine table and catalog swaps;
          never held across planning or execution *)
+  apply_lock : Mutex.t;
+      (* serializes the write path (apply / replay / checkpoint); held
+         across maintenance, which [lock] never is *)
+  mutable lsn : int;  (* records applied; the WAL position of this state *)
+  mutable snapshot_lsn : int;  (* lsn covered by the latest snapshot save *)
+  mutable wal : Wal.Writer.t option;
+  mutable dormant : (string * Pattern.t * string) list;
+      (* modules dropped by maintenance (name, xam, reason), retried for
+         resurrection on every later apply *)
+  mutable reader_faults : unit -> (string * int * string) list;
+      (* partition page-in faults from the backing snapshot reader, if
+         this engine was opened lazily *)
   counters : acounters;
   constraints : bool;
   max_views : int;
@@ -227,6 +261,12 @@ let create ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
     doc;
     cache = Lru.create ~metrics:obs.Obs.metrics cache_capacity;
     lock = Mutex.create ();
+    apply_lock = Mutex.create ();
+    lsn = 0;
+    snapshot_lsn = 0;
+    wal = None;
+    dormant = [];
+    reader_faults = (fun () -> []);
     counters =
       { a_queries = Atomic.make 0; a_hits = Atomic.make 0;
         a_misses = Atomic.make 0; a_rewrites = Atomic.make 0;
@@ -260,6 +300,12 @@ let create_lazy ?(cache_capacity = 128) ?(constraints = true) ?(max_views = 3)
     doc;
     cache = Lru.create ~metrics:obs.Obs.metrics cache_capacity;
     lock = Mutex.create ();
+    apply_lock = Mutex.create ();
+    lsn = 0;
+    snapshot_lsn = 0;
+    wal = None;
+    dormant = [];
+    reader_faults = (fun () -> []);
     counters =
       { a_queries = Atomic.make 0; a_hits = Atomic.make 0;
         a_misses = Atomic.make 0; a_rewrites = Atomic.make 0;
@@ -357,9 +403,15 @@ let save_snapshot_r t path =
      checksum-valid snapshot full of empty extents over real data. *)
   match
     let catalog = materialized_catalog t in
-    Xpersist.Snapshot.save ?doc:t.doc ~metrics:t.obs.Obs.metrics path catalog
+    Xpersist.Snapshot.save ?doc:t.doc ~lsn:t.lsn ~metrics:t.obs.Obs.metrics path
+      catalog
   with
-  | Ok bytes -> Ok bytes
+  | Ok bytes ->
+      (* The saved state covers everything applied so far: recovery from
+         this file replays nothing older. *)
+      t.snapshot_lsn <- t.lsn;
+      Metrics.set_gauge t.m.g_wal_lag 0.0;
+      Ok bytes
   | Error reason -> Error (snapshot_error path reason)
   | exception Xerror.Error e -> Error e
 
@@ -401,7 +453,12 @@ let of_snapshot_r ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?poo
               ?doc:(Xpersist.Snapshot.Reader.doc reader)
               (Xpersist.Snapshot.Reader.lazy_catalog reader)
           with
-          | t -> Ok t
+          | t ->
+              t.lsn <- Xpersist.Snapshot.Reader.lsn reader;
+              t.snapshot_lsn <- t.lsn;
+              t.reader_faults <-
+                (fun () -> Xpersist.Snapshot.Reader.partition_faults reader);
+              Ok t
           | exception e ->
               (* The engine never took ownership (catalog validation
                  failed, say); the caller has no handle, so close the
@@ -409,12 +466,16 @@ let of_snapshot_r ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?poo
               Xpersist.Snapshot.Reader.close reader;
               raise e)
     else
-      match Xpersist.Snapshot.load ~metrics:obs.Obs.metrics path with
+      match Xpersist.Snapshot.load_with_lsn ~metrics:obs.Obs.metrics path with
       | Error reason -> Error (snapshot_error path reason)
-      | Ok (doc, catalog) ->
-          Ok
-            (create ?cache_capacity ?constraints ?max_views ?budget ?env_wrap
-               ?pool ~obs ?doc catalog)
+      | Ok (doc, catalog, lsn) ->
+          let t =
+            create ?cache_capacity ?constraints ?max_views ?budget ?env_wrap
+              ?pool ~obs ?doc catalog
+          in
+          t.lsn <- lsn;
+          t.snapshot_lsn <- lsn;
+          Ok t
   with Xerror.Error e -> Error e
 
 let of_snapshot ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?pool
@@ -448,6 +509,343 @@ let quarantine t name reason =
 
 let quarantine_empty t =
   with_lock t (fun () -> Hashtbl.length t.quarantined = 0)
+
+(* --- Write path: apply, WAL, recovery, checkpoint ----------------------- *)
+
+type mutation = Wal.op =
+  | Insert_subtree of { parent : int; before : int option; xml : string }
+  | Delete_subtree of { node : int }
+  | Update_value of { node : int; value : string }
+
+type apply_report = {
+  ap_lsn : int;
+  ap_parts_kept : int;
+  ap_parts_rebuilt : int;
+  ap_paths_added : string list;
+  ap_paths_removed : string list;
+  ap_dropped : (string * string) list;
+  ap_resurrected : string list;
+}
+
+(* What one round of maintenance decided; [apply_report] is its public
+   face plus the LSN the mutation landed at. *)
+type minfo = {
+  mt_kept : int;
+  mt_rebuilt : int;
+  mt_dropped : (string * string) list;
+  mt_resurrected : string list;
+  mt_dormant : (string * Pattern.t * string) list;
+  mt_paths_added : string list;
+  mt_paths_removed : string list;
+}
+
+let update_invalid msg = Xerror.Error (Xerror.Update_invalid msg)
+
+let mutate_doc doc (op : mutation) =
+  match op with
+  | Insert_subtree { parent; before; xml } -> (
+      match Xdm.Xml_tree.parse_result xml with
+      | Error msg ->
+          raise (update_invalid ("inserted XML does not parse: " ^ msg))
+      | Ok tree -> (
+          match Xdm.Doc.insert_subtree doc ~parent ?before tree with
+          | d -> d
+          | exception Invalid_argument msg -> raise (update_invalid msg)))
+  | Delete_subtree { node } -> (
+      match Xdm.Doc.delete_subtree doc node with
+      | d -> d
+      | exception Invalid_argument msg -> raise (update_invalid msg))
+  | Update_value { node; value } -> (
+      match Xdm.Doc.update_value doc node value with
+      | d -> d
+      | exception Invalid_argument msg -> raise (update_invalid msg))
+
+let summary_paths s =
+  List.init (Summary.size s) (fun i -> Summary.path_string s i)
+
+(* Rebuild the catalog against the mutated document. Structural edits
+   shift every pre-order rank, so extents are re-materialized wholesale
+   and [Store.spliced] recovers the physical change-set: partitions whose
+   payload came out identical share the old record, so only partitions
+   the edit actually touched are fresh. Modules whose XAM no longer
+   validates against the new summary are dropped to the dormant list and
+   retried on every later apply — a module dropped because an edit
+   removed its last matching path resurrects the moment an edit brings
+   the path back. Deterministic (pure list folds), which is what makes
+   WAL replay reproduce the exact same catalog. *)
+let maintain t doc =
+  let prev = materialized_catalog t in
+  let summary, phi = Summary.build doc in
+  let old_paths = summary_paths prev.Store.summary in
+  let new_paths = summary_paths summary in
+  let dormant_names = List.map (fun (n, _, _) -> n) t.dormant in
+  let candidates =
+    List.map (fun (m : Store.module_) -> (m.Store.name, m.Store.xam))
+      prev.Store.modules
+    @ List.map (fun (n, x, _) -> (n, x)) t.dormant
+  in
+  let built =
+    List.map
+      (fun (name, xam) ->
+        match Store.partitioned ~phi doc (Store.materialize doc name xam) with
+        | m -> (name, Ok m)
+        | exception e -> (name, Error (Printexc.to_string e)))
+      candidates
+  in
+  let ok_modules =
+    List.filter_map (function _, Ok m -> Some m | _ -> None) built
+  in
+  let invalid =
+    match Store.validate { Store.summary; modules = ok_modules } with
+    | Ok () -> []
+    | Error pairs -> pairs
+  in
+  let failures =
+    List.filter_map (function n, Error r -> Some (n, r) | _ -> None) built
+    @ invalid
+  in
+  let failed_names = List.map fst failures in
+  let kept = ref 0 and rebuilt = ref 0 in
+  let modules =
+    List.filter
+      (fun (m : Store.module_) -> not (List.mem m.Store.name failed_names))
+      ok_modules
+    |> List.map (fun (m : Store.module_) ->
+           match
+             List.find_opt
+               (fun (p : Store.module_) -> p.Store.name = m.Store.name)
+               prev.Store.modules
+           with
+           | Some p ->
+               let m', (k, r) = Store.spliced ~prev:p m in
+               kept := !kept + k;
+               rebuilt := !rebuilt + r;
+               m'
+           | None -> m)
+  in
+  let dropped =
+    List.filter (fun (n, _) -> not (List.mem n dormant_names)) failures
+  in
+  let resurrected =
+    List.filter_map
+      (fun (m : Store.module_) ->
+        if List.mem m.Store.name dormant_names then Some m.Store.name else None)
+      modules
+  in
+  let dormant =
+    List.filter_map
+      (fun (n, reason) ->
+        Option.map (fun xam -> (n, xam, reason)) (List.assoc_opt n candidates))
+      failures
+  in
+  ( { Store.summary; modules },
+    { mt_kept = !kept;
+      mt_rebuilt = !rebuilt;
+      mt_dropped = dropped;
+      mt_resurrected = resurrected;
+      mt_dormant = dormant;
+      mt_paths_added =
+        List.filter (fun p -> not (List.mem p old_paths)) new_paths;
+      mt_paths_removed =
+        List.filter (fun p -> not (List.mem p new_paths)) old_paths } )
+
+(* Swap the mutated world in. Unlike [set_catalog_r] this merges into the
+   quarantine table rather than resetting it: modules maintenance had to
+   drop stay visible as quarantined until an apply resurrects them. *)
+let install_update t doc catalog (info : minfo) =
+  with_lock t (fun () ->
+      t.doc <- Some doc;
+      t.catalog <- catalog;
+      t.lazy_catalog <- None;
+      t.base_env <- Store.env catalog;
+      t.env <- t.env_wrap t.base_env;
+      t.dormant <- info.mt_dormant;
+      List.iter (fun (n, r) -> Hashtbl.replace t.quarantined n r) info.mt_dropped;
+      List.iter (fun n -> Hashtbl.remove t.quarantined n) info.mt_resurrected;
+      Atomic.incr t.generation;
+      Metrics.set_gauge t.m.m_quarantined_now
+        (float_of_int (Hashtbl.length t.quarantined)));
+  List.iter
+    (fun _ ->
+      Atomic.incr t.counters.a_quarantines;
+      Metrics.incr t.m.m_quarantines)
+    info.mt_dropped;
+  Metrics.add t.m.m_parts_kept info.mt_kept;
+  Metrics.add t.m.m_parts_rebuilt info.mt_rebuilt
+
+let prepare_apply t op =
+  let doc =
+    match t.doc with
+    | Some d -> d
+    | None -> raise (update_invalid "engine holds no document to mutate")
+  in
+  let doc = mutate_doc doc op in
+  let catalog, info = maintain t doc in
+  (doc, catalog, info)
+
+let with_apply_lock t f =
+  Mutex.lock t.apply_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.apply_lock) f
+
+(* The write-ahead ordering: (1) prepare off to the side — the mutated
+   document and maintained catalog exist only as local values, a failure
+   here changes nothing; (2) make the record durable — an [Error] from
+   the WAL leaves engine state untouched, an injected [Fsio.Crashed]
+   escapes as the exception it is; (3) install and advance the LSN. A
+   crash between (2) and (3) is exactly what replay absorbs: the WAL
+   holds one record the state does not, and recovery re-applies it. *)
+let apply_r t op =
+  with_apply_lock t (fun () ->
+      let t0 = clk t () in
+      match prepare_apply t op with
+      | exception Xerror.Error e -> Error e
+      | doc, catalog, info -> (
+          let appended =
+            match t.wal with
+            | None -> Ok ()
+            | Some w -> (
+                match Wal.Writer.append w op with
+                | Ok _ -> Ok ()
+                | Error reason ->
+                    Error (Xerror.Wal_error { path = Wal.Writer.dir w; reason }))
+          in
+          match appended with
+          | Error e -> Error e
+          | Ok () ->
+              install_update t doc catalog info;
+              t.lsn <- t.lsn + 1;
+              Metrics.incr t.m.m_applies;
+              Metrics.observe t.m.h_apply (clk t () -. t0);
+              Metrics.set_gauge t.m.g_wal_lag
+                (float_of_int (t.lsn - t.snapshot_lsn));
+              Ok
+                { ap_lsn = t.lsn;
+                  ap_parts_kept = info.mt_kept;
+                  ap_parts_rebuilt = info.mt_rebuilt;
+                  ap_paths_added = info.mt_paths_added;
+                  ap_paths_removed = info.mt_paths_removed;
+                  ap_dropped = info.mt_dropped;
+                  ap_resurrected = info.mt_resurrected }))
+
+let apply t op =
+  match apply_r t op with Ok r -> r | Error e -> raise (Xerror.Error e)
+
+(* Replay is [apply_r] minus the WAL append: the record is already
+   durable, so it goes straight through prepare + install. The LSN comes
+   from the record, not a local increment — replay lands the engine at
+   exactly the logged position. *)
+let replay_one t (r : Wal.record) =
+  match prepare_apply t r.Wal.op with
+  | exception Xerror.Error e -> Error e
+  | doc, catalog, info ->
+      install_update t doc catalog info;
+      t.lsn <- r.Wal.lsn;
+      Metrics.incr t.m.m_replayed;
+      Ok ()
+
+let attach_wal_r ?fs ?sync ?segment_bytes t dir =
+  let wal_err reason = Xerror.Wal_error { path = dir; reason } in
+  with_apply_lock t (fun () ->
+      if t.wal <> None then Error (wal_err "a WAL is already attached")
+      else
+        match Wal.read ~dir with
+        | Error reason -> Error (wal_err reason)
+        | Ok (records, tail) -> (
+            let repaired =
+              match tail with
+              | Wal.Clean -> Ok ()
+              | Wal.Torn _ as torn -> (
+                  Metrics.incr t.m.m_tails;
+                  match Wal.repair ?fs torn with
+                  | Ok () -> Ok ()
+                  | Error reason -> Error (wal_err reason))
+            in
+            match repaired with
+            | Error e -> Error e
+            | Ok () -> (
+                let base = t.lsn in
+                (* Records at or below the base are covered by the
+                   snapshot this engine was opened from: skipping them is
+                   what makes replay idempotent. Above the base,
+                   acknowledged history must be contiguous — a gap means
+                   a segment of committed records vanished, and replaying
+                   across it would silently rewrite history. *)
+                let todo = List.filter (fun r -> r.Wal.lsn > base) records in
+                let rec check expected = function
+                  | [] -> Ok ()
+                  | r :: rest ->
+                      if r.Wal.lsn = expected then check (expected + 1) rest
+                      else
+                        Error
+                          (wal_err
+                             (Printf.sprintf
+                                "LSN gap above snapshot: expected %d, found %d"
+                                expected r.Wal.lsn))
+                in
+                match check (base + 1) todo with
+                | Error e -> Error e
+                | Ok () -> (
+                    let rec replay = function
+                      | [] -> Ok ()
+                      | r :: rest -> (
+                          match replay_one t r with
+                          | Ok () -> replay rest
+                          | Error e -> Error e)
+                    in
+                    match replay todo with
+                    | Error e -> Error e
+                    | Ok () -> (
+                        match
+                          Wal.Writer.open_ ?fs ~metrics:t.obs.Obs.metrics
+                            ?segment_bytes ?sync ~dir ~lsn:t.lsn ()
+                        with
+                        | Error reason -> Error (wal_err reason)
+                        | Ok w ->
+                            t.wal <- Some w;
+                            Metrics.set_gauge t.m.g_wal_lag
+                              (float_of_int (t.lsn - t.snapshot_lsn));
+                            Ok (List.length todo))))))
+
+let attach_wal ?fs ?sync ?segment_bytes t dir =
+  match attach_wal_r ?fs ?sync ?segment_bytes t dir with
+  | Ok n -> n
+  | Error e -> raise (Xerror.Error e)
+
+let detach_wal t =
+  with_apply_lock t (fun () ->
+      match t.wal with
+      | None -> ()
+      | Some w ->
+          Wal.Writer.close w;
+          t.wal <- None)
+
+(* Checkpoint protocol: snapshot first (stamped with the current LSN),
+   truncate second. A crash between the two only leaves extra segments
+   whose records the snapshot already covers — replay skips them. *)
+let checkpoint_r t path =
+  with_apply_lock t (fun () ->
+      match save_snapshot_r t path with
+      | Error e -> Error e
+      | Ok bytes -> (
+          match t.wal with
+          | None -> Ok (bytes, 0)
+          | Some w -> (
+              match Wal.Writer.truncate_upto w t.snapshot_lsn with
+              | Ok removed -> Ok (bytes, removed)
+              | Error reason ->
+                  Error (Xerror.Wal_error { path = Wal.Writer.dir w; reason }))))
+
+let checkpoint t path =
+  match checkpoint_r t path with
+  | Ok r -> r
+  | Error e -> raise (Xerror.Error e)
+
+let lsn t = t.lsn
+let snapshot_lsn t = t.snapshot_lsn
+let wal_dir t = Option.map Wal.Writer.dir t.wal
+let document t = t.doc
+let dormant_modules t = List.map (fun (n, _, r) -> (n, r)) t.dormant
+let partition_faults t = t.reader_faults ()
 
 let cache_key t pattern =
   Printf.sprintf "%s@%d"

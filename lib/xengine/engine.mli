@@ -195,6 +195,123 @@ val load_snapshot : t -> string -> unit
 
 val load_snapshot_r : t -> string -> (unit, Xerror.t) Stdlib.result
 
+(** {1 Document mutations and the write-ahead log}
+
+    The crash-safe write path. A mutation goes through {!apply}:
+
+    + {b prepare} — the mutated document, its rebuilt path summary and
+      the maintained catalog are computed off to the side; a failure here
+      changes nothing;
+    + {b log} — when a WAL is attached ({!attach_wal}), the operation is
+      appended as a CRC-framed record and fsync'd before anything else
+      happens ([Error] leaves engine state untouched);
+    + {b install} — the new world is swapped in (plan-cache generation
+      bump included) and the engine's LSN advances.
+
+    Recovery is [snapshot + replay]: open the engine from its latest
+    snapshot (which carries the LSN it covers), then {!attach_wal} — the
+    log's tail is repaired if torn, records at or below the snapshot LSN
+    are skipped (idempotence), the rest replay through the exact apply
+    path. Mid-log corruption and LSN gaps fail closed with
+    [Wal_error]. {!checkpoint} bounds replay work: fresh snapshot first,
+    then covered segments truncate.
+
+    Maintenance is wholesale-with-splicing: structural edits shift
+    pre-order ranks so extents re-materialize, but partitions whose
+    payload is unchanged share the previous physical record
+    ({!Xstorage.Store.spliced}) — the per-apply physical change-set is
+    the touched partitions, reported in {!apply_report}. Modules whose
+    XAM stops validating against the new summary are quarantined as
+    dormant and retried on every later apply. *)
+
+type mutation = Xwal.Wal.op =
+  | Insert_subtree of { parent : int; before : int option; xml : string }
+      (** graft the parsed [xml] under element handle [parent], before
+          child handle [before] when given *)
+  | Delete_subtree of { node : int }  (** remove the subtree at [node] *)
+  | Update_value of { node : int; value : string }
+      (** overwrite a text or attribute node's value *)
+
+type apply_report = {
+  ap_lsn : int;  (** the LSN this mutation landed at *)
+  ap_parts_kept : int;  (** partitions sharing their previous payload *)
+  ap_parts_rebuilt : int;  (** partitions the edit actually touched *)
+  ap_paths_added : string list;  (** summary paths the edit created *)
+  ap_paths_removed : string list;  (** summary paths the edit emptied *)
+  ap_dropped : (string * string) list;
+      (** modules quarantined by this apply (name, reason) *)
+  ap_resurrected : string list;
+      (** dormant modules that validate again and rejoined the catalog *)
+}
+
+val apply_r : t -> mutation -> (apply_report, Xerror.t) Stdlib.result
+(** Apply one mutation through the write path above. [Error
+    (Update_invalid _)] when the mutation is rejected (bad handle, wrong
+    node kind, unparsable XML) — state unchanged; [Error (Wal_error _)]
+    when the attached WAL could not make it durable — state unchanged.
+    Serialized against concurrent applies, replays and checkpoints;
+    concurrent readers keep answering against the previous state until
+    install. *)
+
+val apply : t -> mutation -> apply_report
+(** {!apply_r}, raising [Xerror.Error]. *)
+
+val attach_wal_r :
+  ?fs:Xwal.Fsio.ops ->
+  ?sync:bool ->
+  ?segment_bytes:int ->
+  t ->
+  string ->
+  (int, Xerror.t) Stdlib.result
+(** Attach (and recover from) the WAL directory: read it back, repair a
+    torn tail, replay every record above the engine's LSN, then open the
+    writer so subsequent {!apply}s append. Returns how many records were
+    replayed. Fails closed with [Wal_error] on mid-log corruption, an LSN
+    gap above the snapshot base, or a record that no longer applies.
+    [fs] injects a filesystem (crash harness); [sync]/[segment_bytes] as
+    in {!Xwal.Wal.Writer.open_}. *)
+
+val attach_wal :
+  ?fs:Xwal.Fsio.ops -> ?sync:bool -> ?segment_bytes:int -> t -> string -> int
+(** {!attach_wal_r}, raising [Xerror.Error]. *)
+
+val detach_wal : t -> unit
+(** Close the attached writer, if any. Applies keep working, unlogged. *)
+
+val checkpoint_r : t -> string -> (int * int, Xerror.t) Stdlib.result
+(** [checkpoint_r t path] snapshots the current state to [path] (stamped
+    with the current LSN) and then truncates WAL segments the snapshot
+    covers. Returns [(snapshot bytes, segments removed)]. Snapshot-first
+    ordering: a crash between the two steps only leaves segments whose
+    records replay skips. *)
+
+val checkpoint : t -> string -> int * int
+(** {!checkpoint_r}, raising [Xerror.Error]. *)
+
+val lsn : t -> int
+(** Records applied so far — the WAL position of the engine's state. *)
+
+val snapshot_lsn : t -> int
+(** The LSN covered by the most recent snapshot save (or the snapshot
+    the engine was opened from); [lsn t - snapshot_lsn t] is the replay
+    debt a crash right now would incur. *)
+
+val wal_dir : t -> string option
+(** The attached WAL directory, if any. *)
+
+val document : t -> Xdm.Doc.t option
+(** The engine's current document (mutations rebind it). *)
+
+val dormant_modules : t -> (string * string) list
+(** Modules maintenance dropped (name, reason), still retried for
+    resurrection on every apply. *)
+
+val partition_faults : t -> (string * int * string) list
+(** Per-partition page-in faults [(module, partition index, reason)]
+    recorded by the backing snapshot reader — non-empty only for engines
+    opened with [lazy_extents] whose snapshot pages turned out corrupt.
+    Mirrored by the [persist_partition_faults_total] metric. *)
+
 (** {1 Pattern queries} *)
 
 val query_r :

@@ -10,6 +10,8 @@ type t =
   | Catalog_invalid of { module_name : string; reason : string }
   | Budget_exceeded of { dimension : dimension; limit : float }
   | Snapshot_error of { path : string; reason : string }
+  | Update_invalid of string
+  | Wal_error of { path : string; reason : string }
 
 exception Error of t
 
@@ -33,6 +35,8 @@ let stage = function
   | Catalog_invalid _ -> "catalog"
   | Budget_exceeded _ -> "budget"
   | Snapshot_error _ -> "snapshot"
+  | Update_invalid _ -> "update"
+  | Wal_error _ -> "wal"
 
 let pp ppf = function
   | Parse_error m -> Format.fprintf ppf "parse error: %s" m
@@ -49,6 +53,9 @@ let pp ppf = function
         limit
   | Snapshot_error { path; reason } ->
       Format.fprintf ppf "snapshot error in %S: %s" path reason
+  | Update_invalid m -> Format.fprintf ppf "invalid update: %s" m
+  | Wal_error { path; reason } ->
+      Format.fprintf ppf "wal error in %S: %s" path reason
 
 let to_string e = Format.asprintf "%a" pp e
 

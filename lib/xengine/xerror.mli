@@ -30,6 +30,13 @@ type t =
       (** a persisted snapshot could not be written, or failed
           verification on open (bad magic, version, checksum, truncation,
           malformed section) *)
+  | Update_invalid of string
+      (** a document mutation was rejected before taking effect (bad
+          handle, wrong node kind, unparsable inserted XML) *)
+  | Wal_error of { path : string; reason : string }
+      (** the write-ahead log could not be appended to, replayed, or
+          truncated — including fail-closed mid-log corruption and LSN
+          gaps discovered during recovery *)
 
 exception Error of t
 (** Raised by the raising engine wrappers for every classified failure
@@ -42,7 +49,7 @@ val dimension_string : dimension -> string
 val stage : t -> string
 (** The pipeline stage the error belongs to: ["parse"], ["extract"],
     ["rewrite"], ["plan"], ["execute"], ["storage"], ["catalog"],
-    ["budget"], ["snapshot"]. *)
+    ["budget"], ["snapshot"], ["update"], ["wal"]. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

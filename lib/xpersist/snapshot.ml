@@ -27,6 +27,7 @@ type meters = {
   mt_written : Metrics.counter;
   mt_hits : Metrics.counter;
   mt_misses : Metrics.counter;
+  mt_pfaults : Metrics.counter;
   mt_open : Metrics.histogram;
 }
 
@@ -39,6 +40,8 @@ let meters = function
           mt_written = c "persist_bytes_written_total" "snapshot bytes written to disk";
           mt_hits = c "persist_extent_cache_hits_total" "extent buffer cache hits";
           mt_misses = c "persist_extent_cache_misses_total" "extent buffer cache misses";
+          mt_pfaults =
+            c "persist_partition_faults_total" "partition page-ins that failed";
           mt_open =
             Metrics.histogram reg ~help:"snapshot open latency" "persist_open_seconds" }
 
@@ -111,7 +114,7 @@ let stored_parts (m : Store.module_) =
   | Some p when p.Store.pt_parts <> [] -> Some p
   | _ -> None
 
-let build ?doc (catalog : Store.catalog) =
+let build ?doc ?(lsn = 0) (catalog : Store.catalog) =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun (m : Store.module_) ->
@@ -122,7 +125,11 @@ let build ?doc (catalog : Store.catalog) =
   let sections =
     (section "meta" (fun b ->
          Binio.w_bool b (doc <> None);
-         Binio.w_int b (List.length catalog.Store.modules))
+         Binio.w_int b (List.length catalog.Store.modules);
+         (* WAL position covered by this snapshot; absent in files written
+            before the write path existed, so readers treat it as an
+            optional trailing field (defaulting to 0 = "no records"). *)
+         Binio.w_int b lsn)
     :: section "summary" (fun b -> Codec.w_summary b catalog.Store.summary)
     :: section "catalog" (fun b ->
            Binio.w_int b (List.length catalog.Store.modules);
@@ -222,11 +229,19 @@ let fsync_dir path =
         ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
         (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
 
-let save ?doc ?metrics path catalog =
+(* Distinct temp names per save: two concurrent saves to the same path
+   from one process (checkpoint racing an explicit save) must not clobber
+   each other's temp file — pid alone collides, the nonce does not. *)
+let tmp_nonce = Atomic.make 0
+
+let save ?doc ?lsn ?metrics path catalog =
   let m = meters metrics in
   guard (fun () ->
-      let bytes = build ?doc catalog in
-      let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+      let bytes = build ?doc ?lsn catalog in
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+          (Atomic.fetch_and_add tmp_nonce 1)
+      in
       (try
          let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
          Fun.protect
@@ -318,8 +333,12 @@ let decode_meta r =
   let has_doc = Binio.r_bool r in
   let mcount = Binio.r_int r in
   if mcount < 0 then corrupt "negative module count %d" mcount;
+  (* Optional trailing WAL position (files predating the write path end
+     here). *)
+  let lsn = if Binio.remaining r > 0 then Binio.r_int r else 0 in
+  if lsn < 0 then corrupt "negative snapshot lsn %d" lsn;
   Binio.expect_end r;
-  (has_doc, mcount)
+  (has_doc, mcount, lsn)
 
 let decode_catalog_section r mcount =
   let n = Binio.r_int r in
@@ -333,7 +352,7 @@ let decode_catalog_section r mcount =
   Binio.expect_end r;
   mods
 
-let load ?metrics path =
+let load_with_lsn ?metrics path =
   let m = meters metrics in
   guard (fun () ->
       let data = read_file path in
@@ -354,7 +373,7 @@ let load ?metrics path =
         let e = find_entry entries name in
         Binio.reader ~pos:e.e_off ~len:e.e_len data
       in
-      let has_doc, mcount = decode_meta (rd "meta") in
+      let has_doc, mcount, lsn = decode_meta (rd "meta") in
       let summary =
         let r = rd "summary" in
         let s = Codec.r_summary r in
@@ -408,7 +427,12 @@ let load ?metrics path =
                   parts = Some { Store.pt_nid; pt_col; pt_parts } })
           mods
       in
-      (doc, { Store.summary; modules }))
+      (doc, { Store.summary; modules }, lsn))
+
+let load ?metrics path =
+  match load_with_lsn ?metrics path with
+  | Ok (doc, catalog, _lsn) -> Ok (doc, catalog)
+  | Error _ as e -> e
 
 (* --- Paging reader ------------------------------------------------------- *)
 
@@ -426,6 +450,7 @@ module Reader = struct
     rd_doc : Doc.t option;
     rd_summary : Xsummary.Summary.t;
     rd_mods : (string * Xam.Pattern.t * pdir option) list;
+    rd_lsn : int;
     rd_cache : Xalgebra.Rel.t Lru.t;
     mutable rd_part_faults : (string * int * string) list;
     mutable rd_closed : bool;
@@ -469,7 +494,7 @@ module Reader = struct
           meter m (fun m -> Metrics.add m.mt_read (header_len + toc_len));
           if Binio.crc32 toc <> toc_crc then corrupt "TOC checksum mismatch";
           let entries = parse_entries ~file_size toc in
-          let has_doc, mcount = decode_meta (verified_section fd m entries "meta") in
+          let has_doc, mcount, lsn = decode_meta (verified_section fd m entries "meta") in
           let summary =
             let r = verified_section fd m entries "summary" in
             let s = Codec.r_summary r in
@@ -513,6 +538,7 @@ module Reader = struct
             rd_doc = doc;
             rd_summary = summary;
             rd_mods = mods;
+            rd_lsn = lsn;
             rd_cache =
               Lru.create ?metrics ~metric_prefix:"persist_extent_cache" cache_capacity;
             rd_part_faults = [];
@@ -528,6 +554,7 @@ module Reader = struct
 
   let path t = t.rd_path
   let doc t = t.rd_doc
+  let lsn t = t.rd_lsn
 
   (* Page one rel-bearing section through the buffer cache, keyed and
      byte-costed by its section name/length. Caller holds [rd_lock].
@@ -582,6 +609,7 @@ module Reader = struct
       (fun () ->
         let fail reason =
           t.rd_part_faults <- (name, i, reason) :: t.rd_part_faults;
+          meter t.rd_m (fun m -> Metrics.incr m.mt_pfaults);
           Store.Module_fault
             { name; reason = Printf.sprintf "partition %d: %s" i reason }
         in

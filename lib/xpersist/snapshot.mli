@@ -44,12 +44,17 @@
 
 val save :
   ?doc:Xdm.Doc.t ->
+  ?lsn:int ->
   ?metrics:Xobs.Metrics.registry ->
   string ->
   Xstorage.Store.catalog ->
   (int, string) result
 (** [save path catalog] writes the snapshot crash-safely and returns the
-    bytes written. [metrics] feeds [persist_bytes_written_total]. *)
+    bytes written. [lsn] (default 0) records the WAL position this state
+    covers — recovery replays only records past it. Temp-file names carry
+    a process-wide nonce, so concurrent saves to the same path from one
+    process cannot clobber each other's temp file (last rename wins).
+    [metrics] feeds [persist_bytes_written_total]. *)
 
 val load :
   ?metrics:Xobs.Metrics.registry ->
@@ -57,6 +62,13 @@ val load :
   (Xdm.Doc.t option * Xstorage.Store.catalog, string) result
 (** Eager open: verify and decode every section, extents included. The
     returned catalog is fully resident. *)
+
+val load_with_lsn :
+  ?metrics:Xobs.Metrics.registry ->
+  string ->
+  (Xdm.Doc.t option * Xstorage.Store.catalog * int, string) result
+(** {!load} plus the WAL position stored at save time (0 for snapshots
+    written before the write path existed). *)
 
 (** Paging open: the summary and catalog (names + xams) load eagerly —
     planning needs them — while extents page in on demand through an LRU
@@ -75,12 +87,16 @@ module Reader : sig
       partition is charged its section's byte size, so one huge
       partition competes fairly with many small ones. [metrics] feeds
       [persist_bytes_read_total], [persist_extent_cache_hits_total] /
-      [..._misses_total], the [persist_extent_cache_entries] and
+      [..._misses_total], [persist_partition_faults_total], the
+      [persist_extent_cache_entries] and
       [persist_extent_cache_cost] gauges and the [persist_open_seconds]
       histogram. *)
 
   val path : t -> string
   val doc : t -> Xdm.Doc.t option
+
+  val lsn : t -> int
+  (** WAL position stored at save time; see {!val:save}. *)
 
   val lazy_catalog : t -> Xstorage.Store.lazy_catalog
   (** Extent and partition thunks page through the reader. A thunk

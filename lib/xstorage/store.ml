@@ -156,6 +156,47 @@ let partitioned ~phi doc m =
   | Some _ -> m
   | None -> { m with parts = partition_extent ~phi doc m.xam m.extent }
 
+(* --- Incremental maintenance --------------------------------------------
+   Structural document edits shift pre-order ranks, so every stored Nid
+   in an extent can change and extents are re-materialized wholesale.
+   What *is* incremental is the physical change-set: per summary path,
+   a partition whose tuple payload came out identical shares the old
+   payload (and would not be rewritten by a paging store); only the
+   partitions actually touched by the edit are fresh allocations. *)
+
+let rel_equal (a : Rel.t) (b : Rel.t) =
+  a.Rel.schema = b.Rel.schema
+  && List.compare_lengths a.Rel.tuples b.Rel.tuples = 0
+  && List.for_all2 Rel.equal_tuple a.Rel.tuples b.Rel.tuples
+
+let spliced ~prev (fresh : module_) =
+  match (prev.parts, fresh.parts) with
+  | Some op, Some fp when op.pt_nid = fp.pt_nid && op.pt_col = fp.pt_col ->
+      let kept = ref 0 and rebuilt = ref 0 in
+      let pt_parts =
+        List.map
+          (fun (p : partition) ->
+            match
+              List.find_opt (fun (q : partition) -> q.p_path = p.p_path) op.pt_parts
+            with
+            | Some q when rel_equal q.p_rel p.p_rel ->
+                incr kept;
+                (* Same payload: share the old physical record. The
+                   directory metadata (positions, bounds) stays fresh —
+                   global extent positions shift even for untouched
+                   partitions. *)
+                { p with p_rel = q.p_rel }
+            | _ ->
+                incr rebuilt;
+                p)
+          fp.pt_parts
+      in
+      ({ fresh with parts = Some { fp with pt_parts } }, (!kept, !rebuilt))
+  | _ ->
+      if rel_equal prev.extent fresh.extent then
+        ({ fresh with extent = prev.extent }, (1, 0))
+      else (fresh, (0, 1))
+
 (* A module is consistent with the summary when every required pattern
    node can bind to at least one summary path and every optional node's
    label exists somewhere in the summary: a pattern referencing a path

@@ -86,6 +86,19 @@ val mk_partition :
 val merge_partitions : Xalgebra.Rel.schema -> partition list -> Xalgebra.Rel.t
 (** Reassemble partitions in original extent order. *)
 
+val rel_equal : Xalgebra.Rel.t -> Xalgebra.Rel.t -> bool
+(** Same schema, same tuples, same order. *)
+
+val spliced : prev:module_ -> module_ -> module_ * (int * int)
+(** Partition-level splice for incremental maintenance under updates:
+    [spliced ~prev fresh] returns [fresh] with every partition whose
+    tuple payload is unchanged from [prev]'s partition on the same
+    summary path sharing the old physical record (directory metadata —
+    positions, bounds — stays fresh, since global extent positions shift
+    even for untouched partitions), plus [(kept, rebuilt)] partition
+    counts. A monolithic module counts [(1, 0)] when its extent is
+    unchanged and [(0, 1)] otherwise. *)
+
 val partition_paths : parts -> int list
 (** The partition directory: each partition's summary path id. *)
 

@@ -1,0 +1,129 @@
+type ops = {
+  mkdir : string -> unit;
+  openw : append:bool -> string -> Unix.file_descr;
+  write : Unix.file_descr -> string -> unit;
+  fsync : Unix.file_descr -> unit;
+  close : Unix.file_descr -> unit;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  truncate : string -> int -> unit;
+  fsync_dir : string -> unit;
+}
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < n then
+      let k = Unix.write fd b off (n - off) in
+      go (off + k)
+  in
+  go 0
+
+let default =
+  {
+    mkdir =
+      (fun path ->
+        try Unix.mkdir path 0o755
+        with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    openw =
+      (fun ~append path ->
+        let flags =
+          Unix.O_WRONLY :: Unix.O_CREAT
+          :: (if append then [ Unix.O_APPEND ] else [])
+        in
+        Unix.openfile path flags 0o644);
+    write = write_all;
+    fsync = Unix.fsync;
+    close = Unix.close;
+    rename = Unix.rename;
+    remove = Unix.unlink;
+    truncate = (fun path len -> Unix.truncate path len);
+    fsync_dir =
+      (fun dir ->
+        (* Some filesystems refuse to open a directory O_RDONLY for sync;
+           degrade silently — the data-file fsync already happened. *)
+        match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+        | fd ->
+            (try Unix.fsync fd with Unix.Unix_error _ -> ());
+            Unix.close fd
+        | exception Unix.Unix_error _ -> ());
+  }
+
+exception Crashed of string
+
+module Crash = struct
+  type t = {
+    base : ops;
+    crash_after : int;
+    rng : Random.State.t;
+    count : int Atomic.t;
+    dead : bool Atomic.t;
+  }
+
+  let create ?(seed = 0) ?(base = default) ~crash_after () =
+    {
+      base;
+      crash_after;
+      rng = Random.State.make [| 0x3a1c5; seed |];
+      count = Atomic.make 0;
+      dead = Atomic.make false;
+    }
+
+  let mutations t = Atomic.get t.count
+  let crashed t = Atomic.get t.dead
+
+  (* Every mutating op ticks the countdown; once the harness has crashed,
+     all further operations fail too (the process is gone). *)
+  let tick t what =
+    if Atomic.get t.dead then raise (Crashed (what ^ ": already crashed"));
+    let n = Atomic.fetch_and_add t.count 1 + 1 in
+    if n >= t.crash_after then begin
+      Atomic.set t.dead true;
+      true
+    end
+    else false
+
+  let ops t =
+    {
+      mkdir = t.base.mkdir;
+      openw =
+        (fun ~append path ->
+          if Atomic.get t.dead then raise (Crashed "openw: already crashed");
+          t.base.openw ~append path);
+      write =
+        (fun fd s ->
+          if tick t "write" then begin
+            (* Torn append: a seeded prefix of the buffer reaches the disk
+               before the process dies. *)
+            let keep = Random.State.int t.rng (String.length s + 1) in
+            if keep > 0 then t.base.write fd (String.sub s 0 keep);
+            raise (Crashed (Printf.sprintf "write torn at %d/%d bytes" keep (String.length s)))
+          end
+          else t.base.write fd s);
+      fsync =
+        (fun fd ->
+          if tick t "fsync" then raise (Crashed "fsync lost")
+          else t.base.fsync fd);
+      close =
+        (fun fd ->
+          if Atomic.get t.dead then raise (Crashed "close: already crashed");
+          t.base.close fd);
+      rename =
+        (fun a b ->
+          if tick t "rename" then raise (Crashed "rename lost")
+          else t.base.rename a b);
+      remove =
+        (fun p ->
+          if tick t "remove" then raise (Crashed "remove lost")
+          else t.base.remove p);
+      truncate =
+        (fun p n ->
+          if tick t "truncate" then raise (Crashed "truncate lost")
+          else t.base.truncate p n);
+      fsync_dir =
+        (fun d ->
+          if Atomic.get t.dead then raise (Crashed "fsync_dir: already crashed");
+          t.base.fsync_dir d);
+    }
+end

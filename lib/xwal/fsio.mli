@@ -1,0 +1,53 @@
+(** Injectable filesystem primitives for the WAL write path.
+
+    Everything the WAL does to disk goes through a {!ops} record —
+    append, fsync, segment-file rename, deletion, truncation — so a test
+    can substitute a harness that kills the "process" at a chosen
+    operation. {!default} is the real [Unix] implementation; {!Crash}
+    builds a deterministic seeded crash injector over any base ops, the
+    write-path analogue of [Xstorage.Faultstore]'s read-path injection. *)
+
+type ops = {
+  mkdir : string -> unit;  (** create the directory if absent *)
+  openw : append:bool -> string -> Unix.file_descr;
+      (** open for writing, creating if absent; [append] positions every
+          write at end-of-file *)
+  write : Unix.file_descr -> string -> unit;  (** write the whole string *)
+  fsync : Unix.file_descr -> unit;
+  close : Unix.file_descr -> unit;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  truncate : string -> int -> unit;
+  fsync_dir : string -> unit;
+      (** fsync the directory itself so renames/removals are durable *)
+}
+
+val default : ops
+(** The real filesystem. All failures surface as [Unix.Unix_error] or
+    [Sys_error]; the WAL layer translates them into typed results. *)
+
+exception Crashed of string
+(** Raised by a {!Crash} harness at its kill point — and on every
+    operation after it — standing in for SIGKILL. The exception escapes
+    the WAL layer on purpose: a real crash does not return an error
+    value, and tests catch it at the top of the run they are killing. *)
+
+(** Deterministic crash injection: the k-th mutating operation (write,
+    fsync, rename, remove, truncate — reads and opens are free) dies.
+    A dying [write] first persists a seeded-length prefix of the buffer,
+    modeling a torn append; the other operations die before taking
+    effect. *)
+module Crash : sig
+  type t
+
+  val create : ?seed:int -> ?base:ops -> crash_after:int -> unit -> t
+  (** [crash_after] counts mutating operations; the harness crashes on
+      operation number [crash_after] (1-based). [seed] drives the torn-
+      write prefix length. *)
+
+  val ops : t -> ops
+  val mutations : t -> int
+  (** Mutating operations observed so far (including the fatal one). *)
+
+  val crashed : t -> bool
+end

@@ -1,0 +1,437 @@
+module Binio = Xpersist.Binio
+
+type op =
+  | Insert_subtree of { parent : int; before : int option; xml : string }
+  | Delete_subtree of { node : int }
+  | Update_value of { node : int; value : string }
+
+type record = { lsn : int; op : op }
+
+let op_to_string = function
+  | Insert_subtree { parent; before; xml } ->
+      Printf.sprintf "insert_subtree(parent=%d%s, %d bytes of xml)" parent
+        (match before with None -> "" | Some b -> Printf.sprintf ", before=%d" b)
+        (String.length xml)
+  | Delete_subtree { node } -> Printf.sprintf "delete_subtree(node=%d)" node
+  | Update_value { node; value } ->
+      Printf.sprintf "update_value(node=%d, %d bytes)" node (String.length value)
+
+(* --- Format ------------------------------------------------------------- *)
+
+let magic = "XAMWAL\x01\x00"
+let format_version = 1
+let header_len = 24 (* magic + version + first lsn, 8 bytes each *)
+let frame_overhead = 16 (* payload length + payload crc *)
+
+let segment_name lsn = Printf.sprintf "wal-%016d.seg" lsn
+
+let segment_first name =
+  if
+    String.length name = 24
+    && String.sub name 0 4 = "wal-"
+    && String.sub name 20 4 = ".seg"
+  then int_of_string_opt (String.sub name 4 16)
+  else None
+
+let encode_op p = function
+  | Insert_subtree { parent; before; xml } ->
+      Binio.w_u8 p 1;
+      Binio.w_int p parent;
+      (match before with
+      | None -> Binio.w_bool p false
+      | Some b ->
+          Binio.w_bool p true;
+          Binio.w_int p b);
+      Binio.w_str p xml
+  | Delete_subtree { node } ->
+      Binio.w_u8 p 2;
+      Binio.w_int p node
+  | Update_value { node; value } ->
+      Binio.w_u8 p 3;
+      Binio.w_int p node;
+      Binio.w_str p value
+
+let decode_op r =
+  match Binio.r_u8 r with
+  | 1 ->
+      let parent = Binio.r_int r in
+      let before = if Binio.r_bool r then Some (Binio.r_int r) else None in
+      let xml = Binio.r_str r in
+      Insert_subtree { parent; before; xml }
+  | 2 -> Delete_subtree { node = Binio.r_int r }
+  | 3 ->
+      let node = Binio.r_int r in
+      let value = Binio.r_str r in
+      Update_value { node; value }
+  | n -> raise (Binio.Corrupt (Printf.sprintf "unknown wal op tag %d" n))
+
+let encode_frame rc =
+  let p = Binio.writer () in
+  Binio.w_int p rc.lsn;
+  encode_op p rc.op;
+  let payload = Binio.contents p in
+  let h = Binio.writer () in
+  Binio.w_int h (String.length payload);
+  Binio.w_int h (Binio.crc32 payload);
+  Binio.contents h ^ payload
+
+let le_int data pos = Binio.r_int (Binio.reader ~pos ~len:8 data)
+
+let decode_payload data pos len =
+  let r = Binio.reader ~pos ~len data in
+  let lsn = Binio.r_int r in
+  let op = decode_op r in
+  Binio.expect_end r;
+  { lsn; op }
+
+(* --- Reading ------------------------------------------------------------ *)
+
+type tail = Clean | Torn of { segment : string; keep : int; reason : string }
+
+(* After a bad frame, decide torn-tail vs mid-log damage: scan forward
+   from the putative next frame; if any complete, CRC-valid, decodable
+   frame exists, the damage sits in the middle of acknowledged history. *)
+let valid_continuation data pos0 =
+  let size = String.length data in
+  let rec go pos =
+    if size - pos < frame_overhead then false
+    else
+      let len = le_int data pos in
+      if len < 0 || len > size - pos - frame_overhead then false
+      else
+        let body = pos + frame_overhead in
+        (le_int data (pos + 8) = Binio.crc32 ~pos:body ~len data
+        && match decode_payload data body len with
+           | (_ : record) -> true
+           | exception Binio.Corrupt _ -> false)
+        || go (body + len)
+  in
+  go pos0
+
+type seg_outcome =
+  | Seg_clean of record list
+  | Seg_torn of record list * int * string
+  | Seg_error of string
+
+let parse_segment ~is_last ~first_lsn ~segpath data =
+  let size = String.length data in
+  if size < header_len then
+    if is_last then Seg_torn ([], 0, "segment shorter than its header")
+    else Seg_error (segpath ^ ": segment shorter than its header")
+  else if String.sub data 0 8 <> magic then
+    Seg_error (segpath ^ ": bad segment magic")
+  else
+    let v = le_int data 8 in
+    let hdr_lsn = le_int data 16 in
+    if v <> format_version then
+      Seg_error (Printf.sprintf "%s: unsupported wal format version %d" segpath v)
+    else if hdr_lsn <> first_lsn then
+      Seg_error
+        (Printf.sprintf "%s: header first-lsn %d does not match the filename"
+           segpath hdr_lsn)
+    else
+      let rec go pos expected acc =
+        if pos = size then Seg_clean (List.rev acc)
+        else
+          let bad ~next reason =
+            let midlog =
+              (not is_last)
+              || match next with Some np -> valid_continuation data np | None -> false
+            in
+            if midlog then
+              Seg_error
+                (Printf.sprintf "%s: offset %d: %s (mid-log corruption)" segpath
+                   pos reason)
+            else Seg_torn (List.rev acc, pos, reason)
+          in
+          if size - pos < frame_overhead then bad ~next:None "truncated frame header"
+          else
+            let len = le_int data pos in
+            if len < 0 || len > size - pos - frame_overhead then
+              bad ~next:None "frame length out of bounds"
+            else
+              let body = pos + frame_overhead in
+              let next = Some (body + len) in
+              if le_int data (pos + 8) <> Binio.crc32 ~pos:body ~len data then
+                bad ~next "frame CRC mismatch"
+              else
+                match decode_payload data body len with
+                | exception Binio.Corrupt m -> bad ~next ("corrupt payload: " ^ m)
+                | rc ->
+                    if rc.lsn <> expected then
+                      (* A CRC-valid record at the wrong LSN is never a
+                         tearing artifact — always fail closed. *)
+                      Seg_error
+                        (Printf.sprintf "%s: offset %d: lsn %d where %d expected"
+                           segpath pos rc.lsn expected)
+                    else go (body + len) (expected + 1) (rc :: acc)
+      in
+      go header_len first_lsn []
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let list_segments dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun n ->
+         match segment_first n with Some l -> Some (l, n) | None -> None)
+  |> List.sort compare
+
+type seg_info = {
+  sg_path : string;
+  sg_first : int;
+  sg_records : record list;
+  sg_bytes : int;
+}
+
+(* Parse every segment; returns per-segment info so the writer can reuse
+   the final segment, or the tail damage. Enforces that LSNs increase
+   across segment boundaries (contiguity above the snapshot base is the
+   engine's check — a checkpoint legitimately removes a prefix). *)
+let read_segments ~dir =
+  if not (Sys.file_exists dir) then Ok ([], Clean)
+  else if not (Sys.is_directory dir) then Error (dir ^ ": not a directory")
+  else
+    try
+    let segs = list_segments dir in
+    let nseg = List.length segs in
+    let rec go i segs acc prev_last =
+      match segs with
+      | [] -> Ok (List.rev acc, Clean)
+      | (first_lsn, name) :: rest -> (
+          let sg_path = Filename.concat dir name in
+          if first_lsn <= prev_last then
+            Error
+              (Printf.sprintf "%s: first lsn %d overlaps the previous segment"
+                 sg_path first_lsn)
+          else
+            let data = read_file sg_path in
+            let seg_last recs =
+              match List.rev recs with [] -> first_lsn - 1 | r :: _ -> r.lsn
+            in
+            match parse_segment ~is_last:(i = nseg - 1) ~first_lsn ~segpath:sg_path data with
+            | Seg_error e -> Error e
+            | Seg_clean recs ->
+                let info =
+                  { sg_path; sg_first = first_lsn; sg_records = recs;
+                    sg_bytes = String.length data }
+                in
+                go (i + 1) rest (info :: acc) (seg_last recs)
+            | Seg_torn (recs, keep, reason) ->
+                let info =
+                  { sg_path; sg_first = first_lsn; sg_records = recs;
+                    sg_bytes = keep }
+                in
+                Ok (List.rev (info :: acc), Torn { segment = sg_path; keep; reason }))
+    in
+    go 0 segs [] min_int
+    with Sys_error m -> Error m | Binio.Corrupt m -> Error (dir ^ ": " ^ m)
+
+let read ~dir =
+  match read_segments ~dir with
+  | Error e -> Error e
+  | Ok (segs, tail) -> Ok (List.concat_map (fun s -> s.sg_records) segs, tail)
+
+let repair ?(fs = Fsio.default) tail =
+  match tail with
+  | Clean -> Ok ()
+  | Torn { segment; keep; _ } -> (
+      try
+        if keep < header_len then fs.remove segment
+        else fs.truncate segment keep;
+        fs.fsync_dir (Filename.dirname segment);
+        Ok ()
+      with
+      | Unix.Unix_error (e, fn, arg) ->
+          Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+      | Sys_error m -> Error m)
+
+(* --- Writer ------------------------------------------------------------- *)
+
+module Writer = struct
+  type meters = {
+    m_appends : Xobs.Metrics.counter;
+    m_bytes : Xobs.Metrics.counter;
+    m_segments : Xobs.Metrics.counter;
+    h_fsync : Xobs.Metrics.histogram;
+  }
+
+  type cur = { fd : Unix.file_descr; path : string; mutable bytes : int }
+
+  type t = {
+    fs : Fsio.ops;
+    wdir : string;
+    segment_bytes : int;
+    do_sync : bool;
+    meters : meters option;
+    mutable wlsn : int;
+    mutable cur : cur option;
+    mutable closed : bool;
+  }
+
+  let lsn t = t.wlsn
+  let dir t = t.wdir
+
+  let fs_error = function
+    | Unix.Unix_error (e, fn, arg) ->
+        Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+    | Sys_error m -> Error m
+    | e -> raise e
+
+  let header_bytes first_lsn =
+    let w = Binio.writer () in
+    String.iter (fun c -> Binio.w_u8 w (Char.code c)) magic;
+    Binio.w_int w format_version;
+    Binio.w_int w first_lsn;
+    Binio.contents w
+
+  (* Crash-safe segment creation: the file only appears under its real
+     name with a complete, fsync'd header. *)
+  let create_segment t ~first_lsn =
+    let path = Filename.concat t.wdir (segment_name first_lsn) in
+    let tmp = path ^ ".tmp" in
+    let fd = t.fs.openw ~append:false tmp in
+    t.fs.write fd (header_bytes first_lsn);
+    t.fs.fsync fd;
+    t.fs.close fd;
+    t.fs.rename tmp path;
+    t.fs.fsync_dir t.wdir;
+    Option.iter (fun m -> Xobs.Metrics.incr m.m_segments) t.meters;
+    { fd = t.fs.openw ~append:true path; path; bytes = header_len }
+
+  let open_ ?(fs = Fsio.default) ?metrics ?(segment_bytes = 1 lsl 20)
+      ?(sync = true) ~dir ~lsn () =
+    let meters =
+      Option.map
+        (fun reg ->
+          {
+            m_appends =
+              Xobs.Metrics.counter reg ~help:"WAL records appended"
+                "wal_appends_total";
+            m_bytes =
+              Xobs.Metrics.counter reg ~help:"WAL bytes appended"
+                "wal_append_bytes_total";
+            m_segments =
+              Xobs.Metrics.counter reg ~help:"WAL segments created"
+                "wal_segments_created_total";
+            h_fsync =
+              Xobs.Metrics.histogram reg ~help:"WAL fsync latency"
+                "wal_fsync_seconds";
+          })
+        metrics
+    in
+    try
+      fs.mkdir dir;
+      match read_segments ~dir with
+      | Error e -> Error e
+      | Ok (_, Torn { segment; reason; _ }) ->
+          Error
+            (Printf.sprintf "%s: torn tail (%s); repair before appending"
+               segment reason)
+      | Ok (segs, Clean) ->
+          let t =
+            { fs; wdir = dir; segment_bytes; do_sync = sync; meters;
+              wlsn = lsn; cur = None; closed = false }
+          in
+          (match List.rev segs with
+          | last :: _ ->
+              let seg_last =
+                match List.rev last.sg_records with
+                | [] -> last.sg_first - 1
+                | r :: _ -> r.lsn
+              in
+              if seg_last = lsn then
+                t.cur <-
+                  Some
+                    { fd = fs.openw ~append:true last.sg_path;
+                      path = last.sg_path; bytes = last.sg_bytes }
+          | [] -> ());
+          Ok t
+    with e -> fs_error e
+
+  let append t op =
+    if t.closed then Error "wal writer is closed"
+    else
+      let lsn = t.wlsn + 1 in
+      let frame = encode_frame { lsn; op } in
+      try
+        (match t.cur with
+        | Some c
+          when c.bytes > header_len
+               && c.bytes + String.length frame > t.segment_bytes ->
+            t.fs.close c.fd;
+            t.cur <- None
+        | _ -> ());
+        let c =
+          match t.cur with
+          | Some c -> c
+          | None ->
+              let c = create_segment t ~first_lsn:lsn in
+              t.cur <- Some c;
+              c
+        in
+        t.fs.write c.fd frame;
+        c.bytes <- c.bytes + String.length frame;
+        if t.do_sync then begin
+          let t0 = Unix.gettimeofday () in
+          t.fs.fsync c.fd;
+          Option.iter
+            (fun m -> Xobs.Metrics.observe m.h_fsync (Unix.gettimeofday () -. t0))
+            t.meters
+        end;
+        t.wlsn <- lsn;
+        Option.iter
+          (fun m ->
+            Xobs.Metrics.incr m.m_appends;
+            Xobs.Metrics.add m.m_bytes (String.length frame))
+          t.meters;
+        Ok (lsn, String.length frame)
+      with e -> fs_error e
+
+  (* Segments whose whole LSN range is covered by a snapshot can go; the
+     open segment goes too when fully covered (the next append starts a
+     fresh one). Walk pairs so each segment's range ends where the next
+     begins. *)
+  let truncate_upto t upto =
+    try
+      let segs = list_segments t.wdir in
+      let removed = ref 0 in
+      let rec go = function
+        | [] -> ()
+        | (_first, name) :: rest ->
+            let last_covered =
+              match rest with
+              | (next_first, _) :: _ -> next_first - 1
+              | [] -> t.wlsn
+            in
+            if last_covered <= upto then begin
+              let path = Filename.concat t.wdir name in
+              (match t.cur with
+              | Some c when c.path = path ->
+                  t.fs.close c.fd;
+                  t.cur <- None
+              | _ -> ());
+              t.fs.remove path;
+              incr removed;
+              go rest
+            end
+      in
+      go segs;
+      if !removed > 0 then t.fs.fsync_dir t.wdir;
+      Ok !removed
+    with e -> fs_error e
+
+  let sync t =
+    match t.cur with
+    | None -> Ok ()
+    | Some c -> ( try Ok (t.fs.fsync c.fd) with e -> fs_error e)
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      match t.cur with
+      | Some c ->
+          t.cur <- None;
+          (try t.fs.close c.fd with Unix.Unix_error _ | Sys_error _ -> ())
+      | None -> ()
+    end
+end

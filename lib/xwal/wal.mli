@@ -1,0 +1,95 @@
+(** Append-only write-ahead log for document mutations.
+
+    The WAL is a directory of segment files. Each segment starts with a
+    24-byte header (magic, format version, first LSN) and is created
+    crash-safely — written to a temp name, fsync'd, renamed, directory
+    fsync'd — the same discipline as [Xpersist.Snapshot]. Records are
+    appended as length-prefixed frames
+
+    {v [payload length : 8 LE] [CRC-32 of payload : 8 LE] [payload] v}
+
+    where the payload is a [Binio]-encoded (LSN, operation) pair, and
+    each append is fsync'd before it is acknowledged. LSNs are assigned
+    contiguously starting one past the writer's opening LSN.
+
+    On read-back the frame CRC splits damage into two classes. Damage
+    with no valid frame after it — a torn final append, a bit-flipped
+    tail record, a zero-length segment left by a crashed rotation — is a
+    {!Torn} tail: recovery truncates it and loses only the unacknowledged
+    suffix. Damage {e followed} by valid frames, an LSN out of sequence,
+    or a mangled segment header is mid-log corruption of acknowledged
+    history, and {!read} fails closed with [Error] rather than silently
+    dropping committed records. *)
+
+type op =
+  | Insert_subtree of { parent : int; before : int option; xml : string }
+      (** graft the parsed [xml] under element handle [parent], before
+          child [before] when given *)
+  | Delete_subtree of { node : int }
+  | Update_value of { node : int; value : string }
+
+type record = { lsn : int; op : op }
+
+val op_to_string : op -> string
+
+(** {1 Reading and repair} *)
+
+type tail =
+  | Clean
+  | Torn of { segment : string; keep : int; reason : string }
+      (** Recoverable damage at the tail of the final segment: bytes of
+          [segment] from offset [keep] on are not a valid record suffix.
+          {!repair} truncates them away (removing the whole file when
+          even the header is gone). *)
+
+val read : dir:string -> (record list * tail, string) result
+(** All decodable records in LSN order, plus the tail state. A missing
+    directory is an empty log. [Error] means mid-log corruption or an
+    unreadable directory — fail closed, do not replay. *)
+
+val repair : ?fs:Fsio.ops -> tail -> (unit, string) result
+(** Make the tail {!Clean} by truncating (or deleting) the damaged
+    suffix. No-op on {!Clean}. *)
+
+(** {1 Appending} *)
+
+module Writer : sig
+  type t
+
+  val open_ :
+    ?fs:Fsio.ops ->
+    ?metrics:Xobs.Metrics.registry ->
+    ?segment_bytes:int ->
+    ?sync:bool ->
+    dir:string ->
+    lsn:int ->
+    unit ->
+    (t, string) result
+  (** Open for appending at [lsn] (the LSN of the last applied record;
+      the next append gets [lsn + 1]). The directory is created if
+      absent; a clean final segment ending exactly at [lsn] is continued
+      in place, anything else starts a fresh segment. Fails if the tail
+      is torn — run {!read}/{!repair} (or engine recovery) first.
+      [segment_bytes] bounds segment size before rotation (default
+      1 MiB); [sync] (default [true]) fsyncs every append. When
+      [metrics] is given, registers [wal_appends_total],
+      [wal_append_bytes_total], [wal_segments_created_total] and the
+      [wal_fsync_seconds] histogram. *)
+
+  val append : t -> op -> (int * int, string) result
+  (** Frame, append and (when [sync]) fsync one record; returns its
+      [(lsn, frame_bytes)]. On [Error] nothing was acknowledged and the
+      writer's LSN is unchanged. A {!Fsio.Crashed} injection escapes as
+      the exception — a crash is not an error return. *)
+
+  val lsn : t -> int
+  val dir : t -> string
+
+  val truncate_upto : t -> int -> (int, string) result
+  (** Delete segments whose records all have LSN ≤ the argument (they
+      are covered by a snapshot); returns how many segments were
+      removed. The checkpoint protocol: snapshot first, then truncate. *)
+
+  val sync : t -> (unit, string) result
+  val close : t -> unit
+end

@@ -106,6 +106,71 @@ let children_prop =
         d;
       !ok)
 
+(* --- mutations ---------------------------------------------------------- *)
+
+let serialize d = T.serialize (Doc.to_tree d (Doc.root d))
+
+(* [pack]/[unpack ~name] re-checks the flattened invariants (pre/post
+   consistency, parent links, subtree extents); running a mutated
+   document through it is the structural oracle for every edit. *)
+let repack d =
+  let d' = Doc.unpack ~name:(Doc.name d) (Doc.pack d) in
+  Alcotest.(check string) "pack/unpack stable" (serialize d) (serialize d');
+  d
+
+let test_insert_subtree () =
+  let d = doc () in
+  let b2 = List.nth (Doc.nodes_with_label d "book") 1 in
+  let d1 = repack (Doc.insert_subtree d ~parent:b2 (T.parse "<t>C</t>")) in
+  Alcotest.(check string) "appended"
+    "<lib><book y=\"1\"><t>A</t><a>X</a><a>Y</a></book><book><t>B</t><t>C</t></book></lib>"
+    (serialize d1);
+  let before = List.hd (Doc.children d (Doc.root d)) in
+  let d2 = repack (Doc.insert_subtree d ~parent:(Doc.root d) ~before (T.parse "<new/>")) in
+  Alcotest.(check string) "inserted before first book"
+    "<lib><new/><book y=\"1\"><t>A</t><a>X</a><a>Y</a></book><book><t>B</t></book></lib>"
+    (serialize d2);
+  (* the source document is immutable *)
+  Alcotest.(check string) "original untouched" sample (serialize d)
+
+let test_delete_subtree () =
+  let d = doc () in
+  let b1 = List.hd (Doc.nodes_with_label d "book") in
+  let d1 = repack (Doc.delete_subtree d b1) in
+  Alcotest.(check string) "first book gone" "<lib><book><t>B</t></book></lib>"
+    (serialize d1);
+  Alcotest.(check int) "size shrank" (Doc.size d - 8) (Doc.size d1)
+
+let test_update_value () =
+  let d = doc () in
+  let attr =
+    List.find (fun h -> Doc.kind d h = Doc.Attribute) (Doc.descendants d 0)
+  in
+  let d1 = repack (Doc.update_value d attr "9") in
+  Alcotest.(check string) "attribute rewritten"
+    "<lib><book y=\"9\"><t>A</t><a>X</a><a>Y</a></book><book><t>B</t></book></lib>"
+    (serialize d1);
+  let txt = List.find (fun h -> Doc.kind d h = Doc.Text) (Doc.descendants d 0) in
+  let d2 = repack (Doc.update_value d txt "Z") in
+  Alcotest.(check string) "text rewritten"
+    "<lib><book y=\"1\"><t>Z</t><a>X</a><a>Y</a></book><book><t>B</t></book></lib>"
+    (serialize d2)
+
+let test_mutation_errors () =
+  let d = doc () in
+  let rejects name f =
+    Alcotest.(check bool) name true
+      (match f () with exception Invalid_argument _ -> true | _ -> false)
+  in
+  let txt = List.find (fun h -> Doc.kind d h = Doc.Text) (Doc.descendants d 0) in
+  rejects "delete root" (fun () -> Doc.delete_subtree d 0);
+  rejects "insert under a text node" (fun () ->
+      Doc.insert_subtree d ~parent:txt (T.parse "<x/>"));
+  rejects "insert before a non-child" (fun () ->
+      Doc.insert_subtree d ~parent:0 ~before:txt (T.parse "<x/>"));
+  rejects "update an element" (fun () -> Doc.update_value d 0 "v");
+  rejects "out-of-range handle" (fun () -> Doc.delete_subtree d 99)
+
 let () =
   Alcotest.run "doc"
     [ ( "doc",
@@ -115,6 +180,12 @@ let () =
           Alcotest.test_case "pre/post invariants" `Quick test_pre_post_invariants;
           Alcotest.test_case "id roundtrips" `Quick test_ids;
           Alcotest.test_case "to_tree" `Quick test_to_tree ] );
+      ( "mutations",
+        [ Alcotest.test_case "insert_subtree" `Quick test_insert_subtree;
+          Alcotest.test_case "delete_subtree" `Quick test_delete_subtree;
+          Alcotest.test_case "update_value" `Quick test_update_value;
+          Alcotest.test_case "invalid mutations are rejected" `Quick
+            test_mutation_errors ] );
       ( "props",
         [ QCheck_alcotest.to_alcotest rebuild_prop;
           QCheck_alcotest.to_alcotest children_prop ] ) ]

@@ -223,6 +223,59 @@ let test_save_atomic () =
                  && String.sub f 0 (String.length (Filename.basename path))
                     = Filename.basename path))))
 
+let test_lsn_roundtrip () =
+  let doc = bib () in
+  let cat = bib_catalog doc in
+  let path = tmp_path "lsn" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Snapshot.save ~doc ~lsn:42 path cat with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "save failed: %s" e);
+      (match Snapshot.load_with_lsn path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok (_, _, lsn) -> Alcotest.(check int) "eager load carries lsn" 42 lsn);
+      (match Snapshot.Reader.open_ path with
+      | Error e -> Alcotest.failf "reader open failed: %s" e
+      | Ok r ->
+          Fun.protect
+            ~finally:(fun () -> Snapshot.Reader.close r)
+            (fun () ->
+              Alcotest.(check int) "reader carries lsn" 42 (Snapshot.Reader.lsn r)));
+      (* a snapshot saved without an LSN reads back at 0 *)
+      match Snapshot.save ~doc path cat with
+      | Error e -> Alcotest.failf "save failed: %s" e
+      | Ok _ -> (
+          match Snapshot.load_with_lsn path with
+          | Error e -> Alcotest.failf "load failed: %s" e
+          | Ok (_, _, lsn) -> Alcotest.(check int) "default lsn" 0 lsn))
+
+let test_save_concurrent_same_path () =
+  (* Regression: two same-process saves to one path used to share a
+     [path.tmp.<pid>] temp name — one racer renamed the other's
+     half-written bytes into place. The per-save nonce keeps the temp
+     names distinct, so whichever save renames last leaves a snapshot
+     that verifies. *)
+  let doc = bib () in
+  let cat = bib_catalog doc in
+  let path = tmp_path "race" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      for _ = 1 to 5 do
+        let save () = Snapshot.save ~doc path cat in
+        let d = Domain.spawn save in
+        let a = save () in
+        let b = Domain.join d in
+        (match (a, b) with
+        | Ok _, Ok _ -> ()
+        | Error e, _ | _, Error e -> Alcotest.failf "racing save failed: %s" e);
+        match Snapshot.load path with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "snapshot after racing saves: %s" e
+      done)
+
 let test_reader_lazy () =
   let doc = bib () in
   let cat = bib_catalog doc in
@@ -756,6 +809,10 @@ let () =
             test_save_load_no_doc;
           Alcotest.test_case "failed save leaves previous intact" `Quick
             test_save_atomic;
+          Alcotest.test_case "lsn round-trips through the meta section" `Quick
+            test_lsn_roundtrip;
+          Alcotest.test_case "concurrent saves to one path" `Quick
+            test_save_concurrent_same_path;
           Alcotest.test_case "paging reader is lossless" `Quick test_reader_lazy;
           Alcotest.test_case "page-in after close faults" `Quick
             test_reader_closed ] );

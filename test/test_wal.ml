@@ -1,0 +1,571 @@
+(* The crash-safe write path: WAL framing and codec, recovery by replay,
+   the torn-tail vs mid-log corruption taxonomy, deterministic crash
+   injection across random kill points, incremental maintenance
+   (partition splicing, module quarantine and resurrection) and the
+   checkpoint protocol. Everything is seeded — a failure reproduces
+   exactly. *)
+
+module Engine = Xengine.Engine
+module Xerror = Xengine.Xerror
+module Wal = Xwal.Wal
+module Fsio = Xwal.Fsio
+module Doc = Xdm.Doc
+module T = Xdm.Xml_tree
+module S = Xsummary.Summary
+module Store = Xstorage.Store
+module Models = Xstorage.Models
+module Snapshot = Xpersist.Snapshot
+
+(* --- scratch files ------------------------------------------------------ *)
+
+let fresh =
+  let n = ref 0 in
+  fun tag ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xam_wal_%d_%s_%d" (Unix.getpid ()) tag !n)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_scratch tag f =
+  let path = fresh tag in
+  Fun.protect ~finally:(fun () -> try rm_rf path with _ -> ()) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* --- fixtures ----------------------------------------------------------- *)
+
+let bib () = Xworkload.Gen_bib.generate_doc ~seed:31 ~books:8 ~theses:3 ()
+let engine_of doc = Engine.of_doc doc (Models.path_partitioned (S.of_doc doc))
+
+(* A deterministic mutation stream: op [i] is a pure function of [seed],
+   [i] and the document state after ops 1..i-1 — the same generator the
+   [uload churn] workload uses, so the suite exercises exactly the shape
+   the CI recovery-smoke job replays. *)
+let gen_op doc ~seed i =
+  let rng = Random.State.make [| seed; i |] in
+  let elements = ref [] and leaves = ref [] in
+  Doc.iter
+    (fun h ->
+      match Doc.kind doc h with
+      | Doc.Element -> if h <> 0 then elements := h :: !elements
+      | Doc.Attribute | Doc.Text -> leaves := h :: !leaves)
+    doc;
+  let elements = Array.of_list (List.rev !elements) in
+  let leaves = Array.of_list (List.rev !leaves) in
+  let pick a = a.(Random.State.int rng (Array.length a)) in
+  let roll = Random.State.int rng 100 in
+  if roll < 50 || Array.length elements = 0 then
+    let parent = if Array.length elements = 0 then Doc.root doc else pick elements in
+    Engine.Insert_subtree
+      { parent;
+        before = None;
+        xml = Printf.sprintf "<w%d a=\"%d\">t%d</w%d>" (i mod 7) i i (i mod 7) }
+  else if roll < 75 && Array.length leaves > 0 then
+    Engine.Update_value { node = pick leaves; value = Printf.sprintf "v%d" i }
+  else Engine.Delete_subtree { node = pick elements }
+
+let apply_ok e op =
+  match Engine.apply_r e op with
+  | Ok r -> r
+  | Error err -> Alcotest.failf "apply failed: %s" (Xerror.to_string err)
+
+let churn e ~seed n =
+  for i = 1 to n do
+    let doc = Option.get (Engine.document e) in
+    ignore (apply_ok e (gen_op doc ~seed i))
+  done
+
+(* The byte-level equality oracle: two engines are equivalent iff their
+   persisted snapshots — document, summary, catalog, extents, LSN — are
+   the same bytes. *)
+let snapshot_bytes e =
+  with_scratch "sig" (fun path ->
+      match Engine.save_snapshot_r e path with
+      | Ok _ -> read_file path
+      | Error err -> Alcotest.failf "save failed: %s" (Xerror.to_string err))
+
+let doc_string e =
+  match Engine.document e with
+  | Some d -> T.serialize (Doc.to_tree d (Doc.root d))
+  | None -> ""
+
+(* --- WAL record codec --------------------------------------------------- *)
+
+let op_gen =
+  QCheck2.Gen.(
+    let str = string_size ~gen:(char_range '\000' '\255') (int_bound 48) in
+    oneof
+      [ (let* parent = int_bound 500 in
+         let* before = opt (int_bound 500) in
+         let* xml = str in
+         return (Wal.Insert_subtree { parent; before; xml }));
+        map (fun node -> Wal.Delete_subtree { node }) (int_bound 500);
+        map2
+          (fun node value -> Wal.Update_value { node; value })
+          (int_bound 500) str ])
+
+let roundtrip_prop =
+  QCheck2.Test.make ~name:"record codec roundtrip through a segment" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 20) op_gen)
+    (fun ops ->
+      with_scratch "codec" (fun dir ->
+          let w =
+            match Wal.Writer.open_ ~dir ~lsn:0 () with
+            | Ok w -> w
+            | Error e -> Alcotest.failf "open failed: %s" e
+          in
+          List.iteri
+            (fun i op ->
+              match Wal.Writer.append w op with
+              | Ok (lsn, _) ->
+                  if lsn <> i + 1 then Alcotest.failf "lsn %d at append %d" lsn i
+              | Error e -> Alcotest.failf "append failed: %s" e)
+            ops;
+          Wal.Writer.close w;
+          match Wal.read ~dir with
+          | Error e -> Alcotest.failf "read failed: %s" e
+          | Ok (records, tail) ->
+              tail = Wal.Clean
+              && List.map (fun (r : Wal.record) -> r.Wal.op) records = ops
+              && List.mapi (fun i _ -> i + 1) ops
+                 = List.map (fun (r : Wal.record) -> r.Wal.lsn) records))
+
+(* --- replay equivalence ------------------------------------------------- *)
+
+(* Save a base snapshot, run [n] logged mutations, then recover
+   [snapshot + WAL] into a fresh engine: byte-identical state. *)
+let test_replay_equality () =
+  with_scratch "snap" (fun snap ->
+      with_scratch "wal" (fun wal ->
+          let writer = engine_of (bib ()) in
+          (match Engine.save_snapshot_r writer snap with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "save: %s" (Xerror.to_string e));
+          Alcotest.(check int) "attach on fresh dir replays nothing" 0
+            (Engine.attach_wal writer wal);
+          churn writer ~seed:5 12;
+          Engine.detach_wal writer;
+          let recovered = Engine.of_snapshot snap in
+          Alcotest.(check int) "all records replay" 12
+            (Engine.attach_wal recovered wal);
+          Alcotest.(check int) "lsn restored" 12 (Engine.lsn recovered);
+          Alcotest.(check string) "byte-identical state"
+            (snapshot_bytes writer) (snapshot_bytes recovered)))
+
+(* A snapshot taken mid-stream makes the older WAL prefix redundant;
+   replay must skip it (idempotence via the snapshot's LSN). *)
+let test_replay_idempotent () =
+  with_scratch "snap" (fun snap ->
+      with_scratch "mid" (fun mid ->
+          with_scratch "wal" (fun wal ->
+              let writer = engine_of (bib ()) in
+              ignore (Engine.save_snapshot writer snap);
+              ignore (Engine.attach_wal writer wal);
+              churn writer ~seed:6 7;
+              ignore (Engine.save_snapshot writer mid);
+              for i = 8 to 11 do
+                let doc = Option.get (Engine.document writer) in
+                ignore (apply_ok writer (gen_op doc ~seed:6 i))
+              done;
+              Engine.detach_wal writer;
+              let recovered = Engine.of_snapshot mid in
+              Alcotest.(check int) "snapshot lsn carried" 7 (Engine.lsn recovered);
+              Alcotest.(check int) "only the suffix replays" 4
+                (Engine.attach_wal recovered wal);
+              Alcotest.(check string) "byte-identical state"
+                (snapshot_bytes writer) (snapshot_bytes recovered))))
+
+(* --- crash injection ---------------------------------------------------- *)
+
+(* Kill the writer at the [kill]-th mutating filesystem operation and
+   recover. The WAL may hold at most one record the engine never
+   acknowledged (a crash between fsync and install); after replay the
+   recovered engine must be byte-identical to a never-crashed engine
+   that applied exactly the replayed prefix. *)
+let run_crash_point ~seed ~kill =
+  with_scratch "snap" (fun snap ->
+      with_scratch "wal" (fun wal ->
+          let base = engine_of (bib ()) in
+          ignore (Engine.save_snapshot base snap);
+          let harness = Fsio.Crash.create ~seed ~crash_after:kill () in
+          let crashing = Engine.of_snapshot snap in
+          let applied = ref 0 in
+          (try
+             ignore (Engine.attach_wal ~fs:(Fsio.Crash.ops harness) crashing wal);
+             for i = 1 to 20 do
+               let doc = Option.get (Engine.document crashing) in
+               match Engine.apply_r crashing (gen_op doc ~seed i) with
+               | Ok _ -> incr applied
+               | Error e -> Alcotest.failf "apply: %s" (Xerror.to_string e)
+             done
+           with Fsio.Crashed _ -> ());
+          let recovered = Engine.of_snapshot snap in
+          let replayed = Engine.attach_wal recovered wal in
+          Engine.detach_wal recovered;
+          if replayed < !applied || replayed > !applied + 1 then
+            Alcotest.failf
+              "kill=%d seed=%d: %d acknowledged but %d replayed" kill seed
+              !applied replayed;
+          let reference = Engine.of_snapshot snap in
+          for i = 1 to replayed do
+            let doc = Option.get (Engine.document reference) in
+            ignore (apply_ok reference (gen_op doc ~seed i))
+          done;
+          if snapshot_bytes recovered <> snapshot_bytes reference then
+            Alcotest.failf "kill=%d seed=%d: recovered state diverges" kill seed;
+          true))
+
+let crash_equiv_prop =
+  QCheck2.Test.make ~name:"recovery is crash-equivalent at random kill points"
+    ~count:25
+    QCheck2.Gen.(pair (int_range 1 60) (int_range 0 1000))
+    (fun (kill, seed) -> run_crash_point ~seed ~kill)
+
+(* --- corruption taxonomy ------------------------------------------------ *)
+
+(* A five-record WAL in a fresh directory, writer closed. *)
+let sample_wal dir =
+  let w =
+    match Wal.Writer.open_ ~dir ~lsn:0 () with
+    | Ok w -> w
+    | Error e -> Alcotest.failf "open: %s" e
+  in
+  for i = 1 to 5 do
+    match Wal.Writer.append w (Wal.Update_value { node = i; value = "v" }) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "append: %s" e
+  done;
+  Wal.Writer.close w
+
+let only_segment dir =
+  match
+    List.sort compare
+      (List.filter
+         (fun f -> Filename.check_suffix f ".seg")
+         (Array.to_list (Sys.readdir dir)))
+  with
+  | [ f ] -> Filename.concat dir f
+  | l -> Alcotest.failf "expected one segment, found %d" (List.length l)
+
+let flip_byte data i =
+  let b = Bytes.of_string data in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+  Bytes.to_string b
+
+let expect_torn ~records what = function
+  | Error e -> Alcotest.failf "%s: failed closed on a torn tail: %s" what e
+  | Ok (recs, Wal.Torn _) ->
+      Alcotest.(check int) (what ^ ": surviving records") records
+        (List.length recs)
+  | Ok (_, Wal.Clean) -> Alcotest.failf "%s: damage not detected" what
+
+let expect_error what = function
+  | Error _ -> ()
+  | Ok (_, Wal.Torn _) ->
+      Alcotest.failf "%s: mid-log corruption misread as a torn tail" what
+  | Ok (_, Wal.Clean) -> Alcotest.failf "%s: corruption not detected" what
+
+let test_torn_truncated_frame () =
+  with_scratch "wal" (fun dir ->
+      sample_wal dir;
+      let seg = only_segment dir in
+      let data = read_file seg in
+      write_file seg (String.sub data 0 (String.length data - 3));
+      expect_torn ~records:4 "truncated tail" (Wal.read ~dir);
+      (match Wal.read ~dir with
+      | Ok (_, (Wal.Torn _ as tail)) -> (
+          match Wal.repair tail with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "repair: %s" e)
+      | _ -> assert false);
+      match Wal.read ~dir with
+      | Ok (recs, Wal.Clean) ->
+          Alcotest.(check int) "clean after repair" 4 (List.length recs)
+      | _ -> Alcotest.fail "repair did not restore a clean tail")
+
+let test_torn_bitflip_tail () =
+  with_scratch "wal" (fun dir ->
+      sample_wal dir;
+      let seg = only_segment dir in
+      let data = read_file seg in
+      (* last payload byte: CRC mismatch with nothing valid after it *)
+      write_file seg (flip_byte data (String.length data - 1));
+      expect_torn ~records:4 "bit-flipped tail" (Wal.read ~dir))
+
+let test_midlog_bitflip_fails_closed () =
+  with_scratch "wal" (fun dir ->
+      sample_wal dir;
+      let seg = only_segment dir in
+      let data = read_file seg in
+      (* a byte in the second record's frame: valid frames follow, so this
+         is damage to acknowledged history *)
+      write_file seg (flip_byte data (24 + 30));
+      expect_error "mid-log bit flip" (Wal.read ~dir))
+
+let test_hostile_length () =
+  with_scratch "wal" (fun dir ->
+      sample_wal dir;
+      let seg = only_segment dir in
+      let data = read_file seg in
+      (* an appended frame header whose length field points far out of
+         bounds: tail damage, the five real records survive *)
+      let huge = Bytes.make 16 '\x00' in
+      Bytes.set huge 0 '\xff';
+      Bytes.set huge 7 '\x7f';
+      write_file seg (data ^ Bytes.to_string huge);
+      expect_torn ~records:5 "hostile length" (Wal.read ~dir))
+
+let test_duplicate_frame_fails_closed () =
+  with_scratch "wal" (fun dir ->
+      sample_wal dir;
+      let seg = only_segment dir in
+      let data = read_file seg in
+      (* re-append the last frame verbatim: its CRC is valid but its LSN
+         repeats — valid-looking bytes that contradict the sequence are
+         corruption, not a torn tail *)
+      let frame_len = (String.length data - 24) / 5 in
+      let last = String.sub data (String.length data - frame_len) frame_len in
+      write_file seg (data ^ last);
+      expect_error "duplicate LSN with valid CRC" (Wal.read ~dir))
+
+let test_empty_segment () =
+  with_scratch "wal" (fun dir ->
+      sample_wal dir;
+      (* a zero-length segment left by a crashed rotation *)
+      let stray = Filename.concat dir (Printf.sprintf "wal-%016d.seg" 6) in
+      write_file stray "";
+      expect_torn ~records:5 "empty trailing segment" (Wal.read ~dir);
+      (match Wal.read ~dir with
+      | Ok (_, (Wal.Torn _ as tail)) -> (
+          match Wal.repair tail with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "repair: %s" e)
+      | _ -> assert false);
+      Alcotest.(check bool) "repair removed the stray segment" false
+        (Sys.file_exists stray))
+
+(* The engine boundary never raises on a damaged log: mid-log corruption
+   and LSN gaps come back as typed [Wal_error]s. *)
+let test_engine_fails_closed () =
+  let wal_error = function
+    | Error (Xerror.Wal_error _) -> ()
+    | Error e -> Alcotest.failf "wrong error class: %s" (Xerror.to_string e)
+    | Ok _ -> Alcotest.fail "corruption accepted"
+  in
+  with_scratch "wal" (fun dir ->
+      sample_wal dir;
+      let seg = only_segment dir in
+      write_file seg (flip_byte (read_file seg) (24 + 30));
+      wal_error (Engine.attach_wal_r (engine_of (bib ())) dir));
+  with_scratch "wal" (fun dir ->
+      (* force one record per segment, then delete a middle segment: every
+         remaining segment is internally fine but committed history has a
+         hole *)
+      let w =
+        match Wal.Writer.open_ ~segment_bytes:30 ~dir ~lsn:0 () with
+        | Ok w -> w
+        | Error e -> Alcotest.failf "open: %s" e
+      in
+      for i = 1 to 4 do
+        ignore (Wal.Writer.append w (Wal.Delete_subtree { node = i }))
+      done;
+      Wal.Writer.close w;
+      Sys.remove (Filename.concat dir (Printf.sprintf "wal-%016d.seg" 2));
+      wal_error (Engine.attach_wal_r (engine_of (bib ())) dir))
+
+(* --- checkpoint --------------------------------------------------------- *)
+
+let test_checkpoint () =
+  with_scratch "snap" (fun snap ->
+      with_scratch "wal" (fun wal ->
+          let e = engine_of (bib ()) in
+          ignore (Engine.save_snapshot e snap);
+          (* tiny segments so the log rotates and truncation has prefix
+             segments to remove *)
+          ignore (Engine.attach_wal ~segment_bytes:120 e wal);
+          churn e ~seed:9 10;
+          let _, removed = Engine.checkpoint e snap in
+          Alcotest.(check bool) "covered segments truncated" true (removed > 0);
+          Alcotest.(check int) "no replay debt" (Engine.lsn e)
+            (Engine.snapshot_lsn e);
+          for i = 11 to 12 do
+            let doc = Option.get (Engine.document e) in
+            ignore (apply_ok e (gen_op doc ~seed:9 i))
+          done;
+          Engine.detach_wal e;
+          let recovered = Engine.of_snapshot snap in
+          Alcotest.(check int) "replay resumes past the checkpoint" 2
+            (Engine.attach_wal recovered wal);
+          let reference = engine_of (bib ()) in
+          churn reference ~seed:9 12;
+          Alcotest.(check string) "same document" (doc_string reference)
+            (doc_string recovered)))
+
+(* --- incremental maintenance -------------------------------------------- *)
+
+let test_splice_keeps_partitions () =
+  let e = engine_of (bib ()) in
+  let doc = Option.get (Engine.document e) in
+  (* graft at the end of the document: earlier partitions' payloads are
+     untouched and must be shared, not rebuilt *)
+  let last_element =
+    let best = ref (Doc.root doc) in
+    Doc.iter (fun h -> if Doc.kind doc h = Doc.Element then best := h) doc;
+    !best
+  in
+  let r =
+    apply_ok e
+      (Engine.Insert_subtree
+         { parent = last_element; before = None; xml = "<z>tail</z>" })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "kept %d / rebuilt %d" r.Engine.ap_parts_kept
+       r.Engine.ap_parts_rebuilt)
+    true
+    (r.Engine.ap_parts_kept > 0);
+  Alcotest.(check bool) "new paths reported" true
+    (List.length r.Engine.ap_paths_added >= 1)
+
+let test_quarantine_and_resurrection () =
+  let e = engine_of (bib ()) in
+  let delete_all label =
+    let rec go acc =
+      let doc = Option.get (Engine.document e) in
+      match Doc.nodes_with_label doc label with
+      | [] -> acc
+      | h :: _ -> go (apply_ok e (Engine.Delete_subtree { node = h }) :: acc)
+    in
+    go []
+  in
+  let reports = delete_all "phdthesis" in
+  let dropped = List.concat_map (fun r -> r.Engine.ap_dropped) reports in
+  Alcotest.(check bool) "modules on emptied paths are dropped" true
+    (dropped <> []);
+  Alcotest.(check bool) "dropped modules are dormant" true
+    (Engine.dormant_modules e <> []);
+  (* queries over surviving paths still answer *)
+  (match Engine.query_string_r e "for $t in doc(\"d\")//title return $t" with
+  | Ok _ -> ()
+  | Error err -> Alcotest.failf "degraded query: %s" (Xerror.to_string err));
+  (* bring the path back: the dormant modules validate again and rejoin *)
+  let doc = Option.get (Engine.document e) in
+  let r =
+    apply_ok e
+      (Engine.Insert_subtree
+         { parent = Doc.root doc;
+           before = None;
+           xml = "<phdthesis><author>A</author></phdthesis>" })
+  in
+  Alcotest.(check bool) "resurrection" true (r.Engine.ap_resurrected <> [])
+
+let test_maintained_matches_scratch () =
+  let e = engine_of (bib ()) in
+  with_scratch "wal" (fun wal ->
+      ignore (Engine.attach_wal e wal);
+      churn e ~seed:13 15;
+      let doc = Option.get (Engine.document e) in
+      let scratch = engine_of doc in
+      List.iter
+        (fun q ->
+          let out en =
+            match Engine.query_string_r en q with
+            | Ok r -> r.Engine.output
+            | Error err -> "error: " ^ Xerror.stage err
+          in
+          Alcotest.(check string) q (out scratch) (out e))
+        [ "for $t in doc(\"d\")//title return $t";
+          "for $a in doc(\"d\")//author return $a";
+          "for $b in doc(\"d\")//book return $b" ])
+
+(* --- concurrent readers under a writer ---------------------------------- *)
+
+let test_reader_writer_chaos () =
+  with_scratch "snap" (fun snap ->
+      with_scratch "wal" (fun wal ->
+          let e = engine_of (bib ()) in
+          ignore (Engine.save_snapshot e snap);
+          ignore (Engine.attach_wal e wal);
+          let stop = Atomic.make false in
+          let probes =
+            [ "for $t in doc(\"d\")//title return $t";
+              "for $a in doc(\"d\")//author return $a" ]
+          in
+          let reader () =
+            let n = ref 0 in
+            while not (Atomic.get stop) do
+              List.iter
+                (fun q ->
+                  match Engine.query_string_r e q with
+                  | Ok _ | Error _ -> incr n)
+                probes
+            done;
+            !n
+          in
+          let readers = List.init 2 (fun _ -> Domain.spawn reader) in
+          churn e ~seed:17 25;
+          Atomic.set stop true;
+          let answered = List.map Domain.join readers in
+          Engine.detach_wal e;
+          Alcotest.(check bool) "readers made progress" true
+            (List.for_all (fun n -> n > 0) answered);
+          (* recovery still lands on the writer's exact state *)
+          let recovered = Engine.of_snapshot snap in
+          Alcotest.(check int) "all records replay" 25
+            (Engine.attach_wal recovered wal);
+          Alcotest.(check string) "byte-identical state" (snapshot_bytes e)
+            (snapshot_bytes recovered)))
+
+let () =
+  Alcotest.run "wal"
+    [ ( "codec",
+        [ QCheck_alcotest.to_alcotest roundtrip_prop ] );
+      ( "replay",
+        [ Alcotest.test_case "snapshot + wal is byte-identical" `Quick
+            test_replay_equality;
+          Alcotest.test_case "replay skips snapshot-covered records" `Quick
+            test_replay_idempotent ] );
+      ( "crash",
+        [ QCheck_alcotest.to_alcotest crash_equiv_prop ] );
+      ( "corruption",
+        [ Alcotest.test_case "truncated final frame" `Quick
+            test_torn_truncated_frame;
+          Alcotest.test_case "bit-flipped tail record" `Quick
+            test_torn_bitflip_tail;
+          Alcotest.test_case "mid-log bit flip fails closed" `Quick
+            test_midlog_bitflip_fails_closed;
+          Alcotest.test_case "hostile length field" `Quick test_hostile_length;
+          Alcotest.test_case "valid-CRC duplicate LSN fails closed" `Quick
+            test_duplicate_frame_fails_closed;
+          Alcotest.test_case "zero-length segment" `Quick test_empty_segment;
+          Alcotest.test_case "engine surfaces typed Wal_error" `Quick
+            test_engine_fails_closed ] );
+      ( "checkpoint",
+        [ Alcotest.test_case "snapshot-then-truncate round-trip" `Quick
+            test_checkpoint ] );
+      ( "maintenance",
+        [ Alcotest.test_case "tail edit keeps untouched partitions" `Quick
+            test_splice_keeps_partitions;
+          Alcotest.test_case "quarantine and resurrection" `Quick
+            test_quarantine_and_resurrection;
+          Alcotest.test_case "maintained catalog answers like scratch" `Quick
+            test_maintained_matches_scratch ] );
+      ( "chaos",
+        [ Alcotest.test_case "concurrent readers under a writer" `Quick
+            test_reader_writer_chaos ] ) ]
