@@ -1101,6 +1101,105 @@ let wal_exp () =
           m (Printf.sprintf "recovery_ms_%d" n) recover_ms "ms"))
     [ 50; 150; 300 ]
 
+(* --- serve: closed-loop load against the network front end -----------------
+   The serving layer measured the way it will be operated: a real server
+   process state machine (acceptor, bounded admission queue, batching
+   dispatcher) driven by closed-loop clients over a Unix socket. Two
+   operating points: [capacity] (queue deep enough that nothing sheds —
+   throughput and latency at the service rate) and [saturation] (queue
+   of 4 against 32 clients — the interesting number is the shed rate,
+   which is admission control converting overload into fast 429s instead
+   of unbounded queueing). Answers served over the wire are also checked
+   byte-for-byte against in-process [query_string_r], the same guarantee
+   the CI serve-smoke job re-checks end-to-end. *)
+let serve_exp () =
+  header "serve: closed-loop HTTP load, capacity and saturation";
+  let module Engine = Xengine.Engine in
+  let module Server = Xserve.Server in
+  let module Proto = Xserve.Proto in
+  let module Client = Xserve.Client in
+  let doc = Xworkload.Gen_bib.generate_doc ~seed:31 ~books:600 ~theses:200 () in
+  let summary = S.of_doc doc in
+  let specs = Xstorage.Models.path_partitioned summary in
+  let snap = Filename.temp_file "bench_serve" ".snap" in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bench_serve_%d.sock" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove snap with Sys_error _ -> ());
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () ->
+      let base = Engine.of_doc doc specs in
+      ignore (Engine.save_snapshot base snap);
+      let queries =
+        [| {|for $b in doc("bib")//book return <t>{$b/title/text()}</t>|};
+           {|for $t in doc("bib")//thesis return <a>{$t/author/text()}</a>|};
+           {|for $b in doc("bib")//book return <y>{$b/year/text()}</y>|} |]
+      in
+      let m metric value units = record ~experiment:"serve" ~metric ~value ~units in
+      let with_server ~queue ~domains f =
+        let cfg =
+          { (Server.default_config (Proto.Unix_sock sock)) with
+            Server.queue_depth = queue;
+            domains }
+        in
+        let srv = Server.create cfg [ ("bench", snap) ] in
+        Server.start srv;
+        Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+      in
+      (* Round trip: the wire answers are the in-process answers. *)
+      let matches =
+        with_server ~queue:64 ~domains:1 (fun srv ->
+            let local =
+              Array.map
+                (fun q ->
+                  match Engine.query_string_r base q with
+                  | Ok r -> r.Engine.output
+                  | Error e -> failwith (Xengine.Xerror.to_string e))
+                queries
+            in
+            match Client.connect (Server.bound_addr srv) with
+            | Error e -> failwith e
+            | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    Array.for_all2
+                      (fun q expect ->
+                        match Client.query c ~tenant:"bench" q with
+                        | Ok reply -> Client.output reply = Some expect
+                        | Error e -> failwith e)
+                      queries local))
+      in
+      if not matches then begin
+        Printf.eprintf "FATAL: served answers diverge from in-process\n";
+        exit 1
+      end;
+      m "answers_match" 1.0 "bool";
+      let point label ~queue ~domains ~concurrency ~duration =
+        with_server ~queue ~domains (fun srv ->
+            let r =
+              Xserve.Loadgen.run ~addr:(Server.bound_addr srv) ~tenant:"bench"
+                ~queries ~concurrency ~duration_s:duration ()
+            in
+            Printf.printf
+              "%-10s (queue %3d, domains %d, clients %2d): %8.0f ok/s  p50 \
+               %6.2f ms  p99 %6.2f ms  shed %5.1f%%\n"
+              label queue domains concurrency r.Xserve.Loadgen.throughput
+              r.Xserve.Loadgen.p50_ms r.Xserve.Loadgen.p99_ms
+              (r.Xserve.Loadgen.shed_rate *. 100.);
+            m (label ^ "_throughput_per_s") r.Xserve.Loadgen.throughput "req/s";
+            m (label ^ "_p50_ms") r.Xserve.Loadgen.p50_ms "ms";
+            m (label ^ "_p99_ms") r.Xserve.Loadgen.p99_ms "ms";
+            m (label ^ "_shed_rate") r.Xserve.Loadgen.shed_rate "ratio";
+            m (label ^ "_requests") (float_of_int r.Xserve.Loadgen.requests) "req";
+            m (label ^ "_errors") (float_of_int r.Xserve.Loadgen.errors) "req")
+      in
+      point "capacity" ~queue:256 ~domains:2 ~concurrency:8 ~duration:3.0;
+      point "saturation" ~queue:4 ~domains:1 ~concurrency:32 ~duration:3.0)
+
 (* ------------------------------------------------------------------ main *)
 
 let () =
@@ -1142,9 +1241,11 @@ let () =
     | "obs" -> obs_exp ()
     | "persist" -> persist_exp ()
     | "wal" -> wal_exp ()
+    | "serve" -> serve_exp ()
     | other ->
         Printf.eprintf
-          "unknown experiment %S (e1..e10, micro, pmicro, obs, persist, wal, all)\n"
+          "unknown experiment %S (e1..e10, micro, pmicro, obs, persist, wal, \
+           serve, all)\n"
           other;
         exit 1
   in

@@ -21,18 +21,21 @@ let read_file path =
   close_in ic;
   s
 
-let load_doc path = Xdm.Doc.of_string ~name:(Filename.basename path) (read_file path)
-
 let doc_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document")
 
 (* --- Error reporting ---------------------------------------------------- *)
 
 (* Exit-code policy: 2 when the invocation itself was wrong (unparsable
-   query text, bad flags — cmdliner's own usage errors are remapped in
+   query text, an unparsable XML fragment or bad node handle given to a
+   mutation verb, bad flags — cmdliner's own usage errors are remapped in
    [main] below), 1 when a well-formed request failed at runtime. Scripts
-   can then tell "fix the command line" from "investigate the store". *)
-let bad_argument_stages = [ "parse"; "extract" ]
+   can then tell "fix the command line" from "investigate the store".
+   "update" is here because [Xerror.Update_invalid] is by definition a
+   rejected invocation (the mutation was validated and refused before
+   taking any effect); WAL or maintenance failures after validation are
+   other stages and keep exiting 1. *)
+let bad_argument_stages = [ "parse"; "extract"; "update" ]
 
 let error_json ~stage msg =
   Xobs.Json.to_string
@@ -47,6 +50,26 @@ let die ?(json = false) ~stage msg =
 
 let die_xerror ?json e =
   die ?json ~stage:(Xengine.Xerror.stage e) (Xengine.Xerror.to_string e)
+
+(* A document that fails to load is a runtime failure (exit 1, clean
+   message), not an uncaught exception (cmdliner would exit 125 with a
+   backtrace — scripts can't classify that). *)
+let load_doc path =
+  match Xdm.Doc.of_string ~name:(Filename.basename path) (read_file path) with
+  | doc -> doc
+  | exception Sys_error m -> die ~stage:"load" m
+  | exception e ->
+      die ~stage:"load"
+        (Printf.sprintf "cannot load %s: %s" path (Printexc.to_string e))
+
+let write_out path data =
+  match
+    let oc = open_out path in
+    output_string oc data;
+    close_out oc
+  with
+  | () -> ()
+  | exception Sys_error m -> die ~stage:"io" m
 
 (* --- info ------------------------------------------------------------- *)
 
@@ -641,7 +664,9 @@ let churn_cmd =
       let doc =
         match Xengine.Engine.document engine with
         | Some d -> d
-        | None -> die ~json ~stage:"update" "snapshot carries no document"
+        (* a runtime defect of the store, not a bad invocation: stage
+           "snapshot" exits 1 (the "update" stage now exits 2) *)
+        | None -> die ~json ~stage:"snapshot" "snapshot carries no document"
       in
       (match Xengine.Engine.apply_r engine (churn_op doc ~seed i) with
       | Ok _ -> ()
@@ -676,6 +701,229 @@ let churn_cmd =
              recovers and converges on the same final state")
     Term.(const run $ snap_pos_arg $ wal_arg $ ops_arg $ seed_arg $ sleep_arg
           $ ckpt_arg $ verify_arg $ json_flag)
+
+(* --- serve / client -------------------------------------------------------
+   The network front end (lib/xserve): a multi-tenant HTTP/1.1 query
+   server over Engine.query_string_batch, and the matching client /
+   closed-loop load generator. *)
+
+let serve_cmd =
+  let tenant_arg =
+    let parse s =
+      match String.index_opt s '=' with
+      | Some i when i > 0 && i < String.length s - 1 ->
+          Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+      | _ -> Error (`Msg (Printf.sprintf "expected NAME=SNAPSHOT, got %S" s))
+    in
+    let print ppf (n, p) = Format.fprintf ppf "%s=%s" n p in
+    Arg.(non_empty & opt_all (conv (parse, print)) []
+         & info [ "tenant" ] ~docv:"NAME=SNAP"
+             ~doc:"Serve snapshot $(i,SNAP) as tenant $(i,NAME) (repeatable); \
+                   the snapshot is opened on the tenant's first request")
+  in
+  let port_arg =
+    Arg.(value & opt int 8080
+         & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 picks one)")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix domain socket instead of TCP")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue bound: requests beyond it are shed with \
+                   429 instead of queueing unboundedly")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"Domains per dispatch batch (inter-query parallelism)")
+  in
+  let batch_arg =
+    Arg.(value & opt int 16
+         & info [ "batch" ] ~docv:"B" ~doc:"Max requests per dispatch batch")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "default-deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline when the request sets none")
+  in
+  let lazy_arg =
+    Arg.(value & flag
+         & info [ "lazy" ] ~doc:"Open tenant snapshots with lazy extent paging")
+  in
+  let run tenants host port socket queue domains batch deadline lazy_tenants =
+    let listen =
+      match socket with
+      | Some path -> Xserve.Proto.Unix_sock path
+      | None -> Xserve.Proto.Tcp (host, port)
+    in
+    let cfg =
+      { (Xserve.Server.default_config listen) with
+        Xserve.Server.queue_depth = queue;
+        domains;
+        batch_max = batch;
+        lazy_tenants;
+        default_budget =
+          { Xengine.Engine.unlimited with Xengine.Engine.deadline_ms = deadline }
+      }
+    in
+    let server = Xserve.Server.create cfg tenants in
+    (match Xserve.Server.start server with
+    | () -> ()
+    | exception Failure m -> die ~stage:"serve" m);
+    Format.printf "serving %d tenant(s) on %a (queue %d, domains %d)@."
+      (List.length tenants) Xserve.Proto.pp_addr
+      (Xserve.Server.bound_addr server)
+      queue domains;
+    (* Not [Server.run]: the readiness line above must go out between
+       [start] and the signal wait so supervisors can poll for it. *)
+    let stop_requested = Atomic.make false in
+    List.iter
+      (fun s ->
+        try Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true))
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigterm; Sys.sigint ];
+    while not (Atomic.get stop_requested) do
+      try Thread.delay 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Xserve.Server.stop server;
+    Format.printf "drained@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve snapshots to concurrent clients over HTTP/1.1: per-tenant \
+             engines, per-request budgets/deadlines, bounded-queue admission \
+             control (429 under overload), /metrics in Prometheus format, \
+             graceful drain on SIGTERM (exit 0)")
+    Term.(const run $ tenant_arg $ host_arg $ port_arg $ socket_arg $ queue_arg
+          $ domains_arg $ batch_arg $ deadline_arg $ lazy_arg)
+
+let client_cmd =
+  let addr_arg =
+    let parse s =
+      Result.map_error (fun m -> `Msg m) (Xserve.Proto.addr_of_string s)
+    in
+    Arg.(required
+         & pos 0 (some (conv (parse, Xserve.Proto.pp_addr))) None
+         & info [] ~docv:"ADDR"
+             ~doc:"Server address: http://HOST:PORT, HOST:PORT or unix:PATH")
+  in
+  let query_opt_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"QUERY")
+  in
+  let tenant_arg =
+    Arg.(value & opt string "default" & info [ "tenant" ] ~docv:"NAME")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline")
+  in
+  let metrics_arg =
+    Arg.(value & flag
+         & info [ "metrics" ] ~doc:"Fetch /metrics and print the exposition")
+  in
+  let validate_arg =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"With $(b,--metrics): run the Prometheus format validator \
+                   and fail (exit 1) on a malformed exposition")
+  in
+  let bench_arg =
+    Arg.(value & flag
+         & info [ "bench" ]
+             ~doc:"Closed-loop load generation: $(b,--concurrency) threads \
+                   re-issue $(i,QUERY) back-to-back for $(b,--duration) \
+                   seconds and report throughput/latency/shed-rate")
+  in
+  let concurrency_arg =
+    Arg.(value & opt int 8 & info [ "concurrency" ] ~docv:"C")
+  in
+  let duration_arg =
+    Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"S")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print results as JSON")
+  in
+  let run addr query tenant deadline metrics validate bench concurrency
+      duration json =
+    if metrics then begin
+      match Xserve.Client.connect addr with
+      | Error m -> die ~json ~stage:"serve" m
+      | Ok c -> (
+          match Xserve.Client.metrics c with
+          | Error m ->
+              Xserve.Client.close c;
+              die ~json ~stage:"serve" m
+          | Ok text -> (
+              Xserve.Client.close c;
+              print_string text;
+              if validate then
+                match Xobs.Export.validate_prometheus text with
+                | Ok () -> ()
+                | Error m ->
+                    die ~json ~stage:"serve"
+                      (Printf.sprintf "invalid Prometheus exposition: %s" m)))
+    end
+    else
+      let query =
+        match query with
+        | Some q -> q
+        | None -> die ~json ~stage:"parse" "QUERY argument is required"
+      in
+      if bench then begin
+        let r =
+          Xserve.Loadgen.run ~addr ~tenant ~queries:[| query |]
+            ~concurrency ~duration_s:duration ?deadline_ms:deadline ()
+        in
+        if json then
+          print_endline (Xobs.Json.to_string (Xserve.Loadgen.to_json r))
+        else Format.printf "%a@." Xserve.Loadgen.pp r
+      end
+      else
+        match Xserve.Client.connect addr with
+        | Error m -> die ~json ~stage:"serve" m
+        | Ok c -> (
+            let reply = Xserve.Client.query c ~tenant ?deadline_ms:deadline query in
+            Xserve.Client.close c;
+            match reply with
+            | Error m -> die ~json ~stage:"serve" m
+            | Ok reply when reply.Xserve.Client.status = 200 -> (
+                match Xserve.Client.output reply with
+                | Some out ->
+                    if json then print_endline reply.Xserve.Client.raw
+                    else print_endline out
+                | None ->
+                    die ~json ~stage:"serve"
+                      (Printf.sprintf "malformed 200 reply: %s"
+                         reply.Xserve.Client.raw))
+            | Ok reply ->
+                (* Mirror the local exit-code convention: a malformed
+                   query is the caller's mistake (2), anything else is a
+                   server/runtime failure (1). *)
+                let code =
+                  Option.value ~default:"internal"
+                    (Xserve.Client.error_code reply)
+                in
+                if json then print_endline reply.Xserve.Client.raw
+                else
+                  Printf.eprintf "server answered %d (%s): %s\n"
+                    reply.Xserve.Client.status code reply.Xserve.Client.raw;
+                exit (if code = "malformed_query" then 2 else 1))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Query a running $(b,uload serve): one request (prints the \
+             answer, byte-identical to $(b,uload open)), $(b,--metrics) \
+             scraping, or $(b,--bench) closed-loop load generation")
+    Term.(const run $ addr_arg $ query_opt_arg $ tenant_arg $ deadline_arg
+          $ metrics_arg $ validate_arg $ bench_arg $ concurrency_arg
+          $ duration_arg $ json_arg)
 
 (* --- gen ------------------------------------------------------------------ *)
 
@@ -715,9 +963,7 @@ let gen_cmd =
     match out with
     | None -> print_string xml
     | Some f ->
-        let oc = open_out f in
-        output_string oc xml;
-        close_out oc;
+        write_out f xml;
         Printf.printf "wrote %s (%d bytes)\n" f (String.length xml)
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic document")
@@ -733,7 +979,7 @@ let () =
          [ info_cmd; summary_cmd; query_cmd; patterns_cmd; plan_cmd;
            contain_cmd; rewrite_cmd; minimize_cmd; save_cmd; open_cmd;
            put_cmd; delete_cmd; update_cmd; checkpoint_cmd; churn_cmd;
-           gen_cmd ])
+           gen_cmd; serve_cmd; client_cmd ])
   in
   (* cmdliner reports its own usage errors as 124; fold them into the
      bad-argument exit code so callers see one value for "the invocation

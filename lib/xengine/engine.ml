@@ -1365,6 +1365,26 @@ let query_ast t ast =
 
 let query_string t src = query_ast t (Xquery.Parse.query src)
 
+(* Inter-query parallelism for the XQuery front door — the serving
+   layer's execution path. Same machinery as [query_batch]: a transient
+   pool, atomics for the counters, the mutex-guarded plan cache and
+   quarantine table; each item carries its own budget (admission control
+   computes the remaining deadline per request). *)
+let query_string_batch ?(domains = 1) t items =
+  let run (src, b) = query_string_r ?budget:b t src in
+  if domains <= 1 || List.length items <= 1 then List.map run items
+  else begin
+    (* Pre-build the base document's label index so no two domains race
+       to install it (same warm-up as [query_batch]). *)
+    (match t.doc with
+    | Some d -> ignore (Xdm.Doc.nodes_with_label d "#warm")
+    | None -> ());
+    let pool = Pool.create ~domains () in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> Pool.map_list pool run items)
+  end
+
 let pp_counters ppf c =
   Format.fprintf ppf
     "queries %d, plan cache %d hit%s / %d miss%s, rewrites %d, fallbacks %d, \

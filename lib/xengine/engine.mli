@@ -381,6 +381,19 @@ val query_string : t -> string -> xquery_result
 
 val query_ast : t -> Xquery.Ast.expr -> xquery_result
 
+val query_string_batch :
+  ?domains:int ->
+  t ->
+  (string * budget option) list ->
+  (xquery_result, Xerror.t) Stdlib.result list
+(** Answer independent XQuery strings concurrently on a transient pool of
+    [domains] domains — {!query_batch} for the XQuery front door, and the
+    execution path of the serving layer ({!Xserve.Server}). Each item
+    carries its own optional budget ([None] uses the engine default),
+    because a server batch mixes requests admitted at different times
+    with different remaining deadlines. Results come back in input order;
+    each is exactly what {!query_string_r} would return. *)
+
 (** {1 Catalog management} *)
 
 val catalog : t -> Xstorage.Store.catalog

@@ -1,0 +1,85 @@
+(* Blocking HTTP client over Unix sockets / TCP; see the interface. *)
+
+module Json = Xobs.Json
+
+type t = { conn : Proto.conn }
+
+let connect addr =
+  match
+    match addr with
+    | Proto.Tcp (host, port) ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | h when Array.length h.Unix.h_addr_list > 0 ->
+                h.Unix.h_addr_list.(0)
+            | _ -> failwith (Printf.sprintf "cannot resolve %S" host))
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd
+    | Proto.Unix_sock path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd
+  with
+  | fd -> Ok { conn = Proto.conn_of_fd fd }
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Failure m -> Error m
+
+let close t =
+  try Unix.close (Proto.conn_fd t.conn) with Unix.Unix_error _ -> ()
+
+let request t ~meth ~path ?body () =
+  match Proto.write_request t.conn ~meth ~path ?body () with
+  | Error m -> Error m
+  | Ok () -> (
+      match Proto.read_response t.conn with
+      | Error m -> Error m
+      | Ok (status, _headers, body) -> Ok (status, body))
+
+type reply = { status : int; body : Json.t option; raw : string }
+
+let reply_of (status, raw) =
+  { status; body = Result.to_option (Json.of_string raw); raw }
+
+let query t ~tenant ?deadline_ms ?max_tuples ?max_steps q =
+  let body =
+    Proto.query_request_to_json
+      { Proto.q_tenant = tenant;
+        q_query = q;
+        q_deadline_ms = deadline_ms;
+        q_max_tuples = max_tuples;
+        q_max_steps = max_steps }
+  in
+  Result.map reply_of (request t ~meth:"POST" ~path:"/query" ~body ())
+
+let output r =
+  Option.bind r.body (fun j -> Option.bind (Json.member "output" j) Json.to_str)
+
+let error_code r =
+  Option.bind r.body (fun j ->
+      Option.bind (Json.member "error" j) (fun e ->
+          Option.bind (Json.member "code" e) Json.to_str))
+
+let metrics t =
+  match request t ~meth:"GET" ~path:"/metrics" () with
+  | Error m -> Error m
+  | Ok (200, body) -> Ok body
+  | Ok (status, _) -> Error (Printf.sprintf "/metrics answered %d" status)
+
+let health t = Result.map reply_of (request t ~meth:"GET" ~path:"/healthz" ())
+
+let swap t ~tenant ~snapshot =
+  let body =
+    Json.to_string
+      (Json.Obj [ ("tenant", Json.Str tenant); ("snapshot", Json.Str snapshot) ])
+  in
+  Result.map reply_of (request t ~meth:"POST" ~path:"/admin/swap" ~body ())

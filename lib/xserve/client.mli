@@ -1,0 +1,48 @@
+(** A blocking HTTP/1.1 client for the serving protocol — used by
+    [uload client], the closed-loop load generator ({!Loadgen}) and the
+    serve test-suite. One {!t} is one keep-alive connection; it is not
+    thread-safe (give each thread its own). *)
+
+type t
+
+val connect : Proto.addr -> (t, string) result
+val close : t -> unit
+
+val request :
+  t ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  unit ->
+  (int * string, string) result
+(** One round-trip: [(status, body)], or [Error] on a transport
+    failure (the connection is unusable afterwards). *)
+
+type reply = {
+  status : int;
+  body : Xobs.Json.t option;  (** parsed body when it is JSON *)
+  raw : string;
+}
+
+val query :
+  t ->
+  tenant:string ->
+  ?deadline_ms:float ->
+  ?max_tuples:int ->
+  ?max_steps:int ->
+  string ->
+  (reply, string) result
+(** [POST /query]. On a 200 reply, [body] carries the fields described
+    in {!Server}; on errors the [{"error":…}] object. *)
+
+val output : reply -> string option
+(** The ["output"] field of a 200 reply. *)
+
+val error_code : reply -> string option
+(** The ["error"]["code"] field of an error reply. *)
+
+val metrics : t -> (string, string) result
+(** [GET /metrics] — the Prometheus text exposition. *)
+
+val health : t -> (reply, string) result
+val swap : t -> tenant:string -> snapshot:string -> (reply, string) result

@@ -1,0 +1,106 @@
+(* Closed-loop load generation: see the interface for the discipline. *)
+
+module Metrics = Xobs.Metrics
+module Json = Xobs.Json
+
+type result = {
+  duration_s : float;
+  requests : int;
+  ok : int;
+  shed : int;
+  errors : int;
+  throughput : float;
+  shed_rate : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+}
+
+let run ~addr ~tenant ~queries ~concurrency ~duration_s ?deadline_ms () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "loadgen_latency_seconds" in
+  let ok = Atomic.make 0 and shed = Atomic.make 0 and errors = Atomic.make 0 in
+  let clock = Xobs.Clock.monotonic in
+  let t0 = clock () in
+  let deadline = t0 +. duration_s in
+  let worker idx () =
+    let next = ref idx in
+    let conn = ref None in
+    let get_conn () =
+      match !conn with
+      | Some c -> Ok c
+      | None -> (
+          match Client.connect addr with
+          | Ok c ->
+              conn := Some c;
+              Ok c
+          | Error _ as e -> e)
+    in
+    while clock () < deadline do
+      let q = queries.(!next mod Array.length queries) in
+      incr next;
+      match get_conn () with
+      | Error _ ->
+          Atomic.incr errors;
+          (* The server may be momentarily out of connection slots. *)
+          Thread.delay 0.005
+      | Ok c -> (
+          let s0 = clock () in
+          match Client.query c ~tenant ?deadline_ms q with
+          | Ok reply ->
+              Metrics.observe h (clock () -. s0);
+              if reply.Client.status = 200 then Atomic.incr ok
+              else if reply.Client.status = 429 then Atomic.incr shed
+              else Atomic.incr errors
+          | Error _ ->
+              Atomic.incr errors;
+              Client.close c;
+              conn := None)
+    done;
+    match !conn with Some c -> Client.close c | None -> ()
+  in
+  let threads =
+    List.init (max 1 concurrency) (fun i -> Thread.create (worker i) ())
+  in
+  List.iter Thread.join threads;
+  let duration = clock () -. t0 in
+  let snap = Metrics.snapshot h in
+  let ok = Atomic.get ok and shed = Atomic.get shed and errors = Atomic.get errors in
+  let requests = ok + shed + errors in
+  { duration_s = duration;
+    requests;
+    ok;
+    shed;
+    errors;
+    throughput = (if duration > 0. then float_of_int ok /. duration else 0.);
+    shed_rate =
+      (if requests > 0 then float_of_int shed /. float_of_int requests else 0.);
+    p50_ms = Metrics.percentile snap 0.50 *. 1000.;
+    p90_ms = Metrics.percentile snap 0.90 *. 1000.;
+    p99_ms = Metrics.percentile snap 0.99 *. 1000.;
+    mean_ms =
+      (if snap.Metrics.count > 0 then
+         Metrics.sum_s snap /. float_of_int snap.Metrics.count *. 1000.
+       else 0.) }
+
+let to_json r =
+  Json.Obj
+    [ ("duration_s", Json.Num r.duration_s);
+      ("requests", Json.Num (float_of_int r.requests));
+      ("ok", Json.Num (float_of_int r.ok));
+      ("shed", Json.Num (float_of_int r.shed));
+      ("errors", Json.Num (float_of_int r.errors));
+      ("throughput_per_s", Json.Num r.throughput);
+      ("shed_rate", Json.Num r.shed_rate);
+      ("p50_ms", Json.Num r.p50_ms);
+      ("p90_ms", Json.Num r.p90_ms);
+      ("p99_ms", Json.Num r.p99_ms);
+      ("mean_ms", Json.Num r.mean_ms) ]
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%d req in %.2fs: %.0f ok/s, shed %.1f%%, errors %d, p50 %.2f ms, p99 %.2f \
+     ms"
+    r.requests r.duration_s r.throughput (r.shed_rate *. 100.) r.errors
+    r.p50_ms r.p99_ms

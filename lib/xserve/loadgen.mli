@@ -1,0 +1,41 @@
+(** A closed-loop load generator for the serving layer.
+
+    [concurrency] client threads each hold one keep-alive connection and
+    issue the next request the moment the previous response arrives —
+    the closed-loop discipline, so offered load tracks service rate and
+    saturation shows up as queueing latency and shed responses (429)
+    rather than an unbounded client-side backlog. This is the realistic
+    end-to-end workload every later perf PR measures against
+    ([bench serve] → BENCH_8.json) and the driver of the CI
+    [serve-smoke] job. *)
+
+type result = {
+  duration_s : float;  (** measured wall-clock window *)
+  requests : int;  (** responses received (all statuses) *)
+  ok : int;  (** 200s *)
+  shed : int;  (** 429s — admission-control sheds *)
+  errors : int;  (** everything else (transport errors included) *)
+  throughput : float;  (** ok / duration, per second *)
+  shed_rate : float;  (** shed / requests (0 when no requests) *)
+  p50_ms : float;  (** latency percentiles over {e all} responses *)
+  p90_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+}
+
+val run :
+  addr:Proto.addr ->
+  tenant:string ->
+  queries:string array ->
+  concurrency:int ->
+  duration_s:float ->
+  ?deadline_ms:float ->
+  unit ->
+  result
+(** Drive the server at [addr] for [duration_s] seconds. Each thread
+    cycles through [queries] round-robin (offset by its index, so
+    concurrent threads mix queries). A thread whose connection dies
+    reconnects and counts the failure as an error. *)
+
+val to_json : result -> Xobs.Json.t
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,343 @@
+(* The serving wire protocol: a small HTTP/1.1 subset hand-rolled over
+   Unix file descriptors, and the JSON bodies of the query API. See the
+   interface for the scope deliberately left out (chunked encoding,
+   pipelining). *)
+
+module Json = Xobs.Json
+module Xerror = Xengine.Xerror
+
+(* --- Addresses ------------------------------------------------------------ *)
+
+type addr = Tcp of string * int | Unix_sock of string
+
+let pp_addr ppf = function
+  | Tcp (h, p) -> Format.fprintf ppf "http://%s:%d" h p
+  | Unix_sock p -> Format.fprintf ppf "unix:%s" p
+
+let addr_of_string s =
+  let strip_prefix p s =
+    if String.length s >= String.length p && String.sub s 0 (String.length p) = p
+    then Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  match strip_prefix "unix:" s with
+  | Some path when path <> "" -> Ok (Unix_sock path)
+  | Some _ -> Error "empty unix socket path"
+  | None -> (
+      let hostport =
+        match strip_prefix "http://" s with Some rest -> rest | None -> s
+      in
+      (* tolerate a trailing slash from URL-shaped input *)
+      let hostport =
+        match String.index_opt hostport '/' with
+        | Some i -> String.sub hostport 0 i
+        | None -> hostport
+      in
+      match String.rindex_opt hostport ':' with
+      | None -> Error (Printf.sprintf "expected HOST:PORT or unix:PATH, got %S" s)
+      | Some i -> (
+          let host = String.sub hostport 0 i in
+          let port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+          | _ -> Error (Printf.sprintf "bad port in %S" s)))
+
+(* --- Framing limits ------------------------------------------------------- *)
+
+let max_head_bytes = 16 * 1024
+let max_body_bytes = 8 * 1024 * 1024
+
+(* --- Connections ---------------------------------------------------------- *)
+
+type conn = { fd : Unix.file_descr; mutable buf : Bytes.t; mutable len : int }
+
+let conn_of_fd fd = { fd; buf = Bytes.create 4096; len = 0 }
+let conn_fd c = c.fd
+
+(* Append one read(2) worth of bytes; 0 = EOF. *)
+let fill c =
+  if c.len = Bytes.length c.buf then
+    c.buf <- Bytes.extend c.buf 0 (Bytes.length c.buf);
+  let n = Unix.read c.fd c.buf c.len (Bytes.length c.buf - c.len) in
+  c.len <- c.len + n;
+  n
+
+let consume c n =
+  Bytes.blit c.buf n c.buf 0 (c.len - n);
+  c.len <- c.len - n
+
+(* Index just past the first CRLFCRLF in the buffered bytes, if any. *)
+let head_end c =
+  let limit = c.len - 3 in
+  let rec go i =
+    if i >= limit then None
+    else if
+      Bytes.get c.buf i = '\r'
+      && Bytes.get c.buf (i + 1) = '\n'
+      && Bytes.get c.buf (i + 2) = '\r'
+      && Bytes.get c.buf (i + 3) = '\n'
+    then Some (i + 4)
+    else go (i + 1)
+  in
+  go 0
+
+let split_lines s =
+  String.split_on_char '\n' s
+  |> List.map (fun l ->
+         let n = String.length l in
+         if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+  |> List.filter (fun l -> l <> "")
+
+let parse_headers lines =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | None -> None
+      | Some i ->
+          let k = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+          let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          Some (k, v))
+    lines
+
+let header name headers = List.assoc_opt name headers
+
+let content_length headers =
+  match header "content-length" headers with
+  | None -> Ok 0
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 0 && n <= max_body_bytes -> Ok n
+      | Some _ -> Error "content-length out of bounds"
+      | None -> Error "unparsable content-length")
+
+(* Read until the buffered bytes contain a full head (or EOF / overflow). *)
+let rec read_head c =
+  match head_end c with
+  | Some e -> `Head e
+  | None ->
+      if c.len > max_head_bytes then `Bad "headers exceed 16KB"
+      else begin
+        match fill c with
+        | 0 -> if c.len = 0 then `Eof else `Bad "eof mid-headers"
+        | _ -> read_head c
+        | exception Unix.Unix_error (e, _, _) ->
+            `Bad (Unix.error_message e)
+      end
+
+let rec read_body c want =
+  if c.len >= want then begin
+    let body = Bytes.sub_string c.buf 0 want in
+    consume c want;
+    Ok body
+  end
+  else begin
+    match fill c with
+    | 0 -> Error "eof mid-body"
+    | _ -> read_body c want
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  end
+
+(* --- Requests ------------------------------------------------------------- *)
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+let read_request c =
+  match read_head c with
+  | `Eof -> `Eof
+  | `Bad m -> `Bad m
+  | `Head e -> (
+      let head = Bytes.sub_string c.buf 0 e in
+      consume c e;
+      match split_lines head with
+      | [] -> `Bad "empty request"
+      | req_line :: header_lines -> (
+          match String.split_on_char ' ' req_line with
+          | meth :: path :: _ -> (
+              let headers = parse_headers header_lines in
+              match content_length headers with
+              | Error m -> `Bad m
+              | Ok want -> (
+                  match read_body c want with
+                  | Error m -> `Bad m
+                  | Ok body ->
+                      `Req
+                        { meth = String.uppercase_ascii meth; path; headers; body }))
+          | _ -> `Bad (Printf.sprintf "malformed request line %S" req_line)))
+
+(* --- Responses ------------------------------------------------------------ *)
+
+type response = {
+  status : int;
+  reason : string;
+  content_type : string;
+  body : string;
+  close : bool;
+}
+
+let reason_of = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 422 -> "Unprocessable Entity"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let response ?(close = false) ?(content_type = "application/json") status body =
+  { status; reason = reason_of status; content_type; body; close }
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  match go 0 with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let write_response c r =
+  write_all c.fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: %s\r\n\r\n%s"
+       r.status r.reason r.content_type (String.length r.body)
+       (if r.close then "close" else "keep-alive")
+       r.body)
+
+let read_response c =
+  match read_head c with
+  | `Eof -> Error "eof before response"
+  | `Bad m -> Error m
+  | `Head e -> (
+      let head = Bytes.sub_string c.buf 0 e in
+      consume c e;
+      match split_lines head with
+      | [] -> Error "empty response"
+      | status_line :: header_lines -> (
+          match String.split_on_char ' ' status_line with
+          | _http :: code :: _ -> (
+              match int_of_string_opt code with
+              | None -> Error (Printf.sprintf "bad status line %S" status_line)
+              | Some status -> (
+                  let headers = parse_headers header_lines in
+                  match content_length headers with
+                  | Error m -> Error m
+                  | Ok want -> (
+                      match read_body c want with
+                      | Error m -> Error m
+                      | Ok body -> Ok (status, headers, body))))
+          | _ -> Error (Printf.sprintf "bad status line %S" status_line)))
+
+let write_request c ~meth ~path ?(body = "") () =
+  write_all c.fd
+    (Printf.sprintf
+       "%s %s HTTP/1.1\r\nHost: xam\r\nContent-Length: %d\r\nConnection: keep-alive\r\n\r\n%s"
+       meth path (String.length body) body)
+
+(* --- The query API -------------------------------------------------------- *)
+
+type query_request = {
+  q_tenant : string;
+  q_query : string;
+  q_deadline_ms : float option;
+  q_max_tuples : int option;
+  q_max_steps : int option;
+}
+
+let query_request_of_json s =
+  match Json.of_string s with
+  | Error m -> Error (Printf.sprintf "body is not JSON: %s" m)
+  | Ok j -> (
+      let str k = Option.bind (Json.member k j) Json.to_str in
+      let num k = Option.bind (Json.member k j) Json.to_float in
+      let int k = Option.bind (Json.member k j) Json.to_int in
+      match (str "tenant", str "query") with
+      | Some t, Some q when t <> "" && q <> "" ->
+          Ok
+            { q_tenant = t;
+              q_query = q;
+              q_deadline_ms = num "deadline_ms";
+              q_max_tuples = int "max_tuples";
+              q_max_steps = int "max_steps" }
+      | _ -> Error "body needs non-empty \"tenant\" and \"query\" fields")
+
+let query_request_to_json r =
+  let opt k f = function Some v -> [ (k, f v) ] | None -> [] in
+  Json.to_string
+    (Json.Obj
+       ([ ("tenant", Json.Str r.q_tenant); ("query", Json.Str r.q_query) ]
+       @ opt "deadline_ms" (fun v -> Json.Num v) r.q_deadline_ms
+       @ opt "max_tuples" (fun v -> Json.Num (float_of_int v)) r.q_max_tuples
+       @ opt "max_steps" (fun v -> Json.Num (float_of_int v)) r.q_max_steps))
+
+let budget_of ~default r =
+  {
+    Xengine.Engine.deadline_ms =
+      (match r.q_deadline_ms with
+      | Some _ as d -> d
+      | None -> default.Xengine.Engine.deadline_ms);
+    max_tuples =
+      (match r.q_max_tuples with
+      | Some _ as m -> m
+      | None -> default.Xengine.Engine.max_tuples);
+    max_steps =
+      (match r.q_max_steps with
+      | Some _ as m -> m
+      | None -> default.Xengine.Engine.max_steps);
+  }
+
+(* --- Error classification ------------------------------------------------- *)
+
+let error_body ~code ?(extra = []) ~stage msg =
+  Json.to_string
+    (Json.Obj
+       [ ( "error",
+           Json.Obj
+             ([ ("code", Json.Str code);
+                ("stage", Json.Str stage);
+                ("message", Json.Str msg) ]
+             @ extra) ) ])
+
+let error_response ?close ~status ~code ?extra ~stage msg =
+  response ?close status (error_body ~code ?extra ~stage msg)
+
+let of_xerror ~quarantined e =
+  let stage = Xerror.stage e in
+  let msg = Xerror.to_string e in
+  match e with
+  | Xerror.Parse_error _ | Xerror.Extract_error _ ->
+      error_response ~status:400 ~code:"malformed_query" ~stage msg
+  | Xerror.No_rewriting _ ->
+      error_response ~status:422 ~code:"no_rewriting" ~stage msg
+  | Xerror.Budget_exceeded { dimension; _ } ->
+      error_response ~status:408 ~code:"budget_exceeded"
+        ~extra:[ ("dimension", Json.Str (Xerror.dimension_string dimension)) ]
+        ~stage msg
+  | Xerror.Storage_fault { module_name; _ } ->
+      (* Distinguish "the answering modules are quarantined" (the client
+         can retry another tenant / wait for a swap) from a fault with no
+         quarantine on record (an unclassified storage failure). *)
+      let code =
+        if quarantined <> [] || List.mem_assoc module_name quarantined then
+          "quarantined"
+        else "storage_fault"
+      in
+      error_response ~status:503 ~code
+        ~extra:
+          [ ( "quarantined",
+              Json.Arr (List.map (fun (n, _) -> Json.Str n) quarantined) ) ]
+        ~stage msg
+  | Xerror.Catalog_invalid _ | Xerror.Snapshot_error _ | Xerror.Wal_error _ ->
+      error_response ~status:500 ~code:"tenant_unavailable" ~stage msg
+  | Xerror.Update_invalid _ ->
+      error_response ~status:400 ~code:"invalid_update" ~stage msg
+  | Xerror.Plan_error _ | Xerror.Exec_error _ ->
+      error_response ~status:500 ~code:"internal" ~stage msg

@@ -1,0 +1,98 @@
+(** The serving wire protocol: a deliberately small HTTP/1.1 subset over
+    [Unix] file descriptors — no external dependency, same spirit as the
+    repo's hand-written JSON — plus the request/response bodies of the
+    query API and the mapping from {!Xengine.Xerror.t} to HTTP statuses
+    and machine-readable error codes.
+
+    The subset is what a closed-loop client and a metrics scraper need:
+    one request line, headers, an optional [Content-Length] body,
+    keep-alive connections. No chunked encoding, no pipelining (the
+    next request is read only after the previous response is written). *)
+
+(** {1 Addresses} *)
+
+type addr =
+  | Tcp of string * int  (** host, port (port 0 binds ephemeral) *)
+  | Unix_sock of string  (** AF_UNIX socket path *)
+
+val pp_addr : Format.formatter -> addr -> unit
+
+val addr_of_string : string -> (addr, string) result
+(** ["http://HOST:PORT"], ["HOST:PORT"] or ["unix:PATH"]. *)
+
+(** {1 HTTP framing} *)
+
+type request = {
+  meth : string;  (** uppercased: GET, POST, … *)
+  path : string;  (** the request target, query string included *)
+  headers : (string * string) list;  (** keys lowercased *)
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  content_type : string;
+  body : string;
+  close : bool;  (** send [Connection: close] and drop the connection *)
+}
+
+val response : ?close:bool -> ?content_type:string -> int -> string -> response
+(** [response status body] with the standard reason phrase;
+    [content_type] defaults to [application/json]. *)
+
+type conn
+(** A buffered connection: owns the read buffer that survives across
+    keep-alive requests. *)
+
+val conn_of_fd : Unix.file_descr -> conn
+val conn_fd : conn -> Unix.file_descr
+
+val read_request : conn -> [ `Req of request | `Eof | `Bad of string ]
+(** Read one request. [`Eof] is a clean peer close between requests;
+    [`Bad] covers malformed framing and oversized headers/bodies (the
+    caller should answer 400 and close). *)
+
+val write_response : conn -> response -> (unit, string) result
+
+val read_response : conn -> (int * (string * string) list * string, string) result
+(** Client side: status code, headers, body. *)
+
+val write_request :
+  conn -> meth:string -> path:string -> ?body:string -> unit -> (unit, string) result
+
+(** {1 The query API} *)
+
+type query_request = {
+  q_tenant : string;
+  q_query : string;
+  q_deadline_ms : float option;
+  q_max_tuples : int option;
+  q_max_steps : int option;
+}
+
+val query_request_of_json : string -> (query_request, string) result
+val query_request_to_json : query_request -> string
+
+val budget_of : default:Xengine.Engine.budget -> query_request -> Xengine.Engine.budget
+(** The request's budget over the server default: a request field set
+    replaces the default's dimension, unset fields inherit. *)
+
+(** {1 Error codes}
+
+    Every error response body is
+    [{"error":{"code":C,"stage":S,"message":M}}] with [C] one of:
+    [overloaded] (shed at admission, 429), [draining] (503),
+    [unknown_tenant] (404), [malformed_request] (400, the HTTP/JSON
+    envelope was wrong), [malformed_query] (400, the XQuery text did not
+    parse/extract), [no_rewriting] (422), [budget_exceeded] (408, with a
+    ["dimension"] field), [quarantined] (503, the answering module set is
+    quarantined), [storage_fault] (503), [internal] (500). *)
+
+val error_body : code:string -> ?extra:(string * Xobs.Json.t) list -> stage:string -> string -> string
+val error_response : ?close:bool -> status:int -> code:string -> ?extra:(string * Xobs.Json.t) list -> stage:string -> string -> response
+
+val of_xerror : quarantined:(string * string) list -> Xengine.Xerror.t -> response
+(** Classify an engine failure: status + code per the table above.
+    [quarantined] (the engine's current quarantine set) decides
+    [quarantined] vs [storage_fault] for storage failures. *)

@@ -1,0 +1,717 @@
+(* The multi-tenant query server: connection threads feeding a bounded
+   admission queue, one dispatcher batching through
+   Engine.query_string_batch, per-tenant engines opened lazily from
+   snapshots. See the interface for the request flow and drain
+   semantics. *)
+
+module Engine = Xengine.Engine
+module Obs = Xobs.Obs
+module Metrics = Xobs.Metrics
+module Json = Xobs.Json
+
+type config = {
+  listen : Proto.addr;
+  queue_depth : int;
+  domains : int;
+  batch_max : int;
+  default_budget : Engine.budget;
+  lazy_tenants : bool;
+  max_conns : int;
+}
+
+let default_config listen =
+  { listen;
+    queue_depth = 64;
+    domains = 1;
+    batch_max = 16;
+    default_budget = Engine.unlimited;
+    lazy_tenants = false;
+    max_conns = 256 }
+
+(* One response slot a connection thread blocks on while the dispatcher
+   works. *)
+type mailbox = {
+  m_lock : Mutex.t;
+  m_cond : Condition.t;
+  mutable m_resp : Proto.response option;
+}
+
+let mailbox () =
+  { m_lock = Mutex.create (); m_cond = Condition.create (); m_resp = None }
+
+let deliver mb resp =
+  Mutex.lock mb.m_lock;
+  mb.m_resp <- Some resp;
+  Condition.signal mb.m_cond;
+  Mutex.unlock mb.m_lock
+
+let await mb =
+  Mutex.lock mb.m_lock;
+  while mb.m_resp = None do
+    Condition.wait mb.m_cond mb.m_lock
+  done;
+  let r = Option.get mb.m_resp in
+  Mutex.unlock mb.m_lock;
+  r
+
+type tenant = {
+  tn_name : string;
+  mutable tn_path : string option;  (* snapshot path, for lazy open *)
+  tn_lock : Mutex.t;
+  mutable tn_engine : Engine.t option;
+}
+
+type job = {
+  j_tenant : tenant;
+  j_engine : Engine.t;
+  j_query : string;
+  j_budget : Engine.budget;  (* non-deadline dimensions, resolved *)
+  j_deadline_abs : float option;  (* server clock, absolute *)
+  j_enqueued : float;
+  j_mail : mailbox;
+}
+
+type state = Created | Running | Draining | Stopped
+
+type t = {
+  cfg : config;
+  obs : Obs.t;
+  tenants : (string, tenant) Hashtbl.t;
+  tenants_lock : Mutex.t;
+  (* Admission queue + lifecycle, all under [lock]. *)
+  lock : Mutex.t;
+  work : Condition.t;  (* dispatcher wakes *)
+  idle : Condition.t;  (* stop waits for quiescence *)
+  q : job Queue.t;
+  mutable qdepth : int;
+  mutable executing : int;  (* jobs dequeued, response not yet delivered *)
+  mutable busy_conns : int;  (* conns between request parse and response write *)
+  mutable st : state;
+  mutable listen_fd : Unix.file_descr option;
+  mutable bound : Proto.addr option;
+  mutable acceptor : Thread.t option;
+  mutable dispatcher : Thread.t option;
+  conns : (int, Unix.file_descr) Hashtbl.t;  (* live conns, keyed by fd int *)
+  conns_lock : Mutex.t;
+  conns_gone : Condition.t;
+  clock : Xobs.Clock.t;
+  (* metrics *)
+  m_requests : Metrics.counter;
+  m_shed : Metrics.counter;
+  m_expired : Metrics.counter;
+  m_errors : Metrics.counter;
+  m_batches : Metrics.counter;
+  g_queue : Metrics.gauge;
+  g_conns : Metrics.gauge;
+  h_latency : Metrics.histogram;
+}
+
+let create ?obs cfg tenants =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let reg = obs.Obs.metrics in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (name, path) ->
+      Hashtbl.replace tbl name
+        { tn_name = name;
+          tn_path = Some path;
+          tn_lock = Mutex.create ();
+          tn_engine = None })
+    tenants;
+  { cfg = { cfg with queue_depth = max 1 cfg.queue_depth;
+            batch_max = max 1 cfg.batch_max };
+    obs;
+    tenants = tbl;
+    tenants_lock = Mutex.create ();
+    lock = Mutex.create ();
+    work = Condition.create ();
+    idle = Condition.create ();
+    q = Queue.create ();
+    qdepth = 0;
+    executing = 0;
+    busy_conns = 0;
+    st = Created;
+    listen_fd = None;
+    bound = None;
+    acceptor = None;
+    dispatcher = None;
+    conns = Hashtbl.create 32;
+    conns_lock = Mutex.create ();
+    conns_gone = Condition.create ();
+    clock = obs.Obs.clock;
+    m_requests =
+      Metrics.counter reg ~help:"Query requests received" "serve_requests_total";
+    m_shed =
+      Metrics.counter reg ~help:"Requests shed at admission (429)"
+        "serve_shed_total";
+    m_expired =
+      Metrics.counter reg
+        ~help:"Admitted requests whose deadline passed before dispatch"
+        "serve_expired_total";
+    m_errors =
+      Metrics.counter reg ~help:"Query requests answered with an error"
+        "serve_errors_total";
+    m_batches =
+      Metrics.counter reg ~help:"Dispatch batches executed" "serve_batches_total";
+    g_queue =
+      Metrics.gauge reg ~help:"Admission queue depth" "serve_queue_depth";
+    g_conns =
+      Metrics.gauge reg ~help:"Open client connections" "serve_connections";
+    h_latency =
+      Metrics.histogram reg ~help:"Admission-to-response latency"
+        "serve_request_seconds" }
+
+let obs t = t.obs
+let draining t = Mutex.lock t.lock; let d = t.st <> Running in Mutex.unlock t.lock; d
+let queue_depth t = Mutex.lock t.lock; let n = t.qdepth in Mutex.unlock t.lock; n
+let executing t = Mutex.lock t.lock; let n = t.executing in Mutex.unlock t.lock; n
+
+let add_engine t name engine =
+  Mutex.lock t.tenants_lock;
+  Hashtbl.replace t.tenants name
+    { tn_name = name;
+      tn_path = None;
+      tn_lock = Mutex.create ();
+      tn_engine = Some engine };
+  Mutex.unlock t.tenants_lock
+
+(* --- Tenant resolution ----------------------------------------------------- *)
+
+let find_tenant t name =
+  Mutex.lock t.tenants_lock;
+  let tn = Hashtbl.find_opt t.tenants name in
+  Mutex.unlock t.tenants_lock;
+  tn
+
+(* Open the tenant's engine on first use. The per-tenant lock makes
+   concurrent first requests open the snapshot once. *)
+let tenant_engine t tn =
+  Mutex.lock tn.tn_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock tn.tn_lock) @@ fun () ->
+  match tn.tn_engine with
+  | Some e -> Ok e
+  | None -> (
+      match tn.tn_path with
+      | None ->
+          Error
+            (Proto.error_response ~status:500 ~code:"tenant_unavailable"
+               ~stage:"serve"
+               (Printf.sprintf "tenant %s has no snapshot path" tn.tn_name))
+      | Some path -> (
+          match
+            Engine.of_snapshot_r ~obs:t.obs ~lazy_extents:t.cfg.lazy_tenants
+              path
+          with
+          | Ok e ->
+              tn.tn_engine <- Some e;
+              Ok e
+          | Error x -> Error (Proto.of_xerror ~quarantined:[] x)))
+
+(* --- Admission ------------------------------------------------------------- *)
+
+(* Admit a query or answer immediately: 503 when draining, 429 when the
+   bounded queue is full. Returns the mailbox to wait on. *)
+let admit t tn engine (qr : Proto.query_request) =
+  let now = t.clock () in
+  let budget = Proto.budget_of ~default:t.cfg.default_budget qr in
+  let deadline_abs =
+    Option.map (fun ms -> now +. (ms /. 1000.)) budget.Engine.deadline_ms
+  in
+  let job =
+    { j_tenant = tn;
+      j_engine = engine;
+      j_query = qr.Proto.q_query;
+      j_budget = budget;
+      j_deadline_abs = deadline_abs;
+      j_enqueued = now;
+      j_mail = mailbox () }
+  in
+  Mutex.lock t.lock;
+  if t.st <> Running then begin
+    Mutex.unlock t.lock;
+    Error
+      (Proto.error_response ~close:true ~status:503 ~code:"draining"
+         ~stage:"serve" "server is draining")
+  end
+  else if t.qdepth >= t.cfg.queue_depth then begin
+    Mutex.unlock t.lock;
+    Metrics.incr t.m_shed;
+    Error
+      (Proto.error_response ~status:429 ~code:"overloaded" ~stage:"serve"
+         ~extra:
+           [ ("queue_depth", Json.Num (float_of_int t.cfg.queue_depth)) ]
+         "admission queue is full")
+  end
+  else begin
+    Queue.add job t.q;
+    t.qdepth <- t.qdepth + 1;
+    Metrics.set_gauge t.g_queue (float_of_int t.qdepth);
+    Condition.signal t.work;
+    Mutex.unlock t.lock;
+    Ok job.j_mail
+  end
+
+(* --- Dispatch -------------------------------------------------------------- *)
+
+let response_of_result t job = function
+  | Error e ->
+      Metrics.incr t.m_errors;
+      Proto.of_xerror ~quarantined:(Engine.quarantined job.j_engine) e
+  | Ok (r : Engine.xquery_result) ->
+      let degraded =
+        List.exists
+          (function
+            | Some ex -> ex.Xengine.Explain.degraded
+            | None -> false)
+          r.Engine.pattern_explains
+      in
+      let quarantined = Engine.quarantined job.j_engine in
+      Proto.response 200
+        (Json.to_string
+           (Json.Obj
+              [ ("tenant", Json.Str job.j_tenant.tn_name);
+                ("output", Json.Str r.Engine.output);
+                ("degraded", Json.Bool degraded);
+                ( "quarantined",
+                  Json.Arr (List.map (fun (n, _) -> Json.Str n) quarantined) );
+                ( "patterns",
+                  Json.Num (float_of_int (List.length r.Engine.pattern_explains))
+                );
+                ( "queue_ms",
+                  Json.Num ((t.clock () -. job.j_enqueued) *. 1000.) ) ]))
+
+let finish t job resp =
+  Metrics.observe t.h_latency (t.clock () -. job.j_enqueued);
+  deliver job.j_mail resp
+
+(* Execute one dequeued batch: expire jobs whose deadline passed while
+   queued, group the rest by tenant, and run each group through
+   query_string_batch with per-job remaining deadlines. *)
+let run_batch t jobs =
+  Metrics.incr t.m_batches;
+  let now = t.clock () in
+  let live =
+    List.filter
+      (fun j ->
+        match j.j_deadline_abs with
+        | Some d when now >= d ->
+            Metrics.incr t.m_expired;
+            Metrics.incr t.m_errors;
+            finish t j
+              (Proto.error_response ~status:408 ~code:"budget_exceeded"
+                 ~extra:[ ("dimension", Json.Str "deadline") ]
+                 ~stage:"budget"
+                 (Printf.sprintf
+                    "deadline of %.0f ms passed while queued"
+                    (Option.value ~default:0.
+                       j.j_budget.Engine.deadline_ms)))
+            ;
+            false
+        | _ -> true)
+      jobs
+  in
+  (* Group by tenant, preserving admission order within a group. *)
+  let groups : (string, job list ref) Hashtbl.t = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun j ->
+      match Hashtbl.find_opt groups j.j_tenant.tn_name with
+      | Some l -> l := j :: !l
+      | None ->
+          Hashtbl.add groups j.j_tenant.tn_name (ref [ j ]);
+          order := j.j_tenant.tn_name :: !order)
+    live;
+  List.iter
+    (fun name ->
+      let jobs = List.rev !(Hashtbl.find groups name) in
+      let engine = (List.hd jobs).j_engine in
+      let now = t.clock () in
+      let items =
+        List.map
+          (fun j ->
+            let budget =
+              match j.j_deadline_abs with
+              | None -> j.j_budget
+              | Some d ->
+                  (* The remaining allowance: admitted late still means
+                     the original deadline, not a fresh one. *)
+                  { j.j_budget with
+                    Engine.deadline_ms = Some (max 0.1 ((d -. now) *. 1000.)) }
+            in
+            (j.j_query, Some budget))
+          jobs
+      in
+      let results =
+        try Engine.query_string_batch ~domains:t.cfg.domains engine items
+        with e ->
+          List.map
+            (fun _ -> Error (Xengine.Xerror.Exec_error (Printexc.to_string e)))
+            items
+      in
+      List.iter2 (fun j r -> finish t j (response_of_result t j r)) jobs results)
+    (List.rev !order)
+
+let dispatcher_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.q && t.st = Running do
+      Condition.wait t.work t.lock
+    done;
+    if Queue.is_empty t.q then begin
+      (* draining and nothing left *)
+      Condition.broadcast t.idle;
+      Mutex.unlock t.lock
+    end
+    else begin
+      let batch = ref [] in
+      while not (Queue.is_empty t.q) && List.length !batch < t.cfg.batch_max do
+        batch := Queue.pop t.q :: !batch
+      done;
+      let batch = List.rev !batch in
+      let n = List.length batch in
+      t.qdepth <- t.qdepth - n;
+      t.executing <- t.executing + n;
+      Metrics.set_gauge t.g_queue (float_of_int t.qdepth);
+      Mutex.unlock t.lock;
+      (try run_batch t batch
+       with e ->
+         (* A dispatcher bug must not wedge every waiting client. *)
+         let msg = Printexc.to_string e in
+         List.iter
+           (fun j ->
+             deliver j.j_mail
+               (Proto.error_response ~status:500 ~code:"internal"
+                  ~stage:"serve" msg))
+           batch);
+      Mutex.lock t.lock;
+      t.executing <- t.executing - n;
+      if t.qdepth = 0 && t.executing = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- HTTP handling --------------------------------------------------------- *)
+
+let health_body t =
+  Mutex.lock t.lock;
+  let st = t.st and qd = t.qdepth and ex = t.executing in
+  Mutex.unlock t.lock;
+  Mutex.lock t.tenants_lock;
+  let tenants =
+    Hashtbl.fold
+      (fun name tn acc ->
+        Json.Obj
+          [ ("name", Json.Str name);
+            ("open", Json.Bool (tn.tn_engine <> None)) ]
+        :: acc)
+      t.tenants []
+  in
+  Mutex.unlock t.tenants_lock;
+  Json.to_string
+    (Json.Obj
+       [ ( "status",
+           Json.Str (match st with Running -> "ok" | _ -> "draining") );
+         ("queue_depth", Json.Num (float_of_int qd));
+         ("executing", Json.Num (float_of_int ex));
+         ("tenants", Json.Arr tenants) ])
+
+let handle_swap t body =
+  match Json.of_string body with
+  | Error m ->
+      Proto.error_response ~status:400 ~code:"malformed_request" ~stage:"serve"
+        (Printf.sprintf "body is not JSON: %s" m)
+  | Ok j -> (
+      let str k = Option.bind (Json.member k j) Json.to_str in
+      match (str "tenant", str "snapshot") with
+      | Some name, Some snap -> (
+          match find_tenant t name with
+          | None ->
+              Proto.error_response ~status:404 ~code:"unknown_tenant"
+                ~stage:"serve" (Printf.sprintf "unknown tenant %S" name)
+          | Some tn -> (
+              match tenant_engine t tn with
+              | Error resp -> resp
+              | Ok engine -> (
+                  match Engine.load_snapshot_r engine snap with
+                  | Ok () ->
+                      Mutex.lock tn.tn_lock;
+                      tn.tn_path <- Some snap;
+                      Mutex.unlock tn.tn_lock;
+                      Proto.response 200
+                        (Json.to_string
+                           (Json.Obj
+                              [ ("tenant", Json.Str name);
+                                ("swapped", Json.Bool true);
+                                ("snapshot", Json.Str snap) ]))
+                  | Error e -> Proto.of_xerror ~quarantined:[] e)))
+      | _ ->
+          Proto.error_response ~status:400 ~code:"malformed_request"
+            ~stage:"serve" "body needs \"tenant\" and \"snapshot\" fields")
+
+let handle_query t body =
+  Metrics.incr t.m_requests;
+  match Proto.query_request_of_json body with
+  | Error m ->
+      Metrics.incr t.m_errors;
+      Proto.error_response ~status:400 ~code:"malformed_request" ~stage:"serve" m
+  | Ok qr -> (
+      match find_tenant t qr.Proto.q_tenant with
+      | None ->
+          Metrics.incr t.m_errors;
+          Proto.error_response ~status:404 ~code:"unknown_tenant" ~stage:"serve"
+            (Printf.sprintf "unknown tenant %S" qr.Proto.q_tenant)
+      | Some tn -> (
+          match tenant_engine t tn with
+          | Error resp ->
+              Metrics.incr t.m_errors;
+              resp
+          | Ok engine -> (
+              match admit t tn engine qr with
+              | Error resp -> resp
+              | Ok mail -> await mail)))
+
+let handle_request t (req : Proto.request) =
+  match (req.Proto.meth, req.Proto.path) with
+  | "POST", "/query" -> handle_query t req.Proto.body
+  | "POST", "/admin/swap" -> handle_swap t req.Proto.body
+  | "GET", "/metrics" ->
+      Proto.response
+        ~content_type:"text/plain; version=0.0.4; charset=utf-8" 200
+        (Xobs.Export.prometheus t.obs.Obs.metrics)
+  | "GET", "/healthz" -> Proto.response 200 (health_body t)
+  | ("GET" | "POST"), _ ->
+      Proto.error_response ~status:404 ~code:"malformed_request" ~stage:"serve"
+        (Printf.sprintf "no such endpoint %s %s" req.Proto.meth req.Proto.path)
+  | m, _ ->
+      Proto.error_response ~status:405 ~code:"malformed_request" ~stage:"serve"
+        (Printf.sprintf "method %s not supported" m)
+
+(* --- Connection threads ---------------------------------------------------- *)
+
+let conn_ids = Atomic.make 0
+
+let register_conn t id fd =
+  Mutex.lock t.conns_lock;
+  Hashtbl.replace t.conns id fd;
+  Metrics.set_gauge t.g_conns (float_of_int (Hashtbl.length t.conns));
+  Mutex.unlock t.conns_lock
+
+let unregister_conn t id =
+  Mutex.lock t.conns_lock;
+  Hashtbl.remove t.conns id;
+  Metrics.set_gauge t.g_conns (float_of_int (Hashtbl.length t.conns));
+  if Hashtbl.length t.conns = 0 then Condition.broadcast t.conns_gone;
+  Mutex.unlock t.conns_lock
+
+let enter_busy t =
+  Mutex.lock t.lock;
+  t.busy_conns <- t.busy_conns + 1;
+  Mutex.unlock t.lock
+
+let leave_busy t =
+  Mutex.lock t.lock;
+  t.busy_conns <- t.busy_conns - 1;
+  if t.busy_conns = 0 && t.qdepth = 0 && t.executing = 0 then
+    Condition.broadcast t.idle;
+  Mutex.unlock t.lock
+
+let conn_loop t id fd =
+  let conn = Proto.conn_of_fd fd in
+  let rec loop () =
+    match Proto.read_request conn with
+    | `Eof -> ()
+    | `Bad m ->
+        ignore
+          (Proto.write_response conn
+             (Proto.error_response ~close:true ~status:400
+                ~code:"malformed_request" ~stage:"serve" m))
+    | `Req req ->
+        enter_busy t;
+        let resp =
+          try handle_request t req
+          with e ->
+            Proto.error_response ~status:500 ~code:"internal" ~stage:"serve"
+              (Printexc.to_string e)
+        in
+        (* During a drain, finish this response and close the
+           connection: the drain completes once every busy connection
+           has flushed. *)
+        let resp =
+          if draining t then { resp with Proto.close = true } else resp
+        in
+        let wrote = Proto.write_response conn resp in
+        leave_busy t;
+        (match wrote with
+        | Ok () when not resp.Proto.close -> loop ()
+        | _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      unregister_conn t id)
+    (fun () -> try loop () with _ -> ())
+
+(* --- Acceptor --------------------------------------------------------------- *)
+
+let acceptor_loop t listen_fd =
+  let rec loop () =
+    let stop = draining t in
+    if not stop then begin
+      match Unix.select [ listen_fd ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+          match Unix.accept listen_fd with
+          | fd, _ ->
+              Mutex.lock t.conns_lock;
+              let n = Hashtbl.length t.conns in
+              Mutex.unlock t.conns_lock;
+              if n >= t.cfg.max_conns then begin
+                let c = Proto.conn_of_fd fd in
+                ignore
+                  (Proto.write_response c
+                     (Proto.error_response ~close:true ~status:503
+                        ~code:"overloaded" ~stage:"serve"
+                        "connection limit reached"));
+                (try Unix.close fd with Unix.Unix_error _ -> ())
+              end
+              else begin
+                let id = Atomic.fetch_and_add conn_ids 1 in
+                register_conn t id fd;
+                ignore (Thread.create (fun () -> conn_loop t id fd) ())
+              end;
+              loop ()
+          | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+          | exception Unix.Unix_error _ -> loop ())
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+      | exception Unix.Unix_error _ -> loop ()
+    end
+  in
+  loop ()
+
+(* --- Lifecycle -------------------------------------------------------------- *)
+
+let bind_listen addr =
+  match addr with
+  | Proto.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } ->
+              failwith (Printf.sprintf "cannot resolve %S" host)
+          | h -> h.Unix.h_addr_list.(0)
+          | exception Not_found ->
+              failwith (Printf.sprintf "cannot resolve %S" host))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      (try Unix.bind fd (Unix.ADDR_INET (inet, port))
+       with Unix.Unix_error (e, _, _) ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         failwith
+           (Printf.sprintf "cannot bind %s:%d: %s" host port
+              (Unix.error_message e)));
+      Unix.listen fd 128;
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> Proto.Tcp (host, p)
+        | _ -> addr
+      in
+      (fd, bound)
+  | Proto.Unix_sock path ->
+      (try if Sys.file_exists path then Unix.unlink path
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.bind fd (Unix.ADDR_UNIX path)
+       with Unix.Unix_error (e, _, _) ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         failwith
+           (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message e)));
+      Unix.listen fd 128;
+      (fd, addr)
+
+let start t =
+  Mutex.lock t.lock;
+  if t.st <> Created then begin
+    Mutex.unlock t.lock;
+    failwith "server already started"
+  end;
+  t.st <- Running;
+  Mutex.unlock t.lock;
+  (* Writes to sockets the peer closed must come back as EPIPE, not kill
+     the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd, bound = bind_listen t.cfg.listen in
+  t.listen_fd <- Some fd;
+  t.bound <- Some bound;
+  t.dispatcher <- Some (Thread.create dispatcher_loop t);
+  t.acceptor <- Some (Thread.create (fun () -> acceptor_loop t fd) ())
+
+let bound_addr t =
+  match t.bound with
+  | Some a -> a
+  | None -> failwith "server not started"
+
+let stop t =
+  let proceed =
+    Mutex.lock t.lock;
+    let p = t.st = Running in
+    if p then begin
+      t.st <- Draining;
+      Condition.broadcast t.work
+    end;
+    Mutex.unlock t.lock;
+    p
+  in
+  if proceed then begin
+    (* Stop accepting. The acceptor notices the drain within its select
+       timeout; closing the fd also unblocks an in-flight accept. *)
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    (match t.listen_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    (* Wait for every admitted request to finish and every busy
+       connection to flush its response. *)
+    Mutex.lock t.lock;
+    while t.qdepth > 0 || t.executing > 0 || t.busy_conns > 0 do
+      Condition.wait t.idle t.lock
+    done;
+    t.st <- Stopped;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    (match t.dispatcher with Some th -> Thread.join th | None -> ());
+    (* Nudge idle keep-alive connections off their blocking read. *)
+    Mutex.lock t.conns_lock;
+    Hashtbl.iter
+      (fun _ fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      t.conns;
+    while Hashtbl.length t.conns > 0 do
+      Condition.wait t.conns_gone t.conns_lock
+    done;
+    Mutex.unlock t.conns_lock;
+    match t.cfg.listen with
+    | Proto.Unix_sock path -> (
+        try if Sys.file_exists path then Unix.unlink path
+        with Unix.Unix_error _ | Sys_error _ -> ())
+    | Proto.Tcp _ -> ()
+  end
+
+let run ?(signals = true) t =
+  start t;
+  let stop_requested = Atomic.make false in
+  if signals then
+    List.iter
+      (fun s ->
+        try
+          Sys.set_signal s
+            (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true))
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigterm; Sys.sigint ];
+  while not (Atomic.get stop_requested) do
+    try Thread.delay 0.1
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  stop t

@@ -1,0 +1,95 @@
+(** The multi-tenant query server behind [uload serve].
+
+    One process serves many {e tenants}, each an {!Xengine.Engine.t}
+    opened lazily from a snapshot path on its first request (or injected
+    directly with {!add_engine}). Engines are never shared between
+    tenants, so per-tenant state the engine tracks — the plan cache, the
+    quarantine set, dormant modules — is isolated by construction: one
+    tenant's faulting storage module never degrades another's plans.
+
+    {b Request flow.} Connection threads parse HTTP requests
+    ({!Proto}); [POST /query] goes through {e admission}: if the server
+    is draining the request is refused (503), if the bounded queue is
+    full it is {e shed} immediately (429, [overloaded]) — the queue
+    never grows beyond [queue_depth], so memory under overload is
+    bounded and the client learns to back off now rather than time out
+    later. Admitted requests carry the absolute deadline computed from
+    their [deadline_ms] at admission; a single dispatcher drains the
+    queue in batches, drops requests whose deadline already passed
+    (408, [budget_exceeded]/deadline — a request admitted late still
+    honors the deadline it was admitted with), groups the rest by
+    tenant and executes each group through
+    {!Xengine.Engine.query_string_batch} on [domains] domains.
+
+    {b Endpoints.}
+    - [POST /query] — body {!Proto.query_request}; 200 body carries
+      [output], [degraded], [quarantined], [queue_ms].
+    - [GET /metrics] — Prometheus text exposition of the shared
+      registry: the serve_* metrics below plus every engine metric
+      (tenant engines are opened with the server's {!Xobs.Obs.t}).
+    - [GET /healthz] — liveness + queue/tenant summary.
+    - [POST /admin/swap] — body [{"tenant":t,"snapshot":path}]: hot-swap
+      the tenant's catalog via {!Xengine.Engine.load_snapshot_r}; on any
+      failure the running catalog stays untouched.
+
+    {b Drain.} {!stop} (or SIGTERM/SIGINT under {!run}) stops accepting,
+    answers new requests with 503 [draining], lets every admitted
+    request finish and its response reach the wire, then joins all
+    threads. {!run} returns normally after a clean drain, so the
+    process exits 0.
+
+    {b Metrics.} [serve_requests_total], [serve_shed_total],
+    [serve_expired_total], [serve_errors_total], [serve_batches_total],
+    [serve_queue_depth], [serve_connections], [serve_request_seconds]. *)
+
+type config = {
+  listen : Proto.addr;  (** TCP port 0 picks an ephemeral port *)
+  queue_depth : int;  (** admission queue bound (≥ 1) *)
+  domains : int;  (** domains per dispatch batch (1 = sequential) *)
+  batch_max : int;  (** max requests drained per dispatch *)
+  default_budget : Xengine.Engine.budget;
+      (** per-request budget when the request doesn't set one *)
+  lazy_tenants : bool;  (** open tenant snapshots with lazy extent paging *)
+  max_conns : int;  (** concurrent connections before refusing new ones *)
+}
+
+val default_config : Proto.addr -> config
+(** [queue_depth 64], [domains 1], [batch_max 16], unlimited budget,
+    eager tenants, [max_conns 256]. *)
+
+type t
+
+val create :
+  ?obs:Xobs.Obs.t -> config -> (string * string) list -> t
+(** [create cfg tenants] with [tenants] a [(name, snapshot path)] list;
+    snapshots are opened on first use. [obs] (default: a fresh context)
+    is shared by the server and every tenant engine it opens, so
+    [/metrics] is one registry. *)
+
+val add_engine : t -> string -> Xengine.Engine.t -> unit
+(** Register an already-built engine as a tenant (tests, in-process
+    serving). To appear in [/metrics] the engine should share {!obs}. *)
+
+val obs : t -> Xobs.Obs.t
+
+val start : t -> unit
+(** Bind, listen and spawn the acceptor and dispatcher; returns once the
+    server is ready to accept. Raises [Failure] if the address cannot be
+    bound or the server was already started. *)
+
+val bound_addr : t -> Proto.addr
+(** The actual listening address — the ephemeral port resolved. Only
+    valid after {!start}. *)
+
+val stop : t -> unit
+(** Drain and shut down (see above). Idempotent; safe to call from any
+    thread. *)
+
+val run : ?signals:bool -> t -> unit
+(** {!start}, then block until SIGTERM/SIGINT (when [signals], the
+    default) requests a drain, then {!stop}. Returns after the drain
+    completes. *)
+
+val draining : t -> bool
+val queue_depth : t -> int
+val executing : t -> int

@@ -1,0 +1,144 @@
+(* The CLI's exit-code contract, tested against the real binary: 2 means
+   the invocation was wrong (parse errors, bad update specs — fix the
+   command line), 1 means the invocation was fine and the run failed
+   (corrupt snapshot, unreadable document, IO). Callers script against
+   this split, so it is a regression surface: an Update_invalid leaking
+   out as 1, or a doc-load failure escaping as an uncaught exception
+   (exit 125), both broke it before. *)
+
+let uload = Filename.concat (Filename.concat ".." "bin") "uload.exe"
+
+let tmp name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xam_cli_%d_%s" (Unix.getpid ()) name)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run the binary; returns (exit code, stdout). stderr is captured too so
+   a failing case doesn't spray the test log. *)
+let run_uload args =
+  let out = tmp "out" and err = tmp "err" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" uload
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code =
+    match Unix.system cmd with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+  in
+  let stdout = try read_file out with Sys_error _ -> "" in
+  List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ out; err ];
+  (code, stdout)
+
+let check_exit what expected args =
+  let code, _ = run_uload args in
+  Alcotest.(check int) what expected code
+
+(* Shared fixture: a generated document and its snapshot. *)
+let doc_xml = tmp "doc.xml"
+let snap = tmp "snap.bin"
+
+let setup () =
+  let code, _ = run_uload [ "gen"; "bib"; "--scale"; "0.1"; "-o"; doc_xml ] in
+  if code <> 0 then Alcotest.failf "fixture: gen exited %d" code;
+  let code, _ = run_uload [ "save"; doc_xml; "-o"; snap ] in
+  if code <> 0 then Alcotest.failf "fixture: save exited %d" code
+
+let teardown () =
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    [ doc_xml; snap ];
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Sys.remove path
+    | exception Unix.Unix_error _ -> ()
+  in
+  rm_rf (snap ^ ".wal")
+
+let test_usage_exit_codes () =
+  setup ();
+  Fun.protect ~finally:teardown @@ fun () ->
+  (* Malformed query text: the invocation is wrong. *)
+  check_exit "parse error exits 2" 2 [ "open"; snap; "((( nonsense" ];
+  check_exit "query parse error exits 2" 2 [ "query"; doc_xml; "(((" ];
+  (* Bad mutation specs: update on a non-leaf, update of a node that
+     does not exist, insert under a missing parent. All Update_invalid,
+     all the caller's mistake. *)
+  check_exit "update on the root element exits 2" 2
+    [ "update"; snap; "0"; "v" ];
+  check_exit "update of a missing node exits 2" 2
+    [ "update"; snap; "999999"; "v" ];
+  check_exit "put under a missing parent exits 2" 2
+    [ "put"; snap; "<x/>"; "--parent"; "999999" ];
+  check_exit "delete of a missing node exits 2" 2
+    [ "delete"; snap; "999999" ];
+  (* And an unknown flag is cmdliner's own usage error, folded into 2. *)
+  check_exit "unknown option exits 2" 2 [ "open"; snap; "--no-such-flag" ]
+
+let test_runtime_exit_codes () =
+  setup ();
+  Fun.protect ~finally:teardown @@ fun () ->
+  (* A corrupt snapshot: the invocation is fine, the run fails. *)
+  let bad = tmp "bad.snap" in
+  let oc = open_out_bin bad in
+  output_string oc "this is not a snapshot";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove bad with Sys_error _ -> ())
+    (fun () ->
+      check_exit "corrupt snapshot exits 1" 1
+        [ "open"; bad; {|for $b in doc("d")//book return $b|} ]);
+  (* A file that exists but is not XML: the doc loader must die cleanly
+     (stage "load", exit 1), not escape as an uncaught exception (125). *)
+  let notxml = tmp "not.xml" in
+  let oc = open_out_bin notxml in
+  output_string oc "<<<< not xml";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove notxml with Sys_error _ -> ())
+    (fun () ->
+      let code, _ =
+        run_uload [ "query"; notxml; {|for $b in doc("d")//book return $b|} ]
+      in
+      Alcotest.(check int) "unparseable document exits 1" 1 code);
+  (* An unwritable output path: IO failure, exit 1 — not an exception. *)
+  let code, _ =
+    run_uload [ "gen"; "bib"; "-o"; "/nonexistent-dir/x/y/out.xml" ]
+  in
+  Alcotest.(check int) "unwritable output exits 1" 1 code
+
+let test_json_error_objects () =
+  setup ();
+  Fun.protect ~finally:teardown @@ fun () ->
+  let expect_stage what args stage =
+    let _, out = run_uload args in
+    match Xobs.Json.of_string (String.trim out) with
+    | Error m -> Alcotest.failf "%s: stdout is not JSON (%s): %S" what m out
+    | Ok j -> (
+        match
+          Option.bind (Xobs.Json.member "error" j) (fun e ->
+              Option.bind (Xobs.Json.member "stage" e) Xobs.Json.to_str)
+        with
+        | Some s -> Alcotest.(check string) (what ^ ": stage") stage s
+        | None -> Alcotest.failf "%s: no error.stage in %S" what out)
+  in
+  expect_stage "bad update" [ "update"; snap; "0"; "v"; "--json" ] "update";
+  expect_stage "parse error" [ "open"; snap; "((("; "--json" ] "parse"
+
+let () =
+  Alcotest.run "cli"
+    [ ( "exit-codes",
+        [ Alcotest.test_case "usage errors exit 2" `Quick test_usage_exit_codes;
+          Alcotest.test_case "runtime errors exit 1" `Quick
+            test_runtime_exit_codes;
+          Alcotest.test_case "--json error objects" `Quick
+            test_json_error_objects ] ) ]

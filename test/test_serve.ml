@@ -1,0 +1,360 @@
+(* The serving layer end to end, in process: a real server (acceptor,
+   bounded admission queue, batching dispatcher) over a Unix socket in a
+   temp dir, driven by real client connections. The concurrency cases —
+   deadline propagation under a saturated dispatcher, backpressure
+   shedding instead of unbounded queueing, tenant isolation of the
+   quarantine machinery — use an env_wrap that sleeps on every storage
+   lookup to make the dispatcher measurably slow without real load. *)
+
+module Engine = Xengine.Engine
+module S = Xsummary.Summary
+module Store = Xstorage.Store
+module Models = Xstorage.Models
+module Faultstore = Xstorage.Faultstore
+module Server = Xserve.Server
+module Proto = Xserve.Proto
+module Client = Xserve.Client
+module Json = Xobs.Json
+
+let doc = Xworkload.Gen_bib.generate_doc ~seed:51 ~books:40 ~theses:15 ()
+let summary = S.of_doc doc
+let specs = Models.path_partitioned summary
+let catalog () = Store.catalog_of doc specs
+
+(* Shapes the planner answers from views (through the storage lookup
+   surface, where env_wrap and the faultstore bite) — a [//book]-rooted
+   query would route to the base-document fallback and see neither. *)
+let q_titles = {|for $t in doc("d")//title return <t>{$t/text()}</t>|}
+let q_authors = {|for $a in doc("d")//author return <a>{$a/text()}</a>|}
+
+let tmp_sock =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xam_serve_%d_%d.sock" (Unix.getpid ()) !n)
+
+(* A fresh server on its own socket; engines are injected directly so
+   each test controls its tenants' construction. *)
+let with_server ?(cfg = fun c -> c) engines f =
+  let sock = tmp_sock () in
+  let config = cfg (Server.default_config (Proto.Unix_sock sock)) in
+  let srv = Server.create config [] in
+  List.iter (fun (name, e) -> Server.add_engine srv name e) engines;
+  Server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () -> f srv (Server.bound_addr srv))
+
+let with_client addr f =
+  match Client.connect addr with
+  | Error m -> Alcotest.failf "connect: %s" m
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let query_ok c ~tenant q =
+  match Client.query c ~tenant q with
+  | Error m -> Alcotest.failf "transport: %s" m
+  | Ok reply -> reply
+
+(* A storage surface that sleeps on every module lookup: queries through
+   it take a visible, roughly constant time, which is how the tests
+   below saturate the dispatcher deterministically. *)
+let slow_wrap delay env name =
+  Thread.delay delay;
+  env name
+
+let local_output engine q =
+  match Engine.query_string_r engine q with
+  | Ok r -> r.Engine.output
+  | Error e -> Alcotest.failf "local query failed: %s" (Xengine.Xerror.to_string e)
+
+(* --- served answers = in-process answers, over one keep-alive conn -------- *)
+
+let test_round_trip () =
+  let engine = Engine.create ~doc (catalog ()) in
+  with_server [ ("t", engine) ] @@ fun _srv addr ->
+  with_client addr @@ fun c ->
+  List.iter
+    (fun q ->
+      let reply = query_ok c ~tenant:"t" q in
+      Alcotest.(check int) "status" 200 reply.Client.status;
+      Alcotest.(check (option string))
+        "served output = in-process output" (Some (local_output engine q))
+        (Client.output reply))
+    [ q_titles; q_authors; q_titles ]
+
+(* --- error taxonomy over the wire ----------------------------------------- *)
+
+let test_error_codes () =
+  let engine = Engine.create ~doc (catalog ()) in
+  with_server [ ("t", engine) ] @@ fun _srv addr ->
+  with_client addr @@ fun c ->
+  let r = query_ok c ~tenant:"t" "((( nonsense" in
+  Alcotest.(check int) "malformed query is 400" 400 r.Client.status;
+  Alcotest.(check (option string))
+    "code" (Some "malformed_query") (Client.error_code r);
+  let r = query_ok c ~tenant:"nobody" q_titles in
+  Alcotest.(check int) "unknown tenant is 404" 404 r.Client.status;
+  Alcotest.(check (option string))
+    "code" (Some "unknown_tenant") (Client.error_code r);
+  (* The connection survives error responses. *)
+  let r = query_ok c ~tenant:"t" q_titles in
+  Alcotest.(check int) "conn still usable" 200 r.Client.status
+
+(* --- deadline propagation under a saturated dispatcher --------------------
+   Three slow queries occupy the dispatcher (batch_max 1 serializes
+   them); a request admitted behind them with a 40 ms deadline must come
+   back 408 budget_exceeded — either expired in the queue before
+   dispatch, or cut off by the remaining-deadline budget the dispatcher
+   hands the engine. Both roads are the same contract: the deadline set
+   at admission holds however late the request is served. *)
+
+let test_deadline_under_saturation () =
+  let slow = Engine.create ~doc ~env_wrap:(slow_wrap 0.08) (catalog ()) in
+  with_server
+    ~cfg:(fun c -> { c with Server.batch_max = 1; queue_depth = 32 })
+    [ ("t", slow) ]
+  @@ fun _srv addr ->
+  let workers =
+    List.init 3 (fun _ ->
+        Thread.create
+          (fun () -> with_client addr @@ fun c -> query_ok c ~tenant:"t" q_titles)
+          ())
+  in
+  Thread.delay 0.02;
+  (* admitted behind the slow ones *)
+  let r =
+    with_client addr @@ fun c ->
+    match Client.query c ~tenant:"t" ~deadline_ms:40.0 q_titles with
+    | Error m -> Alcotest.failf "transport: %s" m
+    | Ok reply -> reply
+  in
+  List.iter Thread.join workers;
+  Alcotest.(check int) "deadlined request is 408" 408 r.Client.status;
+  Alcotest.(check (option string))
+    "code" (Some "budget_exceeded") (Client.error_code r)
+
+(* --- backpressure: bounded queue sheds, it does not queue ------------------ *)
+
+let test_backpressure_sheds () =
+  let slow = Engine.create ~doc ~env_wrap:(slow_wrap 0.1) (catalog ()) in
+  with_server
+    ~cfg:(fun c -> { c with Server.queue_depth = 2; batch_max = 1 })
+    [ ("t", slow) ]
+  @@ fun srv addr ->
+  let statuses = Array.make 10 0 in
+  let codes = Array.make 10 None in
+  let workers =
+    List.init 10 (fun i ->
+        Thread.create
+          (fun () ->
+            with_client addr @@ fun c ->
+            let r = query_ok c ~tenant:"t" q_titles in
+            statuses.(i) <- r.Client.status;
+            codes.(i) <- Client.error_code r)
+          ())
+  in
+  Thread.delay 0.05;
+  Alcotest.(check bool)
+    "queue never exceeds its bound" true
+    (Server.queue_depth srv <= 2);
+  List.iter Thread.join workers;
+  let ok = Array.fold_left (fun n s -> if s = 200 then n + 1 else n) 0 statuses in
+  let shed =
+    Array.fold_left (fun n s -> if s = 429 then n + 1 else n) 0 statuses
+  in
+  Alcotest.(check int) "every request got an answer" 10 (ok + shed);
+  Alcotest.(check bool) "some requests completed" true (ok >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "most requests shed (ok %d, shed %d)" ok shed)
+    true (shed >= 5);
+  Array.iteri
+    (fun i s ->
+      if s = 429 then
+        Alcotest.(check (option string))
+          "shed code" (Some "overloaded") codes.(i))
+    statuses
+
+(* --- tenant isolation: one tenant's quarantine is invisible to the other -- *)
+
+let test_tenant_quarantine_isolation () =
+  let cat = catalog () in
+  let broken = List.map (fun m -> m.Store.name) cat.Store.modules in
+  let fs = Faultstore.create ~broken () in
+  let faulty =
+    Engine.create ~doc ~env_wrap:(Faultstore.wrap fs) (catalog ())
+  in
+  let clean = Engine.create ~doc (catalog ()) in
+  with_server [ ("a", faulty); ("b", clean) ] @@ fun _srv addr ->
+  with_client addr @@ fun c ->
+  (* Drive tenant a into quarantine: every module faults on read. *)
+  let ra = query_ok c ~tenant:"a" q_titles in
+  let a_quarantined =
+    match ra.Client.status with
+    | 200 -> (
+        (* doc fallback answered; the reply must still surface the
+           quarantine set *)
+        match Option.bind ra.Client.body (Json.member "quarantined") with
+        | Some (Json.Arr (_ :: _)) -> true
+        | _ -> false)
+    | 503 -> Client.error_code ra = Some "quarantined"
+    | _ -> false
+  in
+  Alcotest.(check bool) "tenant a sees its quarantine" true a_quarantined;
+  Alcotest.(check bool)
+    "engine a has quarantined modules" true
+    (Engine.quarantined faulty <> []);
+  (* Tenant b, same catalog shape, shares nothing with a. *)
+  let rb = query_ok c ~tenant:"b" q_titles in
+  Alcotest.(check int) "tenant b answers clean" 200 rb.Client.status;
+  (match Option.bind rb.Client.body (Json.member "quarantined") with
+  | Some (Json.Arr []) -> ()
+  | other ->
+      Alcotest.failf "tenant b reply leaks quarantine state: %s"
+        (match other with Some j -> Json.to_string j | None -> "missing"));
+  Alcotest.(check (list (pair string string)))
+    "engine b untouched" [] (Engine.quarantined clean);
+  Alcotest.(check (option string))
+    "tenant b output is the clean answer" (Some (local_output clean q_titles))
+    (Client.output rb)
+
+(* --- hot swap: /admin/swap repoints a tenant without restarting ------------ *)
+
+let test_hot_swap () =
+  let snap_of tag d =
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xam_serve_swap_%d_%s.snap" (Unix.getpid ()) tag)
+    in
+    let e = Engine.of_doc d (Models.path_partitioned (S.of_doc d)) in
+    ignore (Engine.save_snapshot e path);
+    path
+  in
+  let doc2 = Xworkload.Gen_bib.generate_doc ~seed:52 ~books:7 ~theses:2 () in
+  let snap1 = snap_of "one" doc and snap2 = snap_of "two" doc2 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ snap1; snap2 ])
+    (fun () ->
+      let sock = tmp_sock () in
+      let srv =
+        Server.create
+          (Server.default_config (Proto.Unix_sock sock))
+          [ ("t", snap1) ]
+      in
+      Server.start srv;
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop srv;
+          try Sys.remove sock with Sys_error _ -> ())
+        (fun () ->
+          with_client (Server.bound_addr srv) @@ fun c ->
+          let before = query_ok c ~tenant:"t" q_titles in
+          Alcotest.(check int) "pre-swap 200" 200 before.Client.status;
+          (match Client.swap c ~tenant:"t" ~snapshot:snap2 with
+          | Ok r -> Alcotest.(check int) "swap 200" 200 r.Client.status
+          | Error m -> Alcotest.failf "swap transport: %s" m);
+          let after = query_ok c ~tenant:"t" q_titles in
+          Alcotest.(check int) "post-swap 200" 200 after.Client.status;
+          let expect =
+            local_output
+              (Engine.of_snapshot snap2)
+              q_titles
+          in
+          Alcotest.(check (option string))
+            "post-swap answers come from the new snapshot" (Some expect)
+            (Client.output after);
+          Alcotest.(check bool)
+            "the catalog actually changed" true
+            (Client.output before <> Client.output after)))
+
+(* --- drain: stop() finishes admitted work, then refuses new ---------------- *)
+
+let test_drain_completes_inflight () =
+  let slow = Engine.create ~doc ~env_wrap:(slow_wrap 0.05) (catalog ()) in
+  let sock = tmp_sock () in
+  let srv =
+    Server.create (Server.default_config (Proto.Unix_sock sock)) []
+  in
+  Server.add_engine srv "t" slow;
+  Server.start srv;
+  let addr = Server.bound_addr srv in
+  let inflight = ref None in
+  let worker =
+    Thread.create
+      (fun () ->
+        with_client addr @@ fun c ->
+        inflight := Some (query_ok c ~tenant:"t" q_titles))
+      ()
+  in
+  Thread.delay 0.02;
+  (* the request is admitted or executing *)
+  Server.stop srv;
+  Thread.join worker;
+  (match !inflight with
+  | Some r ->
+      Alcotest.(check int) "in-flight request completed through drain" 200
+        r.Client.status;
+      Alcotest.(check (option string))
+        "with the right answer" (Some (local_output slow q_titles))
+        (Client.output r)
+  | None -> Alcotest.fail "in-flight request lost");
+  (match Client.connect addr with
+  | Error _ -> ()
+  | Ok c ->
+      (* accept raced the shutdown: the reply, if any, must be a drain
+         refusal, never a served answer *)
+      (match Client.query c ~tenant:"t" q_titles with
+      | Error _ -> ()
+      | Ok r ->
+          Alcotest.(check bool)
+            "post-drain reply is a refusal" true
+            (r.Client.status = 503));
+      Client.close c);
+  try Sys.remove sock with Sys_error _ -> ()
+
+(* --- metrics: the exposition validates and carries the serve series -------- *)
+
+let test_metrics_exposition () =
+  let engine = Engine.create ~doc (catalog ()) in
+  with_server [ ("t", engine) ] @@ fun _srv addr ->
+  with_client addr @@ fun c ->
+  ignore (query_ok c ~tenant:"t" q_titles);
+  match Client.metrics c with
+  | Error m -> Alcotest.failf "metrics: %s" m
+  | Ok text ->
+      (match Xobs.Export.validate_prometheus text with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "exposition invalid: %s" m);
+      List.iter
+        (fun series ->
+          Alcotest.(check bool)
+            (series ^ " present") true
+            (let re = series in
+             let found = ref false in
+             String.split_on_char '\n' text
+             |> List.iter (fun line ->
+                    if
+                      String.length line >= String.length re
+                      && String.sub line 0 (String.length re) = re
+                    then found := true);
+             !found))
+        [ "serve_requests_total"; "serve_queue_depth"; "serve_request_seconds" ]
+
+let () =
+  Alcotest.run "serve"
+    [ ( "serve",
+        [ Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "error codes" `Quick test_error_codes;
+          Alcotest.test_case "deadline under saturation" `Quick
+            test_deadline_under_saturation;
+          Alcotest.test_case "backpressure sheds" `Quick test_backpressure_sheds;
+          Alcotest.test_case "tenant quarantine isolation" `Quick
+            test_tenant_quarantine_isolation;
+          Alcotest.test_case "hot swap" `Quick test_hot_swap;
+          Alcotest.test_case "drain completes in-flight" `Quick
+            test_drain_completes_inflight;
+          Alcotest.test_case "metrics exposition" `Quick test_metrics_exposition
+        ] ) ]
