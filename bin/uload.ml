@@ -117,6 +117,15 @@ let specs_of doc summary = function
   | `Path -> Xstorage.Models.path_partitioned summary
   | `Inlined -> Xstorage.Models.inlined summary
 
+(* The one metrics formatter every surface shares ([uload query
+   --metrics], [uload client --metrics], the server's
+   /debug/metrics.json): Prometheus text, or Export.metrics_json under
+   --json. *)
+let print_registry ~json reg =
+  if json then
+    print_endline (Xobs.Json.to_string (Xobs.Export.metrics_json reg))
+  else print_string (Xobs.Export.prometheus reg)
+
 (* Shared by [query] (engine path) and [open]: run the query through an
    engine and print output, EXPLAIN and metrics as requested. *)
 let run_engine_query ~explain ~metrics ~json engine src =
@@ -141,8 +150,7 @@ let run_engine_query ~explain ~metrics ~json engine src =
         | None -> ()
       end;
       if metrics then
-        print_string
-          (Xobs.Export.prometheus (Xengine.Engine.obs engine).Xobs.Obs.metrics)
+        print_registry ~json (Xengine.Engine.obs engine).Xobs.Obs.metrics
 
 let query_cmd =
   let explain_arg =
@@ -160,7 +168,9 @@ let query_cmd =
   in
   let json_arg =
     Arg.(value & flag
-         & info [ "json" ] ~doc:"With $(b,--explain): print EXPLAIN as JSON")
+         & info [ "json" ]
+             ~doc:"With $(b,--explain): print EXPLAIN as JSON; with \
+                   $(b,--metrics): print the registry as one JSON object")
   in
   let run path src storage explain metrics json =
     let doc = load_doc path in
@@ -757,7 +767,33 @@ let serve_cmd =
     Arg.(value & flag
          & info [ "lazy" ] ~doc:"Open tenant snapshots with lazy extent paging")
   in
-  let run tenants host port socket queue domains batch deadline lazy_tenants =
+  let debug_arg =
+    Arg.(value & flag
+         & info [ "debug" ]
+             ~doc:"Serve the /debug/traces, /debug/slowlog and \
+                   /debug/metrics.json endpoints (off by default)")
+  in
+  let access_log_arg =
+    Arg.(value & opt (some string) None
+         & info [ "access-log" ] ~docv:"FILE"
+             ~doc:"Append one JSON line per answered request (rotating at \
+                   8 MiB); request ids join these lines to traces")
+  in
+  let trace_arg =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Build a span trace per admitted request (queue_wait, \
+                   dispatch, execute + the engine's own spans); finished \
+                   traces land in the slowlog ring behind /debug/traces")
+  in
+  let slow_ms_arg =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"With $(b,--trace): additionally keep every trace at \
+                   least this slow (the /debug/slowlog list)")
+  in
+  let run tenants host port socket queue domains batch deadline lazy_tenants
+      debug access_log trace slow_ms =
     let listen =
       match socket with
       | Some path -> Xserve.Proto.Unix_sock path
@@ -769,11 +805,16 @@ let serve_cmd =
         domains;
         batch_max = batch;
         lazy_tenants;
+        debug;
+        access_log;
         default_budget =
           { Xengine.Engine.unlimited with Xengine.Engine.deadline_ms = deadline }
       }
     in
     let server = Xserve.Server.create cfg tenants in
+    let obs = Xserve.Server.obs server in
+    if trace then Xobs.Obs.set_tracing obs true;
+    Option.iter (Xobs.Slowlog.set_threshold_ms obs.Xobs.Obs.slowlog) slow_ms;
     (match Xserve.Server.start server with
     | () -> ()
     | exception Failure m -> die ~stage:"serve" m);
@@ -802,7 +843,8 @@ let serve_cmd =
              control (429 under overload), /metrics in Prometheus format, \
              graceful drain on SIGTERM (exit 0)")
     Term.(const run $ tenant_arg $ host_arg $ port_arg $ socket_arg $ queue_arg
-          $ domains_arg $ batch_arg $ deadline_arg $ lazy_arg)
+          $ domains_arg $ batch_arg $ deadline_arg $ lazy_arg $ debug_arg
+          $ access_log_arg $ trace_arg $ slow_ms_arg)
 
 let client_cmd =
   let addr_arg =
@@ -826,13 +868,28 @@ let client_cmd =
   in
   let metrics_arg =
     Arg.(value & flag
-         & info [ "metrics" ] ~doc:"Fetch /metrics and print the exposition")
+         & info [ "metrics" ]
+             ~doc:"Fetch /metrics and print the exposition; with $(b,--json), \
+                   fetch /debug/metrics.json instead (the server must run \
+                   with $(b,--debug))")
   in
   let validate_arg =
     Arg.(value & flag
          & info [ "validate" ]
              ~doc:"With $(b,--metrics): run the Prometheus format validator \
                    and fail (exit 1) on a malformed exposition")
+  in
+  let get_arg =
+    Arg.(value & opt (some string) None
+         & info [ "get" ] ~docv:"PATH"
+             ~doc:"Fetch an arbitrary path (e.g. /debug/traces or \
+                   /debug/slowlog) and print the body")
+  in
+  let request_id_arg =
+    Arg.(value & opt (some string) None
+         & info [ "request-id" ] ~docv:"ID"
+             ~doc:"Send this X-Request-Id; the server echoes it in the \
+                   response, its trace and its access-log line")
   in
   let bench_arg =
     Arg.(value & flag
@@ -850,27 +907,60 @@ let client_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Print results as JSON")
   in
-  let run addr query tenant deadline metrics validate bench concurrency
-      duration json =
+  let run addr query tenant deadline metrics validate get request_id bench
+      concurrency duration json =
     if metrics then begin
       match Xserve.Client.connect addr with
       | Error m -> die ~json ~stage:"serve" m
-      | Ok c -> (
-          match Xserve.Client.metrics c with
-          | Error m ->
-              Xserve.Client.close c;
-              die ~json ~stage:"serve" m
-          | Ok text -> (
-              Xserve.Client.close c;
-              print_string text;
-              if validate then
-                match Xobs.Export.validate_prometheus text with
-                | Ok () -> ()
-                | Error m ->
-                    die ~json ~stage:"serve"
-                      (Printf.sprintf "invalid Prometheus exposition: %s" m)))
+      | Ok c ->
+          if json then (
+            (* The server-side Export.metrics_json — the same shape
+               [uload query --metrics --json] prints locally. *)
+            match Xserve.Client.get c "/debug/metrics.json" with
+            | Error m ->
+                Xserve.Client.close c;
+                die ~json ~stage:"serve" m
+            | Ok (200, body) ->
+                Xserve.Client.close c;
+                print_endline body
+            | Ok (status, _) ->
+                Xserve.Client.close c;
+                die ~json ~stage:"serve"
+                  (Printf.sprintf
+                     "/debug/metrics.json answered %d (server started \
+                      without --debug?)"
+                     status))
+          else (
+            match Xserve.Client.metrics c with
+            | Error m ->
+                Xserve.Client.close c;
+                die ~json ~stage:"serve" m
+            | Ok text -> (
+                Xserve.Client.close c;
+                print_string text;
+                if validate then
+                  match Xobs.Export.validate_prometheus text with
+                  | Ok () -> ()
+                  | Error m ->
+                      die ~json ~stage:"serve"
+                        (Printf.sprintf "invalid Prometheus exposition: %s" m)))
     end
     else
+      match get with
+      | Some path -> (
+          match Xserve.Client.connect addr with
+          | Error m -> die ~json ~stage:"serve" m
+          | Ok c -> (
+              let r = Xserve.Client.get c path in
+              Xserve.Client.close c;
+              match r with
+              | Error m -> die ~json ~stage:"serve" m
+              | Ok (200, body) -> print_string body
+              | Ok (status, body) ->
+                  prerr_endline body;
+                  die ~json ~stage:"serve"
+                    (Printf.sprintf "GET %s answered %d" path status)))
+      | None ->
       let query =
         match query with
         | Some q -> q
@@ -889,7 +979,10 @@ let client_cmd =
         match Xserve.Client.connect addr with
         | Error m -> die ~json ~stage:"serve" m
         | Ok c -> (
-            let reply = Xserve.Client.query c ~tenant ?deadline_ms:deadline query in
+            let reply =
+              Xserve.Client.query c ~tenant ?deadline_ms:deadline
+                ?request_id query
+            in
             Xserve.Client.close c;
             match reply with
             | Error m -> die ~json ~stage:"serve" m
@@ -922,8 +1015,46 @@ let client_cmd =
              answer, byte-identical to $(b,uload open)), $(b,--metrics) \
              scraping, or $(b,--bench) closed-loop load generation")
     Term.(const run $ addr_arg $ query_opt_arg $ tenant_arg $ deadline_arg
-          $ metrics_arg $ validate_arg $ bench_arg $ concurrency_arg
-          $ duration_arg $ json_arg)
+          $ metrics_arg $ validate_arg $ get_arg $ request_id_arg $ bench_arg
+          $ concurrency_arg $ duration_arg $ json_arg)
+
+(* --- obs ------------------------------------------------------------------ *)
+
+let obs_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"FILE"
+             ~doc:"JSONL file: an access log ($(b,uload serve --access-log)) \
+                   or a trace export (/debug/traces, /debug/slowlog)")
+  in
+  let top_arg =
+    Arg.(value & opt int 5
+         & info [ "top" ] ~docv:"K" ~doc:"Slowest traces to show")
+  in
+  let run files top json =
+    let lines =
+      List.concat_map
+        (fun f ->
+          match String.split_on_char '\n' (read_file f) with
+          | lines -> lines
+          | exception Sys_error m -> die ~json ~stage:"load" m)
+        files
+    in
+    match Xobs.Report.of_lines lines with
+    | Error m -> die ~json ~stage:"load" m
+    | Ok report ->
+        if json then
+          print_endline (Xobs.Json.to_string (Xobs.Report.to_json ~top report))
+        else Format.printf "%a@." (Xobs.Report.pp ~top) report
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:"Analyze serving observability artifacts offline: per-tenant \
+             p50/p90/p99 and outcome attribution (ok/shed/expired/errors), \
+             queue-wait vs dispatch vs execute breakdown, and the top-K \
+             slowest queries with their span trees. Any unparsable line \
+             fails the run (exit 1), so it doubles as a JSONL validator")
+    Term.(const run $ files_arg $ top_arg $ json_flag)
 
 (* --- gen ------------------------------------------------------------------ *)
 
@@ -979,7 +1110,7 @@ let () =
          [ info_cmd; summary_cmd; query_cmd; patterns_cmd; plan_cmd;
            contain_cmd; rewrite_cmd; minimize_cmd; save_cmd; open_cmd;
            put_cmd; delete_cmd; update_cmd; checkpoint_cmd; churn_cmd;
-           gen_cmd; serve_cmd; client_cmd ])
+           gen_cmd; serve_cmd; client_cmd; obs_cmd ])
   in
   (* cmdliner reports its own usage errors as 124; fold them into the
      bad-argument exit code so callers see one value for "the invocation

@@ -69,6 +69,9 @@ type emetrics = {
   h_rewrite : Metrics.histogram;
   h_exec : Metrics.histogram;
   h_apply : Metrics.histogram;
+  h_splice : Metrics.histogram;
+  h_checkpoint : Metrics.histogram;
+  h_replay : Metrics.histogram;
 }
 
 let register_metrics reg =
@@ -103,7 +106,13 @@ let register_metrics reg =
     h_query = h "engine_query_seconds" "end-to-end pattern query latency";
     h_rewrite = h "engine_rewrite_seconds" "rewrite + costing latency on cache misses";
     h_exec = h "engine_exec_seconds" "physical plan execution latency";
-    h_apply = h "engine_apply_seconds" "end-to-end mutation apply latency" }
+    h_apply = h "engine_apply_seconds" "end-to-end mutation apply latency";
+    h_splice =
+      h "engine_splice_seconds"
+        "incremental summary + partition maintenance (splice) latency";
+    h_checkpoint =
+      h "engine_checkpoint_seconds" "checkpoint (snapshot + wal truncate) latency";
+    h_replay = h "wal_replay_seconds" "whole-log recovery replay latency" }
 
 type budget = {
   deadline_ms : float option;
@@ -437,13 +446,13 @@ let load_snapshot t path =
   | Error e -> raise (Xerror.Error e)
 
 let of_snapshot_r ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?pool
-    ?obs ?(lazy_extents = false) ?extent_cache path =
+    ?obs ?(lazy_extents = false) ?extent_cache ?label path =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   try
     if lazy_extents then
       match
         Xpersist.Snapshot.Reader.open_ ?cache_capacity:extent_cache
-          ~metrics:obs.Obs.metrics path
+          ~metrics:obs.Obs.metrics ?owner:label path
       with
       | Error reason -> Error (snapshot_error path reason)
       | Ok reader -> (
@@ -479,10 +488,10 @@ let of_snapshot_r ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?poo
   with Xerror.Error e -> Error e
 
 let of_snapshot ?cache_capacity ?constraints ?max_views ?budget ?env_wrap ?pool
-    ?obs ?lazy_extents ?extent_cache path =
+    ?obs ?lazy_extents ?extent_cache ?label path =
   match
     of_snapshot_r ?cache_capacity ?constraints ?max_views ?budget ?env_wrap
-      ?pool ?obs ?lazy_extents ?extent_cache path
+      ?pool ?obs ?lazy_extents ?extent_cache ?label path
   with
   | Ok t -> t
   | Error e -> raise (Xerror.Error e)
@@ -680,7 +689,9 @@ let prepare_apply t op =
     | None -> raise (update_invalid "engine holds no document to mutate")
   in
   let doc = mutate_doc doc op in
+  let t0 = clk t () in
   let catalog, info = maintain t doc in
+  Metrics.observe t.m.h_splice (clk t () -. t0);
   (doc, catalog, info)
 
 let with_apply_lock t f =
@@ -792,9 +803,11 @@ let attach_wal_r ?fs ?sync ?segment_bytes t dir =
                           | Ok () -> replay rest
                           | Error e -> Error e)
                     in
+                    let rt0 = clk t () in
                     match replay todo with
                     | Error e -> Error e
                     | Ok () -> (
+                        Metrics.observe t.m.h_replay (clk t () -. rt0);
                         match
                           Wal.Writer.open_ ?fs ~metrics:t.obs.Obs.metrics
                             ?segment_bytes ?sync ~dir ~lsn:t.lsn ()
@@ -824,16 +837,23 @@ let detach_wal t =
    whose records the snapshot already covers — replay skips them. *)
 let checkpoint_r t path =
   with_apply_lock t (fun () ->
-      match save_snapshot_r t path with
-      | Error e -> Error e
-      | Ok bytes -> (
-          match t.wal with
-          | None -> Ok (bytes, 0)
-          | Some w -> (
-              match Wal.Writer.truncate_upto w t.snapshot_lsn with
-              | Ok removed -> Ok (bytes, removed)
-              | Error reason ->
-                  Error (Xerror.Wal_error { path = Wal.Writer.dir w; reason }))))
+      let t0 = clk t () in
+      let res =
+        match save_snapshot_r t path with
+        | Error e -> Error e
+        | Ok bytes -> (
+            match t.wal with
+            | None -> Ok (bytes, 0)
+            | Some w -> (
+                match Wal.Writer.truncate_upto w t.snapshot_lsn with
+                | Ok removed -> Ok (bytes, removed)
+                | Error reason ->
+                    Error (Xerror.Wal_error { path = Wal.Writer.dir w; reason })))
+      in
+      (match res with
+      | Ok _ -> Metrics.observe t.m.h_checkpoint (clk t () -. t0)
+      | Error _ -> ());
+      res)
 
 let checkpoint t path =
   match checkpoint_r t path with
@@ -1346,16 +1366,20 @@ let query_ast_r ?budget t ast =
   let trc = start_trace t "xquery" in
   close_xquery t trc (query_ast_in ?budget t trc ast)
 
+(* Parse + answer inside an ambient trace context, without owning the
+   trace lifecycle — shared by [query_string_r] (which opens and records
+   its own trace) and the serving layer's span-joined batch (where the
+   server owns the request's root trace). *)
+let query_string_in ?budget t (trc : tr) src =
+  match in_span trc "parse" (fun _ -> Xquery.Parse.query src) with
+  | ast -> query_ast_in ?budget t trc ast
+  | exception Xquery.Parse.Syntax_error { pos; msg } ->
+      Error (Xerror.Parse_error (Printf.sprintf "char %d: %s" pos msg))
+  | exception e -> Error (Xerror.Parse_error (Printexc.to_string e))
+
 let query_string_r ?budget t src =
   let trc = start_trace t "xquery" in
-  let res =
-    match in_span trc "parse" (fun _ -> Xquery.Parse.query src) with
-    | ast -> query_ast_in ?budget t trc ast
-    | exception Xquery.Parse.Syntax_error { pos; msg } ->
-        Error (Xerror.Parse_error (Printf.sprintf "char %d: %s" pos msg))
-    | exception e -> Error (Xerror.Parse_error (Printexc.to_string e))
-  in
-  close_xquery t trc res
+  close_xquery t trc (query_string_in ?budget t trc src)
 
 let query_ast t ast =
   match query_ast_r t ast with
@@ -1370,8 +1394,7 @@ let query_string t src = query_ast t (Xquery.Parse.query src)
    pool, atomics for the counters, the mutex-guarded plan cache and
    quarantine table; each item carries its own budget (admission control
    computes the remaining deadline per request). *)
-let query_string_batch ?(domains = 1) t items =
-  let run (src, b) = query_string_r ?budget:b t src in
+let batch_over ?(domains = 1) t run items =
   if domains <= 1 || List.length items <= 1 then List.map run items
   else begin
     (* Pre-build the base document's label index so no two domains race
@@ -1384,6 +1407,33 @@ let query_string_batch ?(domains = 1) t items =
       ~finally:(fun () -> Pool.shutdown pool)
       (fun () -> Pool.map_list pool run items)
   end
+
+let query_string_batch ?domains t items =
+  batch_over ?domains t (fun (src, b) -> query_string_r ?budget:b t src) items
+
+(* The serving layer's span-joined variant: an item carrying a caller
+   span context runs inside an "execute" child of that span, so the
+   engine's own parse/extract/pattern-i/execute spans hang off the
+   request's root trace. The caller owns the trace — the engine neither
+   finishes nor slowlog-records it here (that would double-record), and
+   [xquery_trace] stays [None] on such items. A trace is only ever
+   touched by the one domain running its item, so this composes with the
+   pool exactly like the unspanned batch. *)
+let query_string_batch_traced ?domains t items =
+  let run (src, b, ctx) =
+    match (ctx : (Trace.t * Trace.span) option) with
+    | None -> query_string_r ?budget:b t src
+    | Some _ as trc ->
+        in_span trc "execute" (fun trc ->
+            let res = query_string_in ?budget:b t trc src in
+            (match res with
+            | Error e ->
+                Metrics.incr t.m.m_errors;
+                tr_tag trc "error" (Xerror.to_string e)
+            | Ok _ -> ());
+            res)
+  in
+  batch_over ?domains t run items
 
 let pp_counters ppf c =
   Format.fprintf ppf

@@ -145,6 +145,7 @@ val of_snapshot :
   ?obs:Xobs.Obs.t ->
   ?lazy_extents:bool ->
   ?extent_cache:int ->
+  ?label:string ->
   string ->
   t
 (** Open an engine over a snapshot file. With [lazy_extents] (default
@@ -153,6 +154,9 @@ val of_snapshot :
     [extent_cache]-byte budget ({!create_lazy},
     {!Xpersist.Snapshot.Reader.open_}); otherwise the whole snapshot
     loads eagerly.
+    [label] names the owner of this engine (the serving layer passes
+    the tenant name): a lazy reader then counts its page-ins and
+    partition faults into per-tenant labeled metric families.
     The snapshot's document becomes the engine's fallback document.
     Raises [Xerror.Error (Snapshot_error _)] when the file fails
     verification and [Xerror.Error (Catalog_invalid _)] when its catalog
@@ -168,6 +172,7 @@ val of_snapshot_r :
   ?obs:Xobs.Obs.t ->
   ?lazy_extents:bool ->
   ?extent_cache:int ->
+  ?label:string ->
   string ->
   (t, Xerror.t) Stdlib.result
 (** {!of_snapshot} returning the classified failure instead of raising. *)
@@ -393,6 +398,22 @@ val query_string_batch :
     because a server batch mixes requests admitted at different times
     with different remaining deadlines. Results come back in input order;
     each is exactly what {!query_string_r} would return. *)
+
+val query_string_batch_traced :
+  ?domains:int ->
+  t ->
+  (string * budget option * (Xobs.Trace.t * Xobs.Trace.span) option) list ->
+  (xquery_result, Xerror.t) Stdlib.result list
+(** {!query_string_batch} for a caller that owns request-scoped traces
+    (the serving layer). An item carrying [Some (trace, parent)] runs
+    inside a fresh ["execute"] child span of [parent], with the engine's
+    own parse → extract → pattern → execute span tree hanging under it;
+    the engine does {e not} finish or slowlog-record such a trace (the
+    caller owns its lifecycle) and the item's [xquery_trace] stays
+    [None]. Items with [None] behave exactly as in
+    {!query_string_batch}. A trace must not be shared between two items
+    of the same batch — each is touched only by the one domain running
+    its item. *)
 
 (** {1 Catalog management} *)
 

@@ -8,6 +8,49 @@ let le_label i =
   if i >= Metrics.bucket_count - 1 then "+Inf"
   else fmt_float (Metrics.bucket_upper i)
 
+(* Label values travel escaped per the exposition format: backslash,
+   double quote and newline are the three characters that would otherwise
+   break the [k="v"] quoting or the line framing. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* Renders [{k1="v1",k2="v2"}] (with [extra] appended last, used for
+   [le]); pairs come pre-ordered from the family. *)
+let label_set ?extra names values =
+  let pairs = List.map2 (fun k v -> (k, escape_label v)) names values in
+  let pairs = match extra with None -> pairs | Some kv -> pairs @ [ kv ] in
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k v) pairs)
+  ^ "}"
+
+let add_histogram_samples buf name labels s =
+  let cum = ref 0 in
+  Array.iteri
+    (fun i c ->
+      cum := !cum + c;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket%s %d\n" name
+           (label_set ~extra:("le", le_label i)
+              (List.map fst labels) (List.map snd labels))
+           !cum))
+    s.Metrics.counts;
+  let plain =
+    match labels with
+    | [] -> ""
+    | _ -> label_set (List.map fst labels) (List.map snd labels)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum%s %s\n" name plain (fmt_float (Metrics.sum_s s)));
+  Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" name plain s.Metrics.count)
+
 let prometheus reg =
   let buf = Buffer.create 1024 in
   List.iter
@@ -23,18 +66,25 @@ let prometheus reg =
           Buffer.add_string buf
             (Printf.sprintf "%s %s\n" name (fmt_float (Metrics.gauge_value g)))
       | Metrics.Histogram h ->
-          let s = Metrics.snapshot h in
           Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
-          let cum = ref 0 in
-          Array.iteri
-            (fun i c ->
-              cum := !cum + c;
+          add_histogram_samples buf name [] (Metrics.snapshot h)
+      | Metrics.Counter_family f ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+          let names = Metrics.counter_family_labels f in
+          List.iter
+            (fun (values, c) ->
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (le_label i) !cum))
-            s.Metrics.counts;
-          Buffer.add_string buf
-            (Printf.sprintf "%s_sum %s\n" name (fmt_float (Metrics.sum_s s)));
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name s.Metrics.count))
+                (Printf.sprintf "%s%s %d\n" name (label_set names values)
+                   (Metrics.counter_value c)))
+            (Metrics.counter_children f)
+      | Metrics.Histogram_family f ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+          let names = Metrics.histogram_family_labels f in
+          List.iter
+            (fun (values, h) ->
+              add_histogram_samples buf name (List.combine names values)
+                (Metrics.snapshot h))
+            (Metrics.histogram_children f))
     (Metrics.metrics reg);
   Buffer.contents buf
 
@@ -47,47 +97,115 @@ let valid_name s =
        (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
        s
 
-(* A sample line: name, optional {labels}, one space, a float. Returns
-   (name, le-label option, value). *)
+(* Fully parses a label body of the form [k1="v1",k2="v2"] (the text
+   between the braces): label names must be well-formed, values
+   double-quoted with only the three legal escapes (backslash, quote,
+   newline), pairs comma-separated with no trailing comma, and no label
+   name repeated. Returns the decoded pairs in order. *)
+let parse_labels s =
+  let n = String.length s in
+  let is_name_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+    | _ -> false
+  in
+  let rec pairs i acc =
+    let j = ref i in
+    while !j < n && is_name_char s.[!j] do incr j done;
+    let lname = String.sub s i (!j - i) in
+    if lname = "" || (match lname.[0] with '0' .. '9' -> true | _ -> false) then
+      Error (Printf.sprintf "bad label name at offset %d" i)
+    else if List.mem_assoc lname acc then
+      Error (Printf.sprintf "duplicate label %S" lname)
+    else if !j >= n || s.[!j] <> '=' then
+      Error (Printf.sprintf "expected '=' after label %S" lname)
+    else if !j + 1 >= n || s.[!j + 1] <> '"' then
+      Error (Printf.sprintf "label %S value not quoted" lname)
+    else begin
+      let buf = Buffer.create 16 in
+      let rec value k =
+        if k >= n then Error (Printf.sprintf "unterminated value for label %S" lname)
+        else
+          match s.[k] with
+          | '"' -> Ok (k + 1)
+          | '\\' ->
+              if k + 1 >= n then Error "dangling escape in label value"
+              else (
+                match s.[k + 1] with
+                | '\\' -> Buffer.add_char buf '\\'; value (k + 2)
+                | '"' -> Buffer.add_char buf '"'; value (k + 2)
+                | 'n' -> Buffer.add_char buf '\n'; value (k + 2)
+                | c -> Error (Printf.sprintf "illegal escape \\%c in label value" c))
+          | '\n' -> Error "raw newline in label value"
+          | c -> Buffer.add_char buf c; value (k + 1)
+      in
+      match value (!j + 2) with
+      | Error _ as e -> e
+      | Ok k ->
+          let acc = (lname, Buffer.contents buf) :: acc in
+          if k >= n then Ok (List.rev acc)
+          else if s.[k] = ',' then
+            if k + 1 >= n then Error "trailing comma in label set"
+            else pairs (k + 1) acc
+          else Error (Printf.sprintf "unexpected %C after label value" s.[k])
+    end
+  in
+  if n = 0 then Ok [] else pairs 0 []
+
+(* A sample line: name, optional {labels}, one space, a float. Label
+   values may contain spaces, so the value separator is located by
+   scanning past the label set (quote- and escape-aware), not by
+   splitting at the first space. Returns (name, decoded label pairs,
+   value). *)
 let parse_sample line =
   let fail msg = Error msg in
-  match String.index_opt line ' ' with
-  | None -> fail "no value separator"
-  | Some sp -> (
-      let head = String.sub line 0 sp in
-      let value = String.sub line (sp + 1) (String.length line - sp - 1) in
-      match float_of_string_opt value with
-      | None -> fail (Printf.sprintf "non-numeric value %S" value)
-      | Some v -> (
-          match String.index_opt head '{' with
-          | None ->
-              if valid_name head then Ok (head, None, v)
-              else fail (Printf.sprintf "bad metric name %S" head)
-          | Some b ->
-              let name = String.sub head 0 b in
-              if not (valid_name name) then
-                fail (Printf.sprintf "bad metric name %S" name)
-              else if head.[String.length head - 1] <> '}' then
-                fail "unterminated label set"
-              else
-                let labels = String.sub head (b + 1) (String.length head - b - 2) in
-                let le =
-                  let prefix = "le=\"" in
-                  if
-                    String.length labels > String.length prefix + 1
-                    && String.sub labels 0 (String.length prefix) = prefix
-                    && labels.[String.length labels - 1] = '"'
-                  then
-                    Some
-                      (String.sub labels (String.length prefix)
-                         (String.length labels - String.length prefix - 1))
-                  else None
-                in
-                Ok (name, le, v)))
+  let n = String.length line in
+  let number from =
+    let value = String.sub line from (n - from) in
+    match float_of_string_opt value with
+    | None -> fail (Printf.sprintf "non-numeric value %S" value)
+    | Some v -> Ok v
+  in
+  match String.index_opt line '{' with
+  | None -> (
+      match String.index_opt line ' ' with
+      | None -> fail "no value separator"
+      | Some sp ->
+          let name = String.sub line 0 sp in
+          if not (valid_name name) then
+            fail (Printf.sprintf "bad metric name %S" name)
+          else Result.map (fun v -> (name, [], v)) (number (sp + 1)))
+  | Some b -> (
+      let name = String.sub line 0 b in
+      if not (valid_name name) then fail (Printf.sprintf "bad metric name %S" name)
+      else
+        (* Find the '}' closing the label set: skip quoted values, where
+           a backslash escapes the next character. *)
+        let rec closer i in_quotes =
+          if i >= n then None
+          else
+            match line.[i] with
+            | '\\' when in_quotes -> closer (i + 2) true
+            | '"' -> closer (i + 1) (not in_quotes)
+            | '}' when not in_quotes -> Some i
+            | _ -> closer (i + 1) in_quotes
+        in
+        match closer (b + 1) false with
+        | None -> fail "unterminated label set"
+        | Some close ->
+            if close + 1 >= n || line.[close + 1] <> ' ' then
+              fail "no value separator after label set"
+            else
+              let body = String.sub line (b + 1) (close - b - 1) in
+              (match parse_labels body with
+              | Error msg -> fail msg
+              | Ok labels ->
+                  Result.map (fun v -> (name, labels, v)) (number (close + 2))))
 
 let validate_prometheus text =
   let lines = String.split_on_char '\n' text in
-  (* histogram base name -> (bucket cumulative counts in order, count sample) *)
+  (* Histogram series are keyed by base name plus their non-[le] labels,
+     so each child of a labeled family is checked as its own cumulative
+     series — grouping by bare name would interleave tenants. *)
   let buckets : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
   let counts : (string, float) Hashtbl.t = Hashtbl.create 8 in
   let strip_suffix s suf =
@@ -95,6 +213,14 @@ let validate_prometheus text =
        && String.sub s (String.length s - String.length suf) (String.length suf) = suf
     then Some (String.sub s 0 (String.length s - String.length suf))
     else None
+  in
+  let series_key base labels =
+    base ^ "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> k ^ "=" ^ String.escaped v)
+           (List.sort compare labels))
+    ^ "}"
   in
   let rec go i = function
     | [] -> Ok ()
@@ -104,21 +230,22 @@ let validate_prometheus text =
     | line :: rest -> (
         match parse_sample line with
         | Error msg -> Error (Printf.sprintf "line %d: %s" i msg)
-        | Ok (name, le, v) ->
-            (match (strip_suffix name "_bucket", le) with
-            | Some base, Some _ ->
+        | Ok (name, labels, v) ->
+            (match strip_suffix name "_bucket" with
+            | Some base when List.mem_assoc "le" labels ->
+                let key = series_key base (List.remove_assoc "le" labels) in
                 let cell =
-                  match Hashtbl.find_opt buckets base with
+                  match Hashtbl.find_opt buckets key with
                   | Some c -> c
                   | None ->
                       let c = ref [] in
-                      Hashtbl.replace buckets base c;
+                      Hashtbl.replace buckets key c;
                       c
                 in
                 cell := v :: !cell
             | _ -> (
                 match strip_suffix name "_count" with
-                | Some base -> Hashtbl.replace counts base v
+                | Some base -> Hashtbl.replace counts (series_key base labels) v
                 | None -> ()));
             go (i + 1) rest)
   in
@@ -146,6 +273,60 @@ let validate_prometheus text =
                     Error (Printf.sprintf "histogram %s: missing _count sample" base)
                 | Some _ -> Ok ()))
         buckets (Ok ())
+
+(* --- Metrics as JSON --------------------------------------------------- *)
+
+let snapshot_json s =
+  [ ("count", Json.Num (float_of_int s.Metrics.count));
+    ("sum_s", Json.Num (Metrics.sum_s s));
+    ("p50", Json.Num (Metrics.percentile s 0.50));
+    ("p90", Json.Num (Metrics.percentile s 0.90));
+    ("p99", Json.Num (Metrics.percentile s 0.99)) ]
+
+let labels_json names values =
+  ("labels", Json.Obj (List.map2 (fun k v -> (k, Json.Str v)) names values))
+
+let metrics_json reg =
+  let entry (name, help, m) =
+    let fields =
+      match m with
+      | Metrics.Counter c ->
+          [ ("type", Json.Str "counter");
+            ("value", Json.Num (float_of_int (Metrics.counter_value c))) ]
+      | Metrics.Gauge g ->
+          [ ("type", Json.Str "gauge"); ("value", Json.Num (Metrics.gauge_value g)) ]
+      | Metrics.Histogram h ->
+          ("type", Json.Str "histogram") :: snapshot_json (Metrics.snapshot h)
+      | Metrics.Counter_family f ->
+          let names = Metrics.counter_family_labels f in
+          [ ("type", Json.Str "counter");
+            ("label_names", Json.Arr (List.map (fun l -> Json.Str l) names));
+            ( "children",
+              Json.Arr
+                (List.map
+                   (fun (values, c) ->
+                     Json.Obj
+                       [ labels_json names values;
+                         ("value", Json.Num (float_of_int (Metrics.counter_value c)))
+                       ])
+                   (Metrics.counter_children f)) ) ]
+      | Metrics.Histogram_family f ->
+          let names = Metrics.histogram_family_labels f in
+          [ ("type", Json.Str "histogram");
+            ("label_names", Json.Arr (List.map (fun l -> Json.Str l) names));
+            ( "children",
+              Json.Arr
+                (List.map
+                   (fun (values, h) ->
+                     Json.Obj
+                       (labels_json names values
+                       :: snapshot_json (Metrics.snapshot h)))
+                   (Metrics.histogram_children f)) ) ]
+    in
+    let fields = if help = "" then fields else ("help", Json.Str help) :: fields in
+    (name, Json.Obj fields)
+  in
+  Json.Obj (List.map entry (Metrics.metrics reg))
 
 (* --- Trace JSON ------------------------------------------------------- *)
 

@@ -5,13 +5,29 @@
 val prometheus : Metrics.registry -> string
 (** Text exposition (format version 0.0.4): [# HELP]/[# TYPE] comments,
     counters as [_total]-style samples, gauges, histograms as cumulative
-    [_bucket{le="..."}] series plus [_sum]/[_count]. *)
+    [_bucket{le="..."}] series plus [_sum]/[_count]. Labeled families
+    render one sample (or bucket series) per child with their label
+    pairs; backslash, double quote and newline in label values are
+    escaped per the format. *)
 
 val validate_prometheus : string -> (unit, string) result
 (** A format sanity check for CI: every line is a comment or a
-    [name{labels} value] sample with a well-formed metric name and a
-    numeric value; histogram bucket series must be cumulative
-    (non-decreasing in [le]) and agree with their [_count]. *)
+    [name{labels} value] sample with a well-formed metric name, a fully
+    well-formed label set (valid label names, double-quoted values with
+    only the three legal escapes, comma-separated, no duplicates, no
+    trailing comma) and a numeric value; histogram bucket series —
+    grouped by base name {e plus} their non-[le] labels, so each family
+    child is checked separately — must be cumulative (non-decreasing in
+    [le]) and agree with their [_count]. *)
+
+val metrics_json : Metrics.registry -> Json.t
+(** The whole registry as one JSON object keyed by metric name: counters
+    and gauges carry [value], histograms [count]/[sum_s]/[p50]/[p90]/
+    [p99], labeled families a [label_names] array plus per-child
+    [children] entries with their decoded [labels]. This is the one
+    JSON shape every metrics surface ([uload query --metrics --json],
+    [uload client --metrics --json], [GET /debug/metrics.json])
+    shares. *)
 
 val trace_json : Trace.t -> Json.t
 (** One trace as a JSON tree: trace id, duration, and the span tree with

@@ -79,12 +79,64 @@ val percentile : snapshot -> float -> float
     is then a lower bound, but it stays representable in every export
     format (Prometheus exposition, JSONL). *)
 
+(** {1 Labeled families}
+
+    A family is one registered metric name carrying a fixed list of label
+    names and a bounded table of children keyed by their label-value
+    lists. Child lookup ({!counter_in}/{!histogram_in}) takes the
+    family's mutex; recording into the returned child is the usual
+    atomic hot path. Cardinality is hard-capped: once [max_children]
+    distinct label-value lists exist, every further value lands in one
+    shared overflow child whose label values are all ["other"] — so a
+    hostile tenant name can cost at most one extra series, never an
+    unbounded exposition. The all-["other"] key is reserved for that
+    child. *)
+
+type counter_family
+type histogram_family
+
+val counter_family :
+  registry -> ?help:string -> ?max_children:int -> string ->
+  labels:string list -> counter_family
+(** Get or create. [labels] must be non-empty and must match on
+    re-registration ([Invalid_argument] otherwise). [max_children]
+    defaults to 64 and is fixed at first registration. *)
+
+val histogram_family :
+  registry -> ?help:string -> ?max_children:int -> string ->
+  labels:string list -> histogram_family
+
+val counter_in : counter_family -> string list -> counter
+(** Child for the given label values (positional, matching [labels]).
+    Raises [Invalid_argument] on arity mismatch. *)
+
+val histogram_in : histogram_family -> string list -> histogram
+
+val counter_children : counter_family -> (string list * counter) list
+(** All live children as [(label values, child)], sorted by label values;
+    includes the overflow child (all-["other"]) once it exists. *)
+
+val histogram_children : histogram_family -> (string list * histogram) list
+val counter_family_labels : counter_family -> string list
+val histogram_family_labels : histogram_family -> string list
+
+val merge_labeled :
+  (string list * snapshot) list ->
+  (string list * snapshot) list ->
+  (string list * snapshot) list
+(** Merge two labeled snapshot sets: snapshots sharing a label-value list
+    are {!merge}d pointwise, the rest pass through; output is sorted by
+    label values, so the operation is associative and commutative up to
+    that canonical order. *)
+
 (** {1 Enumeration} *)
 
 type metric =
   | Counter of counter
   | Gauge of gauge
   | Histogram of histogram
+  | Counter_family of counter_family
+  | Histogram_family of histogram_family
 
 val metrics : registry -> (string * string * metric) list
 (** All registered metrics as [(name, help, metric)], sorted by name. *)

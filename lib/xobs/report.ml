@@ -1,0 +1,260 @@
+(* Offline analyzer over the two JSONL surfaces the server emits: trace
+   lines (Export.trace_json shape) and access-log lines (Accesslog
+   shape). One pass buckets per tenant; percentiles are exact (sorted
+   lists) since this runs on bounded operator-supplied files, not on the
+   serving hot path. *)
+
+type acc = {
+  mutable a_requests : int;
+  mutable a_ok : int;
+  mutable a_shed : int;
+  mutable a_expired : int;
+  mutable a_errors : int;
+  mutable a_quarantined : int;
+  mutable a_bytes : int;
+  mutable a_latencies : float list; (* ms *)
+  mutable a_queue : float list; (* ms *)
+}
+
+type trace = {
+  t_duration_ms : float;
+  t_tenant : string option;
+  t_request_id : string option;
+  t_queue_ms : float;
+  t_dispatch_ms : float;
+  t_execute_ms : float;
+  t_json : Json.t;
+}
+
+type t = {
+  tenants : (string, acc) Hashtbl.t;
+  mutable traces : trace list; (* reverse input order *)
+  mutable lines : int;
+}
+
+let fresh_acc () =
+  { a_requests = 0; a_ok = 0; a_shed = 0; a_expired = 0; a_errors = 0;
+    a_quarantined = 0; a_bytes = 0; a_latencies = []; a_queue = [] }
+
+let acc_for t tenant =
+  match Hashtbl.find_opt t.tenants tenant with
+  | Some a -> a
+  | None ->
+      let a = fresh_acc () in
+      Hashtbl.replace t.tenants tenant a;
+      a
+
+let str_field name j = Option.bind (Json.member name j) Json.to_str
+let num_field name j = Option.bind (Json.member name j) Json.to_float
+
+let add_access t j =
+  let tenant = Option.value ~default:"?" (str_field "tenant" j) in
+  let a = acc_for t tenant in
+  a.a_requests <- a.a_requests + 1;
+  (match str_field "outcome" j with
+  | Some "ok" -> a.a_ok <- a.a_ok + 1
+  | Some "shed" -> a.a_shed <- a.a_shed + 1
+  | Some "expired" -> a.a_expired <- a.a_expired + 1
+  | _ -> a.a_errors <- a.a_errors + 1);
+  (match Json.member "quarantined" j with
+  | Some (Json.Bool true) -> a.a_quarantined <- a.a_quarantined + 1
+  | _ ->
+      if str_field "code" j = Some "quarantined" then
+        a.a_quarantined <- a.a_quarantined + 1);
+  (match num_field "bytes" j with
+  | Some b -> a.a_bytes <- a.a_bytes + int_of_float b
+  | None -> ());
+  (match num_field "latency_ms" j with
+  | Some ms -> a.a_latencies <- ms :: a.a_latencies
+  | None -> ());
+  match num_field "queue_ms" j with
+  | Some ms -> a.a_queue <- ms :: a.a_queue
+  | None -> ()
+
+(* Sums the time of the outermost spans named [name]: a match counts
+   its whole duration and is not descended into, so the server's
+   [execute] wrapper is not double-counted with the engine's own
+   [execute] span nested inside it. *)
+let rec span_ms_named name sp =
+  if str_field "name" sp = Some name then
+    match (num_field "start_ms" sp, num_field "end_ms" sp) with
+    | Some a, Some b -> b -. a
+    | _ -> 0.0
+  else
+    match Option.bind (Json.member "children" sp) Json.to_list with
+    | Some cs -> List.fold_left (fun s c -> s +. span_ms_named name c) 0.0 cs
+    | None -> 0.0
+
+let add_trace t j =
+  match Json.member "root" j with
+  | None -> ()
+  | Some root ->
+      let tags = Option.value ~default:Json.Null (Json.member "tags" root) in
+      t.traces <-
+        { t_duration_ms = Option.value ~default:0.0 (num_field "duration_ms" j);
+          t_tenant = str_field "tenant" tags;
+          t_request_id = str_field "request_id" tags;
+          t_queue_ms = span_ms_named "queue_wait" root;
+          t_dispatch_ms = span_ms_named "dispatch" root;
+          t_execute_ms = span_ms_named "execute" root;
+          t_json = j }
+        :: t.traces
+
+let create () = { tenants = Hashtbl.create 8; traces = []; lines = 0 }
+
+let add_json t j =
+  t.lines <- t.lines + 1;
+  match Json.member "root" j with
+  | Some _ -> add_trace t j
+  | None -> if Json.member "request_id" j <> None then add_access t j
+
+let of_lines lines =
+  let t = create () in
+  let rec go i = function
+    | [] -> Ok t
+    | line :: rest ->
+        if String.trim line = "" then go (i + 1) rest
+        else (
+          match Json.of_string line with
+          | Error msg -> Error (Printf.sprintf "line %d: %s" i msg)
+          | Ok j ->
+              add_json t j;
+              go (i + 1) rest)
+  in
+  go 1 lines
+
+let lines_seen t = t.lines
+
+(* Exact percentile over a sample list: the ceil(q*n)-th smallest. *)
+let pctl q xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      let rank = min n (max 1 (int_of_float (Float.ceil (q *. float_of_int n)))) in
+      List.nth sorted (rank - 1)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let tenant_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tenants [] |> List.sort compare
+
+let slowest ?(top = 5) t =
+  List.stable_sort
+    (fun a b -> compare b.t_duration_ms a.t_duration_ms)
+    (List.rev t.traces)
+  |> List.filteri (fun i _ -> i < top)
+
+let trace_summary_json tr =
+  Json.Obj
+    ([ ("duration_ms", Json.Num tr.t_duration_ms) ]
+    @ (match tr.t_tenant with Some s -> [ ("tenant", Json.Str s) ] | None -> [])
+    @ (match tr.t_request_id with
+      | Some s -> [ ("request_id", Json.Str s) ]
+      | None -> [])
+    @ [ ("queue_wait_ms", Json.Num tr.t_queue_ms);
+        ("execute_ms", Json.Num tr.t_execute_ms);
+        ("trace", tr.t_json) ])
+
+let tenant_json a =
+  Json.Obj
+    [ ("requests", Json.Num (float_of_int a.a_requests));
+      ("ok", Json.Num (float_of_int a.a_ok));
+      ("shed", Json.Num (float_of_int a.a_shed));
+      ("expired", Json.Num (float_of_int a.a_expired));
+      ("errors", Json.Num (float_of_int a.a_errors));
+      ("quarantined", Json.Num (float_of_int a.a_quarantined));
+      ("bytes", Json.Num (float_of_int a.a_bytes));
+      ("p50_ms", Json.Num (pctl 0.50 a.a_latencies));
+      ("p90_ms", Json.Num (pctl 0.90 a.a_latencies));
+      ("p99_ms", Json.Num (pctl 0.99 a.a_latencies));
+      ("mean_queue_ms", Json.Num (mean a.a_queue)) ]
+
+let to_json ?(top = 5) t =
+  let total f = Hashtbl.fold (fun _ a s -> s + f a) t.tenants 0 in
+  let tsum f = List.fold_left (fun s tr -> s +. f tr) 0.0 t.traces in
+  Json.Obj
+    [ ("requests", Json.Num (float_of_int (total (fun a -> a.a_requests))));
+      ("ok", Json.Num (float_of_int (total (fun a -> a.a_ok))));
+      ("shed", Json.Num (float_of_int (total (fun a -> a.a_shed))));
+      ("expired", Json.Num (float_of_int (total (fun a -> a.a_expired))));
+      ("errors", Json.Num (float_of_int (total (fun a -> a.a_errors))));
+      ( "tenants",
+        Json.Obj
+          (List.map
+             (fun name -> (name, tenant_json (Hashtbl.find t.tenants name)))
+             (tenant_names t)) );
+      ( "traces",
+        Json.Obj
+          [ ("count", Json.Num (float_of_int (List.length t.traces)));
+            ("queue_wait_ms_total", Json.Num (tsum (fun tr -> tr.t_queue_ms)));
+            ("dispatch_ms_total", Json.Num (tsum (fun tr -> tr.t_dispatch_ms)));
+            ("execute_ms_total", Json.Num (tsum (fun tr -> tr.t_execute_ms))) ] );
+      ("slowest", Json.Arr (List.map trace_summary_json (slowest ~top t))) ]
+
+(* --- Human-readable rendering ------------------------------------------ *)
+
+let rec pp_span fmt indent sp =
+  let name = Option.value ~default:"?" (str_field "name" sp) in
+  let ms =
+    match (num_field "start_ms" sp, num_field "end_ms" sp) with
+    | Some a, Some b -> b -. a
+    | _ -> 0.0
+  in
+  Format.fprintf fmt "%s%s %.2fms" indent name ms;
+  (match Json.member "tags" sp with
+  | Some (Json.Obj tags) when tags <> [] ->
+      Format.fprintf fmt " [%s]"
+        (String.concat ", "
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "%s=%s" k (Option.value ~default:"?" (Json.to_str v)))
+              tags))
+  | _ -> ());
+  Format.pp_print_newline fmt ();
+  match Option.bind (Json.member "children" sp) Json.to_list with
+  | Some cs -> List.iter (pp_span fmt (indent ^ "  ")) cs
+  | None -> ()
+
+let pp ?(top = 5) fmt t =
+  let total f = Hashtbl.fold (fun _ a s -> s + f a) t.tenants 0 in
+  Format.fprintf fmt "requests: %d (ok %d, shed %d, expired %d, errors %d)\n"
+    (total (fun a -> a.a_requests))
+    (total (fun a -> a.a_ok))
+    (total (fun a -> a.a_shed))
+    (total (fun a -> a.a_expired))
+    (total (fun a -> a.a_errors));
+  List.iter
+    (fun name ->
+      let a = Hashtbl.find t.tenants name in
+      Format.fprintf fmt
+        "tenant %s: %d req | p50 %.2fms p90 %.2fms p99 %.2fms | queue mean \
+         %.2fms | shed %d expired %d errors %d quarantined %d\n"
+        name a.a_requests (pctl 0.50 a.a_latencies) (pctl 0.90 a.a_latencies)
+        (pctl 0.99 a.a_latencies) (mean a.a_queue) a.a_shed a.a_expired a.a_errors
+        a.a_quarantined)
+    (tenant_names t);
+  let tsum f = List.fold_left (fun s tr -> s +. f tr) 0.0 t.traces in
+  if t.traces <> [] then
+    Format.fprintf fmt
+      "traces: %d | queue_wait %.2fms, dispatch %.2fms, execute %.2fms (totals)\n"
+      (List.length t.traces)
+      (tsum (fun tr -> tr.t_queue_ms))
+      (tsum (fun tr -> tr.t_dispatch_ms))
+      (tsum (fun tr -> tr.t_execute_ms));
+  match slowest ~top t with
+  | [] -> ()
+  | slow ->
+      Format.fprintf fmt "top %d slow:\n" (List.length slow);
+      List.iteri
+        (fun i tr ->
+          Format.fprintf fmt "%d. %.2fms tenant=%s id=%s\n" (i + 1)
+            tr.t_duration_ms
+            (Option.value ~default:"?" tr.t_tenant)
+            (Option.value ~default:"?" tr.t_request_id);
+          match Json.member "root" tr.t_json with
+          | Some root -> pp_span fmt "   " root
+          | None -> ())
+        slow

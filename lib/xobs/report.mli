@@ -1,0 +1,37 @@
+(** Offline analyzer for the serving layer's observability artifacts —
+    the engine behind [uload obs].
+
+    Feed it JSONL lines from any mix of trace exports
+    ({!Export.trace_jsonl} / the server's [/debug/traces]) and access
+    logs ({!Accesslog}): lines with a [root] field are traces, lines
+    with a [request_id] field are access entries, anything else parses
+    but is ignored. From them it reports per-tenant request counts and
+    outcome attribution (ok/shed/expired/errors/quarantined), exact
+    p50/p90/p99 latency percentiles, the queue-wait vs dispatch vs
+    execute time breakdown summed over span trees, and the top-K slowest
+    traces with their full span trees. *)
+
+type t
+
+val create : unit -> t
+
+val add_json : t -> Json.t -> unit
+(** Classify and absorb one parsed line. *)
+
+val of_lines : string list -> (t, string) result
+(** Strict bulk ingest: blank lines are skipped, any line that fails
+    [Json.of_string] fails the whole ingest with its 1-based line
+    number — this is also how CI validates that every emitted line
+    parses. *)
+
+val lines_seen : t -> int
+(** Non-blank lines absorbed (traces + access entries + ignored). *)
+
+val to_json : ?top:int -> t -> Json.t
+(** The report as one JSON object: totals, per-tenant stats, span-time
+    breakdown, and the [top] (default 5) slowest traces (each with its
+    original trace tree embedded). *)
+
+val pp : ?top:int -> Format.formatter -> t -> unit
+(** Human-readable rendering of the same report, slow traces shown as
+    indented span trees. *)

@@ -455,7 +455,24 @@ module Reader = struct
     mutable rd_part_faults : (string * int * string) list;
     mutable rd_closed : bool;
     rd_m : meters option;
+    (* When the reader is opened on behalf of a named owner (a serving
+       tenant), page-ins and partition faults are additionally counted
+       into labeled families so a multi-tenant /metrics attributes disk
+       activity and blast radius per tenant. *)
+    rd_owner : string option;
+    rd_pageins : Metrics.counter_family option;
+    rd_fault_kinds : Metrics.counter_family option;
   }
+
+  let bump_pageins t =
+    match (t.rd_pageins, t.rd_owner) with
+    | Some f, Some o -> Metrics.incr (Metrics.counter_in f [ o ])
+    | _ -> ()
+
+  let bump_fault_kind t kind =
+    match (t.rd_fault_kinds, t.rd_owner) with
+    | Some f, Some o -> Metrics.incr (Metrics.counter_in f [ o; kind ])
+    | _ -> ()
 
   (* Positioned read under the caller's lock (the fd's offset is shared
      state). *)
@@ -481,8 +498,22 @@ module Reader = struct
   (* The cache budget is in {e bytes} (of on-disk section length, a good
      proxy for resident size), so paging in one huge partition charges
      proportionally instead of counting the same as a tiny one. *)
-  let open_ ?(cache_capacity = 16 * 1024 * 1024) ?metrics path =
+  let open_ ?(cache_capacity = 16 * 1024 * 1024) ?metrics ?owner path =
     let m = meters metrics in
+    let pageins, fault_kinds =
+      match (metrics, owner) with
+      | Some reg, Some _ ->
+          ( Some
+              (Metrics.counter_family reg
+                 ~help:"extent/partition page-ins from disk, by tenant"
+                 "persist_partition_pageins" ~labels:[ "tenant" ]),
+            Some
+              (Metrics.counter_family reg
+                 ~help:"partition page-in failures, by tenant and fault kind"
+                 "persist_partition_faults_by_tenant" ~labels:[ "tenant"; "kind" ])
+          )
+      | _ -> (None, None)
+    in
     guard (fun () ->
         let t0 = Unix.gettimeofday () in
         let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
@@ -543,7 +574,10 @@ module Reader = struct
               Lru.create ?metrics ~metric_prefix:"persist_extent_cache" cache_capacity;
             rd_part_faults = [];
             rd_closed = false;
-            rd_m = m }
+            rd_m = m;
+            rd_owner = owner;
+            rd_pageins = pageins;
+            rd_fault_kinds = fault_kinds }
         with
         | t ->
             meter m (fun m -> Metrics.observe m.mt_open (Unix.gettimeofday () -. t0));
@@ -560,14 +594,14 @@ module Reader = struct
      byte-costed by its section name/length. Caller holds [rd_lock].
      [fail reason] builds the exception to raise (letting the caller
      also record the failure). *)
-  let cached_rel_locked t sect ~(fail : string -> exn) =
+  let cached_rel_locked t sect ~(fail : kind:string -> string -> exn) =
     match Lru.find t.rd_cache sect with
     | Some rel ->
         meter t.rd_m (fun m -> Metrics.incr m.mt_hits);
         rel
     | None -> (
         meter t.rd_m (fun m -> Metrics.incr m.mt_misses);
-        if t.rd_closed then raise (fail "snapshot reader is closed");
+        if t.rd_closed then raise (fail ~kind:"closed" "snapshot reader is closed");
         match
           let e = find_entry t.rd_entries sect in
           let r = verified_section t.rd_fd t.rd_m t.rd_entries sect in
@@ -577,14 +611,17 @@ module Reader = struct
         with
         | len, rel ->
             Lru.add ~cost:(max len 1) t.rd_cache sect rel;
+            bump_pageins t;
             rel
-        | exception Binio.Corrupt reason -> raise (fail reason)
+        | exception Binio.Corrupt reason -> raise (fail ~kind:"corrupt" reason)
         | exception Unix.Unix_error (err, fn, _) ->
-            raise (fail (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+            raise (fail ~kind:"io" (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
         | exception Invalid_argument reason ->
-            raise (fail ("malformed extent: " ^ reason))
-        | exception Out_of_memory -> raise (fail "extent decode exhausted memory")
-        | exception Stack_overflow -> raise (fail "extent decode over-nested"))
+            raise (fail ~kind:"corrupt" ("malformed extent: " ^ reason))
+        | exception Out_of_memory ->
+            raise (fail ~kind:"resource" "extent decode exhausted memory")
+        | exception Stack_overflow ->
+            raise (fail ~kind:"resource" "extent decode over-nested"))
 
   let extent t name () =
     Mutex.lock t.rd_lock;
@@ -592,7 +629,7 @@ module Reader = struct
       ~finally:(fun () -> Mutex.unlock t.rd_lock)
       (fun () ->
         cached_rel_locked t (extent_section name)
-          ~fail:(fun reason -> Store.Module_fault { name; reason }))
+          ~fail:(fun ~kind:_ reason -> Store.Module_fault { name; reason }))
 
   (* Page the [i]-th partition of [name] in. A corrupt partition is
      recorded individually — siblings keep answering and the fault
@@ -607,15 +644,16 @@ module Reader = struct
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.rd_lock)
       (fun () ->
-        let fail reason =
+        let fail ~kind reason =
           t.rd_part_faults <- (name, i, reason) :: t.rd_part_faults;
           meter t.rd_m (fun m -> Metrics.incr m.mt_pfaults);
+          bump_fault_kind t kind;
           Store.Module_fault
             { name; reason = Printf.sprintf "partition %d: %s" i reason }
         in
         let rel = cached_rel_locked t (part_section name i) ~fail in
         if Xalgebra.Rel.cardinality rel <> Array.length pos then
-          raise (fail "partition tuple count disagrees with the directory");
+          raise (fail ~kind:"corrupt" "partition tuple count disagrees with the directory");
         Store.mk_partition ~col:pt_col ~path ~pos rel)
 
   let partition_faults t =

@@ -80,6 +80,7 @@ module Reader : sig
   val open_ :
     ?cache_capacity:int ->
     ?metrics:Xobs.Metrics.registry ->
+    ?owner:string ->
     string ->
     (t, string) result
   (** [cache_capacity] is the buffer-cache budget in {e bytes} of
@@ -90,7 +91,12 @@ module Reader : sig
       [..._misses_total], [persist_partition_faults_total], the
       [persist_extent_cache_entries] and
       [persist_extent_cache_cost] gauges and the [persist_open_seconds]
-      histogram. *)
+      histogram. [owner] names the tenant this reader serves: when both
+      it and [metrics] are given, page-ins and partition faults are
+      additionally counted into the labeled
+      [persist_partition_pageins{tenant}] and
+      [persist_partition_faults_by_tenant{tenant,kind}] families
+      (fault kinds: [corrupt], [io], [resource], [closed]). *)
 
   val path : t -> string
   val doc : t -> Xdm.Doc.t option

@@ -1,0 +1,72 @@
+(* Rotating JSONL access log. One mutex serializes writers (connection
+   threads and the dispatcher both land here); every line is flushed so
+   a SIGKILL loses at most the line being written. Rotation is
+   size-based and keeps exactly one predecessor: [path] is renamed to
+   [path ^ ".1"] (clobbering the previous one) and a fresh file is
+   opened — bounded disk, no background thread. *)
+
+type t = {
+  path : string;
+  max_bytes : int;
+  lock : Mutex.t;
+  mutable oc : out_channel;
+  mutable written : int;
+  mutable closed : bool;
+}
+
+let open_ ?(max_bytes = 8 * 1024 * 1024) path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  { path;
+    max_bytes = max 4096 max_bytes;
+    lock = Mutex.create ();
+    oc;
+    written = out_channel_length oc;
+    closed = false }
+
+let rotate t =
+  close_out_noerr t.oc;
+  (try Sys.rename t.path (t.path ^ ".1") with Sys_error _ -> ());
+  t.oc <- open_out_gen [ Open_append; Open_creat ] 0o644 t.path;
+  t.written <- 0
+
+let write t j =
+  let line = Xobs.Json.to_string j in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not t.closed then begin
+        if t.written > 0 && t.written + String.length line + 1 > t.max_bytes then
+          rotate t;
+        output_string t.oc line;
+        output_char t.oc '\n';
+        flush t.oc;
+        t.written <- t.written + String.length line + 1
+      end)
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        close_out_noerr t.oc
+      end)
+
+let entry ~ts_s ~request_id ~tenant ~status ~outcome ?code ?(quarantined = false)
+    ~queue_ms ~latency_ms ?deadline_remaining_ms ~bytes () =
+  Xobs.Json.Obj
+    ([ ("ts_s", Xobs.Json.Num ts_s);
+       ("request_id", Xobs.Json.Str request_id);
+       ("tenant", Xobs.Json.Str tenant);
+       ("status", Xobs.Json.Num (float_of_int status));
+       ("outcome", Xobs.Json.Str outcome) ]
+    @ (match code with Some c -> [ ("code", Xobs.Json.Str c) ] | None -> [])
+    @ (if quarantined then [ ("quarantined", Xobs.Json.Bool true) ] else [])
+    @ [ ("queue_ms", Xobs.Json.Num queue_ms);
+        ("latency_ms", Xobs.Json.Num latency_ms) ]
+    @ (match deadline_remaining_ms with
+      | Some d -> [ ("deadline_remaining_ms", Xobs.Json.Num d) ]
+      | None -> [])
+    @ [ ("bytes", Xobs.Json.Num (float_of_int bytes)) ])

@@ -1,0 +1,39 @@
+(** Rotating JSONL access log for the serving layer.
+
+    One entry per request (admitted or refused), written at
+    response-production time and flushed line-by-line; connection
+    threads and the dispatcher serialize on an internal mutex. When the
+    file would exceed [max_bytes] it is rotated to [path ^ ".1"]
+    (replacing any previous rotation), so disk use is bounded at roughly
+    [2 * max_bytes] with no background thread. *)
+
+type t
+
+val open_ : ?max_bytes:int -> string -> t
+(** Opens (appending) or creates [path]. [max_bytes] defaults to 8 MiB
+    and is clamped to at least 4 KiB. *)
+
+val write : t -> Xobs.Json.t -> unit
+(** Append one line (rotating first if needed) and flush. No-op after
+    {!close}. *)
+
+val close : t -> unit
+
+val entry :
+  ts_s:float ->
+  request_id:string ->
+  tenant:string ->
+  status:int ->
+  outcome:string ->
+  ?code:string ->
+  ?quarantined:bool ->
+  queue_ms:float ->
+  latency_ms:float ->
+  ?deadline_remaining_ms:float ->
+  bytes:int ->
+  unit ->
+  Xobs.Json.t
+(** The one canonical access-entry shape: timestamps/durations as
+    numbers (ms for durations), [outcome] one of
+    [ok]/[shed]/[expired]/[error], [code] the wire error code when the
+    request failed, [bytes] the response body size. *)

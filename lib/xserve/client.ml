@@ -37,20 +37,29 @@ let connect addr =
 let close t =
   try Unix.close (Proto.conn_fd t.conn) with Unix.Unix_error _ -> ()
 
-let request t ~meth ~path ?body () =
-  match Proto.write_request t.conn ~meth ~path ?body () with
+let request_full t ~meth ~path ?headers ?body () =
+  match Proto.write_request t.conn ~meth ~path ?headers ?body () with
   | Error m -> Error m
-  | Ok () -> (
-      match Proto.read_response t.conn with
-      | Error m -> Error m
-      | Ok (status, _headers, body) -> Ok (status, body))
+  | Ok () -> Proto.read_response t.conn
 
-type reply = { status : int; body : Json.t option; raw : string }
+let request t ~meth ~path ?body () =
+  Result.map (fun (status, _headers, body) -> (status, body))
+    (request_full t ~meth ~path ?body ())
 
-let reply_of (status, raw) =
-  { status; body = Result.to_option (Json.of_string raw); raw }
+type reply = {
+  status : int;
+  request_id : string option;
+  body : Json.t option;
+  raw : string;
+}
 
-let query t ~tenant ?deadline_ms ?max_tuples ?max_steps q =
+let reply_of (status, headers, raw) =
+  { status;
+    request_id = List.assoc_opt Proto.request_id_header headers;
+    body = Result.to_option (Json.of_string raw);
+    raw }
+
+let query t ~tenant ?deadline_ms ?max_tuples ?max_steps ?request_id q =
   let body =
     Proto.query_request_to_json
       { Proto.q_tenant = tenant;
@@ -59,7 +68,13 @@ let query t ~tenant ?deadline_ms ?max_tuples ?max_steps q =
         q_max_tuples = max_tuples;
         q_max_steps = max_steps }
   in
-  Result.map reply_of (request t ~meth:"POST" ~path:"/query" ~body ())
+  let headers =
+    match request_id with
+    | Some id -> [ ("X-Request-Id", id) ]
+    | None -> []
+  in
+  Result.map reply_of
+    (request_full t ~meth:"POST" ~path:"/query" ~headers ~body ())
 
 let output r =
   Option.bind r.body (fun j -> Option.bind (Json.member "output" j) Json.to_str)
@@ -75,11 +90,15 @@ let metrics t =
   | Ok (200, body) -> Ok body
   | Ok (status, _) -> Error (Printf.sprintf "/metrics answered %d" status)
 
-let health t = Result.map reply_of (request t ~meth:"GET" ~path:"/healthz" ())
+let health t =
+  Result.map reply_of (request_full t ~meth:"GET" ~path:"/healthz" ())
+
+let get t path = request t ~meth:"GET" ~path ()
 
 let swap t ~tenant ~snapshot =
   let body =
     Json.to_string
       (Json.Obj [ ("tenant", Json.Str tenant); ("snapshot", Json.Str snapshot) ])
   in
-  Result.map reply_of (request t ~meth:"POST" ~path:"/admin/swap" ~body ())
+  Result.map reply_of
+    (request_full t ~meth:"POST" ~path:"/admin/swap" ~body ())

@@ -18,8 +18,25 @@ val request :
 (** One round-trip: [(status, body)], or [Error] on a transport
     failure (the connection is unusable afterwards). *)
 
+val request_full :
+  t ->
+  meth:string ->
+  path:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (int * (string * string) list * string, string) result
+(** {!request} with extra request headers and the response headers
+    (keys lowercased) in the result. *)
+
+val get : t -> string -> (int * string, string) result
+(** [get t path] — a bare GET round-trip, e.g. for the [/debug/*]
+    endpoints. *)
+
 type reply = {
   status : int;
+  request_id : string option;
+      (** the server-echoed [X-Request-Id] response header *)
   body : Xobs.Json.t option;  (** parsed body when it is JSON *)
   raw : string;
 }
@@ -30,10 +47,14 @@ val query :
   ?deadline_ms:float ->
   ?max_tuples:int ->
   ?max_steps:int ->
+  ?request_id:string ->
   string ->
   (reply, string) result
-(** [POST /query]. On a 200 reply, [body] carries the fields described
-    in {!Server}; on errors the [{"error":…}] object. *)
+(** [POST /query]. [request_id] is sent as [X-Request-Id] and — when it
+    passes {!Proto.valid_request_id} — comes back in [reply.request_id]
+    and the body's [request_id] field. On a 200 reply, [body] carries
+    the fields described in {!Server}; on errors the [{"error":…}]
+    object. *)
 
 val output : reply -> string option
 (** The ["output"] field of a 200 reply. *)

@@ -47,7 +47,10 @@ let run ~addr ~tenant ~queries ~concurrency ~duration_s ?deadline_ms () =
           Thread.delay 0.005
       | Ok c -> (
           let s0 = clock () in
-          match Client.query c ~tenant ?deadline_ms q with
+          (* Deterministic id per (worker, attempt): joins a loadgen
+             request to its server-side trace and access-log line. *)
+          let rid = Printf.sprintf "w%d-%d" idx !next in
+          match Client.query c ~tenant ?deadline_ms ~request_id:rid q with
           | Ok reply ->
               Metrics.observe h (clock () -. s0);
               if reply.Client.status = 200 then Atomic.incr ok

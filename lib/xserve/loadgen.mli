@@ -35,7 +35,10 @@ val run :
 (** Drive the server at [addr] for [duration_s] seconds. Each thread
     cycles through [queries] round-robin (offset by its index, so
     concurrent threads mix queries). A thread whose connection dies
-    reconnects and counts the failure as an error. *)
+    reconnects and counts the failure as an error. Every request
+    carries a deterministic [X-Request-Id] ([w<worker>-<attempt>]), so
+    a [bench serve] run's server-side traces and access-log lines are
+    attributable end-to-end. *)
 
 val to_json : result -> Xobs.Json.t
 val pp : Format.formatter -> result -> unit

@@ -175,6 +175,7 @@ type response = {
   status : int;
   reason : string;
   content_type : string;
+  headers : (string * string) list;  (* extra headers, e.g. X-Request-Id *)
   body : string;
   close : bool;
 }
@@ -191,8 +192,9 @@ let reason_of = function
   | 503 -> "Service Unavailable"
   | _ -> "Unknown"
 
-let response ?(close = false) ?(content_type = "application/json") status body =
-  { status; reason = reason_of status; content_type; body; close }
+let response ?(close = false) ?(content_type = "application/json") ?(headers = [])
+    status body =
+  { status; reason = reason_of status; content_type; headers; body; close }
 
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
@@ -205,10 +207,14 @@ let write_all fd s =
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
 let write_response c r =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) r.headers)
+  in
   write_all c.fd
     (Printf.sprintf
-       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: %s\r\n\r\n%s"
-       r.status r.reason r.content_type (String.length r.body)
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: %s\r\n\r\n%s"
+       r.status r.reason r.content_type (String.length r.body) extra
        (if r.close then "close" else "keep-alive")
        r.body)
 
@@ -236,11 +242,34 @@ let read_response c =
                       | Ok body -> Ok (status, headers, body))))
           | _ -> Error (Printf.sprintf "bad status line %S" status_line)))
 
-let write_request c ~meth ~path ?(body = "") () =
+let write_request c ~meth ~path ?(headers = []) ?(body = "") () =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
   write_all c.fd
     (Printf.sprintf
-       "%s %s HTTP/1.1\r\nHost: xam\r\nContent-Length: %d\r\nConnection: keep-alive\r\n\r\n%s"
-       meth path (String.length body) body)
+       "%s %s HTTP/1.1\r\nHost: xam\r\n%sContent-Length: %d\r\nConnection: keep-alive\r\n\r\n%s"
+       meth path extra (String.length body) body)
+
+(* --- Request ids ----------------------------------------------------------- *)
+
+let request_id_header = "x-request-id"
+
+let valid_request_id s =
+  let n = String.length s in
+  n > 0 && n <= 128
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':' -> true
+         | _ -> false)
+       s
+
+let with_request_id_body id body =
+  match Json.of_string body with
+  | Ok (Json.Obj fields) when not (List.mem_assoc "request_id" fields) ->
+      Json.to_string (Json.Obj (("request_id", Json.Str id) :: fields))
+  | _ -> body
 
 (* --- The query API -------------------------------------------------------- *)
 

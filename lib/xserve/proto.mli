@@ -33,13 +33,17 @@ type response = {
   status : int;
   reason : string;
   content_type : string;
+  headers : (string * string) list;
+      (** extra response headers, e.g. [X-Request-Id] *)
   body : string;
   close : bool;  (** send [Connection: close] and drop the connection *)
 }
 
-val response : ?close:bool -> ?content_type:string -> int -> string -> response
+val response :
+  ?close:bool -> ?content_type:string -> ?headers:(string * string) list ->
+  int -> string -> response
 (** [response status body] with the standard reason phrase;
-    [content_type] defaults to [application/json]. *)
+    [content_type] defaults to [application/json], [headers] to none. *)
 
 type conn
 (** A buffered connection: owns the read buffer that survives across
@@ -59,7 +63,30 @@ val read_response : conn -> (int * (string * string) list * string, string) resu
 (** Client side: status code, headers, body. *)
 
 val write_request :
-  conn -> meth:string -> path:string -> ?body:string -> unit -> (unit, string) result
+  conn -> meth:string -> path:string -> ?headers:(string * string) list ->
+  ?body:string -> unit -> (unit, string) result
+
+(** {1 Request ids}
+
+    Every request carries an id: client-suppliable via the
+    [X-Request-Id] header, otherwise assigned by the server. The id is
+    echoed back as a response header and as a [request_id] field in
+    every JSON object body (success and error alike), tagged onto the
+    request's root span, and written to the access log — the one join
+    key across all observability surfaces. *)
+
+val request_id_header : string
+(** ["x-request-id"] (headers are lowercased on parse). *)
+
+val valid_request_id : string -> bool
+(** Accepts 1–128 chars from [A-Za-z0-9._:-] — anything else (spaces,
+    control bytes, header-splitting CR/LF) is rejected and the server
+    assigns its own id instead of echoing hostile bytes. *)
+
+val with_request_id_body : string -> string -> string
+(** [with_request_id_body id body]: if [body] parses as a JSON object
+    without a [request_id] field, the id is prepended as one;
+    otherwise the body is returned unchanged. *)
 
 (** {1 The query API} *)
 

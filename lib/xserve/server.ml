@@ -8,6 +8,9 @@ module Engine = Xengine.Engine
 module Obs = Xobs.Obs
 module Metrics = Xobs.Metrics
 module Json = Xobs.Json
+module Trace = Xobs.Trace
+module Slowlog = Xobs.Slowlog
+module Export = Xobs.Export
 
 type config = {
   listen : Proto.addr;
@@ -17,6 +20,8 @@ type config = {
   default_budget : Engine.budget;
   lazy_tenants : bool;
   max_conns : int;
+  debug : bool;
+  access_log : string option;
 }
 
 let default_config listen =
@@ -26,7 +31,9 @@ let default_config listen =
     batch_max = 16;
     default_budget = Engine.unlimited;
     lazy_tenants = false;
-    max_conns = 256 }
+    max_conns = 256;
+    debug = false;
+    access_log = None }
 
 (* One response slot a connection thread blocks on while the dispatcher
    works. *)
@@ -69,6 +76,9 @@ type job = {
   j_deadline_abs : float option;  (* server clock, absolute *)
   j_enqueued : float;
   j_mail : mailbox;
+  j_id : string;  (* request id: the join key across trace/log/response *)
+  j_trace : Trace.t option;  (* root "request" trace when tracing is on *)
+  mutable j_dequeued : float;  (* stamped by the dispatcher; = j_enqueued until *)
 }
 
 type state = Created | Running | Draining | Stopped
@@ -95,6 +105,8 @@ type t = {
   conns_lock : Mutex.t;
   conns_gone : Condition.t;
   clock : Xobs.Clock.t;
+  alog : Accesslog.t option;
+  req_ids : int Atomic.t;  (* server-assigned request-id counter *)
   (* metrics *)
   m_requests : Metrics.counter;
   m_shed : Metrics.counter;
@@ -104,6 +116,9 @@ type t = {
   g_queue : Metrics.gauge;
   g_conns : Metrics.gauge;
   h_latency : Metrics.histogram;
+  (* labeled per-tenant families (bounded cardinality, "other" overflow) *)
+  f_requests : Metrics.counter_family;
+  f_latency : Metrics.histogram_family;
 }
 
 let create ?obs cfg tenants =
@@ -139,6 +154,8 @@ let create ?obs cfg tenants =
     conns_lock = Mutex.create ();
     conns_gone = Condition.create ();
     clock = obs.Obs.clock;
+    alog = Option.map (fun p -> Accesslog.open_ p) cfg.access_log;
+    req_ids = Atomic.make 1;
     m_requests =
       Metrics.counter reg ~help:"Query requests received" "serve_requests_total";
     m_shed =
@@ -159,7 +176,15 @@ let create ?obs cfg tenants =
       Metrics.gauge reg ~help:"Open client connections" "serve_connections";
     h_latency =
       Metrics.histogram reg ~help:"Admission-to-response latency"
-        "serve_request_seconds" }
+        "serve_request_seconds";
+    f_requests =
+      Metrics.counter_family reg
+        ~help:"Query requests by tenant and outcome (ok/shed/expired/error)"
+        "serve_tenant_requests_total" ~labels:[ "tenant"; "outcome" ];
+    f_latency =
+      Metrics.histogram_family reg
+        ~help:"Admission-to-response latency by tenant"
+        "serve_tenant_request_seconds" ~labels:[ "tenant" ] }
 
 let obs t = t.obs
 let draining t = Mutex.lock t.lock; let d = t.st <> Running in Mutex.unlock t.lock; d
@@ -200,22 +225,80 @@ let tenant_engine t tn =
       | Some path -> (
           match
             Engine.of_snapshot_r ~obs:t.obs ~lazy_extents:t.cfg.lazy_tenants
-              path
+              ~label:tn.tn_name path
           with
           | Ok e ->
               tn.tn_engine <- Some e;
               Ok e
           | Error x -> Error (Proto.of_xerror ~quarantined:[] x)))
 
+(* --- Observability finalization --------------------------------------------- *)
+
+(* Every answered request, admitted or refused, funnels through one of
+   the finalize points below: outcome classification, labeled per-tenant
+   counters, the root trace's close + slowlog record, and the access-log
+   line all happen in exactly one place per path. *)
+
+let outcome_of_status = function
+  | 200 -> "ok"
+  | 429 -> "shed"
+  | 408 -> "expired"
+  | _ -> "error"
+
+(* The wire error code, for the access log ("overloaded", "draining",
+   "budget_exceeded", ...). Only error bodies carry one. *)
+let code_of_body body =
+  match Json.of_string body with
+  | Error _ -> None
+  | Ok j ->
+      Option.bind (Json.member "error" j) (fun e ->
+          Option.bind (Json.member "code" e) Json.to_str)
+
+let log_access t ~rid ~tenant ?quarantined ~queue_ms ~latency_ms
+    ?deadline_remaining_ms (resp : Proto.response) =
+  match t.alog with
+  | None -> ()
+  | Some al ->
+      let code =
+        if resp.Proto.status = 200 then None else code_of_body resp.Proto.body
+      in
+      Accesslog.write al
+        (Accesslog.entry ~ts_s:(t.clock ()) ~request_id:rid ~tenant
+           ~status:resp.Proto.status
+           ~outcome:(outcome_of_status resp.Proto.status) ?code ?quarantined
+           ~queue_ms ~latency_ms ?deadline_remaining_ms
+           ~bytes:(String.length resp.Proto.body) ())
+
+(* A refusal produced before (or at) admission: no queue time, no trace.
+   [tenant] is "-" when the request never resolved to one. *)
+let refuse t ~rid ~tenant (resp : Proto.response) =
+  if tenant <> "-" then
+    Metrics.incr
+      (Metrics.counter_in t.f_requests
+         [ tenant; outcome_of_status resp.Proto.status ]);
+  log_access t ~rid ~tenant ~queue_ms:0.0 ~latency_ms:0.0 resp;
+  resp
+
 (* --- Admission ------------------------------------------------------------- *)
 
 (* Admit a query or answer immediately: 503 when draining, 429 when the
    bounded queue is full. Returns the mailbox to wait on. *)
-let admit t tn engine (qr : Proto.query_request) =
+let admit t ~rid tn engine (qr : Proto.query_request) =
   let now = t.clock () in
   let budget = Proto.budget_of ~default:t.cfg.default_budget qr in
   let deadline_abs =
     Option.map (fun ms -> now +. (ms /. 1000.)) budget.Engine.deadline_ms
+  in
+  let trace =
+    if t.obs.Obs.tracing then begin
+      let tr =
+        Trace.start ~clock:t.clock ~id:(Obs.next_trace_id t.obs) "request"
+      in
+      Trace.tag (Trace.root tr) "request_id" rid;
+      Trace.tag (Trace.root tr) "tenant" tn.tn_name;
+      Some tr
+    end
+    else None
   in
   let job =
     { j_tenant = tn;
@@ -224,7 +307,10 @@ let admit t tn engine (qr : Proto.query_request) =
       j_budget = budget;
       j_deadline_abs = deadline_abs;
       j_enqueued = now;
-      j_mail = mailbox () }
+      j_mail = mailbox ();
+      j_id = rid;
+      j_trace = trace;
+      j_dequeued = now }
   in
   Mutex.lock t.lock;
   if t.st <> Running then begin
@@ -278,10 +364,34 @@ let response_of_result t job = function
                   Json.Num (float_of_int (List.length r.Engine.pattern_explains))
                 );
                 ( "queue_ms",
-                  Json.Num ((t.clock () -. job.j_enqueued) *. 1000.) ) ]))
+                  Json.Num ((job.j_dequeued -. job.j_enqueued) *. 1000.) ) ]))
 
+(* The single finalize point for every admitted job: unlabeled + labeled
+   metrics, the trace close + slowlog record, the access-log line, then
+   the mailbox delivery that unblocks the connection thread. *)
 let finish t job resp =
-  Metrics.observe t.h_latency (t.clock () -. job.j_enqueued);
+  let now = t.clock () in
+  let latency = now -. job.j_enqueued in
+  let tenant = job.j_tenant.tn_name in
+  let outcome = outcome_of_status resp.Proto.status in
+  Metrics.observe t.h_latency latency;
+  Metrics.incr (Metrics.counter_in t.f_requests [ tenant; outcome ]);
+  Metrics.observe (Metrics.histogram_in t.f_latency [ tenant ]) latency;
+  (match job.j_trace with
+  | None -> ()
+  | Some tr ->
+      let root = Trace.root tr in
+      Trace.tag root "outcome" outcome;
+      Trace.tag root "status" (string_of_int resp.Proto.status);
+      Trace.finish tr;
+      Slowlog.record t.obs.Obs.slowlog tr);
+  log_access t ~rid:job.j_id ~tenant
+    ~quarantined:(Engine.quarantined job.j_engine <> [])
+    ~queue_ms:((job.j_dequeued -. job.j_enqueued) *. 1000.)
+    ~latency_ms:(latency *. 1000.)
+    ?deadline_remaining_ms:
+      (Option.map (fun d -> (d -. now) *. 1000.) job.j_deadline_abs)
+    resp;
   deliver job.j_mail resp
 
 (* Execute one dequeued batch: expire jobs whose deadline passed while
@@ -290,6 +400,18 @@ let finish t job resp =
 let run_batch t jobs =
   Metrics.incr t.m_batches;
   let now = t.clock () in
+  (* Dequeue stamp + queue_wait span for every job, expired ones
+     included: a 408 trace still shows where the time went. *)
+  List.iter
+    (fun j ->
+      j.j_dequeued <- now;
+      match j.j_trace with
+      | None -> ()
+      | Some tr ->
+          ignore
+            (Trace.add_child tr ~parent:(Trace.root tr) ~name:"queue_wait"
+               ~t0:j.j_enqueued ~t1:now ~tags:[]))
+    jobs;
   let live =
     List.filter
       (fun j ->
@@ -338,11 +460,21 @@ let run_batch t jobs =
                   { j.j_budget with
                     Engine.deadline_ms = Some (max 0.1 ((d -. now) *. 1000.)) }
             in
-            (j.j_query, Some budget))
+            (* Time between dequeue and this group's execution start is
+               the dispatch overhead (expiry check + tenant grouping). *)
+            (match j.j_trace with
+            | None -> ()
+            | Some tr ->
+                ignore
+                  (Trace.add_child tr ~parent:(Trace.root tr) ~name:"dispatch"
+                     ~t0:j.j_dequeued ~t1:now ~tags:[]));
+            ( j.j_query,
+              Some budget,
+              Option.map (fun tr -> (tr, Trace.root tr)) j.j_trace ))
           jobs
       in
       let results =
-        try Engine.query_string_batch ~domains:t.cfg.domains engine items
+        try Engine.query_string_batch_traced ~domains:t.cfg.domains engine items
         with e ->
           List.map
             (fun _ -> Error (Xengine.Xerror.Exec_error (Printexc.to_string e)))
@@ -450,43 +582,93 @@ let handle_swap t body =
           Proto.error_response ~status:400 ~code:"malformed_request"
             ~stage:"serve" "body needs \"tenant\" and \"snapshot\" fields")
 
-let handle_query t body =
+let handle_query t ~rid body =
   Metrics.incr t.m_requests;
   match Proto.query_request_of_json body with
   | Error m ->
       Metrics.incr t.m_errors;
-      Proto.error_response ~status:400 ~code:"malformed_request" ~stage:"serve" m
+      refuse t ~rid ~tenant:"-"
+        (Proto.error_response ~status:400 ~code:"malformed_request"
+           ~stage:"serve" m)
   | Ok qr -> (
       match find_tenant t qr.Proto.q_tenant with
       | None ->
           Metrics.incr t.m_errors;
-          Proto.error_response ~status:404 ~code:"unknown_tenant" ~stage:"serve"
-            (Printf.sprintf "unknown tenant %S" qr.Proto.q_tenant)
+          (* The claimed name goes to the access log (free-form), but not
+             to the labeled family: unknown tenants are unbounded. *)
+          refuse t ~rid ~tenant:"-"
+            (Proto.error_response ~status:404 ~code:"unknown_tenant"
+               ~stage:"serve"
+               (Printf.sprintf "unknown tenant %S" qr.Proto.q_tenant))
       | Some tn -> (
           match tenant_engine t tn with
           | Error resp ->
               Metrics.incr t.m_errors;
-              resp
+              refuse t ~rid ~tenant:tn.tn_name resp
           | Ok engine -> (
-              match admit t tn engine qr with
-              | Error resp -> resp
+              match admit t ~rid tn engine qr with
+              | Error resp -> refuse t ~rid ~tenant:tn.tn_name resp
               | Ok mail -> await mail)))
 
+let jsonl_of_traces traces =
+  String.concat "" (List.map (fun tr -> Export.trace_jsonl tr ^ "\n") traces)
+
+let handle_debug t path =
+  if not t.cfg.debug then
+    Proto.error_response ~status:404 ~code:"malformed_request" ~stage:"serve"
+      "debug endpoints are disabled (start the server with --debug)"
+  else
+    match path with
+    | "/debug/traces" ->
+        Proto.response ~content_type:"application/jsonl" 200
+          (jsonl_of_traces (Slowlog.recent t.obs.Obs.slowlog))
+    | "/debug/slowlog" ->
+        Proto.response ~content_type:"application/jsonl" 200
+          (jsonl_of_traces (Slowlog.slow t.obs.Obs.slowlog))
+    | "/debug/metrics.json" ->
+        Proto.response 200
+          (Json.to_string (Export.metrics_json t.obs.Obs.metrics))
+    | _ ->
+        Proto.error_response ~status:404 ~code:"malformed_request"
+          ~stage:"serve" (Printf.sprintf "no such endpoint GET %s" path)
+
+(* The request id: the client's [X-Request-Id] when present and
+   well-formed, a server-assigned one otherwise. *)
+let request_id_of t (req : Proto.request) =
+  match List.assoc_opt Proto.request_id_header req.Proto.headers with
+  | Some v when Proto.valid_request_id v -> v
+  | _ ->
+      Printf.sprintf "r-%d-%d" (Unix.getpid ())
+        (Atomic.fetch_and_add t.req_ids 1)
+
 let handle_request t (req : Proto.request) =
-  match (req.Proto.meth, req.Proto.path) with
-  | "POST", "/query" -> handle_query t req.Proto.body
-  | "POST", "/admin/swap" -> handle_swap t req.Proto.body
-  | "GET", "/metrics" ->
-      Proto.response
-        ~content_type:"text/plain; version=0.0.4; charset=utf-8" 200
-        (Xobs.Export.prometheus t.obs.Obs.metrics)
-  | "GET", "/healthz" -> Proto.response 200 (health_body t)
-  | ("GET" | "POST"), _ ->
-      Proto.error_response ~status:404 ~code:"malformed_request" ~stage:"serve"
-        (Printf.sprintf "no such endpoint %s %s" req.Proto.meth req.Proto.path)
-  | m, _ ->
-      Proto.error_response ~status:405 ~code:"malformed_request" ~stage:"serve"
-        (Printf.sprintf "method %s not supported" m)
+  let rid = request_id_of t req in
+  let resp =
+    match (req.Proto.meth, req.Proto.path) with
+    | "POST", "/query" ->
+        let resp = handle_query t ~rid req.Proto.body in
+        (* Echo the id inside the body too, success and error alike. *)
+        { resp with Proto.body = Proto.with_request_id_body rid resp.Proto.body }
+    | "POST", "/admin/swap" -> handle_swap t req.Proto.body
+    | "GET", "/metrics" ->
+        Proto.response
+          ~content_type:"text/plain; version=0.0.4; charset=utf-8" 200
+          (Xobs.Export.prometheus t.obs.Obs.metrics)
+    | "GET", "/healthz" -> Proto.response 200 (health_body t)
+    | "GET", path
+      when String.length path >= 7 && String.sub path 0 7 = "/debug/" ->
+        handle_debug t path
+    | ("GET" | "POST"), _ ->
+        Proto.error_response ~status:404 ~code:"malformed_request"
+          ~stage:"serve"
+          (Printf.sprintf "no such endpoint %s %s" req.Proto.meth
+             req.Proto.path)
+    | m, _ ->
+        Proto.error_response ~status:405 ~code:"malformed_request"
+          ~stage:"serve" (Printf.sprintf "method %s not supported" m)
+  in
+  { resp with
+    Proto.headers = ("X-Request-Id", rid) :: resp.Proto.headers }
 
 (* --- Connection threads ---------------------------------------------------- *)
 
@@ -692,6 +874,7 @@ let stop t =
       Condition.wait t.conns_gone t.conns_lock
     done;
     Mutex.unlock t.conns_lock;
+    Option.iter Accesslog.close t.alog;
     match t.cfg.listen with
     | Proto.Unix_sock path -> (
         try if Sys.file_exists path then Unix.unlink path

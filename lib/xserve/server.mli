@@ -21,9 +21,26 @@
     tenant and executes each group through
     {!Xengine.Engine.query_string_batch} on [domains] domains.
 
+    {b Observability.} Every request carries a request id — the
+    client's [X-Request-Id] header when well-formed
+    ({!Proto.valid_request_id}), a server-assigned one otherwise — and
+    the id is echoed as a response header on every endpoint, as a
+    [request_id] body field on [/query] responses, tagged on the
+    request's root span and written to the access log: one join key
+    across all surfaces. When the shared {!Xobs.Obs.t} has tracing on,
+    each admitted request gets a root ["request"] trace (tagged
+    [request_id], [tenant], and at close [outcome]/[status]) with
+    explicit [queue_wait] and [dispatch] child spans stamped by the
+    dispatcher and an [execute] span wrapping the engine's own span
+    tree ({!Xengine.Engine.query_string_batch_traced}); finished traces
+    land in the slowlog ring. When [access_log] is set, every answered
+    request — admitted or refused — appends one JSON line
+    ({!Accesslog.entry}) to a rotating log.
+
     {b Endpoints.}
     - [POST /query] — body {!Proto.query_request}; 200 body carries
-      [output], [degraded], [quarantined], [queue_ms].
+      [request_id], [output], [degraded], [quarantined], [queue_ms]
+      (time from admission to dequeue).
     - [GET /metrics] — Prometheus text exposition of the shared
       registry: the serve_* metrics below plus every engine metric
       (tenant engines are opened with the server's {!Xobs.Obs.t}).
@@ -31,6 +48,10 @@
     - [POST /admin/swap] — body [{"tenant":t,"snapshot":path}]: hot-swap
       the tenant's catalog via {!Xengine.Engine.load_snapshot_r}; on any
       failure the running catalog stays untouched.
+    - [GET /debug/traces], [GET /debug/slowlog] — the slowlog ring /
+      over-threshold traces as JSONL; [GET /debug/metrics.json] — the
+      registry as {!Xobs.Export.metrics_json}. All three 404 unless
+      [debug] is set.
 
     {b Drain.} {!stop} (or SIGTERM/SIGINT under {!run}) stops accepting,
     answers new requests with 503 [draining], lets every admitted
@@ -38,9 +59,18 @@
     threads. {!run} returns normally after a clean drain, so the
     process exits 0.
 
-    {b Metrics.} [serve_requests_total], [serve_shed_total],
+    {b Metrics.} Unlabeled: [serve_requests_total], [serve_shed_total],
     [serve_expired_total], [serve_errors_total], [serve_batches_total],
-    [serve_queue_depth], [serve_connections], [serve_request_seconds]. *)
+    [serve_queue_depth], [serve_connections], [serve_request_seconds].
+    Labeled (bounded cardinality, see {!Xobs.Metrics.counter_family}):
+    [serve_tenant_requests_total{tenant,outcome}] with outcome one of
+    [ok]/[shed]/[expired]/[error] (unknown tenant names are {e not} used
+    as label values — they are client-controlled and unbounded), and
+    [serve_tenant_request_seconds{tenant}] observing admitted requests
+    only. Tenant engines opened lazily carry their tenant name as the
+    engine label, so [persist_partition_pageins{tenant}] and
+    [persist_partition_faults_by_tenant{tenant,kind}] attribute paging
+    to tenants too. *)
 
 type config = {
   listen : Proto.addr;  (** TCP port 0 picks an ephemeral port *)
@@ -51,11 +81,14 @@ type config = {
       (** per-request budget when the request doesn't set one *)
   lazy_tenants : bool;  (** open tenant snapshots with lazy extent paging *)
   max_conns : int;  (** concurrent connections before refusing new ones *)
+  debug : bool;  (** serve the [/debug/*] endpoints *)
+  access_log : string option;
+      (** JSONL access-log path ({!Accesslog}); [None] disables *)
 }
 
 val default_config : Proto.addr -> config
 (** [queue_depth 64], [domains 1], [batch_max 16], unlimited budget,
-    eager tenants, [max_conns 256]. *)
+    eager tenants, [max_conns 256], debug off, no access log. *)
 
 type t
 

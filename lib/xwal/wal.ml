@@ -253,6 +253,7 @@ module Writer = struct
     m_bytes : Xobs.Metrics.counter;
     m_segments : Xobs.Metrics.counter;
     h_fsync : Xobs.Metrics.histogram;
+    h_append : Xobs.Metrics.histogram;
   }
 
   type cur = { fd : Unix.file_descr; path : string; mutable bytes : int }
@@ -316,6 +317,10 @@ module Writer = struct
             h_fsync =
               Xobs.Metrics.histogram reg ~help:"WAL fsync latency"
                 "wal_fsync_seconds";
+            h_append =
+              Xobs.Metrics.histogram reg
+                ~help:"whole WAL append latency (frame write + rotation + fsync)"
+                "wal_append_seconds";
           })
         metrics
     in
@@ -353,6 +358,7 @@ module Writer = struct
     else
       let lsn = t.wlsn + 1 in
       let frame = encode_frame { lsn; op } in
+      let t_start = Unix.gettimeofday () in
       try
         (match t.cur with
         | Some c
@@ -382,7 +388,8 @@ module Writer = struct
         Option.iter
           (fun m ->
             Xobs.Metrics.incr m.m_appends;
-            Xobs.Metrics.add m.m_bytes (String.length frame))
+            Xobs.Metrics.add m.m_bytes (String.length frame);
+            Xobs.Metrics.observe m.h_append (Unix.gettimeofday () -. t_start))
           t.meters;
         Ok (lsn, String.length frame)
       with e -> fs_error e

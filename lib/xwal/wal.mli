@@ -74,7 +74,8 @@ module Writer : sig
       1 MiB); [sync] (default [true]) fsyncs every append. When
       [metrics] is given, registers [wal_appends_total],
       [wal_append_bytes_total], [wal_segments_created_total] and the
-      [wal_fsync_seconds] histogram. *)
+      [wal_fsync_seconds] and [wal_append_seconds] histograms (fsync
+      alone vs the whole append: frame write + rotation + fsync). *)
 
   val append : t -> op -> (int * int, string) result
   (** Frame, append and (when [sync]) fsync one record; returns its

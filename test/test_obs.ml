@@ -296,7 +296,19 @@ let metric_fingerprint (obs : Obs.t) =
       | Metrics.Gauge _ -> None
       | Metrics.Histogram h ->
           (* Timings differ run to run; the observation counts may not. *)
-          Some (name, (Metrics.snapshot h).Metrics.count))
+          Some (name, (Metrics.snapshot h).Metrics.count)
+      | Metrics.Counter_family f ->
+          Some
+            ( name,
+              List.fold_left
+                (fun acc (_, c) -> acc + Metrics.counter_value c)
+                0 (Metrics.counter_children f) )
+      | Metrics.Histogram_family f ->
+          Some
+            ( name,
+              List.fold_left
+                (fun acc (_, h) -> acc + (Metrics.snapshot h).Metrics.count)
+                0 (Metrics.histogram_children f) ))
     (Metrics.metrics obs.Obs.metrics)
 
 let test_batch_metrics_deterministic () =
@@ -364,7 +376,274 @@ let test_validator_rejects_garbage () =
         "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
          h_sum 1\nh_count 5\n" );
       ( "+Inf disagreeing with count",
-        "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n" ) ]
+        "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n" );
+      (* Malformed label sets: every one of these must be rejected. *)
+      ("an unterminated label value", "m{a=\"x} 1\n");
+      ("an unquoted label value", "m{a=x} 1\n");
+      ("a label name starting with a digit", "m{9a=\"x\"} 1\n");
+      ("a duplicate label name", "m{a=\"x\",a=\"y\"} 1\n");
+      ("a trailing comma", "m{a=\"x\",} 1\n");
+      ("a missing equals sign", "m{a\"x\"} 1\n");
+      ("an illegal escape", "m{a=\"\\q\"} 1\n");
+      ("a raw newline in a label value", "m{a=\"x\ny\"} 1\n");
+      ("an unclosed label set", "m{a=\"x\" 1\n") ]
+
+(* --- Labeled families --------------------------------------------------- *)
+
+let test_family_basics () =
+  let reg = Metrics.create () in
+  let f =
+    Metrics.counter_family reg ~help:"requests" "req_total"
+      ~labels:[ "tenant"; "outcome" ]
+  in
+  Metrics.incr (Metrics.counter_in f [ "a"; "ok" ]);
+  Metrics.incr (Metrics.counter_in f [ "a"; "ok" ]);
+  Metrics.incr (Metrics.counter_in f [ "b"; "shed" ]);
+  Alcotest.(check int) "same labels share the child" 2
+    (Metrics.counter_value (Metrics.counter_in f [ "a"; "ok" ]));
+  Alcotest.(check int) "two children" 2
+    (List.length (Metrics.counter_children f));
+  Alcotest.(check (list string)) "label names kept"
+    [ "tenant"; "outcome" ]
+    (Metrics.counter_family_labels f);
+  (* Re-registration must agree on the label names. *)
+  ignore (Metrics.counter_family reg "req_total" ~labels:[ "tenant"; "outcome" ]);
+  Alcotest.check_raises "label mismatch rejected"
+    (Invalid_argument
+       "Metrics: req_total already registered with labels (tenant,outcome)")
+    (fun () -> ignore (Metrics.counter_family reg "req_total" ~labels:[ "x" ]));
+  Alcotest.check_raises "arity mismatch rejected"
+    (Invalid_argument "Metrics: req_total expects 2 label value(s), got 1")
+    (fun () -> ignore (Metrics.counter_in f [ "a" ]));
+  let text = Export.prometheus reg in
+  (match Export.validate_prometheus text with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "family exposition invalid: %s" m);
+  Alcotest.(check bool) "labeled sample rendered" true
+    (List.exists
+       (fun l -> l = "req_total{tenant=\"a\",outcome=\"ok\"} 2")
+       (String.split_on_char '\n' text))
+
+let test_family_overflow () =
+  let reg = Metrics.create () in
+  let f =
+    Metrics.counter_family reg ~max_children:3 "cap_total" ~labels:[ "t" ]
+  in
+  for i = 1 to 10 do
+    Metrics.incr (Metrics.counter_in f [ Printf.sprintf "t%d" i ])
+  done;
+  let children = Metrics.counter_children f in
+  Alcotest.(check int) "cap + overflow child" 4 (List.length children);
+  Alcotest.(check bool) "overflow child exists" true
+    (List.mem_assoc [ "other" ] children);
+  Alcotest.(check int) "overflow absorbed the excess" 7
+    (Metrics.counter_value (List.assoc [ "other" ] children));
+  let total =
+    List.fold_left (fun s (_, c) -> s + Metrics.counter_value c) 0 children
+  in
+  Alcotest.(check int) "no increment lost" 10 total;
+  (* The all-"other" key is the overflow child, even addressed directly. *)
+  Metrics.incr (Metrics.counter_in f [ "other" ]);
+  Alcotest.(check int) "direct \"other\" hits the overflow child" 8
+    (Metrics.counter_value (List.assoc [ "other" ] (Metrics.counter_children f)))
+
+let test_hostile_label_values () =
+  let reg = Metrics.create () in
+  let f = Metrics.counter_family reg "hostile_total" ~labels:[ "tenant" ] in
+  let h = Metrics.histogram_family reg "hostile_seconds" ~labels:[ "tenant" ] in
+  let hostile =
+    [ "back\\slash"; "quo\"te"; "new\nline"; "spa ce,comma"; "bra}ce{" ]
+  in
+  List.iter
+    (fun t ->
+      Metrics.incr (Metrics.counter_in f [ t ]);
+      Metrics.observe (Metrics.histogram_in h [ t ]) 0.01)
+    hostile;
+  let text = Export.prometheus reg in
+  match Export.validate_prometheus text with
+  | Error m -> Alcotest.failf "hostile labels broke the exposition: %s" m
+  | Ok () ->
+      Alcotest.(check bool) "escaped newline rendered" true
+        (List.exists
+           (fun l -> l = "hostile_total{tenant=\"new\\nline\"} 1")
+           (String.split_on_char '\n' text))
+
+let labeled_merge_assoc_prop =
+  QCheck2.Test.make ~name:"labeled merge is associative and exact" ~count:100
+    QCheck2.Gen.(
+      let samples = list_size (int_range 0 20) (float_range 1e-6 60.0) in
+      let set = triple samples samples samples in
+      triple set set set)
+    (fun (a, b, c) ->
+      let labeled (x, y, z) =
+        [ ([ "t0" ], snapshot_of x);
+          ([ "t1" ], snapshot_of y);
+          ([ "t2" ], snapshot_of z) ]
+      in
+      let cat (x1, y1, z1) (x2, y2, z2) = (x1 @ x2, y1 @ y2, z1 @ z2) in
+      let la = labeled a and lb = labeled b and lc = labeled c in
+      let l = Metrics.merge_labeled (Metrics.merge_labeled la lb) lc in
+      let r = Metrics.merge_labeled la (Metrics.merge_labeled lb lc) in
+      l = r && l = labeled (cat (cat a b) c))
+
+let test_family_cap_under_domains () =
+  (* Four domains hammer one family with 32 distinct tenants against a
+     cap of 8: the child set stays bounded and no observation is lost. *)
+  let reg = Metrics.create () in
+  let f =
+    Metrics.histogram_family reg ~max_children:8 "conc_seconds"
+      ~labels:[ "tenant" ]
+  in
+  let per_domain = 400 in
+  let body d () =
+    for i = 0 to per_domain - 1 do
+      let tenant = Printf.sprintf "t%d" ((i + (d * 7)) mod 32) in
+      Metrics.observe (Metrics.histogram_in f [ tenant ]) 0.001
+    done
+  in
+  let ds = List.init 4 (fun d -> Domain.spawn (body d)) in
+  List.iter Domain.join ds;
+  let children = Metrics.histogram_children f in
+  Alcotest.(check bool) "cardinality bounded by cap + overflow" true
+    (List.length children <= 9);
+  let total =
+    List.fold_left
+      (fun s (_, h) -> s + (Metrics.snapshot h).Metrics.count)
+      0 children
+  in
+  Alcotest.(check int) "every observation accounted for" (4 * per_domain) total
+
+let test_metrics_json_shape () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~help:"a counter" "c_total" in
+  Metrics.incr c;
+  Metrics.set_gauge (Metrics.gauge reg "g") 2.0;
+  Metrics.observe (Metrics.histogram reg "h_seconds") 0.01;
+  let f = Metrics.counter_family reg "f_total" ~labels:[ "tenant" ] in
+  Metrics.incr (Metrics.counter_in f [ "a" ]);
+  let j = Export.metrics_json reg in
+  (* The shape survives its own printer. *)
+  (match Json.of_string (Json.to_string j) with
+  | Error m -> Alcotest.failf "metrics_json does not round-trip: %s" m
+  | Ok _ -> ());
+  let member path =
+    List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some j) path
+  in
+  Alcotest.(check (option int)) "counter value" (Some 1)
+    (Option.bind (member [ "c_total"; "value" ]) Json.to_int);
+  Alcotest.(check (option string)) "help kept" (Some "a counter")
+    (Option.bind (member [ "c_total"; "help" ]) Json.to_str);
+  Alcotest.(check (option int)) "histogram count" (Some 1)
+    (Option.bind (member [ "h_seconds"; "count" ]) Json.to_int);
+  Alcotest.(check bool) "family carries label_names" true
+    (member [ "f_total"; "label_names" ] <> None);
+  match Option.bind (member [ "f_total"; "children" ]) Json.to_list with
+  | Some [ child ] ->
+      Alcotest.(check (option string)) "child labels decoded" (Some "a")
+        (Option.bind
+           (Option.bind (Json.member "labels" child) (Json.member "tenant"))
+           Json.to_str)
+  | _ -> Alcotest.fail "expected one family child"
+
+(* --- The offline analyzer (uload obs) ----------------------------------- *)
+
+let access_line ~rid ~tenant ~outcome ~latency_ms ~queue_ms =
+  Json.to_string
+    (Json.Obj
+       [ ("ts_s", Json.Num 1.0);
+         ("request_id", Json.Str rid);
+         ("tenant", Json.Str tenant);
+         ( "status",
+           Json.Num (match outcome with "ok" -> 200. | "shed" -> 429. | _ -> 500.)
+         );
+         ("outcome", Json.Str outcome);
+         ("queue_ms", Json.Num queue_ms);
+         ("latency_ms", Json.Num latency_ms);
+         ("bytes", Json.Num 10.0) ])
+
+let report_trace_line () =
+  (* A server-shaped trace: queue_wait + dispatch + an execute wrapper
+     with the engine's own execute span nested inside — the nested one
+     must NOT be double-counted. *)
+  let fc = Clock.fake ~now:0.0 () in
+  let tr = Trace.start ~clock:(Clock.clock fc) ~id:1 "request" in
+  let root = Trace.root tr in
+  Trace.tag root "request_id" "req-1";
+  Trace.tag root "tenant" "t1";
+  ignore (Trace.add_child tr ~parent:root ~name:"queue_wait" ~t0:0.0 ~t1:0.004 ~tags:[]);
+  ignore (Trace.add_child tr ~parent:root ~name:"dispatch" ~t0:0.004 ~t1:0.005 ~tags:[]);
+  Clock.advance fc 0.005;
+  Trace.span tr root "execute" (fun exec ->
+      Clock.advance fc 0.001;
+      Trace.span tr exec "execute" (fun _ -> Clock.advance fc 0.002);
+      Clock.advance fc 0.001);
+  Trace.finish tr;
+  Export.trace_jsonl tr
+
+let test_report_ingest () =
+  let lines =
+    [ access_line ~rid:"r1" ~tenant:"t1" ~outcome:"ok" ~latency_ms:10.0
+        ~queue_ms:2.0;
+      access_line ~rid:"r2" ~tenant:"t1" ~outcome:"ok" ~latency_ms:30.0
+        ~queue_ms:4.0;
+      access_line ~rid:"r3" ~tenant:"t1" ~outcome:"shed" ~latency_ms:0.0
+        ~queue_ms:0.0;
+      access_line ~rid:"r4" ~tenant:"t2" ~outcome:"expired" ~latency_ms:50.0
+        ~queue_ms:50.0;
+      "";
+      report_trace_line () ]
+  in
+  match Xobs.Report.of_lines lines with
+  | Error m -> Alcotest.failf "ingest failed: %s" m
+  | Ok rep ->
+      Alcotest.(check int) "lines seen" 5 (Xobs.Report.lines_seen rep);
+      let j = Xobs.Report.to_json rep in
+      let get path conv =
+        Option.bind
+          (List.fold_left
+             (fun acc k -> Option.bind acc (Json.member k))
+             (Some j) path)
+          conv
+      in
+      Alcotest.(check (option int)) "total requests" (Some 4)
+        (get [ "requests" ] Json.to_int);
+      Alcotest.(check (option int)) "t1 ok" (Some 2)
+        (get [ "tenants"; "t1"; "ok" ] Json.to_int);
+      Alcotest.(check (option int)) "t1 shed" (Some 1)
+        (get [ "tenants"; "t1"; "shed" ] Json.to_int);
+      Alcotest.(check (option int)) "t2 expired" (Some 1)
+        (get [ "tenants"; "t2"; "expired" ] Json.to_int);
+      (* Exact percentiles over t1's latencies [10; 30]. *)
+      Alcotest.(check (option (float 1e-9))) "t1 p50" (Some 10.0)
+        (get [ "tenants"; "t1"; "p50_ms" ] Json.to_float);
+      Alcotest.(check (option (float 1e-9))) "t1 p99" (Some 30.0)
+        (get [ "tenants"; "t1"; "p99_ms" ] Json.to_float);
+      (* The span breakdown counts the outer execute wrapper once. *)
+      Alcotest.(check (option (float 1e-6))) "queue_wait total" (Some 4.0)
+        (get [ "traces"; "queue_wait_ms_total" ] Json.to_float);
+      Alcotest.(check (option (float 1e-6))) "dispatch total" (Some 1.0)
+        (get [ "traces"; "dispatch_ms_total" ] Json.to_float);
+      Alcotest.(check (option (float 1e-6))) "execute counted once" (Some 4.0)
+        (get [ "traces"; "execute_ms_total" ] Json.to_float);
+      (* The slowest list carries tenant + request id from root tags. *)
+      match Json.member "slowest" j with
+      | Some (Json.Arr (slow :: _)) ->
+          Alcotest.(check (option string)) "slow trace attributed" (Some "t1")
+            (Option.bind (Json.member "tenant" slow) Json.to_str);
+          Alcotest.(check (option string)) "slow trace request id"
+            (Some "req-1")
+            (Option.bind (Json.member "request_id" slow) Json.to_str)
+      | _ -> Alcotest.fail "expected a non-empty slowest list"
+
+let test_report_strict () =
+  (match Xobs.Report.of_lines [ "{\"request_id\":\"a\"}"; "not json" ] with
+  | Ok _ -> Alcotest.fail "unparsable line accepted"
+  | Error m ->
+      Alcotest.(check bool) "error names the line" true
+        (String.length m >= 7 && String.sub m 0 7 = "line 2:"));
+  match Xobs.Report.of_lines [ "" ] with
+  | Ok rep -> Alcotest.(check int) "blank lines skipped" 0 (Xobs.Report.lines_seen rep)
+  | Error m -> Alcotest.failf "blank line rejected: %s" m
 
 (* --- Fake clock drives the engine end to end --------------------------- *)
 
@@ -414,4 +693,17 @@ let () =
         [ Alcotest.test_case "prometheus after chaos" `Quick
             test_prometheus_after_chaos;
           Alcotest.test_case "validator rejects garbage" `Quick
-            test_validator_rejects_garbage ] ) ]
+            test_validator_rejects_garbage ] );
+      ( "labeled",
+        [ Alcotest.test_case "family basics" `Quick test_family_basics;
+          Alcotest.test_case "cardinality cap overflow" `Quick
+            test_family_overflow;
+          Alcotest.test_case "hostile label values" `Quick
+            test_hostile_label_values;
+          QCheck_alcotest.to_alcotest labeled_merge_assoc_prop;
+          Alcotest.test_case "cap holds under 4 domains" `Quick
+            test_family_cap_under_domains;
+          Alcotest.test_case "metrics_json shape" `Quick test_metrics_json_shape ] );
+      ( "report",
+        [ Alcotest.test_case "ingest and attribute" `Quick test_report_ingest;
+          Alcotest.test_case "strict line errors" `Quick test_report_strict ] ) ]

@@ -36,10 +36,10 @@ let tmp_sock =
 
 (* A fresh server on its own socket; engines are injected directly so
    each test controls its tenants' construction. *)
-let with_server ?(cfg = fun c -> c) engines f =
+let with_server ?(cfg = fun c -> c) ?obs engines f =
   let sock = tmp_sock () in
   let config = cfg (Server.default_config (Proto.Unix_sock sock)) in
-  let srv = Server.create config [] in
+  let srv = Server.create ?obs config [] in
   List.iter (fun (name, e) -> Server.add_engine srv name e) engines;
   Server.start srv;
   Fun.protect
@@ -343,6 +343,221 @@ let test_metrics_exposition () =
              !found))
         [ "serve_requests_total"; "serve_queue_depth"; "serve_request_seconds" ]
 
+(* --- request id: one join key across wire, traces and access log ---------- *)
+
+let test_request_id_round_trip () =
+  let alog = Filename.temp_file "xam_serve" ".access.jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ alog; alog ^ ".1" ])
+  @@ fun () ->
+  let obs = Xobs.Obs.create ~tracing:true () in
+  let engine = Engine.create ~obs ~doc (catalog ()) in
+  with_server
+    ~cfg:(fun c -> { c with Server.debug = true; access_log = Some alog })
+    ~obs
+    [ ("t", engine) ]
+  @@ fun _srv addr ->
+  with_client addr @@ fun c ->
+  let rid = "cli-00042" in
+  (match Client.query c ~tenant:"t" ~request_id:rid q_titles with
+  | Error m -> Alcotest.failf "transport: %s" m
+  | Ok reply ->
+      Alcotest.(check int) "status" 200 reply.Client.status;
+      Alcotest.(check (option string))
+        "client id echoed in the response header" (Some rid)
+        reply.Client.request_id;
+      Alcotest.(check (option string))
+        "client id echoed in the body" (Some rid)
+        (Option.bind
+           (Option.bind reply.Client.body (Json.member "request_id"))
+           Json.to_str));
+  (* A malformed id (space) is replaced by a server-assigned one. *)
+  (match Client.query c ~tenant:"t" ~request_id:"not a valid id" q_titles with
+  | Error m -> Alcotest.failf "transport: %s" m
+  | Ok reply -> (
+      match reply.Client.request_id with
+      | Some id ->
+          Alcotest.(check bool) "malformed id replaced" true
+            (id <> "not a valid id" && Proto.valid_request_id id)
+      | None -> Alcotest.fail "no request id assigned"));
+  (* The trace export carries the id: /debug/traces is JSONL, every line
+     parses, and one trace is tagged with the client's id. *)
+  (match Client.get c "/debug/traces" with
+  | Error m -> Alcotest.failf "debug/traces: %s" m
+  | Ok (status, body) ->
+      Alcotest.(check int) "debug/traces status" 200 status;
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' body)
+      in
+      Alcotest.(check bool) "trace lines present" true (List.length lines >= 2);
+      (match Xobs.Report.of_lines lines with
+      | Error m -> Alcotest.failf "trace line does not parse: %s" m
+      | Ok _ -> ());
+      let tagged tr =
+        match Option.bind (Json.member "root" tr) (Json.member "tags") with
+        | Some tags -> (
+            match Option.bind (Json.member "request_id" tags) Json.to_str with
+            | Some id -> id = rid
+            | None -> false)
+        | None -> false
+      in
+      Alcotest.(check bool) "a trace is tagged with the client id" true
+        (List.exists
+           (fun l ->
+             match Json.of_string l with Ok j -> tagged j | Error _ -> false)
+           lines));
+  (* /debug/metrics.json parses and carries the labeled family. *)
+  (match Client.get c "/debug/metrics.json" with
+  | Error m -> Alcotest.failf "debug/metrics.json: %s" m
+  | Ok (status, body) -> (
+      Alcotest.(check int) "debug/metrics.json status" 200 status;
+      match Json.of_string body with
+      | Error m -> Alcotest.failf "metrics.json does not parse: %s" m
+      | Ok j ->
+          Alcotest.(check bool) "labeled family exported" true
+            (Json.member "serve_tenant_requests_total" j <> None)));
+  (* /metrics with tenant labels still validates. *)
+  (match Client.metrics c with
+  | Error m -> Alcotest.failf "metrics: %s" m
+  | Ok text -> (
+      match Xobs.Export.validate_prometheus text with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "labeled exposition invalid: %s" m));
+  (* And the access log has the same id on a flushed line. *)
+  let log_lines =
+    In_channel.with_open_bin alog In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  match Xobs.Report.of_lines log_lines with
+  | Error m -> Alcotest.failf "access-log line does not parse: %s" m
+  | Ok _ ->
+      Alcotest.(check bool) "access log carries the client id" true
+        (List.exists
+           (fun l ->
+             match Json.of_string l with
+             | Ok j ->
+                 Option.bind (Json.member "request_id" j) Json.to_str
+                 = Some rid
+                 && Option.bind (Json.member "tenant" j) Json.to_str
+                    = Some "t"
+             | Error _ -> false)
+           log_lines)
+
+(* --- /debug/* is opt-in ----------------------------------------------------- *)
+
+let test_debug_gated () =
+  let engine = Engine.create ~doc (catalog ()) in
+  with_server [ ("t", engine) ] @@ fun _srv addr ->
+  with_client addr @@ fun c ->
+  List.iter
+    (fun path ->
+      match Client.get c path with
+      | Error m -> Alcotest.failf "transport: %s" m
+      | Ok (status, _) ->
+          Alcotest.(check int) (path ^ " is 404 without --debug") 404 status)
+    [ "/debug/traces"; "/debug/slowlog"; "/debug/metrics.json" ]
+
+(* --- a queue-expired request still leaves a trace --------------------------
+   Fake clock drives the server; a blocker occupies the batch_max=1
+   dispatcher (real sleep in its storage), the victim sits in the queue
+   while the fake clock jumps past its deadline. The 408 must land in
+   the slowlog ring as a finished trace tagged with the victim's
+   request id, outcome "expired", and a queue_wait span covering the
+   (fake) time in queue. *)
+
+let test_expired_request_traced () =
+  let fc = Xobs.Clock.fake ~now:100.0 () in
+  let obs = Xobs.Obs.create ~clock:(Xobs.Clock.clock fc) ~tracing:true () in
+  let slow = Engine.create ~doc ~env_wrap:(slow_wrap 0.05) (catalog ()) in
+  with_server
+    ~cfg:(fun c -> { c with Server.batch_max = 1; queue_depth = 32 })
+    ~obs
+    [ ("t", slow) ]
+  @@ fun srv addr ->
+  let blocker =
+    Thread.create
+      (fun () -> with_client addr @@ fun c -> query_ok c ~tenant:"t" q_titles)
+      ()
+  in
+  (* Wait (real time) until the blocker owns the dispatcher. *)
+  let rec await_dispatch n =
+    if Server.executing srv >= 1 then ()
+    else if n = 0 then Alcotest.fail "blocker never dispatched"
+    else (
+      Thread.delay 0.005;
+      await_dispatch (n - 1))
+  in
+  await_dispatch 400;
+  let victim = ref None in
+  let victim_thread =
+    Thread.create
+      (fun () ->
+        with_client addr @@ fun c ->
+        match
+          Client.query c ~tenant:"t" ~deadline_ms:50.0 ~request_id:"victim-1"
+            q_titles
+        with
+        | Ok reply -> victim := Some reply
+        | Error m -> Alcotest.failf "victim transport: %s" m)
+      ()
+  in
+  let rec await_queued n =
+    if Server.queue_depth srv >= 1 then ()
+    else if n = 0 then Alcotest.fail "victim never queued"
+    else (
+      Thread.delay 0.005;
+      await_queued (n - 1))
+  in
+  await_queued 400;
+  (* The fake clock jumps 1 s: the victim's 50 ms deadline is long gone
+     by the time the dispatcher gets to it. *)
+  Xobs.Clock.advance fc 1.0;
+  Thread.join blocker;
+  Thread.join victim_thread;
+  (match !victim with
+  | None -> Alcotest.fail "victim got no reply"
+  | Some r ->
+      Alcotest.(check int) "victim is 408" 408 r.Client.status;
+      Alcotest.(check (option string))
+        "code" (Some "budget_exceeded") (Client.error_code r);
+      Alcotest.(check (option string))
+        "victim keeps its request id" (Some "victim-1") r.Client.request_id);
+  let module Trace = Xobs.Trace in
+  let victim_trace =
+    List.find_opt
+      (fun tr -> List.assoc_opt "request_id" (Trace.tags (Trace.root tr))
+                 = Some "victim-1")
+      (Xobs.Slowlog.recent obs.Xobs.Obs.slowlog)
+  in
+  match victim_trace with
+  | None -> Alcotest.fail "expired request left no trace in the slowlog"
+  | Some tr ->
+      let root = Trace.root tr in
+      Alcotest.(check (option string))
+        "outcome tagged" (Some "expired")
+        (List.assoc_opt "outcome" (Trace.tags root));
+      Alcotest.(check (option string))
+        "status tagged" (Some "408")
+        (List.assoc_opt "status" (Trace.tags root));
+      (match
+         List.find_opt
+           (fun sp -> Trace.name sp = "queue_wait")
+           (Trace.children root)
+       with
+      | None -> Alcotest.fail "408 trace has no queue_wait span"
+      | Some qw ->
+          Alcotest.(check bool)
+            (Printf.sprintf "queue_wait covers the fake-clock jump (%.1f ms)"
+               (Trace.span_ms qw))
+            true
+            (Trace.span_ms qw >= 1000.0));
+      Alcotest.(check bool) "trace duration spans the queue wait" true
+        (Trace.duration_ms tr >= 1000.0)
+
 let () =
   Alcotest.run "serve"
     [ ( "serve",
@@ -357,4 +572,10 @@ let () =
           Alcotest.test_case "drain completes in-flight" `Quick
             test_drain_completes_inflight;
           Alcotest.test_case "metrics exposition" `Quick test_metrics_exposition
-        ] ) ]
+        ] );
+      ( "observability",
+        [ Alcotest.test_case "request id round trip" `Quick
+            test_request_id_round_trip;
+          Alcotest.test_case "debug endpoints gated" `Quick test_debug_gated;
+          Alcotest.test_case "expired request traced" `Quick
+            test_expired_request_traced ] ) ]
