@@ -643,11 +643,40 @@ let churn_op doc ~seed i =
         before = None;
         xml = Printf.sprintf "<w%d>t%d</w%d>" (i mod 7) i (i mod 7) }
 
+(* The local mirror of the engine's own mutation semantics, used to
+   generate op i+1 against the state after op i without a round trip
+   through the engine: both sides bottom out in the same Xdm.Doc
+   operations, so the mirror and the engine cannot diverge. *)
+let churn_mutate doc op =
+  match op with
+  | Xengine.Engine.Insert_subtree { parent; before; xml } -> (
+      match Xdm.Xml_tree.parse_result xml with
+      | Error msg -> failwith ("generated XML does not parse: " ^ msg)
+      | Ok tree -> Xdm.Doc.insert_subtree doc ~parent ?before tree)
+  | Xengine.Engine.Delete_subtree { node } -> Xdm.Doc.delete_subtree doc node
+  | Xengine.Engine.Update_value { node; value } ->
+      Xdm.Doc.update_value doc node value
+
 let churn_cmd =
   let ops_arg =
     Arg.(value & opt int 100 & info [ "ops" ] ~docv:"N" ~doc:"Total mutations to reach")
   in
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S") in
+  let batch_arg =
+    Arg.(value & opt int 1
+         & info [ "batch" ] ~docv:"B"
+             ~doc:"Apply mutations B at a time through the batched write \
+                   path (one group-committed WAL write per batch). Op i is \
+                   the same regardless of B, so runs with different batch \
+                   sizes converge on the same state")
+  in
+  let background_arg =
+    Arg.(value & flag
+         & info [ "background" ]
+             ~doc:"Checkpoint in a background thread \
+                   (Engine.checkpoint_background_r) instead of stalling the \
+                   write loop; at most one checkpoint in flight")
+  in
   let sleep_arg =
     Arg.(value & opt int 0
          & info [ "sleep-ms" ] ~docv:"MS"
@@ -664,13 +693,45 @@ let churn_cmd =
              ~doc:"After reaching N ops, print this XQuery's answer — \
                    byte-comparable across interrupted and clean runs")
   in
-  let run snap wal ops seed sleep_ms ckpt_every verify json =
+  let run snap wal ops seed batch background sleep_ms ckpt_every verify json =
     let engine, replayed = open_for_write ~json snap wal in
     let start = Xengine.Engine.lsn engine in
+    let batch = max 1 batch in
     if not json then
       Printf.printf "churn: resuming at lsn %d (%d replayed), target %d\n%!"
         start replayed ops;
-    for i = start + 1 to ops do
+    (* Checkpoint whenever the LSN crosses a multiple of K — with
+       batch 1 that is exactly the old "every K ops" cadence, and with
+       larger batches a batch spanning the boundary checkpoints once. *)
+    let ckpt_div = ref (if ckpt_every > 0 then start / ckpt_every else 0) in
+    let ckpt_thread = ref None in
+    let maybe_checkpoint () =
+      if ckpt_every > 0 then begin
+        let lsn = Xengine.Engine.lsn engine in
+        if lsn / ckpt_every > !ckpt_div then begin
+          ckpt_div := lsn / ckpt_every;
+          if background then begin
+            (match !ckpt_thread with Some th -> Thread.join th | None -> ());
+            ckpt_thread :=
+              Some
+                (Thread.create
+                   (fun () ->
+                     match Xengine.Engine.checkpoint_background_r engine snap with
+                     | Ok _ -> ()
+                     | Error e ->
+                         Printf.eprintf "churn: background checkpoint: %s\n%!"
+                           (Xengine.Xerror.to_string e))
+                   ())
+          end
+          else
+            match Xengine.Engine.checkpoint_r engine snap with
+            | Ok _ -> ()
+            | Error e -> die_xerror ~json e
+        end
+      end
+    in
+    let i = ref (start + 1) in
+    while !i <= ops do
       let doc =
         match Xengine.Engine.document engine with
         | Some d -> d
@@ -678,16 +739,25 @@ let churn_cmd =
            "snapshot" exits 1 (the "update" stage now exits 2) *)
         | None -> die ~json ~stage:"snapshot" "snapshot carries no document"
       in
-      (match Xengine.Engine.apply_r engine (churn_op doc ~seed i) with
+      let b = min batch (ops - !i + 1) in
+      (* Generate the batch against a local doc mirror: op k of the
+         batch is drawn from the state after op k-1, exactly as in the
+         unbatched loop, so the op sequence is independent of B. *)
+      let rec gen acc doc k =
+        if k >= b then List.rev acc
+        else
+          let op = churn_op doc ~seed (!i + k) in
+          gen (op :: acc) (churn_mutate doc op) (k + 1)
+      in
+      let batch_ops = gen [] doc 0 in
+      (match Xengine.Engine.apply_batch_r engine batch_ops with
       | Ok _ -> ()
       | Error e -> die_xerror ~json e);
-      if ckpt_every > 0 && i mod ckpt_every = 0 then begin
-        match Xengine.Engine.checkpoint_r engine snap with
-        | Ok _ -> ()
-        | Error e -> die_xerror ~json e
-      end;
-      if sleep_ms > 0 then Unix.sleepf (float_of_int sleep_ms /. 1000.)
+      maybe_checkpoint ();
+      if sleep_ms > 0 then Unix.sleepf (float_of_int sleep_ms /. 1000.);
+      i := !i + b
     done;
+    (match !ckpt_thread with Some th -> Thread.join th | None -> ());
     if json then
       print_endline
         (Xobs.Json.to_string
@@ -709,8 +779,8 @@ let churn_cmd =
        ~doc:"Drive a deterministic, resumable mutation workload against a \
              snapshot + WAL; killed at any point, rerunning the same command \
              recovers and converges on the same final state")
-    Term.(const run $ snap_pos_arg $ wal_arg $ ops_arg $ seed_arg $ sleep_arg
-          $ ckpt_arg $ verify_arg $ json_flag)
+    Term.(const run $ snap_pos_arg $ wal_arg $ ops_arg $ seed_arg $ batch_arg
+          $ background_arg $ sleep_arg $ ckpt_arg $ verify_arg $ json_flag)
 
 (* --- serve / client -------------------------------------------------------
    The network front end (lib/xserve): a multi-tenant HTTP/1.1 query
@@ -792,8 +862,15 @@ let serve_cmd =
              ~doc:"With $(b,--trace): additionally keep every trace at \
                    least this slow (the /debug/slowlog list)")
   in
+  let ckpt_every_arg =
+    Arg.(value & opt int 0
+         & info [ "checkpoint-every" ] ~docv:"K"
+             ~doc:"Background-checkpoint a tenant once its replay debt \
+                   reaches K records (0 = never); writes keep flowing \
+                   while the checkpoint runs")
+  in
   let run tenants host port socket queue domains batch deadline lazy_tenants
-      debug access_log trace slow_ms =
+      debug access_log trace slow_ms checkpoint_every =
     let listen =
       match socket with
       | Some path -> Xserve.Proto.Unix_sock path
@@ -807,6 +884,7 @@ let serve_cmd =
         lazy_tenants;
         debug;
         access_log;
+        checkpoint_every;
         default_budget =
           { Xengine.Engine.unlimited with Xengine.Engine.deadline_ms = deadline }
       }
@@ -844,7 +922,7 @@ let serve_cmd =
              graceful drain on SIGTERM (exit 0)")
     Term.(const run $ tenant_arg $ host_arg $ port_arg $ socket_arg $ queue_arg
           $ domains_arg $ batch_arg $ deadline_arg $ lazy_arg $ debug_arg
-          $ access_log_arg $ trace_arg $ slow_ms_arg)
+          $ access_log_arg $ trace_arg $ slow_ms_arg $ ckpt_every_arg)
 
 let client_cmd =
   let addr_arg =

@@ -741,6 +741,73 @@ let apply_r t op =
 let apply t op =
   match apply_r t op with Ok r -> r | Error e -> raise (Xerror.Error e)
 
+(* [apply_r] amortized over a batch: one apply-lock acquisition, one
+   maintenance pass (splice cost per batch, not per op), one
+   group-committed WAL write covering all N records, one install. The
+   WAL still holds N individual records and recovery replays them
+   one-by-one; maintenance is a deterministic function of the final
+   document over (modules ∪ dormant), so per-record replay converges on
+   the catalog the batch installed. All-or-nothing: an invalid op
+   anywhere in the batch applies none of it, and a WAL failure leaves
+   engine state untouched. Op [k+1]'s handles resolve against the
+   document after op [k], exactly as under sequential [apply_r]. *)
+let apply_batch_r t ops =
+  match ops with
+  | [] ->
+      Ok
+        { ap_lsn = t.lsn; ap_parts_kept = 0; ap_parts_rebuilt = 0;
+          ap_paths_added = []; ap_paths_removed = []; ap_dropped = [];
+          ap_resurrected = [] }
+  | _ ->
+      with_apply_lock t (fun () ->
+          let t0 = clk t () in
+          match
+            let doc0 =
+              match t.doc with
+              | Some d -> d
+              | None ->
+                  raise (update_invalid "engine holds no document to mutate")
+            in
+            List.fold_left mutate_doc doc0 ops
+          with
+          | exception Xerror.Error e -> Error e
+          | doc -> (
+              let st = clk t () in
+              let catalog, info = maintain t doc in
+              Metrics.observe t.m.h_splice (clk t () -. st);
+              let appended =
+                match t.wal with
+                | None -> Ok ()
+                | Some w -> (
+                    match Wal.Writer.append_batch w ops with
+                    | Ok _ -> Ok ()
+                    | Error reason ->
+                        Error
+                          (Xerror.Wal_error { path = Wal.Writer.dir w; reason }))
+              in
+              match appended with
+              | Error e -> Error e
+              | Ok () ->
+                  install_update t doc catalog info;
+                  t.lsn <- t.lsn + List.length ops;
+                  Metrics.add t.m.m_applies (List.length ops);
+                  Metrics.observe t.m.h_apply (clk t () -. t0);
+                  Metrics.set_gauge t.m.g_wal_lag
+                    (float_of_int (t.lsn - t.snapshot_lsn));
+                  Ok
+                    { ap_lsn = t.lsn;
+                      ap_parts_kept = info.mt_kept;
+                      ap_parts_rebuilt = info.mt_rebuilt;
+                      ap_paths_added = info.mt_paths_added;
+                      ap_paths_removed = info.mt_paths_removed;
+                      ap_dropped = info.mt_dropped;
+                      ap_resurrected = info.mt_resurrected }))
+
+let apply_batch t ops =
+  match apply_batch_r t ops with
+  | Ok r -> r
+  | Error e -> raise (Xerror.Error e)
+
 (* Replay is [apply_r] minus the WAL append: the record is already
    durable, so it goes straight through prepare + install. The LSN comes
    from the record, not a local increment — replay lands the engine at
@@ -754,7 +821,7 @@ let replay_one t (r : Wal.record) =
       Metrics.incr t.m.m_replayed;
       Ok ()
 
-let attach_wal_r ?fs ?sync ?segment_bytes t dir =
+let attach_wal_r ?fs ?sync ?segment_bytes ?commit_window ?max_batch t dir =
   let wal_err reason = Xerror.Wal_error { path = dir; reason } in
   with_apply_lock t (fun () ->
       if t.wal <> None then Error (wal_err "a WAL is already attached")
@@ -810,7 +877,8 @@ let attach_wal_r ?fs ?sync ?segment_bytes t dir =
                         Metrics.observe t.m.h_replay (clk t () -. rt0);
                         match
                           Wal.Writer.open_ ?fs ~metrics:t.obs.Obs.metrics
-                            ?segment_bytes ?sync ~dir ~lsn:t.lsn ()
+                            ?segment_bytes ?sync ?commit_window ?max_batch ~dir
+                            ~lsn:t.lsn ()
                         with
                         | Error reason -> Error (wal_err reason)
                         | Ok w ->
@@ -819,8 +887,8 @@ let attach_wal_r ?fs ?sync ?segment_bytes t dir =
                               (float_of_int (t.lsn - t.snapshot_lsn));
                             Ok (List.length todo))))))
 
-let attach_wal ?fs ?sync ?segment_bytes t dir =
-  match attach_wal_r ?fs ?sync ?segment_bytes t dir with
+let attach_wal ?fs ?sync ?segment_bytes ?commit_window ?max_batch t dir =
+  match attach_wal_r ?fs ?sync ?segment_bytes ?commit_window ?max_batch t dir with
   | Ok n -> n
   | Error e -> raise (Xerror.Error e)
 
@@ -859,6 +927,65 @@ let checkpoint t path =
   match checkpoint_r t path with
   | Ok r -> r
   | Error e -> raise (Xerror.Error e)
+
+(* Background checkpoint: [checkpoint_r] holds the apply lock for the
+   whole snapshot write, stalling every writer; this variant serializes
+   with applies at exactly two points. (1) Capture: under the state
+   lock, read the current document, catalog and LSN — installs swap
+   whole immutable references, so the three read together are one
+   consistent generation. (2) Install/truncate: under the apply lock,
+   advance [snapshot_lsn] to the captured LSN (unless a newer checkpoint
+   already passed it) and drop covered segments. The snapshot itself is
+   materialized and written with no engine lock held, so concurrent
+   applies proceed; they simply are not covered by this checkpoint.
+   Concurrent checkpoints to the same [path] must be serialized by the
+   caller (the server runs at most one per tenant) — two interleaved
+   writers could otherwise pair a stale file with a fresher
+   [snapshot_lsn] and truncate history the file does not cover.
+   [before_install] is a test seam between the write and step (2). *)
+let checkpoint_background_r ?(before_install = fun () -> ()) t path =
+  let t0 = clk t () in
+  let doc, resident, lazy_cat, captured =
+    with_lock t (fun () -> (t.doc, t.catalog, t.lazy_catalog, t.lsn))
+  in
+  match
+    let catalog =
+      match lazy_cat with
+      | None -> resident
+      | Some lc -> (
+          match Store.materialize_lazy lc with
+          | catalog -> catalog
+          | exception Store.Module_fault { name; reason } ->
+              raise
+                (Xerror.Error
+                   (Xerror.Storage_fault { module_name = name; reason })))
+    in
+    Xpersist.Snapshot.save ?doc ~lsn:captured ~metrics:t.obs.Obs.metrics path
+      catalog
+  with
+  | exception Xerror.Error e -> Error e
+  | Error reason -> Error (snapshot_error path reason)
+  | Ok bytes ->
+      before_install ();
+      with_apply_lock t (fun () ->
+          if captured > t.snapshot_lsn then begin
+            t.snapshot_lsn <- captured;
+            Metrics.set_gauge t.m.g_wal_lag
+              (float_of_int (t.lsn - t.snapshot_lsn))
+          end;
+          let res =
+            match t.wal with
+            | None -> Ok (bytes, 0)
+            | Some w -> (
+                match Wal.Writer.truncate_upto w t.snapshot_lsn with
+                | Ok removed -> Ok (bytes, removed)
+                | Error reason ->
+                    Error (Xerror.Wal_error { path = Wal.Writer.dir w; reason }))
+          in
+          (match res with
+          | Ok _ -> Metrics.observe t.m.h_checkpoint (clk t () -. t0)
+          | Error _ -> ());
+          res)
 
 let lsn t = t.lsn
 let snapshot_lsn t = t.snapshot_lsn

@@ -261,10 +261,27 @@ val apply_r : t -> mutation -> (apply_report, Xerror.t) Stdlib.result
 val apply : t -> mutation -> apply_report
 (** {!apply_r}, raising [Xerror.Error]. *)
 
+val apply_batch_r : t -> mutation list -> (apply_report, Xerror.t) Stdlib.result
+(** Apply N mutations as one write-path round: one apply-lock
+    acquisition, one maintenance/splice pass over the final document,
+    one group-committed WAL write covering all N records
+    ({!Xwal.Wal.Writer.append_batch} — a single acknowledged fsync), one
+    install. Op [k+1]'s handles resolve against the document after op
+    [k], exactly as under N sequential {!apply_r}s, and the WAL holds N
+    ordinary records, so recovery replays them one-by-one to the same
+    state. All-or-nothing: any invalid op rejects the whole batch with
+    state unchanged. The report carries the {e final} LSN and the single
+    maintenance pass's counts. An empty list is a no-op [Ok]. *)
+
+val apply_batch : t -> mutation list -> apply_report
+(** {!apply_batch_r}, raising [Xerror.Error]. *)
+
 val attach_wal_r :
   ?fs:Xwal.Fsio.ops ->
   ?sync:bool ->
   ?segment_bytes:int ->
+  ?commit_window:float ->
+  ?max_batch:int ->
   t ->
   string ->
   (int, Xerror.t) Stdlib.result
@@ -273,11 +290,19 @@ val attach_wal_r :
     writer so subsequent {!apply}s append. Returns how many records were
     replayed. Fails closed with [Wal_error] on mid-log corruption, an LSN
     gap above the snapshot base, or a record that no longer applies.
-    [fs] injects a filesystem (crash harness); [sync]/[segment_bytes] as
-    in {!Xwal.Wal.Writer.open_}. *)
+    [fs] injects a filesystem (crash harness);
+    [sync]/[segment_bytes]/[commit_window]/[max_batch] as in
+    {!Xwal.Wal.Writer.open_}. *)
 
 val attach_wal :
-  ?fs:Xwal.Fsio.ops -> ?sync:bool -> ?segment_bytes:int -> t -> string -> int
+  ?fs:Xwal.Fsio.ops ->
+  ?sync:bool ->
+  ?segment_bytes:int ->
+  ?commit_window:float ->
+  ?max_batch:int ->
+  t ->
+  string ->
+  int
 (** {!attach_wal_r}, raising [Xerror.Error]. *)
 
 val detach_wal : t -> unit
@@ -292,6 +317,22 @@ val checkpoint_r : t -> string -> (int * int, Xerror.t) Stdlib.result
 
 val checkpoint : t -> string -> int * int
 (** {!checkpoint_r}, raising [Xerror.Error]. *)
+
+val checkpoint_background_r :
+  ?before_install:(unit -> unit) ->
+  t ->
+  string ->
+  (int * int, Xerror.t) Stdlib.result
+(** {!checkpoint_r} without stalling writers: capture a consistent
+    (document, catalog, LSN) triple under the brief state lock, write
+    the snapshot with {e no} engine lock held — concurrent applies
+    proceed throughout — then take the apply lock only for the
+    install/truncate point (advance [snapshot_lsn] to the captured LSN
+    unless a newer checkpoint already passed it, truncate covered
+    segments). Applies that land during the write are simply not covered
+    by this checkpoint and stay in the WAL. Concurrent checkpoints to
+    the same path must be serialized by the caller. [before_install] is
+    a test seam run between the snapshot write and the install point. *)
 
 val lsn : t -> int
 (** Records applied so far — the WAL position of the engine's state. *)

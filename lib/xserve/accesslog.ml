@@ -9,25 +9,58 @@ type t = {
   path : string;
   max_bytes : int;
   lock : Mutex.t;
+  m_rotate_failures : Xobs.Metrics.counter option;
   mutable oc : out_channel;
   mutable written : int;
+  mutable rot_failed : int;
+  mutable rot_warned : bool;
   mutable closed : bool;
 }
 
-let open_ ?(max_bytes = 8 * 1024 * 1024) path =
+let open_ ?(max_bytes = 8 * 1024 * 1024) ?metrics path =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   { path;
     max_bytes = max 4096 max_bytes;
     lock = Mutex.create ();
+    m_rotate_failures =
+      Option.map
+        (fun reg ->
+          Xobs.Metrics.counter reg
+            ~help:"access-log rotations that failed (size bound not enforced)"
+            "accesslog_rotate_failures_total")
+        metrics;
     oc;
     written = out_channel_length oc;
+    rot_failed = 0;
+    rot_warned = false;
     closed = false }
 
+(* A failed rename must not be silent — it voids the size bound — and
+   must not stop the log: count it, warn on stderr once, and keep
+   appending to the same file. [written] is re-read from the reopened
+   file so the next write retries rotation (the bound self-heals the
+   moment the obstruction clears). *)
 let rotate t =
   close_out_noerr t.oc;
-  (try Sys.rename t.path (t.path ^ ".1") with Sys_error _ -> ());
-  t.oc <- open_out_gen [ Open_append; Open_creat ] 0o644 t.path;
-  t.written <- 0
+  match Sys.rename t.path (t.path ^ ".1") with
+  | () ->
+      t.oc <- open_out_gen [ Open_append; Open_creat ] 0o644 t.path;
+      t.written <- 0
+  | exception Sys_error msg ->
+      t.rot_failed <- t.rot_failed + 1;
+      Option.iter Xobs.Metrics.incr t.m_rotate_failures;
+      if not t.rot_warned then begin
+        t.rot_warned <- true;
+        Printf.eprintf
+          "accesslog: cannot rotate %s (%s); continuing in place, size bound \
+           not enforced\n\
+           %!"
+          t.path msg
+      end;
+      t.oc <- open_out_gen [ Open_append; Open_creat ] 0o644 t.path;
+      t.written <- out_channel_length t.oc
+
+let rotate_failures t = t.rot_failed
 
 let write t j =
   let line = Xobs.Json.to_string j in

@@ -9,13 +9,22 @@
 
 type t
 
-val open_ : ?max_bytes:int -> string -> t
+val open_ : ?max_bytes:int -> ?metrics:Xobs.Metrics.registry -> string -> t
 (** Opens (appending) or creates [path]. [max_bytes] defaults to 8 MiB
-    and is clamped to at least 4 KiB. *)
+    and is clamped to at least 4 KiB. When [metrics] is given, registers
+    [accesslog_rotate_failures_total]. *)
 
 val write : t -> Xobs.Json.t -> unit
 (** Append one line (rotating first if needed) and flush. No-op after
-    {!close}. *)
+    {!close}. A rotation whose rename fails (predecessor unrenameable,
+    permissions…) is surfaced — counter bump, one stderr warning — and
+    the log keeps appending in place; the size bound is re-attempted on
+    every subsequent write, so it self-heals when the obstruction
+    clears. *)
+
+val rotate_failures : t -> int
+(** How many rotations have failed since open (size bound not enforced
+    while this grows). *)
 
 val close : t -> unit
 

@@ -76,6 +76,19 @@ let query t ~tenant ?deadline_ms ?max_tuples ?max_steps ?request_id q =
   Result.map reply_of
     (request_full t ~meth:"POST" ~path:"/query" ~headers ~body ())
 
+let apply t ~tenant ?deadline_ms ?request_id ops =
+  let body =
+    Proto.apply_request_to_json
+      { Proto.a_tenant = tenant; a_ops = ops; a_deadline_ms = deadline_ms }
+  in
+  let headers =
+    match request_id with
+    | Some id -> [ ("X-Request-Id", id) ]
+    | None -> []
+  in
+  Result.map reply_of
+    (request_full t ~meth:"POST" ~path:"/apply" ~headers ~body ())
+
 let output r =
   Option.bind r.body (fun j -> Option.bind (Json.member "output" j) Json.to_str)
 

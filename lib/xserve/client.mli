@@ -56,6 +56,18 @@ val query :
     the fields described in {!Server}; on errors the [{"error":…}]
     object. *)
 
+val apply :
+  t ->
+  tenant:string ->
+  ?deadline_ms:float ->
+  ?request_id:string ->
+  Xengine.Engine.mutation list ->
+  (reply, string) result
+(** [POST /apply] — the whole list lands atomically as one
+    group-committed batch, or none of it does. On a 200 reply, [body]
+    carries [lsn], [applied], [parts_kept]/[parts_rebuilt],
+    [quarantined], [queue_ms] (see {!Server}). *)
+
 val output : reply -> string option
 (** The ["output"] field of a 200 reply. *)
 

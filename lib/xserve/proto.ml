@@ -323,6 +323,86 @@ let budget_of ~default r =
       | None -> default.Xengine.Engine.max_steps);
   }
 
+(* --- The apply API -------------------------------------------------------- *)
+
+type apply_request = {
+  a_tenant : string;
+  a_ops : Xengine.Engine.mutation list;
+  a_deadline_ms : float option;
+}
+
+let op_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let int k = Option.bind (Json.member k j) Json.to_int in
+  match str "op" with
+  | Some "insert" -> (
+      match (int "parent", str "xml") with
+      | Some parent, Some xml ->
+          Ok (Xengine.Engine.Insert_subtree { parent; before = int "before"; xml })
+      | _ -> Error "insert op needs \"parent\" (int) and \"xml\" (string)")
+  | Some "delete" -> (
+      match int "node" with
+      | Some node -> Ok (Xengine.Engine.Delete_subtree { node })
+      | None -> Error "delete op needs \"node\" (int)")
+  | Some "update" -> (
+      match (int "node", str "value") with
+      | Some node, Some value ->
+          Ok (Xengine.Engine.Update_value { node; value })
+      | _ -> Error "update op needs \"node\" (int) and \"value\" (string)")
+  | Some other -> Error (Printf.sprintf "unknown op %S" other)
+  | None -> Error "each op needs an \"op\" field (insert|delete|update)"
+
+let op_to_json (op : Xengine.Engine.mutation) =
+  let i n = Json.Num (float_of_int n) in
+  match op with
+  | Xengine.Engine.Insert_subtree { parent; before; xml } ->
+      Json.Obj
+        ([ ("op", Json.Str "insert"); ("parent", i parent) ]
+        @ (match before with Some b -> [ ("before", i b) ] | None -> [])
+        @ [ ("xml", Json.Str xml) ])
+  | Xengine.Engine.Delete_subtree { node } ->
+      Json.Obj [ ("op", Json.Str "delete"); ("node", i node) ]
+  | Xengine.Engine.Update_value { node; value } ->
+      Json.Obj
+        [ ("op", Json.Str "update"); ("node", i node); ("value", Json.Str value) ]
+
+let apply_request_of_json s =
+  match Json.of_string s with
+  | Error m -> Error (Printf.sprintf "body is not JSON: %s" m)
+  | Ok j -> (
+      let str k = Option.bind (Json.member k j) Json.to_str in
+      let num k = Option.bind (Json.member k j) Json.to_float in
+      match (str "tenant", Option.bind (Json.member "ops" j) Json.to_list) with
+      | Some t, Some (_ :: _ as ops) when t <> "" -> (
+          let rec decode acc = function
+            | [] -> Ok (List.rev acc)
+            | o :: rest -> (
+                match op_of_json o with
+                | Ok op -> decode (op :: acc) rest
+                | Error m ->
+                    Error
+                      (Printf.sprintf "ops[%d]: %s"
+                         (List.length ops - List.length rest - 1)
+                         m))
+          in
+          match decode [] ops with
+          | Error m -> Error m
+          | Ok a_ops ->
+              Ok { a_tenant = t; a_ops; a_deadline_ms = num "deadline_ms" })
+      | _ ->
+          Error
+            "body needs a non-empty \"tenant\" and a non-empty \"ops\" array")
+
+let apply_request_to_json r =
+  Json.to_string
+    (Json.Obj
+       ([ ("tenant", Json.Str r.a_tenant);
+          ("ops", Json.Arr (List.map op_to_json r.a_ops)) ]
+       @
+       match r.a_deadline_ms with
+       | Some d -> [ ("deadline_ms", Json.Num d) ]
+       | None -> []))
+
 (* --- Error classification ------------------------------------------------- *)
 
 let error_body ~code ?(extra = []) ~stage msg =

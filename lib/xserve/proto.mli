@@ -105,6 +105,27 @@ val budget_of : default:Xengine.Engine.budget -> query_request -> Xengine.Engine
 (** The request's budget over the server default: a request field set
     replaces the default's dimension, unset fields inherit. *)
 
+(** {1 The apply API}
+
+    [POST /apply] carries a tenant and a non-empty array of mutations:
+
+    {v {"tenant":T,"ops":[{"op":"insert","parent":H,"before":H?,"xml":S},
+                          {"op":"delete","node":H},
+                          {"op":"update","node":H,"value":S}, ...],
+        "deadline_ms":D?} v}
+
+    One request is one {!Xengine.Engine.apply_batch_r} call: all ops
+    land atomically under one group-committed WAL write, or none do. *)
+
+type apply_request = {
+  a_tenant : string;
+  a_ops : Xengine.Engine.mutation list;
+  a_deadline_ms : float option;
+}
+
+val apply_request_of_json : string -> (apply_request, string) result
+val apply_request_to_json : apply_request -> string
+
 (** {1 Error codes}
 
     Every error response body is

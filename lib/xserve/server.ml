@@ -22,6 +22,9 @@ type config = {
   max_conns : int;
   debug : bool;
   access_log : string option;
+  checkpoint_every : int;
+      (* background-checkpoint a tenant once its replay debt (lsn -
+         snapshot_lsn) reaches this many records; 0 disables *)
 }
 
 let default_config listen =
@@ -33,7 +36,8 @@ let default_config listen =
     lazy_tenants = false;
     max_conns = 256;
     debug = false;
-    access_log = None }
+    access_log = None;
+    checkpoint_every = 0 }
 
 (* One response slot a connection thread blocks on while the dispatcher
    works. *)
@@ -66,12 +70,22 @@ type tenant = {
   mutable tn_path : string option;  (* snapshot path, for lazy open *)
   tn_lock : Mutex.t;
   mutable tn_engine : Engine.t option;
+  mutable tn_checkpointing : bool;
+      (* a background checkpoint is in flight (dispatcher claims, the
+         checkpoint thread clears) — at most one per tenant *)
+  mutable tn_ckpt : Thread.t option;  (* last checkpoint thread, for join *)
 }
+
+(* What an admitted request asks for: a read (batched through
+   query_string_batch) or a write (one apply_batch_r per job — ops from
+   different clients are never merged, so one client's invalid op cannot
+   fail another's). *)
+type work = Query of string | Apply of Engine.mutation list
 
 type job = {
   j_tenant : tenant;
   j_engine : Engine.t;
-  j_query : string;
+  j_work : work;
   j_budget : Engine.budget;  (* non-deadline dimensions, resolved *)
   j_deadline_abs : float option;  (* server clock, absolute *)
   j_enqueued : float;
@@ -107,8 +121,15 @@ type t = {
   clock : Xobs.Clock.t;
   alog : Accesslog.t option;
   req_ids : int Atomic.t;  (* server-assigned request-id counter *)
+  mutable req_fault : (Proto.request -> unit) option;
+      (* test seam: runs in the connection thread on every parsed
+         request, outside the handler's try — lets tests crash the
+         thread deterministically *)
   (* metrics *)
   m_requests : Metrics.counter;
+  m_applies : Metrics.counter;
+  m_checkpoints : Metrics.counter;
+  m_thread_crashes : Metrics.counter;
   m_shed : Metrics.counter;
   m_expired : Metrics.counter;
   m_errors : Metrics.counter;
@@ -131,7 +152,9 @@ let create ?obs cfg tenants =
         { tn_name = name;
           tn_path = Some path;
           tn_lock = Mutex.create ();
-          tn_engine = None })
+          tn_engine = None;
+          tn_checkpointing = false;
+          tn_ckpt = None })
     tenants;
   { cfg = { cfg with queue_depth = max 1 cfg.queue_depth;
             batch_max = max 1 cfg.batch_max };
@@ -154,10 +177,21 @@ let create ?obs cfg tenants =
     conns_lock = Mutex.create ();
     conns_gone = Condition.create ();
     clock = obs.Obs.clock;
-    alog = Option.map (fun p -> Accesslog.open_ p) cfg.access_log;
+    alog = Option.map (fun p -> Accesslog.open_ ~metrics:reg p) cfg.access_log;
     req_ids = Atomic.make 1;
+    req_fault = None;
     m_requests =
       Metrics.counter reg ~help:"Query requests received" "serve_requests_total";
+    m_applies =
+      Metrics.counter reg ~help:"Apply (write) requests received"
+        "serve_applies_total";
+    m_checkpoints =
+      Metrics.counter reg ~help:"Background checkpoints completed"
+        "serve_checkpoints_total";
+    m_thread_crashes =
+      Metrics.counter reg
+        ~help:"Server threads that died on an uncaught exception"
+        "serve_thread_crashes_total";
     m_shed =
       Metrics.counter reg ~help:"Requests shed at admission (429)"
         "serve_shed_total";
@@ -197,8 +231,12 @@ let add_engine t name engine =
     { tn_name = name;
       tn_path = None;
       tn_lock = Mutex.create ();
-      tn_engine = Some engine };
+      tn_engine = Some engine;
+      tn_checkpointing = false;
+      tn_ckpt = None };
   Mutex.unlock t.tenants_lock
+
+let inject_request_fault t f = t.req_fault <- Some f
 
 (* --- Tenant resolution ----------------------------------------------------- *)
 
@@ -227,9 +265,22 @@ let tenant_engine t tn =
             Engine.of_snapshot_r ~obs:t.obs ~lazy_extents:t.cfg.lazy_tenants
               ~label:tn.tn_name path
           with
-          | Ok e ->
-              tn.tn_engine <- Some e;
-              Ok e
+          | Ok e -> (
+              (* Recover the tenant's WAL before serving: writes
+                 acknowledged by a previous run must be visible. A WAL
+                 that fails to recover fails the tenant open — serving
+                 the stale snapshot would silently drop them. *)
+              let wdir = path ^ ".wal" in
+              if Sys.file_exists wdir then
+                match Engine.attach_wal_r e wdir with
+                | Ok _replayed ->
+                    tn.tn_engine <- Some e;
+                    Ok e
+                | Error x -> Error (Proto.of_xerror ~quarantined:[] x)
+              else begin
+                tn.tn_engine <- Some e;
+                Ok e
+              end)
           | Error x -> Error (Proto.of_xerror ~quarantined:[] x)))
 
 (* --- Observability finalization --------------------------------------------- *)
@@ -281,11 +332,10 @@ let refuse t ~rid ~tenant (resp : Proto.response) =
 
 (* --- Admission ------------------------------------------------------------- *)
 
-(* Admit a query or answer immediately: 503 when draining, 429 when the
-   bounded queue is full. Returns the mailbox to wait on. *)
-let admit t ~rid tn engine (qr : Proto.query_request) =
+(* Admit a job (read or write) or answer immediately: 503 when draining,
+   429 when the bounded queue is full. Returns the mailbox to wait on. *)
+let admit t ~rid tn engine ~work ~(budget : Engine.budget) =
   let now = t.clock () in
-  let budget = Proto.budget_of ~default:t.cfg.default_budget qr in
   let deadline_abs =
     Option.map (fun ms -> now +. (ms /. 1000.)) budget.Engine.deadline_ms
   in
@@ -303,7 +353,7 @@ let admit t ~rid tn engine (qr : Proto.query_request) =
   let job =
     { j_tenant = tn;
       j_engine = engine;
-      j_query = qr.Proto.q_query;
+      j_work = work;
       j_budget = budget;
       j_deadline_abs = deadline_abs;
       j_enqueued = now;
@@ -394,6 +444,97 @@ let finish t job resp =
     resp;
   deliver job.j_mail resp
 
+(* Execute one write job. The WAL is attached lazily on the first write
+   (tenants opened from a snapshot with an existing WAL directory attach
+   at open; injected engines without a snapshot path stay unlogged).
+   Only the dispatcher runs applies, so the attach cannot race. *)
+let run_apply t j ops =
+  let tn = j.j_tenant in
+  let engine = j.j_engine in
+  let attached =
+    if Engine.wal_dir engine <> None then Ok ()
+    else begin
+      Mutex.lock tn.tn_lock;
+      let path = tn.tn_path in
+      Mutex.unlock tn.tn_lock;
+      match path with
+      | None -> Ok ()
+      | Some p -> (
+          match Engine.attach_wal_r engine (p ^ ".wal") with
+          | Ok _ -> Ok ()
+          | Error e -> Error e)
+    end
+  in
+  let result =
+    match attached with
+    | Error e -> Error e
+    | Ok () -> Engine.apply_batch_r engine ops
+  in
+  let resp =
+    match result with
+    | Error e ->
+        Metrics.incr t.m_errors;
+        Proto.of_xerror ~quarantined:(Engine.quarantined engine) e
+    | Ok (r : Engine.apply_report) ->
+        Proto.response 200
+          (Json.to_string
+             (Json.Obj
+                [ ("tenant", Json.Str tn.tn_name);
+                  ("lsn", Json.Num (float_of_int r.Engine.ap_lsn));
+                  ("applied", Json.Num (float_of_int (List.length ops)));
+                  ( "parts_kept",
+                    Json.Num (float_of_int r.Engine.ap_parts_kept) );
+                  ( "parts_rebuilt",
+                    Json.Num (float_of_int r.Engine.ap_parts_rebuilt) );
+                  ( "quarantined",
+                    Json.Arr
+                      (List.map
+                         (fun (n, _) -> Json.Str n)
+                         (Engine.quarantined engine)) );
+                  ( "queue_ms",
+                    Json.Num ((j.j_dequeued -. j.j_enqueued) *. 1000.) ) ]))
+  in
+  finish t j resp
+
+(* Dispatcher-only: claim and spawn at most one background checkpoint
+   per tenant once its replay debt crosses the threshold. The checkpoint
+   thread clears [tn_checkpointing] last (a benign single-word write,
+   taken without [tn_lock] — taking it there could deadlock against a
+   dispatcher holding the lock while joining); the dispatcher only
+   joins [tn_ckpt] once the flag is already clear, so the join never
+   waits on a live checkpoint. *)
+let maybe_checkpoint t tn engine =
+  if
+    t.cfg.checkpoint_every > 0
+    && (not tn.tn_checkpointing)
+    && Engine.lsn engine - Engine.snapshot_lsn engine >= t.cfg.checkpoint_every
+  then begin
+    Mutex.lock tn.tn_lock;
+    let path = tn.tn_path in
+    Mutex.unlock tn.tn_lock;
+    match path with
+    | None -> ()  (* injected engine: nowhere to checkpoint to *)
+    | Some path ->
+        (match tn.tn_ckpt with Some th -> Thread.join th | None -> ());
+        tn.tn_checkpointing <- true;
+        let th =
+          Thread.create
+            (fun () ->
+              Fun.protect
+                ~finally:(fun () -> tn.tn_checkpointing <- false)
+                (fun () ->
+                  match Engine.checkpoint_background_r engine path with
+                  | Ok _ -> Metrics.incr t.m_checkpoints
+                  | Error e ->
+                      Printf.eprintf
+                        "xserve: background checkpoint of %s failed: %s\n%!"
+                        tn.tn_name
+                        (Xengine.Xerror.to_string e)))
+            ()
+        in
+        tn.tn_ckpt <- Some th
+  end
+
 (* Execute one dequeued batch: expire jobs whose deadline passed while
    queued, group the rest by tenant, and run each group through
    query_string_batch with per-job remaining deadlines. *)
@@ -443,44 +584,71 @@ let run_batch t jobs =
           Hashtbl.add groups j.j_tenant.tn_name (ref [ j ]);
           order := j.j_tenant.tn_name :: !order)
     live;
+  (* Within a tenant group, admission order is preserved: maximal
+     consecutive runs of reads go through query_string_batch together,
+     each write runs alone (one apply_batch_r per client request — ops
+     from different clients are never merged). *)
+  let run_queries jobs =
+    match jobs with
+    | [] -> ()
+    | _ ->
+        let engine = (List.hd jobs).j_engine in
+        let now = t.clock () in
+        let items =
+          List.map
+            (fun j ->
+              let budget =
+                match j.j_deadline_abs with
+                | None -> j.j_budget
+                | Some d ->
+                    (* The remaining allowance: admitted late still means
+                       the original deadline, not a fresh one. *)
+                    { j.j_budget with
+                      Engine.deadline_ms = Some (max 0.1 ((d -. now) *. 1000.))
+                    }
+              in
+              (* Time between dequeue and this group's execution start is
+                 the dispatch overhead (expiry check + tenant grouping). *)
+              (match j.j_trace with
+              | None -> ()
+              | Some tr ->
+                  ignore
+                    (Trace.add_child tr ~parent:(Trace.root tr)
+                       ~name:"dispatch" ~t0:j.j_dequeued ~t1:now ~tags:[]));
+              ( (match j.j_work with Query q -> q | Apply _ -> assert false),
+                Some budget,
+                Option.map (fun tr -> (tr, Trace.root tr)) j.j_trace ))
+            jobs
+        in
+        let results =
+          try
+            Engine.query_string_batch_traced ~domains:t.cfg.domains engine
+              items
+          with e ->
+            List.map
+              (fun _ ->
+                Error (Xengine.Xerror.Exec_error (Printexc.to_string e)))
+              items
+        in
+        List.iter2 (fun j r -> finish t j (response_of_result t j r)) jobs
+          results
+  in
   List.iter
     (fun name ->
       let jobs = List.rev !(Hashtbl.find groups name) in
-      let engine = (List.hd jobs).j_engine in
-      let now = t.clock () in
-      let items =
-        List.map
-          (fun j ->
-            let budget =
-              match j.j_deadline_abs with
-              | None -> j.j_budget
-              | Some d ->
-                  (* The remaining allowance: admitted late still means
-                     the original deadline, not a fresh one. *)
-                  { j.j_budget with
-                    Engine.deadline_ms = Some (max 0.1 ((d -. now) *. 1000.)) }
-            in
-            (* Time between dequeue and this group's execution start is
-               the dispatch overhead (expiry check + tenant grouping). *)
-            (match j.j_trace with
-            | None -> ()
-            | Some tr ->
-                ignore
-                  (Trace.add_child tr ~parent:(Trace.root tr) ~name:"dispatch"
-                     ~t0:j.j_dequeued ~t1:now ~tags:[]));
-            ( j.j_query,
-              Some budget,
-              Option.map (fun tr -> (tr, Trace.root tr)) j.j_trace ))
-          jobs
+      let pending =
+        List.fold_left
+          (fun qacc j ->
+            match j.j_work with
+            | Query _ -> j :: qacc
+            | Apply ops ->
+                run_queries (List.rev qacc);
+                run_apply t j ops;
+                maybe_checkpoint t j.j_tenant j.j_engine;
+                [])
+          [] jobs
       in
-      let results =
-        try Engine.query_string_batch_traced ~domains:t.cfg.domains engine items
-        with e ->
-          List.map
-            (fun _ -> Error (Xengine.Xerror.Exec_error (Printexc.to_string e)))
-            items
-      in
-      List.iter2 (fun j r -> finish t j (response_of_result t j r)) jobs results)
+      run_queries (List.rev pending))
     (List.rev !order)
 
 let dispatcher_loop t =
@@ -606,7 +774,49 @@ let handle_query t ~rid body =
               Metrics.incr t.m_errors;
               refuse t ~rid ~tenant:tn.tn_name resp
           | Ok engine -> (
-              match admit t ~rid tn engine qr with
+              match
+                admit t ~rid tn engine
+                  ~work:(Query qr.Proto.q_query)
+                  ~budget:(Proto.budget_of ~default:t.cfg.default_budget qr)
+              with
+              | Error resp -> refuse t ~rid ~tenant:tn.tn_name resp
+              | Ok mail -> await mail)))
+
+(* [POST /apply]: the write path. Same admission pipeline as queries —
+   bounded queue, deadlines, request ids, per-tenant metrics — but the
+   job carries a mutation batch the dispatcher applies atomically. *)
+let handle_apply t ~rid body =
+  Metrics.incr t.m_requests;
+  Metrics.incr t.m_applies;
+  match Proto.apply_request_of_json body with
+  | Error m ->
+      Metrics.incr t.m_errors;
+      refuse t ~rid ~tenant:"-"
+        (Proto.error_response ~status:400 ~code:"malformed_request"
+           ~stage:"serve" m)
+  | Ok ar -> (
+      match find_tenant t ar.Proto.a_tenant with
+      | None ->
+          Metrics.incr t.m_errors;
+          refuse t ~rid ~tenant:"-"
+            (Proto.error_response ~status:404 ~code:"unknown_tenant"
+               ~stage:"serve"
+               (Printf.sprintf "unknown tenant %S" ar.Proto.a_tenant))
+      | Some tn -> (
+          match tenant_engine t tn with
+          | Error resp ->
+              Metrics.incr t.m_errors;
+              refuse t ~rid ~tenant:tn.tn_name resp
+          | Ok engine -> (
+              let budget =
+                match ar.Proto.a_deadline_ms with
+                | Some _ as d ->
+                    { t.cfg.default_budget with Engine.deadline_ms = d }
+                | None -> t.cfg.default_budget
+              in
+              match
+                admit t ~rid tn engine ~work:(Apply ar.Proto.a_ops) ~budget
+              with
               | Error resp -> refuse t ~rid ~tenant:tn.tn_name resp
               | Ok mail -> await mail)))
 
@@ -648,6 +858,9 @@ let handle_request t (req : Proto.request) =
     | "POST", "/query" ->
         let resp = handle_query t ~rid req.Proto.body in
         (* Echo the id inside the body too, success and error alike. *)
+        { resp with Proto.body = Proto.with_request_id_body rid resp.Proto.body }
+    | "POST", "/apply" ->
+        let resp = handle_apply t ~rid req.Proto.body in
         { resp with Proto.body = Proto.with_request_id_body rid resp.Proto.body }
     | "POST", "/admin/swap" -> handle_swap t req.Proto.body
     | "GET", "/metrics" ->
@@ -710,6 +923,10 @@ let conn_loop t id fd =
              (Proto.error_response ~close:true ~status:400
                 ~code:"malformed_request" ~stage:"serve" m))
     | `Req req ->
+        (* Test seam: an injected fault runs outside the handler's try
+           and crashes this thread — exercising the crash path below. It
+           runs before [enter_busy] so the busy count stays balanced. *)
+        (match t.req_fault with Some f -> f req | None -> ());
         enter_busy t;
         let resp =
           try handle_request t req
@@ -733,7 +950,16 @@ let conn_loop t id fd =
     ~finally:(fun () ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       unregister_conn t id)
-    (fun () -> try loop () with _ -> ())
+    (fun () ->
+      try loop ()
+      with e ->
+        (* A dying connection thread must be loud, never silent: the
+           old [with _ -> ()] here ate real bugs. Count it, log it, and
+           retire the connection (the finally above still closes the fd
+           and unregisters). *)
+        Metrics.incr t.m_thread_crashes;
+        Printf.eprintf "xserve: connection thread %d crashed: %s\n%!" id
+          (Printexc.to_string e))
 
 (* --- Acceptor --------------------------------------------------------------- *)
 
@@ -864,6 +1090,17 @@ let stop t =
     Condition.broadcast t.work;
     Mutex.unlock t.lock;
     (match t.dispatcher with Some th -> Thread.join th | None -> ());
+    (* The dispatcher is gone, so no new checkpoints can start; let the
+       in-flight ones finish before tearing down. *)
+    Mutex.lock t.tenants_lock;
+    let ckpts =
+      Hashtbl.fold
+        (fun _ tn acc ->
+          match tn.tn_ckpt with Some th -> th :: acc | None -> acc)
+        t.tenants []
+    in
+    Mutex.unlock t.tenants_lock;
+    List.iter Thread.join ckpts;
     (* Nudge idle keep-alive connections off their blocking read. *)
     Mutex.lock t.conns_lock;
     Hashtbl.iter

@@ -8,18 +8,35 @@
     tenant's faulting storage module never degrades another's plans.
 
     {b Request flow.} Connection threads parse HTTP requests
-    ({!Proto}); [POST /query] goes through {e admission}: if the server
-    is draining the request is refused (503), if the bounded queue is
-    full it is {e shed} immediately (429, [overloaded]) — the queue
-    never grows beyond [queue_depth], so memory under overload is
-    bounded and the client learns to back off now rather than time out
-    later. Admitted requests carry the absolute deadline computed from
-    their [deadline_ms] at admission; a single dispatcher drains the
-    queue in batches, drops requests whose deadline already passed
-    (408, [budget_exceeded]/deadline — a request admitted late still
-    honors the deadline it was admitted with), groups the rest by
-    tenant and executes each group through
-    {!Xengine.Engine.query_string_batch} on [domains] domains.
+    ({!Proto}); [POST /query] and [POST /apply] go through {e admission}:
+    if the server is draining the request is refused (503), if the
+    bounded queue is full it is {e shed} immediately (429, [overloaded])
+    — the queue never grows beyond [queue_depth], so memory under
+    overload is bounded and the client learns to back off now rather
+    than time out later. Admitted requests carry the absolute deadline
+    computed from their [deadline_ms] at admission; a single dispatcher
+    drains the queue in batches, drops requests whose deadline already
+    passed (408, [budget_exceeded]/deadline — a request admitted late
+    still honors the deadline it was admitted with), groups the rest by
+    tenant and, preserving admission order within the group, executes
+    maximal consecutive runs of reads through
+    {!Xengine.Engine.query_string_batch} on [domains] domains and each
+    write alone through {!Xengine.Engine.apply_batch_r} (one atomic
+    batch per client request — ops from different clients are never
+    merged, so one client's invalid op cannot fail another's).
+
+    {b Writes and durability.} A tenant's WAL lives at
+    [snapshot_path ^ ".wal"]: attached at open when the directory
+    exists (recovering acknowledged writes from a previous run —
+    recovery failure fails the tenant open rather than serving a stale
+    snapshot), created lazily on the tenant's first write otherwise.
+    Engines injected with {!add_engine} keep whatever WAL (or none)
+    they came with. When [checkpoint_every > 0], the dispatcher spawns
+    a {e background} checkpoint ({!Xengine.Engine.checkpoint_background_r})
+    once a tenant's replay debt ([lsn - snapshot_lsn]) reaches the
+    threshold — at most one in flight per tenant, writes and reads keep
+    flowing while it runs, and {!stop} joins any in-flight checkpoint
+    before returning.
 
     {b Observability.} Every request carries a request id — the
     client's [X-Request-Id] header when well-formed
@@ -41,6 +58,11 @@
     - [POST /query] — body {!Proto.query_request}; 200 body carries
       [request_id], [output], [degraded], [quarantined], [queue_ms]
       (time from admission to dequeue).
+    - [POST /apply] — body {!Proto.apply_request}; 200 body carries
+      [request_id], [lsn] (the final LSN of the batch), [applied],
+      [parts_kept], [parts_rebuilt], [quarantined], [queue_ms]. All ops
+      land atomically or none do (400 [invalid_update] rejects the whole
+      batch with state unchanged; 500 on WAL failure).
     - [GET /metrics] — Prometheus text exposition of the shared
       registry: the serve_* metrics below plus every engine metric
       (tenant engines are opened with the server's {!Xobs.Obs.t}).
@@ -59,7 +81,12 @@
     threads. {!run} returns normally after a clean drain, so the
     process exits 0.
 
-    {b Metrics.} Unlabeled: [serve_requests_total], [serve_shed_total],
+    {b Metrics.} Unlabeled: [serve_requests_total],
+    [serve_applies_total] (write requests received),
+    [serve_checkpoints_total] (background checkpoints completed),
+    [serve_thread_crashes_total] (server threads that died on an
+    uncaught exception — always 0 in a healthy server),
+    [accesslog_rotate_failures_total], [serve_shed_total],
     [serve_expired_total], [serve_errors_total], [serve_batches_total],
     [serve_queue_depth], [serve_connections], [serve_request_seconds].
     Labeled (bounded cardinality, see {!Xobs.Metrics.counter_family}):
@@ -84,11 +111,15 @@ type config = {
   debug : bool;  (** serve the [/debug/*] endpoints *)
   access_log : string option;
       (** JSONL access-log path ({!Accesslog}); [None] disables *)
+  checkpoint_every : int;
+      (** background-checkpoint a tenant once its replay debt
+          ([lsn - snapshot_lsn]) reaches this many records; 0 disables *)
 }
 
 val default_config : Proto.addr -> config
 (** [queue_depth 64], [domains 1], [batch_max 16], unlimited budget,
-    eager tenants, [max_conns 256], debug off, no access log. *)
+    eager tenants, [max_conns 256], debug off, no access log, no
+    background checkpointing. *)
 
 type t
 
@@ -126,3 +157,10 @@ val run : ?signals:bool -> t -> unit
 val draining : t -> bool
 val queue_depth : t -> int
 val executing : t -> int
+
+val inject_request_fault : t -> (Proto.request -> unit) -> unit
+(** Test seam: [f] runs in the connection thread on every parsed
+    request, {e outside} the handler's exception guard — an [f] that
+    raises crashes the connection thread, exercising the crash-path
+    accounting ([serve_thread_crashes_total], fd cleanup, busy-count
+    balance). Not for production use. *)

@@ -25,12 +25,18 @@ let frame_overhead = 16 (* payload length + payload crc *)
 
 let segment_name lsn = Printf.sprintf "wal-%016d.seg" lsn
 
+(* Names are canonically 24 bytes ("wal-" + 16 digits + ".seg"), but any
+   longer zero-padded digit run must still parse: a segment recovery
+   silently skips is a fail-open hole, so the reader is tolerant and the
+   writer refuses to create names it could not read back. *)
 let segment_first name =
-  if
-    String.length name = 24
-    && String.sub name 0 4 = "wal-"
-    && String.sub name 20 4 = ".seg"
-  then int_of_string_opt (String.sub name 4 16)
+  let n = String.length name in
+  if n >= 24 && String.sub name 0 4 = "wal-" && String.sub name (n - 4) 4 = ".seg"
+  then
+    let digits = String.sub name 4 (n - 8) in
+    if String.for_all (fun c -> c >= '0' && c <= '9') digits then
+      int_of_string_opt digits
+    else None
   else None
 
 let encode_op p = function
@@ -254,23 +260,47 @@ module Writer = struct
     m_segments : Xobs.Metrics.counter;
     h_fsync : Xobs.Metrics.histogram;
     h_append : Xobs.Metrics.histogram;
+    h_gc_batch : Xobs.Metrics.histogram;
+    h_gc_wait : Xobs.Metrics.histogram;
   }
 
   type cur = { fd : Unix.file_descr; path : string; mutable bytes : int }
 
+  (* Group commit. Appenders enqueue framed records under [glock]; the
+     first appender to find no committer running becomes the leader,
+     drains up to [max_batch] frames, writes them and covers them with a
+     single fsync while the lock is released, then advances [wlsn] to
+     the last LSN of the batch and broadcasts on [gdone]. [sync:true]
+     semantics are preserved because an append only returns once [wlsn]
+     has reached its LSN — i.e. after the fsync covering it. The first
+     filesystem failure poisons the writer permanently: a partial frame
+     may sit at the segment tail, and appending after it would turn a
+     recoverable torn tail into mid-log corruption. *)
   type t = {
     fs : Fsio.ops;
     wdir : string;
     segment_bytes : int;
     do_sync : bool;
+    commit_window : float;
+    max_batch : int;
     meters : meters option;
-    mutable wlsn : int;
+    glock : Mutex.t;
+    gdone : Condition.t;
+    pending : (int * string) Queue.t; (* (lsn, frame), LSN-ascending *)
+    mutable next_lsn : int; (* highest LSN assigned to an appender *)
+    mutable wlsn : int; (* highest LSN covered by an fsync (acknowledged) *)
+    mutable committing : bool; (* a leader is writing with glock released *)
+    mutable poison : exn option; (* first failure; permanent *)
     mutable cur : cur option;
     mutable closed : bool;
   }
 
   let lsn t = t.wlsn
   let dir t = t.wdir
+
+  let with_glock t f =
+    Mutex.lock t.glock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.glock) f
 
   let fs_error = function
     | Unix.Unix_error (e, fn, arg) ->
@@ -285,9 +315,20 @@ module Writer = struct
     Binio.w_int w first_lsn;
     Binio.contents w
 
+  (* The canonical name field holds 16 decimal digits; an LSN beyond it
+     would produce a file recovery cannot attribute. Fail closed. *)
+  let max_named_lsn = 9_999_999_999_999_999
+
   (* Crash-safe segment creation: the file only appears under its real
      name with a complete, fsync'd header. *)
   let create_segment t ~first_lsn =
+    if first_lsn < 0 || first_lsn > max_named_lsn then
+      raise
+        (Sys_error
+           (Printf.sprintf
+              "lsn %d does not fit a 16-digit segment name; refusing to create \
+               a segment recovery would skip"
+              first_lsn));
     let path = Filename.concat t.wdir (segment_name first_lsn) in
     let tmp = path ^ ".tmp" in
     let fd = t.fs.openw ~append:false tmp in
@@ -300,7 +341,7 @@ module Writer = struct
     { fd = t.fs.openw ~append:true path; path; bytes = header_len }
 
   let open_ ?(fs = Fsio.default) ?metrics ?(segment_bytes = 1 lsl 20)
-      ?(sync = true) ~dir ~lsn () =
+      ?(sync = true) ?(commit_window = 0.) ?(max_batch = 64) ~dir ~lsn () =
     let meters =
       Option.map
         (fun reg ->
@@ -321,6 +362,14 @@ module Writer = struct
               Xobs.Metrics.histogram reg
                 ~help:"whole WAL append latency (frame write + rotation + fsync)"
                 "wal_append_seconds";
+            h_gc_batch =
+              Xobs.Metrics.histogram reg
+                ~help:"records covered by one group-commit fsync"
+                "wal_group_commit_batch_size";
+            h_gc_wait =
+              Xobs.Metrics.histogram reg
+                ~help:"time an append waited for the fsync covering its LSN"
+                "wal_group_commit_wait_seconds";
           })
         metrics
     in
@@ -334,8 +383,11 @@ module Writer = struct
                segment reason)
       | Ok (segs, Clean) ->
           let t =
-            { fs; wdir = dir; segment_bytes; do_sync = sync; meters;
-              wlsn = lsn; cur = None; closed = false }
+            { fs; wdir = dir; segment_bytes; do_sync = sync;
+              commit_window; max_batch = max 1 max_batch; meters;
+              glock = Mutex.create (); gdone = Condition.create ();
+              pending = Queue.create (); next_lsn = lsn; wlsn = lsn;
+              committing = false; poison = None; cur = None; closed = false }
           in
           (match List.rev segs with
           | last :: _ ->
@@ -353,17 +405,31 @@ module Writer = struct
           Ok t
     with e -> fs_error e
 
-  let append t op =
-    if t.closed then Error "wal writer is closed"
-    else
-      let lsn = t.wlsn + 1 in
-      let frame = encode_frame { lsn; op } in
-      let t_start = Unix.gettimeofday () in
-      try
+  (* Leader body, [glock] released: write every frame of [batch] in LSN
+     order (rotating as needed) and cover them all with one fsync.
+     Consecutive frames bound for the same segment coalesce into a
+     single [write] — one syscall per segment run, not per record. A
+     segment closed mid-batch by rotation is fsync'd first, so frames it
+     took in this batch are durable before the ack. Only the leader
+     touches [t.cur] — [truncate_upto]/[sync]/[close] quiesce first. *)
+  let commit_batch t batch =
+    let buf = Buffer.create 4096 in
+    let flush_run () =
+      if Buffer.length buf > 0 then begin
+        (match t.cur with
+        | Some c -> t.fs.write c.fd (Buffer.contents buf)
+        | None -> assert false);
+        Buffer.clear buf
+      end
+    in
+    List.iter
+      (fun (blsn, frame) ->
         (match t.cur with
         | Some c
           when c.bytes > header_len
                && c.bytes + String.length frame > t.segment_bytes ->
+            flush_run ();
+            if t.do_sync then t.fs.fsync c.fd;
             t.fs.close c.fd;
             t.cur <- None
         | _ -> ());
@@ -371,74 +437,194 @@ module Writer = struct
           match t.cur with
           | Some c -> c
           | None ->
-              let c = create_segment t ~first_lsn:lsn in
+              let c = create_segment t ~first_lsn:blsn in
               t.cur <- Some c;
               c
         in
-        t.fs.write c.fd frame;
-        c.bytes <- c.bytes + String.length frame;
-        if t.do_sync then begin
+        Buffer.add_string buf frame;
+        c.bytes <- c.bytes + String.length frame)
+      batch;
+    flush_run ();
+    if t.do_sync then
+      match t.cur with
+      | Some c ->
           let t0 = Unix.gettimeofday () in
           t.fs.fsync c.fd;
           Option.iter
-            (fun m -> Xobs.Metrics.observe m.h_fsync (Unix.gettimeofday () -. t0))
+            (fun m ->
+              Xobs.Metrics.observe m.h_fsync (Unix.gettimeofday () -. t0))
             t.meters
-        end;
-        t.wlsn <- lsn;
-        Option.iter
-          (fun m ->
-            Xobs.Metrics.incr m.m_appends;
-            Xobs.Metrics.add m.m_bytes (String.length frame);
-            Xobs.Metrics.observe m.h_append (Unix.gettimeofday () -. t_start))
-          t.meters;
-        Ok (lsn, String.length frame)
-      with e -> fs_error e
+      | None -> ()
+
+  (* With [glock] held: block until [wlsn] covers [upto] or the writer is
+     poisoned, becoming the leader whenever no commit is in flight. The
+     leader's own LSN may fall past [max_batch] pending entries, so loop
+     until covered. *)
+  let rec advance t ~upto =
+    if t.wlsn >= upto || t.poison <> None then ()
+    else if t.committing then begin
+      Condition.wait t.gdone t.glock;
+      advance t ~upto
+    end
+    else begin
+      t.committing <- true;
+      if t.commit_window > 0. && Queue.length t.pending < t.max_batch then begin
+        (* Let concurrent appenders pile into this batch. The stdlib
+           [Condition] has no timed wait, so probe with the lock free:
+           a minimal [sleepf] yields one scheduler quantum (~70µs),
+           long enough for every runnable appender to enqueue — vital
+           on few-core machines where waiters only run when the leader
+           gets off the CPU. Keep collecting while the batch is still
+           growing, up to [commit_window] of wall clock in total; a
+           lone appender pays a single quantum, not the window. *)
+        let deadline = Unix.gettimeofday () +. t.commit_window in
+        let rec fill () =
+          let before = Queue.length t.pending in
+          if before < t.max_batch && Unix.gettimeofday () < deadline then begin
+            Mutex.unlock t.glock;
+            Unix.sleepf 1e-6;
+            Mutex.lock t.glock;
+            if Queue.length t.pending > before then fill ()
+          end
+        in
+        fill ()
+      end;
+      let n = ref 0 and acc = ref [] in
+      while !n < t.max_batch && not (Queue.is_empty t.pending) do
+        acc := Queue.pop t.pending :: !acc;
+        incr n
+      done;
+      let batch = List.rev !acc in
+      Mutex.unlock t.glock;
+      let outcome = try Ok (commit_batch t batch) with e -> Error e in
+      Mutex.lock t.glock;
+      (match outcome with
+      | Ok () ->
+          (match !acc with (last, _) :: _ -> t.wlsn <- last | [] -> ());
+          Option.iter
+            (fun m -> Xobs.Metrics.observe m.h_gc_batch (float_of_int !n))
+            t.meters
+      | Error e ->
+          t.poison <- Some e;
+          Queue.clear t.pending);
+      t.committing <- false;
+      Condition.broadcast t.gdone;
+      advance t ~upto
+    end
+
+  (* A crash injection escapes as the exception (a crash is not an error
+     return); real filesystem failures map to [Error]. *)
+  let failure e =
+    match e with Fsio.Crashed _ -> raise e | e -> fs_error e
+
+  let append_batch t ops =
+    match ops with
+    | [] -> Ok []
+    | _ ->
+        let t0 = Unix.gettimeofday () in
+        with_glock t (fun () ->
+            if t.closed then Error "wal writer is closed"
+            else
+              match t.poison with
+              | Some e -> failure e
+              | None ->
+                  let entries =
+                    List.map
+                      (fun op ->
+                        let lsn = t.next_lsn + 1 in
+                        t.next_lsn <- lsn;
+                        let frame = encode_frame { lsn; op } in
+                        Queue.add (lsn, frame) t.pending;
+                        (lsn, String.length frame))
+                      ops
+                  in
+                  let upto = t.next_lsn in
+                  advance t ~upto;
+                  if t.wlsn >= upto then begin
+                    Option.iter
+                      (fun m ->
+                        let dt = Unix.gettimeofday () -. t0 in
+                        List.iter
+                          (fun (_, bytes) ->
+                            Xobs.Metrics.incr m.m_appends;
+                            Xobs.Metrics.add m.m_bytes bytes)
+                          entries;
+                        Xobs.Metrics.observe m.h_append dt;
+                        Xobs.Metrics.observe m.h_gc_wait dt)
+                      t.meters;
+                    Ok entries
+                  end
+                  else failure (Option.get t.poison))
+
+  let append t op =
+    match append_batch t [ op ] with
+    | Ok [ entry ] -> Ok entry
+    | Ok _ -> assert false
+    | Error _ as e -> e
+
+  let quiesce t =
+    while t.committing do
+      Condition.wait t.gdone t.glock
+    done
 
   (* Segments whose whole LSN range is covered by a snapshot can go; the
      open segment goes too when fully covered (the next append starts a
      fresh one). Walk pairs so each segment's range ends where the next
      begins. *)
   let truncate_upto t upto =
-    try
-      let segs = list_segments t.wdir in
-      let removed = ref 0 in
-      let rec go = function
-        | [] -> ()
-        | (_first, name) :: rest ->
-            let last_covered =
-              match rest with
-              | (next_first, _) :: _ -> next_first - 1
-              | [] -> t.wlsn
-            in
-            if last_covered <= upto then begin
-              let path = Filename.concat t.wdir name in
-              (match t.cur with
-              | Some c when c.path = path ->
-                  t.fs.close c.fd;
-                  t.cur <- None
-              | _ -> ());
-              t.fs.remove path;
-              incr removed;
-              go rest
-            end
-      in
-      go segs;
-      if !removed > 0 then t.fs.fsync_dir t.wdir;
-      Ok !removed
-    with e -> fs_error e
+    with_glock t (fun () ->
+        quiesce t;
+        try
+          let segs = list_segments t.wdir in
+          let removed = ref 0 in
+          let rec go = function
+            | [] -> ()
+            | (_first, name) :: rest ->
+                let last_covered =
+                  match rest with
+                  | (next_first, _) :: _ -> next_first - 1
+                  | [] -> t.wlsn
+                in
+                if last_covered <= upto then begin
+                  let path = Filename.concat t.wdir name in
+                  (match t.cur with
+                  | Some c when c.path = path ->
+                      t.fs.close c.fd;
+                      t.cur <- None
+                  | _ -> ());
+                  t.fs.remove path;
+                  incr removed;
+                  go rest
+                end
+          in
+          go segs;
+          if !removed > 0 then t.fs.fsync_dir t.wdir;
+          Ok !removed
+        with e -> fs_error e)
 
   let sync t =
-    match t.cur with
-    | None -> Ok ()
-    | Some c -> ( try Ok (t.fs.fsync c.fd) with e -> fs_error e)
+    with_glock t (fun () ->
+        quiesce t;
+        match t.cur with
+        | None -> Ok ()
+        | Some c -> ( try Ok (t.fs.fsync c.fd) with e -> fs_error e))
 
   let close t =
-    if not t.closed then begin
-      t.closed <- true;
-      match t.cur with
-      | Some c ->
-          t.cur <- None;
-          (try t.fs.close c.fd with Unix.Unix_error _ | Sys_error _ -> ())
-      | None -> ()
-    end
+    with_glock t (fun () ->
+        if not t.closed then begin
+          t.closed <- true;
+          (* drain: in-flight appenders finish committing the queue
+             themselves; give up waiting if the writer is poisoned *)
+          while
+            t.committing
+            || ((not (Queue.is_empty t.pending)) && t.poison = None)
+          do
+            Condition.wait t.gdone t.glock
+          done;
+          match t.cur with
+          | Some c ->
+              t.cur <- None;
+              (try t.fs.close c.fd with Unix.Unix_error _ | Sys_error _ -> ())
+          | None -> ()
+        end)
 end

@@ -53,6 +53,16 @@ val repair : ?fs:Fsio.ops -> tail -> (unit, string) result
 
 (** {1 Appending} *)
 
+(** The writer is safe for concurrent appenders (systhreads or domains)
+    and commits in groups: appenders enqueue framed records, and a
+    single leader per batch writes them and covers them with {e one}
+    fsync, acknowledging every LSN the fsync covers. An append returns
+    only after the fsync covering its LSN, so [sync:true] durability is
+    exactly what it was for the one-fsync-per-append writer — batching
+    changes the cost, not the contract. The first filesystem failure
+    poisons the writer permanently (a partial frame may sit at the
+    segment tail; appending after it would turn a recoverable torn tail
+    into mid-log corruption): reopen after repair instead. *)
 module Writer : sig
   type t
 
@@ -61,6 +71,8 @@ module Writer : sig
     ?metrics:Xobs.Metrics.registry ->
     ?segment_bytes:int ->
     ?sync:bool ->
+    ?commit_window:float ->
+    ?max_batch:int ->
     dir:string ->
     lsn:int ->
     unit ->
@@ -71,19 +83,36 @@ module Writer : sig
       in place, anything else starts a fresh segment. Fails if the tail
       is torn — run {!read}/{!repair} (or engine recovery) first.
       [segment_bytes] bounds segment size before rotation (default
-      1 MiB); [sync] (default [true]) fsyncs every append. When
+      1 MiB); [sync] (default [true]) fsyncs before acknowledging.
+      [commit_window] (default 0) bounds how long a group-commit leader
+      waits for more appenders to pile into its batch before writing:
+      the leader polls in [commit_window/4] steps and stops early once
+      the batch stops growing (or hits [max_batch]), so a lone appender
+      pays one step, not the window; [max_batch] (default 64) caps
+      records per fsync. When
       [metrics] is given, registers [wal_appends_total],
       [wal_append_bytes_total], [wal_segments_created_total] and the
-      [wal_fsync_seconds] and [wal_append_seconds] histograms (fsync
-      alone vs the whole append: frame write + rotation + fsync). *)
+      [wal_fsync_seconds], [wal_append_seconds],
+      [wal_group_commit_batch_size] and [wal_group_commit_wait_seconds]
+      histograms. *)
 
   val append : t -> op -> (int * int, string) result
-  (** Frame, append and (when [sync]) fsync one record; returns its
-      [(lsn, frame_bytes)]. On [Error] nothing was acknowledged and the
-      writer's LSN is unchanged. A {!Fsio.Crashed} injection escapes as
-      the exception — a crash is not an error return. *)
+  (** Frame, enqueue and group-commit one record; returns its
+      [(lsn, frame_bytes)] once the covering fsync has run. On [Error]
+      the record was never acknowledged and the writer is poisoned. A
+      {!Fsio.Crashed} injection escapes as the exception — a crash is
+      not an error return. *)
+
+  val append_batch : t -> op list -> ((int * int) list, string) result
+  (** Append [n] records with contiguous LSNs covered by a single
+      acknowledgement (at most [max_batch] fsyncs-worth per round):
+      returns their [(lsn, frame_bytes)] pairs in order once the fsync
+      covering the {e last} LSN has run. [Ok []] on an empty list.
+      Failure semantics as {!append}. *)
 
   val lsn : t -> int
+  (** Highest acknowledged (fsync-covered) LSN. *)
+
   val dir : t -> string
 
   val truncate_upto : t -> int -> (int, string) result

@@ -558,6 +558,182 @@ let test_expired_request_traced () =
       Alcotest.(check bool) "trace duration spans the queue wait" true
         (Trace.duration_ms tr >= 1000.0)
 
+(* --- the write path: POST /apply, durability across restart ---------------- *)
+
+(* A scratch directory per test: the snapshot plus its ".wal" sibling
+   the server creates on the first write both land here. *)
+let with_scratch f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xam_serve_apply_%d_%d" (Unix.getpid ())
+         (int_of_float (Unix.gettimeofday () *. 1e6) land 0xffffff))
+  in
+  Unix.mkdir dir 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> rm (Filename.concat p n)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let apply_ok c ~tenant ops =
+  match Client.apply c ~tenant ops with
+  | Error m -> Alcotest.failf "apply transport: %s" m
+  | Ok r ->
+      if r.Client.status <> 200 then
+        Alcotest.failf "apply answered %d: %s" r.Client.status r.Client.raw;
+      r
+
+let reply_num field (r : Client.reply) =
+  Option.bind r.Client.body (fun j ->
+      Option.bind (Json.member field j) Json.to_float)
+
+let test_apply_round_trip () =
+  with_scratch @@ fun dir ->
+  let snap = Filename.concat dir "t.snap" in
+  let e0 = Engine.of_doc doc specs in
+  ignore (Engine.save_snapshot e0 snap);
+  let root = Xdm.Doc.root doc in
+  let ins i =
+    Engine.Insert_subtree
+      { parent = root;
+        before = None;
+        xml = Printf.sprintf "<book><title>applied %d</title></book>" i }
+  in
+  (* Three batches of four inserts, with background checkpointing
+     kicking in at a replay debt of 5: writes keep landing while the
+     snapshot is rewritten underneath. *)
+  let sock = tmp_sock () in
+  let cfg =
+    { (Server.default_config (Proto.Unix_sock sock)) with
+      Server.checkpoint_every = 5 }
+  in
+  let srv = Server.create cfg [ ("t", snap) ] in
+  Server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () ->
+      with_client (Server.bound_addr srv) @@ fun c ->
+      List.iter
+        (fun batch ->
+          let ops = List.map ins batch in
+          let r = apply_ok c ~tenant:"t" ops in
+          Alcotest.(check (option (float 0.0)))
+            "the reply's lsn is the batch's final record"
+            (Some (float_of_int (List.hd (List.rev batch))))
+            (reply_num "lsn" r);
+          Alcotest.(check (option (float 0.0)))
+            "applied counts the whole batch"
+            (Some (float_of_int (List.length batch)))
+            (reply_num "applied" r))
+        [ [ 1; 2; 3; 4 ]; [ 5; 6; 7; 8 ]; [ 9; 10; 11; 12 ] ];
+      (* An invalid op rejects its whole batch with state unchanged. *)
+      (match Client.apply c ~tenant:"t" [ ins 13; Engine.Delete_subtree { node = 9_999_999 } ] with
+      | Error m -> Alcotest.failf "apply transport: %s" m
+      | Ok r ->
+          Alcotest.(check int) "invalid op in a batch answers 400" 400
+            r.Client.status);
+      let r = apply_ok c ~tenant:"t" [ ins 13 ] in
+      Alcotest.(check (option (float 0.0)))
+        "the failed batch consumed no LSNs" (Some 13.0) (reply_num "lsn" r);
+      (* Served answers now reflect every applied write. *)
+      let expect =
+        let e = Engine.of_doc doc specs in
+        List.iter (fun i -> ignore (Engine.apply e (ins i))) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13 ];
+        local_output e q_titles
+      in
+      let reply = query_ok c ~tenant:"t" q_titles in
+      Alcotest.(check (option string))
+        "served answers include the applied writes" (Some expect)
+        (Client.output reply);
+      (* Durability: a fresh server over the same snapshot path recovers
+         every acknowledged write (checkpoint + WAL replay). *)
+      Server.stop srv;
+      let sock2 = tmp_sock () in
+      let srv2 =
+        Server.create
+          (Server.default_config (Proto.Unix_sock sock2))
+          [ ("t", snap) ]
+      in
+      Server.start srv2;
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop srv2;
+          try Sys.remove sock2 with Sys_error _ -> ())
+        (fun () ->
+          with_client (Server.bound_addr srv2) @@ fun c2 ->
+          let reply = query_ok c2 ~tenant:"t" q_titles in
+          Alcotest.(check (option string))
+            "restart recovers every acknowledged write" (Some expect)
+            (Client.output reply)))
+
+(* --- accesslog rotation failure is loud, survivable and self-healing ------- *)
+
+let test_accesslog_rotation_failure () =
+  with_scratch @@ fun dir ->
+  let path = Filename.concat dir "access.jsonl" in
+  (* An unrenameable predecessor: rename(file -> existing directory)
+     fails, which is exactly the condition the old code swallowed. *)
+  Unix.mkdir (path ^ ".1") 0o755;
+  let al = Xserve.Accesslog.open_ ~max_bytes:4096 path in
+  let line i =
+    Xserve.Accesslog.entry ~ts_s:(float_of_int i) ~request_id:"r" ~tenant:"t"
+      ~status:200 ~outcome:"ok" ~queue_ms:0.0 ~latency_ms:1.0 ~bytes:100 ()
+  in
+  for i = 1 to 100 do
+    Xserve.Accesslog.write al (line i)
+  done;
+  Alcotest.(check bool) "rotation failures were counted" true
+    (Xserve.Accesslog.rotate_failures al > 0);
+  Alcotest.(check bool) "the log kept writing in place" true
+    ((Unix.stat path).Unix.st_size > 4096);
+  (* Clear the obstruction: the very next over-size write rotates. *)
+  Unix.rmdir (path ^ ".1");
+  let before = Xserve.Accesslog.rotate_failures al in
+  for i = 101 to 140 do
+    Xserve.Accesslog.write al (line i)
+  done;
+  Xserve.Accesslog.close al;
+  Alcotest.(check int) "no new failures once the obstruction cleared" before
+    (Xserve.Accesslog.rotate_failures al);
+  Alcotest.(check bool) "rotation resumed: the predecessor is a file" true
+    (Sys.file_exists (path ^ ".1") && not (Sys.is_directory (path ^ ".1")))
+
+(* --- a crashing connection thread is counted, logged and contained --------- *)
+
+let test_conn_crash_loud () =
+  let engine = Engine.create ~doc (catalog ()) in
+  with_server [ ("t", engine) ] @@ fun srv addr ->
+  Server.inject_request_fault srv (fun req ->
+      if req.Proto.path = "/boom" then failwith "injected fault");
+  (* The faulted request crashes its connection thread: no response,
+     the connection just dies. *)
+  (with_client addr @@ fun c ->
+   match Client.get c "/boom" with
+   | Error _ -> ()
+   | Ok (status, _) ->
+       Alcotest.failf "crashed connection still answered %d" status);
+  (* The server survives: new connections work, and the crash shows up
+     in serve_thread_crashes_total instead of vanishing. *)
+  with_client addr @@ fun c ->
+  let h = query_ok c ~tenant:"t" q_titles in
+  Alcotest.(check int) "server still answers after the crash" 200
+    h.Client.status;
+  match Client.metrics c with
+  | Error m -> Alcotest.failf "metrics: %s" m
+  | Ok text ->
+      let crashed =
+        String.split_on_char '\n' text
+        |> List.exists (fun l -> l = "serve_thread_crashes_total 1")
+      in
+      Alcotest.(check bool) "the crash is counted" true crashed
+
 let () =
   Alcotest.run "serve"
     [ ( "serve",
@@ -573,6 +749,12 @@ let () =
             test_drain_completes_inflight;
           Alcotest.test_case "metrics exposition" `Quick test_metrics_exposition
         ] );
+      ( "write-path",
+        [ Alcotest.test_case "apply round trip" `Quick test_apply_round_trip;
+          Alcotest.test_case "accesslog rotation failure" `Quick
+            test_accesslog_rotation_failure;
+          Alcotest.test_case "connection crash is loud" `Quick
+            test_conn_crash_loud ] );
       ( "observability",
         [ Alcotest.test_case "request id round trip" `Quick
             test_request_id_round_trip;

@@ -532,6 +532,347 @@ let test_reader_writer_chaos () =
           Alcotest.(check string) "byte-identical state" (snapshot_bytes e)
             (snapshot_bytes recovered)))
 
+(* --- group commit ------------------------------------------------------- *)
+
+(* Ops whose identity encodes their origin: writer [d]'s [i]-th record
+   is distinguishable in the recovered log. *)
+let tagged_op d i = Wal.Update_value { node = (d * 10_000) + i; value = "g" }
+
+(* N domains hammer one writer with sync:true appends; every
+   acknowledged (lsn, op) pair must come back from a cold read, with
+   contiguous LSNs and nothing duplicated. *)
+let test_group_commit_concurrent () =
+  with_scratch "wal" (fun dir ->
+      let w =
+        match
+          Wal.Writer.open_ ~commit_window:0.0005 ~max_batch:8 ~dir ~lsn:0 ()
+        with
+        | Ok w -> w
+        | Error e -> Alcotest.failf "open: %s" e
+      in
+      let domains = 4 and per = 50 in
+      let worker d () =
+        List.init per (fun i ->
+            match Wal.Writer.append w (tagged_op d i) with
+            | Ok (lsn, _) -> (lsn, tagged_op d i)
+            | Error e -> Alcotest.failf "append (domain %d): %s" d e)
+      in
+      let acked =
+        List.concat_map Domain.join
+          (List.init domains (fun d -> Domain.spawn (worker d)))
+      in
+      Alcotest.(check int) "writer lsn is the record count" (domains * per)
+        (Wal.Writer.lsn w);
+      Wal.Writer.close w;
+      match Wal.read ~dir with
+      | Error e -> Alcotest.failf "read: %s" e
+      | Ok (_, Wal.Torn _) -> Alcotest.fail "clean shutdown left a torn tail"
+      | Ok (records, Wal.Clean) ->
+          Alcotest.(check int) "every acknowledged record recovered"
+            (domains * per) (List.length records);
+          let by_lsn =
+            List.map (fun (r : Wal.record) -> (r.Wal.lsn, r.Wal.op)) records
+          in
+          List.iter
+            (fun (lsn, op) ->
+              match List.assoc_opt lsn by_lsn with
+              | Some op' when op' = op -> ()
+              | Some _ ->
+                  Alcotest.failf "lsn %d recovered a different record" lsn
+              | None -> Alcotest.failf "acknowledged lsn %d lost" lsn)
+            acked)
+
+(* append_batch: one acknowledgement covers contiguous LSNs, and the
+   batch interleaves correctly with plain appends. *)
+let test_append_batch_contiguous () =
+  with_scratch "wal" (fun dir ->
+      let w =
+        match Wal.Writer.open_ ~dir ~lsn:0 () with
+        | Ok w -> w
+        | Error e -> Alcotest.failf "open: %s" e
+      in
+      (match Wal.Writer.append_batch w [] with
+      | Ok [] -> ()
+      | _ -> Alcotest.fail "empty batch is Ok []");
+      ignore (Wal.Writer.append w (tagged_op 9 0));
+      (match Wal.Writer.append_batch w (List.init 5 (tagged_op 8)) with
+      | Error e -> Alcotest.failf "append_batch: %s" e
+      | Ok entries ->
+          Alcotest.(check (list int)) "contiguous lsns after the single append"
+            [ 2; 3; 4; 5; 6 ]
+            (List.map fst entries));
+      Wal.Writer.close w;
+      match Wal.read ~dir with
+      | Ok (records, Wal.Clean) ->
+          Alcotest.(check int) "six records on disk" 6 (List.length records)
+      | _ -> Alcotest.fail "unexpected read result")
+
+(* Crash-equivalence under multi-writer group commit: kill the
+   filesystem at a random mutating op while several domains append.
+   Invariant: no acknowledged record is ever lost (acked pairs all
+   recover at their LSN), and nothing recovers that was never submitted. *)
+let group_commit_crash_prop =
+  QCheck2.Test.make
+    ~name:"group commit never loses an acknowledged record across a crash"
+    ~count:20
+    QCheck2.Gen.(pair (int_range 1 80) (int_range 0 1000))
+    (fun (kill, seed) ->
+      with_scratch "wal" (fun dir ->
+          let harness = Fsio.Crash.create ~seed ~crash_after:kill () in
+          let w =
+            match
+              Wal.Writer.open_ ~fs:(Fsio.Crash.ops harness)
+                ~commit_window:0.0002 ~max_batch:6 ~dir ~lsn:0 ()
+            with
+            | Ok w -> w
+            | Error e -> Alcotest.failf "open: %s" e
+            | exception Fsio.Crashed _ -> Alcotest.failf "crashed in open"
+          in
+          let domains = 3 and per = 8 in
+          let worker d () =
+            let acked = ref [] in
+            (try
+               for i = 0 to per - 1 do
+                 match Wal.Writer.append w (tagged_op d i) with
+                 | Ok (lsn, _) -> acked := (lsn, tagged_op d i) :: !acked
+                 | Error _ -> raise Exit
+               done
+             with Fsio.Crashed _ | Exit -> ());
+            !acked
+          in
+          let acked =
+            List.concat_map Domain.join
+              (List.init domains (fun d -> Domain.spawn (worker d)))
+          in
+          (try Wal.Writer.close w with Fsio.Crashed _ -> ());
+          let submitted =
+            List.concat_map
+              (fun d -> List.init per (tagged_op d))
+              (List.init domains Fun.id)
+          in
+          let records =
+            match Wal.read ~dir with
+            | Ok (records, Wal.Clean) -> records
+            | Ok (records, (Wal.Torn _ as tail)) ->
+                (match Wal.repair tail with
+                | Ok () -> ()
+                | Error e -> Alcotest.failf "repair: %s" e);
+                records
+            | Error e ->
+                Alcotest.failf "kill=%d seed=%d: recovery failed closed: %s"
+                  kill seed e
+          in
+          let by_lsn =
+            List.map (fun (r : Wal.record) -> (r.Wal.lsn, r.Wal.op)) records
+          in
+          List.iter
+            (fun (lsn, op) ->
+              match List.assoc_opt lsn by_lsn with
+              | Some op' when op' = op -> ()
+              | Some _ ->
+                  Alcotest.failf
+                    "kill=%d seed=%d: lsn %d holds a different record" kill
+                    seed lsn
+              | None ->
+                  Alcotest.failf
+                    "kill=%d seed=%d: acknowledged lsn %d lost" kill seed lsn)
+            acked;
+          List.iter
+            (fun (_, op) ->
+              if not (List.mem op submitted) then
+                Alcotest.failf
+                  "kill=%d seed=%d: recovered a record nobody submitted" kill
+                  seed)
+            by_lsn;
+          true))
+
+(* --- segment naming at the LSN boundary ---------------------------------- *)
+
+(* Recovery must accept zero-padded names longer than the canonical 16
+   digits instead of silently skipping the segment (fail-open), and the
+   writer must refuse to create a segment past what the namespace can
+   hold (fail-closed). *)
+let test_segment_name_tolerant () =
+  with_scratch "wal" (fun dir ->
+      sample_wal dir;
+      let seg = only_segment dir in
+      (* the same first-LSN, zero-padded to 20 digits *)
+      let wide = Filename.concat dir "wal-00000000000000000001.seg" in
+      Sys.rename seg wide;
+      match Wal.read ~dir with
+      | Ok (records, Wal.Clean) ->
+          Alcotest.(check int) "a wide-named segment is not skipped" 5
+            (List.length records)
+      | Ok (_, Wal.Torn _) -> Alcotest.fail "torn on a clean segment"
+      | Error e -> Alcotest.failf "read: %s" e)
+
+let test_segment_lsn_fail_closed () =
+  with_scratch "wal" (fun dir ->
+      (* tiny segments force a rotation per record *)
+      let w =
+        match
+          Wal.Writer.open_ ~segment_bytes:30 ~dir
+            ~lsn:9_999_999_999_999_998 ()
+        with
+        | Ok w -> w
+        | Error e -> Alcotest.failf "open: %s" e
+      in
+      (match Wal.Writer.append w (Wal.Delete_subtree { node = 1 }) with
+      | Ok (lsn, _) ->
+          Alcotest.(check int) "the last nameable lsn still appends"
+            9_999_999_999_999_999 lsn
+      | Error e -> Alcotest.failf "append at the boundary: %s" e);
+      (* the next record would need segment wal-10000000000000000.seg —
+         17 digits, which pre-fix recovery silently skipped; creation
+         must fail instead of planting an unrecoverable segment *)
+      (match Wal.Writer.append w (Wal.Delete_subtree { node = 2 }) with
+      | Ok (lsn, _) ->
+          Alcotest.failf "created a segment past the namespace (lsn %d)" lsn
+      | Error _ -> ());
+      Wal.Writer.close w;
+      Alcotest.(check bool) "no over-wide segment was left behind" true
+        (Array.for_all
+           (fun f ->
+             (not (Filename.check_suffix f ".seg"))
+             || String.length f = 24)
+           (Sys.readdir dir)))
+
+(* --- batched applies ----------------------------------------------------- *)
+
+(* apply_batch_r is the same write path as N sequential applies: same
+   final state, and the WAL holds N ordinary records that replay
+   one-by-one to that state. *)
+let test_batch_apply_equivalence () =
+  let doc = bib () in
+  let root = Doc.root doc in
+  let ins i =
+    Engine.Insert_subtree
+      { parent = root;
+        before = None;
+        xml = Printf.sprintf "<g>batched %d</g>" i }
+  in
+  let ops = List.init 9 ins in
+  let one_by_one = engine_of doc in
+  List.iter (fun op -> ignore (apply_ok one_by_one op)) ops;
+  with_scratch "snap" (fun snap ->
+      with_scratch "wal" (fun wal ->
+          let batched = engine_of doc in
+          ignore (Engine.save_snapshot batched snap);
+          ignore (Engine.attach_wal batched wal);
+          let rec chunks = function
+            | [] -> []
+            | l ->
+                let n = min 3 (List.length l) in
+                List.filteri (fun i _ -> i < n) l
+                :: chunks (List.filteri (fun i _ -> i >= n) l)
+          in
+          List.iter
+            (fun chunk ->
+              match Engine.apply_batch_r batched chunk with
+              | Ok r ->
+                  Alcotest.(check int) "report carries the final lsn"
+                    (Engine.lsn batched) r.Engine.ap_lsn
+              | Error e ->
+                  Alcotest.failf "apply_batch: %s" (Xerror.to_string e))
+            (chunks ops);
+          Engine.detach_wal batched;
+          Alcotest.(check string) "batched = one-by-one"
+            (doc_string one_by_one) (doc_string batched);
+          Alcotest.(check int) "one WAL record per op" 9 (Engine.lsn batched);
+          let recovered = Engine.of_snapshot snap in
+          Alcotest.(check int) "batch records replay one-by-one" 9
+            (Engine.attach_wal recovered wal);
+          Alcotest.(check string) "recovery lands on the batched state"
+            (snapshot_bytes batched) (snapshot_bytes recovered)))
+
+(* An invalid op anywhere in the batch rejects the whole batch with
+   state unchanged — no partial prefix, no WAL records. *)
+let test_batch_apply_atomic () =
+  let doc = bib () in
+  let root = Doc.root doc in
+  let e = engine_of doc in
+  let before = snapshot_bytes e in
+  (match
+     Engine.apply_batch_r e
+       [ Engine.Insert_subtree { parent = root; before = None; xml = "<a/>" };
+         Engine.Delete_subtree { node = 9_999_999 } ]
+   with
+  | Ok _ -> Alcotest.fail "invalid op accepted"
+  | Error (Xerror.Update_invalid _) -> ()
+  | Error e -> Alcotest.failf "wrong error class: %s" (Xerror.to_string e));
+  Alcotest.(check int) "no LSN consumed" 0 (Engine.lsn e);
+  Alcotest.(check string) "state unchanged" before (snapshot_bytes e)
+
+(* --- background checkpoint ------------------------------------------------ *)
+
+(* Park a background checkpoint between its snapshot write and its
+   install point (the [before_install] seam); applies landing in that
+   window must complete — the checkpoint holds no engine lock while
+   parked. A checkpoint that wrongly held the apply lock would deadlock
+   this test. *)
+let test_background_checkpoint_nonblocking () =
+  with_scratch "snap" (fun snap ->
+      with_scratch "wal" (fun wal ->
+          let e = engine_of (bib ()) in
+          ignore (Engine.save_snapshot e snap);
+          ignore (Engine.attach_wal ~segment_bytes:120 e wal);
+          churn e ~seed:21 8;
+          let m = Mutex.create () and c = Condition.create () in
+          let parked = ref false and release = ref false in
+          let before_install () =
+            Mutex.lock m;
+            parked := true;
+            Condition.broadcast c;
+            while not !release do
+              Condition.wait c m
+            done;
+            Mutex.unlock m
+          in
+          let result =
+            ref (Error (Xerror.Wal_error { path = ""; reason = "not run" }))
+          in
+          let ckpt =
+            Thread.create
+              (fun () ->
+                result := Engine.checkpoint_background_r ~before_install e snap)
+              ()
+          in
+          Mutex.lock m;
+          while not !parked do
+            Condition.wait c m
+          done;
+          Mutex.unlock m;
+          (* the snapshot is written, the install hasn't happened:
+             writes must keep flowing *)
+          for i = 9 to 10 do
+            let doc = Option.get (Engine.document e) in
+            ignore (apply_ok e (gen_op doc ~seed:21 i))
+          done;
+          Mutex.lock m;
+          release := true;
+          Condition.broadcast c;
+          Mutex.unlock m;
+          Thread.join ckpt;
+          (match !result with
+          | Ok _ -> ()
+          | Error err ->
+              Alcotest.failf "checkpoint: %s" (Xerror.to_string err));
+          Alcotest.(check int) "snapshot covers the captured prefix" 8
+            (Engine.snapshot_lsn e);
+          Alcotest.(check int) "applies landed during the write" 10
+            (Engine.lsn e);
+          Engine.detach_wal e;
+          (* recovery: the checkpointed snapshot plus the uncovered WAL
+             suffix is exactly the live state *)
+          let recovered = Engine.of_snapshot snap in
+          Alcotest.(check int) "snapshot resumes at the captured lsn" 8
+            (Engine.lsn recovered);
+          Alcotest.(check int) "only the uncovered suffix replays" 2
+            (Engine.attach_wal recovered wal);
+          Engine.detach_wal recovered;
+          Alcotest.(check string) "byte-identical state" (snapshot_bytes e)
+            (snapshot_bytes recovered)))
+
 let () =
   Alcotest.run "wal"
     [ ( "codec",
@@ -556,9 +897,26 @@ let () =
           Alcotest.test_case "zero-length segment" `Quick test_empty_segment;
           Alcotest.test_case "engine surfaces typed Wal_error" `Quick
             test_engine_fails_closed ] );
+      ( "group-commit",
+        [ Alcotest.test_case "concurrent appenders, one fsync per batch"
+            `Quick test_group_commit_concurrent;
+          Alcotest.test_case "append_batch is contiguous" `Quick
+            test_append_batch_contiguous;
+          QCheck_alcotest.to_alcotest group_commit_crash_prop;
+          Alcotest.test_case "batched applies = sequential applies" `Quick
+            test_batch_apply_equivalence;
+          Alcotest.test_case "an invalid op rejects the whole batch" `Quick
+            test_batch_apply_atomic ] );
+      ( "segment-naming",
+        [ Alcotest.test_case "wide zero-padded names are recovered" `Quick
+            test_segment_name_tolerant;
+          Alcotest.test_case "creation past the namespace fails closed"
+            `Quick test_segment_lsn_fail_closed ] );
       ( "checkpoint",
         [ Alcotest.test_case "snapshot-then-truncate round-trip" `Quick
-            test_checkpoint ] );
+            test_checkpoint;
+          Alcotest.test_case "background checkpoint never blocks applies"
+            `Quick test_background_checkpoint_nonblocking ] );
       ( "maintenance",
         [ Alcotest.test_case "tail edit keeps untouched partitions" `Quick
             test_splice_keeps_partitions;
